@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for object-tree maintenance (Figure 10c):
+//! insertion (regex comparisons against siblings), splits, and deletion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use occam_objtree::ObjTree;
+use occam_regex::Pattern;
+use std::hint::black_box;
+
+fn populated(pods: u32) -> ObjTree {
+    let mut t = ObjTree::new();
+    for dc in 1..=4u32 {
+        for p in 0..pods {
+            t.insert_region(&Pattern::from_glob(&format!("dc{dc:02}.pod{p:02}.*")).unwrap());
+        }
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("objtree/insert_disjoint_into_64", |b| {
+        let fresh = Pattern::from_glob("dc05.pod00.*").unwrap();
+        b.iter_batched_ref(
+            || populated(16),
+            |t| black_box(t.insert_region(&fresh)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("objtree/insert_contained", |b| {
+        let child = Pattern::from_glob("dc01.pod03.sw07").unwrap();
+        b.iter_batched_ref(
+            || populated(16),
+            |t| black_box(t.insert_region(&child)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("objtree/insert_with_split", |b| {
+        let overlapping = Pattern::new(r"dc01\.pod0[2-5]\.sw0[0-4]").unwrap();
+        b.iter_batched_ref(
+            || populated(16),
+            |t| black_box(t.insert_region(&overlapping)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_delete(c: &mut Criterion) {
+    c.bench_function("objtree/release_ref", |b| {
+        let region = Pattern::from_glob("dc01.pod03.*").unwrap();
+        b.iter_batched_ref(
+            || {
+                let mut t = populated(16);
+                let ids = t.insert_region(&region);
+                (t, ids[0])
+            },
+            |(t, id)| black_box(t.release_ref(*id)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut t = populated(24);
+    let pod = t.insert_region(&Pattern::from_glob("dc01.pod03.*").unwrap())[0];
+    c.bench_function("objtree/containment_query", |b| {
+        b.iter(|| black_box(t.containment(black_box(pod))))
+    });
+    c.bench_function("objtree/validate_full_tree", |b| {
+        b.iter(|| t.validate().unwrap())
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_delete, bench_queries);
+criterion_main!(benches);

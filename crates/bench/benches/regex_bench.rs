@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the regex/automata engine: the costs
+//! behind object-tree maintenance (Figure 10c's "insertion takes longer
+//! because of regex comparison").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occam_regex::{dfa_to_regex, Pattern, PatternCache};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("regex/compile_pod_scope", |b| {
+        b.iter(|| Pattern::new(black_box(r"dc01\.pod0[0-9]\..*")).unwrap())
+    });
+    c.bench_function("regex/compile_device_list", |b| {
+        let names: Vec<String> = (0..16).map(|i| format!("dc01.pod03.sw{i:02}")).collect();
+        b.iter(|| Pattern::from_names(black_box(&names)).unwrap())
+    });
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let dc = Pattern::from_glob("dc01.*").unwrap();
+    let pod = Pattern::from_glob("dc01.pod03.*").unwrap();
+    let range = Pattern::new(r"dc01\.pod0[2-6]\..*").unwrap();
+    c.bench_function("regex/contains", |b| {
+        b.iter(|| black_box(&dc).contains(black_box(&pod)))
+    });
+    c.bench_function("regex/overlaps", |b| {
+        b.iter(|| black_box(&pod).overlaps(black_box(&range)))
+    });
+    c.bench_function("regex/intersect", |b| {
+        b.iter(|| black_box(&range).intersect(black_box(&pod)))
+    });
+    c.bench_function("regex/subtract", |b| {
+        b.iter(|| black_box(&range).subtract(black_box(&pod)))
+    });
+    c.bench_function("regex/to_regex_after_subtract", |b| {
+        let diff = range.subtract(&pod);
+        b.iter(|| dfa_to_regex(black_box(diff.dfa())))
+    });
+    c.bench_function("regex/matches", |b| {
+        b.iter(|| black_box(&pod).matches(black_box("dc01.pod03.sw42")))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("regex/cache_hit", |b| {
+        let cache = PatternCache::new(64);
+        cache.get(r"dc01\.pod03\..*").unwrap();
+        b.iter(|| cache.get(black_box(r"dc01\.pod03\..*")).unwrap())
+    });
+    c.bench_function("regex/cache_miss_compile", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let cache = PatternCache::new(4);
+            i += 1;
+            cache.get(&format!(r"dc01\.pod{:02}\..*", i % 96)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_algebra, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for rollback-plan generation: grammar
+//! parsing and tree-walk reversal over logs of growing length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occam_rollback::{parse_log, rollback_plan, LogEntry, OpType};
+use std::hint::black_box;
+
+fn firmware_log(repeats: usize) -> Vec<LogEntry> {
+    let mut log = Vec::new();
+    for _ in 0..repeats {
+        for t in [
+            OpType::Drain,
+            OpType::DbChange,
+            OpType::DbChange,
+            OpType::PushCfg,
+            OpType::Prepare,
+            OpType::Test,
+            OpType::Test,
+            OpType::Unprepare,
+            OpType::Undrain,
+        ] {
+            log.push(LogEntry::ok(t, t.name().to_lowercase()));
+        }
+    }
+    // Truncate mid-testing to exercise the failure patterns.
+    log.truncate(log.len().saturating_sub(2));
+    log
+}
+
+fn bench_parse_and_plan(c: &mut Criterion) {
+    for repeats in [1usize, 8, 64] {
+        let log = firmware_log(repeats);
+        c.bench_function(&format!("rollback/parse_{}_entries", log.len()), |b| {
+            b.iter(|| parse_log(black_box(&log)).unwrap())
+        });
+        let tree = parse_log(&log).unwrap();
+        c.bench_function(&format!("rollback/plan_{}_entries", log.len()), |b| {
+            b.iter(|| rollback_plan(black_box(&tree)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_parse_and_plan);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the SCHED invocation (Figure 10a): the
+//! same decision procedure the simulator times, isolated per granularity
+//! and policy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use occam_objtree::{LockMode, ObjTree, TaskId};
+use occam_regex::Pattern;
+use occam_sched::{LockSpace, Policy, Scheduler};
+use occam_sim::FlatSpace;
+use std::hint::black_box;
+
+/// An object tree with `n` contended pods: half the tasks hold, half wait.
+fn contended_tree(n: u64) -> ObjTree {
+    let mut t = ObjTree::new();
+    for i in 0..n {
+        let obj =
+            t.insert_region(&Pattern::from_glob(&format!("dc01.pod{:02}.*", i % 96)).unwrap())[0];
+        t.request_lock(TaskId(i), obj, LockMode::Exclusive, i, false);
+        if i % 2 == 0 {
+            t.grant(obj, TaskId(i));
+        }
+    }
+    t
+}
+
+/// A flat device space with `tasks` tasks each holding/waiting 92 devices.
+fn contended_flat(tasks: u64) -> FlatSpace {
+    let mut s = FlatSpace::new();
+    for i in 0..tasks {
+        let base = (i % 16) * 92;
+        for d in 0..92u64 {
+            s.request(TaskId(i), (base + d) as u32, LockMode::Exclusive, i, false);
+        }
+        if i % 2 == 0 {
+            for d in 0..92u64 {
+                s.grant((base + d) as u32, TaskId(i));
+            }
+        }
+    }
+    s
+}
+
+fn bench_sched(c: &mut Criterion) {
+    for policy in [Policy::Fifo, Policy::Ldsf] {
+        c.bench_function(&format!("sched/objtree_32tasks_{policy:?}"), |b| {
+            b.iter_batched_ref(
+                || (contended_tree(32), Scheduler::new(policy)),
+                |(tree, sched)| black_box(sched.sched(tree)),
+                BatchSize::SmallInput,
+            )
+        });
+        c.bench_function(&format!("sched/devices_64tasks_{policy:?}"), |b| {
+            b.iter_batched_ref(
+                || (contended_flat(64), Scheduler::new(policy)),
+                |(space, sched)| black_box(sched.sched(space)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_deadlock_detection(c: &mut Criterion) {
+    c.bench_function("sched/find_deadlock_cycle_none", |b| {
+        let tree = contended_tree(48);
+        b.iter(|| black_box(tree.find_deadlock_cycle()))
+    });
+}
+
+criterion_group!(benches, bench_sched, bench_deadlock_detection);
+criterion_main!(benches);

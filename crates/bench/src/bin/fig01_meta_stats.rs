@@ -1,0 +1,78 @@
+//! Figure 1: statistics of the production workflow system.
+//!
+//! Generates a synthetic month shaped like the Meta dataset and measures
+//! the same six statistics the paper reports: workflow execution frequency
+//! (1a), execution-time CDF (1b), building blocks per workflow (1c), BB
+//! reuse (1d), overlapping instance pairs per day (1e), and devices per
+//! workflow (1f).
+
+use occam_workload::{generate_meta_stats, MetaStats, MetaStatsConfig};
+
+fn main() {
+    let cfg = MetaStatsConfig::default();
+    let s = generate_meta_stats(&cfg);
+
+    println!("## Figure 1a: top-20 workflow execution counts (month)");
+    println!("rank\truns");
+    for (i, c) in s.exec_counts.iter().take(20).enumerate() {
+        println!("{}\t{}", i + 1, c);
+    }
+    let executed = s.exec_counts.iter().filter(|&&c| c > 0).count();
+    let over_1000 = s.exec_counts.iter().filter(|&&c| c > 1000).count();
+    println!("# executed at least once: {executed}/{} (paper: ~50%)", cfg.num_workflows);
+    println!("# workflows > 1000 runs: {over_1000} (paper: ~10)");
+    println!("# top workflow runs: {} (paper: ~15000)", s.exec_counts[0]);
+
+    println!();
+    println!("## Figure 1b: execution-time CDF (hours)");
+    println!("hours\tfraction");
+    for (v, q) in MetaStats::cdf(&s.exec_times, 20) {
+        println!("{v:.2}\t{q:.2}");
+    }
+    println!(
+        "# P(>1h) = {:.2} (paper: >0.5), P(>100h) = {:.2} (paper: ~0.2)",
+        MetaStats::fraction_above(&s.exec_times, 1.0),
+        MetaStats::fraction_above(&s.exec_times, 100.0)
+    );
+
+    println!();
+    println!("## Figure 1c: number of BBs per workflow (histogram)");
+    println!("bbs\tworkflows");
+    let max_bbs = s.bbs_per_workflow.iter().copied().max().unwrap_or(0);
+    for n in 1..=max_bbs {
+        let count = s.bbs_per_workflow.iter().filter(|&&b| b == n).count();
+        if count > 0 {
+            println!("{n}\t{count}");
+        }
+    }
+
+    println!();
+    println!("## Figure 1d: BB reuse (workflows using each BB, top 20)");
+    println!("bb_rank\tworkflows_using");
+    for (i, r) in s.bb_reuse.iter().take(20).enumerate() {
+        println!("{}\t{}", i + 1, r);
+    }
+
+    println!();
+    println!("## Figure 1e: overlapping workflow-instance pairs per day");
+    println!("day\tpairs");
+    for (d, p) in s.overlap_pairs_per_day.iter().enumerate() {
+        println!("{}\t{}", d + 1, p);
+    }
+    let mean = s.overlap_pairs_per_day.iter().sum::<u64>() as f64
+        / s.overlap_pairs_per_day.len() as f64;
+    println!("# mean pairs/day: {mean:.0} (paper: 150-200)");
+
+    println!();
+    println!("## Figure 1f: devices per workflow (CDF)");
+    println!("devices\tfraction");
+    let devs: Vec<f64> = s.devices_per_workflow.iter().map(|&d| d as f64).collect();
+    for (v, q) in MetaStats::cdf(&devs, 20) {
+        println!("{v:.0}\t{q:.2}");
+    }
+    println!(
+        "# min {} .. max {} devices (paper: a few to tens of thousands)",
+        s.devices_per_workflow.iter().min().unwrap(),
+        s.devices_per_workflow.iter().max().unwrap()
+    );
+}

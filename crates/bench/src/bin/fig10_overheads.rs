@@ -1,0 +1,107 @@
+//! Figure 10: scheduling overheads at each lock granularity (LDSF).
+//!
+//! (a) SCHED invocation times — fewer locks schedule faster (DC fastest,
+//! device slowest, object in between), all decisions under 100 ms;
+//! (b) active scheduling objects over scheduling steps — device locking
+//! produces 1-2 orders of magnitude more objects;
+//! (c) object-tree maintenance cost — insertion (regex comparisons) costs
+//! more than deletion.
+
+use occam_objtree::SplitMode;
+use occam_sched::Policy;
+use occam_sim::{run, Granularity, SimConfig};
+use occam_workload::TraceConfig;
+use std::time::Duration;
+
+fn pct(xs: &mut [Duration], p: f64) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    xs.sort();
+    xs[((xs.len() - 1) as f64 * p / 100.0).round() as usize]
+}
+
+fn main() {
+    let cfg = TraceConfig::default();
+    let trace = occam_workload::synthesize(&cfg);
+    let mut results = Vec::new();
+    for granularity in [Granularity::Dc, Granularity::Device, Granularity::Object] {
+        let r = run(
+            &SimConfig {
+                granularity,
+                policy: Policy::Ldsf,
+                scheme: cfg.scheme,
+                split_mode: SplitMode::Split,
+            },
+            &trace,
+        );
+        results.push((granularity, r));
+    }
+
+    println!("## Figure 10a: SCHED invocation time (microseconds)");
+    println!("lock\tmean\tp50\tp99\tmax");
+    for (g, r) in &results {
+        let mut xs = r.sched_durations.clone();
+        println!(
+            "{}\t{:.0}\t{:.0}\t{:.0}\t{:.0}",
+            g.name(),
+            r.mean_sched_time().as_secs_f64() * 1e6,
+            pct(&mut xs, 50.0).as_secs_f64() * 1e6,
+            pct(&mut xs, 99.0).as_secs_f64() * 1e6,
+            r.max_sched_time().as_secs_f64() * 1e6,
+        );
+    }
+    println!("# paper bound: all decisions computed under 100ms (100000us)");
+
+    println!();
+    println!("## Figure 10b: active scheduling objects per step (sampled)");
+    println!("step\tdc\tdev\tobj");
+    let steps = results
+        .iter()
+        .map(|(_, r)| r.active_objects.len())
+        .min()
+        .unwrap_or(0);
+    let stride = (steps / 40).max(1);
+    let mut i = 0;
+    while i < steps {
+        println!(
+            "{i}\t{}\t{}\t{}",
+            results[0].1.active_objects[i],
+            results[1].1.active_objects[i],
+            results[2].1.active_objects[i],
+        );
+        i += stride;
+    }
+    println!("## peak active objects");
+    for (g, r) in &results {
+        println!(
+            "{}\t{}",
+            g.name(),
+            r.active_objects.iter().copied().max().unwrap_or(0)
+        );
+    }
+
+    println!();
+    println!("## Figure 10c: object-tree maintenance (object granularity)");
+    let tree = results[2].1.tree_stats.expect("object run has tree stats");
+    let per = |total: Duration, n: u64| {
+        if n == 0 {
+            0.0
+        } else {
+            total.as_secs_f64() * 1e6 / n as f64
+        }
+    };
+    println!("op\tcount\tmean_us");
+    println!(
+        "insert\t{}\t{:.1}",
+        tree.inserts,
+        per(tree.insert_time, tree.inserts)
+    );
+    println!(
+        "delete\t{}\t{:.1}",
+        tree.deletes,
+        per(tree.delete_time, tree.deletes)
+    );
+    println!("splits\t{}\t-", tree.splits);
+    println!("# paper shape: insertion takes longer (regex comparisons)");
+}

@@ -1,0 +1,43 @@
+//! Developer probe: times each simulator configuration on shrunken traces.
+//! Not part of the experiment suite.
+
+use occam_objtree::SplitMode;
+use occam_sched::Policy;
+use occam_sim::{run, Granularity, SimConfig};
+use occam_topology::ProductionScheme;
+use occam_workload::{synthesize, TraceConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let trace = synthesize(&TraceConfig {
+        num_tasks: n,
+        ..TraceConfig::default()
+    });
+    for policy in [Policy::Fifo, Policy::Ldsf] {
+        for granularity in [Granularity::Dc, Granularity::Device, Granularity::Object] {
+            let t0 = std::time::Instant::now();
+            let r = run(
+                &SimConfig {
+                    granularity,
+                    policy,
+                    scheme: ProductionScheme::meta_scale(),
+                    split_mode: SplitMode::Split,
+                },
+                &trace,
+            );
+            println!(
+                "{:?}/{}: {:.2}s mean_completion={:.1}h peak_queue={} scheds={} deadlocks={}",
+                policy,
+                granularity.name(),
+                t0.elapsed().as_secs_f64(),
+                r.mean_completion(),
+                r.peak_queue(),
+                r.sched_stats.invocations,
+                r.deadlocks_broken,
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Task-level errors.
+
+use occam_emunet::FuncError;
+use occam_netdb::DbError;
+use occam_regex::ParseError;
+
+/// An error aborting an Occam task.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TaskError {
+    /// A database query failed (connection failure, missing row, …).
+    Db(DbError),
+    /// A device-level operation failed.
+    Device(FuncError),
+    /// The region scope did not compile.
+    Scope(ParseError),
+    /// The task was chosen as a deadlock victim and must be re-executed.
+    Deadlock,
+    /// A `set()`/`apply()` was attempted on a read-mode network object.
+    ReadOnlyObject {
+        /// The offending scope.
+        scope: String,
+    },
+    /// Task-specific failure raised by the management program itself.
+    Failed(String),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Db(e) => write!(f, "database error: {e}"),
+            TaskError::Device(e) => write!(f, "device operation error: {e}"),
+            TaskError::Scope(e) => write!(f, "invalid scope: {e}"),
+            TaskError::Deadlock => write!(f, "aborted as deadlock victim; re-execute the task"),
+            TaskError::ReadOnlyObject { scope } => {
+                write!(f, "stateful operation on read-mode object {scope}")
+            }
+            TaskError::Failed(msg) => write!(f, "task failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+impl From<DbError> for TaskError {
+    fn from(e: DbError) -> Self {
+        TaskError::Db(e)
+    }
+}
+
+impl From<FuncError> for TaskError {
+    fn from(e: FuncError) -> Self {
+        TaskError::Device(e)
+    }
+}
+
+impl From<ParseError> for TaskError {
+    fn from(e: ParseError) -> Self {
+        TaskError::Scope(e)
+    }
+}
+
+/// Result alias for task operations.
+pub type TaskResult<T> = Result<T, TaskError>;

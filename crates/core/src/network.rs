@@ -1,0 +1,516 @@
+//! The network object: the paper's core programming abstraction (§3).
+//!
+//! A `Network` scopes a region of devices; `get`/`set` operate on the
+//! logical state in the source-of-truth database, `apply` executes device
+//! functions on the physical network through the management-plane service.
+//! Every stateful operation is recorded in the task's typed execution log
+//! for rollback-plan generation.
+
+use crate::error::{TaskError, TaskResult};
+use crate::task::{TaskCtx, UndoRecord};
+use occam_emunet::FuncArgs;
+use occam_netdb::{AttrValue, LinkKey};
+use occam_objtree::{LockMode, ObjectId};
+use occam_regex::Pattern;
+use occam_rollback::{func_optype, LogEntry, OpStatus};
+use std::collections::BTreeMap;
+
+/// A logically centralized view over a region of the network.
+///
+/// Created by [`TaskCtx::network`] (exclusive intent) or
+/// [`TaskCtx::network_read`] (shared intent); the runtime holds the
+/// region's locks until the whole task commits or aborts (strict 2PL), so
+/// dropping or [`Network::close`]-ing the object does *not* release them.
+pub struct Network<'t> {
+    ctx: &'t TaskCtx,
+    pattern: Pattern,
+    #[allow(dead_code)]
+    covering: Vec<ObjectId>,
+    mode: LockMode,
+}
+
+impl<'t> Network<'t> {
+    pub(crate) fn new(
+        ctx: &'t TaskCtx,
+        pattern: Pattern,
+        covering: Vec<ObjectId>,
+        mode: LockMode,
+    ) -> Network<'t> {
+        Network {
+            ctx,
+            pattern,
+            covering,
+            mode,
+        }
+    }
+
+    /// The compiled scope of this object.
+    pub fn scope(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    fn require_write(&self, what: &str) -> TaskResult<()> {
+        if self.mode == LockMode::Exclusive {
+            Ok(())
+        } else {
+            let _ = what;
+            Err(TaskError::ReadOnlyObject {
+                scope: self.pattern.source().to_string(),
+            })
+        }
+    }
+
+    /// The device names currently in the region (from the database).
+    pub fn devices(&self) -> TaskResult<Vec<String>> {
+        Ok(self.ctx.runtime().db().select_devices(&self.pattern)?)
+    }
+
+    /// Reads one attribute for every device in the region: the paper's
+    /// `get()`, returning a dictionary keyed on device ids.
+    pub fn get(&self, attr: &str) -> TaskResult<BTreeMap<String, AttrValue>> {
+        Ok(self.ctx.runtime().db().get_attr(&self.pattern, attr)?)
+    }
+
+    /// Reads the full attribute map of every device in the region.
+    pub fn get_all(&self) -> TaskResult<BTreeMap<String, BTreeMap<String, AttrValue>>> {
+        Ok(self.ctx.runtime().db().get_all(&self.pattern)?)
+    }
+
+    /// Reads one attribute across the links touching the region; link keys
+    /// are `(a_end, z_end)` pairs, as in the paper's link-status example.
+    pub fn get_links(&self, attr: &str) -> TaskResult<BTreeMap<LinkKey, AttrValue>> {
+        Ok(self.ctx.runtime().db().get_link_attr(&self.pattern, attr)?)
+    }
+
+    /// Writes one attribute on every device in the region: the paper's
+    /// `set()`. Returns the devices written. Logged as `DB_CHANGE` with the
+    /// overwritten values for rollback.
+    pub fn set(&self, attr: &str, value: AttrValue) -> TaskResult<Vec<String>> {
+        self.require_write("set")?;
+        let db = self.ctx.runtime().db();
+        let label = format!("set({attr})");
+        // Capture previous values (absent = None) for the undo payload.
+        type Captured = (Vec<String>, Vec<(String, Option<AttrValue>)>);
+        let capture = || -> Result<Captured, TaskError> {
+            let devices = db.select_devices(&self.pattern)?;
+            let current = db.get_attr(&self.pattern, attr)?;
+            let old = devices
+                .iter()
+                .map(|d| (d.clone(), current.get(d).cloned()))
+                .collect();
+            Ok((devices, old))
+        };
+        let (devices, old) = match capture() {
+            Ok(x) => x,
+            Err(e) => {
+                self.ctx.push_log(
+                    LogEntry::failed(occam_rollback::OpType::DbChange, &label),
+                    UndoRecord::None,
+                );
+                return Err(e);
+            }
+        };
+        match db.set_attr(&self.pattern, attr, value) {
+            Ok(written) => {
+                self.ctx.push_log(
+                    LogEntry {
+                        typ: occam_rollback::OpType::DbChange,
+                        label,
+                        devices: devices.clone(),
+                        status: OpStatus::Ok,
+                    },
+                    UndoRecord::Db {
+                        attr: attr.to_string(),
+                        old,
+                    },
+                );
+                Ok(written)
+            }
+            Err(e) => {
+                self.ctx.push_log(
+                    LogEntry {
+                        typ: occam_rollback::OpType::DbChange,
+                        label,
+                        devices,
+                        status: OpStatus::Failed,
+                    },
+                    UndoRecord::None,
+                );
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Writes one attribute with distinct per-device values (the paper's
+    /// dictionary-valued `set`). All named devices must be in scope.
+    pub fn set_per_device(
+        &self,
+        values: &BTreeMap<String, AttrValue>,
+        attr: &str,
+    ) -> TaskResult<()> {
+        self.require_write("set_per_device")?;
+        for d in values.keys() {
+            if !self.pattern.matches(d) {
+                return Err(TaskError::Failed(format!(
+                    "device {d} outside object scope {}",
+                    self.pattern.source()
+                )));
+            }
+        }
+        let db = self.ctx.runtime().db();
+        let label = format!("set({attr})");
+        let current = db.get_attr(&self.pattern, attr)?;
+        let old: Vec<(String, Option<AttrValue>)> = values
+            .keys()
+            .map(|d| (d.clone(), current.get(d).cloned()))
+            .collect();
+        match db.set_attr_per_device(values, attr) {
+            Ok(_) => {
+                self.ctx.push_log(
+                    LogEntry {
+                        typ: occam_rollback::OpType::DbChange,
+                        label,
+                        devices: values.keys().cloned().collect(),
+                        status: OpStatus::Ok,
+                    },
+                    UndoRecord::Db {
+                        attr: attr.to_string(),
+                        old,
+                    },
+                );
+                Ok(())
+            }
+            Err(e) => {
+                self.ctx.push_log(
+                    LogEntry::failed(occam_rollback::OpType::DbChange, &label),
+                    UndoRecord::None,
+                );
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Writes one attribute on every link touching the region. Logged as
+    /// `DB_CHANGE`.
+    pub fn set_links(&self, attr: &str, value: AttrValue) -> TaskResult<Vec<LinkKey>> {
+        self.require_write("set_links")?;
+        let db = self.ctx.runtime().db();
+        let label = format!("set_links({attr})");
+        let current = db.get_link_attr(&self.pattern, attr)?;
+        let keys = db.links_touching(&self.pattern)?;
+        let old: Vec<(LinkKey, Option<AttrValue>)> = keys
+            .iter()
+            .map(|k| (k.clone(), current.get(k).cloned()))
+            .collect();
+        match db.set_link_attr_scope(&self.pattern, attr, value) {
+            Ok(written) => {
+                self.ctx.push_log(
+                    LogEntry {
+                        typ: occam_rollback::OpType::DbChange,
+                        label,
+                        devices: keys.iter().map(|(a, z)| format!("{a}<->{z}")).collect(),
+                        status: OpStatus::Ok,
+                    },
+                    UndoRecord::LinkDb {
+                        attr: attr.to_string(),
+                        old,
+                    },
+                );
+                Ok(written)
+            }
+            Err(e) => {
+                self.ctx.push_log(
+                    LogEntry::failed(occam_rollback::OpType::DbChange, &label),
+                    UndoRecord::None,
+                );
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Inserts a new device row into the source of truth. The name must be
+    /// inside this object's scope — which is exactly why scopes are
+    /// symbolic regexes (paper §3.1): the region covers devices that are
+    /// *being added* by the task, so the lock protects them before they
+    /// exist.
+    ///
+    /// Logged as `DB_CHANGE`; rollback deletes the row again.
+    pub fn insert_device(
+        &self,
+        name: &str,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> TaskResult<()> {
+        self.require_write("insert_device")?;
+        if !self.pattern.matches(name) {
+            return Err(TaskError::Failed(format!(
+                "device {name} outside object scope {}",
+                self.pattern.source()
+            )));
+        }
+        let db = self.ctx.runtime().db();
+        let label = format!("insert_device({name})");
+        match db.insert_device(name, attrs) {
+            Ok(_) => {
+                self.ctx.push_log(
+                    LogEntry {
+                        typ: occam_rollback::OpType::DbChange,
+                        label,
+                        devices: vec![name.to_string()],
+                        status: OpStatus::Ok,
+                    },
+                    UndoRecord::Inserted {
+                        name: name.to_string(),
+                    },
+                );
+                Ok(())
+            }
+            Err(e) => {
+                self.ctx.push_log(
+                    LogEntry::failed(occam_rollback::OpType::DbChange, &label),
+                    UndoRecord::None,
+                );
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Logically deletes a device row (and its links) from the source of
+    /// truth — the first half of the paper's §2.3 migration example. Other
+    /// tasks cannot observe the intermediate state because the region stays
+    /// locked until the whole task commits.
+    ///
+    /// Logged as `DB_CHANGE`; rollback re-inserts the row with its
+    /// attributes and links.
+    pub fn remove_device(&self, name: &str) -> TaskResult<()> {
+        self.require_write("remove_device")?;
+        if !self.pattern.matches(name) {
+            return Err(TaskError::Failed(format!(
+                "device {name} outside object scope {}",
+                self.pattern.source()
+            )));
+        }
+        let db = self.ctx.runtime().db();
+        let label = format!("remove_device({name})");
+        // Capture the row and its links for the undo payload.
+        let one = Pattern::from_names(&[name])?;
+        let attrs: Vec<(String, AttrValue)> = db
+            .get_all(&one)?
+            .remove(name)
+            .map(|m| m.into_iter().collect())
+            .unwrap_or_default();
+        let mut links = Vec::new();
+        let snap = db.snapshot();
+        for (a, z) in db.links_touching(&one)? {
+            let peer = if a == name { z.clone() } else { a.clone() };
+            let rec = snap
+                .links
+                .get(&occam_netdb::link_key(&a, &z))
+                .cloned()
+                .unwrap_or_default();
+            links.push((peer, rec.attrs.into_iter().collect()));
+        }
+        match db.delete_device(name) {
+            Ok(_) => {
+                self.ctx.push_log(
+                    LogEntry {
+                        typ: occam_rollback::OpType::DbChange,
+                        label,
+                        devices: vec![name.to_string()],
+                        status: OpStatus::Ok,
+                    },
+                    UndoRecord::Removed {
+                        name: name.to_string(),
+                        attrs,
+                        links,
+                    },
+                );
+                Ok(())
+            }
+            Err(e) => {
+                self.ctx.push_log(
+                    LogEntry::failed(occam_rollback::OpType::DbChange, &label),
+                    UndoRecord::None,
+                );
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Executes a device function on every device in the region: the
+    /// paper's `apply(func)`.
+    pub fn apply(&self, func: &str) -> TaskResult<String> {
+        self.apply_with(func, &FuncArgs::none())
+    }
+
+    /// `apply` with function arguments.
+    pub fn apply_with(&self, func: &str, args: &FuncArgs) -> TaskResult<String> {
+        self.require_write("apply")?;
+        let devices = self.devices()?;
+        let label = format!("apply({func})");
+        let result = self
+            .ctx
+            .runtime()
+            .service()
+            .execute(func, &devices, args);
+        match func_optype(func) {
+            Some(typ) => {
+                let status = if result.is_ok() {
+                    OpStatus::Ok
+                } else {
+                    OpStatus::Failed
+                };
+                self.ctx.push_log(
+                    LogEntry {
+                        typ,
+                        label,
+                        devices,
+                        status,
+                    },
+                    UndoRecord::None,
+                );
+            }
+            None => {
+                // Untyped device functions sit outside the Table 1 grammar;
+                // they are recorded for the operator but not parsed.
+                self.ctx.push_activity(format!(
+                    "{label} on {} devices: {}",
+                    devices.len(),
+                    match &result {
+                        Ok(msg) => msg.clone(),
+                        Err(e) => format!("FAILED: {e}"),
+                    }
+                ));
+            }
+        }
+        result.map_err(TaskError::from)
+    }
+
+    /// Marks the object finished. The serialization point for the whole
+    /// task is task commit; locks are held until then (strict 2PL), so
+    /// `close` is a readability marker, mirroring the paper's examples.
+    pub fn close(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskState;
+    use occam_netdb::attrs;
+
+    #[test]
+    fn get_set_roundtrip_and_log() {
+        let rt = crate::test_support::tiny_runtime();
+        let report = rt.run_task("maintenance", |ctx| {
+            let net = ctx.network("dc01.pod00.*")?;
+            net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
+            let statuses = net.get(attrs::DEVICE_STATUS)?;
+            assert!(!statuses.is_empty());
+            assert!(statuses
+                .values()
+                .all(|v| v.as_str() == Some(attrs::STATUS_UNDER_MAINTENANCE)));
+            net.close();
+            Ok(())
+        });
+        assert_eq!(report.state, TaskState::Completed);
+        assert_eq!(report.log.len(), 1);
+        assert!(matches!(report.undo[0], UndoRecord::Db { .. }));
+    }
+
+    #[test]
+    fn read_object_rejects_writes() {
+        let rt = crate::test_support::tiny_runtime();
+        let report = rt.run_task("reader", |ctx| {
+            let net = ctx.network_read("dc01.pod00.*")?;
+            let err = net.set("X", 1i64.into()).unwrap_err();
+            assert!(matches!(err, TaskError::ReadOnlyObject { .. }));
+            let err = net.apply("f_drain").unwrap_err();
+            assert!(matches!(err, TaskError::ReadOnlyObject { .. }));
+            Ok(())
+        });
+        assert_eq!(report.state, TaskState::Completed);
+    }
+
+    #[test]
+    fn apply_executes_and_logs_typed_funcs() {
+        let rt = crate::test_support::tiny_runtime();
+        let report = rt.run_task("drainer", |ctx| {
+            let net = ctx.network("dc01.pod00.agg00")?;
+            net.apply("f_drain")?;
+            net.apply("f_undrain")?;
+            Ok(())
+        });
+        assert_eq!(report.state, TaskState::Completed);
+        assert_eq!(report.log.len(), 2);
+        assert_eq!(report.log[0].typ, occam_rollback::OpType::Drain);
+        assert_eq!(report.log[1].typ, occam_rollback::OpType::Undrain);
+        assert_eq!(report.log[0].devices, vec!["dc01.pod00.agg00".to_string()]);
+    }
+
+    #[test]
+    fn untyped_funcs_go_to_activity_log() {
+        let rt = crate::test_support::tiny_runtime();
+        let report = rt.run_task("config", |ctx| {
+            let net = ctx.network("dc01.pod00.*")?;
+            net.apply("f_create_config")?;
+            Ok(())
+        });
+        assert!(report.log.is_empty());
+        assert_eq!(report.activity.len(), 1);
+        assert!(report.activity[0].contains("f_create_config"));
+    }
+
+    #[test]
+    fn set_per_device_rejects_out_of_scope() {
+        let rt = crate::test_support::tiny_runtime();
+        let report = rt.run_task("oops", |ctx| {
+            let net = ctx.network("dc01.pod00.*")?;
+            let mut m = BTreeMap::new();
+            m.insert("dc01.pod01.tor00".to_string(), AttrValue::Int(1));
+            net.set_per_device(&m, "X")
+        });
+        assert_eq!(report.state, TaskState::Aborted);
+        assert!(matches!(report.error, Some(TaskError::Failed(_))));
+    }
+
+    #[test]
+    fn dynamic_object_from_devices() {
+        // The paper's turnup_links_subnet pattern: build an object over a
+        // computed device list.
+        let rt = crate::test_support::tiny_runtime();
+        let report = rt.run_task("subnet", |ctx| {
+            let net = ctx.network_read("dc01.*")?;
+            let devs = net.devices()?;
+            let picked: Vec<String> = devs.into_iter().take(2).collect();
+            let subnet = ctx.network_of_devices(&picked)?;
+            assert_eq!(subnet.devices()?.len(), 2);
+            subnet.set("MARK", 1i64.into())?;
+            Ok(())
+        });
+        assert_eq!(report.state, TaskState::Completed, "{:?}", report.error);
+    }
+
+    #[test]
+    fn failed_device_function_aborts_with_plan() {
+        let rt = crate::test_support::tiny_runtime();
+        // Fail the next optic test.
+        crate::test_support::emu_service(&rt).library().fail_at("f_optic_test", 0);
+        let report = rt.run_task("upgrade", |ctx| {
+            let net = ctx.network("dc01.pod00.agg00")?;
+            net.apply("f_drain")?;
+            net.set(attrs::FIRMWARE_VERSION, "fw-2".into())?;
+            net.apply("f_push")?;
+            net.apply("f_alloc_ip")?;
+            net.apply("f_ping_test")?;
+            net.apply("f_optic_test")?;
+            net.apply("f_dealloc_ip")?;
+            net.apply("f_undrain")?;
+            Ok(())
+        });
+        assert_eq!(report.state, TaskState::Aborted);
+        let plan = report.rollback.as_ref().expect("plan");
+        assert_eq!(
+            plan.arrow_notation(),
+            "UNPREPARE -> r(DB_CHANGE) -> PUSH_CFG -> UNDRAIN"
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! A bounded task executor with the paper's §4.1 lifecycle:
+//! `Submitted → Active → Completed | Aborted`.
+//!
+//! [`Runtime::submit`] runs every program on its own thread immediately;
+//! production systems bound concurrency. The [`TaskQueue`] admits at most
+//! `workers` concurrently *active* tasks, holds the rest in `Submitted`
+//! state, and exposes live state observation — the piece of the paper's
+//! architecture ("Occam tasks" box of Figure 2) that sits in front of the
+//! lock runtime.
+
+use crate::error::TaskResult;
+use crate::runtime::Runtime;
+use crate::task::{TaskCtx, TaskReport, TaskState};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A ticket for a submitted task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Ticket(pub u64);
+
+type Program = Box<dyn FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static>;
+
+struct Pending {
+    ticket: Ticket,
+    name: String,
+    urgent: bool,
+    program: Program,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// FIFO of submitted-but-not-admitted tasks (urgent ones jump ahead).
+    pending: Vec<Pending>,
+    /// Observable state per ticket.
+    states: HashMap<Ticket, TaskState>,
+    /// Completed reports awaiting pickup.
+    reports: HashMap<Ticket, TaskReport>,
+    active: usize,
+    next_ticket: u64,
+    shutdown: bool,
+}
+
+/// A bounded executor over a [`Runtime`].
+pub struct TaskQueue {
+    runtime: Runtime,
+    workers: usize,
+    state: Arc<(Mutex<QueueState>, Condvar)>,
+}
+
+impl TaskQueue {
+    /// Creates a queue admitting at most `workers` active tasks (min 1).
+    pub fn new(runtime: Runtime, workers: usize) -> TaskQueue {
+        TaskQueue {
+            runtime,
+            workers: workers.max(1),
+            state: Arc::new((Mutex::new(QueueState::default()), Condvar::new())),
+        }
+    }
+
+    /// Submits a program; it enters `Submitted` state and runs when a
+    /// worker slot frees (urgent tasks are admitted before ordinary ones).
+    pub fn submit<F>(&self, name: &str, urgent: bool, program: F) -> Ticket
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
+    {
+        let (lock, _) = &*self.state;
+        let ticket = {
+            let mut st = lock.lock();
+            let ticket = Ticket(st.next_ticket);
+            st.next_ticket += 1;
+            st.states.insert(ticket, TaskState::Submitted);
+            st.pending.push(Pending {
+                ticket,
+                name: name.to_string(),
+                urgent,
+                program: Box::new(program),
+            });
+            ticket
+        };
+        self.pump();
+        ticket
+    }
+
+    /// The current lifecycle state of a ticket (`None` for unknown).
+    pub fn state_of(&self, ticket: Ticket) -> Option<TaskState> {
+        self.state.0.lock().states.get(&ticket).copied()
+    }
+
+    /// Number of tasks in `Submitted` state.
+    pub fn submitted(&self) -> usize {
+        self.state.0.lock().pending.len()
+    }
+
+    /// Number of tasks currently `Active`.
+    pub fn active(&self) -> usize {
+        self.state.0.lock().active
+    }
+
+    /// Blocks until `ticket` reaches a terminal state; returns its report.
+    pub fn wait(&self, ticket: Ticket) -> Option<TaskReport> {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock();
+        loop {
+            if let Some(r) = st.reports.remove(&ticket) {
+                return Some(r);
+            }
+            if !st.states.contains_key(&ticket) {
+                return None;
+            }
+            cv.wait(&mut st);
+        }
+    }
+
+    /// Blocks until every submitted task reaches a terminal state; returns
+    /// all unclaimed reports sorted by ticket.
+    pub fn drain(&self) -> Vec<TaskReport> {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock();
+        while st.active > 0 || !st.pending.is_empty() {
+            cv.wait(&mut st);
+        }
+        let mut tickets: Vec<Ticket> = st.reports.keys().copied().collect();
+        tickets.sort();
+        tickets
+            .into_iter()
+            .filter_map(|t| st.reports.remove(&t))
+            .collect()
+    }
+
+    /// Admits pending tasks while worker slots are free.
+    fn pump(&self) {
+        let (lock, cv) = &*self.state;
+        loop {
+            let job = {
+                let mut st = lock.lock();
+                if st.shutdown || st.active >= self.workers || st.pending.is_empty() {
+                    return;
+                }
+                // Urgent first, then submission order.
+                let idx = st
+                    .pending
+                    .iter()
+                    .position(|p| p.urgent)
+                    .unwrap_or(0);
+                let job = st.pending.remove(idx);
+                st.active += 1;
+                st.states.insert(job.ticket, TaskState::Active);
+                job
+            };
+            let runtime = self.runtime.clone();
+            let state = Arc::clone(&self.state);
+            let queue_state = Arc::clone(&self.state);
+            let workers = self.workers;
+            std::thread::spawn(move || {
+                let report =
+                    runtime.run_task_opts(&job.name, job.urgent, job.program);
+                let (lock, cv) = &*state;
+                {
+                    let mut st = lock.lock();
+                    st.active -= 1;
+                    st.states.insert(job.ticket, report.state);
+                    st.reports.insert(job.ticket, report);
+                }
+                cv.notify_all();
+                // Admit the next pending task, if any.
+                Self::pump_static(&runtime, &queue_state, workers);
+            });
+            cv.notify_all();
+        }
+    }
+
+    /// `pump` callable from worker threads (no `&self`).
+    fn pump_static(runtime: &Runtime, state: &Arc<(Mutex<QueueState>, Condvar)>, workers: usize) {
+        loop {
+            let job = {
+                let mut st = state.0.lock();
+                if st.shutdown || st.active >= workers || st.pending.is_empty() {
+                    return;
+                }
+                let idx = st.pending.iter().position(|p| p.urgent).unwrap_or(0);
+                let job = st.pending.remove(idx);
+                st.active += 1;
+                st.states.insert(job.ticket, TaskState::Active);
+                job
+            };
+            let runtime2 = runtime.clone();
+            let state2 = Arc::clone(state);
+            std::thread::spawn(move || {
+                let report = runtime2.run_task_opts(&job.name, job.urgent, job.program);
+                {
+                    let mut st = state2.0.lock();
+                    st.active -= 1;
+                    st.states.insert(job.ticket, report.state);
+                    st.reports.insert(job.ticket, report);
+                }
+                state2.1.notify_all();
+                Self::pump_static(&runtime2, &state2, workers);
+            });
+        }
+    }
+}
+
+impl Drop for TaskQueue {
+    fn drop(&mut self) {
+        self.state.0.lock().shutdown = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn lifecycle_submitted_active_completed() {
+        let rt = crate::test_support::tiny_runtime();
+        let q = TaskQueue::new(rt, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g1 = Arc::clone(&gate);
+        let t1 = q.submit("blocker", false, move |_| {
+            let (l, c) = &*g1;
+            let mut open = l.lock();
+            while !*open {
+                c.wait(&mut open);
+            }
+            Ok(())
+        });
+        // Give the worker a moment to admit t1.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let t2 = q.submit("queued", false, |_| Ok(()));
+        assert_eq!(q.state_of(t1), Some(TaskState::Active));
+        assert_eq!(q.state_of(t2), Some(TaskState::Submitted));
+        assert_eq!(q.submitted(), 1);
+        // Open the gate; both finish.
+        {
+            let (l, c) = &*gate;
+            *l.lock() = true;
+            c.notify_all();
+        }
+        let r1 = q.wait(t1).unwrap();
+        let r2 = q.wait(t2).unwrap();
+        assert_eq!(r1.state, TaskState::Completed);
+        assert_eq!(r2.state, TaskState::Completed);
+        assert_eq!(q.state_of(t1), Some(TaskState::Completed));
+    }
+
+    #[test]
+    fn concurrency_bound_is_respected() {
+        let rt = crate::test_support::tiny_runtime();
+        let q = TaskQueue::new(rt, 2);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let mut tickets = Vec::new();
+        for i in 0..8 {
+            let p = Arc::clone(&peak);
+            let c = Arc::clone(&cur);
+            tickets.push(q.submit(&format!("t{i}"), false, move |_| {
+                let inside = c.fetch_add(1, Ordering::SeqCst) + 1;
+                p.fetch_max(inside, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                c.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            }));
+        }
+        let reports = q.drain();
+        assert_eq!(reports.len(), 8);
+        assert!(reports.iter().all(|r| r.state == TaskState::Completed));
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn urgent_submissions_jump_the_queue() {
+        let rt = crate::test_support::tiny_runtime();
+        let q = TaskQueue::new(rt, 1);
+        let order = Arc::new(Mutex::new(Vec::<String>::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        q.submit("hold", false, move |_| {
+            let (l, c) = &*g;
+            let mut open = l.lock();
+            while !*open {
+                c.wait(&mut open);
+            }
+            Ok(())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        for (name, urgent) in [("normal", false), ("urgent", true)] {
+            let o = Arc::clone(&order);
+            q.submit(name, urgent, move |_| {
+                o.lock().push(name.to_string());
+                Ok(())
+            });
+        }
+        {
+            let (l, c) = &*gate;
+            *l.lock() = true;
+            c.notify_all();
+        }
+        q.drain();
+        assert_eq!(*order.lock(), vec!["urgent".to_string(), "normal".to_string()]);
+    }
+
+    #[test]
+    fn wait_on_unknown_ticket_returns_none() {
+        let rt = crate::test_support::tiny_runtime();
+        let q = TaskQueue::new(rt, 1);
+        assert!(q.wait(Ticket(999)).is_none());
+        assert_eq!(q.state_of(Ticket(999)), None);
+    }
+}

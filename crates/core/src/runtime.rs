@@ -1,0 +1,378 @@
+//! The Occam runtime: task lifecycle, lock arbitration, and failure
+//! reporting.
+//!
+//! The runtime owns the source-of-truth database handle, the management
+//! plane service, and the object tree + scheduler behind one lock table.
+//! Tasks run as closures (threads for [`Runtime::submit`]); every stateful
+//! operation flows through a [`crate::Network`] object, and the runtime
+//! enforces strict 2PL: locks accumulate during the task and release
+//! together at commit or abort.
+
+use crate::error::{TaskError, TaskResult};
+use crate::task::{TaskCtx, TaskReport, TaskState};
+use occam_emunet::DeviceService;
+use occam_netdb::Database;
+use occam_objtree::{ObjTree, ObjectId, TaskId};
+use occam_regex::PatternCache;
+use occam_sched::{Policy, SchedStats, Scheduler};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub(crate) struct LockState {
+    pub tree: ObjTree,
+    pub sched: Scheduler,
+    /// Tasks marked as deadlock victims; they observe the flag on wake-up
+    /// and abort with [`TaskError::Deadlock`].
+    pub aborted: HashSet<TaskId>,
+}
+
+pub(crate) struct LockTable {
+    pub state: Mutex<LockState>,
+    pub cv: Condvar,
+}
+
+struct Inner {
+    db: Arc<Database>,
+    service: Arc<dyn DeviceService>,
+    locks: LockTable,
+    cache: PatternCache,
+    next_task: AtomicU64,
+    seq: AtomicU64,
+}
+
+/// The Occam runtime handle. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Inner>,
+}
+
+impl Runtime {
+    /// Creates a runtime over a database and a device service, scheduling
+    /// locks with LDSF (the paper's default).
+    pub fn new(db: Arc<Database>, service: Arc<dyn DeviceService>) -> Runtime {
+        Runtime::with_policy(db, service, Policy::Ldsf)
+    }
+
+    /// Creates a runtime with an explicit scheduling policy.
+    pub fn with_policy(
+        db: Arc<Database>,
+        service: Arc<dyn DeviceService>,
+        policy: Policy,
+    ) -> Runtime {
+        Runtime {
+            inner: Arc::new(Inner {
+                db,
+                service,
+                locks: LockTable {
+                    state: Mutex::new(LockState {
+                        tree: ObjTree::new(),
+                        sched: Scheduler::new(policy),
+                        aborted: HashSet::new(),
+                    }),
+                    cv: Condvar::new(),
+                },
+                cache: PatternCache::default(),
+                next_task: AtomicU64::new(1),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The source-of-truth database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.inner.db
+    }
+
+    /// The device service.
+    pub fn service(&self) -> &Arc<dyn DeviceService> {
+        &self.inner.service
+    }
+
+    /// The shared pattern cache (paper §7: regex/FSM caching).
+    pub fn pattern_cache(&self) -> &PatternCache {
+        &self.inner.cache
+    }
+
+    /// A snapshot of scheduler statistics.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.inner.locks.state.lock().sched.stats.clone()
+    }
+
+    /// Number of active (non-root) nodes in the object tree.
+    pub fn active_objects(&self) -> usize {
+        self.inner.locks.state.lock().tree.len() - 1
+    }
+
+    pub(crate) fn next_arrival(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn locks(&self) -> &LockTable {
+        &self.inner.locks
+    }
+
+    /// Runs a management program synchronously as one Occam task and
+    /// returns its report. The task commits (releasing all locks) when the
+    /// program returns `Ok`, and aborts with a suggested rollback plan when
+    /// it returns `Err`.
+    pub fn run_task<F>(&self, name: &str, program: F) -> TaskReport
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()>,
+    {
+        self.run_task_opts(name, false, program)
+    }
+
+    /// Like [`Runtime::run_task`], optionally flagging the task urgent so
+    /// its lock requests pre-empt policy order (outage recovery, §5).
+    pub fn run_task_opts<F>(&self, name: &str, urgent: bool, program: F) -> TaskReport
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()>,
+    {
+        let id = TaskId(self.inner.next_task.fetch_add(1, Ordering::Relaxed));
+        let ctx = TaskCtx::new(self.clone(), id, name.to_string(), urgent);
+        let result = program(&ctx);
+        self.teardown(&ctx);
+        ctx.into_report(match result {
+            Ok(()) => (TaskState::Completed, None),
+            Err(e) => (TaskState::Aborted, Some(e)),
+        })
+    }
+
+    /// Spawns a management program on its own thread; the handle yields the
+    /// report.
+    pub fn submit<F>(&self, name: &str, program: F) -> std::thread::JoinHandle<TaskReport>
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
+    {
+        let rt = self.clone();
+        let name = name.to_string();
+        std::thread::spawn(move || rt.run_task(&name, program))
+    }
+
+    /// Like [`Runtime::submit`] with the urgent flag.
+    pub fn submit_urgent<F>(&self, name: &str, program: F) -> std::thread::JoinHandle<TaskReport>
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
+    {
+        let rt = self.clone();
+        let name = name.to_string();
+        std::thread::spawn(move || rt.run_task_opts(&name, true, program))
+    }
+
+    /// Acquires locks on every node covering `pattern` for `task`,
+    /// blocking until granted. Returns the covering node ids.
+    ///
+    /// Deadlocks are detected while blocked; the youngest task on a cycle
+    /// is aborted (it returns [`TaskError::Deadlock`]) and the survivors
+    /// proceed — the paper's §5 handling.
+    pub(crate) fn acquire(
+        &self,
+        ctx: &TaskCtx,
+        pattern: &occam_regex::Pattern,
+        mode: occam_objtree::LockMode,
+    ) -> TaskResult<Vec<ObjectId>> {
+        let task = ctx.task_id();
+        let lt = self.locks();
+        let mut st = lt.state.lock();
+        let covering = st.tree.insert_region(pattern);
+        // Record refs immediately so teardown releases them on any path.
+        ctx.record_covering(&covering);
+        if covering.is_empty() {
+            return Ok(covering);
+        }
+        let arrival = self.next_arrival();
+        for &obj in &covering {
+            st.tree.request_lock(task, obj, mode, arrival, ctx.urgent());
+        }
+        {
+            let state = &mut *st;
+            let _ = state.sched.sched(&mut state.tree);
+        }
+        lt.cv.notify_all();
+        loop {
+            if st.aborted.remove(&task) {
+                // A breaker released our locks already.
+                return Err(TaskError::Deadlock);
+            }
+            let all_held = covering.iter().all(|&obj| {
+                st.tree
+                    .holders_of(obj)
+                    .iter()
+                    .any(|&(t, _)| t == task)
+            });
+            if all_held {
+                return Ok(covering);
+            }
+            if let Some(cycle) = st.tree.find_deadlock_cycle() {
+                // Abort the youngest cycle member (largest id).
+                let victim = *cycle.iter().max().expect("cycle non-empty");
+                {
+                    let state = &mut *st;
+                    state.tree.release_task(victim);
+                    let _ = state.sched.sched(&mut state.tree);
+                }
+                if victim == task {
+                    lt.cv.notify_all();
+                    return Err(TaskError::Deadlock);
+                }
+                st.aborted.insert(victim);
+                lt.cv.notify_all();
+                continue;
+            }
+            lt.cv.wait(&mut st);
+        }
+    }
+
+    /// Releases everything `ctx`'s task holds: its locks (strict 2PL: all
+    /// at once) and its object references, then reschedules waiters.
+    fn teardown(&self, ctx: &TaskCtx) {
+        let lt = self.locks();
+        let mut st = lt.state.lock();
+        st.tree.release_task(ctx.task_id());
+        for obj in ctx.take_covering() {
+            st.tree.release_ref(obj);
+        }
+        st.aborted.remove(&ctx.task_id());
+        {
+            let state = &mut *st;
+            let _ = state.sched.sched(&mut state.tree);
+        }
+        lt.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_netdb::attrs;
+
+    fn runtime() -> Runtime {
+        crate::test_support::tiny_runtime()
+    }
+
+    #[test]
+    fn completed_task_releases_everything() {
+        let rt = runtime();
+        let report = rt.run_task("noop", |ctx| {
+            let net = ctx.network("dc01.pod00.*")?;
+            let _ = net.get(attrs::DEVICE_STATUS)?;
+            Ok(())
+        });
+        assert_eq!(report.state, TaskState::Completed);
+        assert_eq!(rt.active_objects(), 0, "tree drains after commit");
+    }
+
+    #[test]
+    fn failing_task_reports_abort_with_plan() {
+        let rt = runtime();
+        let report = rt.run_task("fails", |ctx| {
+            let net = ctx.network("dc01.pod00.*")?;
+            net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
+            Err(TaskError::Failed("manual step failed".into()))
+        });
+        assert_eq!(report.state, TaskState::Aborted);
+        assert!(report.error.is_some());
+        let plan = report.rollback.as_ref().expect("plan suggested");
+        assert_eq!(plan.arrow_notation(), "r(DB_CHANGE)");
+        assert_eq!(rt.active_objects(), 0);
+    }
+
+    #[test]
+    fn conflicting_tasks_serialize() {
+        let rt = runtime();
+        let marker = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let m1 = Arc::clone(&marker);
+        let rt1 = rt.clone();
+        let h1 = rt1.submit("writer1", move |ctx| {
+            let net = ctx.network("dc01.pod00.*")?;
+            net.set("X", 1i64.into())?;
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            // The other writer must not have run inside our critical
+            // section.
+            assert_eq!(m1.load(Ordering::SeqCst), 0);
+            Ok(())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let m2 = Arc::clone(&marker);
+        let report2 = rt.run_task("writer2", move |ctx| {
+            let net = ctx.network("dc01.pod00.*")?;
+            net.set("X", 2i64.into())?;
+            m2.store(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let report1 = h1.join().unwrap();
+        assert_eq!(report1.state, TaskState::Completed);
+        assert_eq!(report2.state, TaskState::Completed);
+    }
+
+    #[test]
+    fn deadlock_victim_aborts_and_survivor_completes() {
+        let rt = runtime();
+        let rt1 = rt.clone();
+        let h1 = rt1.submit("t1", move |ctx| {
+            let _a = ctx.network("dc01.pod00.*")?;
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            let _b = ctx.network("dc01.pod01.*")?;
+            Ok(())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let report2 = rt.run_task("t2", |ctx| {
+            let _b = ctx.network("dc01.pod01.*")?;
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            let _a = ctx.network("dc01.pod00.*")?;
+            Ok(())
+        });
+        let report1 = h1.join().unwrap();
+        let states = [report1.state, report2.state];
+        assert!(
+            states.contains(&TaskState::Completed),
+            "one task survives: {states:?}"
+        );
+        let aborted = [&report1, &report2]
+            .iter()
+            .filter(|r| r.state == TaskState::Aborted)
+            .count();
+        assert_eq!(aborted, 1, "exactly one deadlock victim");
+        assert_eq!(rt.active_objects(), 0);
+    }
+
+    #[test]
+    fn urgent_task_preempts_queue() {
+        // One long holder; a normal and an urgent task queue behind it.
+        let rt = runtime();
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let rt1 = rt.clone();
+        let h1 = rt1.submit("holder", move |ctx| {
+            let _a = ctx.network("dc01.pod00.*")?;
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            Ok(())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let o2 = Arc::clone(&order);
+        let rt2 = rt.clone();
+        let h2 = rt2.submit("normal", move |ctx| {
+            let _a = ctx.network("dc01.pod00.*")?;
+            o2.lock().push("normal");
+            Ok(())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let o3 = Arc::clone(&order);
+        let rt3 = rt.clone();
+        let h3 = rt3.submit_urgent("urgent", move |ctx| {
+            let _a = ctx.network("dc01.pod00.*")?;
+            o3.lock().push("urgent");
+            Ok(())
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+        h3.join().unwrap();
+        let order = order.lock();
+        assert_eq!(
+            order.first(),
+            Some(&"urgent"),
+            "urgent task ran first: {order:?}"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Task context, execution log, and reports.
+
+use crate::error::TaskResult;
+use crate::network::Network;
+use crate::runtime::Runtime;
+use crate::TaskError;
+use occam_netdb::{AttrValue, LinkKey};
+use occam_objtree::{LockMode, ObjectId, TaskId};
+use occam_rollback::{parse_log, rollback_plan, LogEntry, RollbackPlan};
+use parking_lot::Mutex;
+
+/// Lifecycle state of a task (paper §4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskState {
+    /// Enqueued, not yet selected to run.
+    Submitted,
+    /// Running with some progress made.
+    Active,
+    /// Successfully finished; all changes committed.
+    Completed,
+    /// Hit a runtime failure; rollback suggested.
+    Aborted,
+}
+
+/// Undo payload paired with one execution-log entry.
+#[derive(Clone, PartialEq, Debug)]
+pub enum UndoRecord {
+    /// Old per-device values overwritten by a `set()` (None = attribute was
+    /// absent).
+    Db {
+        /// Attribute written.
+        attr: String,
+        /// `(device, previous value)` pairs.
+        old: Vec<(String, Option<AttrValue>)>,
+    },
+    /// Old per-link values overwritten by a `set_links()`.
+    LinkDb {
+        /// Attribute written.
+        attr: String,
+        /// `(link, previous value)` pairs.
+        old: Vec<(LinkKey, Option<AttrValue>)>,
+    },
+    /// A device row was inserted by the task (undo: delete it).
+    Inserted {
+        /// Device name.
+        name: String,
+    },
+    /// A device row was deleted by the task (undo: re-insert it with its
+    /// attributes and links).
+    Removed {
+        /// Device name.
+        name: String,
+        /// The attributes the row had.
+        attrs: Vec<(String, AttrValue)>,
+        /// The links the device had: `(peer, link attributes)`.
+        links: Vec<(String, Vec<(String, AttrValue)>)>,
+    },
+    /// No database payload (device functions).
+    None,
+}
+
+/// The result of running one Occam task.
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    /// Task identifier.
+    pub task_id: TaskId,
+    /// Task name (for operators).
+    pub name: String,
+    /// Final lifecycle state.
+    pub state: TaskState,
+    /// The error that aborted the task, if any.
+    pub error: Option<TaskError>,
+    /// The typed execution log (rollback grammar input).
+    pub log: Vec<LogEntry>,
+    /// Undo payloads parallel to `log`.
+    pub undo: Vec<UndoRecord>,
+    /// Untyped operations outside the rollback grammar (informational).
+    pub activity: Vec<String>,
+    /// Offset from task start at which each log entry was recorded
+    /// (parallel to `log`) — the paper's per-operation progress tracking.
+    pub op_offsets: Vec<std::time::Duration>,
+    /// Total wall time of the task.
+    pub wall: std::time::Duration,
+    /// Suggested rollback plan (aborted tasks with a parseable log).
+    pub rollback: Option<RollbackPlan>,
+    /// Present when the log failed to parse against the grammar.
+    pub rollback_error: Option<String>,
+}
+
+impl TaskReport {
+    /// Operator-facing rollback step descriptions.
+    pub fn rollback_steps(&self) -> Vec<String> {
+        self.rollback
+            .as_ref()
+            .map(|p| p.describe(&self.log))
+            .unwrap_or_default()
+    }
+}
+
+/// The per-task execution context handed to management programs.
+///
+/// All stateful interaction with the network goes through
+/// [`TaskCtx::network`] / [`TaskCtx::network_read`]; everything else a
+/// program does is stateless local computation (paper §3.2).
+pub struct TaskCtx {
+    runtime: Runtime,
+    task_id: TaskId,
+    name: String,
+    urgent: bool,
+    started: std::time::Instant,
+    pub(crate) log: Mutex<Vec<LogEntry>>,
+    pub(crate) undo: Mutex<Vec<UndoRecord>>,
+    pub(crate) activity: Mutex<Vec<String>>,
+    op_offsets: Mutex<Vec<std::time::Duration>>,
+    covering: Mutex<Vec<ObjectId>>,
+}
+
+impl TaskCtx {
+    pub(crate) fn new(runtime: Runtime, task_id: TaskId, name: String, urgent: bool) -> TaskCtx {
+        TaskCtx {
+            runtime,
+            task_id,
+            name,
+            urgent,
+            started: std::time::Instant::now(),
+            log: Mutex::new(Vec::new()),
+            undo: Mutex::new(Vec::new()),
+            activity: Mutex::new(Vec::new()),
+            op_offsets: Mutex::new(Vec::new()),
+            covering: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// This task's id.
+    pub fn task_id(&self) -> TaskId {
+        self.task_id
+    }
+
+    /// This task's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the task was submitted urgent.
+    pub fn urgent(&self) -> bool {
+        self.urgent
+    }
+
+    /// The runtime this task runs under.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Creates a network object over `scope` (glob syntax, e.g.
+    /// `dc01.pod03.*`) with write intent: `get`, `set`, and `apply` are all
+    /// allowed, and the region is locked exclusively.
+    ///
+    /// Blocks until the lock is granted; may fail as a deadlock victim.
+    pub fn network(&self, scope: &str) -> TaskResult<Network<'_>> {
+        let pattern = self
+            .runtime
+            .pattern_cache()
+            .get(&occam_regex::glob_to_regex(scope))?;
+        let covering = self.runtime.acquire(self, &pattern, LockMode::Exclusive)?;
+        Ok(Network::new(self, pattern, covering, LockMode::Exclusive))
+    }
+
+    /// Creates a read-only network object over `scope` (shared lock); only
+    /// `get` operations are allowed.
+    pub fn network_read(&self, scope: &str) -> TaskResult<Network<'_>> {
+        let pattern = self
+            .runtime
+            .pattern_cache()
+            .get(&occam_regex::glob_to_regex(scope))?;
+        let covering = self.runtime.acquire(self, &pattern, LockMode::Shared)?;
+        Ok(Network::new(self, pattern, covering, LockMode::Shared))
+    }
+
+    /// Creates a write-intent network object from a raw regex scope.
+    pub fn network_regex(&self, regex: &str) -> TaskResult<Network<'_>> {
+        let pattern = self.runtime.pattern_cache().get(regex)?;
+        let covering = self.runtime.acquire(self, &pattern, LockMode::Exclusive)?;
+        Ok(Network::new(self, pattern, covering, LockMode::Exclusive))
+    }
+
+    /// Creates a write-intent network object scoped to exactly the given
+    /// device names (the paper's `to_regex(dev_names)` helper).
+    pub fn network_of_devices<S: AsRef<str>>(&self, names: &[S]) -> TaskResult<Network<'_>> {
+        let pattern = occam_regex::Pattern::from_names(names)?;
+        let covering = self.runtime.acquire(self, &pattern, LockMode::Exclusive)?;
+        Ok(Network::new(self, pattern, covering, LockMode::Exclusive))
+    }
+
+    pub(crate) fn record_covering(&self, ids: &[ObjectId]) {
+        self.covering.lock().extend_from_slice(ids);
+    }
+
+    pub(crate) fn take_covering(&self) -> Vec<ObjectId> {
+        std::mem::take(&mut *self.covering.lock())
+    }
+
+    pub(crate) fn push_log(&self, entry: LogEntry, undo: UndoRecord) {
+        self.log.lock().push(entry);
+        self.undo.lock().push(undo);
+        self.op_offsets.lock().push(self.started.elapsed());
+    }
+
+    pub(crate) fn push_activity(&self, line: String) {
+        self.activity.lock().push(line);
+    }
+
+    pub(crate) fn into_report(self, outcome: (TaskState, Option<TaskError>)) -> TaskReport {
+        let (state, error) = outcome;
+        let wall = self.started.elapsed();
+        let log = self.log.into_inner();
+        let undo = self.undo.into_inner();
+        let activity = self.activity.into_inner();
+        let op_offsets = self.op_offsets.into_inner();
+        let (rollback, rollback_error) = if state == TaskState::Aborted {
+            match parse_log(&log) {
+                Ok(tree) => (Some(rollback_plan(&tree)), None),
+                Err(e) => (None, Some(e.to_string())),
+            }
+        } else {
+            (None, None)
+        };
+        TaskReport {
+            task_id: self.task_id,
+            name: self.name,
+            state,
+            error,
+            log,
+            undo,
+            activity,
+            op_offsets,
+            wall,
+            rollback,
+            rollback_error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_rollback::OpType;
+
+    #[test]
+    fn report_generation_for_aborted_task() {
+        let rt = crate::test_support::tiny_runtime();
+        let ctx = TaskCtx::new(rt, TaskId(1), "t".into(), false);
+        ctx.push_log(
+            LogEntry::ok(OpType::DbChange, "set(X)"),
+            UndoRecord::Db {
+                attr: "X".into(),
+                old: vec![("d".into(), None)],
+            },
+        );
+        let report = ctx.into_report((TaskState::Aborted, Some(TaskError::Failed("x".into()))));
+        assert_eq!(report.state, TaskState::Aborted);
+        let plan = report.rollback.as_ref().unwrap();
+        assert_eq!(plan.arrow_notation(), "r(DB_CHANGE)");
+        assert_eq!(report.rollback_steps().len(), 1);
+    }
+
+    #[test]
+    fn op_offsets_track_progress_monotonically() {
+        let rt = crate::test_support::tiny_runtime();
+        let report = rt.run_task("timed", |ctx| {
+            let net = ctx.network("dc01.pod00.agg00")?;
+            net.apply("f_drain")?;
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            net.apply("f_undrain")?;
+            Ok(())
+        });
+        assert_eq!(report.op_offsets.len(), report.log.len());
+        assert!(report.op_offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.wall >= *report.op_offsets.last().unwrap());
+        assert!(report.op_offsets[1] - report.op_offsets[0] >= std::time::Duration::from_millis(9));
+    }
+
+    #[test]
+    fn completed_task_has_no_plan() {
+        let rt = crate::test_support::tiny_runtime();
+        let ctx = TaskCtx::new(rt, TaskId(2), "t".into(), false);
+        let report = ctx.into_report((TaskState::Completed, None));
+        assert!(report.rollback.is_none());
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn malformed_log_reports_grammar_error() {
+        let rt = crate::test_support::tiny_runtime();
+        let ctx = TaskCtx::new(rt, TaskId(3), "t".into(), false);
+        // UNDRAIN without DRAIN: outside the grammar.
+        ctx.push_log(
+            LogEntry::ok(OpType::Undrain, "apply(f_undrain)"),
+            UndoRecord::None,
+        );
+        let report = ctx.into_report((TaskState::Aborted, Some(TaskError::Failed("x".into()))));
+        assert!(report.rollback.is_none());
+        assert!(report.rollback_error.is_some());
+    }
+}

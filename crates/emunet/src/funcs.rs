@@ -1,0 +1,480 @@
+//! The device-function library — Occam's fixed set of reusable device-level
+//! operations (the "Building Blocks" of CORNET-style workflow systems).
+//!
+//! Each function is executed against the emulated network through the
+//! management plane. The library supports deterministic fault injection by
+//! function name and invocation ordinal, which the rollback experiments use
+//! to fail a task at every step.
+
+use crate::net::EmuNet;
+use crate::switch::FlowClass;
+use occam_topology::DeviceId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Key-value arguments to a device function.
+#[derive(Clone, Default, Debug)]
+pub struct FuncArgs(pub HashMap<String, String>);
+
+impl FuncArgs {
+    /// No arguments.
+    pub fn none() -> FuncArgs {
+        FuncArgs::default()
+    }
+
+    /// A single key-value pair.
+    pub fn one(key: &str, value: &str) -> FuncArgs {
+        let mut m = HashMap::new();
+        m.insert(key.to_string(), value.to_string());
+        FuncArgs(m)
+    }
+
+    /// Adds a pair (builder style).
+    pub fn with(mut self, key: &str, value: &str) -> FuncArgs {
+        self.0.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Fetches a value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+}
+
+/// An error executing a device function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FuncError {
+    /// The function name is not in the library.
+    UnknownFunc(String),
+    /// A device name did not resolve.
+    UnknownDevice(String),
+    /// The device exists but is not a managed switch.
+    NotASwitch(String),
+    /// A precondition failed (e.g. ping without a test IP).
+    Precondition(String),
+    /// An injected fault fired.
+    Injected {
+        /// Function name.
+        func: String,
+        /// Which invocation (0-based) failed.
+        nth: u64,
+    },
+}
+
+impl std::fmt::Display for FuncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FuncError::UnknownFunc(n) => write!(f, "unknown device function {n}"),
+            FuncError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            FuncError::NotASwitch(d) => write!(f, "{d} is not a managed switch"),
+            FuncError::Precondition(m) => write!(f, "precondition failed: {m}"),
+            FuncError::Injected { func, nth } => {
+                write!(f, "injected failure: {func} invocation #{nth}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuncError {}
+
+/// Result of a device function: a human-readable summary.
+pub type FuncResult = Result<String, FuncError>;
+
+/// The names of every function in the library.
+pub const FUNC_NAMES: &[&str] = &[
+    "f_drain",
+    "f_undrain",
+    "f_push",
+    "f_upgrade_data_plane",
+    "f_turnup_link",
+    "f_alloc_ip",
+    "f_dealloc_ip",
+    "f_ping_test",
+    "f_optic_test",
+    "f_denylist",
+    "f_undenylist",
+    "f_reroute_middlebox",
+    "f_create_config",
+];
+
+/// The function library with per-function fault injection and counters.
+#[derive(Debug, Default)]
+pub struct FuncLibrary {
+    /// `func → invocation ordinals that must fail`.
+    faults: Mutex<HashMap<String, HashSet<u64>>>,
+    counts: Mutex<HashMap<String, u64>>,
+}
+
+impl FuncLibrary {
+    /// Creates a library with no injected faults.
+    pub fn new() -> FuncLibrary {
+        FuncLibrary::default()
+    }
+
+    /// Injects a failure on the `nth` (0-based) future invocation of
+    /// `func`, counted from now.
+    pub fn fail_at(&self, func: &str, nth: u64) {
+        let current = self.counts.lock().get(func).copied().unwrap_or(0);
+        self.faults
+            .lock()
+            .entry(func.to_string())
+            .or_default()
+            .insert(current + nth);
+    }
+
+    /// Clears all injected faults.
+    pub fn clear_faults(&self) {
+        self.faults.lock().clear();
+    }
+
+    /// Invocation count of a function.
+    pub fn invocations(&self, func: &str) -> u64 {
+        self.counts.lock().get(func).copied().unwrap_or(0)
+    }
+
+    fn check_fault(&self, func: &str) -> Result<u64, FuncError> {
+        let mut counts = self.counts.lock();
+        let nth = counts.entry(func.to_string()).or_insert(0);
+        let this = *nth;
+        *nth += 1;
+        drop(counts);
+        if self
+            .faults
+            .lock()
+            .get(func)
+            .is_some_and(|s| s.contains(&this))
+        {
+            Err(FuncError::Injected {
+                func: func.to_string(),
+                nth: this,
+            })
+        } else {
+            Ok(this)
+        }
+    }
+
+    fn resolve(net: &EmuNet, names: &[String]) -> Result<Vec<DeviceId>, FuncError> {
+        names
+            .iter()
+            .map(|n| {
+                let id = net
+                    .device_by_name(n)
+                    .ok_or_else(|| FuncError::UnknownDevice(n.clone()))?;
+                if net.switch(id).is_none() {
+                    return Err(FuncError::NotASwitch(n.clone()));
+                }
+                Ok(id)
+            })
+            .collect()
+    }
+
+    /// Executes `func` on the named devices.
+    pub fn execute(
+        &self,
+        net: &mut EmuNet,
+        func: &str,
+        devices: &[String],
+        args: &FuncArgs,
+    ) -> FuncResult {
+        if !FUNC_NAMES.contains(&func) {
+            return Err(FuncError::UnknownFunc(func.to_string()));
+        }
+        self.check_fault(func)?;
+        let ids = Self::resolve(net, devices)?;
+        match func {
+            "f_drain" => {
+                for &id in &ids {
+                    net.switch_mut(id).expect("resolved").drained = true;
+                }
+                Ok(format!("drained {} devices", ids.len()))
+            }
+            "f_undrain" => {
+                for &id in &ids {
+                    net.switch_mut(id).expect("resolved").drained = false;
+                }
+                Ok(format!("undrained {} devices", ids.len()))
+            }
+            "f_push" => {
+                // Pushing configuration writes the device's full admin
+                // state. `admin` defaults to `active`: a task unaware of a
+                // concurrent drain will overwrite it — the exact race of
+                // case study #1.
+                let drained = matches!(args.get("admin"), Some("drained"));
+                for &id in &ids {
+                    let s = net.switch_mut(id).expect("resolved");
+                    s.drained = drained;
+                    if let Some(fw) = args.get("firmware") {
+                        s.firmware = fw.to_string();
+                    }
+                    s.config_generation += 1;
+                }
+                Ok(format!("pushed config to {} devices", ids.len()))
+            }
+            "f_upgrade_data_plane" => {
+                let program = args.get("program").unwrap_or("ecmp_v2");
+                match args.get("phase") {
+                    Some("begin") => {
+                        for &id in &ids {
+                            net.switch_mut(id).expect("resolved").upgrading = true;
+                        }
+                        Ok("upgrade started".to_string())
+                    }
+                    Some("commit") => {
+                        for &id in &ids {
+                            let s = net.switch_mut(id).expect("resolved");
+                            s.dataplane = program.to_string();
+                            s.upgrading = false;
+                        }
+                        Ok(format!("upgraded to {program}"))
+                    }
+                    _ => {
+                        for &id in &ids {
+                            let s = net.switch_mut(id).expect("resolved");
+                            s.dataplane = program.to_string();
+                        }
+                        Ok(format!("upgraded to {program}"))
+                    }
+                }
+            }
+            "f_turnup_link" => {
+                let mut n = 0;
+                for &id in &ids {
+                    for &(_, link) in net.topo.neighbors(id).to_vec().iter() {
+                        if !net.link_is_up(link) {
+                            net.set_link(link, true);
+                            n += 1;
+                        }
+                    }
+                }
+                Ok(format!("turned up {n} links"))
+            }
+            "f_alloc_ip" => {
+                for (i, &id) in ids.iter().enumerate() {
+                    let ip = args
+                        .get("ip")
+                        .map(str::to_string)
+                        .unwrap_or_else(|| format!("198.51.100.{}", i + 1));
+                    net.switch_mut(id).expect("resolved").test_ip = Some(ip);
+                }
+                Ok(format!("allocated test IPs on {} devices", ids.len()))
+            }
+            "f_dealloc_ip" => {
+                for &id in &ids {
+                    net.switch_mut(id).expect("resolved").test_ip = None;
+                }
+                Ok(format!("deallocated test IPs on {} devices", ids.len()))
+            }
+            "f_ping_test" => {
+                for (&id, name) in ids.iter().zip(devices) {
+                    if net.switch(id).expect("resolved").test_ip.is_none() {
+                        return Err(FuncError::Precondition(format!(
+                            "{name} has no test IP allocated"
+                        )));
+                    }
+                }
+                Ok(format!("ping ok on {} devices", ids.len()))
+            }
+            "f_optic_test" => Ok(format!("optics ok on {} devices", ids.len())),
+            "f_denylist" => {
+                let class = parse_class(args.get("class"))?;
+                for &id in &ids {
+                    let s = net.switch_mut(id).expect("resolved");
+                    if !s.denylist.contains(&class) {
+                        s.denylist.push(class);
+                    }
+                }
+                Ok(format!("denylisted {class:?} on {} devices", ids.len()))
+            }
+            "f_undenylist" => {
+                let class = parse_class(args.get("class"))?;
+                for &id in &ids {
+                    net.switch_mut(id)
+                        .expect("resolved")
+                        .denylist
+                        .retain(|&c| c != class);
+                }
+                Ok(format!("removed {class:?} denylist on {} devices", ids.len()))
+            }
+            "f_reroute_middlebox" => {
+                if args.get("enable") == Some("false") {
+                    net.middlebox = None;
+                    Ok("middlebox rerouting disabled".to_string())
+                } else {
+                    let mb = *ids.first().ok_or_else(|| {
+                        FuncError::Precondition("middlebox device required".into())
+                    })?;
+                    net.middlebox = Some(mb);
+                    Ok(format!("rerouting inspected traffic via {}", devices[0]))
+                }
+            }
+            "f_create_config" => Ok(format!("generated configs for {} devices", ids.len())),
+            _ => unreachable!("membership checked against FUNC_NAMES"),
+        }
+    }
+}
+
+fn parse_class(arg: Option<&str>) -> Result<FlowClass, FuncError> {
+    match arg {
+        Some("suspicious") | None => Ok(FlowClass::Suspicious),
+        Some("background") => Ok(FlowClass::Background),
+        Some("inspected") => Ok(FlowClass::Inspected),
+        Some(other) => Err(FuncError::Precondition(format!(
+            "unknown traffic class {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_topology::FatTree;
+
+    fn setup() -> (EmuNet, FuncLibrary, Vec<String>) {
+        let ft = FatTree::build(1, 4).unwrap();
+        let net = EmuNet::from_fattree(&ft);
+        let devs = vec![net.topo.device(ft.aggs[0][0]).name.clone()];
+        (net, FuncLibrary::new(), devs)
+    }
+
+    #[test]
+    fn drain_undrain_cycle() {
+        let (mut net, lib, devs) = setup();
+        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none()).unwrap();
+        let id = net.device_by_name(&devs[0]).unwrap();
+        assert!(net.switch(id).unwrap().drained);
+        lib.execute(&mut net, "f_undrain", &devs, &FuncArgs::none()).unwrap();
+        assert!(!net.switch(id).unwrap().drained);
+    }
+
+    #[test]
+    fn push_overwrites_drain_by_default() {
+        let (mut net, lib, devs) = setup();
+        let id = net.device_by_name(&devs[0]).unwrap();
+        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_push", &devs, &FuncArgs::none()).unwrap();
+        assert!(!net.switch(id).unwrap().drained, "default push resets admin state");
+        // Pushing with admin=drained preserves the drain.
+        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_push", &devs, &FuncArgs::one("admin", "drained"))
+            .unwrap();
+        assert!(net.switch(id).unwrap().drained);
+        assert_eq!(net.switch(id).unwrap().config_generation, 2);
+    }
+
+    #[test]
+    fn upgrade_phases() {
+        let (mut net, lib, devs) = setup();
+        let id = net.device_by_name(&devs[0]).unwrap();
+        lib.execute(
+            &mut net,
+            "f_upgrade_data_plane",
+            &devs,
+            &FuncArgs::one("phase", "begin"),
+        )
+        .unwrap();
+        assert!(net.switch(id).unwrap().upgrading);
+        lib.execute(
+            &mut net,
+            "f_upgrade_data_plane",
+            &devs,
+            &FuncArgs::one("phase", "commit").with("program", "ecmp_v2"),
+        )
+        .unwrap();
+        let s = net.switch(id).unwrap();
+        assert!(!s.upgrading);
+        assert_eq!(s.dataplane, "ecmp_v2");
+    }
+
+    #[test]
+    fn ping_requires_alloc_ip() {
+        let (mut net, lib, devs) = setup();
+        let err = lib
+            .execute(&mut net, "f_ping_test", &devs, &FuncArgs::none())
+            .unwrap_err();
+        assert!(matches!(err, FuncError::Precondition(_)));
+        lib.execute(&mut net, "f_alloc_ip", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_ping_test", &devs, &FuncArgs::none()).unwrap();
+        // Another workflow deallocates (the case study #4 interleaving bug).
+        lib.execute(&mut net, "f_dealloc_ip", &devs, &FuncArgs::none()).unwrap();
+        assert!(lib
+            .execute(&mut net, "f_ping_test", &devs, &FuncArgs::none())
+            .is_err());
+    }
+
+    #[test]
+    fn fault_injection_fails_exact_invocation() {
+        let (mut net, lib, devs) = setup();
+        lib.execute(&mut net, "f_optic_test", &devs, &FuncArgs::none()).unwrap();
+        lib.fail_at("f_optic_test", 1); // the second invocation from now
+        lib.execute(&mut net, "f_optic_test", &devs, &FuncArgs::none()).unwrap();
+        let err = lib
+            .execute(&mut net, "f_optic_test", &devs, &FuncArgs::none())
+            .unwrap_err();
+        assert!(matches!(err, FuncError::Injected { nth: 2, .. }));
+        assert_eq!(lib.invocations("f_optic_test"), 3);
+    }
+
+    #[test]
+    fn unknown_func_and_device_rejected() {
+        let (mut net, lib, devs) = setup();
+        assert!(matches!(
+            lib.execute(&mut net, "f_bogus", &devs, &FuncArgs::none()),
+            Err(FuncError::UnknownFunc(_))
+        ));
+        assert!(matches!(
+            lib.execute(&mut net, "f_drain", &["nope".into()], &FuncArgs::none()),
+            Err(FuncError::UnknownDevice(_))
+        ));
+        assert!(matches!(
+            lib.execute(
+                &mut net,
+                "f_drain",
+                &["dc01.pod00.tor00.host00".into()],
+                &FuncArgs::none()
+            ),
+            Err(FuncError::NotASwitch(_))
+        ));
+    }
+
+    #[test]
+    fn denylist_roundtrip() {
+        let (mut net, lib, devs) = setup();
+        let id = net.device_by_name(&devs[0]).unwrap();
+        lib.execute(&mut net, "f_denylist", &devs, &FuncArgs::one("class", "suspicious"))
+            .unwrap();
+        assert!(!net.switch(id).unwrap().forwards(FlowClass::Suspicious));
+        lib.execute(
+            &mut net,
+            "f_undenylist",
+            &devs,
+            &FuncArgs::one("class", "suspicious"),
+        )
+        .unwrap();
+        assert!(net.switch(id).unwrap().forwards(FlowClass::Suspicious));
+    }
+
+    #[test]
+    fn middlebox_toggle() {
+        let (mut net, lib, devs) = setup();
+        lib.execute(&mut net, "f_reroute_middlebox", &devs, &FuncArgs::none()).unwrap();
+        assert!(net.middlebox.is_some());
+        lib.execute(
+            &mut net,
+            "f_reroute_middlebox",
+            &devs,
+            &FuncArgs::one("enable", "false"),
+        )
+        .unwrap();
+        assert!(net.middlebox.is_none());
+    }
+
+    #[test]
+    fn turnup_links_raises_down_links() {
+        let (mut net, lib, devs) = setup();
+        let id = net.device_by_name(&devs[0]).unwrap();
+        let (_, link) = net.topo.neighbors(id)[0];
+        net.set_link(link, false);
+        lib.execute(&mut net, "f_turnup_link", &devs, &FuncArgs::none()).unwrap();
+        assert!(net.link_is_up(link));
+    }
+}

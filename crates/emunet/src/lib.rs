@@ -1,0 +1,44 @@
+//! # occam-emunet
+//!
+//! The emulated network substrate — the role played by Mininet + bmv2 +
+//! P4Runtime in the Occam paper's evaluation platform (§7).
+//!
+//! The emulator models a datacenter fabric at flow granularity: software
+//! switches with drain state, data-plane programs, firmware, ACLs, and test
+//! addressing; links that can be up or down; and host-to-host flows routed
+//! by ECMP each tick. That is exactly the observability the paper's case
+//! studies need (traffic-rate timelines during conflicting management
+//! tasks, Figures 12–13).
+//!
+//! Management code reaches devices only through the [`DeviceService`]
+//! trait — the stand-in for the RPC boundary to vendor services — and the
+//! device-function library ([`FuncLibrary`]) provides the reusable
+//! building-block operations of Table 2 with deterministic fault injection.
+//!
+//! # Examples
+//!
+//! ```
+//! use occam_emunet::{DeviceService, EmuNet, EmuService, FlowClass, FuncArgs};
+//! use occam_topology::FatTree;
+//!
+//! let ft = FatTree::build(1, 6).unwrap(); // the paper's k=6 fabric
+//! let mut net = EmuNet::from_fattree(&ft);
+//! let flow = net.add_flow(ft.hosts[0][0][0], ft.hosts[3][0][0], 100.0, FlowClass::Background);
+//! let svc = EmuService::new(net);
+//!
+//! // Drain one aggregation switch; ECMP keeps the flow alive.
+//! let agg = { let n = svc.net(); let g = n.lock(); g.topo.device(ft.aggs[0][0]).name.clone() };
+//! svc.execute("f_drain", &[agg], &FuncArgs::none()).unwrap();
+//! let sample = svc.step();
+//! assert_eq!(sample.flow_rate[&flow].1, 100.0);
+//! ```
+
+pub mod funcs;
+pub mod net;
+pub mod service;
+pub mod switch;
+
+pub use funcs::{FuncArgs, FuncError, FuncLibrary, FuncResult, FUNC_NAMES};
+pub use net::{Delivery, EmuNet, Flow, TrafficSample};
+pub use service::{DeviceService, EmuService, UnreachableService};
+pub use switch::{FlowClass, SwitchState};

@@ -1,0 +1,121 @@
+//! The management-plane service boundary.
+//!
+//! In the paper's platform, Occam tasks reach physical devices through
+//! infrastructure services over RPC (P4Runtime toward bmv2 switches). This
+//! trait is that boundary: the runtime programs against [`DeviceService`],
+//! and the in-process implementation drives the emulated network. A real
+//! deployment would implement the same trait against vendor services.
+
+use crate::funcs::{FuncArgs, FuncError, FuncLibrary, FuncResult};
+use crate::net::{EmuNet, TrafficSample};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The channel through which management code touches physical devices.
+pub trait DeviceService: Send + Sync {
+    /// Executes a device function on the named devices.
+    fn execute(&self, func: &str, devices: &[String], args: &FuncArgs) -> FuncResult;
+
+    /// Advances emulated time by `ticks` (no-op for real deployments where
+    /// time advances on its own).
+    fn advance(&self, ticks: u64);
+
+    /// Downcast support, so harnesses can reach implementation-specific
+    /// surface (e.g. the emulator's fault injector) through a trait object.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// In-process service driving an [`EmuNet`].
+pub struct EmuService {
+    net: Arc<Mutex<EmuNet>>,
+    lib: Arc<FuncLibrary>,
+}
+
+impl EmuService {
+    /// Wraps an emulated network.
+    pub fn new(net: EmuNet) -> EmuService {
+        EmuService {
+            net: Arc::new(Mutex::new(net)),
+            lib: Arc::new(FuncLibrary::new()),
+        }
+    }
+
+    /// Shared handle to the network (for assertions and traffic setup).
+    pub fn net(&self) -> Arc<Mutex<EmuNet>> {
+        Arc::clone(&self.net)
+    }
+
+    /// The function library (for fault injection).
+    pub fn library(&self) -> Arc<FuncLibrary> {
+        Arc::clone(&self.lib)
+    }
+
+    /// Steps the network once and returns the traffic sample.
+    pub fn step(&self) -> TrafficSample {
+        self.net.lock().step()
+    }
+}
+
+impl DeviceService for EmuService {
+    fn execute(&self, func: &str, devices: &[String], args: &FuncArgs) -> FuncResult {
+        let mut net = self.net.lock();
+        self.lib.execute(&mut net, func, devices, args)
+    }
+
+    fn advance(&self, ticks: u64) {
+        self.net.lock().run(ticks);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A service wrapper that fails every call (for error-path tests).
+pub struct UnreachableService;
+
+impl DeviceService for UnreachableService {
+    fn execute(&self, func: &str, _devices: &[String], _args: &FuncArgs) -> FuncResult {
+        Err(FuncError::Precondition(format!(
+            "management interface unreachable while executing {func}"
+        )))
+    }
+
+    fn advance(&self, _ticks: u64) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::FlowClass;
+    use occam_topology::FatTree;
+
+    #[test]
+    fn service_executes_against_shared_net() {
+        let ft = FatTree::build(1, 4).unwrap();
+        let mut net = EmuNet::from_fattree(&ft);
+        let f = net.add_flow(ft.hosts[0][0][0], ft.hosts[1][0][0], 10.0, FlowClass::Background);
+        let svc = EmuService::new(net);
+        let agg = {
+            let n = svc.net();
+            let guard = n.lock();
+            guard.topo.device(ft.aggs[0][0]).name.clone()
+        };
+        svc.execute("f_drain", std::slice::from_ref(&agg), &FuncArgs::none())
+            .unwrap();
+        let sample = svc.step();
+        assert_eq!(sample.flow_rate[&f].1, 10.0, "ECMP routes around one drained agg");
+        svc.advance(3);
+        assert_eq!(svc.net().lock().now(), 4);
+    }
+
+    #[test]
+    fn unreachable_service_always_errors() {
+        let svc = UnreachableService;
+        assert!(svc.execute("f_drain", &[], &FuncArgs::none()).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-switch emulated state.
+
+/// Traffic classes used by the emulation case studies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FlowClass {
+    /// Ordinary user traffic.
+    Background,
+    /// Traffic that a `denylist` task blocks.
+    Suspicious,
+    /// Traffic that a `middlebox_rerouting` task steers through a
+    /// middlebox.
+    Inspected,
+}
+
+/// The mutable state of one emulated switch.
+///
+/// This mirrors what the paper's bmv2 devices expose through P4Runtime:
+/// drain state, the running data-plane program, firmware, temporary test
+/// addressing, and ACL (denylist) entries.
+#[derive(Clone, Debug)]
+pub struct SwitchState {
+    /// Drained switches carry no traffic; the control plane routes around
+    /// them.
+    pub drained: bool,
+    /// True while a data-plane upgrade is in progress. An *undrained*
+    /// upgrading switch black-holes traffic — the hazard of case study #1.
+    pub upgrading: bool,
+    /// Installed firmware version.
+    pub firmware: String,
+    /// Name of the running data-plane program.
+    pub dataplane: String,
+    /// Temporary test IP allocated by `f_alloc_ip`.
+    pub test_ip: Option<String>,
+    /// Traffic classes this switch drops (ACL denylist).
+    pub denylist: Vec<FlowClass>,
+    /// Generation counter bumped by every config push (visible for tests).
+    pub config_generation: u64,
+}
+
+impl Default for SwitchState {
+    fn default() -> Self {
+        SwitchState {
+            drained: false,
+            upgrading: false,
+            firmware: "fw-1.0.0".to_string(),
+            dataplane: "ecmp_v1".to_string(),
+            test_ip: None,
+            denylist: Vec::new(),
+            config_generation: 0,
+        }
+    }
+}
+
+impl SwitchState {
+    /// True if the switch forwards a packet of `class`.
+    pub fn forwards(&self, class: FlowClass) -> bool {
+        !self.denylist.contains(&class)
+    }
+
+    /// True if the switch corrupts transiting traffic (upgrading while
+    /// carrying traffic).
+    pub fn black_holes(&self) -> bool {
+        self.upgrading && !self.drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_switch_forwards_everything() {
+        let s = SwitchState::default();
+        assert!(s.forwards(FlowClass::Background));
+        assert!(s.forwards(FlowClass::Suspicious));
+        assert!(!s.black_holes());
+        assert!(!s.drained);
+    }
+
+    #[test]
+    fn denylist_blocks_class() {
+        let mut s = SwitchState::default();
+        s.denylist.push(FlowClass::Suspicious);
+        assert!(!s.forwards(FlowClass::Suspicious));
+        assert!(s.forwards(FlowClass::Background));
+    }
+
+    #[test]
+    fn upgrade_without_drain_black_holes() {
+        let mut s = SwitchState {
+            upgrading: true,
+            ..SwitchState::default()
+        };
+        assert!(s.black_holes());
+        s.drained = true;
+        assert!(!s.black_holes(), "a drained switch carries no traffic to corrupt");
+    }
+}

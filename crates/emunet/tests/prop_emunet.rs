@@ -1,0 +1,123 @@
+//! Property tests for the emulated network: routing and delivery
+//! invariants under random drain/link/deny configurations.
+
+use occam_emunet::{Delivery, EmuNet, FlowClass};
+use occam_topology::{DeviceId, FatTree, LinkId};
+use proptest::prelude::*;
+
+fn build() -> (EmuNet, FatTree) {
+    let ft = FatTree::build(1, 4).unwrap();
+    (EmuNet::from_fattree(&ft), ft)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever subset of aggs/cores is drained and links are down, every
+    /// flow either delivers at full rate over a live path or is classified
+    /// NoPath — never silently partial.
+    #[test]
+    fn delivery_is_all_or_nothing(
+        drained in proptest::collection::vec(any::<bool>(), 12),
+        down_links in proptest::collection::vec(0u32..100, 0..6),
+        pairs in proptest::collection::vec((0usize..16, 0usize..16), 1..5),
+    ) {
+        let (mut net, ft) = build();
+        // Drain a subset of non-ToR switches (aggs then cores).
+        let mut idx = 0;
+        for pod in &ft.aggs {
+            for &agg in pod {
+                if drained.get(idx).copied().unwrap_or(false) {
+                    net.switch_mut(agg).unwrap().drained = true;
+                }
+                idx += 1;
+            }
+        }
+        for &core in &ft.cores {
+            if drained.get(idx).copied().unwrap_or(false) {
+                net.switch_mut(core).unwrap().drained = true;
+            }
+            idx += 1;
+        }
+        for l in &down_links {
+            let link = LinkId(l % ft.topo.num_links() as u32);
+            net.set_link(link, false);
+        }
+        let hosts = ft.all_hosts();
+        let flows: Vec<u64> = pairs
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| net.add_flow(hosts[a], hosts[b], 10.0, FlowClass::Background))
+            .collect();
+        let sample = net.step();
+        for f in flows {
+            let (d, r) = sample.flow_rate[&f];
+            match d {
+                Delivery::Delivered => prop_assert_eq!(r, 10.0),
+                Delivery::NoPath => prop_assert_eq!(r, 0.0),
+                other => prop_assert!(
+                    matches!(other, Delivery::BlackHoled | Delivery::Blocked) && r == 0.0
+                ),
+            }
+        }
+    }
+
+    /// Per-switch throughput equals the sum of delivered flows whose path
+    /// crosses that switch (conservation).
+    #[test]
+    fn switch_rates_are_conserved(pairs in proptest::collection::vec((0usize..16, 0usize..16), 1..6)) {
+        let (mut net, ft) = build();
+        let hosts = ft.all_hosts();
+        for &(a, b) in pairs.iter().filter(|(a, b)| a != b) {
+            net.add_flow(hosts[a], hosts[b], 7.0, FlowClass::Background);
+        }
+        let sample = net.step();
+        let delivered: f64 = sample.flow_rate.values().map(|&(_, r)| r).sum();
+        let total_switch: f64 = sample.switch_rate.values().sum();
+        // Every delivered flow crosses at least one switch (its ToR), and
+        // at most 5 switches (ToR-Agg-Core-Agg-ToR) in a k=4 tree.
+        prop_assert!(total_switch >= delivered - 1e-9);
+        prop_assert!(total_switch <= delivered * 5.0 + 1e-9);
+    }
+
+    /// With everything healthy, every host pair is mutually reachable and
+    /// the chosen ECMP path is loop-free.
+    #[test]
+    fn healthy_fabric_fully_connected(a in 0usize..16, b in 0usize..16, hash in any::<u64>()) {
+        prop_assume!(a != b);
+        let (net, ft) = build();
+        let hosts = ft.all_hosts();
+        let path = net
+            .topo
+            .ecmp_path(hosts[a], hosts[b], hash, |l| net.link_is_up(l))
+            .expect("healthy fabric is connected");
+        let unique: std::collections::HashSet<DeviceId> = path.iter().copied().collect();
+        prop_assert_eq!(unique.len(), path.len(), "loop-free path");
+        prop_assert!(path.len() <= 7);
+    }
+
+    /// Draining a switch never *creates* connectivity: the set of
+    /// delivered flows after a drain is a subset of before.
+    #[test]
+    fn drain_is_monotone(pairs in proptest::collection::vec((0usize..16, 0usize..16), 1..6),
+                         victim in 0usize..4) {
+        let (mut net, ft) = build();
+        let hosts = ft.all_hosts();
+        let flows: Vec<u64> = pairs
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| net.add_flow(hosts[a], hosts[b], 5.0, FlowClass::Background))
+            .collect();
+        let before = net.step();
+        // Drain every agg of one pod: the pod's hosts lose cross-pod paths.
+        for &agg in &ft.aggs[victim] {
+            net.switch_mut(agg).unwrap().drained = true;
+        }
+        let after = net.step();
+        for f in flows {
+            let was = before.flow_rate[&f].0 == Delivery::Delivered;
+            let is = after.flow_rate[&f].0 == Delivery::Delivered;
+            prop_assert!(was || !is, "drain created connectivity for flow {f}");
+        }
+    }
+}

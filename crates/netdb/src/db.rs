@@ -1,0 +1,899 @@
+//! The source-of-truth network database.
+//!
+//! Mirrors the role of Robotron/Malt-style network databases in the paper:
+//! it holds the *logical* network view (devices, links, attributes) and
+//! offers **query-level** transactions — each call commits atomically, but
+//! nothing spans calls. Task-level isolation across queries is exactly what
+//! the database does *not* provide; that gap (paper §2.3, problem 1) is
+//! closed by the Occam runtime's locking, not here.
+
+use crate::error::{DbError, DbResult};
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::value::AttrValue;
+use crate::wal::{Wal, WalRecord};
+use occam_regex::Pattern;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+
+/// A device row: an attribute map.
+#[derive(Clone, PartialEq, Default, Debug)]
+pub struct DeviceRecord {
+    /// Attribute name → value.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+/// A link row: an attribute map over an undirected endpoint pair.
+#[derive(Clone, PartialEq, Default, Debug)]
+pub struct LinkRecord {
+    /// Attribute name → value.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+/// Normalized undirected link key: `(a, z)` with `a <= z` lexically.
+pub type LinkKey = (String, String);
+
+/// Normalizes an endpoint pair into a [`LinkKey`].
+pub fn link_key(a: &str, z: &str) -> LinkKey {
+    if a <= z {
+        (a.to_string(), z.to_string())
+    } else {
+        (z.to_string(), a.to_string())
+    }
+}
+
+/// The materialized database state. Cloneable: a clone is a snapshot.
+#[derive(Clone, PartialEq, Default, Debug)]
+pub struct Store {
+    /// Device rows by name.
+    pub devices: BTreeMap<String, DeviceRecord>,
+    /// Link rows by normalized endpoint pair.
+    pub links: BTreeMap<LinkKey, LinkRecord>,
+}
+
+impl Store {
+    /// Applies one redo record. Application is total: records referencing
+    /// missing rows are no-ops, which makes replay robust to truncation.
+    pub fn apply(&mut self, rec: &WalRecord) {
+        match rec {
+            WalRecord::InsertDevice { name, attrs } => {
+                let dev = self.devices.entry(name.clone()).or_default();
+                for (k, v) in attrs {
+                    dev.attrs.insert(k.clone(), v.clone());
+                }
+            }
+            WalRecord::DeleteDevice { name } => {
+                self.devices.remove(name);
+                self.links
+                    .retain(|(a, z), _| a != name && z != name);
+            }
+            WalRecord::SetDeviceAttr { name, attr, value } => {
+                if let Some(dev) = self.devices.get_mut(name) {
+                    dev.attrs.insert(attr.clone(), value.clone());
+                }
+            }
+            WalRecord::UnsetDeviceAttr { name, attr } => {
+                if let Some(dev) = self.devices.get_mut(name) {
+                    dev.attrs.remove(attr);
+                }
+            }
+            WalRecord::InsertLink { a_end, z_end, attrs } => {
+                let link = self.links.entry(link_key(a_end, z_end)).or_default();
+                for (k, v) in attrs {
+                    link.attrs.insert(k.clone(), v.clone());
+                }
+            }
+            WalRecord::DeleteLink { a_end, z_end } => {
+                self.links.remove(&link_key(a_end, z_end));
+            }
+            WalRecord::SetLinkAttr {
+                a_end,
+                z_end,
+                attr,
+                value,
+            } => {
+                if let Some(link) = self.links.get_mut(&link_key(a_end, z_end)) {
+                    link.attrs.insert(attr.clone(), value.clone());
+                }
+            }
+            WalRecord::UnsetLinkAttr { a_end, z_end, attr } => {
+                if let Some(link) = self.links.get_mut(&link_key(a_end, z_end)) {
+                    link.attrs.remove(attr);
+                }
+            }
+            WalRecord::Commit { .. } => {}
+        }
+    }
+
+    /// Rebuilds a store by replaying a record sequence from empty.
+    pub fn replay(records: &[WalRecord]) -> Store {
+        let mut s = Store::default();
+        for r in records {
+            s.apply(r);
+        }
+        s
+    }
+}
+
+/// One entry in a snapshot diff.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DiffEntry {
+    /// Device present only in the newer snapshot.
+    DeviceAdded(String),
+    /// Device present only in the older snapshot.
+    DeviceRemoved(String),
+    /// Device attribute changed: `(device, attr, old, new)`.
+    DeviceAttrChanged(String, String, Option<AttrValue>, Option<AttrValue>),
+    /// Link present only in the newer snapshot.
+    LinkAdded(LinkKey),
+    /// Link present only in the older snapshot.
+    LinkRemoved(LinkKey),
+    /// Link attribute changed: `(key, attr, old, new)`.
+    LinkAttrChanged(LinkKey, String, Option<AttrValue>, Option<AttrValue>),
+}
+
+/// Computes the difference `old → new` between two snapshots.
+pub fn diff(old: &Store, new: &Store) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    for name in new.devices.keys() {
+        if !old.devices.contains_key(name) {
+            out.push(DiffEntry::DeviceAdded(name.clone()));
+        }
+    }
+    for (name, od) in &old.devices {
+        match new.devices.get(name) {
+            None => out.push(DiffEntry::DeviceRemoved(name.clone())),
+            Some(nd) => {
+                let keys: std::collections::BTreeSet<&String> =
+                    od.attrs.keys().chain(nd.attrs.keys()).collect();
+                for k in keys {
+                    let o = od.attrs.get(k);
+                    let n = nd.attrs.get(k);
+                    if o != n {
+                        out.push(DiffEntry::DeviceAttrChanged(
+                            name.clone(),
+                            k.clone(),
+                            o.cloned(),
+                            n.cloned(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for key in new.links.keys() {
+        if !old.links.contains_key(key) {
+            out.push(DiffEntry::LinkAdded(key.clone()));
+        }
+    }
+    for (key, ol) in &old.links {
+        match new.links.get(key) {
+            None => out.push(DiffEntry::LinkRemoved(key.clone())),
+            Some(nl) => {
+                let keys: std::collections::BTreeSet<&String> =
+                    ol.attrs.keys().chain(nl.attrs.keys()).collect();
+                for k in keys {
+                    let o = ol.attrs.get(k);
+                    let n = nl.attrs.get(k);
+                    if o != n {
+                        out.push(DiffEntry::LinkAttrChanged(
+                            key.clone(),
+                            k.clone(),
+                            o.cloned(),
+                            n.cloned(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A single write operation inside an atomic batch.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WriteOp {
+    /// Insert a device (fails if it exists).
+    InsertDevice {
+        /// Device name.
+        name: String,
+        /// Initial attributes.
+        attrs: Vec<(String, AttrValue)>,
+    },
+    /// Delete a device and its links (fails if missing).
+    DeleteDevice {
+        /// Device name.
+        name: String,
+    },
+    /// Set one attribute on one device (fails if the device is missing).
+    SetDeviceAttr {
+        /// Device name.
+        name: String,
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: AttrValue,
+    },
+    /// Remove one attribute from one device (fails if the device is
+    /// missing; removing an absent attribute is a no-op).
+    UnsetDeviceAttr {
+        /// Device name.
+        name: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Insert a link (fails if either endpoint is missing or it exists).
+    InsertLink {
+        /// A-end device name.
+        a_end: String,
+        /// Z-end device name.
+        z_end: String,
+        /// Initial attributes.
+        attrs: Vec<(String, AttrValue)>,
+    },
+    /// Delete a link (fails if missing).
+    DeleteLink {
+        /// A-end device name.
+        a_end: String,
+        /// Z-end device name.
+        z_end: String,
+    },
+    /// Set one attribute on one link (fails if the link is missing).
+    SetLinkAttr {
+        /// A-end device name.
+        a_end: String,
+        /// Z-end device name.
+        z_end: String,
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: AttrValue,
+    },
+    /// Remove one attribute from one link (fails if the link is missing).
+    UnsetLinkAttr {
+        /// A-end device name.
+        a_end: String,
+        /// Z-end device name.
+        z_end: String,
+        /// Attribute name.
+        attr: String,
+    },
+}
+
+/// The network database handle. Cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct Database {
+    store: RwLock<Store>,
+    wal: Mutex<Wal>,
+    faults: FaultInjector,
+}
+
+impl Database {
+    /// Creates an empty database with no fault injection.
+    pub fn new() -> Database {
+        Database {
+            store: RwLock::new(Store::default()),
+            wal: Mutex::new(Wal::new()),
+            faults: FaultInjector::default(),
+        }
+    }
+
+    /// Creates a database with the given fault-injection plan.
+    pub fn with_faults(plan: FaultPlan) -> Database {
+        Database {
+            store: RwLock::new(Store::default()),
+            wal: Mutex::new(Wal::new()),
+            faults: FaultInjector::new(plan),
+        }
+    }
+
+    /// Replaces the fault-injection plan.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.faults.set_plan(plan);
+    }
+
+    /// The fault injector (for inspecting counters).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    fn guard(&self) -> DbResult<()> {
+        match self.faults.check() {
+            Some(seq) => Err(DbError::ConnectionFailure { query_seq: seq }),
+            None => Ok(()),
+        }
+    }
+
+    /// Iterates the device rows a scope can possibly match, using the
+    /// scope's literal prefix as a `BTreeMap` range bound so pod- and
+    /// DC-scoped queries touch only their slice of the table.
+    fn scoped<'a>(
+        store: &'a Store,
+        scope: &'a Pattern,
+    ) -> impl Iterator<Item = (&'a String, &'a DeviceRecord)> + 'a {
+        let prefix = scope.literal_prefix();
+        store
+            .devices
+            .range(prefix.clone()..)
+            .take_while(move |(n, _)| n.starts_with(&prefix))
+            .filter(|(n, _)| scope.matches(n))
+    }
+
+    /// Takes a consistent snapshot of the whole store.
+    pub fn snapshot(&self) -> Store {
+        self.store.read().clone()
+    }
+
+    /// Number of committed write batches.
+    pub fn commits(&self) -> u64 {
+        self.wal.lock().num_commits()
+    }
+
+    /// A copy of the WAL records (for replay tests and audit).
+    pub fn wal_records(&self) -> Vec<WalRecord> {
+        self.wal.lock().records().to_vec()
+    }
+
+    /// Installs a recovered record sequence: replays it into the store and
+    /// re-seeds the WAL so future commits continue the history.
+    pub(crate) fn install_recovered(&self, records: Vec<WalRecord>) {
+        let mut store = self.store.write();
+        *store = Store::replay(&records);
+        let mut wal = self.wal.lock();
+        *wal = Wal::new();
+        // Preserve history: append all recovered records as one batch-free
+        // prefix by replaying their commit structure.
+        let mut batch: Vec<WalRecord> = Vec::new();
+        for r in records {
+            match r {
+                WalRecord::Commit { .. } => {
+                    wal.append_batch(std::mem::take(&mut batch));
+                }
+                other => batch.push(other),
+            }
+        }
+        if !batch.is_empty() {
+            wal.append_batch(batch);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read queries
+    // ------------------------------------------------------------------
+
+    /// Returns the names of devices matching `scope`, sorted.
+    pub fn select_devices(&self, scope: &Pattern) -> DbResult<Vec<String>> {
+        self.guard()?;
+        let store = self.store.read();
+        Ok(Self::scoped(&store, scope).map(|(n, _)| n.clone()).collect())
+    }
+
+    /// Returns `device → value` for one attribute across a scope; devices
+    /// without the attribute are omitted.
+    pub fn get_attr(&self, scope: &Pattern, attr: &str) -> DbResult<BTreeMap<String, AttrValue>> {
+        self.guard()?;
+        let store = self.store.read();
+        Ok(Self::scoped(&store, scope)
+            .filter_map(|(n, d)| d.attrs.get(attr).map(|v| (n.clone(), v.clone())))
+            .collect())
+    }
+
+    /// Returns the full attribute map for every device in a scope.
+    pub fn get_all(
+        &self,
+        scope: &Pattern,
+    ) -> DbResult<BTreeMap<String, BTreeMap<String, AttrValue>>> {
+        self.guard()?;
+        let store = self.store.read();
+        Ok(Self::scoped(&store, scope)
+            .map(|(n, d)| (n.clone(), d.attrs.clone()))
+            .collect())
+    }
+
+    /// Returns true if a device row exists.
+    pub fn device_exists(&self, name: &str) -> DbResult<bool> {
+        self.guard()?;
+        Ok(self.store.read().devices.contains_key(name))
+    }
+
+    /// Returns the links with at least one endpoint in scope, sorted by key.
+    pub fn links_touching(&self, scope: &Pattern) -> DbResult<Vec<LinkKey>> {
+        self.guard()?;
+        let store = self.store.read();
+        Ok(store
+            .links
+            .keys()
+            .filter(|(a, z)| scope.matches(a) || scope.matches(z))
+            .cloned()
+            .collect())
+    }
+
+    /// Returns `link → value` for one attribute across links touching a
+    /// scope; links without the attribute are omitted.
+    pub fn get_link_attr(
+        &self,
+        scope: &Pattern,
+        attr: &str,
+    ) -> DbResult<BTreeMap<LinkKey, AttrValue>> {
+        self.guard()?;
+        let store = self.store.read();
+        Ok(store
+            .links
+            .iter()
+            .filter(|((a, z), _)| scope.matches(a) || scope.matches(z))
+            .filter_map(|(k, l)| l.attrs.get(attr).map(|v| (k.clone(), v.clone())))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Write queries (each is one atomic batch)
+    // ------------------------------------------------------------------
+
+    /// Validates a batch against a store without mutating it.
+    fn validate(store: &Store, ops: &[WriteOp]) -> DbResult<()> {
+        // Track devices/links created or destroyed earlier in this batch so
+        // that intra-batch sequences validate consistently.
+        let mut devs: BTreeMap<&str, bool> = BTreeMap::new(); // name -> exists
+        let mut links: BTreeMap<LinkKey, bool> = BTreeMap::new();
+        let dev_exists = |store: &Store, devs: &BTreeMap<&str, bool>, n: &str| {
+            devs.get(n).copied().unwrap_or_else(|| store.devices.contains_key(n))
+        };
+        let link_exists = |store: &Store, links: &BTreeMap<LinkKey, bool>, k: &LinkKey| {
+            links.get(k).copied().unwrap_or_else(|| store.links.contains_key(k))
+        };
+        for op in ops {
+            match op {
+                WriteOp::InsertDevice { name, .. } => {
+                    if dev_exists(store, &devs, name) {
+                        return Err(DbError::AlreadyExists(name.clone()));
+                    }
+                    devs.insert(name, true);
+                }
+                WriteOp::DeleteDevice { name } => {
+                    if !dev_exists(store, &devs, name) {
+                        return Err(DbError::NoSuchDevice(name.clone()));
+                    }
+                    devs.insert(name, false);
+                }
+                WriteOp::SetDeviceAttr { name, .. } | WriteOp::UnsetDeviceAttr { name, .. } => {
+                    if !dev_exists(store, &devs, name) {
+                        return Err(DbError::NoSuchDevice(name.clone()));
+                    }
+                }
+                WriteOp::InsertLink { a_end, z_end, .. } => {
+                    if a_end == z_end {
+                        return Err(DbError::Constraint(format!(
+                            "self-link on {a_end}"
+                        )));
+                    }
+                    for e in [a_end, z_end] {
+                        if !dev_exists(store, &devs, e) {
+                            return Err(DbError::NoSuchDevice(e.clone()));
+                        }
+                    }
+                    let k = link_key(a_end, z_end);
+                    if link_exists(store, &links, &k) {
+                        return Err(DbError::AlreadyExists(format!("{a_end}<->{z_end}")));
+                    }
+                    links.insert(k, true);
+                }
+                WriteOp::DeleteLink { a_end, z_end } => {
+                    let k = link_key(a_end, z_end);
+                    if !link_exists(store, &links, &k) {
+                        return Err(DbError::NoSuchLink {
+                            a_end: a_end.clone(),
+                            z_end: z_end.clone(),
+                        });
+                    }
+                    links.insert(k, false);
+                }
+                WriteOp::SetLinkAttr { a_end, z_end, .. }
+                | WriteOp::UnsetLinkAttr { a_end, z_end, .. } => {
+                    let k = link_key(a_end, z_end);
+                    if !link_exists(store, &links, &k) {
+                        return Err(DbError::NoSuchLink {
+                            a_end: a_end.clone(),
+                            z_end: z_end.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn to_record(op: &WriteOp) -> WalRecord {
+        match op {
+            WriteOp::InsertDevice { name, attrs } => WalRecord::InsertDevice {
+                name: name.clone(),
+                attrs: attrs.clone(),
+            },
+            WriteOp::DeleteDevice { name } => WalRecord::DeleteDevice { name: name.clone() },
+            WriteOp::SetDeviceAttr { name, attr, value } => WalRecord::SetDeviceAttr {
+                name: name.clone(),
+                attr: attr.clone(),
+                value: value.clone(),
+            },
+            WriteOp::UnsetDeviceAttr { name, attr } => WalRecord::UnsetDeviceAttr {
+                name: name.clone(),
+                attr: attr.clone(),
+            },
+            WriteOp::InsertLink { a_end, z_end, attrs } => WalRecord::InsertLink {
+                a_end: a_end.clone(),
+                z_end: z_end.clone(),
+                attrs: attrs.clone(),
+            },
+            WriteOp::DeleteLink { a_end, z_end } => WalRecord::DeleteLink {
+                a_end: a_end.clone(),
+                z_end: z_end.clone(),
+            },
+            WriteOp::SetLinkAttr {
+                a_end,
+                z_end,
+                attr,
+                value,
+            } => WalRecord::SetLinkAttr {
+                a_end: a_end.clone(),
+                z_end: z_end.clone(),
+                attr: attr.clone(),
+                value: value.clone(),
+            },
+            WriteOp::UnsetLinkAttr { a_end, z_end, attr } => WalRecord::UnsetLinkAttr {
+                a_end: a_end.clone(),
+                z_end: z_end.clone(),
+                attr: attr.clone(),
+            },
+        }
+    }
+
+    /// Executes a batch of writes atomically: all ops validate against the
+    /// current state (plus earlier ops in the batch), then all apply and the
+    /// batch commits to the WAL; or none apply.
+    pub fn batch(&self, ops: &[WriteOp]) -> DbResult<u64> {
+        self.guard()?;
+        let mut store = self.store.write();
+        Self::validate(&store, ops)?;
+        let records: Vec<WalRecord> = ops.iter().map(Self::to_record).collect();
+        for r in &records {
+            store.apply(r);
+        }
+        Ok(self.wal.lock().append_batch(records))
+    }
+
+    /// Inserts one device.
+    pub fn insert_device(
+        &self,
+        name: &str,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> DbResult<u64> {
+        self.batch(&[WriteOp::InsertDevice {
+            name: name.to_string(),
+            attrs,
+        }])
+    }
+
+    /// Deletes one device (and its links).
+    pub fn delete_device(&self, name: &str) -> DbResult<u64> {
+        self.batch(&[WriteOp::DeleteDevice {
+            name: name.to_string(),
+        }])
+    }
+
+    /// Sets one attribute on every device in scope; returns the device names
+    /// written.
+    pub fn set_attr(
+        &self,
+        scope: &Pattern,
+        attr: &str,
+        value: AttrValue,
+    ) -> DbResult<Vec<String>> {
+        // Read the scope and write the batch under one lock acquisition so
+        // the query is atomic even against concurrent callers.
+        self.guard()?;
+        let mut store = self.store.write();
+        let names: Vec<String> = Self::scoped(&store, scope).map(|(n, _)| n.clone()).collect();
+        let records: Vec<WalRecord> = names
+            .iter()
+            .map(|n| WalRecord::SetDeviceAttr {
+                name: n.clone(),
+                attr: attr.to_string(),
+                value: value.clone(),
+            })
+            .collect();
+        for r in &records {
+            store.apply(r);
+        }
+        self.wal.lock().append_batch(records);
+        Ok(names)
+    }
+
+    /// Sets one attribute with distinct per-device values (the paper's
+    /// dictionary-valued `set`). Fails atomically if any device is missing.
+    pub fn set_attr_per_device(
+        &self,
+        values: &BTreeMap<String, AttrValue>,
+        attr: &str,
+    ) -> DbResult<u64> {
+        let ops: Vec<WriteOp> = values
+            .iter()
+            .map(|(n, v)| WriteOp::SetDeviceAttr {
+                name: n.clone(),
+                attr: attr.to_string(),
+                value: v.clone(),
+            })
+            .collect();
+        self.batch(&ops)
+    }
+
+    /// Inserts one link.
+    pub fn insert_link(
+        &self,
+        a_end: &str,
+        z_end: &str,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> DbResult<u64> {
+        self.batch(&[WriteOp::InsertLink {
+            a_end: a_end.to_string(),
+            z_end: z_end.to_string(),
+            attrs,
+        }])
+    }
+
+    /// Sets one attribute on one link.
+    pub fn set_link_attr(
+        &self,
+        a_end: &str,
+        z_end: &str,
+        attr: &str,
+        value: AttrValue,
+    ) -> DbResult<u64> {
+        self.batch(&[WriteOp::SetLinkAttr {
+            a_end: a_end.to_string(),
+            z_end: z_end.to_string(),
+            attr: attr.to_string(),
+            value,
+        }])
+    }
+
+    /// Sets one attribute on every link touching a scope; returns the link
+    /// keys written.
+    pub fn set_link_attr_scope(
+        &self,
+        scope: &Pattern,
+        attr: &str,
+        value: AttrValue,
+    ) -> DbResult<Vec<LinkKey>> {
+        self.guard()?;
+        let mut store = self.store.write();
+        let keys: Vec<LinkKey> = store
+            .links
+            .keys()
+            .filter(|(a, z)| scope.matches(a) || scope.matches(z))
+            .cloned()
+            .collect();
+        let records: Vec<WalRecord> = keys
+            .iter()
+            .map(|(a, z)| WalRecord::SetLinkAttr {
+                a_end: a.clone(),
+                z_end: z.clone(),
+                attr: attr.to_string(),
+                value: value.clone(),
+            })
+            .collect();
+        for r in &records {
+            store.apply(r);
+        }
+        self.wal.lock().append_batch(records);
+        Ok(keys)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::attrs;
+
+    fn pat(glob: &str) -> Pattern {
+        Pattern::from_glob(glob).unwrap()
+    }
+
+    fn seeded() -> Database {
+        let db = Database::new();
+        for pod in 0..3 {
+            for sw in 0..4 {
+                db.insert_device(
+                    &format!("dc01.pod{pod:02}.sw{sw:02}"),
+                    vec![(attrs::DEVICE_STATUS.into(), attrs::STATUS_ACTIVE.into())],
+                )
+                .unwrap();
+            }
+        }
+        db.insert_link("dc01.pod00.sw00", "dc01.pod00.sw01", vec![
+            (attrs::LINK_STATUS.into(), attrs::UP.into()),
+        ])
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let db = seeded();
+        let names = db.select_devices(&pat("dc01.pod01.*")).unwrap();
+        assert_eq!(names.len(), 4);
+        assert!(names.iter().all(|n| n.starts_with("dc01.pod01.")));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let db = seeded();
+        let err = db.insert_device("dc01.pod00.sw00", vec![]).unwrap_err();
+        assert!(matches!(err, DbError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn set_attr_scope_writes_all_matches() {
+        let db = seeded();
+        let written = db
+            .set_attr(
+                &pat("dc01.pod02.*"),
+                attrs::DEVICE_STATUS,
+                attrs::STATUS_UNDER_MAINTENANCE.into(),
+            )
+            .unwrap();
+        assert_eq!(written.len(), 4);
+        let vals = db.get_attr(&pat("dc01.*"), attrs::DEVICE_STATUS).unwrap();
+        let maint = vals
+            .values()
+            .filter(|v| v.as_str() == Some(attrs::STATUS_UNDER_MAINTENANCE))
+            .count();
+        assert_eq!(maint, 4);
+    }
+
+    #[test]
+    fn per_device_set_is_atomic() {
+        let db = seeded();
+        let mut m = BTreeMap::new();
+        m.insert("dc01.pod00.sw00".to_string(), AttrValue::str("10.0.0.1"));
+        m.insert("dc01.pod00.nope".to_string(), AttrValue::str("10.0.0.2"));
+        let err = db.set_attr_per_device(&m, attrs::IP_ADDRESS).unwrap_err();
+        assert!(matches!(err, DbError::NoSuchDevice(_)));
+        // Nothing applied.
+        assert!(db
+            .get_attr(&pat("dc01.*"), attrs::IP_ADDRESS)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn delete_device_cascades_links() {
+        let db = seeded();
+        db.delete_device("dc01.pod00.sw00").unwrap();
+        assert!(db.links_touching(&pat("dc01.*")).unwrap().is_empty());
+        assert!(!db.device_exists("dc01.pod00.sw00").unwrap());
+    }
+
+    #[test]
+    fn link_requires_existing_endpoints() {
+        let db = seeded();
+        let err = db
+            .insert_link("dc01.pod00.sw00", "dc09.pod00.sw00", vec![])
+            .unwrap_err();
+        assert!(matches!(err, DbError::NoSuchDevice(_)));
+        let err = db
+            .insert_link("dc01.pod00.sw00", "dc01.pod00.sw00", vec![])
+            .unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)));
+    }
+
+    #[test]
+    fn link_key_is_undirected() {
+        let db = seeded();
+        db.set_link_attr(
+            "dc01.pod00.sw01",
+            "dc01.pod00.sw00",
+            attrs::LINK_STATUS,
+            attrs::DOWN.into(),
+        )
+        .unwrap();
+        let vals = db
+            .get_link_attr(&pat("dc01.pod00.*"), attrs::LINK_STATUS)
+            .unwrap();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals.values().next().unwrap().as_str(), Some(attrs::DOWN));
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing() {
+        let db = seeded();
+        let before = db.snapshot();
+        let err = db
+            .batch(&[
+                WriteOp::SetDeviceAttr {
+                    name: "dc01.pod00.sw00".into(),
+                    attr: "X".into(),
+                    value: AttrValue::Int(1),
+                },
+                WriteOp::DeleteDevice {
+                    name: "missing".into(),
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, DbError::NoSuchDevice(_)));
+        assert_eq!(db.snapshot(), before);
+    }
+
+    #[test]
+    fn wal_replay_reconstructs_state() {
+        let db = seeded();
+        db.set_attr(&pat("dc01.pod01.*"), "X", AttrValue::Int(9)).unwrap();
+        db.delete_device("dc01.pod02.sw03").unwrap();
+        let replayed = Store::replay(&db.wal_records());
+        assert_eq!(replayed, db.snapshot());
+    }
+
+    #[test]
+    fn fault_injection_surfaces_connection_failures() {
+        let db = seeded();
+        db.set_fault_plan(FaultPlan::fail_at([0]));
+        let err = db.select_devices(&pat("dc01.*")).unwrap_err();
+        assert!(matches!(err, DbError::ConnectionFailure { .. }));
+        // Next query succeeds.
+        assert!(db.select_devices(&pat("dc01.*")).is_ok());
+        assert_eq!(db.faults().failures_injected(), 1);
+    }
+
+    #[test]
+    fn snapshot_diff_captures_changes() {
+        let db = seeded();
+        let before = db.snapshot();
+        db.set_attr(
+            &pat("dc01.pod00.sw00"),
+            attrs::DEVICE_STATUS,
+            attrs::STATUS_DRAINED.into(),
+        )
+        .unwrap();
+        db.insert_device("dc01.pod00.sw99", vec![]).unwrap();
+        let after = db.snapshot();
+        let d = diff(&before, &after);
+        assert!(d.contains(&DiffEntry::DeviceAdded("dc01.pod00.sw99".into())));
+        assert!(d.iter().any(|e| matches!(
+            e,
+            DiffEntry::DeviceAttrChanged(n, a, _, _)
+                if n == "dc01.pod00.sw00" && a == attrs::DEVICE_STATUS
+        )));
+        assert_eq!(diff(&after, &after), Vec::new());
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        use std::sync::Arc;
+        let db = Arc::new(Database::new());
+        for i in 0..8 {
+            db.insert_device(&format!("dc01.pod00.sw{i:02}"), vec![]).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    db.set_attr(
+                        &Pattern::from_glob(&format!("dc01.pod00.sw{:02}", t % 8)).unwrap(),
+                        "COUNTER",
+                        AttrValue::Int(i),
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // WAL replay must agree with the final state even under concurrency.
+        assert_eq!(Store::replay(&db.wal_records()), db.snapshot());
+    }
+}

@@ -1,0 +1,54 @@
+//! Database error types.
+//!
+//! The paper's dataset attributes 63% of workflow failures to "database
+//! query errors and failures"; the error surface here models the classes a
+//! workflow sees: connectivity, bad scopes, missing rows, and rejected
+//! writes.
+
+/// An error returned by a database query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DbError {
+    /// The query could not reach the database (injected or simulated
+    /// connectivity loss).
+    ConnectionFailure {
+        /// Sequence number of the failed query attempt.
+        query_seq: u64,
+    },
+    /// The scope regex failed to compile.
+    InvalidScope(String),
+    /// A referenced device does not exist.
+    NoSuchDevice(String),
+    /// A referenced link does not exist.
+    NoSuchLink {
+        /// A-end device name.
+        a_end: String,
+        /// Z-end device name.
+        z_end: String,
+    },
+    /// An insert collided with an existing row.
+    AlreadyExists(String),
+    /// A constraint rejected the write (e.g. link endpoints missing).
+    Constraint(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::ConnectionFailure { query_seq } => {
+                write!(f, "database connection failure (query #{query_seq})")
+            }
+            DbError::InvalidScope(msg) => write!(f, "invalid scope: {msg}"),
+            DbError::NoSuchDevice(name) => write!(f, "no such device: {name}"),
+            DbError::NoSuchLink { a_end, z_end } => {
+                write!(f, "no such link: {a_end} <-> {z_end}")
+            }
+            DbError::AlreadyExists(name) => write!(f, "already exists: {name}"),
+            DbError::Constraint(msg) => write!(f, "constraint violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,157 @@
+//! Fault injection for database queries.
+//!
+//! Database query errors are the top failure class in the paper's dataset
+//! (63%). The injector lets tests and experiments fail specific queries
+//! (deterministically, by sequence number) or a random fraction of queries
+//! (seeded, reproducible).
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for query fault injection.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Query sequence numbers (0-based, global per database) that must fail.
+    pub fail_queries: HashSet<u64>,
+    /// Probability in `[0, 1]` that any other query fails.
+    pub failure_rate: f64,
+    /// Seed for the probabilistic failures.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never fails anything.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan that fails exactly the given query sequence numbers.
+    pub fn fail_at(seqs: impl IntoIterator<Item = u64>) -> FaultPlan {
+        FaultPlan {
+            fail_queries: seqs.into_iter().collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that fails each query independently with probability `rate`.
+    pub fn random(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            failure_rate: rate.clamp(0.0, 1.0),
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Stateful injector: consulted once per query.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<StdRng>,
+    seq: Mutex<u64>,
+    injected: Mutex<u64>,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            plan: Mutex::new(plan),
+            rng: Mutex::new(rng),
+            seq: Mutex::new(0),
+            injected: Mutex::new(0),
+        }
+    }
+
+    /// Replaces the plan and restarts the query sequence at zero, so
+    /// `fail_queries` offsets are relative to the moment the plan is set.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.rng.lock() = StdRng::seed_from_u64(plan.seed);
+        *self.plan.lock() = plan;
+        *self.seq.lock() = 0;
+    }
+
+    /// Advances the query sequence; returns `Some(seq)` if this query must
+    /// fail, `None` otherwise.
+    pub fn check(&self) -> Option<u64> {
+        let mut seq_guard = self.seq.lock();
+        let seq = *seq_guard;
+        *seq_guard += 1;
+        drop(seq_guard);
+        let plan = self.plan.lock();
+        let fail = plan.fail_queries.contains(&seq)
+            || (plan.failure_rate > 0.0 && self.rng.lock().random::<f64>() < plan.failure_rate);
+        drop(plan);
+        if fail {
+            *self.injected.lock() += 1;
+            Some(seq)
+        } else {
+            None
+        }
+    }
+
+    /// Total queries observed.
+    pub fn queries_seen(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    /// Total failures injected.
+    pub fn failures_injected(&self) -> u64 {
+        *self.injected.lock()
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new(FaultPlan::none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_plan_never_fails() {
+        let inj = FaultInjector::default();
+        for _ in 0..100 {
+            assert_eq!(inj.check(), None);
+        }
+        assert_eq!(inj.queries_seen(), 100);
+        assert_eq!(inj.failures_injected(), 0);
+    }
+
+    #[test]
+    fn targeted_failures_hit_exact_sequence() {
+        let inj = FaultInjector::new(FaultPlan::fail_at([2, 5]));
+        let results: Vec<bool> = (0..8).map(|_| inj.check().is_some()).collect();
+        assert_eq!(
+            results,
+            vec![false, false, true, false, false, true, false, false]
+        );
+        assert_eq!(inj.failures_injected(), 2);
+    }
+
+    #[test]
+    fn random_failures_are_reproducible() {
+        let run = |seed| {
+            let inj = FaultInjector::new(FaultPlan::random(0.3, seed));
+            (0..50).map(|_| inj.check().is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        let hits = run(7).iter().filter(|&&b| b).count();
+        assert!(hits > 0 && hits < 50, "rate 0.3 over 50 should be interior");
+    }
+
+    #[test]
+    fn rate_is_clamped() {
+        let plan = FaultPlan::random(7.0, 1);
+        assert_eq!(plan.failure_rate, 1.0);
+        let inj = FaultInjector::new(plan);
+        assert!(inj.check().is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! # occam-netdb
+//!
+//! The source-of-truth network database substrate (the role played by
+//! Robotron \[39\] / Malt \[29\] in the Occam paper).
+//!
+//! The database stores the *logical* network: device rows, link rows, and
+//! their attributes. It provides **query-level** transactions — every call
+//! commits atomically and is redo-logged to a write-ahead log — but it
+//! deliberately provides *no isolation across queries*. That gap is the
+//! paper's motivating reliability problem #1 (§2.3) and is closed by the
+//! Occam runtime's multi-granularity locking, not by the database.
+//!
+//! Fault injection ([`FaultPlan`]) models the dominant failure class in the
+//! paper's production dataset (database query errors, 63%).
+//!
+//! # Examples
+//!
+//! ```
+//! use occam_netdb::{Database, attrs};
+//! use occam_regex::Pattern;
+//!
+//! let db = Database::new();
+//! db.insert_device("dc01.pod03.sw00", vec![
+//!     (attrs::DEVICE_STATUS.into(), attrs::STATUS_ACTIVE.into()),
+//! ]).unwrap();
+//!
+//! let scope = Pattern::from_glob("dc01.pod03.*").unwrap();
+//! let names = db.select_devices(&scope).unwrap();
+//! assert_eq!(names, vec!["dc01.pod03.sw00"]);
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod fault;
+pub mod persist;
+pub mod value;
+pub mod wal;
+
+pub use db::{diff, link_key, Database, DeviceRecord, DiffEntry, LinkKey, LinkRecord, Store, WriteOp};
+pub use error::{DbError, DbResult};
+pub use fault::{FaultInjector, FaultPlan};
+pub use value::{attrs, AttrValue};
+pub use persist::{decode as decode_wal, encode as encode_wal, WalDecodeError};
+pub use wal::{Wal, WalRecord};

@@ -1,0 +1,39 @@
+//! # occam-objtree
+//!
+//! The network object tree and multi-granularity locking layer of the
+//! Occam reproduction (paper §4).
+//!
+//! Active management regions form a tree — a *laminar family* over the
+//! device-name space upholding two invariants: a parent strictly contains
+//! each child, and siblings are pairwise disjoint. `INSERT` (with `SPLIT`
+//! for overlapping regions) and reference-counted `DELETE` implement
+//! Figure 4 of the paper on top of the regex algebra in [`occam_regex`].
+//!
+//! Lock state lives on the nodes: held S/X locks and pending IS/IX
+//! requests, together forming the object/task dependency graph. The crate
+//! provides compatibility checks (including containment conflicts),
+//! grant/release, waits-for edges, and deadlock-cycle detection; *policy*
+//! (which waiter to grant to) lives in `occam-sched`.
+//!
+//! # Examples
+//!
+//! ```
+//! use occam_objtree::{LockMode, ObjTree, TaskId};
+//! use occam_regex::Pattern;
+//!
+//! let mut tree = ObjTree::new();
+//! let dc = tree.insert_region(&Pattern::from_glob("dc01.*").unwrap())[0];
+//! let pod = tree.insert_region(&Pattern::from_glob("dc01.pod03.*").unwrap())[0];
+//!
+//! // An X lock on the pod blocks the whole-DC task (containment conflict).
+//! tree.request_lock(TaskId(1), pod, LockMode::Exclusive, 0, false);
+//! tree.grant(pod, TaskId(1));
+//! assert!(!tree.can_grant(dc, TaskId(2), LockMode::Exclusive));
+//! ```
+
+pub mod lock;
+pub mod tree;
+pub mod types;
+
+pub use tree::{Node, ObjTree, SplitMode, TreeStats};
+pub use types::{LockMode, LockRequest, ObjectId, TaskId};

@@ -1,0 +1,337 @@
+//! Multi-granularity locking over the object tree (paper §4.4).
+//!
+//! Lock state lives on the tree nodes: `holders` are the S/X edges of the
+//! object/task dependency graph, `waiters` the intentional IS/IX edges.
+//! Because the tree is a laminar family, two regions conflict iff one node
+//! is an ancestor of the other — so compatibility checks walk exactly the
+//! containment set of a node, never the whole tree.
+
+use crate::tree::ObjTree;
+use crate::types::{LockMode, LockRequest, ObjectId, TaskId};
+
+impl ObjTree {
+    /// Enqueues a lock request (an IS/IX intentional edge) for `task` on
+    /// `obj`. Duplicate requests (same task, same object) are ignored, as
+    /// are requests for objects the task already holds.
+    pub fn request_lock(
+        &mut self,
+        task: TaskId,
+        obj: ObjectId,
+        mode: LockMode,
+        arrival: u64,
+        urgent: bool,
+    ) {
+        let node = match self.node_mut(obj) {
+            Some(n) => n,
+            None => return,
+        };
+        if node.holders.iter().any(|&(t, _)| t == task)
+            || node.waiters.iter().any(|w| w.task == task)
+        {
+            return;
+        }
+        node.waiters.push(LockRequest {
+            task,
+            mode,
+            arrival,
+            urgent,
+        });
+        self.waiting_mut().entry(task).or_default().push(obj);
+    }
+
+    /// The tasks currently holding locks on `obj`.
+    pub fn holders_of(&self, obj: ObjectId) -> &[(TaskId, LockMode)] {
+        self.node(obj).map(|n| n.holders.as_slice()).unwrap_or(&[])
+    }
+
+    /// The pending requests on `obj`, in arrival order.
+    pub fn waiters_of(&self, obj: ObjectId) -> &[LockRequest] {
+        self.node(obj).map(|n| n.waiters.as_slice()).unwrap_or(&[])
+    }
+
+    /// Tasks whose held locks conflict with `task` acquiring `mode` on
+    /// `obj`, considering the containment set (self, ancestors,
+    /// descendants).
+    pub fn blockers(&self, obj: ObjectId, task: TaskId, mode: LockMode) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        for o in self.containment(obj) {
+            for &(t, m) in self.holders_of(o) {
+                if t != task && !mode.compatible(m) && !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if granting `mode` on `obj` to `task` conflicts with no held
+    /// lock.
+    pub fn can_grant(&self, obj: ObjectId, task: TaskId, mode: LockMode) -> bool {
+        self.blockers(obj, task, mode).is_empty()
+    }
+
+    /// Grants the pending request of `task` on `obj`: flips the intentional
+    /// edge into a locking edge. Returns the granted mode, or `None` if no
+    /// such request exists **or** the stored request is incompatible with
+    /// current holders — the grant is re-validated here so a confused
+    /// scheduler can never break lock safety.
+    pub fn grant(&mut self, obj: ObjectId, task: TaskId) -> Option<LockMode> {
+        let mode = {
+            let node = self.node(obj)?;
+            node.waiters.iter().find(|w| w.task == task)?.mode
+        };
+        if !self.can_grant(obj, task, mode) {
+            return None;
+        }
+        let node = self.node_mut(obj)?;
+        node.waiters.retain(|w| w.task != task);
+        node.holders.push((task, mode));
+        if let Some(w) = self.waiting_mut().get_mut(&task) {
+            w.retain(|&o| o != obj);
+        }
+        self.granted_mut().entry(task).or_default().push(obj);
+        Some(mode)
+    }
+
+    /// Releases every lock held by `task` and cancels its pending requests
+    /// (strict 2PL: all locks release together at commit or abort).
+    ///
+    /// Returns the objects the task held or waited on — the scheduler
+    /// re-examines these for waiting tasks.
+    pub fn release_task(&mut self, task: TaskId) -> Vec<ObjectId> {
+        let held = self.granted_mut().remove(&task).unwrap_or_default();
+        let waited = self.waiting_mut().remove(&task).unwrap_or_default();
+        for &obj in &held {
+            if let Some(n) = self.node_mut(obj) {
+                n.holders.retain(|&(t, _)| t != task);
+            }
+        }
+        for &obj in &waited {
+            if let Some(n) = self.node_mut(obj) {
+                n.waiters.retain(|w| w.task != task);
+            }
+        }
+        let mut out = held;
+        out.extend(waited);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Builds the waits-for edges `waiter → holder` implied by current lock
+    /// state (including containment conflicts).
+    pub fn waits_for_edges(&self) -> Vec<(TaskId, TaskId)> {
+        let mut edges = Vec::new();
+        for obj in self.node_ids().collect::<Vec<_>>() {
+            for w in self.waiters_of(obj).to_vec() {
+                for b in self.blockers(obj, w.task, w.mode) {
+                    if !edges.contains(&(w.task, b)) {
+                        edges.push((w.task, b));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Detects a deadlock cycle in the waits-for graph.
+    ///
+    /// Returns the tasks on one cycle (in order), or `None`. The standard
+    /// resolution (paper §5) is to abort and re-execute one member.
+    pub fn find_deadlock_cycle(&self) -> Option<Vec<TaskId>> {
+        let edges = self.waits_for_edges();
+        let mut adj: std::collections::HashMap<TaskId, Vec<TaskId>> =
+            std::collections::HashMap::new();
+        for (a, b) in &edges {
+            adj.entry(*a).or_default().push(*b);
+        }
+        // Iterative DFS with colors; reconstruct the cycle from the stack.
+        let mut color: std::collections::HashMap<TaskId, u8> = std::collections::HashMap::new();
+        let nodes: Vec<TaskId> = adj.keys().copied().collect();
+        for &start in &nodes {
+            if color.get(&start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            let mut path: Vec<TaskId> = Vec::new();
+            let mut stack: Vec<(TaskId, usize)> = vec![(start, 0)];
+            while let Some(&mut (t, ref mut i)) = stack.last_mut() {
+                if *i == 0 {
+                    color.insert(t, 1);
+                    path.push(t);
+                }
+                let next = adj.get(&t).and_then(|v| v.get(*i)).copied();
+                *i += 1;
+                match next {
+                    Some(n) => match color.get(&n).copied().unwrap_or(0) {
+                        0 => stack.push((n, 0)),
+                        1 => {
+                            // Found a back edge: the cycle is the path
+                            // suffix starting at n.
+                            let pos = path
+                                .iter()
+                                .position(|&p| p == n)
+                                .expect("gray node is on the path");
+                            return Some(path[pos..].to_vec());
+                        }
+                        _ => {}
+                    },
+                    None => {
+                        color.insert(t, 2);
+                        path.pop();
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_regex::Pattern;
+
+    fn pat(glob: &str) -> Pattern {
+        Pattern::from_glob(glob).unwrap()
+    }
+
+    fn setup() -> (ObjTree, ObjectId, ObjectId, ObjectId) {
+        // dc (parent) with two pods (disjoint siblings).
+        let mut t = ObjTree::new();
+        let dc = t.insert_region(&pat("dc01.*"))[0];
+        let p1 = t.insert_region(&pat("dc01.pod01.*"))[0];
+        let p2 = t.insert_region(&pat("dc01.pod02.*"))[0];
+        (t, dc, p1, p2)
+    }
+
+    #[test]
+    fn shared_locks_coexist_on_same_object() {
+        let (mut t, _, p1, _) = setup();
+        t.request_lock(TaskId(1), p1, LockMode::Shared, 0, false);
+        t.request_lock(TaskId(2), p1, LockMode::Shared, 1, false);
+        assert!(t.can_grant(p1, TaskId(1), LockMode::Shared));
+        t.grant(p1, TaskId(1)).unwrap();
+        assert!(t.can_grant(p1, TaskId(2), LockMode::Shared));
+        t.grant(p1, TaskId(2)).unwrap();
+        assert_eq!(t.holders_of(p1).len(), 2);
+    }
+
+    #[test]
+    fn exclusive_blocks_everything_on_object() {
+        let (mut t, _, p1, _) = setup();
+        t.request_lock(TaskId(1), p1, LockMode::Exclusive, 0, false);
+        t.grant(p1, TaskId(1)).unwrap();
+        assert!(!t.can_grant(p1, TaskId(2), LockMode::Shared));
+        assert!(!t.can_grant(p1, TaskId(2), LockMode::Exclusive));
+        // The holder itself is not blocked by its own lock.
+        assert!(t.can_grant(p1, TaskId(1), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn containment_conflicts_ancestor_blocks_descendant() {
+        let (mut t, dc, p1, p2) = setup();
+        t.request_lock(TaskId(1), dc, LockMode::Exclusive, 0, false);
+        t.grant(dc, TaskId(1)).unwrap();
+        // X on the whole DC blocks both pods...
+        assert!(!t.can_grant(p1, TaskId(2), LockMode::Exclusive));
+        assert!(!t.can_grant(p2, TaskId(2), LockMode::Shared));
+        // ...and the blocker list names the DC holder.
+        assert_eq!(t.blockers(p1, TaskId(2), LockMode::Shared), vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn containment_conflicts_descendant_blocks_ancestor() {
+        let (mut t, dc, p1, _) = setup();
+        t.request_lock(TaskId(1), p1, LockMode::Exclusive, 0, false);
+        t.grant(p1, TaskId(1)).unwrap();
+        assert!(!t.can_grant(dc, TaskId(2), LockMode::Exclusive));
+        assert!(!t.can_grant(dc, TaskId(2), LockMode::Shared));
+    }
+
+    #[test]
+    fn disjoint_siblings_do_not_conflict() {
+        let (mut t, _, p1, p2) = setup();
+        t.request_lock(TaskId(1), p1, LockMode::Exclusive, 0, false);
+        t.grant(p1, TaskId(1)).unwrap();
+        assert!(t.can_grant(p2, TaskId(2), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn shared_on_ancestor_allows_shared_below() {
+        let (mut t, dc, p1, _) = setup();
+        t.request_lock(TaskId(1), dc, LockMode::Shared, 0, false);
+        t.grant(dc, TaskId(1)).unwrap();
+        assert!(t.can_grant(p1, TaskId(2), LockMode::Shared));
+        assert!(!t.can_grant(p1, TaskId(2), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn release_task_frees_all_locks_and_waits() {
+        let (mut t, dc, p1, _) = setup();
+        t.request_lock(TaskId(1), p1, LockMode::Exclusive, 0, false);
+        t.grant(p1, TaskId(1)).unwrap();
+        t.request_lock(TaskId(1), dc, LockMode::Exclusive, 1, false);
+        let released = t.release_task(TaskId(1));
+        assert_eq!(released.len(), 2);
+        assert!(t.holders_of(p1).is_empty());
+        assert!(t.waiters_of(dc).is_empty());
+        assert!(t.granted_objects(TaskId(1)).is_empty());
+        assert!(t.waiting_objects(TaskId(1)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_requests_ignored() {
+        let (mut t, _, p1, _) = setup();
+        t.request_lock(TaskId(1), p1, LockMode::Shared, 0, false);
+        t.request_lock(TaskId(1), p1, LockMode::Shared, 1, false);
+        assert_eq!(t.waiters_of(p1).len(), 1);
+        t.grant(p1, TaskId(1)).unwrap();
+        t.request_lock(TaskId(1), p1, LockMode::Shared, 2, false);
+        assert!(t.waiters_of(p1).is_empty(), "already held: no new request");
+    }
+
+    #[test]
+    fn waits_for_edges_include_containment() {
+        let (mut t, dc, p1, _) = setup();
+        t.request_lock(TaskId(1), p1, LockMode::Exclusive, 0, false);
+        t.grant(p1, TaskId(1)).unwrap();
+        t.request_lock(TaskId(2), dc, LockMode::Exclusive, 1, false);
+        let edges = t.waits_for_edges();
+        assert!(edges.contains(&(TaskId(2), TaskId(1))));
+    }
+
+    #[test]
+    fn deadlock_cycle_detected() {
+        let (mut t, _, p1, p2) = setup();
+        // t1 holds p1, waits p2; t2 holds p2, waits p1.
+        t.request_lock(TaskId(1), p1, LockMode::Exclusive, 0, false);
+        t.grant(p1, TaskId(1)).unwrap();
+        t.request_lock(TaskId(2), p2, LockMode::Exclusive, 1, false);
+        t.grant(p2, TaskId(2)).unwrap();
+        t.request_lock(TaskId(1), p2, LockMode::Exclusive, 2, false);
+        t.request_lock(TaskId(2), p1, LockMode::Exclusive, 3, false);
+        let cycle = t.find_deadlock_cycle().expect("deadlock exists");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&TaskId(1)) && cycle.contains(&TaskId(2)));
+        // Breaking the cycle by aborting one task clears it.
+        t.release_task(TaskId(2));
+        assert!(t.find_deadlock_cycle().is_none());
+    }
+
+    #[test]
+    fn no_deadlock_without_cycle() {
+        let (mut t, _, p1, p2) = setup();
+        t.request_lock(TaskId(1), p1, LockMode::Exclusive, 0, false);
+        t.grant(p1, TaskId(1)).unwrap();
+        t.request_lock(TaskId(2), p1, LockMode::Exclusive, 1, false);
+        t.request_lock(TaskId(3), p2, LockMode::Exclusive, 2, false);
+        assert!(t.find_deadlock_cycle().is_none());
+    }
+
+    #[test]
+    fn grant_without_request_returns_none() {
+        let (mut t, _, p1, _) = setup();
+        assert_eq!(t.grant(p1, TaskId(9)), None);
+    }
+}

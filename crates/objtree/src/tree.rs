@@ -1,0 +1,687 @@
+//! The network object tree (paper §4.3, Figure 4).
+//!
+//! Nodes form a laminar family over the device-name space: a parent
+//! strictly contains each child, and siblings are pairwise disjoint. The
+//! tree therefore encodes *all* containment relations between active
+//! regions: two nodes overlap iff one is an ancestor of the other.
+//!
+//! `INSERT` performs the recursive descent of Figure 4, `SPLIT` carves
+//! overlaps into intersection + remainder using the regex algebra, and
+//! `DELETE` reference-counts objects and grafts children on removal.
+
+use crate::types::{LockMode, LockRequest, ObjectId, TaskId};
+use occam_regex::Pattern;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A node in the object tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: ObjectId,
+    /// The symbolic region the node covers.
+    pub region: Pattern,
+    /// Parent node (`None` only for the virtual root `.*`).
+    pub parent: Option<ObjectId>,
+    /// Child nodes (disjoint, strictly contained in this region).
+    pub children: Vec<ObjectId>,
+    /// Tasks currently holding locks (S: possibly many; X: exactly one).
+    pub holders: Vec<(TaskId, LockMode)>,
+    /// Pending lock requests in arrival order (IS/IX edges).
+    pub waiters: Vec<LockRequest>,
+    /// Number of tasks that reference this object.
+    pub refcount: u32,
+}
+
+/// Counters and timings for tree maintenance (Figure 10c input).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct TreeStats {
+    /// Number of `insert_region` calls.
+    pub inserts: u64,
+    /// Number of splits performed.
+    pub splits: u64,
+    /// Number of node deletions.
+    pub deletes: u64,
+    /// Wall time spent inside `insert_region`.
+    pub insert_time: Duration,
+    /// Wall time spent inside deletions.
+    pub delete_time: Duration,
+}
+
+/// How overlapping regions are reconciled on insert.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SplitMode {
+    /// Figure 4's SPLIT: carve the overlap into intersection + remainder,
+    /// so tasks lock exactly what they need.
+    #[default]
+    Split,
+    /// Ablation: coarsen instead — the new region expands to the union of
+    /// itself and every overlapping sibling, over-locking but avoiding
+    /// split machinery. Used to measure what SPLIT buys (DESIGN.md §7).
+    Coarsen,
+}
+
+/// The object tree plus per-task bookkeeping.
+#[derive(Debug)]
+pub struct ObjTree {
+    nodes: HashMap<ObjectId, Node>,
+    root: ObjectId,
+    next_id: u64,
+    mode: SplitMode,
+    /// Maintenance statistics.
+    pub stats: TreeStats,
+    /// Per-task lock bookkeeping: objects granted to the task.
+    granted: HashMap<TaskId, Vec<ObjectId>>,
+    /// Per-task lock bookkeeping: objects the task is waiting on.
+    waiting: HashMap<TaskId, Vec<ObjectId>>,
+}
+
+impl ObjTree {
+    /// Creates a tree holding only the virtual root `.*` (InitObjTree in
+    /// Figure 4), splitting overlaps per the paper.
+    pub fn new() -> ObjTree {
+        ObjTree::with_mode(SplitMode::Split)
+    }
+
+    /// Creates a tree with an explicit overlap-reconciliation mode.
+    pub fn with_mode(mode: SplitMode) -> ObjTree {
+        let root_id = ObjectId(0);
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            root_id,
+            Node {
+                id: root_id,
+                region: Pattern::universe(),
+                parent: None,
+                children: Vec::new(),
+                holders: Vec::new(),
+                waiters: Vec::new(),
+                refcount: 1, // the root is never deleted
+            },
+        );
+        ObjTree {
+            nodes,
+            root: root_id,
+            next_id: 1,
+            mode,
+            stats: TreeStats::default(),
+            granted: HashMap::new(),
+            waiting: HashMap::new(),
+        }
+    }
+
+    /// The overlap-reconciliation mode.
+    pub fn mode(&self) -> SplitMode {
+        self.mode
+    }
+
+    /// The virtual root id.
+    pub fn root(&self) -> ObjectId {
+        self.root
+    }
+
+    /// Number of nodes, including the virtual root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the virtual root remains.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Immutable node accessor.
+    pub fn node(&self, id: ObjectId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable node accessor (crate-internal; lock code lives in `lock.rs`).
+    pub(crate) fn node_mut(&mut self, id: ObjectId) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Iterates over all node ids (unordered).
+    pub fn node_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// All ancestors of `id`, nearest first, excluding `id`, including root.
+    pub fn ancestors(&self, id: ObjectId) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes.get(&id).and_then(|n| n.parent);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes.get(&p).and_then(|n| n.parent);
+        }
+        out
+    }
+
+    /// All descendants of `id` (excluding `id`), preorder.
+    pub fn descendants(&self, id: ObjectId) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<ObjectId> = match self.nodes.get(&id) {
+            Some(n) => n.children.clone(),
+            None => return out,
+        };
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            if let Some(n) = self.nodes.get(&c) {
+                stack.extend(n.children.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// The containment set of `id`: itself, its ancestors, and its
+    /// descendants — exactly the nodes whose regions overlap `id`'s region
+    /// (Figure 5's `Containment(obj)`).
+    pub fn containment(&self, id: ObjectId) -> Vec<ObjectId> {
+        let mut out = vec![id];
+        out.extend(self.ancestors(id));
+        out.extend(self.descendants(id));
+        out
+    }
+
+    fn alloc_node(&mut self, region: Pattern, parent: ObjectId) -> ObjectId {
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        self.nodes.insert(
+            id,
+            Node {
+                id,
+                region,
+                parent: Some(parent),
+                children: Vec::new(),
+                holders: Vec::new(),
+                waiters: Vec::new(),
+                refcount: 0,
+            },
+        );
+        self.nodes
+            .get_mut(&parent)
+            .expect("parent exists")
+            .children
+            .push(id);
+        id
+    }
+
+    fn reparent(&mut self, child: ObjectId, new_parent: ObjectId) {
+        let old_parent = self.nodes[&child].parent;
+        if let Some(op) = old_parent {
+            if let Some(n) = self.nodes.get_mut(&op) {
+                n.children.retain(|&c| c != child);
+            }
+        }
+        self.nodes
+            .get_mut(&child)
+            .expect("child exists")
+            .parent = Some(new_parent);
+        self.nodes
+            .get_mut(&new_parent)
+            .expect("new parent exists")
+            .children
+            .push(child);
+    }
+
+    /// Inserts a region into the tree (Figure 4's INSERT, with SPLIT).
+    ///
+    /// Returns the set of node ids that exactly cover `region`: usually one
+    /// node, but after splits a region may decompose into several
+    /// intersection nodes plus a remainder. Every returned node's refcount
+    /// is incremented on behalf of the caller.
+    ///
+    /// Empty regions return an empty set.
+    pub fn insert_region(&mut self, region: &Pattern) -> Vec<ObjectId> {
+        let start = std::time::Instant::now();
+        self.stats.inserts += 1;
+        let mut covering = Vec::new();
+        if region.equivalent(&Pattern::universe()) {
+            // A task scoping the whole network locks the virtual root.
+            covering.push(self.root);
+        } else if !region.is_empty() {
+            self.insert_at(self.root, region.clone(), &mut covering);
+        }
+        for &id in &covering {
+            self.nodes.get_mut(&id).expect("covering node exists").refcount += 1;
+        }
+        self.stats.insert_time += start.elapsed();
+        covering
+    }
+
+    /// Recursive descent of Figure 4. `covering` accumulates the node ids
+    /// that together cover the inserted region.
+    fn insert_at(&mut self, root: ObjectId, mut obj: Pattern, covering: &mut Vec<ObjectId>) {
+        let mut adopted: Vec<ObjectId> = Vec::new();
+        // Coarsen mode can grow `obj`, creating overlap with siblings that
+        // were already scanned — growing restarts the scan.
+        'rescan: loop {
+            let children: Vec<ObjectId> = self.nodes[&root].children.clone();
+            for c in children {
+                // A child may have been re-parented by an earlier split
+                // insert (or already adopted); skip stale entries.
+                if adopted.contains(&c)
+                    || self.nodes.get(&c).map(|n| n.parent) != Some(Some(root))
+                {
+                    continue;
+                }
+                let c_region = self.nodes[&c].region.clone();
+                if c_region.equivalent(&obj) {
+                    // Exact match: reuse the existing node.
+                    covering.push(c);
+                    return;
+                }
+                if c_region.contains(&obj) {
+                    // Recursive descent into the unique containing child.
+                    self.insert_at(c, obj, covering);
+                    return;
+                }
+                if obj.contains(&c_region) {
+                    // The new object adopts this child.
+                    adopted.push(c);
+                    continue;
+                }
+                if obj.overlaps(&c_region) {
+                    match self.mode {
+                        SplitMode::Split => {
+                            // SPLIT: insert the intersection into the
+                            // existing child's subtree; continue with the
+                            // remainder. Shrinking cannot create new
+                            // overlaps, so the single pass stays valid.
+                            self.stats.splits += 1;
+                            let inter = obj.intersect(&c_region);
+                            self.insert_at(c, inter, covering);
+                            obj = obj.subtract(&c_region);
+                            if obj.is_empty() {
+                                break 'rescan;
+                            }
+                        }
+                        SplitMode::Coarsen => {
+                            // Ablation: expand the new region to swallow
+                            // the overlapping child (which it adopts) and
+                            // rescan with the grown region.
+                            obj = obj.union(&c_region);
+                            adopted.push(c);
+                            continue 'rescan;
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        if !obj.is_empty() {
+            // Splits may shrink the remainder to exactly one adopted child
+            // (disjointness rules out matching one of several); reuse it
+            // rather than stacking an equal-region parent on top.
+            if adopted.len() == 1 && self.nodes[&adopted[0]].region.equivalent(&obj) {
+                covering.push(adopted[0]);
+                return;
+            }
+            let id = self.alloc_node(obj, root);
+            for a in adopted {
+                self.reparent(a, id);
+            }
+            covering.push(id);
+        } else {
+            // Fully split away: adopted children (if any) stay where they
+            // are — they are already covered via the splits.
+            debug_assert!(adopted.is_empty(), "adoption implies non-empty remainder");
+        }
+    }
+
+    /// Drops one reference to `id`; deletes the node (grafting children to
+    /// its parent, Figure 4's DELETE) once it is unreferenced, unlocked, and
+    /// has no waiters.
+    ///
+    /// Returns `true` if the node was physically removed.
+    pub fn release_ref(&mut self, id: ObjectId) -> bool {
+        let start = std::time::Instant::now();
+        let removed = (|| {
+            let node = match self.nodes.get_mut(&id) {
+                Some(n) => n,
+                None => return false,
+            };
+            node.refcount = node.refcount.saturating_sub(1);
+            if id == self.root
+                || node.refcount > 0
+                || !node.holders.is_empty()
+                || !node.waiters.is_empty()
+            {
+                return false;
+            }
+            let parent = node.parent.expect("non-root has a parent");
+            let children = node.children.clone();
+            self.nodes.remove(&id);
+            if let Some(p) = self.nodes.get_mut(&parent) {
+                p.children.retain(|&c| c != id);
+            }
+            for c in children {
+                self.nodes.get_mut(&c).expect("child exists").parent = Some(parent);
+                self.nodes
+                    .get_mut(&parent)
+                    .expect("parent exists")
+                    .children
+                    .push(c);
+            }
+            self.stats.deletes += 1;
+            true
+        })();
+        self.stats.delete_time += start.elapsed();
+        removed
+    }
+
+    /// The objects currently granted to `task`.
+    pub fn granted_objects(&self, task: TaskId) -> &[ObjectId] {
+        self.granted.get(&task).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The objects `task` is waiting on.
+    pub fn waiting_objects(&self, task: TaskId) -> &[ObjectId] {
+        self.waiting.get(&task).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub(crate) fn granted_mut(&mut self) -> &mut HashMap<TaskId, Vec<ObjectId>> {
+        &mut self.granted
+    }
+
+    pub(crate) fn waiting_mut(&mut self) -> &mut HashMap<TaskId, Vec<ObjectId>> {
+        &mut self.waiting
+    }
+
+    /// All tasks with any granted or waiting edge.
+    pub fn active_tasks(&self) -> Vec<TaskId> {
+        let mut v: Vec<TaskId> = self
+            .granted
+            .keys()
+            .chain(self.waiting.keys())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Validates the two tree invariants (paper §4.3): every parent
+    /// strictly contains each child, and siblings are pairwise disjoint.
+    /// Also checks structural consistency (parent/child symmetry).
+    ///
+    /// Returns a description of the first violation, or `Ok(())`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, node) in &self.nodes {
+            if let Some(p) = node.parent {
+                let parent = self
+                    .nodes
+                    .get(&p)
+                    .ok_or_else(|| format!("{id:?}: dangling parent {p:?}"))?;
+                if !parent.children.contains(id) {
+                    return Err(format!("{id:?}: parent {p:?} does not list it"));
+                }
+            } else if *id != self.root {
+                return Err(format!("{id:?}: non-root without parent"));
+            }
+            for (i, &a) in node.children.iter().enumerate() {
+                let an = self
+                    .nodes
+                    .get(&a)
+                    .ok_or_else(|| format!("{id:?}: dangling child {a:?}"))?;
+                if an.parent != Some(*id) {
+                    return Err(format!("{a:?}: child does not point back to {id:?}"));
+                }
+                if !node.region.contains_strictly(&an.region) {
+                    return Err(format!(
+                        "parent {} does not strictly contain child {}",
+                        node.region, an.region
+                    ));
+                }
+                for &b in &node.children[i + 1..] {
+                    let bn = &self.nodes[&b];
+                    if an.region.overlaps(&bn.region) {
+                        return Err(format!(
+                            "siblings overlap: {} and {}",
+                            an.region, bn.region
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ObjTree {
+    fn default() -> Self {
+        ObjTree::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(glob: &str) -> Pattern {
+        Pattern::from_glob(glob).unwrap()
+    }
+
+    #[test]
+    fn insert_builds_hierarchy() {
+        let mut t = ObjTree::new();
+        let dc = t.insert_region(&pat("dc01.*"));
+        let pod = t.insert_region(&pat("dc01.pod03.*"));
+        assert_eq!(dc.len(), 1);
+        assert_eq!(pod.len(), 1);
+        assert_eq!(t.node(pod[0]).unwrap().parent, Some(dc[0]));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_exact_match_reuses_node() {
+        let mut t = ObjTree::new();
+        let a = t.insert_region(&pat("dc01.pod01.*"));
+        let b = t.insert_region(&pat("dc01.pod01.*"));
+        assert_eq!(a, b);
+        assert_eq!(t.node(a[0]).unwrap().refcount, 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_adopts_contained_children() {
+        let mut t = ObjTree::new();
+        let pod = t.insert_region(&pat("dc01.pod03.*"));
+        let dc = t.insert_region(&pat("dc01.*"));
+        // dc01.* adopts dc01.pod03.*.
+        assert_eq!(t.node(pod[0]).unwrap().parent, Some(dc[0]));
+        assert_eq!(t.node(dc[0]).unwrap().parent, Some(t.root()));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn containing_insert_adopts_and_covers_with_one_node() {
+        // Existing dc1.pod3.*, insert dc1.pod[0-4].*: containment, not
+        // overlap — the new node adopts pod3 and alone covers the region
+        // (its lock blocks pod3 holders via containment conflicts).
+        let mut t = ObjTree::new();
+        let pod3 = t.insert_region(&Pattern::new(r"dc1\.pod3\..*").unwrap());
+        let range = t.insert_region(&Pattern::new(r"dc1\.pod[0-4]\..*").unwrap());
+        assert_eq!(range.len(), 1);
+        assert_eq!(t.node(pod3[0]).unwrap().parent, Some(range[0]));
+        assert_eq!(t.stats.splits, 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn overlapping_insert_splits() {
+        // Mirrors Figure 3d: existing dc1.pod[2-6].*, insert the partially
+        // overlapping dc1.pod[0-4].*.
+        let mut t = ObjTree::new();
+        let existing = t.insert_region(&Pattern::new(r"dc1\.pod[2-6]\..*").unwrap());
+        let range = t.insert_region(&Pattern::new(r"dc1\.pod[0-4]\..*").unwrap());
+        // The new region decomposes into the intersection (pod[2-4], a new
+        // child of the existing node) plus the remainder (pod[0-1]).
+        assert_eq!(range.len(), 2);
+        assert!(t.stats.splits >= 1);
+        let inter = Pattern::new(r"dc1\.pod[2-4]\..*").unwrap();
+        let inter_node = range
+            .iter()
+            .find(|&&id| t.node(id).unwrap().region.equivalent(&inter))
+            .copied()
+            .expect("intersection node exists");
+        assert_eq!(t.node(inter_node).unwrap().parent, Some(existing[0]));
+        // Union of covering nodes equals the requested region.
+        let union = t
+            .node(range[0])
+            .unwrap()
+            .region
+            .union(&t.node(range[1]).unwrap().region);
+        assert!(union.equivalent(&Pattern::new(r"dc1\.pod[0-4]\..*").unwrap()));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn remainder_shrinking_to_adopted_child_reuses_it() {
+        // obj = pod[1-2]; existing children pod1 (contained → adopted) and
+        // pod[2-3] (overlap → split). The remainder collapses to exactly
+        // pod1, which must be reused, not double-inserted.
+        let mut t = ObjTree::new();
+        let pod1 = t.insert_region(&Pattern::new(r"dc1\.pod1\..*").unwrap());
+        let _p23 = t.insert_region(&Pattern::new(r"dc1\.pod[2-3]\..*").unwrap());
+        let obj = t.insert_region(&Pattern::new(r"dc1\.pod[1-2]\..*").unwrap());
+        assert!(obj.contains(&pod1[0]), "adopted-equal child is reused");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn universe_region_locks_virtual_root() {
+        let mut t = ObjTree::new();
+        let r = t.insert_region(&Pattern::universe());
+        assert_eq!(r, vec![t.root()]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn split_intersection_descends_into_existing_subtree() {
+        let mut t = ObjTree::new();
+        let _pods = t.insert_region(&Pattern::new(r"dc1\.pod[0-5]\..*").unwrap());
+        let cross = t.insert_region(&Pattern::new(r"dc1\.pod[4-9]\..*").unwrap());
+        // Intersection pod[4-5] goes under pod[0-5]; remainder pod[6-9]
+        // under root.
+        assert_eq!(cross.len(), 2);
+        t.validate().unwrap();
+        let regions: Vec<String> = cross
+            .iter()
+            .map(|&id| t.node(id).unwrap().region.source().to_string())
+            .collect();
+        // One of them matches pod4 names, the other pod7 names.
+        let p4 = Pattern::new(r"dc1\.pod4\..*").unwrap();
+        let p7 = Pattern::new(r"dc1\.pod7\..*").unwrap();
+        let covers = |needle: &Pattern| {
+            cross
+                .iter()
+                .any(|&id| t.node(id).unwrap().region.contains(needle))
+        };
+        assert!(covers(&p4), "regions: {regions:?}");
+        assert!(covers(&p7), "regions: {regions:?}");
+    }
+
+    #[test]
+    fn refcount_delete_grafts_children() {
+        let mut t = ObjTree::new();
+        let dc = t.insert_region(&pat("dc01.*"));
+        let pod = t.insert_region(&pat("dc01.pod03.*"));
+        // Release the DC object; pod should graft to root.
+        assert!(t.release_ref(dc[0]));
+        assert_eq!(t.node(pod[0]).unwrap().parent, Some(t.root()));
+        assert!(t.node(dc[0]).is_none());
+        t.validate().unwrap();
+        // Release pod too; tree returns to just the root.
+        assert!(t.release_ref(pod[0]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_waits_for_all_references() {
+        let mut t = ObjTree::new();
+        let a1 = t.insert_region(&pat("dc01.pod01.*"));
+        let a2 = t.insert_region(&pat("dc01.pod01.*"));
+        assert_eq!(a1, a2);
+        assert!(!t.release_ref(a1[0]), "still referenced once");
+        assert!(t.release_ref(a1[0]));
+    }
+
+    #[test]
+    fn root_is_never_deleted() {
+        let mut t = ObjTree::new();
+        let root = t.root();
+        assert!(!t.release_ref(root));
+        assert!(t.node(root).is_some());
+    }
+
+    #[test]
+    fn empty_region_inserts_nothing() {
+        let mut t = ObjTree::new();
+        let r = t.insert_region(&Pattern::new("[]").unwrap());
+        assert!(r.is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn containment_set_is_ancestors_self_descendants() {
+        let mut t = ObjTree::new();
+        let dc = t.insert_region(&pat("dc01.*"));
+        let pod = t.insert_region(&pat("dc01.pod03.*"));
+        let rack = t.insert_region(&pat("dc01.pod03.sw0?"));
+        let other = t.insert_region(&pat("dc02.*"));
+        let c = t.containment(pod[0]);
+        assert!(c.contains(&pod[0]));
+        assert!(c.contains(&dc[0]));
+        assert!(c.contains(&rack[0]));
+        assert!(c.contains(&t.root()));
+        assert!(!c.contains(&other[0]));
+    }
+
+    #[test]
+    fn disjoint_regions_become_siblings() {
+        let mut t = ObjTree::new();
+        let a = t.insert_region(&pat("dc01.*"));
+        let b = t.insert_region(&pat("dc02.*"));
+        assert_eq!(t.node(a[0]).unwrap().parent, Some(t.root()));
+        assert_eq!(t.node(b[0]).unwrap().parent, Some(t.root()));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn coarsen_mode_unions_instead_of_splitting() {
+        let mut t = ObjTree::with_mode(SplitMode::Coarsen);
+        let _a = t.insert_region(&Pattern::new(r"dc1\.pod[0-3]\..*").unwrap());
+        let b = t.insert_region(&Pattern::new(r"dc1\.pod[2-5]\..*").unwrap());
+        // One covering node whose region is the union (over-locked).
+        assert_eq!(b.len(), 1);
+        let region = &t.node(b[0]).unwrap().region;
+        assert!(region.equivalent(&Pattern::new(r"dc1\.pod[0-5]\..*").unwrap()));
+        assert_eq!(t.stats.splits, 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn coarsen_rescan_handles_chained_overlaps() {
+        // The union of the second insert with pod[2-4] also overlaps
+        // pod[0-1]: the rescan must swallow both earlier siblings.
+        let mut t = ObjTree::with_mode(SplitMode::Coarsen);
+        let _a = t.insert_region(&Pattern::new(r"dc1\.pod[0-1]\..*").unwrap());
+        let _b = t.insert_region(&Pattern::new(r"dc1\.pod[3-4]\..*").unwrap());
+        let c = t.insert_region(&Pattern::new(r"dc1\.pod[1-3]\..*").unwrap());
+        assert_eq!(c.len(), 1);
+        let region = &t.node(c[0]).unwrap().region;
+        assert!(region.contains(&Pattern::new(r"dc1\.pod0\..*").unwrap()));
+        assert!(region.contains(&Pattern::new(r"dc1\.pod4\..*").unwrap()));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut t = ObjTree::new();
+        t.insert_region(&pat("dc01.*"));
+        let x = t.insert_region(&pat("dc02.*"));
+        t.release_ref(x[0]);
+        assert_eq!(t.stats.inserts, 2);
+        assert_eq!(t.stats.deletes, 1);
+    }
+}

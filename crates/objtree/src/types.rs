@@ -1,0 +1,72 @@
+//! Identifier and lock-mode types shared across the object tree.
+
+/// Identifier of a network object (a node in the object tree).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ObjectId(pub u64);
+
+/// Identifier of a management task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TaskId(pub u64);
+
+/// The access mode of a lock or lock request.
+///
+/// Held locks are `S`/`X` edges in the paper's object/task dependency graph;
+/// pending requests are the intentional `IS`/`IX` edges. The mode is the
+/// same enum in both roles — whether it is "intentional" is determined by
+/// whether the edge sits in a node's waiter queue or holder set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// Shared (read) access; `get()`-only tasks request this.
+    Shared,
+    /// Exclusive (write) access; tasks using `set()`/`apply()` request this.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Two locks are compatible iff both are shared.
+    pub fn compatible(self, other: LockMode) -> bool {
+        self == LockMode::Shared && other == LockMode::Shared
+    }
+
+    /// Short display form matching the paper's notation (`S`/`X`).
+    pub fn letter(self) -> char {
+        match self {
+            LockMode::Shared => 'S',
+            LockMode::Exclusive => 'X',
+        }
+    }
+}
+
+/// A pending lock request (an intentional `IS`/`IX` edge).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LockRequest {
+    /// The requesting task.
+    pub task: TaskId,
+    /// Requested access mode.
+    pub mode: LockMode,
+    /// Logical arrival time (used by FIFO scheduling and tie-breaks).
+    pub arrival: u64,
+    /// Whether the task was flagged urgent (outage recovery); urgent
+    /// requests are scheduled ahead of ordinary ones.
+    pub urgent: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(Shared.compatible(Shared));
+        assert!(!Shared.compatible(Exclusive));
+        assert!(!Exclusive.compatible(Shared));
+        assert!(!Exclusive.compatible(Exclusive));
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(LockMode::Shared.letter(), 'S');
+        assert_eq!(LockMode::Exclusive.letter(), 'X');
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests: object-tree invariants under random insert/release
+//! sequences, and locking safety under random request/grant/release
+//! schedules.
+
+use occam_objtree::{LockMode, ObjTree, ObjectId, TaskId};
+use occam_regex::Pattern;
+use proptest::prelude::*;
+
+/// Random region scopes over a small dc/pod space so collisions (equal,
+/// contained, overlapping, disjoint) all occur.
+fn arb_region() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1u32..3).prop_map(|dc| format!(r"dc0{dc}\..*")),
+        (1u32..3, 0u32..6).prop_map(|(dc, p)| format!(r"dc0{dc}\.pod{p}\..*")),
+        (1u32..3, 0u32..5, 1u32..5).prop_map(|(dc, lo, w)| {
+            let hi = (lo + w).min(8);
+            format!(r"dc0{dc}\.pod[{lo}-{hi}]\..*")
+        }),
+        (1u32..3, 0u32..6, 0u32..4)
+            .prop_map(|(dc, p, s)| format!(r"dc0{dc}\.pod{p}\.sw0{s}")),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(String),
+    Release(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => arb_region().prop_map(Op::Insert),
+            1 => (0usize..32).prop_map(Op::Release),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The laminar-family invariants hold after every operation, and every
+    /// insert's covering set exactly covers the requested region.
+    #[test]
+    fn tree_invariants_hold(ops in arb_ops()) {
+        let mut tree = ObjTree::new();
+        let mut live: Vec<ObjectId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(src) => {
+                    let region = Pattern::new(&src).unwrap();
+                    let cover = tree.insert_region(&region);
+                    // Covering nodes union to the region and are disjoint
+                    // from each other.
+                    let mut union = Pattern::new("[]").unwrap();
+                    for (i, &a) in cover.iter().enumerate() {
+                        let ra = tree.node(a).unwrap().region.clone();
+                        for &b in &cover[i + 1..] {
+                            let rb = &tree.node(b).unwrap().region;
+                            prop_assert!(!ra.overlaps(rb),
+                                "covering nodes overlap for {src}");
+                        }
+                        union = union.union(&ra);
+                    }
+                    prop_assert!(union.equivalent(&region),
+                        "covering set does not equal region {src}");
+                    live.extend(cover);
+                }
+                Op::Release(i) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(i % live.len());
+                        tree.release_ref(id);
+                    }
+                }
+            }
+            if let Err(e) = tree.validate() {
+                return Err(TestCaseError::fail(format!("invariant broken: {e}")));
+            }
+        }
+        // Releasing everything returns the tree to just the root.
+        for id in live {
+            tree.release_ref(id);
+        }
+        prop_assert!(tree.validate().is_ok());
+        prop_assert!(tree.is_empty(), "leaked {} nodes", tree.len() - 1);
+    }
+
+    /// Lock safety: if the scheduler only grants when `can_grant` holds,
+    /// then at no point do two tasks hold conflicting locks on overlapping
+    /// regions.
+    #[test]
+    fn locking_never_admits_conflicts(
+        regions in proptest::collection::vec(arb_region(), 2..8),
+        grants in proptest::collection::vec((0usize..8, any::<bool>()), 1..30),
+    ) {
+        let mut tree = ObjTree::new();
+        let mut objs: Vec<ObjectId> = Vec::new();
+        for r in &regions {
+            objs.extend(tree.insert_region(&Pattern::new(r).unwrap()));
+        }
+        for (arrival, (i, exclusive)) in grants.into_iter().enumerate() {
+            let task = TaskId((i % 4) as u64);
+            let obj = objs[i % objs.len()];
+            let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+            tree.request_lock(task, obj, mode, arrival as u64, false);
+            if tree.can_grant(obj, task, mode) {
+                tree.grant(obj, task);
+            }
+            // Safety check over all pairs of holders on overlapping nodes.
+            let ids: Vec<ObjectId> = tree.node_ids().collect();
+            for &a in &ids {
+                for &b in &ids {
+                    let ra = &tree.node(a).unwrap().region;
+                    let rb = &tree.node(b).unwrap().region;
+                    if !ra.overlaps(rb) {
+                        continue;
+                    }
+                    for &(t1, m1) in tree.holders_of(a) {
+                        for &(t2, m2) in tree.holders_of(b) {
+                            if t1 != t2 {
+                                prop_assert!(
+                                    m1.compatible(m2),
+                                    "conflicting holders {t1:?}/{t2:?} on overlapping regions"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releasing a task always clears every edge it had.
+    #[test]
+    fn release_is_complete(
+        regions in proptest::collection::vec(arb_region(), 2..6),
+        reqs in proptest::collection::vec((0usize..6, any::<bool>()), 1..20),
+    ) {
+        let mut tree = ObjTree::new();
+        let mut objs: Vec<ObjectId> = Vec::new();
+        for r in &regions {
+            objs.extend(tree.insert_region(&Pattern::new(r).unwrap()));
+        }
+        for (n, (i, exclusive)) in reqs.iter().enumerate() {
+            let task = TaskId((i % 3) as u64);
+            let obj = objs[i % objs.len()];
+            let mode = if *exclusive { LockMode::Exclusive } else { LockMode::Shared };
+            tree.request_lock(task, obj, mode, n as u64, false);
+            if tree.can_grant(obj, task, mode) {
+                tree.grant(obj, task);
+            }
+        }
+        for t in 0..3u64 {
+            tree.release_task(TaskId(t));
+        }
+        for id in tree.node_ids().collect::<Vec<_>>() {
+            prop_assert!(tree.holders_of(id).is_empty());
+            prop_assert!(tree.waiters_of(id).is_empty());
+        }
+        prop_assert!(tree.active_tasks().is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! Regex abstract syntax tree and algebraic simplification.
+
+use crate::alphabet::SymSet;
+
+/// A regex abstract syntax tree over the device-identifier alphabet.
+///
+/// `Plus`, `Optional`, and bounded repetition are desugared by the parser, so
+/// the tree has only the five core regular-expression constructors. This
+/// keeps every downstream algorithm (Thompson construction, state
+/// elimination, simplification) total over a small match.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ast {
+    /// The empty language (matches nothing).
+    Empty,
+    /// The empty string.
+    Epsilon,
+    /// One symbol drawn from a set; a literal is a singleton set.
+    Class(SymSet),
+    /// Concatenation of sub-expressions, in order.
+    Concat(Vec<Ast>),
+    /// Alternation between sub-expressions.
+    Alt(Vec<Ast>),
+    /// Kleene star.
+    Star(Box<Ast>),
+}
+
+impl Ast {
+    /// A literal single byte.
+    ///
+    /// Returns [`Ast::Empty`] for bytes outside the alphabet, which makes
+    /// malformed input harmless rather than panicking.
+    pub fn literal(b: u8) -> Ast {
+        match SymSet::singleton(b) {
+            Some(s) => Ast::Class(s),
+            None => Ast::Empty,
+        }
+    }
+
+    /// A literal string.
+    pub fn literal_str(s: &str) -> Ast {
+        Ast::concat(s.bytes().map(Ast::literal).collect())
+    }
+
+    /// The `.` wildcard: any single alphabet symbol.
+    pub fn any() -> Ast {
+        Ast::Class(SymSet::ALL)
+    }
+
+    /// The `.*` universe: any string over the alphabet.
+    pub fn universe() -> Ast {
+        Ast::star(Ast::any())
+    }
+
+    /// Smart concatenation constructor: flattens nested concats, drops
+    /// epsilons, and collapses to `Empty` if any part is `Empty`.
+    pub fn concat(parts: Vec<Ast>) -> Ast {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Ast::Empty => return Ast::Empty,
+                Ast::Epsilon => {}
+                Ast::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Ast::Epsilon,
+            1 => out.pop().expect("len checked"),
+            _ => Ast::Concat(out),
+        }
+    }
+
+    /// Smart alternation constructor: flattens nested alts, drops `Empty`
+    /// branches, merges sibling classes, and deduplicates branches.
+    pub fn alt(parts: Vec<Ast>) -> Ast {
+        let mut out: Vec<Ast> = Vec::with_capacity(parts.len());
+        let mut class = SymSet::EMPTY;
+        let mut saw_class = false;
+        let push_unique = |v: &mut Vec<Ast>, a: Ast| {
+            if !v.contains(&a) {
+                v.push(a);
+            }
+        };
+        let mut stack: Vec<Ast> = parts;
+        stack.reverse();
+        while let Some(p) = stack.pop() {
+            match p {
+                Ast::Empty => {}
+                Ast::Alt(inner) => {
+                    for i in inner.into_iter().rev() {
+                        stack.push(i);
+                    }
+                }
+                Ast::Class(s) => {
+                    class = class.union(s);
+                    saw_class = true;
+                }
+                other => push_unique(&mut out, other),
+            }
+        }
+        if saw_class && !class.is_empty() {
+            out.push(Ast::Class(class));
+        }
+        match out.len() {
+            0 => Ast::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Ast::Alt(out),
+        }
+    }
+
+    /// Smart star constructor: `∅* = ε`, `ε* = ε`, `(a*)* = a*`.
+    pub fn star(inner: Ast) -> Ast {
+        match inner {
+            Ast::Empty | Ast::Epsilon => Ast::Epsilon,
+            s @ Ast::Star(_) => s,
+            other => Ast::Star(Box::new(other)),
+        }
+    }
+
+    /// `a+` desugars to `a a*`.
+    pub fn plus(inner: Ast) -> Ast {
+        Ast::concat(vec![inner.clone(), Ast::star(inner)])
+    }
+
+    /// `a?` desugars to `a | ε`.
+    pub fn optional(inner: Ast) -> Ast {
+        match inner {
+            Ast::Empty | Ast::Epsilon => Ast::Epsilon,
+            other => Ast::Alt(vec![Ast::Epsilon, other]),
+        }
+    }
+
+    /// `a{m,n}` desugars to `a^m (a?)^(n-m)`; `a{m,}` to `a^m a*`.
+    pub fn repeat(inner: Ast, min: u32, max: Option<u32>) -> Ast {
+        let mut parts = Vec::new();
+        for _ in 0..min {
+            parts.push(inner.clone());
+        }
+        match max {
+            None => parts.push(Ast::star(inner)),
+            Some(max) => {
+                for _ in min..max {
+                    parts.push(Ast::optional(inner.clone()));
+                }
+            }
+        }
+        Ast::concat(parts)
+    }
+
+    /// Returns true if the AST trivially denotes the empty language.
+    ///
+    /// This is syntactic: `Empty` appears only at the root after smart
+    /// constructors have run.
+    pub fn is_empty_lang(&self) -> bool {
+        matches!(self, Ast::Empty)
+    }
+
+    /// Returns whether the language of this AST contains the empty string
+    /// (nullability), computed syntactically.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::Class(_) => false,
+            Ast::Epsilon | Ast::Star(_) => true,
+            Ast::Concat(ps) => ps.iter().all(Ast::nullable),
+            Ast::Alt(ps) => ps.iter().any(Ast::nullable),
+        }
+    }
+
+    /// A rough size measure (node count), used to keep state-elimination
+    /// output in check and by tests.
+    pub fn size(&self) -> usize {
+        match self {
+            Ast::Empty | Ast::Epsilon | Ast::Class(_) => 1,
+            Ast::Concat(ps) | Ast::Alt(ps) => 1 + ps.iter().map(Ast::size).sum::<usize>(),
+            Ast::Star(i) => 1 + i.size(),
+        }
+    }
+}
+
+/// Escapes a byte for display inside a regex (outside a character class).
+fn escape_byte(b: u8, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    match b {
+        b'.' | b'-' => write!(f, "\\{}", b as char),
+        _ => write!(f, "{}", b as char),
+    }
+}
+
+/// Writes a symbol set as a regex character class (or a bare literal / `.`).
+fn fmt_class(s: SymSet, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    if s == SymSet::ALL {
+        return write!(f, ".");
+    }
+    if s.len() == 1 {
+        let b = s.iter_bytes().next().expect("len is 1");
+        return escape_byte(b, f);
+    }
+    // Prefer the negated form when it is strictly smaller.
+    let (set, neg) = if s.complement().len() < s.len() {
+        (s.complement(), true)
+    } else {
+        (s, false)
+    };
+    write!(f, "[{}", if neg { "^" } else { "" })?;
+    // Emit maximal runs of consecutive symbol indices as ranges.
+    let idxs: Vec<u8> = set.iter_indices().collect();
+    let mut i = 0;
+    while i < idxs.len() {
+        let mut j = i;
+        while j + 1 < idxs.len() && idxs[j + 1] == idxs[j] + 1 {
+            j += 1;
+        }
+        let a = crate::alphabet::sym_byte(idxs[i]);
+        let b = crate::alphabet::sym_byte(idxs[j]);
+        let esc = |b: u8, f: &mut std::fmt::Formatter<'_>| -> std::fmt::Result {
+            // Inside a class only `-` and `]` (not in alphabet) and `^` (not
+            // in alphabet) need care; escape `-` and `.` for clarity.
+            match b {
+                b'-' | b'.' => write!(f, "\\{}", b as char),
+                _ => write!(f, "{}", b as char),
+            }
+        };
+        // Ranges must be over bytes that are consecutive in ASCII too, or a
+        // re-parse would interpret them differently; runs within `a-z` and
+        // `0-9` satisfy this, runs crossing groups do not.
+        let ascii_consecutive = (b as usize - a as usize) == (j - i);
+        if j - i >= 2 && ascii_consecutive {
+            esc(a, f)?;
+            write!(f, "-")?;
+            esc(b, f)?;
+        } else {
+            for &idx in &idxs[i..=j] {
+                esc(crate::alphabet::sym_byte(idx), f)?;
+            }
+        }
+        i = j + 1;
+    }
+    write!(f, "]")
+}
+
+/// Operator precedence for display: alt < concat < star/atom.
+fn fmt_prec(ast: &Ast, prec: u8, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    match ast {
+        Ast::Empty => write!(f, "[]"), // unmatchable class: denotes ∅
+        Ast::Epsilon => write!(f, "()"),
+        Ast::Class(s) => fmt_class(*s, f),
+        Ast::Concat(ps) => {
+            let need_paren = prec > 1;
+            if need_paren {
+                write!(f, "(")?;
+            }
+            for p in ps {
+                fmt_prec(p, 2, f)?;
+            }
+            if need_paren {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Ast::Alt(ps) => {
+            // `x|ε` prints as `x?` when possible.
+            let non_eps: Vec<&Ast> = ps.iter().filter(|p| !matches!(p, Ast::Epsilon)).collect();
+            let has_eps = non_eps.len() != ps.len();
+            if has_eps && non_eps.len() == 1 {
+                fmt_prec(non_eps[0], 3, f)?;
+                return write!(f, "?");
+            }
+            let need_paren = prec > 0;
+            if need_paren {
+                write!(f, "(")?;
+            }
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "|")?;
+                }
+                fmt_prec(p, 1, f)?;
+            }
+            if need_paren {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Ast::Star(inner) => {
+            fmt_prec(inner, 3, f)?;
+            write!(f, "*")
+        }
+    }
+}
+
+impl std::fmt::Display for Ast {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_prec(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_flattens_and_propagates_empty() {
+        let a = Ast::literal(b'a');
+        let b = Ast::literal(b'b');
+        let inner = Ast::concat(vec![a.clone(), b.clone()]);
+        let outer = Ast::concat(vec![inner, Ast::literal(b'c')]);
+        assert!(matches!(&outer, Ast::Concat(ps) if ps.len() == 3));
+        assert_eq!(Ast::concat(vec![a, Ast::Empty, b]), Ast::Empty);
+        assert_eq!(Ast::concat(vec![]), Ast::Epsilon);
+        assert_eq!(Ast::concat(vec![Ast::Epsilon, Ast::Epsilon]), Ast::Epsilon);
+    }
+
+    #[test]
+    fn alt_merges_classes_and_dedups() {
+        let a = Ast::literal(b'a');
+        let b = Ast::literal(b'b');
+        let merged = Ast::alt(vec![a.clone(), b]);
+        assert!(matches!(merged, Ast::Class(s) if s.len() == 2));
+        let dedup = Ast::alt(vec![Ast::literal_str("xy"), Ast::literal_str("xy")]);
+        assert_eq!(dedup, Ast::literal_str("xy"));
+        assert_eq!(Ast::alt(vec![Ast::Empty, a.clone()]), a);
+        assert_eq!(Ast::alt(vec![]), Ast::Empty);
+    }
+
+    #[test]
+    fn star_idempotent_and_epsilon_rules() {
+        let a = Ast::literal(b'a');
+        let s = Ast::star(a.clone());
+        assert_eq!(Ast::star(s.clone()), s);
+        assert_eq!(Ast::star(Ast::Epsilon), Ast::Epsilon);
+        assert_eq!(Ast::star(Ast::Empty), Ast::Epsilon);
+    }
+
+    #[test]
+    fn repeat_desugars() {
+        let a = Ast::literal(b'a');
+        // a{2,3} = a a a?
+        let r = Ast::repeat(a.clone(), 2, Some(3));
+        assert!(matches!(&r, Ast::Concat(ps) if ps.len() == 3));
+        // a{0,0} = ε
+        assert_eq!(Ast::repeat(a.clone(), 0, Some(0)), Ast::Epsilon);
+        // a{1,} = a a*
+        let r = Ast::repeat(a, 1, None);
+        assert!(matches!(&r, Ast::Concat(ps) if ps.len() == 2));
+    }
+
+    #[test]
+    fn nullable_computation() {
+        assert!(Ast::Epsilon.nullable());
+        assert!(!Ast::literal(b'a').nullable());
+        assert!(Ast::star(Ast::literal(b'a')).nullable());
+        assert!(Ast::optional(Ast::literal(b'a')).nullable());
+        assert!(!Ast::literal_str("ab").nullable());
+    }
+
+    #[test]
+    fn display_basic_forms() {
+        assert_eq!(Ast::literal_str("abc").to_string(), "abc");
+        assert_eq!(Ast::universe().to_string(), ".*");
+        assert_eq!(Ast::literal(b'.').to_string(), "\\.");
+        let opt = Ast::optional(Ast::literal(b'a'));
+        assert_eq!(opt.to_string(), "a?");
+    }
+
+    #[test]
+    fn display_class_ranges() {
+        let mut s = SymSet::EMPTY;
+        for b in b'a'..=b'f' {
+            s.insert(b);
+        }
+        assert_eq!(Ast::Class(s).to_string(), "[a-f]");
+    }
+}

@@ -1,0 +1,641 @@
+//! Complete DFAs: subset construction, boolean product operations,
+//! Hopcroft minimization, and language queries.
+//!
+//! All DFAs in this module are *complete*: every state has a transition on
+//! every alphabet symbol (a dead state absorbs the rest). Completeness makes
+//! complement a bit-flip and lets product constructions walk both machines
+//! in lockstep without option-handling.
+
+use crate::alphabet::{sym_index, NSYM};
+use crate::ast::Ast;
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+
+/// A deterministic finite automaton over the device-ID alphabet.
+///
+/// States are numbered `0..num_states`; `trans[s * NSYM + a]` is the
+/// successor of state `s` on symbol index `a`.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    trans: Vec<u32>,
+    accept: Vec<bool>,
+    start: u32,
+}
+
+impl Dfa {
+    /// Number of states (including the dead state, if distinguishable).
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accept(&self, state: u32) -> bool {
+        self.accept[state as usize]
+    }
+
+    /// The successor of `state` on symbol index `sym`.
+    pub fn next(&self, state: u32, sym: u8) -> u32 {
+        self.trans[state as usize * NSYM + sym as usize]
+    }
+
+    /// Builds a DFA from an AST via Thompson construction and subset
+    /// construction, then minimizes it.
+    pub fn from_ast(ast: &Ast) -> Dfa {
+        let nfa = Nfa::from_ast(ast);
+        Self::from_nfa(&nfa).minimize()
+    }
+
+    /// Subset construction from an ε-NFA. The result is complete but not
+    /// necessarily minimal.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let mut subset_ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut subsets: Vec<Vec<u32>> = Vec::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+
+        let intern = |set: Vec<u32>,
+                          subsets: &mut Vec<Vec<u32>>,
+                          trans: &mut Vec<u32>,
+                          accept: &mut Vec<bool>,
+                          subset_ids: &mut HashMap<Vec<u32>, u32>|
+         -> u32 {
+            if let Some(&id) = subset_ids.get(&set) {
+                return id;
+            }
+            let id = subsets.len() as u32;
+            accept.push(set.contains(&nfa.accept));
+            subset_ids.insert(set.clone(), id);
+            subsets.push(set);
+            trans.resize(trans.len() + NSYM, u32::MAX);
+            id
+        };
+
+        let start_set = nfa.eps_closure(&[nfa.start]);
+        let start = intern(start_set, &mut subsets, &mut trans, &mut accept, &mut subset_ids);
+        let mut work = vec![start];
+        while let Some(id) = work.pop() {
+            let cur = subsets[id as usize].clone();
+            for sym in 0..NSYM as u8 {
+                let mut moved: Vec<u32> = Vec::new();
+                for &s in &cur {
+                    for &(set, t) in &nfa.states[s as usize].trans {
+                        if set.contains_idx(sym) {
+                            moved.push(t);
+                        }
+                    }
+                }
+                let closed = nfa.eps_closure(&moved);
+                let existed = subset_ids.contains_key(&closed);
+                let tid = intern(closed, &mut subsets, &mut trans, &mut accept, &mut subset_ids);
+                if !existed {
+                    work.push(tid);
+                }
+                trans[id as usize * NSYM + sym as usize] = tid;
+            }
+        }
+        Dfa {
+            trans,
+            accept,
+            start,
+        }
+    }
+
+    /// Tests whether the DFA accepts `input`. Bytes outside the alphabet
+    /// reject immediately.
+    pub fn matches(&self, input: &str) -> bool {
+        let mut s = self.start;
+        for b in input.bytes() {
+            match sym_index(b) {
+                Some(i) => s = self.next(s, i),
+                None => return false,
+            }
+        }
+        self.is_accept(s)
+    }
+
+    /// Returns true if the language is empty (no accepting state reachable).
+    pub fn is_empty(&self) -> bool {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            if self.is_accept(s) {
+                return false;
+            }
+            for sym in 0..NSYM as u8 {
+                let t = self.next(s, sym);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Complement with respect to the full alphabet language `Σ*`.
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            trans: self.trans.clone(),
+            accept: self.accept.iter().map(|a| !a).collect(),
+            start: self.start,
+        }
+    }
+
+    /// Boolean product construction; `f` combines acceptance of the two
+    /// machines (`&&` for intersection, `|| ` for union, `a && !b` for
+    /// difference, `!=` for symmetric difference). The result is minimized.
+    pub fn product(&self, other: &Dfa, f: impl Fn(bool, bool) -> bool) -> Dfa {
+        self.product_raw(other, f).minimize()
+    }
+
+    /// The product construction without minimization — used by the decision
+    /// predicates (emptiness only needs reachability, not a canonical
+    /// machine), which the object tree calls on every insert.
+    fn product_raw(&self, other: &Dfa, f: impl Fn(bool, bool) -> bool) -> Dfa {
+        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+
+        let intern = |p: (u32, u32),
+                          pairs: &mut Vec<(u32, u32)>,
+                          trans: &mut Vec<u32>,
+                          accept: &mut Vec<bool>,
+                          ids: &mut HashMap<(u32, u32), u32>|
+         -> u32 {
+            if let Some(&id) = ids.get(&p) {
+                return id;
+            }
+            let id = pairs.len() as u32;
+            ids.insert(p, id);
+            accept.push(f(self.is_accept(p.0), other.is_accept(p.1)));
+            pairs.push(p);
+            trans.resize(trans.len() + NSYM, u32::MAX);
+            id
+        };
+
+        let start = intern(
+            (self.start, other.start),
+            &mut pairs,
+            &mut trans,
+            &mut accept,
+            &mut ids,
+        );
+        let mut work = vec![start];
+        while let Some(id) = work.pop() {
+            let (a, b) = pairs[id as usize];
+            for sym in 0..NSYM as u8 {
+                let p = (self.next(a, sym), other.next(b, sym));
+                let existed = ids.contains_key(&p);
+                let tid = intern(p, &mut pairs, &mut trans, &mut accept, &mut ids);
+                if !existed {
+                    work.push(tid);
+                }
+                trans[id as usize * NSYM + sym as usize] = tid;
+            }
+        }
+        Dfa {
+            trans,
+            accept,
+            start,
+        }
+    }
+
+    /// `L(self) ∩ L(other)`.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// `L(self) ∪ L(other)`.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// `L(self) ∖ L(other)`.
+    pub fn difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && !b)
+    }
+
+    /// `L(other) ⊆ L(self)`.
+    pub fn contains_lang(&self, other: &Dfa) -> bool {
+        other.product_raw(self, |a, b| a && !b).is_empty()
+    }
+
+    /// `L(self) ∩ L(other) ≠ ∅`.
+    pub fn overlaps(&self, other: &Dfa) -> bool {
+        !self.product_raw(other, |a, b| a && b).is_empty()
+    }
+
+    /// `L(self) = L(other)`.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.product_raw(other, |a, b| a != b).is_empty()
+    }
+
+    /// Hopcroft's partition-refinement minimization.
+    ///
+    /// Unreachable states are first discarded; the result is the canonical
+    /// minimal complete DFA for the language (up to state numbering).
+    pub fn minimize(&self) -> Dfa {
+        // Discard unreachable states.
+        let n = self.num_states();
+        let mut reach = vec![false; n];
+        let mut stack = vec![self.start];
+        reach[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            for sym in 0..NSYM as u8 {
+                let t = self.next(s, sym);
+                if !reach[t as usize] {
+                    reach[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        let mut remap = vec![u32::MAX; n];
+        let mut states: Vec<u32> = Vec::new();
+        for (s, &r) in reach.iter().enumerate() {
+            if r {
+                remap[s] = states.len() as u32;
+                states.push(s as u32);
+            }
+        }
+        let m = states.len();
+
+        // Partition refinement over the reachable subautomaton.
+        // `part[s]` is the block id of (renumbered) state s.
+        let mut part: Vec<u32> = states
+            .iter()
+            .map(|&s| u32::from(self.accept[s as usize]))
+            .collect();
+        let mut num_blocks = if part.contains(&1) && part.contains(&0) {
+            2
+        } else {
+            1
+        };
+        if num_blocks == 1 {
+            // Normalize block ids to 0.
+            for b in part.iter_mut() {
+                *b = 0;
+            }
+        }
+        // Iteratively refine: two states stay together iff for every symbol
+        // their successors are in the same block. (Moore's algorithm; with
+        // the small alphabets and automata here it is effectively as fast as
+        // Hopcroft's worklist variant and much simpler to verify.)
+        loop {
+            let mut sig_ids: HashMap<(u32, [u32; NSYM]), u32> = HashMap::new();
+            let mut new_part = vec![0u32; m];
+            let mut next_block = 0u32;
+            for (i, &s) in states.iter().enumerate() {
+                let mut sig = [0u32; NSYM];
+                for (sym, slot) in sig.iter_mut().enumerate() {
+                    let t = self.trans[s as usize * NSYM + sym];
+                    *slot = part[remap[t as usize] as usize];
+                }
+                let key = (part[i], sig);
+                let id = *sig_ids.entry(key).or_insert_with(|| {
+                    let id = next_block;
+                    next_block += 1;
+                    id
+                });
+                new_part[i] = id;
+            }
+            if next_block as usize == num_blocks as usize {
+                part = new_part;
+                break;
+            }
+            num_blocks = next_block;
+            part = new_part;
+        }
+
+        let nb = num_blocks as usize;
+        let mut trans = vec![u32::MAX; nb * NSYM];
+        let mut accept = vec![false; nb];
+        for (i, &s) in states.iter().enumerate() {
+            let b = part[i] as usize;
+            accept[b] = self.accept[s as usize];
+            for sym in 0..NSYM {
+                let t = self.trans[s as usize * NSYM + sym];
+                trans[b * NSYM + sym] = part[remap[t as usize] as usize];
+            }
+        }
+        Dfa {
+            trans,
+            accept,
+            start: part[remap[self.start as usize] as usize],
+        }
+    }
+
+    /// Enumerates up to `limit` accepted strings in shortest-first order.
+    ///
+    /// Useful for tests and for explaining a region to an operator ("devices
+    /// matching this scope look like ...").
+    pub fn sample(&self, limit: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        // BFS over (state, prefix); prune dead states (no accept reachable).
+        let live = self.live_states();
+        if !live[self.start as usize] {
+            return out;
+        }
+        let mut queue: std::collections::VecDeque<(u32, String)> =
+            std::collections::VecDeque::new();
+        queue.push_back((self.start, String::new()));
+        // Cap explored prefixes to avoid pathological blow-ups.
+        let mut explored = 0usize;
+        while let Some((s, prefix)) = queue.pop_front() {
+            explored += 1;
+            if explored > 100_000 {
+                break;
+            }
+            if self.is_accept(s) {
+                out.push(prefix.clone());
+                if out.len() >= limit {
+                    break;
+                }
+            }
+            for sym in 0..NSYM as u8 {
+                let t = self.next(s, sym);
+                if live[t as usize] {
+                    let mut p = prefix.clone();
+                    p.push(crate::alphabet::sym_byte(sym) as char);
+                    queue.push_back((t, p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Marks states from which an accepting state is reachable.
+    fn live_states(&self) -> Vec<bool> {
+        let n = self.num_states();
+        // Reverse reachability from accepting states.
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for s in 0..n as u32 {
+            for sym in 0..NSYM as u8 {
+                rev[self.next(s, sym) as usize].push(s);
+            }
+        }
+        let mut live = vec![false; n];
+        let mut stack: Vec<u32> = (0..n as u32).filter(|&s| self.is_accept(s)).collect();
+        for &s in &stack {
+            live[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s as usize] {
+                if !live[p as usize] {
+                    live[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        live
+    }
+
+    /// The longest string every member of the language starts with.
+    ///
+    /// Computed by walking the unique live transition chain from the start
+    /// state. Scoped database queries use this to turn full-table scans
+    /// into range scans (`dc01\.pod03\..*` → prefix `dc01.pod03.`).
+    pub fn literal_prefix(&self) -> String {
+        let live = self.live_states();
+        let mut prefix = String::new();
+        let mut state = self.start;
+        if !live[self.start as usize] {
+            return prefix;
+        }
+        loop {
+            // Accepting state: the empty continuation is in the language,
+            // so the prefix cannot grow further.
+            if self.is_accept(state) {
+                return prefix;
+            }
+            let mut next: Option<(u8, u32)> = None;
+            for sym in 0..NSYM as u8 {
+                let t = self.next(state, sym);
+                if live[t as usize] {
+                    if next.is_some() {
+                        return prefix; // branching: prefix ends here
+                    }
+                    next = Some((sym, t));
+                }
+            }
+            match next {
+                Some((sym, t)) => {
+                    prefix.push(crate::alphabet::sym_byte(sym) as char);
+                    state = t;
+                }
+                None => return prefix, // empty language tail
+            }
+            if prefix.len() > 4096 {
+                return prefix; // defensive bound for degenerate machines
+            }
+        }
+    }
+
+    /// Returns true if the language is finite, and if so its cardinality
+    /// (up to `cap`; returns `None` when infinite or above the cap).
+    pub fn count_strings(&self, cap: u64) -> Option<u64> {
+        // The language is infinite iff a cycle exists among live, reachable
+        // states. Detect via DFS colors on the live sub-graph.
+        let live = self.live_states();
+        let n = self.num_states();
+        let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+        let mut has_cycle = false;
+        // Iterative DFS from start.
+        let mut stack: Vec<(u32, u8)> = Vec::new();
+        if live[self.start as usize] {
+            stack.push((self.start, 0));
+        }
+        while let Some((s, sym)) = stack.pop() {
+            if sym == 0 {
+                if color[s as usize] == 1 {
+                    continue;
+                }
+                color[s as usize] = 1;
+            }
+            if (sym as usize) < NSYM {
+                stack.push((s, sym + 1));
+                let t = self.next(s, sym);
+                if live[t as usize] {
+                    match color[t as usize] {
+                        0 => stack.push((t, 0)),
+                        1 => has_cycle = true,
+                        _ => {}
+                    }
+                }
+            } else {
+                color[s as usize] = 2;
+            }
+        }
+        if has_cycle {
+            return None;
+        }
+        // Count paths by memoized DFS (the live sub-graph is a DAG here).
+        fn count(dfa: &Dfa, live: &[bool], memo: &mut [Option<u64>], s: u32, cap: u64) -> u64 {
+            if let Some(c) = memo[s as usize] {
+                return c;
+            }
+            let mut total: u64 = u64::from(dfa.is_accept(s));
+            for sym in 0..NSYM as u8 {
+                let t = dfa.next(s, sym);
+                if live[t as usize] {
+                    total = total.saturating_add(count(dfa, live, memo, t, cap));
+                    if total > cap {
+                        break;
+                    }
+                }
+            }
+            memo[s as usize] = Some(total);
+            total
+        }
+        if !live[self.start as usize] {
+            return Some(0);
+        }
+        let mut memo = vec![None; n];
+        let c = count(self, &live, &mut memo, self.start, cap);
+        (c <= cap).then_some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn dfa(p: &str) -> Dfa {
+        Dfa::from_ast(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn membership_matches_pattern() {
+        let d = dfa(r"dc1\.pod[1-2]\..*");
+        assert!(d.matches("dc1.pod1.tor3"));
+        assert!(d.matches("dc1.pod2."));
+        assert!(!d.matches("dc1.pod3.x"));
+        assert!(!d.matches("dc1.pod1"));
+        assert!(!d.matches("DC1.pod1.x")); // outside alphabet
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(dfa("[]").is_empty());
+        assert!(!dfa("").is_empty());
+        assert!(!dfa("a*").is_empty());
+        assert!(dfa("[]a").is_empty());
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let a = dfa("a*b");
+        let b = dfa("ab|b");
+        let i = a.intersect(&b);
+        assert!(i.matches("ab"));
+        assert!(i.matches("b"));
+        assert!(!i.matches("aab"));
+        let d = a.difference(&b);
+        assert!(d.matches("aab"));
+        assert!(!d.matches("ab"));
+        assert!(!d.matches("b"));
+    }
+
+    #[test]
+    fn containment_is_language_level() {
+        let big = dfa(r"dc1\..*");
+        let small = dfa(r"dc1\.pod3\..*");
+        assert!(big.contains_lang(&small));
+        assert!(!small.contains_lang(&big));
+        // Reflexive.
+        assert!(big.contains_lang(&big));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = dfa(r"dc1\.pod[1-3]\..*");
+        let b = dfa(r"dc1\.pod[3-5]\..*");
+        let c = dfa(r"dc2\..*");
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn equivalence_after_different_constructions() {
+        let a = dfa("(a|b)*");
+        let b = dfa("(a*b*)*");
+        assert!(a.equivalent(&b));
+        let c = dfa("(ab)*");
+        assert!(!a.equivalent(&c));
+    }
+
+    #[test]
+    fn complement_laws() {
+        let a = dfa("abc.*");
+        let c = a.complement();
+        assert!(!c.matches("abcx"));
+        assert!(c.matches("xyz"));
+        assert!(c.matches(""));
+        assert!(a.union(&c).equivalent(&dfa(".*")));
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn minimize_is_canonical_size() {
+        // (a|b)*: minimal complete DFA has exactly 1 state... over the full
+        // alphabet it needs 2 (accepting loop on {a,b}, dead on the rest).
+        let d = dfa("(a|b)*");
+        assert_eq!(d.num_states(), 2);
+        // Σ* has exactly one state.
+        assert_eq!(dfa(".*").num_states(), 1);
+        // ∅ has exactly one state.
+        assert_eq!(dfa("[]").num_states(), 1);
+    }
+
+    #[test]
+    fn sample_shortest_first() {
+        let d = dfa("a|ab|abc");
+        let s = d.sample(10);
+        assert_eq!(s, vec!["a", "ab", "abc"]);
+        let empty = dfa("[]").sample(5);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn literal_prefix_extraction() {
+        assert_eq!(dfa(r"dc01\.pod03\..*").literal_prefix(), "dc01.pod03.");
+        assert_eq!(dfa(r"dc01\.(pod1|pod2)\..*").literal_prefix(), "dc01.pod");
+        assert_eq!(dfa(".*").literal_prefix(), "");
+        assert_eq!(dfa("abc").literal_prefix(), "abc");
+        assert_eq!(dfa("[]").literal_prefix(), "");
+        assert_eq!(dfa("a|ab").literal_prefix(), "a");
+        assert_eq!(dfa("x.*y").literal_prefix(), "x");
+    }
+
+    #[test]
+    fn count_strings_finite_and_infinite() {
+        assert_eq!(dfa("a|ab|abc").count_strings(100), Some(3));
+        assert_eq!(dfa("[ab]{2}").count_strings(100), Some(4));
+        assert_eq!(dfa("a*").count_strings(100), None);
+        assert_eq!(dfa("[]").count_strings(100), Some(0));
+    }
+
+    #[test]
+    fn pod_split_scenario() {
+        // Mirrors Fig. 3d of the paper: dc1.pod3.* split against dc1.pod[0-4].*.
+        let new_obj = dfa(r"dc1\.pod[0-4]\..*");
+        let existing = dfa(r"dc1\.pod3\..*");
+        let inter = new_obj.intersect(&existing);
+        assert!(inter.equivalent(&existing));
+        let rest = new_obj.difference(&existing);
+        assert!(rest.matches("dc1.pod0.t"));
+        assert!(!rest.matches("dc1.pod3.t"));
+        assert!(!rest.overlaps(&existing));
+        assert!(new_obj.equivalent(&rest.union(&inter)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Thompson construction from [`Ast`] to an ε-NFA.
+
+use crate::alphabet::SymSet;
+use crate::ast::Ast;
+
+/// One NFA state: ε-successors plus labelled successors.
+#[derive(Clone, Default, Debug)]
+pub struct NfaState {
+    /// ε-transitions out of this state.
+    pub eps: Vec<u32>,
+    /// Labelled transitions: consume one symbol from the set, go to target.
+    pub trans: Vec<(SymSet, u32)>,
+}
+
+/// An ε-NFA with a single start and single accept state, as produced by
+/// Thompson construction.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// The state arena.
+    pub states: Vec<NfaState>,
+    /// Start state index.
+    pub start: u32,
+    /// Accept state index.
+    pub accept: u32,
+}
+
+impl Nfa {
+    fn new_state(&mut self) -> u32 {
+        self.states.push(NfaState::default());
+        (self.states.len() - 1) as u32
+    }
+
+    fn add_eps(&mut self, from: u32, to: u32) {
+        self.states[from as usize].eps.push(to);
+    }
+
+    fn add_trans(&mut self, from: u32, set: SymSet, to: u32) {
+        self.states[from as usize].trans.push((set, to));
+    }
+
+    /// Builds the NFA fragment for `ast` between fresh start/accept states,
+    /// returning `(start, accept)`.
+    fn build(&mut self, ast: &Ast) -> (u32, u32) {
+        match ast {
+            Ast::Empty => {
+                // Two unconnected states: no path start → accept.
+                let s = self.new_state();
+                let a = self.new_state();
+                (s, a)
+            }
+            Ast::Epsilon => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.add_eps(s, a);
+                (s, a)
+            }
+            Ast::Class(set) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.add_trans(s, *set, a);
+                (s, a)
+            }
+            Ast::Concat(parts) => {
+                debug_assert!(!parts.is_empty(), "smart constructor guarantees non-empty");
+                let mut iter = parts.iter();
+                let first = iter.next().expect("non-empty concat");
+                let (s, mut a) = self.build(first);
+                for p in iter {
+                    let (ps, pa) = self.build(p);
+                    self.add_eps(a, ps);
+                    a = pa;
+                }
+                (s, a)
+            }
+            Ast::Alt(parts) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                for p in parts {
+                    let (ps, pa) = self.build(p);
+                    self.add_eps(s, ps);
+                    self.add_eps(pa, a);
+                }
+                (s, a)
+            }
+            Ast::Star(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (is, ia) = self.build(inner);
+                self.add_eps(s, is);
+                self.add_eps(s, a);
+                self.add_eps(ia, is);
+                self.add_eps(ia, a);
+                (s, a)
+            }
+        }
+    }
+
+    /// Constructs an NFA recognizing the language of `ast`.
+    pub fn from_ast(ast: &Ast) -> Nfa {
+        let mut nfa = Nfa {
+            states: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (s, a) = nfa.build(ast);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    /// Computes the ε-closure of a set of states (sorted, deduplicated).
+    pub fn eps_closure(&self, states: &[u32]) -> Vec<u32> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<u32> = Vec::with_capacity(states.len());
+        for &s in states {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = stack.clone();
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s as usize].eps {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Simulates the NFA directly (for cross-checking the DFA).
+    fn nfa_matches(nfa: &Nfa, input: &str) -> bool {
+        let mut cur = nfa.eps_closure(&[nfa.start]);
+        for b in input.bytes() {
+            let mut next = Vec::new();
+            for &s in &cur {
+                for &(set, t) in &nfa.states[s as usize].trans {
+                    if set.contains(b) {
+                        next.push(t);
+                    }
+                }
+            }
+            cur = nfa.eps_closure(&next);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.contains(&nfa.accept)
+    }
+
+    #[test]
+    fn literal_match() {
+        let nfa = Nfa::from_ast(&parse("abc").unwrap());
+        assert!(nfa_matches(&nfa, "abc"));
+        assert!(!nfa_matches(&nfa, "ab"));
+        assert!(!nfa_matches(&nfa, "abcd"));
+        assert!(!nfa_matches(&nfa, ""));
+    }
+
+    #[test]
+    fn star_and_alt() {
+        let nfa = Nfa::from_ast(&parse("(ab|c)*").unwrap());
+        for ok in ["", "ab", "c", "abc", "cab", "ababcc"] {
+            assert!(nfa_matches(&nfa, ok), "{ok}");
+        }
+        for bad in ["a", "b", "ba", "abx"] {
+            assert!(!nfa_matches(&nfa, bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn empty_language_matches_nothing() {
+        let nfa = Nfa::from_ast(&parse("[]").unwrap());
+        assert!(!nfa_matches(&nfa, ""));
+        assert!(!nfa_matches(&nfa, "a"));
+    }
+
+    #[test]
+    fn scope_pattern() {
+        let nfa = Nfa::from_ast(&parse(r"dc1\.pod[1-2]\..*").unwrap());
+        assert!(nfa_matches(&nfa, "dc1.pod1.tor3"));
+        assert!(nfa_matches(&nfa, "dc1.pod2."));
+        assert!(!nfa_matches(&nfa, "dc1.pod3.tor1"));
+        assert!(!nfa_matches(&nfa, "dc1.pod1"));
+    }
+
+    #[test]
+    fn eps_closure_dedups_and_sorts() {
+        let nfa = Nfa::from_ast(&parse("a*").unwrap());
+        let c = nfa.eps_closure(&[nfa.start, nfa.start]);
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(c, sorted);
+    }
+}

@@ -1,0 +1,379 @@
+//! A recursive-descent parser for the supported regex dialect.
+//!
+//! Grammar (POSIX-flavoured, restricted to the device-ID alphabet):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat*
+//! repeat := atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+//! atom   := literal | '.' | '\' c | '[' ('^')? class-items ']' | '(' alt? ')'
+//! ```
+//!
+//! `[]` (an empty class) is accepted and denotes the empty language; this is
+//! also what [`crate::ast::Ast::Empty`] prints as, making display/parse a
+//! round trip.
+
+use crate::alphabet::{sym_index, SymSet};
+use crate::ast::Ast;
+
+/// An error produced while parsing a regex.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub pos: usize,
+    /// Human-readable description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(Ast::alt(branches))
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(Ast::concat(parts))
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseError> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    atom = Ast::star(atom);
+                }
+                Some(b'+') => {
+                    self.bump();
+                    atom = Ast::plus(atom);
+                }
+                Some(b'?') => {
+                    self.bump();
+                    atom = Ast::optional(atom);
+                }
+                Some(b'{') => {
+                    self.bump();
+                    atom = self.parse_bound(atom)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        let mut n: u32 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            self.bump();
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u32::from(b - b'0')))
+                .ok_or_else(|| self.err("repetition count overflow"))?;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        if n > 1000 {
+            return Err(self.err("repetition count exceeds 1000"));
+        }
+        Ok(n)
+    }
+
+    fn parse_bound(&mut self, atom: Ast) -> Result<Ast, ParseError> {
+        let min = self.parse_number()?;
+        let max = match self.peek() {
+            Some(b',') => {
+                self.bump();
+                if self.peek() == Some(b'}') {
+                    None
+                } else {
+                    let m = self.parse_number()?;
+                    if m < min {
+                        return Err(self.err("max repetition below min"));
+                    }
+                    Some(m)
+                }
+            }
+            _ => Some(min),
+        };
+        if self.bump() != Some(b'}') {
+            return Err(self.err("expected `}`"));
+        }
+        Ok(Ast::repeat(atom, min, max))
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some(b'(') => {
+                if self.peek() == Some(b')') {
+                    self.bump();
+                    return Ok(Ast::Epsilon);
+                }
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unbalanced `(`"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.parse_class(),
+            Some(b'.') => Ok(Ast::any()),
+            Some(b'\\') => match self.bump() {
+                Some(c) => match SymSet::singleton(c) {
+                    Some(s) => Ok(Ast::Class(s)),
+                    None => Err(self.err(format!("escaped byte `{}` outside alphabet", c as char))),
+                },
+                None => Err(self.err("dangling escape")),
+            },
+            Some(b @ (b'*' | b'+' | b'?' | b'{' | b'}' | b')' | b']' | b'|')) => {
+                Err(self.err(format!("unexpected metacharacter `{}`", b as char)))
+            }
+            Some(b) => match SymSet::singleton(b) {
+                Some(s) => Ok(Ast::Class(s)),
+                None => Err(self.err(format!("byte `{}` outside alphabet", b as char))),
+            },
+        }
+    }
+
+    fn class_byte(&mut self) -> Result<u8, ParseError> {
+        match self.bump() {
+            Some(b'\\') => self.bump().ok_or_else(|| self.err("dangling escape in class")),
+            Some(b) => Ok(b),
+            None => Err(self.err("unterminated character class")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = SymSet::EMPTY;
+        while self.peek() != Some(b']') {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated character class"));
+            }
+            let lo = self.class_byte()?;
+            // A `-` is a range operator only between two symbols.
+            if self.peek() == Some(b'-')
+                && self.input.get(self.pos + 1).copied() != Some(b']')
+                && self.input.get(self.pos + 1).is_some()
+            {
+                self.bump(); // `-`
+                let hi = self.class_byte()?;
+                if hi < lo {
+                    return Err(self.err("reversed character range"));
+                }
+                for b in lo..=hi {
+                    if sym_index(b).is_none() {
+                        return Err(self.err(format!(
+                            "range [{}-{}] leaves the alphabet at `{}`",
+                            lo as char, hi as char, b as char
+                        )));
+                    }
+                    set.insert(b);
+                }
+            } else {
+                if !set.insert(lo) {
+                    return Err(self.err(format!("byte `{}` outside alphabet", lo as char)));
+                }
+            }
+        }
+        self.bump(); // `]`
+        let set = if negated { set.complement() } else { set };
+        if set.is_empty() {
+            // `[]` (or a fully-negated class) denotes the empty language.
+            Ok(Ast::Empty)
+        } else {
+            Ok(Ast::Class(set))
+        }
+    }
+}
+
+/// Parses a regex into an [`Ast`].
+///
+/// # Examples
+///
+/// ```
+/// use occam_regex::parse;
+/// let ast = parse(r"dc01\.pod0[1-3]\..*").unwrap();
+/// assert!(!ast.nullable());
+/// ```
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        input: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.parse_alt()?;
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input after pattern"));
+    }
+    Ok(ast)
+}
+
+/// Converts a glob-style scope (the notation used in the Occam paper, e.g.
+/// `dc1.pod3.*`) into an equivalent regex string.
+///
+/// `.` is treated as a literal separator, `*` as "any suffix" (`.*`), and
+/// `?` as any single symbol. Character classes (`[0-4]`) pass through
+/// unchanged, so scopes like `dc1.pod[0-4].*` keep their range meaning. All
+/// other characters are literals.
+///
+/// # Examples
+///
+/// ```
+/// use occam_regex::glob_to_regex;
+/// assert_eq!(glob_to_regex("dc1.pod3.*"), r"dc1\.pod3\..*");
+/// ```
+pub fn glob_to_regex(glob: &str) -> String {
+    let mut out = String::with_capacity(glob.len() + 8);
+    let mut in_class = false;
+    for c in glob.chars() {
+        match c {
+            '[' => {
+                in_class = true;
+                out.push(c);
+            }
+            ']' => {
+                in_class = false;
+                out.push(c);
+            }
+            '.' if !in_class => out.push_str("\\."),
+            '*' if !in_class => out.push_str(".*"),
+            '?' if !in_class => out.push('.'),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_and_escapes() {
+        assert_eq!(parse("abc").unwrap(), Ast::literal_str("abc"));
+        assert_eq!(parse(r"a\.b").unwrap(), Ast::literal_str("a.b"));
+        assert!(parse(r"a\,b").is_err());
+    }
+
+    #[test]
+    fn parses_alternation_and_grouping() {
+        let ast = parse("ab|cd").unwrap();
+        assert!(matches!(&ast, Ast::Alt(ps) if ps.len() == 2));
+        let grouped = parse("a(b|c)d").unwrap();
+        assert!(matches!(&grouped, Ast::Concat(ps) if ps.len() == 3));
+    }
+
+    #[test]
+    fn parses_repetitions() {
+        assert_eq!(parse("a*").unwrap(), Ast::star(Ast::literal(b'a')));
+        assert_eq!(parse("a+").unwrap(), Ast::plus(Ast::literal(b'a')));
+        assert_eq!(parse("a?").unwrap(), Ast::optional(Ast::literal(b'a')));
+        assert_eq!(
+            parse("a{2,3}").unwrap(),
+            Ast::repeat(Ast::literal(b'a'), 2, Some(3))
+        );
+        assert_eq!(parse("a{2}").unwrap(), Ast::repeat(Ast::literal(b'a'), 2, Some(2)));
+        assert_eq!(parse("a{2,}").unwrap(), Ast::repeat(Ast::literal(b'a'), 2, None));
+    }
+
+    #[test]
+    fn parses_classes() {
+        let ast = parse("[abc]").unwrap();
+        assert!(matches!(ast, Ast::Class(s) if s.len() == 3));
+        let ast = parse("[a-c0-2]").unwrap();
+        assert!(matches!(ast, Ast::Class(s) if s.len() == 6));
+        let ast = parse("[^a]").unwrap();
+        assert!(matches!(ast, Ast::Class(s) if s.len() as usize == crate::alphabet::NSYM - 1));
+        assert_eq!(parse("[]").unwrap(), Ast::Empty);
+    }
+
+    #[test]
+    fn rejects_malformed_patterns() {
+        for bad in ["(", "a)", "[a", "a{", "a{3,2}", "*a", "a{1001}", "a|*", "[z-a]"] {
+            assert!(parse(bad).is_err(), "expected parse failure for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_is_epsilon() {
+        assert_eq!(parse("").unwrap(), Ast::Epsilon);
+        assert_eq!(parse("()").unwrap(), Ast::Epsilon);
+    }
+
+    #[test]
+    fn glob_conversion() {
+        assert_eq!(glob_to_regex("dc1.*"), r"dc1\..*");
+        assert_eq!(glob_to_regex("dc1.pod?.tor1"), r"dc1\.pod.\.tor1");
+        let ast = parse(&glob_to_regex("dc1.pod3.*")).unwrap();
+        assert!(!ast.is_empty_lang());
+    }
+
+    #[test]
+    fn display_parse_round_trip_on_samples() {
+        for src in [
+            "abc",
+            "a|b|cd",
+            "(ab)*",
+            "a+b?c{2,4}",
+            "[a-z0-9]+",
+            r"dc01\.pod0[1-3]\..*",
+            "[^abc]x*",
+        ] {
+            let ast = parse(src).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("re-parse of {printed:?} (from {src:?}) failed: {e}"));
+            // Display/parse must be stable after one round trip.
+            assert_eq!(reparsed.to_string(), printed, "unstable display for {src:?}");
+        }
+    }
+}

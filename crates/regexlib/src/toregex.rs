@@ -1,0 +1,176 @@
+//! DFA → regex conversion by GNFA state elimination.
+//!
+//! The object tree's `Split` operation produces derived regions
+//! (intersections and differences of scopes) that must themselves be stored
+//! and displayed as *valid regexes* — the property the paper leans on from
+//! Câmpeanu & Santean \[10\]. State elimination over AST-labelled edges gives
+//! us exactly that, and the smart constructors in [`crate::ast`] keep the
+//! output from exploding on the small automata that device scopes produce.
+
+use crate::alphabet::{SymSet, NSYM};
+use crate::ast::Ast;
+use crate::dfa::Dfa;
+use std::collections::HashMap;
+
+/// Converts a DFA to an equivalent regex AST.
+///
+/// The input is minimized first so the elimination order works on the
+/// smallest machine. The output always re-parses to an equivalent language
+/// (covered by property tests).
+pub fn dfa_to_ast(dfa: &Dfa) -> Ast {
+    let dfa = dfa.minimize();
+    let n = dfa.num_states();
+
+    // GNFA: states 0..n are the DFA states, n is the super start, n+1 the
+    // super accept. Edge map (i, j) -> Ast.
+    let start = n;
+    let accept = n + 1;
+    let mut edges: HashMap<(usize, usize), Ast> = HashMap::new();
+    let add_edge = |edges: &mut HashMap<(usize, usize), Ast>, i: usize, j: usize, a: Ast| {
+        if a.is_empty_lang() {
+            return;
+        }
+        match edges.remove(&(i, j)) {
+            Some(prev) => {
+                edges.insert((i, j), Ast::alt(vec![prev, a]));
+            }
+            None => {
+                edges.insert((i, j), a);
+            }
+        }
+    };
+
+    // Collapse parallel symbol edges into classes.
+    for s in 0..n as u32 {
+        let mut by_target: HashMap<u32, SymSet> = HashMap::new();
+        for sym in 0..NSYM as u8 {
+            let t = dfa.next(s, sym);
+            by_target
+                .entry(t)
+                .or_insert(SymSet::EMPTY)
+                .insert(crate::alphabet::sym_byte(sym));
+        }
+        for (t, set) in by_target {
+            add_edge(&mut edges, s as usize, t as usize, Ast::Class(set));
+        }
+        if dfa.is_accept(s) {
+            add_edge(&mut edges, s as usize, accept, Ast::Epsilon);
+        }
+    }
+    add_edge(&mut edges, start, dfa.start() as usize, Ast::Epsilon);
+
+    // Eliminate DFA states one at a time. Order heuristic: fewest incident
+    // edges first, which empirically keeps intermediate ASTs small.
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while !remaining.is_empty() {
+        let (pos, &victim) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| {
+                edges
+                    .keys()
+                    .filter(|&&(i, j)| (i == v) ^ (j == v))
+                    .count()
+            })
+            .expect("remaining is non-empty");
+        remaining.swap_remove(pos);
+
+        let self_loop = edges.remove(&(victim, victim));
+        let loop_star = match self_loop {
+            Some(l) => Ast::star(l),
+            None => Ast::Epsilon,
+        };
+        let ins: Vec<(usize, Ast)> = edges
+            .iter()
+            .filter(|(&(_, j), _)| j == victim)
+            .map(|(&(i, _), a)| (i, a.clone()))
+            .collect();
+        let outs: Vec<(usize, Ast)> = edges
+            .iter()
+            .filter(|(&(i, _), _)| i == victim)
+            .map(|(&(_, j), a)| (j, a.clone()))
+            .collect();
+        edges.retain(|&(i, j), _| i != victim && j != victim);
+        for (i, ia) in &ins {
+            for (j, ja) in &outs {
+                let through =
+                    Ast::concat(vec![ia.clone(), loop_star.clone(), ja.clone()]);
+                add_edge(&mut edges, *i, *j, through);
+            }
+        }
+    }
+
+    edges.remove(&(start, accept)).unwrap_or(Ast::Empty)
+}
+
+/// Converts a DFA to an equivalent regex string.
+pub fn dfa_to_regex(dfa: &Dfa) -> String {
+    dfa_to_ast(dfa).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(pattern: &str) {
+        let d = Dfa::from_ast(&parse(pattern).unwrap());
+        let back = dfa_to_regex(&d);
+        let d2 = Dfa::from_ast(
+            &parse(&back).unwrap_or_else(|e| panic!("re-parse of {back:?} failed: {e}")),
+        );
+        assert!(
+            d.equivalent(&d2),
+            "round trip changed language: {pattern:?} -> {back:?}"
+        );
+    }
+
+    #[test]
+    fn round_trips_simple() {
+        for p in ["", "a", "abc", "a|b", "a*", "(ab|c)*d", "[]"] {
+            round_trip(p);
+        }
+    }
+
+    #[test]
+    fn round_trips_scopes() {
+        for p in [
+            r"dc1\.pod3\..*",
+            r"dc1\.pod[0-4]\..*",
+            r"dc1\.(pod1|pod2)\.tor[0-9]",
+            r"dc[0-9]{2}\..*",
+        ] {
+            round_trip(p);
+        }
+    }
+
+    #[test]
+    fn difference_produces_valid_regex() {
+        let a = Dfa::from_ast(&parse(r"dc1\.pod[0-4]\..*").unwrap());
+        let b = Dfa::from_ast(&parse(r"dc1\.pod3\..*").unwrap());
+        let diff = a.difference(&b);
+        let s = dfa_to_regex(&diff);
+        let re = Dfa::from_ast(&parse(&s).unwrap());
+        assert!(re.equivalent(&diff));
+        assert!(re.matches("dc1.pod0.t"));
+        assert!(!re.matches("dc1.pod3.t"));
+    }
+
+    #[test]
+    fn empty_language_prints_unmatchable() {
+        let d = Dfa::from_ast(&parse("[]").unwrap());
+        let s = dfa_to_regex(&d);
+        let re = Dfa::from_ast(&parse(&s).unwrap());
+        assert!(re.is_empty());
+    }
+
+    #[test]
+    fn universe_round_trip_is_compact() {
+        let d = Dfa::from_ast(&parse(".*").unwrap());
+        let s = dfa_to_regex(&d);
+        // Must denote Σ*; ideally stays literally `.*`.
+        let re = Dfa::from_ast(&parse(&s).unwrap());
+        assert!(re.equivalent(&d));
+        assert!(s.len() <= 8, "universe regex blew up: {s:?}");
+    }
+}

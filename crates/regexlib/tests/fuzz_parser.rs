@@ -1,0 +1,43 @@
+//! Fuzz-style robustness tests: the parser must never panic and must
+//! either produce a compilable AST or a structured error, for arbitrary
+//! byte soup.
+
+use occam_regex::{parse, Dfa, Pattern};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII input: parse returns Ok or Err, never panics, and
+    /// Ok results compile and round-trip through display.
+    #[test]
+    fn parser_is_total_on_ascii(input in "[ -~]{0,24}") {
+        if let Ok(ast) = parse(&input) {
+            let dfa = Dfa::from_ast(&ast);
+            let printed = ast.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("display of {input:?} unparseable: {e}"));
+            prop_assert!(Dfa::from_ast(&reparsed).equivalent(&dfa));
+        }
+    }
+
+    /// Arbitrary bytes (incl. non-ASCII): still no panics.
+    #[test]
+    fn parser_is_total_on_bytes(input in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let s = String::from_utf8_lossy(&input).to_string();
+        let _ = parse(&s);
+        let _ = Pattern::new(&s);
+        let _ = Pattern::from_glob(&s);
+    }
+
+    /// Matching is total for any compiled pattern and any input string.
+    #[test]
+    fn matching_is_total(pattern in "[a-c.*|()\\[\\]\\-?+0-9]{0,12}", input in "[ -~]{0,16}") {
+        if let Ok(p) = Pattern::new(&pattern) {
+            let _ = p.matches(&input);
+            let _ = p.is_empty();
+            let _ = p.sample(3);
+            let _ = p.count(100);
+        }
+    }
+}

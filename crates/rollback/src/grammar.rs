@@ -1,0 +1,471 @@
+//! The Table 1 grammar: parsing a typed execution log into a syntax tree.
+//!
+//! A complete log matches the *normal* patterns P1–P5; a log truncated by a
+//! failure matches the *failure* patterns P6–P10, in which exactly the last
+//! step may be broken (an unfinished `cfg_change`, `offline`, or `testing`
+//! block). The parser is a recursive descent over the sequence of
+//! [`OpType`] labels, producing the "syntax tree"-like structure of the
+//! paper's Figure 6.
+
+use crate::log::{LogEntry, OpStatus};
+use crate::optype::OpType;
+
+/// A parsed step (pattern P2/P7). Indices reference entries of the parsed
+/// log slice.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Step {
+    /// P3/P8: a series of database updates, then (if complete) a config
+    /// push.
+    CfgChange {
+        /// Indices of the `DB_CHANGE` entries, in execution order.
+        db: Vec<usize>,
+        /// Index of the `PUSH_CFG` entry; `None` marks a broken block.
+        push: Option<usize>,
+    },
+    /// P4/P9: drain, inner sequence, then (if complete) undrain.
+    Offline {
+        /// Index of the `DRAIN` entry.
+        drain: usize,
+        /// The inner maintenance sequence.
+        inner: Vec<Step>,
+        /// Index of the `UNDRAIN` entry; `None` marks a broken block.
+        undrain: Option<usize>,
+    },
+    /// P5/P10: prepare, tests, then (if complete) unprepare.
+    Testing {
+        /// Index of the `PREPARE` entry.
+        prepare: usize,
+        /// Indices of the `TEST` entries.
+        tests: Vec<usize>,
+        /// Index of the `UNPREPARE` entry; `None` marks a broken block.
+        unprepare: Option<usize>,
+    },
+}
+
+impl Step {
+    /// True if this step (or any nested step) is a broken failure pattern.
+    pub fn is_broken(&self) -> bool {
+        match self {
+            Step::CfgChange { push, .. } => push.is_none(),
+            Step::Offline { inner, undrain, .. } => {
+                undrain.is_none() || inner.iter().any(Step::is_broken)
+            }
+            Step::Testing { unprepare, .. } => unprepare.is_none(),
+        }
+    }
+}
+
+/// The parsed log: a sequence of steps (pattern P1/P6).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SyntaxTree {
+    /// Top-level steps in execution order.
+    pub steps: Vec<Step>,
+    /// Number of log entries consumed (the successful prefix).
+    pub consumed: usize,
+}
+
+impl SyntaxTree {
+    /// True if the log matched a failure pattern (some block is broken).
+    pub fn is_failure(&self) -> bool {
+        self.steps.iter().any(Step::is_broken)
+    }
+}
+
+/// An error parsing a log against the grammar.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GrammarError {
+    /// Index of the offending entry.
+    pub at: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "log entry {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+struct Parser<'a> {
+    types: &'a [OpType],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<OpType> {
+        self.types.get(self.pos).copied()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GrammarError {
+        GrammarError {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    /// seq := step* (stops at UNDRAIN, which closes an enclosing block, or
+    /// at end of input).
+    fn parse_seq(&mut self) -> Result<Vec<Step>, GrammarError> {
+        let mut steps = Vec::new();
+        while let Some(t) = self.peek() {
+            match t {
+                OpType::Undrain => break,
+                _ => steps.push(self.parse_step()?),
+            }
+        }
+        Ok(steps)
+    }
+
+    fn parse_step(&mut self) -> Result<Step, GrammarError> {
+        match self.peek() {
+            Some(OpType::DbChange) => self.parse_cfg_change(),
+            // A push with no preceding database writes re-applies current
+            // state: a cfg_change with an empty db_list (generalizing P3;
+            // its rollback is empty).
+            Some(OpType::PushCfg) => {
+                let push = self.pos;
+                self.pos += 1;
+                Ok(Step::CfgChange {
+                    db: Vec::new(),
+                    push: Some(push),
+                })
+            }
+            Some(OpType::Drain) => self.parse_offline(),
+            Some(OpType::Prepare) => self.parse_testing(),
+            Some(other) => Err(self.err(format!(
+                "unexpected {other} at step boundary (expected DB_CHANGE, PUSH_CFG, DRAIN, or PREPARE)"
+            ))),
+            None => Err(self.err("unexpected end of log")),
+        }
+    }
+
+    /// cfg_change := DB_CHANGE+ PUSH_CFG | DB_CHANGE+ (broken, only at end).
+    fn parse_cfg_change(&mut self) -> Result<Step, GrammarError> {
+        let mut db = Vec::new();
+        while self.peek() == Some(OpType::DbChange) {
+            db.push(self.pos);
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(OpType::PushCfg) => {
+                let push = self.pos;
+                self.pos += 1;
+                Ok(Step::CfgChange {
+                    db,
+                    push: Some(push),
+                })
+            }
+            None => Ok(Step::CfgChange { db, push: None }),
+            // A db_list not followed by PUSH_CFG mid-log: the grammar allows
+            // a broken cfg_change only at the truncation point.
+            Some(other) => Err(self.err(format!(
+                "db_list followed by {other}; expected PUSH_CFG or end of log"
+            ))),
+        }
+    }
+
+    /// offline := DRAIN seq UNDRAIN | DRAIN seq | DRAIN (broken at end).
+    fn parse_offline(&mut self) -> Result<Step, GrammarError> {
+        let drain = self.pos;
+        self.pos += 1;
+        let inner = self.parse_seq()?;
+        match self.peek() {
+            Some(OpType::Undrain) => {
+                let undrain = self.pos;
+                self.pos += 1;
+                Ok(Step::Offline {
+                    drain,
+                    inner,
+                    undrain: Some(undrain),
+                })
+            }
+            None => Ok(Step::Offline {
+                drain,
+                inner,
+                undrain: None,
+            }),
+            Some(other) => Err(self.err(format!("offline block interrupted by {other}"))),
+        }
+    }
+
+    /// testing := PREPARE TEST* UNPREPARE | PREPARE TEST* (broken at end).
+    fn parse_testing(&mut self) -> Result<Step, GrammarError> {
+        let prepare = self.pos;
+        self.pos += 1;
+        let mut tests = Vec::new();
+        while self.peek() == Some(OpType::Test) {
+            tests.push(self.pos);
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(OpType::Unprepare) => {
+                let unprepare = self.pos;
+                self.pos += 1;
+                Ok(Step::Testing {
+                    prepare,
+                    tests,
+                    unprepare: Some(unprepare),
+                })
+            }
+            None => Ok(Step::Testing {
+                prepare,
+                tests,
+                unprepare: None,
+            }),
+            Some(other) => Err(self.err(format!(
+                "testing block contains {other}; expected TEST or UNPREPARE"
+            ))),
+        }
+    }
+}
+
+/// Parses the successful prefix of a log into a syntax tree.
+///
+/// A trailing failed entry is excluded: its effects did not commit, so it
+/// needs no undoing (the paper's example likewise does not re-run the
+/// failed `f_optic_test`). Entries after the first failure are rejected.
+pub fn parse_log(log: &[LogEntry]) -> Result<SyntaxTree, GrammarError> {
+    let mut types = Vec::with_capacity(log.len());
+    for (i, e) in log.iter().enumerate() {
+        match e.status {
+            OpStatus::Ok => types.push(e.typ),
+            OpStatus::Failed => {
+                if i + 1 != log.len() {
+                    return Err(GrammarError {
+                        at: i,
+                        msg: "entries recorded after a failed operation".into(),
+                    });
+                }
+            }
+        }
+    }
+    let mut p = Parser {
+        types: &types,
+        pos: 0,
+    };
+    let steps = p.parse_seq()?;
+    if p.pos != types.len() {
+        // An UNDRAIN with no matching DRAIN stops parse_seq early.
+        return Err(p.err("UNDRAIN without an open DRAIN block"));
+    }
+    Ok(SyntaxTree {
+        steps,
+        consumed: types.len(),
+    })
+}
+
+/// Renders the syntax tree in an indented, Figure 6-like form.
+pub fn render_tree(tree: &SyntaxTree, log: &[LogEntry]) -> String {
+    fn step(out: &mut String, s: &Step, log: &[LogEntry], depth: usize) {
+        let pad = "  ".repeat(depth);
+        let lbl = |i: usize| {
+            log.get(i)
+                .map(|e| e.label.clone())
+                .unwrap_or_else(|| format!("#{i}"))
+        };
+        match s {
+            Step::CfgChange { db, push } => {
+                let tag = if push.is_some() { "cfg_change" } else { "b_cfg_change" };
+                out.push_str(&format!("{pad}{tag}\n"));
+                for &i in db {
+                    out.push_str(&format!("{pad}  DB_CHANGE {}\n", lbl(i)));
+                }
+                if let Some(p) = push {
+                    out.push_str(&format!("{pad}  PUSH_CFG {}\n", lbl(*p)));
+                }
+            }
+            Step::Offline {
+                drain,
+                inner,
+                undrain,
+            } => {
+                let tag = if undrain.is_some() && !inner.iter().any(Step::is_broken) {
+                    "offline"
+                } else {
+                    "b_offline"
+                };
+                out.push_str(&format!("{pad}{tag}\n"));
+                out.push_str(&format!("{pad}  DRAIN {}\n", lbl(*drain)));
+                for st in inner {
+                    step(out, st, log, depth + 1);
+                }
+                if let Some(u) = undrain {
+                    out.push_str(&format!("{pad}  UNDRAIN {}\n", lbl(*u)));
+                }
+            }
+            Step::Testing {
+                prepare,
+                tests,
+                unprepare,
+            } => {
+                let tag = if unprepare.is_some() { "testing" } else { "b_testing" };
+                out.push_str(&format!("{pad}{tag}\n"));
+                out.push_str(&format!("{pad}  PREPARE {}\n", lbl(*prepare)));
+                for &t in tests {
+                    out.push_str(&format!("{pad}  TEST {}\n", lbl(t)));
+                }
+                if let Some(u) = unprepare {
+                    out.push_str(&format!("{pad}  UNPREPARE {}\n", lbl(*u)));
+                }
+            }
+        }
+    }
+    let root = if tree.is_failure() { "b_seq" } else { "seq" };
+    let mut out = format!("{root}\n");
+    for s in &tree.steps {
+        step(&mut out, s, log, 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogEntry;
+
+    fn entries(types: &[OpType]) -> Vec<LogEntry> {
+        types
+            .iter()
+            .map(|&t| LogEntry::ok(t, t.name().to_lowercase()))
+            .collect()
+    }
+
+    use OpType::*;
+
+    #[test]
+    fn parses_complete_firmware_upgrade() {
+        // DRAIN (DB DB PUSH) (PREPARE TEST TEST UNPREPARE) UNDRAIN.
+        let log = entries(&[
+            Drain, DbChange, DbChange, PushCfg, Prepare, Test, Test, Unprepare, Undrain,
+        ]);
+        let tree = parse_log(&log).unwrap();
+        assert!(!tree.is_failure());
+        assert_eq!(tree.steps.len(), 1);
+        match &tree.steps[0] {
+            Step::Offline { inner, undrain, .. } => {
+                assert!(undrain.is_some());
+                assert_eq!(inner.len(), 2);
+                assert!(matches!(inner[0], Step::CfgChange { ref db, push: Some(_) } if db.len() == 2));
+                assert!(matches!(inner[1], Step::Testing { unprepare: Some(_), .. }));
+            }
+            other => panic!("expected offline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_failure_example() {
+        // DRAIN DB DB PUSH PREPARE TEST TEST, then f_optic_test fails.
+        let mut log = entries(&[Drain, DbChange, DbChange, PushCfg, Prepare, Test, Test]);
+        log.push(LogEntry::failed(Test, "apply(f_optic_test)"));
+        let tree = parse_log(&log).unwrap();
+        assert!(tree.is_failure());
+        match &tree.steps[0] {
+            Step::Offline { inner, undrain, .. } => {
+                assert!(undrain.is_none(), "drain block is broken");
+                assert!(matches!(inner[1], Step::Testing { unprepare: None, .. }));
+            }
+            other => panic!("expected b_offline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broken_cfg_change_only_at_end() {
+        // DB DB at end: broken cfg_change, fine.
+        let log = entries(&[DbChange, DbChange]);
+        let tree = parse_log(&log).unwrap();
+        assert!(tree.is_failure());
+        // DB followed by DRAIN mid-log: grammar violation.
+        let log = entries(&[DbChange, Drain]);
+        assert!(parse_log(&log).is_err());
+    }
+
+    #[test]
+    fn nested_offline_blocks() {
+        // DRAIN (DRAIN (DB PUSH) UNDRAIN) UNDRAIN.
+        let log = entries(&[Drain, Drain, DbChange, PushCfg, Undrain, Undrain]);
+        let tree = parse_log(&log).unwrap();
+        assert!(!tree.is_failure());
+        match &tree.steps[0] {
+            Step::Offline { inner, .. } => {
+                assert!(matches!(inner[0], Step::Offline { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_drain_is_broken_offline() {
+        let log = entries(&[Drain]);
+        let tree = parse_log(&log).unwrap();
+        assert!(tree.is_failure());
+        assert!(matches!(
+            tree.steps[0],
+            Step::Offline { undrain: None, ref inner, .. } if inner.is_empty()
+        ));
+    }
+
+    #[test]
+    fn bare_prepare_is_broken_testing() {
+        let log = entries(&[Prepare]);
+        let tree = parse_log(&log).unwrap();
+        assert!(matches!(
+            tree.steps[0],
+            Step::Testing { unprepare: None, ref tests, .. } if tests.is_empty()
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_logs() {
+        for bad in [
+            vec![Undrain],
+            vec![Unprepare],
+            vec![Test],
+            vec![Drain, Undrain, Undrain],
+            vec![Prepare, DbChange, Unprepare],
+        ] {
+            assert!(parse_log(&entries(&bad)).is_err(), "{bad:?}");
+        }
+        // A bare PUSH_CFG is a cfg_change with an empty db_list — valid,
+        // complete, and with an empty rollback.
+        let tree = parse_log(&entries(&[PushCfg])).unwrap();
+        assert!(!tree.is_failure());
+    }
+
+    #[test]
+    fn entries_after_failure_rejected() {
+        let log = vec![
+            LogEntry::failed(DbChange, "set(X)"),
+            LogEntry::ok(PushCfg, "apply(f_push)"),
+        ];
+        assert!(parse_log(&log).is_err());
+    }
+
+    #[test]
+    fn failed_tail_entry_is_excluded() {
+        let mut log = entries(&[DbChange]);
+        log.push(LogEntry::failed(PushCfg, "apply(f_push)"));
+        let tree = parse_log(&log).unwrap();
+        assert_eq!(tree.consumed, 1);
+        assert!(matches!(tree.steps[0], Step::CfgChange { push: None, .. }));
+    }
+
+    #[test]
+    fn empty_log_is_empty_success() {
+        let tree = parse_log(&[]).unwrap();
+        assert!(tree.steps.is_empty());
+        assert!(!tree.is_failure());
+    }
+
+    #[test]
+    fn render_marks_broken_blocks() {
+        let mut log = entries(&[Drain, DbChange]);
+        log.push(LogEntry::failed(PushCfg, "apply(f_push)"));
+        let tree = parse_log(&log).unwrap();
+        let s = render_tree(&tree, &log);
+        assert!(s.starts_with("b_seq"));
+        assert!(s.contains("b_offline"));
+        assert!(s.contains("b_cfg_change"));
+    }
+}

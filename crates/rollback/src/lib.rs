@@ -1,0 +1,49 @@
+//! # occam-rollback
+//!
+//! Rollback-plan generation for failed management tasks (paper §6).
+//!
+//! A task's stateful operations are recorded in a typed execution log
+//! ([`LogEntry`], with the Table 2 type labels). On failure, the log's
+//! successful prefix is parsed against the Table 1 grammar into a syntax
+//! tree (Figure 6), and the tree is walked with the per-pattern reversal
+//! rules to produce a concrete [`RollbackPlan`].
+//!
+//! The key insight reproduced here is that correct reversal order depends
+//! on operation *semantics*, not just reverse chronology: a `cfg_change`
+//! rolls back database-first-then-push (same order as execution), and a
+//! completed `offline` block must re-drain before undoing its interior.
+//!
+//! # Examples
+//!
+//! ```
+//! use occam_rollback::{parse_log, rollback_plan, LogEntry, OpType};
+//!
+//! // The paper's failed firmware upgrade:
+//! // DRAIN -> set -> set -> f_push -> f_alloc_ip -> ping -> optic -> X.
+//! let mut log = vec![
+//!     LogEntry::ok(OpType::Drain, "apply(f_drain)"),
+//!     LogEntry::ok(OpType::DbChange, "set(FIRMWARE_VERSION)"),
+//!     LogEntry::ok(OpType::DbChange, "set(FIRMWARE_BINARY)"),
+//!     LogEntry::ok(OpType::PushCfg, "apply(f_push)"),
+//!     LogEntry::ok(OpType::Prepare, "apply(f_alloc_ip)"),
+//!     LogEntry::ok(OpType::Test, "apply(f_ping_test)"),
+//!     LogEntry::failed(OpType::Test, "apply(f_optic_test)"),
+//! ];
+//! let tree = parse_log(&log).unwrap();
+//! let plan = rollback_plan(&tree);
+//! assert_eq!(
+//!     plan.arrow_notation(),
+//!     "UNPREPARE -> r(DB_CHANGE) -> r(DB_CHANGE) -> PUSH_CFG -> UNDRAIN",
+//! );
+//! # let _ = &mut log;
+//! ```
+
+pub mod grammar;
+pub mod log;
+pub mod optype;
+pub mod plan;
+
+pub use grammar::{parse_log, render_tree, GrammarError, Step, SyntaxTree};
+pub use log::{render_log, LogEntry, OpStatus};
+pub use optype::{func_optype, OpType};
+pub use plan::{rollback_plan, RollbackPlan, UndoStep};

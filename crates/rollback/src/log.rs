@@ -1,0 +1,105 @@
+//! The typed execution log a task accumulates.
+//!
+//! The runtime records every stateful operation (database writes and device
+//! functions) together with its Table 2 type; on failure, the log's
+//! successful prefix is parsed against the Table 1 grammar to synthesize a
+//! rollback plan.
+
+use crate::optype::OpType;
+
+/// Completion status of one logged operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpStatus {
+    /// The operation completed and its effects are visible.
+    Ok,
+    /// The operation failed; its effects did not commit.
+    Failed,
+}
+
+/// One logged stateful operation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LogEntry {
+    /// The Table 2 type label.
+    pub typ: OpType,
+    /// Human-readable form, e.g. `set(FIRMWARE_VERSION)` or
+    /// `apply(f_drain)`.
+    pub label: String,
+    /// Devices the operation touched.
+    pub devices: Vec<String>,
+    /// Completion status.
+    pub status: OpStatus,
+}
+
+impl LogEntry {
+    /// A successful entry.
+    pub fn ok(typ: OpType, label: impl Into<String>) -> LogEntry {
+        LogEntry {
+            typ,
+            label: label.into(),
+            devices: Vec::new(),
+            status: OpStatus::Ok,
+        }
+    }
+
+    /// A failed entry.
+    pub fn failed(typ: OpType, label: impl Into<String>) -> LogEntry {
+        LogEntry {
+            typ,
+            label: label.into(),
+            devices: Vec::new(),
+            status: OpStatus::Failed,
+        }
+    }
+
+    /// Attaches the devices the operation touched.
+    pub fn with_devices(mut self, devices: Vec<String>) -> LogEntry {
+        self.devices = devices;
+        self
+    }
+}
+
+/// Renders a log as the paper does: `DRAIN → DB_CHANGE → … → X` with `X`
+/// marking a failed step.
+pub fn render_log(log: &[LogEntry]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for e in log {
+        parts.push(e.typ.name().to_string());
+        if e.status == OpStatus::Failed {
+            parts.push("X".to_string());
+            break;
+        }
+    }
+    parts.join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_marks_failure() {
+        let log = vec![
+            LogEntry::ok(OpType::Drain, "apply(f_drain)"),
+            LogEntry::ok(OpType::DbChange, "set(FIRMWARE_VERSION)"),
+            LogEntry::failed(OpType::Test, "apply(f_optic_test)"),
+        ];
+        assert_eq!(render_log(&log), "DRAIN -> DB_CHANGE -> TEST -> X");
+    }
+
+    #[test]
+    fn render_success_has_no_marker() {
+        let log = vec![
+            LogEntry::ok(OpType::Drain, "d"),
+            LogEntry::ok(OpType::Undrain, "u"),
+        ];
+        assert_eq!(render_log(&log), "DRAIN -> UNDRAIN");
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let e = LogEntry::ok(OpType::Drain, "apply(f_drain)")
+            .with_devices(vec!["dc01.pod00.sw00".into()]);
+        assert_eq!(e.devices.len(), 1);
+        assert_eq!(e.status, OpStatus::Ok);
+    }
+}

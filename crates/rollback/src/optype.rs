@@ -1,0 +1,85 @@
+//! Operation type labels (paper Table 2).
+//!
+//! A small, fixed set of types is attached to the stateful operations a
+//! task performs; the rollback grammar (Table 1) is written over these
+//! types, not over concrete device functions.
+
+/// The type label of a logged management operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpType {
+    /// A `set(·)` database write.
+    DbChange,
+    /// A device function pushing configuration (`apply(f_push)`).
+    PushCfg,
+    /// A device function taking devices offline (`apply(f_drain)`).
+    Drain,
+    /// A device function restoring traffic (`apply(f_undrain)`).
+    Undrain,
+    /// Setting up a temporary test environment (`apply(f_alloc_ip)`).
+    Prepare,
+    /// Tearing down a test environment (`apply(f_dealloc_ip)`).
+    Unprepare,
+    /// Running a test (`apply(f_ping_test)`, `apply(f_optic_test)`).
+    Test,
+}
+
+impl OpType {
+    /// The label used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpType::DbChange => "DB_CHANGE",
+            OpType::PushCfg => "PUSH_CFG",
+            OpType::Drain => "DRAIN",
+            OpType::Undrain => "UNDRAIN",
+            OpType::Prepare => "PREPARE",
+            OpType::Unprepare => "UNPREPARE",
+            OpType::Test => "TEST",
+        }
+    }
+}
+
+impl std::fmt::Display for OpType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps a device-function name to its type label, mirroring Table 2.
+///
+/// Returns `None` for functions outside the labelled subset (they are
+/// treated as untyped steps and rolled back by their registered inverses,
+/// pattern P1).
+pub fn func_optype(func: &str) -> Option<OpType> {
+    match func {
+        "f_push" => Some(OpType::PushCfg),
+        "f_drain" => Some(OpType::Drain),
+        "f_undrain" => Some(OpType::Undrain),
+        "f_alloc_ip" => Some(OpType::Prepare),
+        "f_dealloc_ip" => Some(OpType::Unprepare),
+        "f_ping_test" | "f_optic_test" => Some(OpType::Test),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_mapping() {
+        assert_eq!(func_optype("f_push"), Some(OpType::PushCfg));
+        assert_eq!(func_optype("f_drain"), Some(OpType::Drain));
+        assert_eq!(func_optype("f_undrain"), Some(OpType::Undrain));
+        assert_eq!(func_optype("f_alloc_ip"), Some(OpType::Prepare));
+        assert_eq!(func_optype("f_dealloc_ip"), Some(OpType::Unprepare));
+        assert_eq!(func_optype("f_ping_test"), Some(OpType::Test));
+        assert_eq!(func_optype("f_optic_test"), Some(OpType::Test));
+        assert_eq!(func_optype("f_mystery"), None);
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(OpType::DbChange.to_string(), "DB_CHANGE");
+        assert_eq!(OpType::PushCfg.to_string(), "PUSH_CFG");
+    }
+}

@@ -1,0 +1,294 @@
+//! Rollback-plan generation: walking the syntax tree with the reversal
+//! rules of Table 1.
+//!
+//! The plan is a sequence of concrete undo steps referencing log entries,
+//! so the executor (or the human operator) can recover the exact devices
+//! and old attribute values involved.
+
+use crate::grammar::{Step, SyntaxTree};
+use crate::log::LogEntry;
+
+/// One step of a rollback plan.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UndoStep {
+    /// Restore the database state overwritten by the `DB_CHANGE` at `entry`.
+    RevertDb {
+        /// Log index of the write to revert.
+        entry: usize,
+    },
+    /// Re-push device configuration so physical state matches the reverted
+    /// database rows (the non-linear case of pattern P3: database first,
+    /// *then* the config push).
+    PushCfg {
+        /// Log indices of the reverted `DB_CHANGE` writes this push covers.
+        db_entries: Vec<usize>,
+    },
+    /// Re-drain devices before undoing work inside a *completed* offline
+    /// block (pattern P4's rollback starts with DRAIN).
+    Redrain {
+        /// Log index of the original `DRAIN`.
+        drain_entry: usize,
+    },
+    /// Restore traffic to the devices drained at `drain_entry`.
+    Undrain {
+        /// Log index of the original `DRAIN`.
+        drain_entry: usize,
+    },
+    /// Tear down the test environment set up at `prepare_entry`.
+    Unprepare {
+        /// Log index of the original `PREPARE`.
+        prepare_entry: usize,
+    },
+}
+
+/// A complete rollback plan.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RollbackPlan {
+    /// Undo steps in execution order.
+    pub steps: Vec<UndoStep>,
+}
+
+impl RollbackPlan {
+    /// True if nothing needs undoing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Renders the plan in the paper's arrow notation, e.g.
+    /// `UNPREPARE -> r(DB_CHANGE) -> r(DB_CHANGE) -> PUSH_CFG -> UNDRAIN`.
+    pub fn arrow_notation(&self) -> String {
+        let parts: Vec<&str> = self
+            .steps
+            .iter()
+            .map(|s| match s {
+                UndoStep::RevertDb { .. } => "r(DB_CHANGE)",
+                UndoStep::PushCfg { .. } => "PUSH_CFG",
+                UndoStep::Redrain { .. } => "DRAIN",
+                UndoStep::Undrain { .. } => "UNDRAIN",
+                UndoStep::Unprepare { .. } => "UNPREPARE",
+            })
+            .collect();
+        parts.join(" -> ")
+    }
+
+    /// Renders operator-facing step descriptions with device context drawn
+    /// from the log.
+    pub fn describe(&self, log: &[LogEntry]) -> Vec<String> {
+        let devices = |i: usize| -> String {
+            match log.get(i) {
+                Some(e) if !e.devices.is_empty() => format!(" on [{}]", e.devices.join(", ")),
+                _ => String::new(),
+            }
+        };
+        let label = |i: usize| -> String {
+            log.get(i).map(|e| e.label.clone()).unwrap_or_else(|| format!("#{i}"))
+        };
+        self.steps
+            .iter()
+            .map(|s| match s {
+                UndoStep::RevertDb { entry } => {
+                    format!("revert {}{}", label(*entry), devices(*entry))
+                }
+                UndoStep::PushCfg { db_entries } => {
+                    let first = db_entries.first().copied().unwrap_or(0);
+                    format!("push configuration{}", devices(first))
+                }
+                UndoStep::Redrain { drain_entry } => {
+                    format!("re-drain traffic{}", devices(*drain_entry))
+                }
+                UndoStep::Undrain { drain_entry } => {
+                    format!("undrain traffic{}", devices(*drain_entry))
+                }
+                UndoStep::Unprepare { prepare_entry } => {
+                    format!("tear down test environment{}", devices(*prepare_entry))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Generates the rollback plan for a parsed log (Table 1 reversal rules).
+pub fn rollback_plan(tree: &SyntaxTree) -> RollbackPlan {
+    let mut steps = Vec::new();
+    emit_seq(&tree.steps, &mut steps);
+    RollbackPlan { steps }
+}
+
+/// r(seq): undo steps in reverse execution order (P1/P6).
+fn emit_seq(seq: &[Step], out: &mut Vec<UndoStep>) {
+    for step in seq.iter().rev() {
+        emit_step(step, out);
+    }
+}
+
+fn emit_step(step: &Step, out: &mut Vec<UndoStep>) {
+    match step {
+        // P3: r(cfg_change) = r(db_list) -> PUSH_CFG. The database reverts
+        // first and only then the configuration is pushed — same order as
+        // execution, not a naive reversal.
+        // P8: a broken cfg_change never pushed, so only the DB reverts.
+        Step::CfgChange { db, push } => {
+            for &e in db.iter().rev() {
+                out.push(UndoStep::RevertDb { entry: e });
+            }
+            if push.is_some() && !db.is_empty() {
+                out.push(UndoStep::PushCfg {
+                    db_entries: db.clone(),
+                });
+            }
+        }
+        // P4: r(offline) = DRAIN -> r(seq) -> UNDRAIN (devices must be
+        // offline again while the inner work is undone).
+        // P9: broken offline is still drained, so no re-drain.
+        Step::Offline {
+            drain,
+            inner,
+            undrain,
+        } => {
+            let completed = undrain.is_some();
+            if completed {
+                out.push(UndoStep::Redrain { drain_entry: *drain });
+            }
+            emit_seq(inner, out);
+            out.push(UndoStep::Undrain {
+                drain_entry: *drain,
+            });
+        }
+        // P5: a completed testing block is side-effect free (environment
+        // set up and torn down, tests read-only): nothing to undo.
+        // P10: a broken one still has its environment up.
+        Step::Testing {
+            prepare,
+            unprepare,
+            ..
+        } => {
+            if unprepare.is_none() {
+                out.push(UndoStep::Unprepare {
+                    prepare_entry: *prepare,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::parse_log;
+    use crate::log::LogEntry;
+    use crate::optype::OpType::*;
+
+    fn ok_entries(types: &[crate::optype::OpType]) -> Vec<LogEntry> {
+        types
+            .iter()
+            .map(|&t| LogEntry::ok(t, t.name().to_lowercase()))
+            .collect()
+    }
+
+    fn plan_for(types: &[crate::optype::OpType]) -> RollbackPlan {
+        rollback_plan(&parse_log(&ok_entries(types)).unwrap())
+    }
+
+    #[test]
+    fn paper_firmware_failure_plan() {
+        // §6 example: DRAIN DB DB PUSH PREPARE TEST TEST -> X.
+        let plan = plan_for(&[Drain, DbChange, DbChange, PushCfg, Prepare, Test, Test]);
+        assert_eq!(
+            plan.arrow_notation(),
+            "UNPREPARE -> r(DB_CHANGE) -> r(DB_CHANGE) -> PUSH_CFG -> UNDRAIN"
+        );
+        // The DB reverts happen in reverse write order (entry 2 then 1).
+        assert_eq!(plan.steps[1], UndoStep::RevertDb { entry: 2 });
+        assert_eq!(plan.steps[2], UndoStep::RevertDb { entry: 1 });
+    }
+
+    #[test]
+    fn completed_task_plan_rewinds_with_redrain() {
+        // A fully completed offline block: rollback per P4 is
+        // DRAIN -> r(inner) -> UNDRAIN.
+        let plan = plan_for(&[
+            Drain, DbChange, PushCfg, Prepare, Test, Unprepare, Undrain,
+        ]);
+        assert_eq!(
+            plan.arrow_notation(),
+            "DRAIN -> r(DB_CHANGE) -> PUSH_CFG -> UNDRAIN"
+        );
+    }
+
+    #[test]
+    fn broken_db_list_reverts_without_push() {
+        // P8: DB DB (push never ran).
+        let plan = plan_for(&[DbChange, DbChange]);
+        assert_eq!(plan.arrow_notation(), "r(DB_CHANGE) -> r(DB_CHANGE)");
+        assert_eq!(plan.steps[0], UndoStep::RevertDb { entry: 1 });
+    }
+
+    #[test]
+    fn bare_drain_plan_is_undrain() {
+        // P9 third case: DRAIN -> X. Plan: UNDRAIN.
+        let plan = plan_for(&[Drain]);
+        assert_eq!(plan.arrow_notation(), "UNDRAIN");
+    }
+
+    #[test]
+    fn bare_prepare_plan_is_unprepare() {
+        // P10 second case.
+        let plan = plan_for(&[Prepare]);
+        assert_eq!(plan.arrow_notation(), "UNPREPARE");
+    }
+
+    #[test]
+    fn completed_testing_needs_no_undo() {
+        let plan = plan_for(&[Prepare, Test, Test, Unprepare]);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn multi_step_sequences_reverse() {
+        // Two cfg_changes in sequence: the later one reverts first.
+        let plan = plan_for(&[DbChange, PushCfg, DbChange, PushCfg]);
+        assert_eq!(
+            plan.arrow_notation(),
+            "r(DB_CHANGE) -> PUSH_CFG -> r(DB_CHANGE) -> PUSH_CFG"
+        );
+        assert_eq!(plan.steps[0], UndoStep::RevertDb { entry: 2 });
+        assert_eq!(plan.steps[2], UndoStep::RevertDb { entry: 0 });
+    }
+
+    #[test]
+    fn nested_offline_plan_order() {
+        // DRAIN₀ (DB₁ PUSH₂) DRAIN₃ (DB₄ PUSH₅) -> X (inner block broken).
+        let plan = plan_for(&[Drain, DbChange, PushCfg, Drain, DbChange, PushCfg]);
+        // Undo inner drained block first: r(DB₄) PUSH UNDRAIN(₃); then the
+        // outer completed cfg_change: r(DB₁) PUSH; then UNDRAIN(₀).
+        assert_eq!(
+            plan.arrow_notation(),
+            "r(DB_CHANGE) -> PUSH_CFG -> UNDRAIN -> r(DB_CHANGE) -> PUSH_CFG -> UNDRAIN"
+        );
+        assert_eq!(plan.steps[2], UndoStep::Undrain { drain_entry: 3 });
+        assert_eq!(plan.steps[5], UndoStep::Undrain { drain_entry: 0 });
+    }
+
+    #[test]
+    fn describe_includes_devices() {
+        let log = vec![
+            LogEntry::ok(Drain, "apply(f_drain)")
+                .with_devices(vec!["dc01.pod00.sw00".into()]),
+            LogEntry::ok(DbChange, "set(FIRMWARE_VERSION)")
+                .with_devices(vec!["dc01.pod00.sw00".into()]),
+        ];
+        let plan = rollback_plan(&parse_log(&log).unwrap());
+        let desc = plan.describe(&log);
+        assert_eq!(desc.len(), 2);
+        assert!(desc[0].contains("revert set(FIRMWARE_VERSION)"));
+        assert!(desc[0].contains("dc01.pod00.sw00"));
+        assert!(desc[1].contains("undrain"));
+    }
+
+    #[test]
+    fn empty_log_empty_plan() {
+        let plan = plan_for(&[]);
+        assert!(plan.is_empty());
+        assert_eq!(plan.arrow_notation(), "");
+    }
+}

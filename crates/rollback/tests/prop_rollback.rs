@@ -1,0 +1,188 @@
+//! Property tests for rollback-plan generation.
+//!
+//! Strategy: generate a random *valid* task (a complete log under the
+//! Table 1 grammar), truncate it at an arbitrary failure point, generate a
+//! plan, and run both the forward prefix and the plan against an abstract
+//! state machine. The plan must restore the database, leave no device
+//! drained, and leave no test environment up — for every truncation point
+//! of every generated task.
+
+use occam_rollback::{parse_log, rollback_plan, LogEntry, OpType, UndoStep};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Generates a complete, grammar-valid sequence of op types.
+fn arb_task() -> impl Strategy<Value = Vec<OpType>> {
+    // A step: cfg_change, testing, or (recursively) offline.
+    let leaf = prop_oneof![
+        (1usize..4).prop_map(|n| {
+            let mut v = vec![OpType::DbChange; n];
+            v.push(OpType::PushCfg);
+            v
+        }),
+        (0usize..4).prop_map(|n| {
+            let mut v = vec![OpType::Prepare];
+            v.extend(std::iter::repeat_n(OpType::Test, n));
+            v.push(OpType::Unprepare);
+            v
+        }),
+    ];
+    let step = leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            2 => inner.clone(),
+            1 => proptest::collection::vec(inner, 1..3).prop_map(|steps| {
+                let mut v = vec![OpType::Drain];
+                for s in steps {
+                    v.extend(s);
+                }
+                v.push(OpType::Undrain);
+                v
+            }),
+        ]
+    });
+    proptest::collection::vec(step, 1..5).prop_map(|steps| steps.concat())
+}
+
+/// Abstract machine tracking the effects the plan must undo.
+#[derive(Clone, PartialEq, Debug)]
+struct Machine {
+    /// Database "rows": one counter per DB_CHANGE index writes row 0 with a
+    /// new version; revert restores the prior version.
+    db: i64,
+    /// History of db values so reverts can restore (entry index → value
+    /// before that write).
+    before: HashMap<usize, i64>,
+    /// Last-pushed configuration (mirrors `db` at push time).
+    config: i64,
+    /// Net drain depth (0 = all traffic flowing).
+    drain_depth: i64,
+    /// Net prepared-environment depth (0 = no temp env).
+    prepare_depth: i64,
+}
+
+impl Machine {
+    fn new() -> Machine {
+        Machine {
+            db: 0,
+            before: HashMap::new(),
+            config: 0,
+            drain_depth: 0,
+            prepare_depth: 0,
+        }
+    }
+
+    fn run_forward(&mut self, log: &[OpType]) {
+        for (i, t) in log.iter().enumerate() {
+            match t {
+                OpType::DbChange => {
+                    self.before.insert(i, self.db);
+                    self.db = i as i64 + 1;
+                }
+                OpType::PushCfg => self.config = self.db,
+                OpType::Drain => self.drain_depth += 1,
+                OpType::Undrain => self.drain_depth -= 1,
+                OpType::Prepare => self.prepare_depth += 1,
+                OpType::Unprepare => self.prepare_depth -= 1,
+                OpType::Test => {}
+            }
+        }
+    }
+
+    fn run_plan(&mut self, plan: &[UndoStep]) {
+        for s in plan {
+            match s {
+                UndoStep::RevertDb { entry } => {
+                    self.db = *self.before.get(entry).expect("entry was a DB write");
+                }
+                UndoStep::PushCfg { .. } => self.config = self.db,
+                UndoStep::Redrain { .. } => self.drain_depth += 1,
+                UndoStep::Undrain { .. } => self.drain_depth -= 1,
+                UndoStep::Unprepare { .. } => self.prepare_depth -= 1,
+            }
+        }
+    }
+}
+
+fn to_entries(types: &[OpType]) -> Vec<LogEntry> {
+    types
+        .iter()
+        .map(|&t| LogEntry::ok(t, t.name().to_lowercase()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every prefix of a valid task parses, and its rollback plan restores
+    /// the abstract state.
+    #[test]
+    fn plan_restores_state_at_every_failure_point(task in arb_task(), cut in 0usize..64) {
+        let cut = cut % (task.len() + 1);
+        let prefix = &task[..cut];
+        let log = to_entries(prefix);
+        let tree = parse_log(&log)
+            .unwrap_or_else(|e| panic!("prefix of valid task failed to parse: {e}"));
+        let plan = rollback_plan(&tree);
+
+        let mut m = Machine::new();
+        m.run_forward(prefix);
+        m.run_plan(&plan.steps);
+
+        prop_assert_eq!(m.db, 0, "database not restored");
+        prop_assert_eq!(m.drain_depth, 0, "devices left drained (or over-undrained)");
+        prop_assert_eq!(m.prepare_depth, 0, "test environment leaked");
+        // If any DB write happened and the plan reverted it, the pushed
+        // config must be consistent with the restored database whenever the
+        // task had pushed at all.
+        if prefix.contains(&OpType::PushCfg) {
+            prop_assert_eq!(m.config, 0, "device config inconsistent with restored DB");
+        }
+    }
+
+    /// Plans never revert an entry that is not a DB_CHANGE, never undrain
+    /// without a matching logged DRAIN, and reference only in-range entries.
+    #[test]
+    fn plan_references_are_well_formed(task in arb_task(), cut in 0usize..64) {
+        let cut = cut % (task.len() + 1);
+        let prefix = &task[..cut];
+        let log = to_entries(prefix);
+        let plan = rollback_plan(&parse_log(&log).unwrap());
+        for s in &plan.steps {
+            match s {
+                UndoStep::RevertDb { entry } => {
+                    prop_assert_eq!(prefix[*entry], OpType::DbChange);
+                }
+                UndoStep::PushCfg { db_entries } => {
+                    prop_assert!(!db_entries.is_empty());
+                    for &e in db_entries {
+                        prop_assert_eq!(prefix[e], OpType::DbChange);
+                    }
+                }
+                UndoStep::Redrain { drain_entry } | UndoStep::Undrain { drain_entry } => {
+                    prop_assert_eq!(prefix[*drain_entry], OpType::Drain);
+                }
+                UndoStep::Unprepare { prepare_entry } => {
+                    prop_assert_eq!(prefix[*prepare_entry], OpType::Prepare);
+                }
+            }
+        }
+    }
+
+    /// A complete (non-failed) testing-only task yields an empty plan; a
+    /// task cut inside testing yields exactly one UNPREPARE.
+    #[test]
+    fn testing_blocks_are_side_effect_free(n_tests in 0usize..4, cut in 0usize..8) {
+        let mut task = vec![OpType::Prepare];
+        task.extend(std::iter::repeat_n(OpType::Test, n_tests));
+        task.push(OpType::Unprepare);
+        let cut = cut % (task.len() + 1);
+        let plan = rollback_plan(&parse_log(&to_entries(&task[..cut])).unwrap());
+        if cut == task.len() || cut == 0 {
+            prop_assert!(plan.is_empty());
+        } else {
+            prop_assert_eq!(plan.steps.len(), 1);
+            let is_unprepare = matches!(plan.steps[0], UndoStep::Unprepare { .. });
+            prop_assert!(is_unprepare);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # occam-sched
+//!
+//! Contention-aware lock scheduling for Occam (paper §5, Figure 5).
+//!
+//! The scheduler decides which pending lock request to grant whenever lock
+//! state changes. Two policies are provided:
+//!
+//! - **FIFO** — earliest-arrival first, the default in most databases.
+//! - **LDSF** — largest-dependency-set first: the task blocking the most
+//!   other tasks (directly, transitively, or through containment relations
+//!   between hierarchical regions) runs first; waiting read tasks aggregate
+//!   under a virtual task so granting shared locks unblocks all of them.
+//!
+//! The algorithm is generic over a [`LockSpace`], so the object tree, the
+//! simulator's per-device lock table, and its per-datacenter lock table all
+//! run the *same* scheduling code — that is what makes the paper's
+//! granularity comparison (Figures 8–11) an apples-to-apples experiment.
+//!
+//! Urgent tasks (outage recovery) pre-empt both policies, per the paper's
+//! §5 closing remark.
+
+pub mod scheduler;
+pub mod space;
+
+pub use scheduler::{Grant, Policy, SchedStats, Scheduler};
+pub use space::LockSpace;

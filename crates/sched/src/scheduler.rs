@@ -1,0 +1,444 @@
+//! The SCHED algorithm (paper §5, Figure 5): FIFO and LDSF lock
+//! scheduling over any [`LockSpace`].
+
+use crate::space::LockSpace;
+use occam_objtree::{LockMode, LockRequest, TaskId};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// The lock-scheduling policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Policy {
+    /// Grant available locks to the earliest-arrival waiter.
+    Fifo,
+    /// Largest-dependency-set-first (contention-aware), adapted from
+    /// Tian et al. \[40\] to the hierarchical object/task graph.
+    Ldsf,
+}
+
+/// One lock grant made by the scheduler.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Grant<O> {
+    /// Object granted.
+    pub obj: O,
+    /// Task receiving the lock.
+    pub task: TaskId,
+    /// Granted mode.
+    pub mode: LockMode,
+}
+
+/// Scheduler instrumentation (Figure 10a/10b inputs).
+#[derive(Clone, Default, Debug)]
+pub struct SchedStats {
+    /// Number of `sched` invocations.
+    pub invocations: u64,
+    /// Total locks granted.
+    pub grants: u64,
+    /// Total wall time inside `sched`.
+    pub total_time: Duration,
+    /// Wall time of the most recent invocation.
+    pub last_time: Duration,
+    /// Maximum single-invocation time observed.
+    pub max_time: Duration,
+}
+
+impl SchedStats {
+    /// Mean invocation time; zero when never invoked.
+    pub fn mean_time(&self) -> Duration {
+        if self.invocations == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.invocations as u32
+        }
+    }
+}
+
+/// The lock scheduler. Holds only policy and statistics; all lock state
+/// lives in the [`LockSpace`].
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    /// Active policy.
+    pub policy: Policy,
+    /// Instrumentation counters.
+    pub stats: SchedStats,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given policy.
+    pub fn new(policy: Policy) -> Scheduler {
+        Scheduler {
+            policy,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Runs one SCHED invocation (Figure 5): examines every object with
+    /// runnable waiters and grants per policy. Returns the grants made, in
+    /// order.
+    pub fn sched<S: LockSpace>(&mut self, space: &mut S) -> Vec<Grant<S::Obj>> {
+        let start = Instant::now();
+        self.stats.invocations += 1;
+        let mut grants = Vec::new();
+        // LDSF: dependency sets are computed once per invocation (Figure 5
+        // line 8).
+        let depsets = if self.policy == Policy::Ldsf {
+            Some(self.all_depsets(space))
+        } else {
+            None
+        };
+        // One pass suffices: granting a lock can only *restrict* what else
+        // is grantable, never enable it, so re-scanning after grants cannot
+        // produce more grants. (Within one object, the read-grant branch
+        // re-validates each grant through the space.)
+        {
+            let mut objs = space.objects_with_waiters();
+            objs.sort();
+            for obj in objs {
+                let (wait_wt, wait_rd) = self.get_wait_tasks(space, obj);
+                if wait_wt.is_empty() && wait_rd.is_empty() {
+                    continue;
+                }
+                let pick_read = match self.policy {
+                    Policy::Fifo => Self::fifo_pick(&wait_wt, &wait_rd),
+                    Policy::Ldsf => Self::ldsf_pick(
+                        &wait_wt,
+                        &wait_rd,
+                        depsets.as_ref().expect("computed for LDSF"),
+                    ),
+                };
+                match pick_read {
+                    ReadOrWrite::Read => {
+                        // Grant S locks to all runnable read tasks.
+                        for (o, req) in wait_rd {
+                            if let Some(mode) = space.grant(o, req.task) {
+                                grants.push(Grant {
+                                    obj: o,
+                                    task: req.task,
+                                    mode,
+                                });
+                            }
+                        }
+                    }
+                    ReadOrWrite::Write(o, task) => {
+                        if let Some(mode) = space.grant(o, task) {
+                            grants.push(Grant { obj: o, task, mode });
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.grants += grants.len() as u64;
+        let dt = start.elapsed();
+        self.stats.total_time += dt;
+        self.stats.last_time = dt;
+        self.stats.max_time = self.stats.max_time.max(dt);
+        grants
+    }
+
+    /// GetWaitTask (Figure 5 lines 15–22): runnable write and read requests
+    /// on `obj` and every object in containment relation with it. "Runnable"
+    /// means the request could be granted right now.
+    fn get_wait_tasks<S: LockSpace>(
+        &self,
+        space: &S,
+        obj: S::Obj,
+    ) -> (WaitList<S::Obj>, WaitList<S::Obj>) {
+        let mut wt = Vec::new();
+        let mut rd = Vec::new();
+        for o in space.containment(obj) {
+            // Fast path: an exclusive holder on `o` blocks every waiter on
+            // `o` itself (containment conflicts are caught by `can_grant`).
+            if space
+                .holders(o)
+                .iter()
+                .any(|&(_, m)| m == LockMode::Exclusive)
+            {
+                continue;
+            }
+            for req in space.waiters(o) {
+                if !space.can_grant(o, req.task, req.mode) {
+                    continue;
+                }
+                match req.mode {
+                    LockMode::Exclusive => wt.push((o, *req)),
+                    LockMode::Shared => rd.push((o, *req)),
+                }
+            }
+        }
+        (wt, rd)
+    }
+
+    /// FIFO (Figure 5 lines 23–27): earliest arrival wins; urgent requests
+    /// pre-empt ordinary ones.
+    fn fifo_pick<O: Copy>(
+        wait_wt: &[(O, LockRequest)],
+        wait_rd: &[(O, LockRequest)],
+    ) -> ReadOrWrite<O> {
+        let best = wait_wt
+            .iter()
+            .map(|(o, r)| (Some(*o), r))
+            .chain(wait_rd.iter().map(|(_, r)| (None, r)))
+            .min_by_key(|(_, r)| (!r.urgent, r.arrival))
+            .expect("caller checked non-empty");
+        match best {
+            (Some(o), r) => ReadOrWrite::Write(o, r.task),
+            (None, _) => ReadOrWrite::Read,
+        }
+    }
+
+    /// LDSF (Figure 5 lines 28–36): all read tasks aggregate their
+    /// dependency sets under one virtual task; the candidate with the
+    /// largest dependency set wins. Urgent requests pre-empt.
+    fn ldsf_pick<O: Copy>(
+        wait_wt: &[(O, LockRequest)],
+        wait_rd: &[(O, LockRequest)],
+        depsets: &HashMap<TaskId, HashSet<TaskId>>,
+    ) -> ReadOrWrite<O> {
+        let urgent_write = wait_wt
+            .iter()
+            .filter(|(_, r)| r.urgent)
+            .min_by_key(|(_, r)| r.arrival);
+        let urgent_read = wait_rd.iter().any(|(_, r)| r.urgent);
+        if let Some((o, r)) = urgent_write {
+            // Tie: favour the earliest urgent request overall.
+            if !urgent_read
+                || wait_rd
+                    .iter()
+                    .filter(|(_, rr)| rr.urgent)
+                    .all(|(_, rr)| r.arrival < rr.arrival)
+            {
+                return ReadOrWrite::Write(*o, r.task);
+            }
+        }
+        if urgent_read {
+            return ReadOrWrite::Read;
+        }
+        let size = |t: TaskId| depsets.get(&t).map(HashSet::len).unwrap_or(1);
+        // Virtual read task: union of all read-task dependency sets.
+        let mut urd: HashSet<TaskId> = HashSet::new();
+        for (_, r) in wait_rd {
+            match depsets.get(&r.task) {
+                Some(s) => urd.extend(s.iter().copied()),
+                None => {
+                    urd.insert(r.task);
+                }
+            }
+        }
+        let best_write = wait_wt
+            .iter()
+            .max_by_key(|(_, r)| (size(r.task), std::cmp::Reverse(r.arrival)));
+        match best_write {
+            None => ReadOrWrite::Read,
+            Some((o, r)) => {
+                if !wait_rd.is_empty() && urd.len() >= size(r.task) {
+                    ReadOrWrite::Read
+                } else {
+                    ReadOrWrite::Write(*o, r.task)
+                }
+            }
+        }
+    }
+
+    /// FindDepSet (Figure 5 lines 37–43) for every active task: the set of
+    /// tasks transitively waiting on objects the task holds (via
+    /// containment), plus itself.
+    fn all_depsets<S: LockSpace>(&self, space: &S) -> HashMap<TaskId, HashSet<TaskId>> {
+        // Reverse-wait adjacency: holder -> waiters blocked by it.
+        let mut blocked_by: HashMap<TaskId, Vec<TaskId>> = HashMap::new();
+        let mut tasks: HashSet<TaskId> = HashSet::new();
+        for (waiter, holder) in space.wait_edges() {
+            tasks.insert(waiter);
+            tasks.insert(holder);
+            let v = blocked_by.entry(holder).or_default();
+            if !v.contains(&waiter) {
+                v.push(waiter);
+            }
+        }
+        for obj in space.objects_with_waiters() {
+            for req in space.waiters(obj) {
+                tasks.insert(req.task);
+            }
+        }
+        // Dependency set of t = {t} ∪ depsets of tasks blocked by t,
+        // computed by DFS with a visited set (cycles collapse safely).
+        let mut out: HashMap<TaskId, HashSet<TaskId>> = HashMap::new();
+        for &t in &tasks {
+            let mut set = HashSet::new();
+            let mut stack = vec![t];
+            while let Some(cur) = stack.pop() {
+                if !set.insert(cur) {
+                    continue;
+                }
+                if let Some(next) = blocked_by.get(&cur) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+            out.insert(t, set);
+        }
+        out
+    }
+}
+
+enum ReadOrWrite<O> {
+    Read,
+    Write(O, TaskId),
+}
+
+/// Runnable requests paired with the object they wait on.
+type WaitList<O> = Vec<(O, LockRequest)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_objtree::{ObjTree, ObjectId};
+    use occam_regex::Pattern;
+
+    fn pod_tree(n: u32) -> (ObjTree, Vec<ObjectId>) {
+        let mut t = ObjTree::new();
+        let pods = (0..n)
+            .map(|p| {
+                t.insert_region(&Pattern::from_glob(&format!("dc01.pod{p:02}.*")).unwrap())[0]
+            })
+            .collect();
+        (t, pods)
+    }
+
+    #[test]
+    fn fifo_grants_earliest_writer() {
+        let (mut tree, pods) = pod_tree(1);
+        let mut sched = Scheduler::new(Policy::Fifo);
+        tree.request_lock(TaskId(2), pods[0], LockMode::Exclusive, 5, false);
+        tree.request_lock(TaskId(1), pods[0], LockMode::Exclusive, 3, false);
+        let grants = sched.sched(&mut tree);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].task, TaskId(1));
+    }
+
+    #[test]
+    fn read_pick_grants_all_readers() {
+        let (mut tree, pods) = pod_tree(1);
+        let mut sched = Scheduler::new(Policy::Fifo);
+        tree.request_lock(TaskId(1), pods[0], LockMode::Shared, 0, false);
+        tree.request_lock(TaskId(2), pods[0], LockMode::Shared, 1, false);
+        tree.request_lock(TaskId(3), pods[0], LockMode::Exclusive, 2, false);
+        let grants = sched.sched(&mut tree);
+        // FIFO picks task 1 (read) -> all readers granted; writer waits.
+        assert_eq!(grants.len(), 2);
+        assert!(grants.iter().all(|g| g.mode == LockMode::Shared));
+        assert_eq!(tree.waiters_of(pods[0]).len(), 1);
+    }
+
+    #[test]
+    fn disjoint_objects_granted_independently() {
+        let (mut tree, pods) = pod_tree(3);
+        let mut sched = Scheduler::new(Policy::Fifo);
+        for (i, &p) in pods.iter().enumerate() {
+            tree.request_lock(TaskId(i as u64), p, LockMode::Exclusive, i as u64, false);
+        }
+        let grants = sched.sched(&mut tree);
+        assert_eq!(grants.len(), 3);
+    }
+
+    #[test]
+    fn fixpoint_grants_cascades_in_one_invocation() {
+        let (mut tree, pods) = pod_tree(2);
+        let mut sched = Scheduler::new(Policy::Fifo);
+        // Two independent writers on different pods, plus queued writers.
+        tree.request_lock(TaskId(1), pods[0], LockMode::Exclusive, 0, false);
+        tree.request_lock(TaskId(2), pods[1], LockMode::Exclusive, 1, false);
+        tree.request_lock(TaskId(3), pods[0], LockMode::Exclusive, 2, false);
+        let grants = sched.sched(&mut tree);
+        // Task 3 stays queued behind task 1; 1 and 2 run.
+        assert_eq!(grants.len(), 2);
+        let granted: Vec<TaskId> = grants.iter().map(|g| g.task).collect();
+        assert!(granted.contains(&TaskId(1)) && granted.contains(&TaskId(2)));
+    }
+
+    #[test]
+    fn ldsf_prefers_larger_dependency_set() {
+        // Paper Figure 13b scenario: t1 holds an object; t2 and t3 wait on
+        // it; t4 waits on an object t3 holds. LDSF must grant t3 (depset 2)
+        // over t2 (depset 1) when t1 releases, while FIFO would pick t2
+        // (earlier arrival).
+        let build = || {
+            let mut tree = ObjTree::new();
+            let a =
+                tree.insert_region(&Pattern::from_glob("dc01.pod00.*").unwrap())[0];
+            let b =
+                tree.insert_region(&Pattern::from_glob("dc01.pod01.*").unwrap())[0];
+            // t1 holds a.
+            tree.request_lock(TaskId(1), a, LockMode::Exclusive, 0, false);
+            tree.grant(a, TaskId(1)).unwrap();
+            // t3 holds b (arrives later than t2 overall).
+            tree.request_lock(TaskId(3), b, LockMode::Exclusive, 2, false);
+            tree.grant(b, TaskId(3)).unwrap();
+            // t2 waits on a (arrival 1), t3 waits on a (arrival 3),
+            // t4 waits on b (arrival 4) -> t3's depset = {t3, t4}.
+            tree.request_lock(TaskId(2), a, LockMode::Exclusive, 1, false);
+            tree.request_lock(TaskId(3), a, LockMode::Exclusive, 3, false);
+            tree.request_lock(TaskId(4), b, LockMode::Exclusive, 4, false);
+            // t1 commits: release its locks.
+            tree.release_task(TaskId(1));
+            (tree, a)
+        };
+
+        let (mut tree, a) = build();
+        let mut fifo = Scheduler::new(Policy::Fifo);
+        let grants = fifo.sched(&mut tree);
+        assert!(
+            grants.iter().any(|g| g.obj == a && g.task == TaskId(2)),
+            "FIFO grants the earlier-arrival task 2; got {grants:?}"
+        );
+
+        let (mut tree, a) = build();
+        let mut ldsf = Scheduler::new(Policy::Ldsf);
+        let grants = ldsf.sched(&mut tree);
+        assert!(
+            grants.iter().any(|g| g.obj == a && g.task == TaskId(3)),
+            "LDSF grants task 3 with the larger dependency set; got {grants:?}"
+        );
+    }
+
+    #[test]
+    fn urgent_requests_preempt_policy_order() {
+        let (mut tree, pods) = pod_tree(1);
+        let mut sched = Scheduler::new(Policy::Fifo);
+        tree.request_lock(TaskId(1), pods[0], LockMode::Exclusive, 0, false);
+        tree.request_lock(TaskId(9), pods[0], LockMode::Exclusive, 5, true);
+        let grants = sched.sched(&mut tree);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].task, TaskId(9), "urgent task jumps the queue");
+    }
+
+    #[test]
+    fn containment_waiters_considered() {
+        // A writer waits on the whole DC while a pod is locked; when the
+        // pod releases, scheduling any object in the containment set must
+        // find the DC waiter.
+        let mut tree = ObjTree::new();
+        let dc = tree.insert_region(&Pattern::from_glob("dc01.*").unwrap())[0];
+        let pod = tree.insert_region(&Pattern::from_glob("dc01.pod00.*").unwrap())[0];
+        tree.request_lock(TaskId(1), pod, LockMode::Exclusive, 0, false);
+        tree.grant(pod, TaskId(1)).unwrap();
+        tree.request_lock(TaskId(2), dc, LockMode::Exclusive, 1, false);
+        let mut sched = Scheduler::new(Policy::Ldsf);
+        assert!(sched.sched(&mut tree).is_empty(), "blocked while pod held");
+        tree.release_task(TaskId(1));
+        let grants = sched.sched(&mut tree);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].task, TaskId(2));
+        assert_eq!(grants[0].obj, dc);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut tree, pods) = pod_tree(1);
+        let mut sched = Scheduler::new(Policy::Fifo);
+        tree.request_lock(TaskId(1), pods[0], LockMode::Exclusive, 0, false);
+        sched.sched(&mut tree);
+        sched.sched(&mut tree);
+        assert_eq!(sched.stats.invocations, 2);
+        assert_eq!(sched.stats.grants, 1);
+        assert!(sched.stats.mean_time() <= sched.stats.max_time);
+    }
+}

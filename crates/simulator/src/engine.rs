@@ -1,0 +1,891 @@
+//! The discrete-event simulator (paper §7 "Simulation", driving §8.1).
+//!
+//! Tasks arrive, request every lock their region needs under the selected
+//! granularity, start executing once all locks are held, run for their
+//! execution time, and commit — releasing all locks (strict 2PL) and
+//! triggering a SCHED invocation. The simulator shares the production lock
+//! and scheduling code (`occam-objtree`, `occam-sched`); it only replaces
+//! wall-clock execution with virtual time.
+
+use crate::flatspace::FlatSpace;
+use occam_objtree::{LockMode, ObjTree, ObjectId, SplitMode, TaskId, TreeStats};
+use occam_regex::PatternCache;
+use occam_sched::{LockSpace, Policy, SchedStats, Scheduler};
+use occam_topology::ProductionScheme;
+use occam_workload::TaskSpec;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Duration;
+
+/// Lock granularity (the paper's three simulator configurations).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Granularity {
+    /// One lock per datacenter.
+    Dc,
+    /// One lock per device.
+    Device,
+    /// Multi-granularity network-object locks (the Occam design).
+    Object,
+}
+
+impl Granularity {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Granularity::Dc => "dc",
+            Granularity::Device => "dev",
+            Granularity::Object => "obj",
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Lock granularity.
+    pub granularity: Granularity,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Network naming scheme (scale).
+    pub scheme: ProductionScheme,
+    /// Overlap reconciliation for the object tree (ablation switch; only
+    /// meaningful with [`Granularity::Object`]).
+    pub split_mode: SplitMode,
+}
+
+impl SimConfig {
+    /// The standard configuration: object granularity behaves per the
+    /// paper (SPLIT on overlap).
+    pub fn new(granularity: Granularity, policy: Policy, scheme: ProductionScheme) -> SimConfig {
+        SimConfig {
+            granularity,
+            policy,
+            scheme,
+            split_mode: SplitMode::Split,
+        }
+    }
+}
+
+/// Per-task outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskOutcome {
+    /// Task id.
+    pub id: u64,
+    /// Arrival time (hours).
+    pub arrival: f64,
+    /// Time all locks were held and execution began (hours).
+    pub start: f64,
+    /// Commit time (hours).
+    pub completion: f64,
+    /// Number of abort-and-retry rounds due to deadlock breaking.
+    pub retries: u32,
+}
+
+impl TaskOutcome {
+    /// Lock-waiting time in hours.
+    pub fn waiting(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// End-to-end completion time in hours.
+    pub fn completion_time(&self) -> f64 {
+        self.completion - self.arrival
+    }
+}
+
+/// Everything the experiments need from one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Per-task outcomes, by task id.
+    pub outcomes: Vec<TaskOutcome>,
+    /// `(virtual hours, waiting tasks)` after every event (Figure 8c).
+    pub queue_timeline: Vec<(f64, usize)>,
+    /// Active scheduling objects after each SCHED invocation (Figure 10b).
+    pub active_objects: Vec<usize>,
+    /// Wall time of each SCHED invocation (Figure 10a).
+    pub sched_durations: Vec<Duration>,
+    /// Aggregate scheduler counters.
+    pub sched_stats: SchedStats,
+    /// Object-tree maintenance stats (only for `Granularity::Object`).
+    pub tree_stats: Option<TreeStats>,
+    /// Deadlock cycles broken by abort-and-retry.
+    pub deadlocks_broken: u64,
+}
+
+impl SimResult {
+    /// Mean completion time (hours).
+    pub fn mean_completion(&self) -> f64 {
+        mean(self.outcomes.iter().map(TaskOutcome::completion_time))
+    }
+
+    /// Mean waiting time (hours).
+    pub fn mean_waiting(&self) -> f64 {
+        mean(self.outcomes.iter().map(TaskOutcome::waiting))
+    }
+
+    /// Percentile (0–100) of completion times.
+    pub fn completion_percentile(&self, p: f64) -> f64 {
+        percentile(self.outcomes.iter().map(TaskOutcome::completion_time), p)
+    }
+
+    /// Percentile (0–100) of waiting times.
+    pub fn waiting_percentile(&self, p: f64) -> f64 {
+        percentile(self.outcomes.iter().map(TaskOutcome::waiting), p)
+    }
+
+    /// Fraction of tasks that never waited (start ≈ arrival).
+    pub fn zero_wait_fraction(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.waiting() < 1e-9)
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Peak queue length.
+    pub fn peak_queue(&self) -> usize {
+        self.queue_timeline.iter().map(|&(_, q)| q).max().unwrap_or(0)
+    }
+
+    /// Mean SCHED invocation time.
+    pub fn mean_sched_time(&self) -> Duration {
+        if self.sched_durations.is_empty() {
+            return Duration::ZERO;
+        }
+        self.sched_durations.iter().sum::<Duration>() / self.sched_durations.len() as u32
+    }
+
+    /// Maximum SCHED invocation time.
+    pub fn max_sched_time(&self) -> Duration {
+        self.sched_durations.iter().max().copied().unwrap_or(Duration::ZERO)
+    }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn percentile(xs: impl Iterator<Item = f64>, p: f64) -> f64 {
+    let mut v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((v.len() - 1) as f64 * (p / 100.0)).round() as usize;
+    v[idx]
+}
+
+/// The granularity-specific glue: how regions become lock objects.
+trait SimSpace: LockSpace {
+    /// Requests every lock the task's region needs; returns how many.
+    fn acquire(&mut self, task: TaskId, spec: &TaskSpec, arrival_seq: u64) -> usize;
+    /// Releases everything the task holds or waits for.
+    fn finish(&mut self, task: TaskId);
+    /// Called after each SCHED invocation.
+    fn after_sched(&mut self) {}
+    /// Tree stats if this space is the object tree.
+    fn tree_stats(&self) -> Option<TreeStats> {
+        None
+    }
+}
+
+/// Flat space keyed by datacenter.
+struct DcSpace {
+    inner: FlatSpace,
+    scheme: ProductionScheme,
+}
+
+impl SimSpace for DcSpace {
+    fn acquire(&mut self, task: TaskId, spec: &TaskSpec, seq: u64) -> usize {
+        let mode = mode_of(spec);
+        let dcs = spec.region.dcs(&self.scheme);
+        for &dc in &dcs {
+            self.inner.request(task, dc - 1, mode, seq, spec.urgent);
+        }
+        dcs.len()
+    }
+
+    fn finish(&mut self, task: TaskId) {
+        self.inner.release_task(task);
+    }
+
+    fn after_sched(&mut self) {
+        self.inner.clear_dirty();
+    }
+}
+
+/// Flat space keyed by device index.
+struct DevSpace {
+    inner: FlatSpace,
+    scheme: ProductionScheme,
+}
+
+impl SimSpace for DevSpace {
+    fn acquire(&mut self, task: TaskId, spec: &TaskSpec, seq: u64) -> usize {
+        let mode = mode_of(spec);
+        let devices = spec.region.device_indices(&self.scheme);
+        for &d in &devices {
+            self.inner.request(task, d, mode, seq, spec.urgent);
+        }
+        devices.len()
+    }
+
+    fn finish(&mut self, task: TaskId) {
+        self.inner.release_task(task);
+    }
+
+    fn after_sched(&mut self) {
+        self.inner.clear_dirty();
+    }
+}
+
+/// Forwards `LockSpace` to the inner [`FlatSpace`] field.
+macro_rules! delegate_lockspace {
+    ($ty:ty) => {
+        impl LockSpace for $ty {
+            type Obj = u32;
+
+            fn objects_with_waiters(&self) -> Vec<u32> {
+                self.inner.objects_with_waiters()
+            }
+            fn waiters(&self, obj: u32) -> &[occam_objtree::LockRequest] {
+                LockSpace::waiters(&self.inner, obj)
+            }
+            fn holders(&self, obj: u32) -> &[(TaskId, LockMode)] {
+                LockSpace::holders(&self.inner, obj)
+            }
+            fn containment(&self, obj: u32) -> Vec<u32> {
+                self.inner.containment(obj)
+            }
+            fn can_grant(&self, obj: u32, task: TaskId, mode: LockMode) -> bool {
+                self.inner.can_grant(obj, task, mode)
+            }
+            fn grant(&mut self, obj: u32, task: TaskId) -> Option<LockMode> {
+                self.inner.grant(obj, task)
+            }
+            fn granted_objects_of(&self, task: TaskId) -> Vec<u32> {
+                self.inner.granted_objects_of(task)
+            }
+            fn wait_edges(&self) -> Vec<(TaskId, TaskId)> {
+                self.inner.wait_edges()
+            }
+            fn active_object_count(&self) -> usize {
+                self.inner.active_object_count()
+            }
+        }
+    };
+}
+
+delegate_lockspace!(DcSpace);
+delegate_lockspace!(DevSpace);
+
+/// The object tree with pattern compilation and per-task covering sets.
+struct ObjSpace {
+    tree: ObjTree,
+    scheme: ProductionScheme,
+    cache: PatternCache,
+    covering: HashMap<TaskId, Vec<ObjectId>>,
+}
+
+impl LockSpace for ObjSpace {
+    type Obj = ObjectId;
+
+    fn objects_with_waiters(&self) -> Vec<ObjectId> {
+        LockSpace::objects_with_waiters(&self.tree)
+    }
+    fn waiters(&self, obj: ObjectId) -> &[occam_objtree::LockRequest] {
+        LockSpace::waiters(&self.tree, obj)
+    }
+    fn holders(&self, obj: ObjectId) -> &[(TaskId, LockMode)] {
+        LockSpace::holders(&self.tree, obj)
+    }
+    fn containment(&self, obj: ObjectId) -> Vec<ObjectId> {
+        LockSpace::containment(&self.tree, obj)
+    }
+    fn can_grant(&self, obj: ObjectId, task: TaskId, mode: LockMode) -> bool {
+        LockSpace::can_grant(&self.tree, obj, task, mode)
+    }
+    fn grant(&mut self, obj: ObjectId, task: TaskId) -> Option<LockMode> {
+        LockSpace::grant(&mut self.tree, obj, task)
+    }
+    fn granted_objects_of(&self, task: TaskId) -> Vec<ObjectId> {
+        LockSpace::granted_objects_of(&self.tree, task)
+    }
+    fn wait_edges(&self) -> Vec<(TaskId, TaskId)> {
+        LockSpace::wait_edges(&self.tree)
+    }
+    fn active_object_count(&self) -> usize {
+        LockSpace::active_object_count(&self.tree)
+    }
+}
+
+impl SimSpace for ObjSpace {
+    fn acquire(&mut self, task: TaskId, spec: &TaskSpec, seq: u64) -> usize {
+        let mode = mode_of(spec);
+        let regex = spec.region.to_regex(&self.scheme);
+        let pattern = self
+            .cache
+            .get(&regex)
+            .unwrap_or_else(|e| panic!("region regex invalid: {e}"));
+        let cover = self.tree.insert_region(&pattern);
+        for &obj in &cover {
+            self.tree.request_lock(task, obj, mode, seq, spec.urgent);
+        }
+        let n = cover.len();
+        self.covering.insert(task, cover);
+        n
+    }
+
+    fn finish(&mut self, task: TaskId) {
+        self.tree.release_task(task);
+        for obj in self.covering.remove(&task).unwrap_or_default() {
+            self.tree.release_ref(obj);
+        }
+    }
+
+    fn tree_stats(&self) -> Option<TreeStats> {
+        Some(self.tree.stats)
+    }
+}
+
+fn mode_of(spec: &TaskSpec) -> LockMode {
+    if spec.write {
+        LockMode::Exclusive
+    } else {
+        LockMode::Shared
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Event {
+    Arrival(usize),
+    Completion(usize),
+    /// Re-acquisition after a deadlock abort (the paper's
+    /// abort-and-re-execute, with backoff so the surviving cycle members
+    /// drain first).
+    Retry(usize),
+}
+
+/// Heap entry ordered by (time, seq) ascending.
+struct HeapItem {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite times")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs one simulation.
+pub fn run(cfg: &SimConfig, tasks: &[TaskSpec]) -> SimResult {
+    match cfg.granularity {
+        Granularity::Dc => run_generic(
+            DcSpace {
+                inner: FlatSpace::new(),
+                scheme: cfg.scheme,
+            },
+            cfg.policy,
+            tasks,
+        ),
+        Granularity::Device => run_generic(
+            DevSpace {
+                inner: FlatSpace::new(),
+                scheme: cfg.scheme,
+            },
+            cfg.policy,
+            tasks,
+        ),
+        Granularity::Object => run_generic(
+            ObjSpace {
+                tree: ObjTree::with_mode(cfg.split_mode),
+                scheme: cfg.scheme,
+                cache: PatternCache::new(4096),
+                covering: HashMap::new(),
+            },
+            cfg.policy,
+            tasks,
+        ),
+    }
+}
+
+struct TaskState {
+    required: usize,
+    granted: usize,
+    started: Option<f64>,
+    completed: bool,
+    retries: u32,
+    /// The sequence number of the task's first arrival: re-executions keep
+    /// their original queue priority (otherwise large aborted tasks starve).
+    arrival_seq: u64,
+}
+
+fn run_generic<S: SimSpace>(mut space: S, policy: Policy, tasks: &[TaskSpec]) -> SimResult
+where
+    S::Obj: Copy,
+{
+    let mut scheduler = Scheduler::new(policy);
+    let mut result = SimResult::default();
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<HeapItem>, seq: &mut u64, time: f64, event: Event| {
+        *seq += 1;
+        heap.push(HeapItem {
+            time,
+            seq: *seq,
+            event,
+        });
+    };
+    for (i, t) in tasks.iter().enumerate() {
+        push(&mut heap, &mut seq, t.arrival, Event::Arrival(i));
+    }
+    let mut states: Vec<TaskState> = tasks
+        .iter()
+        .map(|_| TaskState {
+            required: 0,
+            granted: 0,
+            started: None,
+            completed: false,
+            retries: 0,
+            arrival_seq: 0,
+        })
+        .collect();
+    // Task index ↔ TaskId mapping is identity over task position.
+    let tid = |i: usize| TaskId(i as u64);
+    let idx = |t: TaskId| t.0 as usize;
+
+    let mut arrived = 0usize;
+    let mut started = 0usize;
+    let mut completed = 0usize;
+    let mut now = 0.0f64;
+    let mut pending_completions = 0usize;
+    let debug = std::env::var_os("OCCAM_SIM_DEBUG").is_some();
+    let mut events = 0u64;
+
+    while completed < tasks.len() {
+        events += 1;
+        if debug && events.is_multiple_of(200) {
+            eprintln!(
+                "evt={events} now={now:.1} arrived={arrived} started={started} completed={completed} heap={} sched_total={:?}",
+                heap.len(),
+                scheduler.stats.total_time
+            );
+        }
+        let item = match heap.pop() {
+            Some(i) => i,
+            None => {
+                // Stall: every remaining task is blocked on locks held by
+                // other *waiting* tasks (hold-and-wait under piecemeal
+                // granting). Abort-and-re-execute victims (paper §5) until
+                // at least one task holds everything it needs and starts;
+                // victims retry after a backoff so the survivors drain
+                // first.
+                let before = started;
+                let mut guard = 0usize;
+                while started == before && guard <= states.len() {
+                    guard += 1;
+                    let victim = pick_victim(&space, &states);
+                    let v = match victim {
+                        Some(v) => v,
+                        None => break,
+                    };
+                    result.deadlocks_broken += 1;
+                    let i = idx(v);
+                    states[i].retries += 1;
+                    states[i].granted = 0;
+                    states[i].required = 0;
+                    space.finish(v);
+                    let backoff = 0.05 * f64::from(1u32 << states[i].retries.min(8))
+                        + 0.01 * guard as f64;
+                    push(&mut heap, &mut seq, now + backoff, Event::Retry(i));
+                    run_sched_round(
+                        &mut scheduler,
+                        &mut space,
+                        &mut states,
+                        tasks,
+                        now,
+                        &mut heap,
+                        &mut seq,
+                        &mut started,
+                        &mut pending_completions,
+                        &mut result,
+                    );
+                }
+                if started == before && heap.is_empty() {
+                    break; // inconsistent state: bail out rather than spin
+                }
+                continue;
+            }
+        };
+        now = item.time;
+        match item.event {
+            Event::Arrival(i) => {
+                arrived += 1;
+                states[i].arrival_seq = item.seq;
+                let required = space.acquire(tid(i), &tasks[i], item.seq);
+                states[i].required = required;
+                if required == 0 {
+                    // Empty region: start immediately.
+                    states[i].started = Some(now);
+                    started += 1;
+                    pending_completions += 1;
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        now + tasks[i].duration,
+                        Event::Completion(i),
+                    );
+                }
+            }
+            Event::Retry(i) => {
+                if !states[i].completed && states[i].started.is_none() {
+                    let required = space.acquire(tid(i), &tasks[i], states[i].arrival_seq);
+                    states[i].required = required;
+                    if required == 0 {
+                        states[i].started = Some(now);
+                        started += 1;
+                        pending_completions += 1;
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + tasks[i].duration,
+                            Event::Completion(i),
+                        );
+                    }
+                }
+            }
+            Event::Completion(i) => {
+                if states[i].completed {
+                    // Stale completion from before an abort-retry.
+                    continue;
+                }
+                pending_completions -= 1;
+                states[i].completed = true;
+                completed += 1;
+                space.finish(tid(i));
+                result.outcomes.push(TaskOutcome {
+                    id: tasks[i].id,
+                    arrival: tasks[i].arrival,
+                    start: states[i].started.expect("completed implies started"),
+                    completion: now,
+                    retries: states[i].retries,
+                });
+            }
+        }
+        run_sched_round(
+            &mut scheduler,
+            &mut space,
+            &mut states,
+            tasks,
+            now,
+            &mut heap,
+            &mut seq,
+            &mut started,
+            &mut pending_completions,
+            &mut result,
+        );
+        result
+            .queue_timeline
+            .push((now, arrived - started.min(arrived)));
+    }
+
+    result.outcomes.sort_by_key(|o| o.id);
+    result.sched_stats = scheduler.stats.clone();
+    result.tree_stats = space.tree_stats();
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sched_round<S: SimSpace>(
+    scheduler: &mut Scheduler,
+    space: &mut S,
+    states: &mut [TaskState],
+    tasks: &[TaskSpec],
+    now: f64,
+    heap: &mut BinaryHeap<HeapItem>,
+    seq: &mut u64,
+    started: &mut usize,
+    pending_completions: &mut usize,
+    result: &mut SimResult,
+) {
+    let grants = scheduler.sched(space);
+    space.after_sched();
+    result.sched_durations.push(scheduler.stats.last_time);
+    result.active_objects.push(space.active_object_count());
+    for g in grants {
+        let i = g.task.0 as usize;
+        states[i].granted += 1;
+        if states[i].granted == states[i].required && states[i].started.is_none() {
+            states[i].started = Some(now);
+            *started += 1;
+            *pending_completions += 1;
+            *seq += 1;
+            heap.push(HeapItem {
+                time: now + tasks[i].duration,
+                seq: *seq,
+                event: Event::Completion(i),
+            });
+        }
+    }
+}
+
+/// Chooses the deadlock victim: a member of a waits-for cycle if one
+/// exists (the youngest by id), else the blocked task holding the most
+/// locks (to guarantee forward progress even without a detectable cycle).
+fn pick_victim<S: SimSpace>(space: &S, states: &[TaskState]) -> Option<TaskId> {
+    let edges = space.wait_edges();
+    // Find a cycle by DFS over the waiter→holder graph.
+    let mut adj: HashMap<TaskId, Vec<TaskId>> = HashMap::new();
+    for (w, h) in &edges {
+        adj.entry(*w).or_default().push(*h);
+    }
+    let mut color: HashMap<TaskId, u8> = HashMap::new();
+    let nodes: Vec<TaskId> = adj.keys().copied().collect();
+    for &start in &nodes {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut stack = vec![(start, 0usize)];
+        while let Some(&mut (t, ref mut i)) = stack.last_mut() {
+            if *i == 0 {
+                color.insert(t, 1);
+                path.push(t);
+            }
+            let next = adj.get(&t).and_then(|v| v.get(*i)).copied();
+            *i += 1;
+            match next {
+                Some(n) => match color.get(&n).copied().unwrap_or(0) {
+                    0 => stack.push((n, 0)),
+                    1 => {
+                        let pos = path.iter().position(|&p| p == n).expect("on path");
+                        return path[pos..].iter().max().copied();
+                    }
+                    _ => {}
+                },
+                None => {
+                    color.insert(t, 2);
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+    }
+    // No cycle: pick any incomplete, unstarted task that is waiting.
+    states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.completed && s.started.is_none() && s.required > 0)
+        .map(|(i, _)| TaskId(i as u64))
+        .next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_topology::RegionSpec;
+
+    fn small_scheme() -> ProductionScheme {
+        ProductionScheme {
+            num_dcs: 2,
+            pods_per_dc: 4,
+            switches_per_pod: 4,
+        }
+    }
+
+    fn spec(id: u64, arrival: f64, duration: f64, region: RegionSpec, write: bool) -> TaskSpec {
+        TaskSpec {
+            id,
+            arrival,
+            duration,
+            region,
+            write,
+            urgent: false,
+        }
+    }
+
+    fn run_all(tasks: &[TaskSpec]) -> [SimResult; 3] {
+        let scheme = small_scheme();
+        [Granularity::Dc, Granularity::Device, Granularity::Object].map(|granularity| {
+            run(
+                &SimConfig {
+                    granularity,
+                    policy: Policy::Ldsf,
+                    scheme,
+                    split_mode: SplitMode::Split,
+                },
+                tasks,
+            )
+        })
+    }
+
+    #[test]
+    fn independent_tasks_never_wait() {
+        let tasks = vec![
+            spec(0, 0.0, 1.0, RegionSpec::Pod { dc: 1, pod: 0 }, true),
+            spec(1, 0.0, 1.0, RegionSpec::Pod { dc: 2, pod: 0 }, true),
+        ];
+        for r in run_all(&tasks) {
+            assert_eq!(r.outcomes.len(), 2);
+            for o in &r.outcomes {
+                assert!(o.waiting() < 1e-9, "{o:?}");
+                assert!((o.completion_time() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_locks_serialize_same_dc_writers() {
+        // Two writers in different pods of the same DC.
+        let tasks = vec![
+            spec(0, 0.0, 2.0, RegionSpec::Pod { dc: 1, pod: 0 }, true),
+            spec(1, 0.0, 2.0, RegionSpec::Pod { dc: 1, pod: 1 }, true),
+        ];
+        let [dc, dev, obj] = run_all(&tasks);
+        // DC locking serializes: second task waits 2h.
+        assert!(dc.outcomes.iter().any(|o| o.waiting() > 1.9), "{dc:?}");
+        // Device and object locking run them concurrently.
+        assert!(dev.outcomes.iter().all(|o| o.waiting() < 1e-9));
+        assert!(obj.outcomes.iter().all(|o| o.waiting() < 1e-9));
+    }
+
+    #[test]
+    fn overlapping_writers_serialize_at_every_granularity() {
+        let tasks = vec![
+            spec(0, 0.0, 1.0, RegionSpec::Pod { dc: 1, pod: 0 }, true),
+            spec(1, 0.5, 1.0, RegionSpec::Pod { dc: 1, pod: 0 }, true),
+        ];
+        for r in run_all(&tasks) {
+            let late = r.outcomes.iter().find(|o| o.id == 1).unwrap();
+            assert!((late.start - 1.0).abs() < 1e-9, "starts when first commits");
+        }
+    }
+
+    #[test]
+    fn readers_share_at_every_granularity() {
+        let tasks = vec![
+            spec(0, 0.0, 1.0, RegionSpec::Dc(1), false),
+            spec(1, 0.1, 1.0, RegionSpec::Dc(1), false),
+        ];
+        for r in run_all(&tasks) {
+            assert!(r.outcomes.iter().all(|o| o.waiting() < 1e-9), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn containment_blocks_obj_granularity() {
+        // Whole-DC writer vs pod writer inside it.
+        let tasks = vec![
+            spec(0, 0.0, 1.0, RegionSpec::Dc(1), true),
+            spec(1, 0.1, 1.0, RegionSpec::Pod { dc: 1, pod: 2 }, true),
+        ];
+        let [_, _, obj] = run_all(&tasks);
+        let pod_task = obj.outcomes.iter().find(|o| o.id == 1).unwrap();
+        assert!((pod_task.start - 1.0).abs() < 1e-9, "{pod_task:?}");
+    }
+
+    #[test]
+    fn queue_timeline_and_metrics_recorded() {
+        let tasks = vec![
+            spec(0, 0.0, 1.0, RegionSpec::Dc(1), true),
+            spec(1, 0.1, 1.0, RegionSpec::Dc(1), true),
+            spec(2, 0.2, 1.0, RegionSpec::Dc(1), true),
+        ];
+        let [dc, _, obj] = run_all(&tasks);
+        assert!(dc.peak_queue() >= 2);
+        assert!(!dc.sched_durations.is_empty());
+        assert!(dc.sched_stats.invocations > 0);
+        assert!(obj.tree_stats.is_some());
+        assert!(dc.tree_stats.is_none());
+        // Tree empties after all commits.
+        assert_eq!(obj.tree_stats.unwrap().inserts, 3);
+    }
+
+    #[test]
+    fn fifo_and_ldsf_both_complete() {
+        let scheme = small_scheme();
+        let tasks: Vec<TaskSpec> = (0..20)
+            .map(|i| {
+                spec(
+                    i,
+                    i as f64 * 0.1,
+                    0.5,
+                    RegionSpec::Pod {
+                        dc: 1 + (i % 2) as u32,
+                        pod: (i % 4) as u32,
+                    },
+                    i % 3 != 0,
+                )
+            })
+            .collect();
+        for policy in [Policy::Fifo, Policy::Ldsf] {
+            for granularity in [Granularity::Dc, Granularity::Device, Granularity::Object] {
+                let r = run(
+                    &SimConfig {
+                        granularity,
+                        policy,
+                        scheme,
+                        split_mode: SplitMode::Split,
+                    },
+                    &tasks,
+                );
+                assert_eq!(r.outcomes.len(), 20, "{granularity:?} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let tasks: Vec<TaskSpec> = (0..30)
+            .map(|i| {
+                spec(
+                    i,
+                    i as f64 * 0.05,
+                    0.3,
+                    RegionSpec::Pod {
+                        dc: 1,
+                        pod: (i % 3) as u32,
+                    },
+                    true,
+                )
+            })
+            .collect();
+        let cfg = SimConfig {
+            granularity: Granularity::Object,
+            policy: Policy::Ldsf,
+            scheme: small_scheme(),
+            split_mode: SplitMode::Split,
+        };
+        let a = run(&cfg, &tasks);
+        let b = run(&cfg, &tasks);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.completion, y.completion);
+        }
+    }
+}

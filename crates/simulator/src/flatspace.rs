@@ -1,0 +1,307 @@
+//! A flat lock space: disjoint lockable objects with no containment.
+//!
+//! Used for the paper's two fixed-granularity baselines: per-datacenter
+//! locks (16 objects) and per-device locks (~141k objects). Waits-for
+//! edges are maintained incrementally so that LDSF dependency-set
+//! computation stays tractable at device granularity, and a dirty set keeps
+//! each SCHED invocation proportional to the lock state that actually
+//! changed (a request can only become grantable when a lock on its own
+//! object is released).
+
+use occam_objtree::{LockMode, LockRequest, TaskId};
+use occam_sched::LockSpace;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A flat space of disjoint lock objects identified by `u32`.
+#[derive(Debug, Default)]
+pub struct FlatSpace {
+    holders: HashMap<u32, Vec<(TaskId, LockMode)>>,
+    waiters: HashMap<u32, Vec<LockRequest>>,
+    granted_of: HashMap<TaskId, Vec<u32>>,
+    waiting_of: HashMap<TaskId, Vec<u32>>,
+    /// Objects whose lock state changed since the last `clear_dirty`.
+    dirty: BTreeSet<u32>,
+    /// `(waiter, holder) → number of objects where holder's lock conflicts
+    /// with waiter's pending request`.
+    edge_counts: HashMap<(TaskId, TaskId), u32>,
+    /// Objects with any holder or waiter (Figure 10b metric).
+    active: HashSet<u32>,
+}
+
+impl FlatSpace {
+    /// Creates an empty space.
+    pub fn new() -> FlatSpace {
+        FlatSpace::default()
+    }
+
+    fn bump_edge(&mut self, waiter: TaskId, holder: TaskId, delta: i64) {
+        let e = self.edge_counts.entry((waiter, holder)).or_insert(0);
+        let v = *e as i64 + delta;
+        debug_assert!(v >= 0, "edge count underflow");
+        if v <= 0 {
+            self.edge_counts.remove(&(waiter, holder));
+        } else {
+            *e = v as u32;
+        }
+    }
+
+    /// Enqueues a lock request. Duplicate requests and requests on objects
+    /// the task already holds are ignored.
+    pub fn request(&mut self, task: TaskId, obj: u32, mode: LockMode, arrival: u64, urgent: bool) {
+        if self
+            .holders
+            .get(&obj)
+            .is_some_and(|h| h.iter().any(|&(t, _)| t == task))
+            || self
+                .waiters
+                .get(&obj)
+                .is_some_and(|w| w.iter().any(|r| r.task == task))
+        {
+            return;
+        }
+        // New conflicting edges against current holders.
+        if let Some(holders) = self.holders.get(&obj) {
+            let conflicting: Vec<TaskId> = holders
+                .iter()
+                .filter(|&&(h, m)| h != task && !mode.compatible(m))
+                .map(|&(h, _)| h)
+                .collect();
+            for h in conflicting {
+                self.bump_edge(task, h, 1);
+            }
+        }
+        self.waiters.entry(obj).or_default().push(LockRequest {
+            task,
+            mode,
+            arrival,
+            urgent,
+        });
+        self.waiting_of.entry(task).or_default().push(obj);
+        self.dirty.insert(obj);
+        self.active.insert(obj);
+    }
+
+    /// Releases every lock held or requested by `task` (strict 2PL).
+    /// Returns the objects whose state changed.
+    pub fn release_task(&mut self, task: TaskId) -> Vec<u32> {
+        let held = self.granted_of.remove(&task).unwrap_or_default();
+        let waited = self.waiting_of.remove(&task).unwrap_or_default();
+        for &obj in &held {
+            if let Some(h) = self.holders.get_mut(&obj) {
+                // Remaining waiters on obj lose their edge toward this task
+                // (handled below by the blanket edge removal).
+                h.retain(|&(t, _)| t != task);
+                if h.is_empty() {
+                    self.holders.remove(&obj);
+                }
+            }
+        }
+        for &obj in &waited {
+            if let Some(w) = self.waiters.get_mut(&obj) {
+                w.retain(|r| r.task != task);
+                if w.is_empty() {
+                    self.waiters.remove(&obj);
+                }
+            }
+        }
+        // All edges involving the task disappear: as holder (its locks are
+        // gone) and as waiter (its requests are cancelled).
+        self.edge_counts
+            .retain(|&(w, h), _| w != task && h != task);
+        let mut touched = held;
+        touched.extend(waited);
+        touched.sort_unstable();
+        touched.dedup();
+        for &obj in &touched {
+            self.dirty.insert(obj);
+            if !self.holders.contains_key(&obj) && !self.waiters.contains_key(&obj) {
+                self.active.remove(&obj);
+            }
+        }
+        touched
+    }
+
+    /// Clears the dirty set (the engine calls this after each SCHED).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Number of tasks currently waiting on at least one object.
+    pub fn waiting_task_count(&self) -> usize {
+        self.waiting_of.len()
+    }
+}
+
+impl LockSpace for FlatSpace {
+    type Obj = u32;
+
+    fn objects_with_waiters(&self) -> Vec<u32> {
+        // Only dirty objects can admit new grants.
+        self.dirty
+            .iter()
+            .filter(|o| self.waiters.contains_key(o))
+            .copied()
+            .collect()
+    }
+
+    fn waiters(&self, obj: u32) -> &[LockRequest] {
+        self.waiters.get(&obj).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn holders(&self, obj: u32) -> &[(TaskId, LockMode)] {
+        self.holders.get(&obj).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn containment(&self, obj: u32) -> Vec<u32> {
+        vec![obj]
+    }
+
+    fn can_grant(&self, obj: u32, task: TaskId, mode: LockMode) -> bool {
+        self.holders
+            .get(&obj)
+            .map(|h| {
+                h.iter()
+                    .all(|&(t, m)| t == task || mode.compatible(m))
+            })
+            .unwrap_or(true)
+    }
+
+    fn grant(&mut self, obj: u32, task: TaskId) -> Option<LockMode> {
+        let mode = {
+            let w = self.waiters.get(&obj)?;
+            w.iter().find(|r| r.task == task)?.mode
+        };
+        if !self.can_grant(obj, task, mode) {
+            return None;
+        }
+        let w = self.waiters.get_mut(&obj).expect("checked above");
+        w.retain(|r| r.task != task);
+        if w.is_empty() {
+            self.waiters.remove(&obj);
+        }
+        if let Some(list) = self.waiting_of.get_mut(&task) {
+            list.retain(|&o| o != obj);
+            if list.is_empty() {
+                self.waiting_of.remove(&task);
+            }
+        }
+        self.holders.entry(obj).or_default().push((task, mode));
+        self.granted_of.entry(task).or_default().push(obj);
+        // Remaining waiters that conflict with the new holder gain an edge.
+        let remaining: Vec<(TaskId, LockMode)> = self
+            .waiters
+            .get(&obj)
+            .map(|ws| ws.iter().map(|r| (r.task, r.mode)).collect())
+            .unwrap_or_default();
+        for (wt, wm) in remaining {
+            if wt != task && !wm.compatible(mode) {
+                self.bump_edge(wt, task, 1);
+            }
+        }
+        Some(mode)
+    }
+
+    fn granted_objects_of(&self, task: TaskId) -> Vec<u32> {
+        self.granted_of.get(&task).cloned().unwrap_or_default()
+    }
+
+    fn wait_edges(&self) -> Vec<(TaskId, TaskId)> {
+        self.edge_counts.keys().copied().collect()
+    }
+
+    fn active_object_count(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_sched::{Policy, Scheduler};
+
+    #[test]
+    fn request_grant_release_cycle() {
+        let mut s = FlatSpace::new();
+        s.request(TaskId(1), 7, LockMode::Exclusive, 0, false);
+        assert_eq!(s.objects_with_waiters(), vec![7]);
+        assert!(s.can_grant(7, TaskId(1), LockMode::Exclusive));
+        assert_eq!(s.grant(7, TaskId(1)), Some(LockMode::Exclusive));
+        assert_eq!(s.granted_objects_of(TaskId(1)), vec![7]);
+        assert_eq!(s.active_object_count(), 1);
+        let freed = s.release_task(TaskId(1));
+        assert_eq!(freed, vec![7]);
+        assert_eq!(s.active_object_count(), 0);
+    }
+
+    #[test]
+    fn conflicting_grant_refused() {
+        let mut s = FlatSpace::new();
+        s.request(TaskId(1), 3, LockMode::Exclusive, 0, false);
+        s.grant(3, TaskId(1)).unwrap();
+        s.request(TaskId(2), 3, LockMode::Shared, 1, false);
+        assert!(!s.can_grant(3, TaskId(2), LockMode::Shared));
+        assert_eq!(s.grant(3, TaskId(2)), None);
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut s = FlatSpace::new();
+        s.request(TaskId(1), 3, LockMode::Shared, 0, false);
+        s.grant(3, TaskId(1)).unwrap();
+        s.request(TaskId(2), 3, LockMode::Shared, 1, false);
+        assert!(s.can_grant(3, TaskId(2), LockMode::Shared));
+        s.grant(3, TaskId(2)).unwrap();
+        assert_eq!(s.holders(3).len(), 2);
+    }
+
+    #[test]
+    fn wait_edges_track_conflicts_incrementally() {
+        let mut s = FlatSpace::new();
+        s.request(TaskId(1), 5, LockMode::Exclusive, 0, false);
+        s.grant(5, TaskId(1)).unwrap();
+        s.request(TaskId(2), 5, LockMode::Exclusive, 1, false);
+        assert_eq!(s.wait_edges(), vec![(TaskId(2), TaskId(1))]);
+        // Holder releases: edge disappears.
+        s.release_task(TaskId(1));
+        assert!(s.wait_edges().is_empty());
+        // Grant to the waiter; a later waiter gains an edge to it.
+        s.grant(5, TaskId(2)).unwrap();
+        s.request(TaskId(3), 5, LockMode::Shared, 2, false);
+        assert_eq!(s.wait_edges(), vec![(TaskId(3), TaskId(2))]);
+    }
+
+    #[test]
+    fn dirty_set_limits_scheduling_scan() {
+        let mut s = FlatSpace::new();
+        s.request(TaskId(1), 1, LockMode::Exclusive, 0, false);
+        s.grant(1, TaskId(1)).unwrap();
+        s.request(TaskId(2), 1, LockMode::Exclusive, 1, false);
+        s.clear_dirty();
+        // Nothing changed: no objects to examine.
+        assert!(s.objects_with_waiters().is_empty());
+        // The release dirties the object again.
+        s.release_task(TaskId(1));
+        assert_eq!(s.objects_with_waiters(), vec![1]);
+    }
+
+    #[test]
+    fn scheduler_runs_on_flat_space() {
+        let mut s = FlatSpace::new();
+        let mut sched = Scheduler::new(Policy::Ldsf);
+        for t in 0..3u64 {
+            s.request(TaskId(t), t as u32 % 2, LockMode::Exclusive, t, false);
+        }
+        let grants = sched.sched(&mut s);
+        // Objects 0 and 1 each grant one task; the third conflicts.
+        assert_eq!(grants.len(), 2);
+        assert_eq!(s.waiting_task_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_requests_ignored() {
+        let mut s = FlatSpace::new();
+        s.request(TaskId(1), 2, LockMode::Shared, 0, false);
+        s.request(TaskId(1), 2, LockMode::Exclusive, 1, false);
+        assert_eq!(s.waiters(2).len(), 1);
+    }
+}

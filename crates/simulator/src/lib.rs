@@ -1,0 +1,35 @@
+//! # occam-sim
+//!
+//! The discrete-event simulator behind the paper's at-scale experiments
+//! (§8.1, Figures 8–11).
+//!
+//! The simulator runs synthesized management-task traces against three lock
+//! granularities — per-datacenter, per-device, and Occam's multi-granularity
+//! network objects — under both scheduling policies (FIFO and LDSF), six
+//! configurations in total, exactly as the paper's simulator does. The
+//! object-granularity configuration exercises the *production* object tree
+//! and scheduler crates (`occam-objtree`, `occam-sched`); the simulator only
+//! replaces wall-clock execution with virtual time, so scheduling-overhead
+//! measurements (Figure 10) time the real code.
+//!
+//! # Examples
+//!
+//! ```
+//! use occam_sim::{run, Granularity, SimConfig};
+//! use occam_sched::Policy;
+//! use occam_topology::ProductionScheme;
+//! use occam_workload::{synthesize, TraceConfig};
+//!
+//! let trace = synthesize(&TraceConfig { num_tasks: 50, ..TraceConfig::default() });
+//! let result = run(
+//!     &SimConfig::new(Granularity::Object, Policy::Ldsf, ProductionScheme::meta_scale()),
+//!     &trace,
+//! );
+//! assert_eq!(result.outcomes.len(), 50);
+//! ```
+
+pub mod engine;
+pub mod flatspace;
+
+pub use engine::{run, Granularity, SimConfig, SimResult, TaskOutcome};
+pub use flatspace::FlatSpace;

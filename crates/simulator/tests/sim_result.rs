@@ -1,0 +1,112 @@
+//! Unit coverage for the simulator's result/statistics helpers and for
+//! configuration edge cases.
+
+use occam_sched::Policy;
+use occam_sim::{run, Granularity, SimConfig, SimResult};
+use occam_topology::{ProductionScheme, RegionSpec};
+use occam_workload::TaskSpec;
+
+fn spec(id: u64, arrival: f64, duration: f64, region: RegionSpec, write: bool) -> TaskSpec {
+    TaskSpec {
+        id,
+        arrival,
+        duration,
+        region,
+        write,
+        urgent: false,
+    }
+}
+
+fn scheme() -> ProductionScheme {
+    ProductionScheme {
+        num_dcs: 2,
+        pods_per_dc: 4,
+        switches_per_pod: 4,
+    }
+}
+
+#[test]
+fn empty_trace_produces_empty_result() {
+    let r = run(&SimConfig::new(Granularity::Object, Policy::Ldsf, scheme()), &[]);
+    assert!(r.outcomes.is_empty());
+    assert_eq!(r.mean_completion(), 0.0);
+    assert_eq!(r.mean_waiting(), 0.0);
+    assert_eq!(r.peak_queue(), 0);
+    assert_eq!(r.zero_wait_fraction(), 0.0);
+    assert_eq!(r.completion_percentile(99.0), 0.0);
+}
+
+#[test]
+fn single_task_statistics_are_exact() {
+    let tasks = vec![spec(0, 1.5, 2.25, RegionSpec::Dc(1), true)];
+    let r = run(&SimConfig::new(Granularity::Dc, Policy::Fifo, scheme()), &tasks);
+    let o = &r.outcomes[0];
+    assert_eq!(o.arrival, 1.5);
+    assert!((o.waiting()).abs() < 1e-12);
+    assert!((o.completion_time() - 2.25).abs() < 1e-12);
+    assert_eq!(r.zero_wait_fraction(), 1.0);
+    for p in [0.0, 50.0, 100.0] {
+        assert!((r.completion_percentile(p) - 2.25).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn percentiles_are_order_statistics() {
+    // Three serialized writers: completion times 1, 2, 3 hours.
+    let tasks: Vec<TaskSpec> = (0..3)
+        .map(|i| spec(i, 0.0, 1.0, RegionSpec::Pod { dc: 1, pod: 0 }, true))
+        .collect();
+    let r = run(&SimConfig::new(Granularity::Object, Policy::Fifo, scheme()), &tasks);
+    let mut cts: Vec<f64> = r.outcomes.iter().map(|o| o.completion_time()).collect();
+    cts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(cts, vec![1.0, 2.0, 3.0]);
+    assert_eq!(r.completion_percentile(0.0), 1.0);
+    assert_eq!(r.completion_percentile(50.0), 2.0);
+    assert_eq!(r.completion_percentile(100.0), 3.0);
+    assert!((r.mean_completion() - 2.0).abs() < 1e-12);
+    // Waiting: 0, 1, 2 -> zero-wait fraction 1/3.
+    assert!((r.zero_wait_fraction() - 1.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn mixed_granularity_results_share_the_same_outcome_count() {
+    let tasks: Vec<TaskSpec> = (0..10)
+        .map(|i| {
+            spec(
+                i,
+                i as f64 * 0.1,
+                0.5,
+                RegionSpec::Pod {
+                    dc: 1 + (i % 2) as u32,
+                    pod: (i % 4) as u32,
+                },
+                i % 2 == 0,
+            )
+        })
+        .collect();
+    let results: Vec<SimResult> = [Granularity::Dc, Granularity::Device, Granularity::Object]
+        .into_iter()
+        .map(|g| run(&SimConfig::new(g, Policy::Ldsf, scheme()), &tasks))
+        .collect();
+    for r in &results {
+        assert_eq!(r.outcomes.len(), 10);
+        // Outcomes sorted by task id.
+        assert!(r.outcomes.windows(2).all(|w| w[0].id < w[1].id));
+        // Sched instrumentation present.
+        assert!(!r.sched_durations.is_empty());
+        assert_eq!(r.sched_durations.len(), r.active_objects.len());
+    }
+}
+
+#[test]
+fn same_device_set_serializes_writers() {
+    let s = scheme();
+    let region = RegionSpec::Devices(vec![0, 1, 2]);
+    let tasks = vec![
+        spec(0, 0.0, 1.0, region.clone(), true),
+        spec(1, 0.1, 1.0, region, true),
+    ];
+    let r = run(&SimConfig::new(Granularity::Device, Policy::Fifo, s), &tasks);
+    let late = r.outcomes.iter().find(|o| o.id == 1).unwrap();
+    assert!((late.start - 1.0).abs() < 1e-9, "second task serializes");
+}

@@ -1,0 +1,190 @@
+//! A k-ary Fat-tree builder (the emulation topology of paper §8.2).
+//!
+//! For even `k`: `k` pods, each with `k/2` aggregation and `k/2` ToR
+//! switches; `(k/2)²` core switches; every ToR hosts `k/2` end hosts. The
+//! paper's emulation uses `k = 6`: 18 ToR, 18 aggregation, 9 core.
+
+use crate::graph::{DeviceId, Topology};
+use crate::naming::{core_name, host_name, switch_name, Role};
+
+/// A constructed Fat-tree with handy index maps.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    /// The underlying graph.
+    pub topo: Topology,
+    /// Fat-tree arity (even, ≥ 2).
+    pub k: u32,
+    /// Datacenter number used in names.
+    pub dc: u32,
+    /// Core switch ids, row-major by (group, index).
+    pub cores: Vec<DeviceId>,
+    /// `aggs[pod][i]`.
+    pub aggs: Vec<Vec<DeviceId>>,
+    /// `tors[pod][i]`.
+    pub tors: Vec<Vec<DeviceId>>,
+    /// `hosts[pod][tor][i]`.
+    pub hosts: Vec<Vec<Vec<DeviceId>>>,
+}
+
+/// An error constructing a Fat-tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FatTreeError {
+    /// The rejected arity.
+    pub k: u32,
+}
+
+impl std::fmt::Display for FatTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fat-tree arity must be even and >= 2, got {}", self.k)
+    }
+}
+
+impl std::error::Error for FatTreeError {}
+
+impl FatTree {
+    /// Builds a `k`-ary Fat-tree for datacenter `dc`.
+    pub fn build(dc: u32, k: u32) -> Result<FatTree, FatTreeError> {
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(FatTreeError { k });
+        }
+        let half = k / 2;
+        let mut topo = Topology::new();
+
+        let mut cores = Vec::with_capacity((half * half) as usize);
+        for c in 0..half * half {
+            cores.push(topo.add_device(core_name(dc, c), Role::Core));
+        }
+
+        let mut aggs = Vec::with_capacity(k as usize);
+        let mut tors = Vec::with_capacity(k as usize);
+        let mut hosts = Vec::with_capacity(k as usize);
+        for p in 0..k {
+            let mut pod_aggs = Vec::with_capacity(half as usize);
+            let mut pod_tors = Vec::with_capacity(half as usize);
+            let mut pod_hosts = Vec::with_capacity(half as usize);
+            for i in 0..half {
+                pod_aggs.push(topo.add_device(switch_name(dc, p, Role::Agg, i), Role::Agg));
+            }
+            for i in 0..half {
+                let tor = topo.add_device(switch_name(dc, p, Role::Tor, i), Role::Tor);
+                pod_tors.push(tor);
+                let mut tor_hosts = Vec::with_capacity(half as usize);
+                for h in 0..half {
+                    let host = topo.add_device(host_name(dc, p, i, h), Role::Host);
+                    topo.add_link(tor, host).expect("distinct fresh devices");
+                    tor_hosts.push(host);
+                }
+                pod_hosts.push(tor_hosts);
+            }
+            // Full bipartite pod fabric: every ToR to every Agg in the pod.
+            for &tor in &pod_tors {
+                for &agg in &pod_aggs {
+                    topo.add_link(tor, agg).expect("distinct fresh devices");
+                }
+            }
+            // Agg i uplinks to core group i (cores i*half .. i*half+half).
+            for (i, &agg) in pod_aggs.iter().enumerate() {
+                for j in 0..half as usize {
+                    let core = cores[i * half as usize + j];
+                    topo.add_link(agg, core).expect("distinct fresh devices");
+                }
+            }
+            aggs.push(pod_aggs);
+            tors.push(pod_tors);
+            hosts.push(pod_hosts);
+        }
+
+        Ok(FatTree {
+            topo,
+            k,
+            dc,
+            cores,
+            aggs,
+            tors,
+            hosts,
+        })
+    }
+
+    /// All host ids, flattened.
+    pub fn all_hosts(&self) -> Vec<DeviceId> {
+        self.hosts
+            .iter()
+            .flat_map(|p| p.iter().flat_map(|t| t.iter().copied()))
+            .collect()
+    }
+
+    /// All switch ids (ToR + Agg + Core), flattened.
+    pub fn all_switches(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self.cores.clone();
+        for p in &self.aggs {
+            v.extend_from_slice(p);
+        }
+        for p in &self.tors {
+            v.extend_from_slice(p);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k6_matches_paper_counts() {
+        let ft = FatTree::build(1, 6).unwrap();
+        assert_eq!(ft.cores.len(), 9);
+        assert_eq!(ft.aggs.iter().map(Vec::len).sum::<usize>(), 18);
+        assert_eq!(ft.tors.iter().map(Vec::len).sum::<usize>(), 18);
+        assert_eq!(ft.all_hosts().len(), 54);
+        // Links: hosts (54) + tor-agg (6 pods * 3*3) + agg-core (18 aggs * 3).
+        assert_eq!(ft.topo.num_links(), 54 + 54 + 54);
+    }
+
+    #[test]
+    fn rejects_odd_or_tiny_k() {
+        assert!(FatTree::build(1, 5).is_err());
+        assert!(FatTree::build(1, 0).is_err());
+        assert!(FatTree::build(1, 2).is_ok());
+    }
+
+    #[test]
+    fn cross_pod_paths_have_ecmp() {
+        let ft = FatTree::build(1, 4).unwrap();
+        let src = ft.hosts[0][0][0];
+        let dst = ft.hosts[3][1][1];
+        let hops = ft.topo.ecmp_next_hops(ft.tors[0][0], dst, |_| true);
+        // From a ToR, both pod aggs lie on shortest cross-pod paths.
+        assert_eq!(hops.len(), 2);
+        let p = ft.topo.ecmp_path(src, dst, 7, |_| true).unwrap();
+        // host-tor-agg-core-agg-tor-host = 7 devices.
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn same_tor_path_is_two_hops() {
+        let ft = FatTree::build(1, 4).unwrap();
+        let a = ft.hosts[0][0][0];
+        let b = ft.hosts[0][0][1];
+        let p = ft.topo.ecmp_path(a, b, 1, |_| true).unwrap();
+        assert_eq!(p.len(), 3); // host - tor - host
+    }
+
+    #[test]
+    fn names_follow_scheme() {
+        let ft = FatTree::build(2, 4).unwrap();
+        let tor = ft.topo.device(ft.tors[1][0]);
+        assert_eq!(tor.name, "dc02.pod01.tor00");
+        let core = ft.topo.device(ft.cores[0]);
+        assert_eq!(core.name, "dc02.core.c00");
+    }
+
+    #[test]
+    fn switch_enumeration_is_complete_and_disjoint() {
+        let ft = FatTree::build(1, 6).unwrap();
+        let sw = ft.all_switches();
+        let set: std::collections::HashSet<_> = sw.iter().collect();
+        assert_eq!(set.len(), sw.len());
+        assert_eq!(sw.len(), 9 + 18 + 18);
+    }
+}

@@ -1,0 +1,314 @@
+//! The topology graph: devices, links, adjacency, and shortest-path /
+//! ECMP next-hop computation.
+
+use crate::naming::Role;
+use std::collections::HashMap;
+
+/// Index of a device within a [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DeviceId(pub u32);
+
+/// Index of a link within a [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LinkId(pub u32);
+
+/// A device in the topology.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Hierarchical device name (`dc01.pod03.tor07`).
+    pub name: String,
+    /// Topological role.
+    pub role: Role,
+}
+
+/// An undirected link between two devices.
+///
+/// Following the paper, a link is identified by its endpoint devices
+/// (`a_end`, `z_end`); link attributes live with the endpoints in the
+/// source-of-truth database.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// One endpoint ("A end").
+    pub a_end: DeviceId,
+    /// The other endpoint ("Z end").
+    pub z_end: DeviceId,
+}
+
+/// An in-memory topology graph.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    by_name: HashMap<String, DeviceId>,
+    adj: Vec<Vec<(DeviceId, LinkId)>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a device; names must be unique.
+    ///
+    /// Returns the existing id if the name was already present (idempotent).
+    pub fn add_device(&mut self, name: impl Into<String>, role: Role) -> DeviceId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = DeviceId(self.devices.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.devices.push(Device { name, role });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link between two devices.
+    ///
+    /// Returns `None` if either endpoint is unknown or the endpoints are
+    /// equal (self-links are not meaningful in this model).
+    pub fn add_link(&mut self, a: DeviceId, z: DeviceId) -> Option<LinkId> {
+        if a == z
+            || a.0 as usize >= self.devices.len()
+            || z.0 as usize >= self.devices.len()
+        {
+            return None;
+        }
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { a_end: a, z_end: z });
+        self.adj[a.0 as usize].push((z, id));
+        self.adj[z.0 as usize].push((a, id));
+        Some(id)
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Looks up a device by name.
+    pub fn device_by_name(&self, name: &str) -> Option<DeviceId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The device record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this topology.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// The link record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this topology.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Iterates over `(id, device)` pairs.
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i as u32), d))
+    }
+
+    /// Iterates over `(id, link)` pairs.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// Neighbors of a device with the connecting link.
+    pub fn neighbors(&self, id: DeviceId) -> &[(DeviceId, LinkId)] {
+        &self.adj[id.0 as usize]
+    }
+
+    /// All devices whose role matches.
+    pub fn devices_with_role(&self, role: Role) -> Vec<DeviceId> {
+        self.devices()
+            .filter(|(_, d)| d.role == role)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// BFS distances (in hops) from `src` to every device, or `u32::MAX`
+    /// when unreachable. `usable` filters which links may be traversed.
+    pub fn bfs_distances(
+        &self,
+        src: DeviceId,
+        usable: impl Fn(LinkId) -> bool,
+    ) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.devices.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.0 as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.0 as usize];
+            for &(v, l) in &self.adj[u.0 as usize] {
+                if usable(l) && dist[v.0 as usize] == u32::MAX {
+                    dist[v.0 as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The ECMP next-hop set at `at` toward `dst`: all neighbors on a
+    /// shortest usable path. Empty when `dst` is unreachable.
+    pub fn ecmp_next_hops(
+        &self,
+        at: DeviceId,
+        dst: DeviceId,
+        usable: impl Fn(LinkId) -> bool + Copy,
+    ) -> Vec<(DeviceId, LinkId)> {
+        let dist = self.bfs_distances(dst, usable);
+        let here = dist[at.0 as usize];
+        if here == u32::MAX || at == dst {
+            return Vec::new();
+        }
+        self.adj[at.0 as usize]
+            .iter()
+            .copied()
+            .filter(|&(v, l)| usable(l) && dist[v.0 as usize] + 1 == here)
+            .collect()
+    }
+
+    /// One full shortest path `src → dst` choosing among ECMP next-hops with
+    /// the flow `hash`. Returns the device sequence including endpoints, or
+    /// `None` when unreachable.
+    pub fn ecmp_path(
+        &self,
+        src: DeviceId,
+        dst: DeviceId,
+        hash: u64,
+        usable: impl Fn(LinkId) -> bool + Copy,
+    ) -> Option<Vec<DeviceId>> {
+        let dist = self.bfs_distances(dst, usable);
+        if dist[src.0 as usize] == u32::MAX {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        let mut hop = 0u64;
+        while cur != dst {
+            let here = dist[cur.0 as usize];
+            let mut nexts: Vec<(DeviceId, LinkId)> = self.adj[cur.0 as usize]
+                .iter()
+                .copied()
+                .filter(|&(v, l)| usable(l) && dist[v.0 as usize] + 1 == here)
+                .collect();
+            if nexts.is_empty() {
+                return None;
+            }
+            // Deterministic ECMP: sort then pick by hash mixed with hop
+            // index (so a flow uses a consistent path but different flows
+            // spread across the fabric).
+            nexts.sort_by_key(|&(v, _)| v);
+            let mix = hash
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left((hop % 64) as u32);
+            let pick = (mix % nexts.len() as u64) as usize;
+            cur = nexts[pick].0;
+            path.push(cur);
+            hop += 1;
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Topology, DeviceId, DeviceId, DeviceId, DeviceId) {
+        // s - {a, b} - t
+        let mut t = Topology::new();
+        let s = t.add_device("dc01.pod01.tor01", Role::Tor);
+        let a = t.add_device("dc01.pod01.agg01", Role::Agg);
+        let b = t.add_device("dc01.pod01.agg02", Role::Agg);
+        let d = t.add_device("dc01.pod01.tor02", Role::Tor);
+        t.add_link(s, a).unwrap();
+        t.add_link(s, b).unwrap();
+        t.add_link(a, d).unwrap();
+        t.add_link(b, d).unwrap();
+        (t, s, a, b, d)
+    }
+
+    #[test]
+    fn add_device_is_idempotent_by_name() {
+        let mut t = Topology::new();
+        let a = t.add_device("dc01.pod01.tor01", Role::Tor);
+        let b = t.add_device("dc01.pod01.tor01", Role::Tor);
+        assert_eq!(a, b);
+        assert_eq!(t.num_devices(), 1);
+    }
+
+    #[test]
+    fn self_links_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_device("x", Role::Tor);
+        assert!(t.add_link(a, a).is_none());
+    }
+
+    #[test]
+    fn bfs_distances_on_diamond() {
+        let (t, s, a, _b, d) = diamond();
+        let dist = t.bfs_distances(s, |_| true);
+        assert_eq!(dist[s.0 as usize], 0);
+        assert_eq!(dist[a.0 as usize], 1);
+        assert_eq!(dist[d.0 as usize], 2);
+    }
+
+    #[test]
+    fn ecmp_next_hops_spread() {
+        let (t, s, a, b, d) = diamond();
+        let hops = t.ecmp_next_hops(s, d, |_| true);
+        let devs: Vec<DeviceId> = hops.iter().map(|&(v, _)| v).collect();
+        assert!(devs.contains(&a));
+        assert!(devs.contains(&b));
+    }
+
+    #[test]
+    fn link_filter_narrows_paths() {
+        let (t, s, _a, b, d) = diamond();
+        // Disable the first link (s-a): all paths must go via b.
+        let down = LinkId(0);
+        let hops = t.ecmp_next_hops(s, d, |l| l != down);
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].0, b);
+    }
+
+    #[test]
+    fn ecmp_path_reaches_destination() {
+        let (t, s, _, _, d) = diamond();
+        for hash in 0..8u64 {
+            let p = t.ecmp_path(s, d, hash, |_| true).unwrap();
+            assert_eq!(p.first(), Some(&s));
+            assert_eq!(p.last(), Some(&d));
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Tor);
+        assert!(t.ecmp_path(a, b, 0, |_| true).is_none());
+        assert!(t.ecmp_next_hops(a, b, |_| true).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # occam-topology
+//!
+//! Network topology substrate for the Occam reproduction: hierarchical
+//! device naming, the topology graph with ECMP path computation, a k-ary
+//! Fat-tree builder (the paper's emulation setup, §8.2), and the
+//! production-scale naming scheme with symbolic region specs (the paper's
+//! at-scale simulation setup, §8.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use occam_topology::{FatTree, ProductionScheme, RegionSpec};
+//!
+//! // The paper's k=6 emulation fabric: 18 ToR, 18 Agg, 9 core.
+//! let ft = FatTree::build(1, 6).unwrap();
+//! assert_eq!(ft.all_switches().len(), 45);
+//!
+//! // The paper's simulation scale: 16 DCs x 96 pods x 92 switches.
+//! let scheme = ProductionScheme::meta_scale();
+//! assert_eq!(scheme.total_devices(), 141_312);
+//! let pod = RegionSpec::Pod { dc: 1, pod: 3 };
+//! assert_eq!(pod.to_regex(&scheme), r"dc01\.pod03\..*");
+//! ```
+
+pub mod fattree;
+pub mod graph;
+pub mod naming;
+pub mod production;
+
+pub use fattree::{FatTree, FatTreeError};
+pub use graph::{Device, DeviceId, Link, LinkId, Topology};
+pub use naming::{parse_name, ParsedName, Role};
+pub use production::{ProductionScheme, RegionSpec};

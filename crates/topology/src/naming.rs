@@ -1,0 +1,187 @@
+//! Hierarchical device naming.
+//!
+//! Production networks name devices from a well-defined identifier space
+//! (paper §3.1): `dc01.pod03.tor07`. Names are hierarchical, lowercase, and
+//! zero-padded so that textual prefixes align with topological containment
+//! (`dc1` vs `dc10` ambiguity cannot arise).
+
+/// The role a device plays in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Role {
+    /// An end host attached to a ToR.
+    Host,
+    /// Top-of-rack switch.
+    Tor,
+    /// Pod aggregation switch.
+    Agg,
+    /// Datacenter core/spine switch.
+    Core,
+    /// Point-of-presence edge device.
+    Pop,
+    /// Backbone router.
+    Backbone,
+}
+
+impl Role {
+    /// The lowercase name-segment prefix for the role.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Role::Host => "host",
+            Role::Tor => "tor",
+            Role::Agg => "agg",
+            Role::Core => "core",
+            Role::Pop => "pop",
+            Role::Backbone => "bb",
+        }
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// Formats a datacenter name: `dc01`.
+pub fn dc_name(dc: u32) -> String {
+    format!("dc{dc:02}")
+}
+
+/// Formats a pod name segment: `pod03`.
+pub fn pod_segment(pod: u32) -> String {
+    format!("pod{pod:02}")
+}
+
+/// Formats a full switch name: `dc01.pod03.tor07`.
+pub fn switch_name(dc: u32, pod: u32, role: Role, idx: u32) -> String {
+    format!("dc{dc:02}.pod{pod:02}.{}{idx:02}", role.prefix())
+}
+
+/// Formats a core switch name: `dc01.core.c03`.
+pub fn core_name(dc: u32, idx: u32) -> String {
+    format!("dc{dc:02}.core.c{idx:02}")
+}
+
+/// Formats a host name: `dc01.pod03.tor07.host02`.
+pub fn host_name(dc: u32, pod: u32, tor: u32, idx: u32) -> String {
+    format!("dc{dc:02}.pod{pod:02}.tor{tor:02}.host{idx:02}")
+}
+
+/// A parsed device name, exposing the hierarchy levels.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParsedName {
+    /// Datacenter number.
+    pub dc: u32,
+    /// Pod number if the device is inside a pod.
+    pub pod: Option<u32>,
+    /// Role of the device.
+    pub role: Role,
+    /// Index within its role group.
+    pub idx: u32,
+}
+
+/// Parses a device name produced by this module's formatters.
+///
+/// Returns `None` for names outside the scheme (the system treats such
+/// devices as opaque leaves; only scheme-generated names participate in the
+/// hierarchy arithmetic).
+pub fn parse_name(name: &str) -> Option<ParsedName> {
+    let mut parts = name.split('.');
+    let dc_part = parts.next()?;
+    let dc: u32 = dc_part.strip_prefix("dc")?.parse().ok()?;
+    let second = parts.next()?;
+    if second == "core" {
+        let c = parts.next()?;
+        let idx: u32 = c.strip_prefix('c')?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        return Some(ParsedName {
+            dc,
+            pod: None,
+            role: Role::Core,
+            idx,
+        });
+    }
+    let pod: u32 = second.strip_prefix("pod")?.parse().ok()?;
+    let third = parts.next()?;
+    let (role, rest) = if let Some(r) = third.strip_prefix("tor") {
+        (Role::Tor, r)
+    } else if let Some(r) = third.strip_prefix("agg") {
+        (Role::Agg, r)
+    } else if let Some(r) = third.strip_prefix("sw") {
+        // Generic production switches are modelled as ToRs.
+        (Role::Tor, r)
+    } else {
+        return None;
+    };
+    let idx: u32 = rest.parse().ok()?;
+    match parts.next() {
+        None => Some(ParsedName {
+            dc,
+            pod: Some(pod),
+            role,
+            idx,
+        }),
+        Some(host) => {
+            let hidx: u32 = host.strip_prefix("host")?.parse().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            // Host names carry the ToR index in `idx`'s place; expose the
+            // host index.
+            let _ = idx;
+            Some(ParsedName {
+                dc,
+                pod: Some(pod),
+                role: Role::Host,
+                idx: hidx,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_is_zero_padded() {
+        assert_eq!(dc_name(1), "dc01");
+        assert_eq!(switch_name(1, 3, Role::Tor, 7), "dc01.pod03.tor07");
+        assert_eq!(core_name(12, 0), "dc12.core.c00");
+        assert_eq!(host_name(1, 2, 3, 4), "dc01.pod02.tor03.host04");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let p = parse_name("dc01.pod03.tor07").unwrap();
+        assert_eq!(p.dc, 1);
+        assert_eq!(p.pod, Some(3));
+        assert_eq!(p.role, Role::Tor);
+        assert_eq!(p.idx, 7);
+
+        let c = parse_name("dc12.core.c05").unwrap();
+        assert_eq!(c.dc, 12);
+        assert_eq!(c.pod, None);
+        assert_eq!(c.role, Role::Core);
+
+        let h = parse_name("dc01.pod02.tor03.host04").unwrap();
+        assert_eq!(h.role, Role::Host);
+        assert_eq!(h.idx, 4);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_names() {
+        for bad in ["", "dc", "dcxx.pod01.tor01", "dc01", "rack5", "dc01.pod01.fw01"] {
+            assert!(parse_name(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn generic_sw_prefix_parses_as_tor() {
+        let p = parse_name("dc02.pod10.sw45").unwrap();
+        assert_eq!(p.role, Role::Tor);
+        assert_eq!(p.idx, 45);
+    }
+}

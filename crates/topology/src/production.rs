@@ -1,0 +1,302 @@
+//! The production-scale naming scheme used by the simulator.
+//!
+//! The paper's at-scale simulation (§8.1) runs on "16 datacenters, each with
+//! 96 pods and 92 switches" — about 141k devices. At that scale the
+//! simulator never materializes a graph; it works on the *identifier
+//! arithmetic* of the naming scheme and on symbolic region specs.
+
+/// Parameters of the production naming scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProductionScheme {
+    /// Number of datacenters (1-based numbering `dc01..`).
+    pub num_dcs: u32,
+    /// Pods per datacenter (0-based `pod00..`).
+    pub pods_per_dc: u32,
+    /// Switches per pod (0-based `sw00..`).
+    pub switches_per_pod: u32,
+}
+
+impl ProductionScheme {
+    /// The scale the paper simulates: 16 DCs × 96 pods × 92 switches.
+    pub fn meta_scale() -> ProductionScheme {
+        ProductionScheme {
+            num_dcs: 16,
+            pods_per_dc: 96,
+            switches_per_pod: 92,
+        }
+    }
+
+    /// Total number of devices in the scheme.
+    pub fn total_devices(&self) -> u64 {
+        u64::from(self.num_dcs) * u64::from(self.pods_per_dc) * u64::from(self.switches_per_pod)
+    }
+
+    /// Devices per datacenter.
+    pub fn devices_per_dc(&self) -> u32 {
+        self.pods_per_dc * self.switches_per_pod
+    }
+
+    /// The canonical name for device `(dc, pod, sw)`; `dc` is 1-based.
+    pub fn device_name(&self, dc: u32, pod: u32, sw: u32) -> String {
+        format!("dc{dc:02}.pod{pod:02}.sw{sw:02}")
+    }
+
+    /// Flat device index for `(dc, pod, sw)`; `dc` is 1-based.
+    pub fn device_index(&self, dc: u32, pod: u32, sw: u32) -> u32 {
+        (dc - 1) * self.devices_per_dc() + pod * self.switches_per_pod + sw
+    }
+
+    /// Inverse of [`Self::device_index`]: `(dc, pod, sw)`.
+    pub fn device_coords(&self, index: u32) -> (u32, u32, u32) {
+        let per_dc = self.devices_per_dc();
+        let dc = index / per_dc + 1;
+        let rem = index % per_dc;
+        (dc, rem / self.switches_per_pod, rem % self.switches_per_pod)
+    }
+
+    /// The name of the device at flat `index`.
+    pub fn device_name_at(&self, index: u32) -> String {
+        let (dc, pod, sw) = self.device_coords(index);
+        self.device_name(dc, pod, sw)
+    }
+}
+
+/// A symbolic network region over a [`ProductionScheme`].
+///
+/// Region specs are what the workload generator produces and what the
+/// simulator locks at each granularity: they can be rendered as a regex (for
+/// network-object locks), enumerated as device indices (for device locks),
+/// or projected to datacenters (for DC locks).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegionSpec {
+    /// An entire datacenter (`dc03.*`); 1-based.
+    Dc(u32),
+    /// One pod (`dc03.pod07.*`).
+    Pod {
+        /// Datacenter (1-based).
+        dc: u32,
+        /// Pod (0-based).
+        pod: u32,
+    },
+    /// A contiguous inclusive range of pods within a datacenter.
+    PodRange {
+        /// Datacenter (1-based).
+        dc: u32,
+        /// First pod (0-based).
+        lo: u32,
+        /// Last pod (inclusive).
+        hi: u32,
+    },
+    /// An explicit set of devices by flat index (sorted, deduplicated).
+    Devices(Vec<u32>),
+}
+
+impl RegionSpec {
+    /// Renders the region as a regex over device names.
+    pub fn to_regex(&self, scheme: &ProductionScheme) -> String {
+        match self {
+            RegionSpec::Dc(dc) => format!(r"dc{dc:02}\..*"),
+            RegionSpec::Pod { dc, pod } => format!(r"dc{dc:02}\.pod{pod:02}\..*"),
+            RegionSpec::PodRange { dc, lo, hi } => {
+                let alts: Vec<String> = (*lo..=*hi).map(|p| format!("pod{p:02}")).collect();
+                format!(r"dc{dc:02}\.({})\..*", alts.join("|"))
+            }
+            RegionSpec::Devices(idxs) => {
+                let alts: Vec<String> = idxs
+                    .iter()
+                    .map(|&i| scheme.device_name_at(i).replace('.', r"\."))
+                    .collect();
+                if alts.is_empty() {
+                    "[]".to_string()
+                } else {
+                    alts.join("|")
+                }
+            }
+        }
+    }
+
+    /// The datacenters the region touches (1-based), sorted and unique.
+    pub fn dcs(&self, scheme: &ProductionScheme) -> Vec<u32> {
+        match self {
+            RegionSpec::Dc(dc) => vec![*dc],
+            RegionSpec::Pod { dc, .. } | RegionSpec::PodRange { dc, .. } => vec![*dc],
+            RegionSpec::Devices(idxs) => {
+                let mut v: Vec<u32> =
+                    idxs.iter().map(|&i| scheme.device_coords(i).0).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        }
+    }
+
+    /// All flat device indices in the region, sorted ascending.
+    pub fn device_indices(&self, scheme: &ProductionScheme) -> Vec<u32> {
+        match self {
+            RegionSpec::Dc(dc) => {
+                let base = (dc - 1) * scheme.devices_per_dc();
+                (base..base + scheme.devices_per_dc()).collect()
+            }
+            RegionSpec::Pod { dc, pod } => {
+                let base = scheme.device_index(*dc, *pod, 0);
+                (base..base + scheme.switches_per_pod).collect()
+            }
+            RegionSpec::PodRange { dc, lo, hi } => {
+                let base = scheme.device_index(*dc, *lo, 0);
+                let end = scheme.device_index(*dc, *hi, scheme.switches_per_pod - 1);
+                (base..=end).collect()
+            }
+            RegionSpec::Devices(idxs) => idxs.clone(),
+        }
+    }
+
+    /// Number of devices in the region without enumerating.
+    pub fn device_count(&self, scheme: &ProductionScheme) -> u64 {
+        match self {
+            RegionSpec::Dc(_) => u64::from(scheme.devices_per_dc()),
+            RegionSpec::Pod { .. } => u64::from(scheme.switches_per_pod),
+            RegionSpec::PodRange { lo, hi, .. } => {
+                u64::from(hi - lo + 1) * u64::from(scheme.switches_per_pod)
+            }
+            RegionSpec::Devices(idxs) => idxs.len() as u64,
+        }
+    }
+
+    /// Fast symbolic overlap test (no regex machinery needed for specs).
+    pub fn overlaps(&self, other: &RegionSpec, scheme: &ProductionScheme) -> bool {
+        use RegionSpec::*;
+        // Normalize: represent each spec's pod interval per dc, or explicit
+        // device lists.
+        fn pod_interval(spec: &RegionSpec, scheme: &ProductionScheme) -> Option<(u32, u32, u32)> {
+            match spec {
+                Dc(dc) => Some((*dc, 0, scheme.pods_per_dc - 1)),
+                Pod { dc, pod } => Some((*dc, *pod, *pod)),
+                PodRange { dc, lo, hi } => Some((*dc, *lo, *hi)),
+                Devices(_) => None,
+            }
+        }
+        match (pod_interval(self, scheme), pod_interval(other, scheme)) {
+            (Some((d1, l1, h1)), Some((d2, l2, h2))) => d1 == d2 && l1 <= h2 && l2 <= h1,
+            _ => {
+                // Fall back to index-set intersection with early exit.
+                let a = self.device_indices(scheme);
+                let b = other.device_indices(scheme);
+                let (small, large) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+                let set: std::collections::HashSet<u32> = large.iter().copied().collect();
+                small.iter().any(|i| set.contains(i))
+            }
+        }
+    }
+
+    /// Fast symbolic containment test: does `self` contain `other`?
+    pub fn contains(&self, other: &RegionSpec, scheme: &ProductionScheme) -> bool {
+        use RegionSpec::*;
+        fn pod_interval(spec: &RegionSpec, scheme: &ProductionScheme) -> Option<(u32, u32, u32)> {
+            match spec {
+                Dc(dc) => Some((*dc, 0, scheme.pods_per_dc - 1)),
+                Pod { dc, pod } => Some((*dc, *pod, *pod)),
+                PodRange { dc, lo, hi } => Some((*dc, *lo, *hi)),
+                Devices(_) => None,
+            }
+        }
+        match (pod_interval(self, scheme), pod_interval(other, scheme)) {
+            (Some((d1, l1, h1)), Some((d2, l2, h2))) => d1 == d2 && l1 <= l2 && h2 <= h1,
+            _ => {
+                let sup: std::collections::HashSet<u32> =
+                    self.device_indices(scheme).into_iter().collect();
+                other.device_indices(scheme).iter().all(|i| sup.contains(i))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> ProductionScheme {
+        ProductionScheme::meta_scale()
+    }
+
+    #[test]
+    fn meta_scale_counts() {
+        let s = scheme();
+        assert_eq!(s.total_devices(), 16 * 96 * 92);
+        assert_eq!(s.devices_per_dc(), 96 * 92);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let s = scheme();
+        for &(dc, pod, sw) in &[(1, 0, 0), (16, 95, 91), (7, 42, 13)] {
+            let i = s.device_index(dc, pod, sw);
+            assert_eq!(s.device_coords(i), (dc, pod, sw));
+        }
+        assert_eq!(s.device_index(16, 95, 91) as u64, s.total_devices() - 1);
+    }
+
+    #[test]
+    fn names_match_scheme() {
+        let s = scheme();
+        assert_eq!(s.device_name(3, 7, 2), "dc03.pod07.sw02");
+        assert_eq!(s.device_name_at(0), "dc01.pod00.sw00");
+    }
+
+    #[test]
+    fn region_regex_forms() {
+        let s = scheme();
+        assert_eq!(RegionSpec::Dc(3).to_regex(&s), r"dc03\..*");
+        assert_eq!(
+            RegionSpec::Pod { dc: 1, pod: 4 }.to_regex(&s),
+            r"dc01\.pod04\..*"
+        );
+        let r = RegionSpec::PodRange { dc: 2, lo: 3, hi: 5 }.to_regex(&s);
+        assert_eq!(r, r"dc02\.(pod03|pod04|pod05)\..*");
+        assert_eq!(RegionSpec::Devices(vec![]).to_regex(&s), "[]");
+    }
+
+    #[test]
+    fn device_indices_and_counts_agree() {
+        let s = scheme();
+        for spec in [
+            RegionSpec::Dc(2),
+            RegionSpec::Pod { dc: 1, pod: 10 },
+            RegionSpec::PodRange { dc: 3, lo: 0, hi: 4 },
+            RegionSpec::Devices(vec![5, 9, 100]),
+        ] {
+            let idxs = spec.device_indices(&s);
+            assert_eq!(idxs.len() as u64, spec.device_count(&s));
+            assert!(idxs.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        }
+    }
+
+    #[test]
+    fn overlap_symbolic_vs_enumerated() {
+        let s = scheme();
+        let a = RegionSpec::PodRange { dc: 1, lo: 0, hi: 4 };
+        let b = RegionSpec::Pod { dc: 1, pod: 3 };
+        let c = RegionSpec::Pod { dc: 1, pod: 9 };
+        let d = RegionSpec::Dc(2);
+        assert!(a.overlaps(&b, &s));
+        assert!(!a.overlaps(&c, &s));
+        assert!(!a.overlaps(&d, &s));
+        let devs = RegionSpec::Devices(vec![s.device_index(1, 3, 0)]);
+        assert!(devs.overlaps(&b, &s));
+        assert!(!devs.overlaps(&c, &s));
+    }
+
+    #[test]
+    fn containment_symbolic() {
+        let s = scheme();
+        let dc = RegionSpec::Dc(1);
+        let pod = RegionSpec::Pod { dc: 1, pod: 5 };
+        let range = RegionSpec::PodRange { dc: 1, lo: 3, hi: 8 };
+        assert!(dc.contains(&pod, &s));
+        assert!(dc.contains(&range, &s));
+        assert!(range.contains(&pod, &s));
+        assert!(!pod.contains(&range, &s));
+        assert!(!RegionSpec::Dc(2).contains(&pod, &s));
+        let devs = RegionSpec::Devices(vec![s.device_index(1, 5, 3)]);
+        assert!(pod.contains(&devs, &s));
+    }
+}

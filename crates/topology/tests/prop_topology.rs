@@ -1,0 +1,80 @@
+//! Property tests for the topology substrate.
+
+use occam_topology::{FatTree, ProductionScheme, RegionSpec, Role};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fat-tree structural counts for any even arity.
+    #[test]
+    fn fattree_counts(half in 1u32..5) {
+        let k = half * 2;
+        let ft = FatTree::build(1, k).unwrap();
+        prop_assert_eq!(ft.cores.len() as u32, half * half);
+        prop_assert_eq!(ft.aggs.iter().map(Vec::len).sum::<usize>() as u32, k * half);
+        prop_assert_eq!(ft.tors.iter().map(Vec::len).sum::<usize>() as u32, k * half);
+        prop_assert_eq!(ft.all_hosts().len() as u32, k * half * half);
+        // Every ToR has degree k/2 hosts + k/2 aggs.
+        for pod in &ft.tors {
+            for &tor in pod {
+                prop_assert_eq!(ft.topo.neighbors(tor).len() as u32, k);
+            }
+        }
+    }
+
+    /// All hosts are pairwise connected and within diameter 6.
+    #[test]
+    fn fattree_connectivity(half in 1u32..4, a in 0usize..32, b in 0usize..32) {
+        let ft = FatTree::build(1, half * 2).unwrap();
+        let hosts = ft.all_hosts();
+        let (a, b) = (a % hosts.len(), b % hosts.len());
+        prop_assume!(a != b);
+        let dist = ft.topo.bfs_distances(hosts[a], |_| true);
+        let d = dist[hosts[b].0 as usize];
+        prop_assert!((2..=6).contains(&d), "distance {d}");
+    }
+
+    /// Region specs: device_indices is consistent with contains/overlaps.
+    #[test]
+    fn region_spec_consistency(
+        dc1 in 1u32..4, lo1 in 0u32..6, w1 in 0u32..4,
+        dc2 in 1u32..4, lo2 in 0u32..6, w2 in 0u32..4,
+    ) {
+        let scheme = ProductionScheme { num_dcs: 4, pods_per_dc: 10, switches_per_pod: 8 };
+        let a = RegionSpec::PodRange { dc: dc1, lo: lo1, hi: lo1 + w1 };
+        let b = RegionSpec::PodRange { dc: dc2, lo: lo2, hi: lo2 + w2 };
+        let ia: std::collections::BTreeSet<u32> = a.device_indices(&scheme).into_iter().collect();
+        let ib: std::collections::BTreeSet<u32> = b.device_indices(&scheme).into_iter().collect();
+        prop_assert_eq!(a.overlaps(&b, &scheme), !ia.is_disjoint(&ib));
+        prop_assert_eq!(a.contains(&b, &scheme), ib.is_subset(&ia));
+        prop_assert_eq!(a.device_count(&scheme) as usize, ia.len());
+    }
+
+    /// Region regexes compile and match exactly the enumerated devices.
+    #[test]
+    fn region_regex_agrees_with_indices(dc in 1u32..3, lo in 0u32..4, w in 0u32..3) {
+        let scheme = ProductionScheme { num_dcs: 3, pods_per_dc: 6, switches_per_pod: 4 };
+        let spec = RegionSpec::PodRange { dc, lo, hi: lo + w };
+        let pattern = occam_regex::Pattern::new(&spec.to_regex(&scheme)).unwrap();
+        let members: std::collections::BTreeSet<u32> =
+            spec.device_indices(&scheme).into_iter().collect();
+        for idx in 0..scheme.total_devices() as u32 {
+            let name = scheme.device_name_at(idx);
+            prop_assert_eq!(
+                pattern.matches(&name),
+                members.contains(&idx),
+                "device {} vs region {:?}", name, spec
+            );
+        }
+    }
+
+    /// Host-role devices never appear in all_switches.
+    #[test]
+    fn switches_exclude_hosts(half in 1u32..4) {
+        let ft = FatTree::build(1, half * 2).unwrap();
+        for id in ft.all_switches() {
+            prop_assert_ne!(ft.topo.device(id).role, Role::Host);
+        }
+    }
+}

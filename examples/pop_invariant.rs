@@ -1,0 +1,144 @@
+//! The paper's §2.3 reliability gap #3: cross-task conflicts.
+//!
+//! Two management tasks touch *non-overlapping* devices — one drains an
+//! uplink switch in response to link flapping, the other drains the
+//! remaining uplinks for maintenance — yet their composition disconnects
+//! the whole pod (the paper's PoP-offload story).
+//!
+//! Occam's answer is region scoping: both tasks scope the *invariant
+//! domain* (the pod's whole uplink group) rather than just the devices
+//! they mutate. The regions then overlap, the tasks serialize, and the
+//! second task re-validates redundancy under the lock and aborts instead
+//! of blacking out the pod.
+//!
+//! Run with: `cargo run --example pop_invariant`
+
+use occam::emunet::FlowClass;
+use occam::netdb::attrs;
+use occam::{TaskError, TaskState};
+
+/// Runs the scenario; returns (ticks with no path for the pod's traffic,
+/// state of the maintenance task).
+fn scenario(invariant_scoped: bool) -> (usize, TaskState) {
+    let (runtime, ft) = occam::emulated_deployment(1, 6);
+    let svc = occam::emu_service(&runtime);
+    // The pod's user traffic leaves via its aggregation uplinks.
+    let flow = {
+        let net = svc.net();
+        let mut guard = net.lock();
+        guard.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[3][0][0],
+            60.0,
+            FlowClass::Background,
+        )
+    };
+
+    // Scopes: naive tasks lock exactly the devices they touch; disciplined
+    // tasks lock the whole uplink group.
+    let flap_scope = if invariant_scoped { "dc01.pod00.agg*" } else { "dc01.pod00.agg00" };
+    let maint_scope = if invariant_scoped {
+        "dc01.pod00.agg*"
+    } else {
+        "dc01.pod00.agg01|dc01\\.pod00\\.agg02"
+    };
+
+    let rt1 = runtime.clone();
+    let h1 = rt1.submit("flap_response", move |ctx| {
+        let uplinks = if flap_scope.contains('|') {
+            ctx.network_regex(flap_scope)?
+        } else {
+            ctx.network(flap_scope)?
+        };
+        // Check redundancy before draining agg00: the *other* uplinks must
+        // still be serving.
+        let statuses = uplinks.get(attrs::DEVICE_STATUS)?;
+        let healthy_others = statuses
+            .iter()
+            .filter(|(d, v)| {
+                d.as_str() != "dc01.pod00.agg00" && v.as_str() == Some(attrs::STATUS_ACTIVE)
+            })
+            .count();
+        if invariant_scoped && healthy_others < 1 {
+            return Err(TaskError::Failed("no redundant uplink left".into()));
+        }
+        let agg00 = ctx.network("dc01.pod00.agg00")?;
+        agg00.set(attrs::DEVICE_STATUS, attrs::STATUS_DRAINED.into())?;
+        agg00.apply("f_drain")?;
+        ctx.runtime().service().advance(3);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        Ok(())
+    });
+    std::thread::sleep(std::time::Duration::from_millis(20));
+
+    let rt2 = runtime.clone();
+    let h2 = rt2.submit("uplink_maintenance", move |ctx| {
+        let scope = if maint_scope.contains('|') {
+            ctx.network_regex(maint_scope)?
+        } else {
+            ctx.network(maint_scope)?
+        };
+        if invariant_scoped {
+            // Under the group lock: how many uplinks would remain serving
+            // if we drain agg01 and agg02?
+            let statuses = scope.get(attrs::DEVICE_STATUS)?;
+            let serving_after = statuses
+                .iter()
+                .filter(|(d, v)| {
+                    !d.ends_with("agg01")
+                        && !d.ends_with("agg02")
+                        && v.as_str() == Some(attrs::STATUS_ACTIVE)
+                })
+                .count();
+            if serving_after == 0 {
+                return Err(TaskError::Failed(
+                    "maintenance would disconnect the pod".into(),
+                ));
+            }
+            let targets = ctx.network_regex(r"dc01\.pod00\.agg0[1-2]")?;
+            targets.set(attrs::DEVICE_STATUS, attrs::STATUS_DRAINED.into())?;
+            targets.apply("f_drain")?;
+        } else {
+            scope.set(attrs::DEVICE_STATUS, attrs::STATUS_DRAINED.into())?;
+            scope.apply("f_drain")?;
+        }
+        ctx.runtime().service().advance(3);
+        Ok(())
+    });
+
+    let _r1 = h1.join().unwrap();
+    let r2 = h2.join().unwrap();
+    occam::emunet::DeviceService::advance(svc, 3);
+
+    let net = svc.net();
+    let guard = net.lock();
+    let no_path = guard
+        .history()
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.flow_rate.get(&flow),
+                Some((occam::emunet::Delivery::NoPath, _))
+            )
+        })
+        .count();
+    (no_path, r2.state)
+}
+
+fn main() {
+    let (naive_outage, naive_state) = scenario(false);
+    let (scoped_outage, scoped_state) = scenario(true);
+    println!("pod-disconnected ticks:");
+    println!("  naive device scoping:    {naive_outage} (maintenance task: {naive_state:?})");
+    println!("  invariant-domain scoping: {scoped_outage} (maintenance task: {scoped_state:?})");
+    assert!(
+        naive_outage > 0,
+        "composing the naive tasks must disconnect the pod"
+    );
+    assert_eq!(scoped_outage, 0, "group-scoped tasks keep the pod reachable");
+    assert_eq!(
+        scoped_state,
+        TaskState::Aborted,
+        "the maintenance task detects the invariant violation and aborts"
+    );
+}

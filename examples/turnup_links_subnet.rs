@@ -1,0 +1,82 @@
+//! Dynamic object creation: the paper's second example program (§3.3).
+//!
+//! Queries link status across a region, dynamically scopes a new network
+//! object containing exactly the devices whose links are not yet up, turns
+//! those links up in the database, and pushes the configuration.
+//!
+//! Run with: `cargo run --example turnup_links_subnet`
+
+use occam::netdb::attrs;
+use occam::TaskState;
+use std::collections::BTreeSet;
+
+fn main() {
+    let (runtime, ft) = occam::emulated_deployment(1, 6);
+
+    // Simulate a partially-provisioned pod: mark a few links DOWN in the
+    // database and in the emulated network.
+    let db = runtime.db();
+    let svc = occam::emu_service(&runtime);
+    {
+        let scope = occam::regex::Pattern::from_glob("dc01.pod02.*").unwrap();
+        let links = db.links_touching(&scope).unwrap();
+        let net = svc.net();
+        let mut guard = net.lock();
+        for (a, z) in links.iter().take(4) {
+            db.set_link_attr(a, z, attrs::LINK_STATUS, attrs::DOWN.into())
+                .unwrap();
+            let ia = guard.device_by_name(a).unwrap();
+            let iz = guard.device_by_name(z).unwrap();
+            if let Some(l) = guard.link_between(ia, iz) {
+                guard.set_link(l, false);
+            }
+        }
+    }
+
+    let report = runtime.run_task("turnup_links_subnet", |ctx| {
+        // turnup_links_subnet.occam, line for line:
+        let net = ctx.network("dc01.*")?;
+        let link_status = net.get_links(attrs::LINK_STATUS)?;
+        let mut dev_names: BTreeSet<String> = BTreeSet::new();
+        for ((a_end, z_end), s) in &link_status {
+            if s.as_str() != Some(attrs::UP) {
+                dev_names.insert(a_end.clone());
+                dev_names.insert(z_end.clone());
+            }
+        }
+        let dev_names: Vec<String> = dev_names.into_iter().collect();
+        println!("devices with down links: {dev_names:?}");
+        let subnet = ctx.network_of_devices(&dev_names)?;
+        subnet.set_links(attrs::LINK_STATUS, attrs::UP.into())?;
+        subnet.apply("f_turnup_link")?;
+        subnet.apply("f_push")?;
+        net.close();
+        subnet.close();
+        Ok(())
+    });
+
+    println!("task `{}` -> {:?}", report.name, report.state);
+    assert_eq!(report.state, TaskState::Completed);
+
+    // Every database link is UP again...
+    let scope = occam::regex::Pattern::from_glob("dc01.*").unwrap();
+    let down = db
+        .get_link_attr(&scope, attrs::LINK_STATUS)
+        .unwrap()
+        .values()
+        .filter(|v| v.as_str() == Some(attrs::DOWN))
+        .count();
+    println!("links still DOWN in database: {down}");
+    assert_eq!(down, 0);
+
+    // ...and physically up in the emulator.
+    let net = svc.net();
+    let guard = net.lock();
+    let phys_down = ft
+        .topo
+        .links()
+        .filter(|&(l, _)| !guard.link_is_up(l))
+        .count();
+    println!("links still down in emulator: {phys_down}");
+    assert_eq!(phys_down, 0);
+}

@@ -1,0 +1,113 @@
+//! # occam
+//!
+//! Umbrella crate for the Occam reproduction — a programming system for
+//! reliable network management (EuroSys 2024).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single package:
+//!
+//! - [`core`] — the programming model and runtime (network objects,
+//!   `get`/`set`/`apply`, strict-2PL transactions, rollback suggestion).
+//! - [`netdb`] — the source-of-truth network database.
+//! - [`emunet`] — the emulated network data/control plane.
+//! - [`topology`] — naming, Fat-trees, production scale.
+//! - [`objtree`] — the network object tree and locking.
+//! - [`sched`] — FIFO/LDSF lock scheduling.
+//! - [`rollback`] — Table 1 grammar and plan generation.
+//! - [`regex`] — the regex/automata engine for region scopes.
+//! - [`sim`] — the at-scale discrete-event simulator.
+//! - [`workload`] — Meta-shaped trace synthesis.
+//!
+//! See the `examples/` directory for runnable management programs,
+//! `crates/bench/src/bin/` for the experiment harness reproducing every
+//! table and figure of the paper, and `EXPERIMENTS.md` for the measured
+//! results.
+
+pub use occam_core as core;
+pub use occam_emunet as emunet;
+pub use occam_netdb as netdb;
+pub use occam_objtree as objtree;
+pub use occam_regex as regex;
+pub use occam_rollback as rollback;
+pub use occam_sched as sched;
+pub use occam_sim as sim;
+pub use occam_topology as topology;
+pub use occam_workload as workload;
+
+pub use occam_core::{
+    execute_rollback, Network, Runtime, TaskCtx, TaskError, TaskReport, TaskResult, TaskState,
+};
+
+/// Builds a ready-to-use emulated deployment: a `k`-ary Fat-tree, a
+/// database seeded with every switch (status `ACTIVE`, firmware 1.0) and
+/// every switch-to-switch link (status `UP`), and a runtime wired to an
+/// in-process device service.
+///
+/// This is the standard harness used by the examples and case studies.
+///
+/// # Examples
+///
+/// ```
+/// let (runtime, ft) = occam::emulated_deployment(1, 4);
+/// assert_eq!(ft.all_switches().len(), 4 + 8 + 8);
+/// let report = runtime.run_task("noop", |_| Ok(()));
+/// assert_eq!(report.state, occam::TaskState::Completed);
+/// ```
+pub fn emulated_deployment(dc: u32, k: u32) -> (occam_core::Runtime, occam_topology::FatTree) {
+    use std::sync::Arc;
+    let ft = occam_topology::FatTree::build(dc, k).expect("valid fat-tree arity");
+    let db = Arc::new(occam_netdb::Database::new());
+    for (_, d) in ft
+        .topo
+        .devices()
+        .filter(|(_, d)| d.role != occam_topology::Role::Host)
+    {
+        db.insert_device(
+            &d.name,
+            vec![
+                (
+                    occam_netdb::attrs::DEVICE_STATUS.into(),
+                    occam_netdb::attrs::STATUS_ACTIVE.into(),
+                ),
+                (
+                    occam_netdb::attrs::FIRMWARE_VERSION.into(),
+                    "fw-1.0.0".into(),
+                ),
+            ],
+        )
+        .expect("fresh device");
+    }
+    // Mirror the fabric's switch-to-switch links in the database, all UP.
+    for (_, l) in ft.topo.links() {
+        if ft.topo.device(l.a_end).role == occam_topology::Role::Host
+            || ft.topo.device(l.z_end).role == occam_topology::Role::Host
+        {
+            continue;
+        }
+        let a = &ft.topo.device(l.a_end).name;
+        let z = &ft.topo.device(l.z_end).name;
+        db.insert_link(
+            a,
+            z,
+            vec![(
+                occam_netdb::attrs::LINK_STATUS.into(),
+                occam_netdb::attrs::UP.into(),
+            )],
+        )
+        .expect("fresh link");
+    }
+    let service = Arc::new(occam_emunet::EmuService::new(
+        occam_emunet::EmuNet::from_fattree(&ft),
+    ));
+    (occam_core::Runtime::new(db, service), ft)
+}
+
+/// Reaches the emulator service behind a runtime built by
+/// [`emulated_deployment`] (for traffic setup and fault injection).
+pub fn emu_service(runtime: &occam_core::Runtime) -> &occam_emunet::EmuService {
+    runtime
+        .service()
+        .as_any()
+        .downcast_ref::<occam_emunet::EmuService>()
+        .expect("runtime built over EmuService")
+}

@@ -45,14 +45,14 @@ fn bench_sched(c: &mut Criterion) {
         c.bench_function(&format!("sched/objtree_32tasks_{policy:?}"), |b| {
             b.iter_batched_ref(
                 || (contended_tree(32), Scheduler::new(policy)),
-                |(tree, sched)| black_box(sched.sched(tree)),
+                |(tree, sched)| black_box(sched.sched(tree).len()),
                 BatchSize::SmallInput,
             )
         });
         c.bench_function(&format!("sched/devices_64tasks_{policy:?}"), |b| {
             b.iter_batched_ref(
                 || (contended_flat(64), Scheduler::new(policy)),
-                |(space, sched)| black_box(sched.sched(space)),
+                |(space, sched)| black_box(sched.sched(space).len()),
                 BatchSize::SmallInput,
             )
         });

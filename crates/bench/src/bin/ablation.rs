@@ -62,7 +62,11 @@ fn main() {
             },
             &trace,
         );
-        println!("{policy:?}\t{:.1}\t{:.1}", r.mean_completion(), r.mean_waiting());
+        println!(
+            "{policy:?}\t{:.1}\t{:.1}",
+            r.mean_completion(),
+            r.mean_waiting()
+        );
     }
 
     println!();

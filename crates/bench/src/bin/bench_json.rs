@@ -1,0 +1,126 @@
+//! Machine-readable performance probe: measures object-tree insert
+//! throughput, relation-cache effectiveness, and SCHED invocation times,
+//! then writes `BENCH_objtree.json` (hand-rolled JSON; no serde).
+//!
+//! Usage: `cargo run --release -p occam-bench --bin bench_json [num_tasks]`
+
+use occam_objtree::{ObjTree, ObjectId, SplitMode};
+use occam_sched::Policy;
+use occam_sim::{run, Granularity, SimConfig};
+use occam_topology::ProductionScheme;
+use occam_workload::{synthesize, TraceConfig};
+use std::fmt::Write as _;
+
+/// Inserts a churning mix of dc/pod/rack scopes and returns
+/// (inserts, seconds, relate-cache hit ratio).
+fn insert_throughput() -> (u64, f64, f64) {
+    let mut tree = ObjTree::new();
+    let mut live: Vec<ObjectId> = Vec::new();
+    let t0 = std::time::Instant::now();
+    let mut inserts = 0u64;
+    for round in 0..40u32 {
+        for dc in 1..4u32 {
+            for pod in 0..8u32 {
+                let scope = match (round + pod) % 3 {
+                    0 => format!("dc{dc:02}.pod{pod:02}.*"),
+                    1 => format!("dc{dc:02}.pod{pod:02}.rack{:02}.*", round % 4),
+                    _ => format!("dc{dc:02}.*"),
+                };
+                let region = occam_regex::Pattern::from_glob(&scope).unwrap();
+                live.extend(tree.insert_region(&region));
+                inserts += 1;
+            }
+        }
+        // Churn: drop half the references so the tree stays bounded and
+        // deletions exercise the graft path.
+        let keep = live.len() / 2;
+        for id in live.drain(keep..) {
+            tree.release_ref(id);
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (inserts, secs, tree.relate_cache_stats().hit_ratio())
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+
+    let (inserts, insert_secs, tree_hit_ratio) = insert_throughput();
+
+    let trace = synthesize(&TraceConfig {
+        num_tasks: n,
+        ..TraceConfig::default()
+    });
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"num_tasks\": {n},");
+    let _ = writeln!(out, "  \"insert_throughput\": {{");
+    let _ = writeln!(out, "    \"inserts\": {inserts},");
+    let _ = writeln!(out, "    \"seconds\": {insert_secs:.6},");
+    let _ = writeln!(
+        out,
+        "    \"inserts_per_sec\": {:.1},",
+        inserts as f64 / insert_secs
+    );
+    let _ = writeln!(out, "    \"relate_cache_hit_ratio\": {tree_hit_ratio:.4}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"sched\": [");
+
+    let policies = [Policy::Fifo, Policy::Ldsf];
+    for (i, policy) in policies.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let r = run(
+            &SimConfig {
+                granularity: Granularity::Object,
+                policy: *policy,
+                scheme: ProductionScheme::meta_scale(),
+                split_mode: SplitMode::Split,
+            },
+            &trace,
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        let s = &r.sched_stats;
+        let hit_ratio = s.relate_cache_hit_ratio();
+        println!(
+            "{policy:?}/obj: {wall:.2}s invocations={} mean={:?} max={:?} relate_hit_ratio={hit_ratio:.4}",
+            s.invocations,
+            s.mean_time(),
+            s.max_time,
+        );
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"policy\": \"{policy:?}\",");
+        let _ = writeln!(out, "      \"granularity\": \"object\",");
+        let _ = writeln!(out, "      \"wall_seconds\": {wall:.4},");
+        let _ = writeln!(out, "      \"invocations\": {},", s.invocations);
+        let _ = writeln!(
+            out,
+            "      \"mean_invocation_us\": {:.3},",
+            s.mean_time().as_secs_f64() * 1e6
+        );
+        let _ = writeln!(
+            out,
+            "      \"max_invocation_us\": {:.3},",
+            s.max_time.as_secs_f64() * 1e6
+        );
+        let _ = writeln!(out, "      \"relate_cache_hit_ratio\": {hit_ratio:.4},");
+        let _ = writeln!(
+            out,
+            "      \"mean_completion_h\": {:.2},",
+            r.mean_completion()
+        );
+        let _ = writeln!(out, "      \"deadlocks_broken\": {}", r.deadlocks_broken);
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < policies.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+
+    std::fs::write("BENCH_objtree.json", &out).expect("write BENCH_objtree.json");
+    println!("wrote BENCH_objtree.json");
+}

@@ -19,7 +19,10 @@ fn main() {
     }
     let executed = s.exec_counts.iter().filter(|&&c| c > 0).count();
     let over_1000 = s.exec_counts.iter().filter(|&&c| c > 1000).count();
-    println!("# executed at least once: {executed}/{} (paper: ~50%)", cfg.num_workflows);
+    println!(
+        "# executed at least once: {executed}/{} (paper: ~50%)",
+        cfg.num_workflows
+    );
     println!("# workflows > 1000 runs: {over_1000} (paper: ~10)");
     println!("# top workflow runs: {} (paper: ~15000)", s.exec_counts[0]);
 
@@ -59,8 +62,8 @@ fn main() {
     for (d, p) in s.overlap_pairs_per_day.iter().enumerate() {
         println!("{}\t{}", d + 1, p);
     }
-    let mean = s.overlap_pairs_per_day.iter().sum::<u64>() as f64
-        / s.overlap_pairs_per_day.len() as f64;
+    let mean =
+        s.overlap_pairs_per_day.iter().sum::<u64>() as f64 / s.overlap_pairs_per_day.len() as f64;
     println!("# mean pairs/day: {mean:.0} (paper: 150-200)");
 
     println!();

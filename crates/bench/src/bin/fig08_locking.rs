@@ -62,7 +62,14 @@ fn main() {
 
     println!();
     println!("## Figure 8a (CDF): completion-time percentiles (hours)");
-    println!("pct\t{}", results.iter().map(|(g, _)| g.name()).collect::<Vec<_>>().join("\t"));
+    println!(
+        "pct\t{}",
+        results
+            .iter()
+            .map(|(g, _)| g.name())
+            .collect::<Vec<_>>()
+            .join("\t")
+    );
     for pct in (0..=100).step_by(5) {
         let row: Vec<String> = results
             .iter()
@@ -88,7 +95,14 @@ fn main() {
 
     println!();
     println!("## Figure 8b (CDF): waiting-time percentiles (hours)");
-    println!("pct\t{}", results.iter().map(|(g, _)| g.name()).collect::<Vec<_>>().join("\t"));
+    println!(
+        "pct\t{}",
+        results
+            .iter()
+            .map(|(g, _)| g.name())
+            .collect::<Vec<_>>()
+            .join("\t")
+    );
     for pct in (0..=100).step_by(5) {
         let row: Vec<String> = results
             .iter()
@@ -99,7 +113,14 @@ fn main() {
 
     println!();
     println!("## Figure 8c: queue length over time (sampled each 100h)");
-    println!("hours\t{}", results.iter().map(|(g, _)| g.name()).collect::<Vec<_>>().join("\t"));
+    println!(
+        "hours\t{}",
+        results
+            .iter()
+            .map(|(g, _)| g.name())
+            .collect::<Vec<_>>()
+            .join("\t")
+    );
     let horizon = results
         .iter()
         .flat_map(|(_, r)| r.queue_timeline.last().map(|&(t, _)| t))
@@ -111,7 +132,11 @@ fn main() {
             .map(|(_, r)| {
                 // Queue length at the last event at or before t.
                 let idx = r.queue_timeline.partition_point(|&(ts, _)| ts <= t);
-                let q = if idx == 0 { 0 } else { r.queue_timeline[idx - 1].1 };
+                let q = if idx == 0 {
+                    0
+                } else {
+                    r.queue_timeline[idx - 1].1
+                };
                 q.to_string()
             })
             .collect();

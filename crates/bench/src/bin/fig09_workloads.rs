@@ -44,7 +44,11 @@ fn print_block(title: &str, results: &[(Granularity, SimResult); 3]) {
     let dc = results[0].1.mean_completion();
     let dev = results[1].1.mean_completion();
     let obj = results[2].1.mean_completion();
-    println!("# obj vs dc: {:.1}x, obj vs dev: {:.1}x", dc / obj, dev / obj);
+    println!(
+        "# obj vs dc: {:.1}x, obj vs dev: {:.1}x",
+        dc / obj,
+        dev / obj
+    );
     println!();
 }
 
@@ -58,7 +62,13 @@ fn main() {
         );
     }
     let results = simulate(&TraceConfig::default().write_heavy());
-    print_block("Figure 9b: write-heavy workload (completion hours)", &results);
+    print_block(
+        "Figure 9b: write-heavy workload (completion hours)",
+        &results,
+    );
     let results = simulate(&TraceConfig::default().read_heavy());
-    print_block("Figure 9c: read-heavy workload (completion hours)", &results);
+    print_block(
+        "Figure 9c: read-heavy workload (completion hours)",
+        &results,
+    );
 }

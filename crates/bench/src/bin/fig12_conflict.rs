@@ -76,7 +76,8 @@ fn scenario(with_locks: bool) -> Timeline {
         .unwrap();
         svc.advance(3);
         // turn_up_links interleaves here, overwriting the drain.
-        svc.execute("f_turnup_link", &devices, &FuncArgs::none()).unwrap();
+        svc.execute("f_turnup_link", &devices, &FuncArgs::none())
+            .unwrap();
         svc.execute("f_push", &devices, &FuncArgs::none()).unwrap();
         svc.advance(4);
         svc.execute(
@@ -86,7 +87,8 @@ fn scenario(with_locks: bool) -> Timeline {
         )
         .unwrap();
         svc.advance(2);
-        svc.execute("f_undrain", &devices, &FuncArgs::none()).unwrap();
+        svc.execute("f_undrain", &devices, &FuncArgs::none())
+            .unwrap();
     }
     svc.advance(4);
 
@@ -95,7 +97,11 @@ fn scenario(with_locks: bool) -> Timeline {
     let mut rate = Vec::new();
     let mut black_holed = Vec::new();
     for s in guard.history() {
-        let (d, r) = s.flow_rate.get(&flow).copied().unwrap_or((Delivery::NoPath, 0.0));
+        let (d, r) = s
+            .flow_rate
+            .get(&flow)
+            .copied()
+            .unwrap_or((Delivery::NoPath, 0.0));
         rate.push(r);
         black_holed.push(d == Delivery::BlackHoled);
     }

@@ -39,7 +39,10 @@ fn decision(policy: Policy) -> (TaskId, Vec<String>) {
         .find(|g| g.obj == switch)
         .map(|g| g.task)
         .expect("switch granted");
-    timeline.push(format!("t=5 {policy:?} grants the switch to task{}", winner.0));
+    timeline.push(format!(
+        "t=5 {policy:?} grants the switch to task{}",
+        winner.0
+    ));
     (winner, timeline)
 }
 
@@ -59,19 +62,30 @@ fn traffic(policy: Policy) -> (f64, f64, f64, usize) {
         let service = std::sync::Arc::new(occam::emunet::EmuService::new(
             occam::emunet::EmuNet::from_fattree(&ft),
         ));
-        (
-            occam::Runtime::with_policy(db, service, policy),
-            ft,
-        )
+        (occam::Runtime::with_policy(db, service, policy), ft)
     };
     let svc = occam::emu_service(&runtime);
     let (bg, sus, insp) = {
         let net = svc.net();
         let mut guard = net.lock();
-        let bg = guard.add_flow(ft.hosts[1][0][0], ft.hosts[4][0][0], 80.0, FlowClass::Background);
-        let sus = guard.add_flow(ft.hosts[0][0][0], ft.hosts[2][0][0], 20.0, FlowClass::Suspicious);
-        let insp =
-            guard.add_flow(ft.hosts[0][0][1], ft.hosts[2][0][1], 40.0, FlowClass::Inspected);
+        let bg = guard.add_flow(
+            ft.hosts[1][0][0],
+            ft.hosts[4][0][0],
+            80.0,
+            FlowClass::Background,
+        );
+        let sus = guard.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[2][0][0],
+            20.0,
+            FlowClass::Suspicious,
+        );
+        let insp = guard.add_flow(
+            ft.hosts[0][0][1],
+            ft.hosts[2][0][1],
+            40.0,
+            FlowClass::Inspected,
+        );
         (bg, sus, insp)
     };
 
@@ -169,7 +183,10 @@ fn main() {
         println!("{policy:?}\t{bg:.0}\t{sus:.0}\t{insp:.0}\t{disrupted}");
         assert_eq!(bg, 80.0, "background traffic stable");
         assert_eq!(sus, 0.0, "suspicious traffic blocked");
-        assert_eq!(insp, 40.0, "inspected traffic still delivered (via middlebox)");
+        assert_eq!(
+            insp, 40.0,
+            "inspected traffic still delivered (via middlebox)"
+        );
         assert_eq!(disrupted, 0, "no disruption of background traffic");
     }
 }

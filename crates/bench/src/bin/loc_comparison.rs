@@ -92,7 +92,8 @@ fn legacy_cs4(rt: &occam::Runtime) -> Result<(), String> {
     // Release the advisory locks.
     for d in &devices {
         let one = Pattern::from_names(&[d.as_str()]).map_err(|e| e.to_string())?;
-        db.set_attr(&one, "WF_LOCK", "".into()).map_err(|e| e.to_string())?;
+        db.set_attr(&one, "WF_LOCK", "".into())
+            .map_err(|e| e.to_string())?;
     }
     match failure {
         Some(e) => Err(e),
@@ -176,8 +177,12 @@ fn legacy_cs5(rt: &occam::Runtime) -> Result<(), String> {
     }
     // Generate configuration and push it, device by device.
     for d in &devices {
-        svc.execute("f_create_config", std::slice::from_ref(d), &FuncArgs::none())
-            .map_err(|e| e.to_string())?;
+        svc.execute(
+            "f_create_config",
+            std::slice::from_ref(d),
+            &FuncArgs::none(),
+        )
+        .map_err(|e| e.to_string())?;
         svc.execute("f_push", std::slice::from_ref(d), &FuncArgs::none())
             .map_err(|e| e.to_string())?;
     }
@@ -197,7 +202,10 @@ fn occam_cs5(rt: &occam::Runtime) -> TaskState {
         // BEGIN occam_cs5
         let net = ctx.network("dc01.pod03.*")?;
         let statuses = net.get(attrs::DEVICE_STATUS)?;
-        if statuses.values().any(|v| v.as_str() != Some(attrs::STATUS_ACTIVE)) {
+        if statuses
+            .values()
+            .any(|v| v.as_str() != Some(attrs::STATUS_ACTIVE))
+        {
             return Err(occam::TaskError::Failed("devices not healthy".into()));
         }
         net.set_links(attrs::LINK_STATUS, attrs::UP.into())?;
@@ -232,7 +240,11 @@ fn legacy_cs6(rt: &occam::Runtime) -> Result<(), String> {
     let mut failure: Option<String> = None;
     for d in &devices {
         let one = Pattern::from_names(&[d.as_str()]).map_err(|e| e.to_string())?;
-        match db.set_attr(&one, attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into()) {
+        match db.set_attr(
+            &one,
+            attrs::DEVICE_STATUS,
+            attrs::STATUS_UNDER_MAINTENANCE.into(),
+        ) {
             Ok(_) => changed.push(d.clone()),
             Err(e) => {
                 failure = Some(e.to_string());
@@ -242,9 +254,11 @@ fn legacy_cs6(rt: &occam::Runtime) -> Result<(), String> {
     }
     if failure.is_none() {
         for d in &devices {
-            if let Err(e) =
-                svc.execute("f_create_config", std::slice::from_ref(d), &FuncArgs::none())
-            {
+            if let Err(e) = svc.execute(
+                "f_create_config",
+                std::slice::from_ref(d),
+                &FuncArgs::none(),
+            ) {
                 failure = Some(e.to_string());
                 break;
             }
@@ -363,7 +377,10 @@ fn main() {
 
         let l = count_loc(&format!("legacy_{name}"));
         let o = count_loc(&format!("occam_{name}"));
-        println!("{name}\t{l}\t{o}\t{:.0}%", 100.0 * (1.0 - o as f64 / l as f64));
+        println!(
+            "{name}\t{l}\t{o}\t{:.0}%",
+            100.0 * (1.0 - o as f64 / l as f64)
+        );
     }
     println!("# paper: cs4 131->6, cs5 307->11, cs6 311->6 (LoC of stateful service invocation)");
 }

@@ -7,8 +7,12 @@ use occam_workload::{synthesize, TraceConfig};
 fn main() {
     let trace = synthesize(&TraceConfig::default());
     for granularity in [Granularity::Dc, Granularity::Device, Granularity::Object] {
-        let r = run(&SimConfig::new(granularity, Policy::Ldsf, ProductionScheme::meta_scale()), &trace);
-        let mut agg: std::collections::BTreeMap<(&str, bool), (f64, f64, usize)> = Default::default();
+        let r = run(
+            &SimConfig::new(granularity, Policy::Ldsf, ProductionScheme::meta_scale()),
+            &trace,
+        );
+        let mut agg: std::collections::BTreeMap<(&str, bool), (f64, f64, usize)> =
+            Default::default();
         for o in &r.outcomes {
             let t = &trace[o.id as usize];
             let kind = match t.region {
@@ -22,9 +26,18 @@ fn main() {
             e.1 += o.waiting();
             e.2 += 1;
         }
-        println!("== {} (deadlocks={})", granularity.name(), r.deadlocks_broken);
+        println!(
+            "== {} (deadlocks={})",
+            granularity.name(),
+            r.deadlocks_broken
+        );
         for ((k, w), (ct, wt, n)) in agg {
-            println!("  {k}/{} n={n} mean_completion={:.1} mean_wait={:.1}", if w {"W"} else {"R"}, ct / n as f64, wt / n as f64);
+            println!(
+                "  {k}/{} n={n} mean_completion={:.1} mean_wait={:.1}",
+                if w { "W" } else { "R" },
+                ct / n as f64,
+                wt / n as f64
+            );
         }
     }
 }

@@ -65,9 +65,7 @@ fn main() {
             !sw.drained && sw.test_ip.is_none()
         };
         all_recovered &= db_ok && dev_ok;
-        println!(
-            "executed {n} steps; database restored: {db_ok}; device clean: {dev_ok}"
-        );
+        println!("executed {n} steps; database restored: {db_ok}; device clean: {dev_ok}");
         println!();
     }
     // And the no-failure control: the task completes, nothing to roll back.

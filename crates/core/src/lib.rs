@@ -64,9 +64,9 @@ pub mod runtime;
 pub mod task;
 
 pub use error::{TaskError, TaskResult};
-pub use queue::{TaskQueue, Ticket};
 pub use network::Network;
 pub use occam_rollback::RollbackPlan;
+pub use queue::{TaskQueue, Ticket};
 pub use recovery::{execute_rollback, RecoveryError};
 pub use runtime::Runtime;
 pub use task::{TaskCtx, TaskReport, TaskState, UndoRecord};

@@ -235,11 +235,7 @@ impl<'t> Network<'t> {
     /// exist.
     ///
     /// Logged as `DB_CHANGE`; rollback deletes the row again.
-    pub fn insert_device(
-        &self,
-        name: &str,
-        attrs: Vec<(String, AttrValue)>,
-    ) -> TaskResult<()> {
+    pub fn insert_device(&self, name: &str, attrs: Vec<(String, AttrValue)>) -> TaskResult<()> {
         self.require_write("insert_device")?;
         if !self.pattern.matches(name) {
             return Err(TaskError::Failed(format!(
@@ -347,11 +343,7 @@ impl<'t> Network<'t> {
         self.require_write("apply")?;
         let devices = self.devices()?;
         let label = format!("apply({func})");
-        let result = self
-            .ctx
-            .runtime()
-            .service()
-            .execute(func, &devices, args);
+        let result = self.ctx.runtime().service().execute(func, &devices, args);
         match func_optype(func) {
             Some(typ) => {
                 let status = if result.is_ok() {
@@ -493,7 +485,9 @@ mod tests {
     fn failed_device_function_aborts_with_plan() {
         let rt = crate::test_support::tiny_runtime();
         // Fail the next optic test.
-        crate::test_support::emu_service(&rt).library().fail_at("f_optic_test", 0);
+        crate::test_support::emu_service(&rt)
+            .library()
+            .fail_at("f_optic_test", 0);
         let report = rt.run_task("upgrade", |ctx| {
             let net = ctx.network("dc01.pod00.agg00")?;
             net.apply("f_drain")?;

@@ -138,11 +138,7 @@ impl TaskQueue {
                     return;
                 }
                 // Urgent first, then submission order.
-                let idx = st
-                    .pending
-                    .iter()
-                    .position(|p| p.urgent)
-                    .unwrap_or(0);
+                let idx = st.pending.iter().position(|p| p.urgent).unwrap_or(0);
                 let job = st.pending.remove(idx);
                 st.active += 1;
                 st.states.insert(job.ticket, TaskState::Active);
@@ -153,8 +149,7 @@ impl TaskQueue {
             let queue_state = Arc::clone(&self.state);
             let workers = self.workers;
             std::thread::spawn(move || {
-                let report =
-                    runtime.run_task_opts(&job.name, job.urgent, job.program);
+                let report = runtime.run_task_opts(&job.name, job.urgent, job.program);
                 let (lock, cv) = &*state;
                 {
                     let mut st = lock.lock();
@@ -266,7 +261,11 @@ mod tests {
         let reports = q.drain();
         assert_eq!(reports.len(), 8);
         assert!(reports.iter().all(|r| r.state == TaskState::Completed));
-        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
     }
 
     #[test]
@@ -298,7 +297,10 @@ mod tests {
             c.notify_all();
         }
         q.drain();
-        assert_eq!(*order.lock(), vec!["urgent".to_string(), "normal".to_string()]);
+        assert_eq!(
+            *order.lock(),
+            vec!["urgent".to_string(), "normal".to_string()]
+        );
     }
 
     #[test]

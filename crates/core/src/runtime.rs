@@ -196,12 +196,9 @@ impl Runtime {
                 // A breaker released our locks already.
                 return Err(TaskError::Deadlock);
             }
-            let all_held = covering.iter().all(|&obj| {
-                st.tree
-                    .holders_of(obj)
-                    .iter()
-                    .any(|&(t, _)| t == task)
-            });
+            let all_held = covering
+                .iter()
+                .all(|&obj| st.tree.holders_of(obj).iter().any(|&(t, _)| t == task));
             if all_held {
                 return Ok(covering);
             }

@@ -293,7 +293,10 @@ impl FuncLibrary {
                         .denylist
                         .retain(|&c| c != class);
                 }
-                Ok(format!("removed {class:?} denylist on {} devices", ids.len()))
+                Ok(format!(
+                    "removed {class:?} denylist on {} devices",
+                    ids.len()
+                ))
             }
             "f_reroute_middlebox" => {
                 if args.get("enable") == Some("false") {
@@ -339,10 +342,12 @@ mod tests {
     #[test]
     fn drain_undrain_cycle() {
         let (mut net, lib, devs) = setup();
-        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none())
+            .unwrap();
         let id = net.device_by_name(&devs[0]).unwrap();
         assert!(net.switch(id).unwrap().drained);
-        lib.execute(&mut net, "f_undrain", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_undrain", &devs, &FuncArgs::none())
+            .unwrap();
         assert!(!net.switch(id).unwrap().drained);
     }
 
@@ -350,13 +355,24 @@ mod tests {
     fn push_overwrites_drain_by_default() {
         let (mut net, lib, devs) = setup();
         let id = net.device_by_name(&devs[0]).unwrap();
-        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none()).unwrap();
-        lib.execute(&mut net, "f_push", &devs, &FuncArgs::none()).unwrap();
-        assert!(!net.switch(id).unwrap().drained, "default push resets admin state");
-        // Pushing with admin=drained preserves the drain.
-        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none()).unwrap();
-        lib.execute(&mut net, "f_push", &devs, &FuncArgs::one("admin", "drained"))
+        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none())
             .unwrap();
+        lib.execute(&mut net, "f_push", &devs, &FuncArgs::none())
+            .unwrap();
+        assert!(
+            !net.switch(id).unwrap().drained,
+            "default push resets admin state"
+        );
+        // Pushing with admin=drained preserves the drain.
+        lib.execute(&mut net, "f_drain", &devs, &FuncArgs::none())
+            .unwrap();
+        lib.execute(
+            &mut net,
+            "f_push",
+            &devs,
+            &FuncArgs::one("admin", "drained"),
+        )
+        .unwrap();
         assert!(net.switch(id).unwrap().drained);
         assert_eq!(net.switch(id).unwrap().config_generation, 2);
     }
@@ -392,10 +408,13 @@ mod tests {
             .execute(&mut net, "f_ping_test", &devs, &FuncArgs::none())
             .unwrap_err();
         assert!(matches!(err, FuncError::Precondition(_)));
-        lib.execute(&mut net, "f_alloc_ip", &devs, &FuncArgs::none()).unwrap();
-        lib.execute(&mut net, "f_ping_test", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_alloc_ip", &devs, &FuncArgs::none())
+            .unwrap();
+        lib.execute(&mut net, "f_ping_test", &devs, &FuncArgs::none())
+            .unwrap();
         // Another workflow deallocates (the case study #4 interleaving bug).
-        lib.execute(&mut net, "f_dealloc_ip", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_dealloc_ip", &devs, &FuncArgs::none())
+            .unwrap();
         assert!(lib
             .execute(&mut net, "f_ping_test", &devs, &FuncArgs::none())
             .is_err());
@@ -404,9 +423,11 @@ mod tests {
     #[test]
     fn fault_injection_fails_exact_invocation() {
         let (mut net, lib, devs) = setup();
-        lib.execute(&mut net, "f_optic_test", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_optic_test", &devs, &FuncArgs::none())
+            .unwrap();
         lib.fail_at("f_optic_test", 1); // the second invocation from now
-        lib.execute(&mut net, "f_optic_test", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_optic_test", &devs, &FuncArgs::none())
+            .unwrap();
         let err = lib
             .execute(&mut net, "f_optic_test", &devs, &FuncArgs::none())
             .unwrap_err();
@@ -440,8 +461,13 @@ mod tests {
     fn denylist_roundtrip() {
         let (mut net, lib, devs) = setup();
         let id = net.device_by_name(&devs[0]).unwrap();
-        lib.execute(&mut net, "f_denylist", &devs, &FuncArgs::one("class", "suspicious"))
-            .unwrap();
+        lib.execute(
+            &mut net,
+            "f_denylist",
+            &devs,
+            &FuncArgs::one("class", "suspicious"),
+        )
+        .unwrap();
         assert!(!net.switch(id).unwrap().forwards(FlowClass::Suspicious));
         lib.execute(
             &mut net,
@@ -456,7 +482,8 @@ mod tests {
     #[test]
     fn middlebox_toggle() {
         let (mut net, lib, devs) = setup();
-        lib.execute(&mut net, "f_reroute_middlebox", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_reroute_middlebox", &devs, &FuncArgs::none())
+            .unwrap();
         assert!(net.middlebox.is_some());
         lib.execute(
             &mut net,
@@ -474,7 +501,8 @@ mod tests {
         let id = net.device_by_name(&devs[0]).unwrap();
         let (_, link) = net.topo.neighbors(id)[0];
         net.set_link(link, false);
-        lib.execute(&mut net, "f_turnup_link", &devs, &FuncArgs::none()).unwrap();
+        lib.execute(&mut net, "f_turnup_link", &devs, &FuncArgs::none())
+            .unwrap();
         assert!(net.link_is_up(link));
     }
 }

@@ -258,7 +258,10 @@ impl EmuNet {
         // along its path).
         let mut offered: HashMap<LinkId, f64> = HashMap::new();
         let link_of = |topo: &Topology, a: DeviceId, b: DeviceId| -> Option<LinkId> {
-            topo.neighbors(a).iter().find(|&&(n, _)| n == b).map(|&(_, l)| l)
+            topo.neighbors(a)
+                .iter()
+                .find(|&&(n, _)| n == b)
+                .map(|&(_, l)| l)
         };
         for (_, rate, path) in &routed {
             for hop in path.windows(2) {
@@ -325,7 +328,12 @@ mod tests {
     #[test]
     fn background_flow_delivers() {
         let (mut n, ft) = net();
-        let f = n.add_flow(ft.hosts[0][0][0], ft.hosts[2][1][1], 100.0, FlowClass::Background);
+        let f = n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[2][1][1],
+            100.0,
+            FlowClass::Background,
+        );
         let s = n.step();
         assert_eq!(s.flow_rate[&f], (Delivery::Delivered, 100.0));
         // Some switch carried the traffic.
@@ -335,19 +343,33 @@ mod tests {
     #[test]
     fn drained_switch_is_routed_around() {
         let (mut n, ft) = net();
-        let f = n.add_flow(ft.hosts[0][0][0], ft.hosts[2][0][0], 50.0, FlowClass::Background);
+        let f = n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[2][0][0],
+            50.0,
+            FlowClass::Background,
+        );
         // Drain one pod agg; ECMP has a redundant agg.
         let agg = ft.aggs[0][0];
         n.switch_mut(agg).unwrap().drained = true;
         let s = n.step();
         assert_eq!(s.flow_rate[&f], (Delivery::Delivered, 50.0));
-        assert_eq!(s.switch_rate.get(&agg), None, "drained switch carries nothing");
+        assert_eq!(
+            s.switch_rate.get(&agg),
+            None,
+            "drained switch carries nothing"
+        );
     }
 
     #[test]
     fn draining_the_only_tor_kills_the_flow() {
         let (mut n, ft) = net();
-        let f = n.add_flow(ft.hosts[0][0][0], ft.hosts[2][0][0], 50.0, FlowClass::Background);
+        let f = n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[2][0][0],
+            50.0,
+            FlowClass::Background,
+        );
         n.switch_mut(ft.tors[0][0]).unwrap().drained = true;
         let s = n.step();
         assert_eq!(s.flow_rate[&f], (Delivery::NoPath, 0.0));
@@ -356,7 +378,12 @@ mod tests {
     #[test]
     fn upgrading_undrained_switch_black_holes() {
         let (mut n, ft) = net();
-        let f = n.add_flow(ft.hosts[0][0][0], ft.hosts[0][1][0], 10.0, FlowClass::Background);
+        let f = n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[0][1][0],
+            10.0,
+            FlowClass::Background,
+        );
         // Both aggs upgrade while carrying traffic: every intra-pod
         // cross-ToR path black-holes.
         for &agg in &ft.aggs[0] {
@@ -369,8 +396,18 @@ mod tests {
     #[test]
     fn denylist_blocks_suspicious_only() {
         let (mut n, ft) = net();
-        let sus = n.add_flow(ft.hosts[0][0][0], ft.hosts[0][0][1], 5.0, FlowClass::Suspicious);
-        let bg = n.add_flow(ft.hosts[0][0][0], ft.hosts[0][0][1], 5.0, FlowClass::Background);
+        let sus = n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[0][0][1],
+            5.0,
+            FlowClass::Suspicious,
+        );
+        let bg = n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[0][0][1],
+            5.0,
+            FlowClass::Background,
+        );
         n.switch_mut(ft.tors[0][0])
             .unwrap()
             .denylist
@@ -400,10 +437,18 @@ mod tests {
         let (mut n, ft) = net();
         let mb = ft.aggs[3][1];
         n.middlebox = Some(mb);
-        let f = n.add_flow(ft.hosts[0][0][0], ft.hosts[1][0][0], 30.0, FlowClass::Inspected);
+        let f = n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[1][0][0],
+            30.0,
+            FlowClass::Inspected,
+        );
         let flow = n.flows.iter().find(|fl| fl.id == f).unwrap().clone();
         let path = n.flow_path(&flow).unwrap();
-        assert!(path.contains(&mb), "inspected traffic detours via middlebox");
+        assert!(
+            path.contains(&mb),
+            "inspected traffic detours via middlebox"
+        );
         let s = n.step();
         assert_eq!(s.flow_rate[&f].0, Delivery::Delivered);
         assert!(s.switch_rate[&mb] >= 30.0);
@@ -433,7 +478,12 @@ mod tests {
     #[test]
     fn infinite_capacity_never_throttles() {
         let (mut n, ft) = net();
-        let f = n.add_flow(ft.hosts[0][0][0], ft.hosts[1][0][0], 1e9, FlowClass::Background);
+        let f = n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[1][0][0],
+            1e9,
+            FlowClass::Background,
+        );
         let s = n.step();
         assert_eq!(s.flow_rate[&f].0, Delivery::Delivered);
     }
@@ -441,7 +491,12 @@ mod tests {
     #[test]
     fn history_accumulates() {
         let (mut n, ft) = net();
-        n.add_flow(ft.hosts[0][0][0], ft.hosts[0][0][1], 1.0, FlowClass::Background);
+        n.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[0][0][1],
+            1.0,
+            FlowClass::Background,
+        );
         n.run(5);
         assert_eq!(n.history().len(), 5);
         assert_eq!(n.history()[4].tick, 4);

@@ -98,7 +98,12 @@ mod tests {
     fn service_executes_against_shared_net() {
         let ft = FatTree::build(1, 4).unwrap();
         let mut net = EmuNet::from_fattree(&ft);
-        let f = net.add_flow(ft.hosts[0][0][0], ft.hosts[1][0][0], 10.0, FlowClass::Background);
+        let f = net.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[1][0][0],
+            10.0,
+            FlowClass::Background,
+        );
         let svc = EmuService::new(net);
         let agg = {
             let n = svc.net();
@@ -108,7 +113,10 @@ mod tests {
         svc.execute("f_drain", std::slice::from_ref(&agg), &FuncArgs::none())
             .unwrap();
         let sample = svc.step();
-        assert_eq!(sample.flow_rate[&f].1, 10.0, "ECMP routes around one drained agg");
+        assert_eq!(
+            sample.flow_rate[&f].1, 10.0,
+            "ECMP routes around one drained agg"
+        );
         svc.advance(3);
         assert_eq!(svc.net().lock().now(), 4);
     }

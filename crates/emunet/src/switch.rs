@@ -93,6 +93,9 @@ mod tests {
         };
         assert!(s.black_holes());
         s.drained = true;
-        assert!(!s.black_holes(), "a drained switch carries no traffic to corrupt");
+        assert!(
+            !s.black_holes(),
+            "a drained switch carries no traffic to corrupt"
+        );
     }
 }

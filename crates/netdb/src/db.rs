@@ -63,8 +63,7 @@ impl Store {
             }
             WalRecord::DeleteDevice { name } => {
                 self.devices.remove(name);
-                self.links
-                    .retain(|(a, z), _| a != name && z != name);
+                self.links.retain(|(a, z), _| a != name && z != name);
             }
             WalRecord::SetDeviceAttr { name, attr, value } => {
                 if let Some(dev) = self.devices.get_mut(name) {
@@ -76,7 +75,11 @@ impl Store {
                     dev.attrs.remove(attr);
                 }
             }
-            WalRecord::InsertLink { a_end, z_end, attrs } => {
+            WalRecord::InsertLink {
+                a_end,
+                z_end,
+                attrs,
+            } => {
                 let link = self.links.entry(link_key(a_end, z_end)).or_default();
                 for (k, v) in attrs {
                     link.attrs.insert(k.clone(), v.clone());
@@ -364,7 +367,9 @@ impl Database {
     pub fn select_devices(&self, scope: &Pattern) -> DbResult<Vec<String>> {
         self.guard()?;
         let store = self.store.read();
-        Ok(Self::scoped(&store, scope).map(|(n, _)| n.clone()).collect())
+        Ok(Self::scoped(&store, scope)
+            .map(|(n, _)| n.clone())
+            .collect())
     }
 
     /// Returns `device → value` for one attribute across a scope; devices
@@ -435,10 +440,15 @@ impl Database {
         let mut devs: BTreeMap<&str, bool> = BTreeMap::new(); // name -> exists
         let mut links: BTreeMap<LinkKey, bool> = BTreeMap::new();
         let dev_exists = |store: &Store, devs: &BTreeMap<&str, bool>, n: &str| {
-            devs.get(n).copied().unwrap_or_else(|| store.devices.contains_key(n))
+            devs.get(n)
+                .copied()
+                .unwrap_or_else(|| store.devices.contains_key(n))
         };
         let link_exists = |store: &Store, links: &BTreeMap<LinkKey, bool>, k: &LinkKey| {
-            links.get(k).copied().unwrap_or_else(|| store.links.contains_key(k))
+            links
+                .get(k)
+                .copied()
+                .unwrap_or_else(|| store.links.contains_key(k))
         };
         for op in ops {
             match op {
@@ -461,9 +471,7 @@ impl Database {
                 }
                 WriteOp::InsertLink { a_end, z_end, .. } => {
                     if a_end == z_end {
-                        return Err(DbError::Constraint(format!(
-                            "self-link on {a_end}"
-                        )));
+                        return Err(DbError::Constraint(format!("self-link on {a_end}")));
                     }
                     for e in [a_end, z_end] {
                         if !dev_exists(store, &devs, e) {
@@ -517,7 +525,11 @@ impl Database {
                 name: name.clone(),
                 attr: attr.clone(),
             },
-            WriteOp::InsertLink { a_end, z_end, attrs } => WalRecord::InsertLink {
+            WriteOp::InsertLink {
+                a_end,
+                z_end,
+                attrs,
+            } => WalRecord::InsertLink {
                 a_end: a_end.clone(),
                 z_end: z_end.clone(),
                 attrs: attrs.clone(),
@@ -560,11 +572,7 @@ impl Database {
     }
 
     /// Inserts one device.
-    pub fn insert_device(
-        &self,
-        name: &str,
-        attrs: Vec<(String, AttrValue)>,
-    ) -> DbResult<u64> {
+    pub fn insert_device(&self, name: &str, attrs: Vec<(String, AttrValue)>) -> DbResult<u64> {
         self.batch(&[WriteOp::InsertDevice {
             name: name.to_string(),
             attrs,
@@ -580,17 +588,14 @@ impl Database {
 
     /// Sets one attribute on every device in scope; returns the device names
     /// written.
-    pub fn set_attr(
-        &self,
-        scope: &Pattern,
-        attr: &str,
-        value: AttrValue,
-    ) -> DbResult<Vec<String>> {
+    pub fn set_attr(&self, scope: &Pattern, attr: &str, value: AttrValue) -> DbResult<Vec<String>> {
         // Read the scope and write the batch under one lock acquisition so
         // the query is atomic even against concurrent callers.
         self.guard()?;
         let mut store = self.store.write();
-        let names: Vec<String> = Self::scoped(&store, scope).map(|(n, _)| n.clone()).collect();
+        let names: Vec<String> = Self::scoped(&store, scope)
+            .map(|(n, _)| n.clone())
+            .collect();
         let records: Vec<WalRecord> = names
             .iter()
             .map(|n| WalRecord::SetDeviceAttr {
@@ -713,9 +718,11 @@ mod tests {
                 .unwrap();
             }
         }
-        db.insert_link("dc01.pod00.sw00", "dc01.pod00.sw01", vec![
-            (attrs::LINK_STATUS.into(), attrs::UP.into()),
-        ])
+        db.insert_link(
+            "dc01.pod00.sw00",
+            "dc01.pod00.sw01",
+            vec![(attrs::LINK_STATUS.into(), attrs::UP.into())],
+        )
         .unwrap();
         db
     }
@@ -830,7 +837,8 @@ mod tests {
     #[test]
     fn wal_replay_reconstructs_state() {
         let db = seeded();
-        db.set_attr(&pat("dc01.pod01.*"), "X", AttrValue::Int(9)).unwrap();
+        db.set_attr(&pat("dc01.pod01.*"), "X", AttrValue::Int(9))
+            .unwrap();
         db.delete_device("dc01.pod02.sw03").unwrap();
         let replayed = Store::replay(&db.wal_records());
         assert_eq!(replayed, db.snapshot());
@@ -874,7 +882,8 @@ mod tests {
         use std::sync::Arc;
         let db = Arc::new(Database::new());
         for i in 0..8 {
-            db.insert_device(&format!("dc01.pod00.sw{i:02}"), vec![]).unwrap();
+            db.insert_device(&format!("dc01.pod00.sw{i:02}"), vec![])
+                .unwrap();
         }
         let mut handles = Vec::new();
         for t in 0..8u32 {

@@ -36,9 +36,11 @@ pub mod persist;
 pub mod value;
 pub mod wal;
 
-pub use db::{diff, link_key, Database, DeviceRecord, DiffEntry, LinkKey, LinkRecord, Store, WriteOp};
+pub use db::{
+    diff, link_key, Database, DeviceRecord, DiffEntry, LinkKey, LinkRecord, Store, WriteOp,
+};
 pub use error::{DbError, DbResult};
 pub use fault::{FaultInjector, FaultPlan};
-pub use value::{attrs, AttrValue};
 pub use persist::{decode as decode_wal, encode as encode_wal, WalDecodeError};
+pub use value::{attrs, AttrValue};
 pub use wal::{Wal, WalRecord};

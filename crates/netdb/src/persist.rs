@@ -113,12 +113,21 @@ pub fn encode(records: &[WalRecord]) -> String {
             }
             WalRecord::DeleteDevice { name } => format!("DEL_DEV\t{}", esc(name)),
             WalRecord::SetDeviceAttr { name, attr, value } => {
-                format!("SET_DEV\t{}\t{}\t{}", esc(name), esc(attr), enc_value(value))
+                format!(
+                    "SET_DEV\t{}\t{}\t{}",
+                    esc(name),
+                    esc(attr),
+                    enc_value(value)
+                )
             }
             WalRecord::UnsetDeviceAttr { name, attr } => {
                 format!("UNSET_DEV\t{}\t{}", esc(name), esc(attr))
             }
-            WalRecord::InsertLink { a_end, z_end, attrs } => {
+            WalRecord::InsertLink {
+                a_end,
+                z_end,
+                attrs,
+            } => {
                 let mut l = format!("INS_LINK\t{}\t{}", esc(a_end), esc(z_end));
                 if !attrs.is_empty() {
                     l.push('\t');
@@ -199,9 +208,7 @@ pub fn decode(text: &str) -> Result<Vec<WalRecord>, WalDecodeError> {
                 attr: unesc(fields[3]).map_err(&err)?,
             },
             "COMMIT" if fields.len() == 2 => WalRecord::Commit {
-                seq: fields[1]
-                    .parse::<u64>()
-                    .map_err(|e| err(e.to_string()))?,
+                seq: fields[1].parse::<u64>().map_err(|e| err(e.to_string()))?,
             },
             tag => return Err(err(format!("unknown or malformed record {tag:?}"))),
         };
@@ -237,9 +244,11 @@ mod tests {
         db.insert_device("dc01.pod00.sw00", vec![("A".into(), AttrValue::Int(1))])
             .unwrap();
         db.insert_device("dc01.pod00.sw01", vec![]).unwrap();
-        db.insert_link("dc01.pod00.sw00", "dc01.pod00.sw01", vec![
-            ("LINK_STATUS".into(), "UP".into()),
-        ])
+        db.insert_link(
+            "dc01.pod00.sw00",
+            "dc01.pod00.sw01",
+            vec![("LINK_STATUS".into(), "UP".into())],
+        )
         .unwrap();
         db.set_attr(
             &Pattern::from_glob("dc01.*").unwrap(),
@@ -270,12 +279,8 @@ mod tests {
         assert_eq!(recovered.snapshot(), db.snapshot());
         assert_eq!(recovered.commits(), db.commits());
         // The recovered database keeps working and logging.
-        recovered
-            .insert_device("dc02.pod00.sw00", vec![])
-            .unwrap();
-        assert!(recovered
-            .device_exists("dc02.pod00.sw00")
-            .unwrap());
+        recovered.insert_device("dc02.pod00.sw00", vec![]).unwrap();
+        assert!(recovered.device_exists("dc02.pod00.sw00").unwrap());
     }
 
     #[test]

@@ -133,9 +133,7 @@ mod tests {
     #[test]
     fn commit_sequence_is_monotonic() {
         let mut wal = Wal::new();
-        let a = wal.append_batch([WalRecord::DeleteDevice {
-            name: "x".into(),
-        }]);
+        let a = wal.append_batch([WalRecord::DeleteDevice { name: "x".into() }]);
         let b = wal.append_batch(Vec::<WalRecord>::new());
         assert_eq!(a, 0);
         assert_eq!(b, 1);

@@ -13,7 +13,10 @@ fn arb_device() -> impl Strategy<Value = String> {
 
 fn arb_op() -> impl Strategy<Value = WriteOp> {
     prop_oneof![
-        arb_device().prop_map(|name| WriteOp::InsertDevice { name, attrs: vec![] }),
+        arb_device().prop_map(|name| WriteOp::InsertDevice {
+            name,
+            attrs: vec![]
+        }),
         arb_device().prop_map(|name| WriteOp::DeleteDevice { name }),
         (arb_device(), 0i64..5).prop_map(|(name, v)| WriteOp::SetDeviceAttr {
             name,

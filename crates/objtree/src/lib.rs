@@ -32,8 +32,10 @@
 //! ```
 
 pub mod lock;
+pub mod relcache;
 pub mod tree;
 pub mod types;
 
+pub use relcache::{RelCacheStats, RelationCache};
 pub use tree::{Node, ObjTree, SplitMode, TreeStats};
 pub use types::{LockMode, LockRequest, ObjectId, TaskId};

@@ -36,6 +36,7 @@ impl ObjTree {
             arrival,
             urgent,
         });
+        self.waiter_idx.insert(obj);
         self.waiting_mut().entry(task).or_default().push(obj);
     }
 
@@ -86,6 +87,9 @@ impl ObjTree {
         let node = self.node_mut(obj)?;
         node.waiters.retain(|w| w.task != task);
         node.holders.push((task, mode));
+        if self.node(obj).is_some_and(|n| n.waiters.is_empty()) {
+            self.waiter_idx.remove(&obj);
+        }
         if let Some(w) = self.waiting_mut().get_mut(&task) {
             w.retain(|&o| o != obj);
         }
@@ -107,8 +111,15 @@ impl ObjTree {
             }
         }
         for &obj in &waited {
-            if let Some(n) = self.node_mut(obj) {
-                n.waiters.retain(|w| w.task != task);
+            let now_empty = match self.node_mut(obj) {
+                Some(n) => {
+                    n.waiters.retain(|w| w.task != task);
+                    n.waiters.is_empty()
+                }
+                None => false,
+            };
+            if now_empty {
+                self.waiter_idx.remove(&obj);
             }
         }
         let mut out = held;
@@ -120,9 +131,13 @@ impl ObjTree {
 
     /// Builds the waits-for edges `waiter → holder` implied by current lock
     /// state (including containment conflicts).
+    ///
+    /// Walks only the nodes in the incrementally maintained waiter index —
+    /// nodes without waiters cannot source an edge — so the cost scales
+    /// with contention, not with tree size.
     pub fn waits_for_edges(&self) -> Vec<(TaskId, TaskId)> {
         let mut edges = Vec::new();
-        for obj in self.node_ids().collect::<Vec<_>>() {
+        for obj in self.nodes_with_waiters() {
             for w in self.waiters_of(obj).to_vec() {
                 for b in self.blockers(obj, w.task, w.mode) {
                     if !edges.contains(&(w.task, b)) {
@@ -333,5 +348,28 @@ mod tests {
     fn grant_without_request_returns_none() {
         let (mut t, _, p1, _) = setup();
         assert_eq!(t.grant(p1, TaskId(9)), None);
+    }
+
+    /// The incremental waiter index mirrors the actual waiter lists across
+    /// request/grant/release.
+    #[test]
+    fn waiter_index_tracks_lock_lifecycle() {
+        let (mut t, dc, p1, p2) = setup();
+        assert!(t.nodes_with_waiters().is_empty());
+        t.request_lock(TaskId(1), p1, LockMode::Exclusive, 0, false);
+        t.request_lock(TaskId(2), p1, LockMode::Exclusive, 1, false);
+        t.request_lock(TaskId(3), p2, LockMode::Shared, 2, false);
+        assert_eq!(t.nodes_with_waiters(), vec![p1, p2]);
+        // Granting task 1 leaves task 2 waiting on p1.
+        t.grant(p1, TaskId(1)).unwrap();
+        assert_eq!(t.nodes_with_waiters(), vec![p1, p2]);
+        // Granting the last waiter empties p2's entry.
+        t.grant(p2, TaskId(3)).unwrap();
+        assert_eq!(t.nodes_with_waiters(), vec![p1]);
+        // Releasing the waiting task drops its pending request.
+        t.release_task(TaskId(2));
+        assert!(t.nodes_with_waiters().is_empty());
+        // dc never had a waiter.
+        let _ = dc;
     }
 }

@@ -1,0 +1,193 @@
+//! A bounded cache of region relations keyed by pattern fingerprints.
+//!
+//! The object tree probes the same (region, region) pairs over and over:
+//! every insert descends past the same siblings, every validate re-checks
+//! the same parent/child pairs, and production workloads draw regions from
+//! a small vocabulary of scopes. Since [`Pattern::fingerprint`] identifies
+//! a *language* (not a source string), one cached [`Relation`] answers the
+//! probe for every syntactic variant of the same pair — in either order,
+//! thanks to [`Relation::flip`].
+
+use occam_regex::{Pattern, Relation};
+use std::collections::{HashMap, VecDeque};
+
+/// Default capacity: enough for every pair in a production-scale tree of
+/// a few hundred distinct regions.
+const DEFAULT_CAP: usize = 4096;
+
+/// Hit/miss counters for a [`RelationCache`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct RelCacheStats {
+    /// Probes answered without a product walk (cached pair, or equal
+    /// fingerprints short-circuiting to `Relation::Equal`).
+    pub hits: u64,
+    /// Probes that ran the single-pass relation walk.
+    pub misses: u64,
+    /// Entries discarded to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl RelCacheStats {
+    /// Fraction of probes served from the cache (0 when unused).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded FIFO-evicting map from unordered fingerprint pairs to their
+/// [`Relation`].
+#[derive(Debug)]
+pub struct RelationCache {
+    map: HashMap<(u128, u128), Relation>,
+    /// Insertion order for FIFO eviction; holds exactly the map's keys.
+    order: VecDeque<(u128, u128)>,
+    cap: usize,
+    stats: RelCacheStats,
+}
+
+impl RelationCache {
+    /// A cache with the default capacity.
+    pub fn new() -> RelationCache {
+        RelationCache::with_capacity(DEFAULT_CAP)
+    }
+
+    /// A cache bounded to `cap` pairs (min 1).
+    pub fn with_capacity(cap: usize) -> RelationCache {
+        RelationCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+            stats: RelCacheStats::default(),
+        }
+    }
+
+    /// Relates `a` to `b`, consulting the cache first.
+    ///
+    /// The key is the *unordered* fingerprint pair: a result computed for
+    /// `(a, b)` also answers `(b, a)` via [`Relation::flip`]. Equal
+    /// fingerprints mean equal languages and short-circuit without any
+    /// walk or cache entry.
+    pub fn relate(&mut self, a: &Pattern, b: &Pattern) -> Relation {
+        let (fa, fb) = (a.fingerprint(), b.fingerprint());
+        if fa == fb {
+            self.stats.hits += 1;
+            return Relation::Equal;
+        }
+        let flipped = fa > fb;
+        let key = if flipped { (fb, fa) } else { (fa, fb) };
+        if let Some(&rel) = self.map.get(&key) {
+            self.stats.hits += 1;
+            return if flipped { rel.flip() } else { rel };
+        }
+        self.stats.misses += 1;
+        let rel = a.relate(b);
+        let canonical = if flipped { rel.flip() } else { rel };
+        if self.map.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(key, canonical);
+        self.order.push_back(key);
+        rel
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> RelCacheStats {
+        self.stats
+    }
+}
+
+impl Default for RelationCache {
+    fn default() -> Self {
+        RelationCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(re: &str) -> Pattern {
+        Pattern::new(re).unwrap()
+    }
+
+    #[test]
+    fn second_probe_hits_either_order() {
+        let mut c = RelationCache::new();
+        let a = pat(r"dc1\..*");
+        let b = pat(r"dc1\.pod3\..*");
+        assert_eq!(c.relate(&a, &b), Relation::ProperSuperset);
+        assert_eq!(
+            c.stats(),
+            RelCacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert_eq!(c.relate(&a, &b), Relation::ProperSuperset);
+        assert_eq!(c.relate(&b, &a), Relation::ProperSubset);
+        assert_eq!(
+            c.stats(),
+            RelCacheStats {
+                hits: 2,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn equal_fingerprints_short_circuit() {
+        let mut c = RelationCache::new();
+        let a = Pattern::from_glob("dc1.pod3.*").unwrap();
+        let b = pat(r"dc1\.pod3\..*"); // same language, different source
+        assert_eq!(c.relate(&a, &b), Relation::Equal);
+        assert_eq!(c.stats().misses, 0);
+        assert_eq!(c.len(), 0, "equality needs no cache entry");
+    }
+
+    #[test]
+    fn syntactic_variants_share_entries() {
+        let mut c = RelationCache::new();
+        let big = pat(r"dc1\..*");
+        let small1 = pat(r"dc1\.pod3\..*");
+        let small2 = Pattern::from_glob("dc1.pod3.*").unwrap();
+        c.relate(&big, &small1);
+        // Different Pattern value, same language → hit.
+        assert_eq!(c.relate(&big, &small2), Relation::ProperSuperset);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = RelationCache::with_capacity(2);
+        let pats: Vec<Pattern> = (0..4).map(|i| pat(&format!(r"dc{i}\..*"))).collect();
+        c.relate(&pats[0], &pats[1]);
+        c.relate(&pats[0], &pats[2]);
+        c.relate(&pats[0], &pats[3]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        // The oldest pair was evicted; re-probing it misses again.
+        let before = c.stats().misses;
+        c.relate(&pats[0], &pats[1]);
+        assert_eq!(c.stats().misses, before + 1);
+    }
+}

@@ -9,9 +9,11 @@
 //! overlaps into intersection + remainder using the regex algebra, and
 //! `DELETE` reference-counts objects and grafts children on removal.
 
+use crate::relcache::{RelCacheStats, RelationCache};
 use crate::types::{LockMode, LockRequest, ObjectId, TaskId};
-use occam_regex::Pattern;
-use std::collections::HashMap;
+use occam_regex::{Pattern, Relation};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
 
 /// A node in the object tree.
@@ -74,6 +76,13 @@ pub struct ObjTree {
     granted: HashMap<TaskId, Vec<ObjectId>>,
     /// Per-task lock bookkeeping: objects the task is waiting on.
     waiting: HashMap<TaskId, Vec<ObjectId>>,
+    /// Fingerprint-keyed cache of region relations, shared by inserts and
+    /// validation. Interior-mutable so `&self` queries can consult it.
+    relcache: RefCell<RelationCache>,
+    /// Nodes that currently have at least one pending waiter, maintained
+    /// incrementally by the lock layer so the scheduler's
+    /// `objects_with_waiters` is O(answer) instead of O(tree).
+    pub(crate) waiter_idx: BTreeSet<ObjectId>,
 }
 
 impl ObjTree {
@@ -107,7 +116,29 @@ impl ObjTree {
             stats: TreeStats::default(),
             granted: HashMap::new(),
             waiting: HashMap::new(),
+            relcache: RefCell::new(RelationCache::new()),
+            waiter_idx: BTreeSet::new(),
         }
+    }
+
+    /// Relates two regions through the tree's bounded relation cache: one
+    /// product walk on a miss, none on a hit or when the fingerprints
+    /// already agree.
+    pub fn relate_cached(&self, a: &Pattern, b: &Pattern) -> Relation {
+        self.relcache.borrow_mut().relate(a, b)
+    }
+
+    /// Hit/miss/eviction counters of the relation cache.
+    pub fn relate_cache_stats(&self) -> RelCacheStats {
+        self.relcache.borrow().stats()
+    }
+
+    /// The nodes that currently have pending waiters, in id order.
+    ///
+    /// Served from the incrementally maintained index — O(answer), not
+    /// O(tree).
+    pub fn nodes_with_waiters(&self) -> Vec<ObjectId> {
+        self.waiter_idx.iter().copied().collect()
     }
 
     /// The overlap-reconciliation mode.
@@ -212,10 +243,7 @@ impl ObjTree {
                 n.children.retain(|&c| c != child);
             }
         }
-        self.nodes
-            .get_mut(&child)
-            .expect("child exists")
-            .parent = Some(new_parent);
+        self.nodes.get_mut(&child).expect("child exists").parent = Some(new_parent);
         self.nodes
             .get_mut(&new_parent)
             .expect("new parent exists")
@@ -235,14 +263,17 @@ impl ObjTree {
         let start = std::time::Instant::now();
         self.stats.inserts += 1;
         let mut covering = Vec::new();
-        if region.equivalent(&Pattern::universe()) {
+        if region.is_universe() {
             // A task scoping the whole network locks the virtual root.
             covering.push(self.root);
         } else if !region.is_empty() {
             self.insert_at(self.root, region.clone(), &mut covering);
         }
         for &id in &covering {
-            self.nodes.get_mut(&id).expect("covering node exists").refcount += 1;
+            self.nodes
+                .get_mut(&id)
+                .expect("covering node exists")
+                .refcount += 1;
         }
         self.stats.insert_time += start.elapsed();
         covering
@@ -259,29 +290,32 @@ impl ObjTree {
             for c in children {
                 // A child may have been re-parented by an earlier split
                 // insert (or already adopted); skip stale entries.
-                if adopted.contains(&c)
-                    || self.nodes.get(&c).map(|n| n.parent) != Some(Some(root))
+                if adopted.contains(&c) || self.nodes.get(&c).map(|n| n.parent) != Some(Some(root))
                 {
                     continue;
                 }
                 let c_region = self.nodes[&c].region.clone();
-                if c_region.equivalent(&obj) {
-                    // Exact match: reuse the existing node.
-                    covering.push(c);
-                    return;
-                }
-                if c_region.contains(&obj) {
-                    // Recursive descent into the unique containing child.
-                    self.insert_at(c, obj, covering);
-                    return;
-                }
-                if obj.contains(&c_region) {
-                    // The new object adopts this child.
-                    adopted.push(c);
-                    continue;
-                }
-                if obj.overlaps(&c_region) {
-                    match self.mode {
+                // ONE (usually cached) relation query per child probe,
+                // replacing the former equivalent/contains/contains/
+                // overlaps chain of up to four product walks.
+                let rel = self.relcache.borrow_mut().relate(&obj, &c_region);
+                match rel {
+                    Relation::Equal => {
+                        // Exact match: reuse the existing node.
+                        covering.push(c);
+                        return;
+                    }
+                    Relation::ProperSubset => {
+                        // Recursive descent into the unique containing child.
+                        self.insert_at(c, obj, covering);
+                        return;
+                    }
+                    Relation::ProperSuperset => {
+                        // The new object adopts this child.
+                        adopted.push(c);
+                    }
+                    Relation::Disjoint => {}
+                    Relation::Overlap => match self.mode {
                         SplitMode::Split => {
                             // SPLIT: insert the intersection into the
                             // existing child's subtree; continue with the
@@ -303,7 +337,7 @@ impl ObjTree {
                             adopted.push(c);
                             continue 'rescan;
                         }
-                    }
+                    },
                 }
             }
             break;
@@ -312,7 +346,10 @@ impl ObjTree {
             // Splits may shrink the remainder to exactly one adopted child
             // (disjointness rules out matching one of several); reuse it
             // rather than stacking an equal-region parent on top.
-            if adopted.len() == 1 && self.nodes[&adopted[0]].region.equivalent(&obj) {
+            // Fingerprint equality decides language equality product-free.
+            if adopted.len() == 1
+                && self.nodes[&adopted[0]].region.fingerprint() == obj.fingerprint()
+            {
                 covering.push(adopted[0]);
                 return;
             }
@@ -351,6 +388,9 @@ impl ObjTree {
             let parent = node.parent.expect("non-root has a parent");
             let children = node.children.clone();
             self.nodes.remove(&id);
+            // Deletion requires no waiters, so the index cannot list the
+            // node; remove defensively to keep the invariant unconditional.
+            self.waiter_idx.remove(&id);
             if let Some(p) = self.nodes.get_mut(&parent) {
                 p.children.retain(|&c| c != id);
             }
@@ -426,7 +466,7 @@ impl ObjTree {
                 if an.parent != Some(*id) {
                     return Err(format!("{a:?}: child does not point back to {id:?}"));
                 }
-                if !node.region.contains_strictly(&an.region) {
+                if self.relate_cached(&node.region, &an.region) != Relation::ProperSuperset {
                     return Err(format!(
                         "parent {} does not strictly contain child {}",
                         node.region, an.region
@@ -434,11 +474,8 @@ impl ObjTree {
                 }
                 for &b in &node.children[i + 1..] {
                     let bn = &self.nodes[&b];
-                    if an.region.overlaps(&bn.region) {
-                        return Err(format!(
-                            "siblings overlap: {} and {}",
-                            an.region, bn.region
-                        ));
+                    if self.relate_cached(&an.region, &bn.region) != Relation::Disjoint {
+                        return Err(format!("siblings overlap: {} and {}", an.region, bn.region));
                     }
                 }
             }

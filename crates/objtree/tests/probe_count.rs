@@ -1,0 +1,43 @@
+//! Acceptance test for the single-pass relation engine: `insert_at`
+//! performs exactly one relation walk per child probe, and repeated probes
+//! are served from the fingerprint-keyed relation cache.
+//!
+//! This file deliberately holds a single `#[test]`: the walk counter
+//! ([`occam_regex::product_ops`]) is process-global, so parallel tests in
+//! the same binary would pollute the exact counts asserted here.
+
+use occam_objtree::ObjTree;
+use occam_regex::{product_ops, Pattern};
+
+#[test]
+fn insert_probes_cost_one_walk_each_and_cached_probes_cost_none() {
+    let mut tree = ObjTree::new();
+    // Seed four disjoint pods under the root.
+    for p in 0..4 {
+        tree.insert_region(&Pattern::from_glob(&format!("dc01.pod0{p}.*")).unwrap());
+    }
+
+    // Inserting a fifth disjoint pod probes each existing child exactly
+    // once, and every probe is a cache miss: exactly one product walk per
+    // child, where the old equivalent/contains/contains/overlaps chain
+    // would have cost up to four.
+    let before = product_ops();
+    tree.insert_region(&Pattern::from_glob("dc01.pod04.*").unwrap());
+    assert_eq!(
+        product_ops() - before,
+        4,
+        "one relation walk per child probe"
+    );
+
+    // Re-inserting the same region probes all five children again, but the
+    // four disjoint pairs are cached and the equal pair short-circuits on
+    // fingerprint equality: zero walks.
+    let before = product_ops();
+    let cover = tree.insert_region(&Pattern::from_glob("dc01.pod04.*").unwrap());
+    assert_eq!(product_ops() - before, 0, "cached probes need no walk");
+    assert_eq!(cover.len(), 1, "existing node is reused");
+
+    let stats = tree.relate_cache_stats();
+    assert_eq!(stats.misses, 4 + 3 + 2 + 1, "one miss per first-time pair");
+    assert!(stats.hits >= 5, "repeat probes hit the cache");
+}

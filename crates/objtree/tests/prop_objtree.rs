@@ -2,7 +2,7 @@
 //! sequences, and locking safety under random request/grant/release
 //! schedules.
 
-use occam_objtree::{LockMode, ObjTree, ObjectId, TaskId};
+use occam_objtree::{LockMode, ObjTree, ObjectId, SplitMode, TaskId};
 use occam_regex::Pattern;
 use proptest::prelude::*;
 
@@ -16,8 +16,7 @@ fn arb_region() -> impl Strategy<Value = String> {
             let hi = (lo + w).min(8);
             format!(r"dc0{dc}\.pod[{lo}-{hi}]\..*")
         }),
-        (1u32..3, 0u32..6, 0u32..4)
-            .prop_map(|(dc, p, s)| format!(r"dc0{dc}\.pod{p}\.sw0{s}")),
+        (1u32..3, 0u32..6, 0u32..4).prop_map(|(dc, p, s)| format!(r"dc0{dc}\.pod{p}\.sw0{s}")),
     ]
 }
 
@@ -79,6 +78,45 @@ proptest! {
             }
         }
         // Releasing everything returns the tree to just the root.
+        for id in live {
+            tree.release_ref(id);
+        }
+        prop_assert!(tree.validate().is_ok());
+        prop_assert!(tree.is_empty(), "leaked {} nodes", tree.len() - 1);
+    }
+
+    /// The laminar-family invariants also hold in the Coarsen ablation,
+    /// where inserts over-lock by swallowing overlapping siblings: the
+    /// covering set must *contain* the requested region (instead of
+    /// equalling it) and `validate()` must pass after every operation.
+    #[test]
+    fn tree_invariants_hold_in_coarsen_mode(ops in arb_ops()) {
+        let mut tree = ObjTree::with_mode(SplitMode::Coarsen);
+        let mut live: Vec<ObjectId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(src) => {
+                    let region = Pattern::new(&src).unwrap();
+                    let cover = tree.insert_region(&region);
+                    let mut union = Pattern::new("[]").unwrap();
+                    for &a in &cover {
+                        union = union.union(&tree.node(a).unwrap().region.clone());
+                    }
+                    prop_assert!(region.is_empty() || union.contains(&region),
+                        "coarsened covering set does not contain {src}");
+                    live.extend(cover);
+                }
+                Op::Release(i) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(i % live.len());
+                        tree.release_ref(id);
+                    }
+                }
+            }
+            if let Err(e) = tree.validate() {
+                return Err(TestCaseError::fail(format!("invariant broken: {e}")));
+            }
+        }
         for id in live {
             tree.release_ref(id);
         }

@@ -11,9 +11,9 @@ pub const NSYM: usize = 39;
 
 /// The alphabet, in symbol-index order: `a`–`z`, `0`–`9`, `.`, `-`, `_`.
 pub const SYMBOLS: [u8; NSYM] = [
-    b'a', b'b', b'c', b'd', b'e', b'f', b'g', b'h', b'i', b'j', b'k', b'l', b'm', b'n', b'o',
-    b'p', b'q', b'r', b's', b't', b'u', b'v', b'w', b'x', b'y', b'z', b'0', b'1', b'2', b'3',
-    b'4', b'5', b'6', b'7', b'8', b'9', b'.', b'-', b'_',
+    b'a', b'b', b'c', b'd', b'e', b'f', b'g', b'h', b'i', b'j', b'k', b'l', b'm', b'n', b'o', b'p',
+    b'q', b'r', b's', b't', b'u', b'v', b'w', b'x', b'y', b'z', b'0', b'1', b'2', b'3', b'4', b'5',
+    b'6', b'7', b'8', b'9', b'.', b'-', b'_',
 ];
 
 /// Returns the symbol index for a byte, or `None` if the byte is outside the

@@ -40,6 +40,8 @@ struct Entry {
 
 struct Inner {
     map: HashMap<String, Entry>,
+    /// Memoized glob → regex translations (bounded by the same capacity).
+    globs: HashMap<String, String>,
     tick: u64,
     stats: CacheStats,
 }
@@ -61,6 +63,7 @@ impl PatternCache {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                globs: HashMap::new(),
                 tick: 0,
                 stats: CacheStats::default(),
             }),
@@ -87,7 +90,15 @@ impl PatternCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(regex) {
+        // Recheck under the lock: another thread may have compiled and
+        // inserted the same key while we were compiling. Keep the existing
+        // entry — clones of it elsewhere share its memoized fingerprint —
+        // and do not evict for a key that needs no new slot.
+        if let Some(e) = inner.map.get_mut(regex) {
+            e.last_used = tick;
+            return Ok(e.pattern.clone());
+        }
+        if inner.map.len() >= self.capacity {
             if let Some(oldest) = inner
                 .map
                 .iter()
@@ -101,16 +112,29 @@ impl PatternCache {
         inner.map.insert(
             regex.to_string(),
             Entry {
-                pattern: pattern.clone(),
+                pattern,
                 last_used: tick,
             },
         );
-        Ok(pattern)
+        Ok(inner.map[regex].pattern.clone())
     }
 
-    /// Fetches the compiled pattern for a glob-style scope.
+    /// Fetches the compiled pattern for a glob-style scope, memoizing the
+    /// glob → regex string translation alongside the compiled patterns.
     pub fn get_glob(&self, glob: &str) -> Result<Pattern, ParseError> {
-        self.get(&crate::parser::glob_to_regex(glob))
+        let memoized = self.inner.lock().globs.get(glob).cloned();
+        let regex = match memoized {
+            Some(r) => r,
+            None => {
+                let r = crate::parser::glob_to_regex(glob);
+                let mut inner = self.inner.lock();
+                if inner.globs.len() < self.capacity {
+                    inner.globs.insert(glob.to_string(), r.clone());
+                }
+                r
+            }
+        };
+        self.get(&regex)
     }
 
     /// Current counters.
@@ -128,9 +152,12 @@ impl PatternCache {
         self.len() == 0
     }
 
-    /// Drops all entries (counters are preserved).
+    /// Drops all entries and memoized translations (counters are
+    /// preserved).
     pub fn clear(&self) {
-        self.inner.lock().map.clear();
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.globs.clear();
     }
 }
 
@@ -183,6 +210,42 @@ mod tests {
         cache.get_glob("dc1.*").unwrap();
         cache.get(r"dc1\..*").unwrap();
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn racing_compiles_of_one_key_do_not_evict_or_clobber() {
+        use std::sync::Arc;
+        // Full cache + many threads racing on the same new key: the losers
+        // of the compile race must adopt the winner's entry, not evict for
+        // a slot the key already owns.
+        let cache = Arc::new(PatternCache::new(2));
+        cache.get("a").unwrap();
+        cache.get("b").unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                c.get(r"dc1\.pod[0-9]\..*").unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1, "one slot freed, exactly once");
+    }
+
+    #[test]
+    fn glob_translation_is_memoized_and_cleared() {
+        let cache = PatternCache::new(4);
+        cache.get_glob("dc1.pod3.*").unwrap();
+        cache.get_glob("dc1.pod3.*").unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_glob("dc1.pod3.*").unwrap();
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -10,6 +10,67 @@ use crate::alphabet::{sym_index, NSYM};
 use crate::ast::Ast;
 use crate::nfa::Nfa;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts product-automaton walks (`product_raw` and [`Dfa::relate_lang`])
+/// performed process-wide. The object tree's cost model is "product walks
+/// per insert probe"; tests read this counter to pin that cost down.
+static PRODUCT_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total product-automaton walks performed by this process so far.
+pub fn product_ops() -> u64 {
+    PRODUCT_OPS.load(Ordering::Relaxed)
+}
+
+/// How the languages of two automata (or patterns) relate as sets.
+///
+/// Produced by a single synchronized product walk ([`Dfa::relate_lang`])
+/// instead of up to four separate subset constructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `L(a) = L(b)`.
+    Equal,
+    /// `L(a) ⊂ L(b)` strictly.
+    ProperSubset,
+    /// `L(a) ⊃ L(b)` strictly.
+    ProperSuperset,
+    /// The languages intersect but neither contains the other.
+    Overlap,
+    /// `L(a) ∩ L(b) = ∅`.
+    Disjoint,
+}
+
+impl Relation {
+    /// The relation with the roles of `a` and `b` swapped.
+    pub fn flip(self) -> Relation {
+        match self {
+            Relation::ProperSubset => Relation::ProperSuperset,
+            Relation::ProperSuperset => Relation::ProperSubset,
+            r => r,
+        }
+    }
+
+    /// `L(a) ⊆ L(b)` under this relation.
+    pub fn is_subset(self) -> bool {
+        matches!(self, Relation::Equal | Relation::ProperSubset)
+    }
+
+    /// `L(a) ⊇ L(b)` under this relation.
+    pub fn is_superset(self) -> bool {
+        matches!(self, Relation::Equal | Relation::ProperSuperset)
+    }
+
+    /// `L(a) ∩ L(b) ≠ ∅` under this relation.
+    ///
+    /// Note the edge case: `Equal` and the proper containments imply a
+    /// nonempty intersection only when the smaller language is nonempty;
+    /// `relate_lang` maps pairs involving `∅` to `Equal`/`ProperSubset`/
+    /// `ProperSuperset`, so callers holding nonempty regions (the object
+    /// tree never stores `∅`) can read this as plain overlap.
+    pub fn intersects(self) -> bool {
+        !matches!(self, Relation::Disjoint)
+    }
+}
 
 /// A deterministic finite automaton over the device-ID alphabet.
 ///
@@ -59,10 +120,10 @@ impl Dfa {
         let mut accept: Vec<bool> = Vec::new();
 
         let intern = |set: Vec<u32>,
-                          subsets: &mut Vec<Vec<u32>>,
-                          trans: &mut Vec<u32>,
-                          accept: &mut Vec<bool>,
-                          subset_ids: &mut HashMap<Vec<u32>, u32>|
+                      subsets: &mut Vec<Vec<u32>>,
+                      trans: &mut Vec<u32>,
+                      accept: &mut Vec<bool>,
+                      subset_ids: &mut HashMap<Vec<u32>, u32>|
          -> u32 {
             if let Some(&id) = subset_ids.get(&set) {
                 return id;
@@ -76,7 +137,13 @@ impl Dfa {
         };
 
         let start_set = nfa.eps_closure(&[nfa.start]);
-        let start = intern(start_set, &mut subsets, &mut trans, &mut accept, &mut subset_ids);
+        let start = intern(
+            start_set,
+            &mut subsets,
+            &mut trans,
+            &mut accept,
+            &mut subset_ids,
+        );
         let mut work = vec![start];
         while let Some(id) = work.pop() {
             let cur = subsets[id as usize].clone();
@@ -91,7 +158,13 @@ impl Dfa {
                 }
                 let closed = nfa.eps_closure(&moved);
                 let existed = subset_ids.contains_key(&closed);
-                let tid = intern(closed, &mut subsets, &mut trans, &mut accept, &mut subset_ids);
+                let tid = intern(
+                    closed,
+                    &mut subsets,
+                    &mut trans,
+                    &mut accept,
+                    &mut subset_ids,
+                );
                 if !existed {
                     work.push(tid);
                 }
@@ -158,16 +231,17 @@ impl Dfa {
     /// predicates (emptiness only needs reachability, not a canonical
     /// machine), which the object tree calls on every insert.
     fn product_raw(&self, other: &Dfa, f: impl Fn(bool, bool) -> bool) -> Dfa {
+        PRODUCT_OPS.fetch_add(1, Ordering::Relaxed);
         let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         let mut trans: Vec<u32> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
 
         let intern = |p: (u32, u32),
-                          pairs: &mut Vec<(u32, u32)>,
-                          trans: &mut Vec<u32>,
-                          accept: &mut Vec<bool>,
-                          ids: &mut HashMap<(u32, u32), u32>|
+                      pairs: &mut Vec<(u32, u32)>,
+                      trans: &mut Vec<u32>,
+                      accept: &mut Vec<bool>,
+                      ids: &mut HashMap<(u32, u32), u32>|
          -> u32 {
             if let Some(&id) = ids.get(&p) {
                 return id;
@@ -235,6 +309,101 @@ impl Dfa {
     /// `L(self) = L(other)`.
     pub fn equivalent(&self, other: &Dfa) -> bool {
         self.product_raw(other, |a, b| a != b).is_empty()
+    }
+
+    /// Classifies `L(self)` against `L(other)` in ONE synchronized product
+    /// walk.
+    ///
+    /// The walk explores reachable state pairs of the product automaton and
+    /// tracks three emptiness bits — is `L(self) ∖ L(other)` inhabited, is
+    /// `L(other) ∖ L(self)` inhabited, is `L(self) ∩ L(other)` inhabited —
+    /// which together determine the [`Relation`]. This replaces the up to
+    /// four separate subset constructions (`equivalent`, two `contains`,
+    /// `overlaps`) the object tree previously ran per child probe, visiting
+    /// each product state at most once and exiting early as soon as all
+    /// three bits are set (the answer is then necessarily `Overlap`).
+    pub fn relate_lang(&self, other: &Dfa) -> Relation {
+        PRODUCT_OPS.fetch_add(1, Ordering::Relaxed);
+        let mut ids: HashMap<(u32, u32), ()> = HashMap::new();
+        let mut work: Vec<(u32, u32)> = Vec::new();
+        let start = (self.start, other.start);
+        ids.insert(start, ());
+        work.push(start);
+        let (mut a_not_b, mut b_not_a, mut inter) = (false, false, false);
+        while let Some((a, b)) = work.pop() {
+            match (self.is_accept(a), other.is_accept(b)) {
+                (true, true) => inter = true,
+                (true, false) => a_not_b = true,
+                (false, true) => b_not_a = true,
+                (false, false) => {}
+            }
+            if a_not_b && b_not_a && inter {
+                return Relation::Overlap;
+            }
+            for sym in 0..NSYM as u8 {
+                let p = (self.next(a, sym), other.next(b, sym));
+                if let std::collections::hash_map::Entry::Vacant(e) = ids.entry(p) {
+                    e.insert(());
+                    work.push(p);
+                }
+            }
+        }
+        match (a_not_b, b_not_a, inter) {
+            (false, false, _) => Relation::Equal,
+            (false, true, _) => Relation::ProperSubset,
+            (true, false, _) => Relation::ProperSuperset,
+            (true, true, true) => Relation::Overlap,
+            (true, true, false) => Relation::Disjoint,
+        }
+    }
+
+    /// A canonical 128-bit fingerprint of the language.
+    ///
+    /// Minimizes, renumbers states by BFS order from the start state
+    /// (symbols in alphabet order), and hashes the resulting structure with
+    /// FNV-1a. Minimal complete DFAs are unique up to state numbering and
+    /// BFS order is determined by the structure, so two automata get the
+    /// same fingerprint iff they accept the same language (modulo the
+    /// 2⁻¹²⁸ hash-collision chance).
+    pub fn canonical_hash(&self) -> u128 {
+        let min = self.minimize();
+        let n = min.num_states();
+        // BFS renumbering from the start state.
+        let mut order = vec![u32::MAX; n];
+        let mut bfs: Vec<u32> = Vec::with_capacity(n);
+        order[min.start as usize] = 0;
+        bfs.push(min.start);
+        let mut head = 0;
+        while head < bfs.len() {
+            let s = bfs[head];
+            head += 1;
+            for sym in 0..NSYM as u8 {
+                let t = min.next(s, sym);
+                if order[t as usize] == u32::MAX {
+                    order[t as usize] = bfs.len() as u32;
+                    bfs.push(t);
+                }
+            }
+        }
+        // FNV-1a over (num_states, then per state in BFS order: accept bit
+        // and renumbered successors).
+        const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u128::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(bfs.len() as u64);
+        for &s in &bfs {
+            mix(u64::from(min.is_accept(s)));
+            for sym in 0..NSYM as u8 {
+                mix(u64::from(order[min.next(s, sym) as usize]));
+            }
+        }
+        h
     }
 
     /// Hopcroft's partition-refinement minimization.
@@ -623,6 +792,55 @@ mod tests {
         assert_eq!(dfa("[ab]{2}").count_strings(100), Some(4));
         assert_eq!(dfa("a*").count_strings(100), None);
         assert_eq!(dfa("[]").count_strings(100), Some(0));
+    }
+
+    #[test]
+    fn relate_matches_pairwise_predicates() {
+        let cases = [
+            ("a*b", "a*b", Relation::Equal),
+            (r"dc1\.pod3\..*", r"dc1\..*", Relation::ProperSubset),
+            (r"dc1\..*", r"dc1\.pod3\..*", Relation::ProperSuperset),
+            (
+                r"dc1\.pod[1-3]\..*",
+                r"dc1\.pod[3-5]\..*",
+                Relation::Overlap,
+            ),
+            (r"dc1\..*", r"dc2\..*", Relation::Disjoint),
+            ("(a|b)*", "(a*b*)*", Relation::Equal),
+        ];
+        for (a, b, want) in cases {
+            let (da, db) = (dfa(a), dfa(b));
+            assert_eq!(da.relate_lang(&db), want, "{a} vs {b}");
+            assert_eq!(db.relate_lang(&da), want.flip(), "{b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn relate_empty_language_edge_cases() {
+        let empty = dfa("[]");
+        let some = dfa("a*b");
+        assert_eq!(empty.relate_lang(&empty), Relation::Equal);
+        assert_eq!(empty.relate_lang(&some), Relation::ProperSubset);
+        assert_eq!(some.relate_lang(&empty), Relation::ProperSuperset);
+    }
+
+    #[test]
+    fn canonical_hash_is_language_level() {
+        // Same language, different constructions → same fingerprint.
+        assert_eq!(
+            dfa("(a|b)*").canonical_hash(),
+            dfa("(a*b*)*").canonical_hash()
+        );
+        assert_eq!(
+            dfa(r"dc1\.pod[1-2]\..*").canonical_hash(),
+            dfa(r"dc1\.(pod1|pod2)\..*").canonical_hash()
+        );
+        // Different languages → different fingerprints.
+        assert_ne!(
+            dfa("(a|b)*").canonical_hash(),
+            dfa("(ab)*").canonical_hash()
+        );
+        assert_ne!(dfa("[]").canonical_hash(), dfa(".*").canonical_hash());
     }
 
     #[test]

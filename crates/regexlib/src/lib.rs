@@ -47,7 +47,7 @@ pub mod toregex;
 pub use alphabet::{SymSet, NSYM};
 pub use ast::Ast;
 pub use cache::{CacheStats, PatternCache};
-pub use dfa::Dfa;
+pub use dfa::{product_ops, Dfa, Relation};
 pub use nfa::Nfa;
 pub use parser::{glob_to_regex, parse, ParseError};
 pub use pattern::Pattern;

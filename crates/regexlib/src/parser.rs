@@ -181,7 +181,9 @@ impl<'a> Parser<'a> {
 
     fn class_byte(&mut self) -> Result<u8, ParseError> {
         match self.bump() {
-            Some(b'\\') => self.bump().ok_or_else(|| self.err("dangling escape in class")),
+            Some(b'\\') => self
+                .bump()
+                .ok_or_else(|| self.err("dangling escape in class")),
             Some(b) => Ok(b),
             None => Err(self.err("unterminated character class")),
         }
@@ -321,8 +323,14 @@ mod tests {
             parse("a{2,3}").unwrap(),
             Ast::repeat(Ast::literal(b'a'), 2, Some(3))
         );
-        assert_eq!(parse("a{2}").unwrap(), Ast::repeat(Ast::literal(b'a'), 2, Some(2)));
-        assert_eq!(parse("a{2,}").unwrap(), Ast::repeat(Ast::literal(b'a'), 2, None));
+        assert_eq!(
+            parse("a{2}").unwrap(),
+            Ast::repeat(Ast::literal(b'a'), 2, Some(2))
+        );
+        assert_eq!(
+            parse("a{2,}").unwrap(),
+            Ast::repeat(Ast::literal(b'a'), 2, None)
+        );
     }
 
     #[test]
@@ -338,7 +346,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed_patterns() {
-        for bad in ["(", "a)", "[a", "a{", "a{3,2}", "*a", "a{1001}", "a|*", "[z-a]"] {
+        for bad in [
+            "(", "a)", "[a", "a{", "a{3,2}", "*a", "a{1001}", "a|*", "[z-a]",
+        ] {
             assert!(parse(bad).is_err(), "expected parse failure for {bad:?}");
         }
     }
@@ -373,7 +383,11 @@ mod tests {
             let reparsed = parse(&printed)
                 .unwrap_or_else(|e| panic!("re-parse of {printed:?} (from {src:?}) failed: {e}"));
             // Display/parse must be stable after one round trip.
-            assert_eq!(reparsed.to_string(), printed, "unstable display for {src:?}");
+            assert_eq!(
+                reparsed.to_string(),
+                printed,
+                "unstable display for {src:?}"
+            );
         }
     }
 }

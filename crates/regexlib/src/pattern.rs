@@ -2,10 +2,10 @@
 //! DFA, supporting the language algebra the object tree needs.
 
 use crate::ast::Ast;
-use crate::dfa::Dfa;
+use crate::dfa::{Dfa, Relation};
 use crate::parser::{glob_to_regex, parse, ParseError};
 use crate::toregex::dfa_to_regex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A compiled network-region scope.
 ///
@@ -26,7 +26,25 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct Pattern {
     src: String,
-    dfa: Arc<Dfa>,
+    inner: Arc<Inner>,
+}
+
+/// Shared compiled state: the DFA plus its lazily computed canonical
+/// fingerprint. Clones of a `Pattern` (and everything handed out by the
+/// [`crate::PatternCache`]) share one `Inner`, so the fingerprint is
+/// computed at most once per distinct compilation.
+struct Inner {
+    dfa: Dfa,
+    fp: OnceLock<u128>,
+}
+
+impl Inner {
+    fn new(dfa: Dfa) -> Arc<Inner> {
+        Arc::new(Inner {
+            dfa,
+            fp: OnceLock::new(),
+        })
+    }
 }
 
 impl Pattern {
@@ -35,7 +53,7 @@ impl Pattern {
         let ast = parse(regex)?;
         Ok(Pattern {
             src: regex.to_string(),
-            dfa: Arc::new(Dfa::from_ast(&ast)),
+            inner: Inner::new(Dfa::from_ast(&ast)),
         })
     }
 
@@ -50,7 +68,7 @@ impl Pattern {
         let src = dfa_to_regex(&dfa);
         Pattern {
             src,
-            dfa: Arc::new(dfa),
+            inner: Inner::new(dfa),
         }
     }
 
@@ -62,12 +80,7 @@ impl Pattern {
         if names.is_empty() {
             return Pattern::new("[]");
         }
-        let ast = Ast::alt(
-            names
-                .iter()
-                .map(|n| Ast::literal_str(n.as_ref()))
-                .collect(),
-        );
+        let ast = Ast::alt(names.iter().map(|n| Ast::literal_str(n.as_ref())).collect());
         let dfa = Dfa::from_ast(&ast);
         // Keep a readable alternation as the source rather than the
         // eliminated form.
@@ -85,13 +98,28 @@ impl Pattern {
         }
         Ok(Pattern {
             src,
-            dfa: Arc::new(dfa),
+            inner: Inner::new(dfa),
         })
     }
 
     /// The universe pattern `.*` (the virtual root of the object tree).
+    ///
+    /// Compiled once per process; clones share the compiled DFA and its
+    /// fingerprint.
     pub fn universe() -> Pattern {
-        Pattern::new(".*").expect("`.*` is a valid pattern")
+        static UNIVERSE: OnceLock<Pattern> = OnceLock::new();
+        UNIVERSE
+            .get_or_init(|| Pattern::new(".*").expect("`.*` is a valid pattern"))
+            .clone()
+    }
+
+    /// Whether this region is all of `Σ*`.
+    ///
+    /// Exact and product-free: the minimal complete DFA of the universe is
+    /// the unique single accepting state, so it suffices to check that the
+    /// complement has no reachable accepting state.
+    pub fn is_universe(&self) -> bool {
+        self.inner.dfa.complement().is_empty()
     }
 
     /// The regex source of this pattern.
@@ -101,22 +129,42 @@ impl Pattern {
 
     /// The compiled DFA.
     pub fn dfa(&self) -> &Dfa {
-        &self.dfa
+        &self.inner.dfa
+    }
+
+    /// A stable 128-bit fingerprint of the *language* (not the source
+    /// string): equivalent patterns fingerprint identically, regardless of
+    /// how they were written or derived. Computed lazily from the canonical
+    /// minimal DFA and memoized in the shared [`Inner`], so clones and
+    /// cache hits pay nothing.
+    pub fn fingerprint(&self) -> u128 {
+        *self
+            .inner
+            .fp
+            .get_or_init(|| self.inner.dfa.canonical_hash())
+    }
+
+    /// Classifies this region against `other` in one synchronized product
+    /// walk — see [`Dfa::relate_lang`]. Use this instead of chaining
+    /// [`equivalent`](Self::equivalent) / [`contains`](Self::contains) /
+    /// [`overlaps`](Self::overlaps) when more than one of them is needed.
+    pub fn relate(&self, other: &Pattern) -> Relation {
+        self.inner.dfa.relate_lang(&other.inner.dfa)
     }
 
     /// Tests whether a device name is in the region.
     pub fn matches(&self, name: &str) -> bool {
-        self.dfa.matches(name)
+        self.inner.dfa.matches(name)
     }
 
     /// Returns true if the region denotes no device names.
     pub fn is_empty(&self) -> bool {
-        self.dfa.is_empty()
+        self.inner.dfa.is_empty()
     }
 
     /// `L(other) ⊆ L(self)`.
     pub fn contains(&self, other: &Pattern) -> bool {
-        self.dfa.contains_lang(&other.dfa)
+        self.inner.dfa.contains_lang(&other.inner.dfa)
     }
 
     /// `L(other) ⊂ L(self)` (strict containment).
@@ -126,44 +174,44 @@ impl Pattern {
 
     /// `L(self) ∩ L(other) ≠ ∅`.
     pub fn overlaps(&self, other: &Pattern) -> bool {
-        self.dfa.overlaps(&other.dfa)
+        self.inner.dfa.overlaps(&other.inner.dfa)
     }
 
     /// `L(self) = L(other)`.
     pub fn equivalent(&self, other: &Pattern) -> bool {
-        self.dfa.equivalent(&other.dfa)
+        self.inner.dfa.equivalent(&other.inner.dfa)
     }
 
     /// Region intersection; the result's source regex is derived.
     pub fn intersect(&self, other: &Pattern) -> Pattern {
-        Pattern::from_dfa(self.dfa.intersect(&other.dfa))
+        Pattern::from_dfa(self.inner.dfa.intersect(&other.inner.dfa))
     }
 
     /// Region difference `self ∖ other`; the result's source regex is
     /// derived.
     pub fn subtract(&self, other: &Pattern) -> Pattern {
-        Pattern::from_dfa(self.dfa.difference(&other.dfa))
+        Pattern::from_dfa(self.inner.dfa.difference(&other.inner.dfa))
     }
 
     /// Region union; the result's source regex is derived.
     pub fn union(&self, other: &Pattern) -> Pattern {
-        Pattern::from_dfa(self.dfa.union(&other.dfa))
+        Pattern::from_dfa(self.inner.dfa.union(&other.inner.dfa))
     }
 
     /// The longest literal prefix shared by every name in the region
     /// (used to turn scoped database scans into range scans).
     pub fn literal_prefix(&self) -> String {
-        self.dfa.literal_prefix()
+        self.inner.dfa.literal_prefix()
     }
 
     /// Up to `limit` example device names in the region, shortest first.
     pub fn sample(&self, limit: usize) -> Vec<String> {
-        self.dfa.sample(limit)
+        self.inner.dfa.sample(limit)
     }
 
     /// Number of device names in the region if finite and ≤ `cap`.
     pub fn count(&self, cap: u64) -> Option<u64> {
-        self.dfa.count_strings(cap)
+        self.inner.dfa.count_strings(cap)
     }
 }
 
@@ -253,5 +301,40 @@ mod tests {
         assert!(u.contains(&a));
         assert!(u.matches(""));
         assert!(u.matches("anything.at-all_0"));
+    }
+
+    #[test]
+    fn is_universe_detection() {
+        assert!(Pattern::universe().is_universe());
+        assert!(Pattern::new("[a-z0-9._\\-]*").unwrap().is_universe());
+        assert!(!Pattern::from_glob("dc1.*").unwrap().is_universe());
+        assert!(!Pattern::new("[]").unwrap().is_universe());
+    }
+
+    #[test]
+    fn relate_agrees_with_predicates() {
+        let a = Pattern::from_glob("dc1.*").unwrap();
+        let b = Pattern::from_glob("dc1.pod3.*").unwrap();
+        let b2 = Pattern::new(r"dc1\.pod[1-3]\..*").unwrap();
+        let c = Pattern::new(r"dc1\.pod[2-4]\..*").unwrap();
+        let d = Pattern::from_glob("dc2.*").unwrap();
+        assert_eq!(a.relate(&a), Relation::Equal);
+        assert_eq!(a.relate(&b), Relation::ProperSuperset);
+        assert_eq!(b.relate(&a), Relation::ProperSubset);
+        assert_eq!(b2.relate(&c), Relation::Overlap);
+        assert_eq!(a.relate(&d), Relation::Disjoint);
+    }
+
+    #[test]
+    fn fingerprint_is_language_level_and_stable() {
+        let g = Pattern::from_glob("dc1.pod3.*").unwrap();
+        let r = Pattern::new(r"dc1\.pod3\..*").unwrap();
+        assert_eq!(g.fingerprint(), r.fingerprint());
+        assert_eq!(g.fingerprint(), g.clone().fingerprint());
+        let other = Pattern::from_glob("dc1.pod4.*").unwrap();
+        assert_ne!(g.fingerprint(), other.fingerprint());
+        // Derived patterns fingerprint by language too.
+        let derived = Pattern::universe().intersect(&g);
+        assert_eq!(derived.fingerprint(), g.fingerprint());
     }
 }

@@ -66,12 +66,7 @@ pub fn dfa_to_ast(dfa: &Dfa) -> Ast {
         let (pos, &victim) = remaining
             .iter()
             .enumerate()
-            .min_by_key(|(_, &v)| {
-                edges
-                    .keys()
-                    .filter(|&&(i, j)| (i == v) ^ (j == v))
-                    .count()
-            })
+            .min_by_key(|(_, &v)| edges.keys().filter(|&&(i, j)| (i == v) ^ (j == v)).count())
             .expect("remaining is non-empty");
         remaining.swap_remove(pos);
 
@@ -93,8 +88,7 @@ pub fn dfa_to_ast(dfa: &Dfa) -> Ast {
         edges.retain(|&(i, j), _| i != victim && j != victim);
         for (i, ia) in &ins {
             for (j, ja) in &outs {
-                let through =
-                    Ast::concat(vec![ia.clone(), loop_star.clone(), ja.clone()]);
+                let through = Ast::concat(vec![ia.clone(), loop_star.clone(), ja.clone()]);
                 add_edge(&mut edges, *i, *j, through);
             }
         }

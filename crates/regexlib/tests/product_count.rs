@@ -1,0 +1,35 @@
+//! Pins the cost model of the relation engine: one `relate_lang` call is
+//! exactly ONE product walk, while the four standalone predicates cost one
+//! walk each.
+//!
+//! This file must contain only this single test: the product-ops counter is
+//! process-global, and any concurrently running test that touches the
+//! language algebra would perturb the exact deltas asserted here.
+
+use occam_regex::{product_ops, Pattern};
+
+#[test]
+fn relate_is_one_product_walk() {
+    let a = Pattern::new(r"dc1\.pod[1-3]\..*").unwrap();
+    let b = Pattern::new(r"dc1\.pod[3-5]\..*").unwrap();
+
+    let before = product_ops();
+    assert_eq!(a.relate(&b), occam_regex::Relation::Overlap);
+    assert_eq!(product_ops() - before, 1, "relate must be a single walk");
+
+    // The predicates it replaces: 1 walk each, 4 in total.
+    let before = product_ops();
+    let _ = a.equivalent(&b);
+    let _ = a.contains(&b);
+    let _ = b.contains(&a);
+    let _ = a.overlaps(&b);
+    assert_eq!(product_ops() - before, 4);
+
+    // Fingerprints never touch the product machinery, and are memoized:
+    // repeated calls stay free.
+    let before = product_ops();
+    let fa = a.fingerprint();
+    assert_eq!(a.fingerprint(), fa);
+    assert_ne!(fa, b.fingerprint());
+    assert_eq!(product_ops() - before, 0);
+}

@@ -4,7 +4,7 @@
 //! region operations must form a boolean algebra whose results round-trip
 //! through regex syntax.
 
-use occam_regex::{dfa_to_regex, parse, Dfa, Pattern};
+use occam_regex::{dfa_to_regex, parse, Dfa, Pattern, Relation};
 use proptest::prelude::*;
 
 /// A generator of random ASTs in *source* form, so every case also
@@ -27,6 +27,29 @@ fn arb_regex() -> impl Strategy<Value = String> {
             inner.prop_map(|a| format!("({a}){{0,2}}")),
         ]
     })
+}
+
+/// Random pod-range scopes like the object tree sees: contiguous pod
+/// intervals inside one of two datacenters, optionally narrowed to a rack
+/// interval. Pairs drawn from this family hit every [`Relation`] variant.
+fn arb_pod_range() -> impl Strategy<Value = String> {
+    (
+        0u8..2,
+        0u8..6,
+        0u8..6,
+        prop_oneof![2 => Just(None), 1 => (0u8..4, 0u8..4).prop_map(Some)],
+    )
+        .prop_map(|(dc, p1, p2, rack)| {
+            let (plo, phi) = (p1.min(p2), p1.max(p2));
+            let dc = dc + 1;
+            match rack {
+                None => format!(r"dc{dc}\.pod[{plo}-{phi}]\..*"),
+                Some((r1, r2)) => {
+                    let (rlo, rhi) = (r1.min(r2), r1.max(r2));
+                    format!(r"dc{dc}\.pod[{plo}-{phi}]\.rack[{rlo}-{rhi}]\..*")
+                }
+            }
+        })
 }
 
 /// Random device-name-like inputs to probe language membership.
@@ -145,6 +168,36 @@ proptest! {
         if let Some(n) = d.count_strings(20) {
             prop_assert_eq!(samples.len() as u64, n.min(20));
         }
+    }
+
+    /// The single-walk relation agrees with the four standalone predicates
+    /// on randomized pod-range scopes, and fingerprint equality coincides
+    /// with language equivalence.
+    #[test]
+    fn relate_agrees_with_four_predicates(a in arb_pod_range(), b in arb_pod_range()) {
+        let pa = Pattern::new(&a).unwrap();
+        let pb = Pattern::new(&b).unwrap();
+        let (eq, a_in_b, b_in_a, over) = (
+            pa.equivalent(&pb),
+            pb.contains(&pa),
+            pa.contains(&pb),
+            pa.overlaps(&pb),
+        );
+        let want = if eq {
+            Relation::Equal
+        } else if a_in_b {
+            Relation::ProperSubset
+        } else if b_in_a {
+            Relation::ProperSuperset
+        } else if over {
+            Relation::Overlap
+        } else {
+            Relation::Disjoint
+        };
+        let got = pa.relate(&pb);
+        prop_assert_eq!(got, want, "{} vs {}", a, b);
+        prop_assert_eq!(pb.relate(&pa), want.flip());
+        prop_assert_eq!(pa.fingerprint() == pb.fingerprint(), eq, "{} vs {}", a, b);
     }
 
     /// Pattern::from_names matches exactly the listed names.

@@ -267,7 +267,11 @@ pub fn render_tree(tree: &SyntaxTree, log: &[LogEntry]) -> String {
         };
         match s {
             Step::CfgChange { db, push } => {
-                let tag = if push.is_some() { "cfg_change" } else { "b_cfg_change" };
+                let tag = if push.is_some() {
+                    "cfg_change"
+                } else {
+                    "b_cfg_change"
+                };
                 out.push_str(&format!("{pad}{tag}\n"));
                 for &i in db {
                     out.push_str(&format!("{pad}  DB_CHANGE {}\n", lbl(i)));
@@ -300,7 +304,11 @@ pub fn render_tree(tree: &SyntaxTree, log: &[LogEntry]) -> String {
                 tests,
                 unprepare,
             } => {
-                let tag = if unprepare.is_some() { "testing" } else { "b_testing" };
+                let tag = if unprepare.is_some() {
+                    "testing"
+                } else {
+                    "b_testing"
+                };
                 out.push_str(&format!("{pad}{tag}\n"));
                 out.push_str(&format!("{pad}  PREPARE {}\n", lbl(*prepare)));
                 for &t in tests {
@@ -347,8 +355,16 @@ mod tests {
             Step::Offline { inner, undrain, .. } => {
                 assert!(undrain.is_some());
                 assert_eq!(inner.len(), 2);
-                assert!(matches!(inner[0], Step::CfgChange { ref db, push: Some(_) } if db.len() == 2));
-                assert!(matches!(inner[1], Step::Testing { unprepare: Some(_), .. }));
+                assert!(
+                    matches!(inner[0], Step::CfgChange { ref db, push: Some(_) } if db.len() == 2)
+                );
+                assert!(matches!(
+                    inner[1],
+                    Step::Testing {
+                        unprepare: Some(_),
+                        ..
+                    }
+                ));
             }
             other => panic!("expected offline, got {other:?}"),
         }
@@ -364,7 +380,13 @@ mod tests {
         match &tree.steps[0] {
             Step::Offline { inner, undrain, .. } => {
                 assert!(undrain.is_none(), "drain block is broken");
-                assert!(matches!(inner[1], Step::Testing { unprepare: None, .. }));
+                assert!(matches!(
+                    inner[1],
+                    Step::Testing {
+                        unprepare: None,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected b_offline, got {other:?}"),
         }

@@ -81,7 +81,9 @@ impl RollbackPlan {
             }
         };
         let label = |i: usize| -> String {
-            log.get(i).map(|e| e.label.clone()).unwrap_or_else(|| format!("#{i}"))
+            log.get(i)
+                .map(|e| e.label.clone())
+                .unwrap_or_else(|| format!("#{i}"))
         };
         self.steps
             .iter()
@@ -147,7 +149,9 @@ fn emit_step(step: &Step, out: &mut Vec<UndoStep>) {
         } => {
             let completed = undrain.is_some();
             if completed {
-                out.push(UndoStep::Redrain { drain_entry: *drain });
+                out.push(UndoStep::Redrain {
+                    drain_entry: *drain,
+                });
             }
             emit_seq(inner, out);
             out.push(UndoStep::Undrain {
@@ -158,9 +162,7 @@ fn emit_step(step: &Step, out: &mut Vec<UndoStep>) {
         // set up and torn down, tests read-only): nothing to undo.
         // P10: a broken one still has its environment up.
         Step::Testing {
-            prepare,
-            unprepare,
-            ..
+            prepare, unprepare, ..
         } => {
             if unprepare.is_none() {
                 out.push(UndoStep::Unprepare {
@@ -206,9 +208,7 @@ mod tests {
     fn completed_task_plan_rewinds_with_redrain() {
         // A fully completed offline block: rollback per P4 is
         // DRAIN -> r(inner) -> UNDRAIN.
-        let plan = plan_for(&[
-            Drain, DbChange, PushCfg, Prepare, Test, Unprepare, Undrain,
-        ]);
+        let plan = plan_for(&[Drain, DbChange, PushCfg, Prepare, Test, Unprepare, Undrain]);
         assert_eq!(
             plan.arrow_notation(),
             "DRAIN -> r(DB_CHANGE) -> PUSH_CFG -> UNDRAIN"
@@ -272,8 +272,7 @@ mod tests {
     #[test]
     fn describe_includes_devices() {
         let log = vec![
-            LogEntry::ok(Drain, "apply(f_drain)")
-                .with_devices(vec!["dc01.pod00.sw00".into()]),
+            LogEntry::ok(Drain, "apply(f_drain)").with_devices(vec!["dc01.pod00.sw00".into()]),
             LogEntry::ok(DbChange, "set(FIRMWARE_VERSION)")
                 .with_devices(vec!["dc01.pod00.sw00".into()]),
         ];

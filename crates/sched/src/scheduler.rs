@@ -2,7 +2,7 @@
 //! scheduling over any [`LockSpace`].
 
 use crate::space::LockSpace;
-use occam_objtree::{LockMode, LockRequest, TaskId};
+use occam_objtree::{LockMode, LockRequest, ObjectId, RelCacheStats, TaskId};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -40,6 +40,9 @@ pub struct SchedStats {
     pub last_time: Duration,
     /// Maximum single-invocation time observed.
     pub max_time: Duration,
+    /// Relation-cache counters from the lock space, refreshed on every
+    /// invocation. `None` for flat spaces with no region algebra.
+    pub relate_cache: Option<RelCacheStats>,
 }
 
 impl SchedStats {
@@ -51,34 +54,54 @@ impl SchedStats {
             self.total_time / self.invocations as u32
         }
     }
+
+    /// Relation-cache hit ratio of the underlying space (0 when the space
+    /// has no cache or it was never probed).
+    pub fn relate_cache_hit_ratio(&self) -> f64 {
+        self.relate_cache.map_or(0.0, |s| s.hit_ratio())
+    }
 }
 
-/// The lock scheduler. Holds only policy and statistics; all lock state
-/// lives in the [`LockSpace`].
+/// The lock scheduler. Holds policy, statistics, and reusable scratch
+/// buffers; all lock state lives in the [`LockSpace`].
+///
+/// Generic over the object-id type of the space it schedules (defaulting
+/// to the tree's [`ObjectId`]), so the grant and wait-list scratch vectors
+/// can persist across invocations instead of being reallocated per call.
 #[derive(Clone, Debug)]
-pub struct Scheduler {
+pub struct Scheduler<O = ObjectId> {
     /// Active policy.
     pub policy: Policy,
     /// Instrumentation counters.
     pub stats: SchedStats,
+    /// Grants of the most recent invocation (scratch, reused).
+    grants: Vec<Grant<O>>,
+    /// Runnable write-request scratch list (reused).
+    wait_wt: WaitList<O>,
+    /// Runnable read-request scratch list (reused).
+    wait_rd: WaitList<O>,
 }
 
-impl Scheduler {
+impl<O: Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug> Scheduler<O> {
     /// Creates a scheduler with the given policy.
-    pub fn new(policy: Policy) -> Scheduler {
+    pub fn new(policy: Policy) -> Scheduler<O> {
         Scheduler {
             policy,
             stats: SchedStats::default(),
+            grants: Vec::new(),
+            wait_wt: Vec::new(),
+            wait_rd: Vec::new(),
         }
     }
 
     /// Runs one SCHED invocation (Figure 5): examines every object with
     /// runnable waiters and grants per policy. Returns the grants made, in
-    /// order.
-    pub fn sched<S: LockSpace>(&mut self, space: &mut S) -> Vec<Grant<S::Obj>> {
+    /// order; the slice borrows the scheduler's scratch buffer and is valid
+    /// until the next `sched` call.
+    pub fn sched<S: LockSpace<Obj = O>>(&mut self, space: &mut S) -> &[Grant<O>] {
         let start = Instant::now();
         self.stats.invocations += 1;
-        let mut grants = Vec::new();
+        self.grants.clear();
         // LDSF: dependency sets are computed once per invocation (Figure 5
         // line 8).
         let depsets = if self.policy == Policy::Ldsf {
@@ -94,57 +117,59 @@ impl Scheduler {
             let mut objs = space.objects_with_waiters();
             objs.sort();
             for obj in objs {
-                let (wait_wt, wait_rd) = self.get_wait_tasks(space, obj);
-                if wait_wt.is_empty() && wait_rd.is_empty() {
+                self.fill_wait_tasks(space, obj);
+                if self.wait_wt.is_empty() && self.wait_rd.is_empty() {
                     continue;
                 }
                 let pick_read = match self.policy {
-                    Policy::Fifo => Self::fifo_pick(&wait_wt, &wait_rd),
+                    Policy::Fifo => Self::fifo_pick(&self.wait_wt, &self.wait_rd),
                     Policy::Ldsf => Self::ldsf_pick(
-                        &wait_wt,
-                        &wait_rd,
+                        &self.wait_wt,
+                        &self.wait_rd,
                         depsets.as_ref().expect("computed for LDSF"),
                     ),
                 };
                 match pick_read {
                     ReadOrWrite::Read => {
-                        // Grant S locks to all runnable read tasks.
-                        for (o, req) in wait_rd {
+                        // Grant S locks to all runnable read tasks. Take the
+                        // scratch list so granting can push into `grants`
+                        // without aliasing it; put it back to keep capacity.
+                        let wait_rd = std::mem::take(&mut self.wait_rd);
+                        for &(o, req) in &wait_rd {
                             if let Some(mode) = space.grant(o, req.task) {
-                                grants.push(Grant {
+                                self.grants.push(Grant {
                                     obj: o,
                                     task: req.task,
                                     mode,
                                 });
                             }
                         }
+                        self.wait_rd = wait_rd;
                     }
                     ReadOrWrite::Write(o, task) => {
                         if let Some(mode) = space.grant(o, task) {
-                            grants.push(Grant { obj: o, task, mode });
+                            self.grants.push(Grant { obj: o, task, mode });
                         }
                     }
                 }
             }
         }
-        self.stats.grants += grants.len() as u64;
+        self.stats.grants += self.grants.len() as u64;
+        self.stats.relate_cache = space.relate_cache_stats();
         let dt = start.elapsed();
         self.stats.total_time += dt;
         self.stats.last_time = dt;
         self.stats.max_time = self.stats.max_time.max(dt);
-        grants
+        &self.grants
     }
 
     /// GetWaitTask (Figure 5 lines 15–22): runnable write and read requests
     /// on `obj` and every object in containment relation with it. "Runnable"
-    /// means the request could be granted right now.
-    fn get_wait_tasks<S: LockSpace>(
-        &self,
-        space: &S,
-        obj: S::Obj,
-    ) -> (WaitList<S::Obj>, WaitList<S::Obj>) {
-        let mut wt = Vec::new();
-        let mut rd = Vec::new();
+    /// means the request could be granted right now. Fills the scratch
+    /// `wait_wt`/`wait_rd` lists in place.
+    fn fill_wait_tasks<S: LockSpace<Obj = O>>(&mut self, space: &S, obj: O) {
+        self.wait_wt.clear();
+        self.wait_rd.clear();
         for o in space.containment(obj) {
             // Fast path: an exclusive holder on `o` blocks every waiter on
             // `o` itself (containment conflicts are caught by `can_grant`).
@@ -160,20 +185,16 @@ impl Scheduler {
                     continue;
                 }
                 match req.mode {
-                    LockMode::Exclusive => wt.push((o, *req)),
-                    LockMode::Shared => rd.push((o, *req)),
+                    LockMode::Exclusive => self.wait_wt.push((o, *req)),
+                    LockMode::Shared => self.wait_rd.push((o, *req)),
                 }
             }
         }
-        (wt, rd)
     }
 
     /// FIFO (Figure 5 lines 23–27): earliest arrival wins; urgent requests
     /// pre-empt ordinary ones.
-    fn fifo_pick<O: Copy>(
-        wait_wt: &[(O, LockRequest)],
-        wait_rd: &[(O, LockRequest)],
-    ) -> ReadOrWrite<O> {
+    fn fifo_pick(wait_wt: &[(O, LockRequest)], wait_rd: &[(O, LockRequest)]) -> ReadOrWrite<O> {
         let best = wait_wt
             .iter()
             .map(|(o, r)| (Some(*o), r))
@@ -189,7 +210,7 @@ impl Scheduler {
     /// LDSF (Figure 5 lines 28–36): all read tasks aggregate their
     /// dependency sets under one virtual task; the candidate with the
     /// largest dependency set wins. Urgent requests pre-empt.
-    fn ldsf_pick<O: Copy>(
+    fn ldsf_pick(
         wait_wt: &[(O, LockRequest)],
         wait_rd: &[(O, LockRequest)],
         depsets: &HashMap<TaskId, HashSet<TaskId>>,
@@ -296,9 +317,7 @@ mod tests {
     fn pod_tree(n: u32) -> (ObjTree, Vec<ObjectId>) {
         let mut t = ObjTree::new();
         let pods = (0..n)
-            .map(|p| {
-                t.insert_region(&Pattern::from_glob(&format!("dc01.pod{p:02}.*")).unwrap())[0]
-            })
+            .map(|p| t.insert_region(&Pattern::from_glob(&format!("dc01.pod{p:02}.*")).unwrap())[0])
             .collect();
         (t, pods)
     }
@@ -362,10 +381,8 @@ mod tests {
         // (earlier arrival).
         let build = || {
             let mut tree = ObjTree::new();
-            let a =
-                tree.insert_region(&Pattern::from_glob("dc01.pod00.*").unwrap())[0];
-            let b =
-                tree.insert_region(&Pattern::from_glob("dc01.pod01.*").unwrap())[0];
+            let a = tree.insert_region(&Pattern::from_glob("dc01.pod00.*").unwrap())[0];
+            let b = tree.insert_region(&Pattern::from_glob("dc01.pod01.*").unwrap())[0];
             // t1 holds a.
             tree.request_lock(TaskId(1), a, LockMode::Exclusive, 0, false);
             tree.grant(a, TaskId(1)).unwrap();

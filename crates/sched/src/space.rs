@@ -8,7 +8,7 @@
 //! simulator's flat DC/device lock tables implement it too — every
 //! granularity runs exactly this code.
 
-use occam_objtree::{LockMode, LockRequest, ObjTree, ObjectId, TaskId};
+use occam_objtree::{LockMode, LockRequest, ObjTree, ObjectId, RelCacheStats, TaskId};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -70,18 +70,21 @@ pub trait LockSpace {
     fn active_object_count(&self) -> usize {
         self.objects_with_waiters().len()
     }
+
+    /// Relation-cache counters, if this space caches region relations.
+    /// Flat spaces have no region algebra and report `None`.
+    fn relate_cache_stats(&self) -> Option<RelCacheStats> {
+        None
+    }
 }
 
 impl LockSpace for ObjTree {
     type Obj = ObjectId;
 
     fn objects_with_waiters(&self) -> Vec<ObjectId> {
-        let mut v: Vec<ObjectId> = self
-            .node_ids()
-            .filter(|&id| !self.waiters_of(id).is_empty())
-            .collect();
-        v.sort_unstable();
-        v
+        // O(answer): served from the waiter index the tree maintains in
+        // request_lock/grant/release, not a scan of every node.
+        self.nodes_with_waiters()
     }
 
     fn waiters(&self, obj: ObjectId) -> &[LockRequest] {
@@ -108,9 +111,19 @@ impl LockSpace for ObjTree {
         self.granted_objects(task).to_vec()
     }
 
+    fn wait_edges(&self) -> Vec<(TaskId, TaskId)> {
+        // The tree derives edges from its waiter index directly, skipping
+        // the generic triple scan over containment sets.
+        self.waits_for_edges()
+    }
+
     fn active_object_count(&self) -> usize {
         // Every non-root node in the tree is an active object.
         self.len() - 1
+    }
+
+    fn relate_cache_stats(&self) -> Option<RelCacheStats> {
+        Some(ObjTree::relate_cache_stats(self))
     }
 }
 
@@ -127,7 +140,12 @@ mod tests {
         let objs = LockSpace::objects_with_waiters(&tree);
         assert_eq!(objs, vec![pod]);
         assert_eq!(LockSpace::waiters(&tree, pod).len(), 1);
-        assert!(LockSpace::can_grant(&tree, pod, TaskId(1), LockMode::Exclusive));
+        assert!(LockSpace::can_grant(
+            &tree,
+            pod,
+            TaskId(1),
+            LockMode::Exclusive
+        ));
         assert_eq!(
             LockSpace::grant(&mut tree, pod, TaskId(1)),
             Some(LockMode::Exclusive)

@@ -8,8 +8,15 @@ use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Request { task: u64, region: usize, write: bool, urgent: bool },
-    Release { task: u64 },
+    Request {
+        task: u64,
+        region: usize,
+        write: bool,
+        urgent: bool,
+    },
+    Release {
+        task: u64,
+    },
 }
 
 fn regions() -> Vec<Pattern> {

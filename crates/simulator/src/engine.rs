@@ -137,16 +137,17 @@ impl SimResult {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes
-            .iter()
-            .filter(|o| o.waiting() < 1e-9)
-            .count() as f64
+        self.outcomes.iter().filter(|o| o.waiting() < 1e-9).count() as f64
             / self.outcomes.len() as f64
     }
 
     /// Peak queue length.
     pub fn peak_queue(&self) -> usize {
-        self.queue_timeline.iter().map(|&(_, q)| q).max().unwrap_or(0)
+        self.queue_timeline
+            .iter()
+            .map(|&(_, q)| q)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean SCHED invocation time.
@@ -159,7 +160,11 @@ impl SimResult {
 
     /// Maximum SCHED invocation time.
     pub fn max_sched_time(&self) -> Duration {
-        self.sched_durations.iter().max().copied().unwrap_or(Duration::ZERO)
+        self.sched_durations
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(Duration::ZERO)
     }
 }
 
@@ -323,6 +328,9 @@ impl LockSpace for ObjSpace {
     }
     fn active_object_count(&self) -> usize {
         LockSpace::active_object_count(&self.tree)
+    }
+    fn relate_cache_stats(&self) -> Option<occam_objtree::RelCacheStats> {
+        LockSpace::relate_cache_stats(&self.tree)
     }
 }
 
@@ -520,8 +528,8 @@ where
                     states[i].granted = 0;
                     states[i].required = 0;
                     space.finish(v);
-                    let backoff = 0.05 * f64::from(1u32 << states[i].retries.min(8))
-                        + 0.01 * guard as f64;
+                    let backoff =
+                        0.05 * f64::from(1u32 << states[i].retries.min(8)) + 0.01 * guard as f64;
                     push(&mut heap, &mut seq, now + backoff, Event::Retry(i));
                     run_sched_round(
                         &mut scheduler,
@@ -622,7 +630,7 @@ where
 
 #[allow(clippy::too_many_arguments)]
 fn run_sched_round<S: SimSpace>(
-    scheduler: &mut Scheduler,
+    scheduler: &mut Scheduler<S::Obj>,
     space: &mut S,
     states: &mut [TaskState],
     tasks: &[TaskSpec],
@@ -635,8 +643,6 @@ fn run_sched_round<S: SimSpace>(
 ) {
     let grants = scheduler.sched(space);
     space.after_sched();
-    result.sched_durations.push(scheduler.stats.last_time);
-    result.active_objects.push(space.active_object_count());
     for g in grants {
         let i = g.task.0 as usize;
         states[i].granted += 1;
@@ -652,6 +658,10 @@ fn run_sched_round<S: SimSpace>(
             });
         }
     }
+    // The grant slice borrows the scheduler's scratch buffer; read the
+    // per-invocation stats only after it is consumed.
+    result.sched_durations.push(scheduler.stats.last_time);
+    result.active_objects.push(space.active_object_count());
 }
 
 /// Chooses the deadlock victim: a member of a waits-for cycle if one

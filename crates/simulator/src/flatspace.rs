@@ -106,8 +106,7 @@ impl FlatSpace {
         }
         // All edges involving the task disappear: as holder (its locks are
         // gone) and as waiter (its requests are cancelled).
-        self.edge_counts
-            .retain(|&(w, h), _| w != task && h != task);
+        self.edge_counts.retain(|&(w, h), _| w != task && h != task);
         let mut touched = held;
         touched.extend(waited);
         touched.sort_unstable();
@@ -159,10 +158,7 @@ impl LockSpace for FlatSpace {
     fn can_grant(&self, obj: u32, task: TaskId, mode: LockMode) -> bool {
         self.holders
             .get(&obj)
-            .map(|h| {
-                h.iter()
-                    .all(|&(t, m)| t == task || mode.compatible(m))
-            })
+            .map(|h| h.iter().all(|&(t, m)| t == task || mode.compatible(m)))
             .unwrap_or(true)
     }
 

@@ -27,7 +27,10 @@ fn scheme() -> ProductionScheme {
 
 #[test]
 fn empty_trace_produces_empty_result() {
-    let r = run(&SimConfig::new(Granularity::Object, Policy::Ldsf, scheme()), &[]);
+    let r = run(
+        &SimConfig::new(Granularity::Object, Policy::Ldsf, scheme()),
+        &[],
+    );
     assert!(r.outcomes.is_empty());
     assert_eq!(r.mean_completion(), 0.0);
     assert_eq!(r.mean_waiting(), 0.0);
@@ -39,7 +42,10 @@ fn empty_trace_produces_empty_result() {
 #[test]
 fn single_task_statistics_are_exact() {
     let tasks = vec![spec(0, 1.5, 2.25, RegionSpec::Dc(1), true)];
-    let r = run(&SimConfig::new(Granularity::Dc, Policy::Fifo, scheme()), &tasks);
+    let r = run(
+        &SimConfig::new(Granularity::Dc, Policy::Fifo, scheme()),
+        &tasks,
+    );
     let o = &r.outcomes[0];
     assert_eq!(o.arrival, 1.5);
     assert!((o.waiting()).abs() < 1e-12);
@@ -56,7 +62,10 @@ fn percentiles_are_order_statistics() {
     let tasks: Vec<TaskSpec> = (0..3)
         .map(|i| spec(i, 0.0, 1.0, RegionSpec::Pod { dc: 1, pod: 0 }, true))
         .collect();
-    let r = run(&SimConfig::new(Granularity::Object, Policy::Fifo, scheme()), &tasks);
+    let r = run(
+        &SimConfig::new(Granularity::Object, Policy::Fifo, scheme()),
+        &tasks,
+    );
     let mut cts: Vec<f64> = r.outcomes.iter().map(|o| o.completion_time()).collect();
     cts.sort_by(|a, b| a.partial_cmp(b).unwrap());
     assert_eq!(cts, vec![1.0, 2.0, 3.0]);
@@ -106,7 +115,10 @@ fn same_device_set_serializes_writers() {
         spec(0, 0.0, 1.0, region.clone(), true),
         spec(1, 0.1, 1.0, region, true),
     ];
-    let r = run(&SimConfig::new(Granularity::Device, Policy::Fifo, s), &tasks);
+    let r = run(
+        &SimConfig::new(Granularity::Device, Policy::Fifo, s),
+        &tasks,
+    );
     let late = r.outcomes.iter().find(|o| o.id == 1).unwrap();
     assert!((late.start - 1.0).abs() < 1e-9, "second task serializes");
 }

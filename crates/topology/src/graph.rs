@@ -69,10 +69,7 @@ impl Topology {
     /// Returns `None` if either endpoint is unknown or the endpoints are
     /// equal (self-links are not meaningful in this model).
     pub fn add_link(&mut self, a: DeviceId, z: DeviceId) -> Option<LinkId> {
-        if a == z
-            || a.0 as usize >= self.devices.len()
-            || z.0 as usize >= self.devices.len()
-        {
+        if a == z || a.0 as usize >= self.devices.len() || z.0 as usize >= self.devices.len() {
             return None;
         }
         let id = LinkId(self.links.len() as u32);
@@ -146,11 +143,7 @@ impl Topology {
 
     /// BFS distances (in hops) from `src` to every device, or `u32::MAX`
     /// when unreachable. `usable` filters which links may be traversed.
-    pub fn bfs_distances(
-        &self,
-        src: DeviceId,
-        usable: impl Fn(LinkId) -> bool,
-    ) -> Vec<u32> {
+    pub fn bfs_distances(&self, src: DeviceId, usable: impl Fn(LinkId) -> bool) -> Vec<u32> {
         let mut dist = vec![u32::MAX; self.devices.len()];
         let mut queue = std::collections::VecDeque::new();
         dist[src.0 as usize] = 0;

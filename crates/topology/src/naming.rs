@@ -173,7 +173,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_foreign_names() {
-        for bad in ["", "dc", "dcxx.pod01.tor01", "dc01", "rack5", "dc01.pod01.fw01"] {
+        for bad in [
+            "",
+            "dc",
+            "dcxx.pod01.tor01",
+            "dc01",
+            "rack5",
+            "dc01.pod01.fw01",
+        ] {
             assert!(parse_name(bad).is_none(), "{bad:?}");
         }
     }

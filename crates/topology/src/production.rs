@@ -121,8 +121,7 @@ impl RegionSpec {
             RegionSpec::Dc(dc) => vec![*dc],
             RegionSpec::Pod { dc, .. } | RegionSpec::PodRange { dc, .. } => vec![*dc],
             RegionSpec::Devices(idxs) => {
-                let mut v: Vec<u32> =
-                    idxs.iter().map(|&i| scheme.device_coords(i).0).collect();
+                let mut v: Vec<u32> = idxs.iter().map(|&i| scheme.device_coords(i).0).collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -181,7 +180,11 @@ impl RegionSpec {
                 // Fall back to index-set intersection with early exit.
                 let a = self.device_indices(scheme);
                 let b = other.device_indices(scheme);
-                let (small, large) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+                let (small, large) = if a.len() <= b.len() {
+                    (&a, &b)
+                } else {
+                    (&b, &a)
+                };
                 let set: std::collections::HashSet<u32> = large.iter().copied().collect();
                 small.iter().any(|i| set.contains(i))
             }
@@ -250,7 +253,12 @@ mod tests {
             RegionSpec::Pod { dc: 1, pod: 4 }.to_regex(&s),
             r"dc01\.pod04\..*"
         );
-        let r = RegionSpec::PodRange { dc: 2, lo: 3, hi: 5 }.to_regex(&s);
+        let r = RegionSpec::PodRange {
+            dc: 2,
+            lo: 3,
+            hi: 5,
+        }
+        .to_regex(&s);
         assert_eq!(r, r"dc02\.(pod03|pod04|pod05)\..*");
         assert_eq!(RegionSpec::Devices(vec![]).to_regex(&s), "[]");
     }
@@ -261,7 +269,11 @@ mod tests {
         for spec in [
             RegionSpec::Dc(2),
             RegionSpec::Pod { dc: 1, pod: 10 },
-            RegionSpec::PodRange { dc: 3, lo: 0, hi: 4 },
+            RegionSpec::PodRange {
+                dc: 3,
+                lo: 0,
+                hi: 4,
+            },
             RegionSpec::Devices(vec![5, 9, 100]),
         ] {
             let idxs = spec.device_indices(&s);
@@ -273,7 +285,11 @@ mod tests {
     #[test]
     fn overlap_symbolic_vs_enumerated() {
         let s = scheme();
-        let a = RegionSpec::PodRange { dc: 1, lo: 0, hi: 4 };
+        let a = RegionSpec::PodRange {
+            dc: 1,
+            lo: 0,
+            hi: 4,
+        };
         let b = RegionSpec::Pod { dc: 1, pod: 3 };
         let c = RegionSpec::Pod { dc: 1, pod: 9 };
         let d = RegionSpec::Dc(2);
@@ -290,7 +306,11 @@ mod tests {
         let s = scheme();
         let dc = RegionSpec::Dc(1);
         let pod = RegionSpec::Pod { dc: 1, pod: 5 };
-        let range = RegionSpec::PodRange { dc: 1, lo: 3, hi: 8 };
+        let range = RegionSpec::PodRange {
+            dc: 1,
+            lo: 3,
+            hi: 8,
+        };
         assert!(dc.contains(&pod, &s));
         assert!(dc.contains(&range, &s));
         assert!(range.contains(&pod, &s));

@@ -118,7 +118,10 @@ mod tests {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[n / 2];
         // Median of log-normal is exp(mu) = e.
-        assert!((median / std::f64::consts::E - 1.0).abs() < 0.1, "median {median}");
+        assert!(
+            (median / std::f64::consts::E - 1.0).abs() < 0.1,
+            "median {median}"
+        );
     }
 
     #[test]
@@ -162,7 +165,9 @@ mod tests {
     fn determinism_under_seed() {
         let seq = |seed| {
             let mut r = rng(seed);
-            (0..10).map(|_| exponential(&mut r, 1.0)).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| exponential(&mut r, 1.0))
+                .collect::<Vec<_>>()
         };
         assert_eq!(seq(42), seq(42));
         assert_ne!(seq(42), seq(43));

@@ -224,7 +224,11 @@ mod tests {
         let s = stats();
         assert_eq!(s.exec_counts.len(), 234);
         // Top workflow around 15k runs/month.
-        assert!((14_000..=16_000).contains(&s.exec_counts[0]), "{}", s.exec_counts[0]);
+        assert!(
+            (14_000..=16_000).contains(&s.exec_counts[0]),
+            "{}",
+            s.exec_counts[0]
+        );
         // About ten workflows above 1000 runs.
         let over_1000 = s.exec_counts.iter().filter(|&&c| c > 1000).count();
         assert!((7..=14).contains(&over_1000), "{over_1000}");

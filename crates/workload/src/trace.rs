@@ -225,9 +225,7 @@ fn sample_region(rng: &mut StdRng, cfg: &TraceConfig) -> RegionSpec {
             let pod = rng.random_range(0..scheme.pods_per_dc);
             let n = 1 + (dist::log_normal(rng, 1.0, 1.0) as u32).min(scheme.switches_per_pod - 1);
             let mut devs: Vec<u32> = (0..n)
-                .map(|_| {
-                    scheme.device_index(dc, pod, rng.random_range(0..scheme.switches_per_pod))
-                })
+                .map(|_| scheme.device_index(dc, pod, rng.random_range(0..scheme.switches_per_pod)))
                 .collect();
             devs.sort_unstable();
             devs.dedup();
@@ -281,7 +279,10 @@ mod tests {
         }
         // Mean arrival gap should be near window / n.
         let span = tasks.last().unwrap().arrival;
-        assert!(span > cfg.window_hours * 0.7 && span < cfg.window_hours * 1.3, "{span}");
+        assert!(
+            span > cfg.window_hours * 0.7 && span < cfg.window_hours * 1.3,
+            "{span}"
+        );
     }
 
     #[test]
@@ -314,7 +315,11 @@ mod tests {
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
         assert!(min <= 20, "smallest scope {min}");
-        assert_eq!(max, cfg.scheme.devices_per_dc() as u64, "largest scope is a DC");
+        assert_eq!(
+            max,
+            cfg.scheme.devices_per_dc() as u64,
+            "largest scope is a DC"
+        );
     }
 
     #[test]
@@ -328,7 +333,10 @@ mod tests {
         let t4 = synthesize(&fast);
         let span1 = t1.last().unwrap().arrival;
         let span4 = t4.last().unwrap().arrival;
-        assert!(span4 < span1 / 2.5, "4x arrivals should compress the window: {span1} vs {span4}");
+        assert!(
+            span4 < span1 / 2.5,
+            "4x arrivals should compress the window: {span1} vs {span4}"
+        );
     }
 
     #[test]
@@ -338,7 +346,10 @@ mod tests {
         // strongly without reaching 100%/0%.
         let n = 2000;
         let mk = |cfg: TraceConfig| {
-            let t = synthesize(&TraceConfig { num_tasks: n, ..cfg });
+            let t = synthesize(&TraceConfig {
+                num_tasks: n,
+                ..cfg
+            });
             t.iter().filter(|t| t.write).count() as f64 / n as f64
         };
         let base = mk(TraceConfig::default());
@@ -348,7 +359,10 @@ mod tests {
         assert!(rd < 0.25, "read-heavy: {rd}");
         assert!(rd < base && base < wr, "{rd} < {base} < {wr}");
         // Large scopes lean read, small scopes lean write, in every mix.
-        let t = synthesize(&TraceConfig { num_tasks: n, ..TraceConfig::default() });
+        let t = synthesize(&TraceConfig {
+            num_tasks: n,
+            ..TraceConfig::default()
+        });
         let frac_write = |f: &dyn Fn(&TaskSpec) -> bool| {
             let sel: Vec<&TaskSpec> = t.iter().filter(|s| f(s)).collect();
             sel.iter().filter(|s| s.write).count() as f64 / sel.len().max(1) as f64

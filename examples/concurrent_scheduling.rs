@@ -15,10 +15,8 @@ use occam::sched::{Policy, Scheduler};
 
 fn decision(policy: Policy) -> TaskId {
     let mut tree = ObjTree::new();
-    let switch = tree
-        .insert_region(&Pattern::from_glob("dc01.pod00.agg00").unwrap())[0];
-    let other = tree
-        .insert_region(&Pattern::from_glob("dc01.pod01.tor00").unwrap())[0];
+    let switch = tree.insert_region(&Pattern::from_glob("dc01.pod00.agg00").unwrap())[0];
+    let other = tree.insert_region(&Pattern::from_glob("dc01.pod01.tor00").unwrap())[0];
 
     // Task 1 (middlebox_rerouting) holds the contended switch.
     tree.request_lock(TaskId(1), switch, LockMode::Exclusive, 0, false);
@@ -53,7 +51,11 @@ fn main() {
         ldsf.0
     );
     assert_eq!(fifo, TaskId(2), "FIFO picks the earlier-arrival ping_test");
-    assert_eq!(ldsf, TaskId(3), "LDSF picks the denylist task blocking task 4");
+    assert_eq!(
+        ldsf,
+        TaskId(3),
+        "LDSF picks the denylist task blocking task 4"
+    );
 
     // The same four tasks as real Occam programs, under the full runtime:
     // whatever the policy, the background traffic is never disrupted

@@ -26,7 +26,12 @@ fn black_holed_ticks(with_locks: bool) -> usize {
         for &agg in &ft.aggs[0][1..] {
             guard.switch_mut(agg).unwrap().drained = true;
         }
-        guard.add_flow(ft.hosts[0][0][0], ft.hosts[3][0][0], 100.0, FlowClass::Background)
+        guard.add_flow(
+            ft.hosts[0][0][0],
+            ft.hosts[3][0][0],
+            100.0,
+            FlowClass::Background,
+        )
     };
 
     if with_locks {
@@ -72,7 +77,8 @@ fn black_holed_ticks(with_locks: bool) -> usize {
         .unwrap();
         svc.advance(5);
         // Concurrent turn_up_links pushes default config: admin -> active.
-        svc.execute("f_turnup_link", &devices, &FuncArgs::none()).unwrap();
+        svc.execute("f_turnup_link", &devices, &FuncArgs::none())
+            .unwrap();
         svc.execute("f_push", &devices, &FuncArgs::none()).unwrap();
         svc.advance(5);
         svc.execute(
@@ -81,7 +87,8 @@ fn black_holed_ticks(with_locks: bool) -> usize {
             &FuncArgs::one("phase", "commit").with("program", "ecmp_v2"),
         )
         .unwrap();
-        svc.execute("f_undrain", &devices, &FuncArgs::none()).unwrap();
+        svc.execute("f_undrain", &devices, &FuncArgs::none())
+            .unwrap();
     }
     svc.advance(5);
 

@@ -36,7 +36,11 @@ fn scenario(invariant_scoped: bool) -> (usize, TaskState) {
 
     // Scopes: naive tasks lock exactly the devices they touch; disciplined
     // tasks lock the whole uplink group.
-    let flap_scope = if invariant_scoped { "dc01.pod00.agg*" } else { "dc01.pod00.agg00" };
+    let flap_scope = if invariant_scoped {
+        "dc01.pod00.agg*"
+    } else {
+        "dc01.pod00.agg00"
+    };
     let maint_scope = if invariant_scoped {
         "dc01.pod00.agg*"
     } else {
@@ -135,7 +139,10 @@ fn main() {
         naive_outage > 0,
         "composing the naive tasks must disconnect the pod"
     );
-    assert_eq!(scoped_outage, 0, "group-scoped tasks keep the pod reachable");
+    assert_eq!(
+        scoped_outage, 0,
+        "group-scoped tasks keep the pod reachable"
+    );
     assert_eq!(
         scoped_state,
         TaskState::Aborted,

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! subset the workspace's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`iter_batched`] / [`iter_batched_ref`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark runs a short calibration pass, then a fixed
+//! measurement pass, and prints the mean wall-clock time per iteration —
+//! no warm-up analysis, outlier rejection, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one benchmark's measurement pass.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+
+/// How inputs are batched for `iter_batched*` (accepted for API
+/// compatibility; batching here is always one input per iteration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup output consumed once per batch.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Total routine time accumulated by the last `iter*` call.
+    elapsed: Duration,
+    /// Iterations performed by the last `iter*` call.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let per_iter = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        let n = iters_for(per_iter);
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_iter = calibrate(|| {
+            std::hint::black_box(routine(setup()));
+        });
+        let n = iters_for(per_iter);
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = n;
+    }
+
+    /// Like [`iter_batched`](Bencher::iter_batched) but the routine gets a
+    /// mutable reference and the input is dropped outside the timing.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let per_iter = calibrate(|| {
+            let mut input = setup();
+            std::hint::black_box(routine(&mut input));
+        });
+        let n = iters_for(per_iter);
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = n;
+    }
+}
+
+/// One timed run of `f`, used to size the measurement pass.
+fn calibrate(mut f: impl FnMut()) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed().max(Duration::from_nanos(1))
+}
+
+fn iters_for(per_iter: Duration) -> u64 {
+    (MEASURE_TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Criterion {
+        Criterion {}
+    }
+
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{name:<40} {:>12}   ({} iters)", fmt_ns(mean_ns), b.iters);
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Groups benchmark functions under one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut count = 0u64;
+        Criterion::new().bench_function("shim/self_test", |b| {
+            b.iter(|| count += 1);
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_fresh_inputs() {
+        let mut seen = Vec::new();
+        Criterion::new().bench_function("shim/batched", |b| {
+            let mut n = 0u64;
+            b.iter_batched(
+                move || {
+                    n += 1;
+                    n
+                },
+                |v| seen.push(v),
+                BatchSize::SmallInput,
+            );
+        });
+        assert!(!seen.is_empty());
+        // Each iteration received a distinct fresh input.
+        let mut dedup = seen.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len());
+    }
+
+    #[test]
+    fn iter_batched_ref_mutates_input() {
+        Criterion::new().bench_function("shim/batched_ref", |b| {
+            b.iter_batched_ref(
+                || vec![1u8],
+                |v| {
+                    v.push(2);
+                    assert_eq!(v.len(), 2);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}

@@ -1,0 +1,839 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this shim implements the
+//! subset of the proptest API the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! weighted [`prop_oneof!`], [`collection::vec`], [`sample::select`],
+//! [`bool::weighted`], `any::<T>()`, string strategies from
+//! `[class]{lo,hi}` regex literals, and the [`proptest!`] test macro with
+//! `#![proptest_config(..)]`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (override with `PROPTEST_SEED` / `PROPTEST_CASES`), and
+//! there is **no shrinking** — a failing case panics with its case index
+//! and seed so it can be replayed, but is not minimized.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// The random source passed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a test case did not pass: rejected (re-rolled, from
+/// [`prop_assume!`]) or failed (reported as a test failure).
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's inputs did not satisfy a precondition; try another.
+    Reject(String),
+    /// The property does not hold for this case.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Outcome of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the
+    /// strategy-so-far and returns a strategy that may embed it. Expanded
+    /// eagerly to `depth` levels (the `_desired_size` and `_branch_size`
+    /// hints are accepted for signature compatibility and ignored).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            // Keep leaves reachable at every level so generation cannot
+            // favour ever-deeper nesting.
+            cur = OneOf::new(vec![(1, base.clone()), (2, recurse(cur).boxed())]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between boxed alternatives ([`prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a weighted choice; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        let total = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.random::<f64>()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with target sizes drawn from a
+    /// [`SizeRange`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.random_range(self.size.lo..=self.size.hi);
+            let mut set = std::collections::BTreeSet::new();
+            // Duplicates collapse; bound the retries so narrow element
+            // domains cannot loop forever (the set may come up short).
+            let mut attempts = 0;
+            while set.len() < n && attempts < n * 10 + 16 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// Generates ordered sets of `element` aiming for sizes in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Picks uniformly from the given options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty options");
+        Select { options }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy returned by [`weighted`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random::<f64>() < self.p
+        }
+    }
+
+    /// Generates `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+}
+
+/// String strategies from a small regex subset: character classes `[...]`,
+/// escapes, literals, and groups `(...)`, each with an optional `{lo,hi}`,
+/// `*`, `+`, or `?` repetition. No alternation. This covers the string
+/// strategies used by the workspace's fuzz tests.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let (elems, end) = parse_seq(&chars, 0);
+        assert_eq!(end, chars.len(), "unbalanced group in {self:?}");
+        let mut out = String::new();
+        gen_seq(&elems, rng, &mut out);
+        out
+    }
+}
+
+/// One parsed pattern element plus its repetition bounds.
+enum PatElem {
+    /// A character class (ranges, negated?).
+    Class(Vec<(char, char)>, bool, usize, usize),
+    /// A parenthesized subsequence.
+    Group(Vec<PatElem>, usize, usize),
+}
+
+/// Parses a sequence until end of input or an unmatched `)`.
+fn parse_seq(chars: &[char], mut i: usize) -> (Vec<PatElem>, usize) {
+    let mut elems = Vec::new();
+    while i < chars.len() && chars[i] != ')' {
+        assert_ne!(
+            chars[i], '|',
+            "alternation not supported in string strategies"
+        );
+        if chars[i] == '(' {
+            let (inner, close) = parse_seq(chars, i + 1);
+            assert_eq!(chars.get(close), Some(&')'), "unterminated group");
+            let (lo, hi, next) = parse_repeat(chars, close + 1);
+            elems.push(PatElem::Group(inner, lo, hi));
+            i = next;
+        } else {
+            let (ranges, negated, after) = parse_class(chars, i);
+            let (lo, hi, next) = parse_repeat(chars, after);
+            elems.push(PatElem::Class(ranges, negated, lo, hi));
+            i = next;
+        }
+    }
+    (elems, i)
+}
+
+fn gen_seq(elems: &[PatElem], rng: &mut TestRng, out: &mut String) {
+    for e in elems {
+        match e {
+            PatElem::Class(ranges, negated, lo, hi) => {
+                let n = rng.random_range(*lo..=*hi);
+                for _ in 0..n {
+                    out.push(pick_char(ranges, *negated, rng));
+                }
+            }
+            PatElem::Group(inner, lo, hi) => {
+                let n = rng.random_range(*lo..=*hi);
+                for _ in 0..n {
+                    gen_seq(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Parses one class/escape/literal starting at `i`; returns
+/// (ranges, negated, next_i).
+fn parse_class(chars: &[char], i: usize) -> (Vec<(char, char)>, bool, usize) {
+    match chars[i] {
+        '[' => {
+            let mut j = i + 1;
+            let negated = chars.get(j) == Some(&'^');
+            if negated {
+                j += 1;
+            }
+            let mut ranges = Vec::new();
+            while j < chars.len() && chars[j] != ']' {
+                let lo = if chars[j] == '\\' {
+                    j += 1;
+                    chars[j]
+                } else {
+                    chars[j]
+                };
+                // Range `x-y` (a trailing `-` right before `]` is literal).
+                if chars.get(j + 1) == Some(&'-') && chars.get(j + 2).is_some_and(|&c| c != ']') {
+                    let hi = if chars[j + 2] == '\\' {
+                        j += 1;
+                        chars[j + 2]
+                    } else {
+                        chars[j + 2]
+                    };
+                    ranges.push((lo, hi));
+                    j += 3;
+                } else {
+                    ranges.push((lo, lo));
+                    j += 1;
+                }
+            }
+            (ranges, negated, j + 1)
+        }
+        '\\' => (vec![(chars[i + 1], chars[i + 1])], false, i + 2),
+        '.' => (vec![(' ', '~')], false, i + 1),
+        c => (vec![(c, c)], false, i + 1),
+    }
+}
+
+/// Parses a repetition suffix at `i`; returns (lo, hi, next_i).
+fn parse_repeat(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {n,m} in string strategy")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad lower bound"),
+                    hi.trim().parse().expect("bad upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            };
+            (lo, hi, close + 1)
+        }
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('?') => (0, 1, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn pick_char(ranges: &[(char, char)], negated: bool, rng: &mut TestRng) -> char {
+    if negated {
+        loop {
+            let c = rng.random_range(0x20u32..0x7f) as u8 as char;
+            if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                return c;
+            }
+        }
+    }
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.random_range(0..total);
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick).expect("valid char range");
+        }
+        pick -= span;
+    }
+    unreachable!("pick < total")
+}
+
+/// Drives one [`proptest!`] test: runs `config.cases` successful cases,
+/// re-rolling rejected ones (from `prop_assume!`), panicking on failure
+/// with a replayable seed.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(config.cases);
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+        ^ fnv64(name.as_bytes());
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    let mut rejected = 0u64;
+    while passed < cases {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        attempt += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected > u64::from(cases) * 16 {
+                    panic!("proptest {name}: too many prop_assume! rejections ({rejected})");
+                }
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!("proptest {name}: case {passed} failed: {reason} (case seed {seed:#x})");
+            }
+            Err(payload) => {
+                eprintln!(
+                    "[proptest shim] {name}: case {passed} failed \
+                     (replay with PROPTEST_SEED such that case seed = {seed:#x})"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Weighted/unweighted choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Rejects the current case (re-rolled without counting against `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items.
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                let ($($arg,)+) = $crate::Strategy::generate(&__strategy, __rng);
+                (|| -> $crate::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_map() {
+        let strat = (1u32..4, 0usize..2).prop_map(|(a, b)| a as usize + b);
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=4).contains(&v));
+        }
+    }
+
+    use rand::SeedableRng;
+
+    #[test]
+    fn oneof_respects_weights_loosely() {
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let trues = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(trues > 800, "got {trues}");
+    }
+
+    #[test]
+    fn collection_vec_sizes() {
+        let strat = crate::collection::vec(0u8..10, 2..5);
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let strat = "[a-c]{2,4}";
+        let mut rng = crate::TestRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        let printable = "[ -~]{0,8}";
+        for _ in 0..100 {
+            let s = printable.generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        // Optional group, as used by the from_names fuzz strategy.
+        let grouped = "[a-c]{1,4}(\\.[a-c0-3]{1,3})?";
+        for _ in 0..100 {
+            let s = grouped.generate(&mut rng);
+            let mut parts = s.split('.');
+            let head = parts.next().unwrap();
+            assert!((1..=4).contains(&head.len()), "{s:?}");
+            assert!(head.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            if let Some(tail) = parts.next() {
+                assert!((1..=3).contains(&tail.len()), "{s:?}");
+            }
+            assert!(parts.next().is_none(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..4)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 3, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4, "{t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The proptest! macro itself: args bind, assume rejects, asserts run.
+        #[test]
+        fn macro_smoke(a in 0u32..10, b in any::<bool>()) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 9);
+            prop_assert_eq!(b, b);
+        }
+    }
+}

@@ -185,10 +185,7 @@ fn traffic_survives_serialized_conflicting_tasks() {
         net.apply_with("f_upgrade_data_plane", &FuncArgs::one("phase", "begin"))?;
         ctx.runtime().service().advance(4);
         std::thread::sleep(std::time::Duration::from_millis(80));
-        net.apply_with(
-            "f_upgrade_data_plane",
-            &FuncArgs::one("phase", "commit"),
-        )?;
+        net.apply_with("f_upgrade_data_plane", &FuncArgs::one("phase", "commit"))?;
         net.apply("f_undrain")?;
         Ok(())
     });

@@ -58,16 +58,30 @@ fn forty_conflicting_tasks_all_terminate_cleanly() {
 fn deadlock_victims_can_be_reexecuted_to_completion() {
     let (rt, _ft) = occam::emulated_deployment(1, 4);
     let barrier = Arc::new(std::sync::Barrier::new(2));
-    let mk = |rt: occam::Runtime, first: &'static str, second: &'static str, b: Arc<std::sync::Barrier>| {
-        rt.clone().submit(&format!("{first}->{second}"), move |ctx| {
-            let _a = ctx.network(first)?;
-            b.wait();
-            let _b = ctx.network(second)?;
-            Ok(())
-        })
+    let mk = |rt: occam::Runtime,
+              first: &'static str,
+              second: &'static str,
+              b: Arc<std::sync::Barrier>| {
+        rt.clone()
+            .submit(&format!("{first}->{second}"), move |ctx| {
+                let _a = ctx.network(first)?;
+                b.wait();
+                let _b = ctx.network(second)?;
+                Ok(())
+            })
     };
-    let h1 = mk(rt.clone(), "dc01.pod00.*", "dc01.pod01.*", Arc::clone(&barrier));
-    let h2 = mk(rt.clone(), "dc01.pod01.*", "dc01.pod00.*", Arc::clone(&barrier));
+    let h1 = mk(
+        rt.clone(),
+        "dc01.pod00.*",
+        "dc01.pod01.*",
+        Arc::clone(&barrier),
+    );
+    let h2 = mk(
+        rt.clone(),
+        "dc01.pod01.*",
+        "dc01.pod00.*",
+        Arc::clone(&barrier),
+    );
     let r1 = h1.join().unwrap();
     let r2 = h2.join().unwrap();
     let victims: Vec<&occam::TaskReport> = [&r1, &r2]
@@ -114,8 +128,7 @@ fn mixed_read_write_storm_preserves_db_consistency() {
         assert_eq!(h.join().unwrap().state, TaskState::Completed);
     }
     let vals = rt.db().get_attr(&scope, "GEN").unwrap();
-    let set: std::collections::BTreeSet<i64> =
-        vals.values().filter_map(|v| v.as_int()).collect();
+    let set: std::collections::BTreeSet<i64> = vals.values().filter_map(|v| v.as_int()).collect();
     assert_eq!(set.len(), 1);
     assert_eq!(set.into_iter().next(), Some(16));
 }

@@ -45,7 +45,11 @@ fn figure8_ordering_obj_beats_dev_beats_dc() {
     );
     // The paper's object-vs-DC gap is large (roughly 10x); require >= 3x
     // on the reduced trace.
-    assert!(mdc / mobj > 3.0, "obj speedup over dc only {:.1}x", mdc / mobj);
+    assert!(
+        mdc / mobj > 3.0,
+        "obj speedup over dc only {:.1}x",
+        mdc / mobj
+    );
     // Queue ordering (Figure 8c).
     assert!(obj.peak_queue() < dev.peak_queue());
     assert!(dev.peak_queue() < dc.peak_queue());
@@ -60,8 +64,16 @@ fn figure8_ordering_obj_beats_dev_beats_dc() {
 
 #[test]
 fn figure9_read_heavy_narrows_dev_obj_gap() {
-    let wr = TraceConfig { num_tasks: 400, ..TraceConfig::default() }.write_heavy();
-    let rd = TraceConfig { num_tasks: 400, ..TraceConfig::default() }.read_heavy();
+    let wr = TraceConfig {
+        num_tasks: 400,
+        ..TraceConfig::default()
+    }
+    .write_heavy();
+    let rd = TraceConfig {
+        num_tasks: 400,
+        ..TraceConfig::default()
+    }
+    .read_heavy();
     let dev_wr = sim(&wr, Granularity::Device, Policy::Ldsf).mean_completion();
     let obj_wr = sim(&wr, Granularity::Object, Policy::Ldsf).mean_completion();
     let dev_rd = sim(&rd, Granularity::Device, Policy::Ldsf).mean_completion();
@@ -78,7 +90,10 @@ fn figure9_read_heavy_narrows_dev_obj_gap() {
 
 #[test]
 fn figure10_dev_locking_produces_more_objects_and_slower_sched() {
-    let cfg = TraceConfig { num_tasks: 300, ..TraceConfig::default() };
+    let cfg = TraceConfig {
+        num_tasks: 300,
+        ..TraceConfig::default()
+    };
     let dc = sim(&cfg, Granularity::Dc, Policy::Ldsf);
     let dev = sim(&cfg, Granularity::Device, Policy::Ldsf);
     let obj = sim(&cfg, Granularity::Object, Policy::Ldsf);
@@ -108,7 +123,11 @@ fn figure10_dev_locking_produces_more_objects_and_slower_sched() {
 
 #[test]
 fn figure11_ldsf_beats_fifo_under_skew() {
-    let cfg = TraceConfig { num_tasks: 500, ..TraceConfig::default() }.skewed();
+    let cfg = TraceConfig {
+        num_tasks: 500,
+        ..TraceConfig::default()
+    }
+    .skewed();
     let fifo = sim(&cfg, Granularity::Object, Policy::Fifo);
     let ldsf = sim(&cfg, Granularity::Object, Policy::Ldsf);
     assert!(
@@ -156,7 +175,10 @@ fn urgent_tasks_wait_less_than_ordinary_ones() {
 
 #[test]
 fn all_six_scheduler_configs_complete_the_meta_trace() {
-    let cfg = TraceConfig { num_tasks: 250, ..TraceConfig::default() };
+    let cfg = TraceConfig {
+        num_tasks: 250,
+        ..TraceConfig::default()
+    };
     let trace = synthesize(&cfg);
     for policy in [Policy::Fifo, Policy::Ldsf] {
         for granularity in [Granularity::Dc, Granularity::Device, Granularity::Object] {

@@ -1,0 +1,45 @@
+//! TEMPORARY diagnostic for review — deleted before merge.
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Step {
+    SetStatus(u8),
+    SetFirmware(u8),
+    Push,
+    Testing(u8),
+    Offline(Vec<Step>),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Step::SetStatus),
+        (0u8..3).prop_map(Step::SetFirmware),
+        (0u8..3).prop_map(Step::Testing),
+        Just(Step::Push),
+    ];
+    let step = leaf.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            3 => inner.clone(),
+            1 => proptest::collection::vec(inner, 1..3).prop_map(Step::Offline),
+        ]
+    });
+    proptest::collection::vec(step, 1..5)
+}
+
+const FUNCS: &[&str] = &[
+    "f_push",
+    "f_drain",
+    "f_undrain",
+    "f_alloc_ip",
+    "f_dealloc_ip",
+    "f_ping_test",
+];
+
+#[test]
+fn reproduce_case() {
+    let strat = (arb_steps(), 0usize..FUNCS.len(), 0u64..4);
+    let mut rng = proptest::TestRng::seed_from_u64(0x3e4a9ff755adb0ad);
+    let (steps, func_idx, nth) = Strategy::generate(&strat, &mut rng);
+    eprintln!("steps = {steps:?}");
+    eprintln!("func = {} nth = {}", FUNCS[func_idx], nth);
+}

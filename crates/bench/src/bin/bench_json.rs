@@ -2,22 +2,39 @@
 //! throughput, relation-cache effectiveness, and SCHED invocation times,
 //! then writes `BENCH_objtree.json` (hand-rolled JSON; no serde).
 //!
+//! Every reported metric is read back from an `occam-obs` [`Registry`] —
+//! the microbenchmark binds its own, the simulator runs carry theirs.
+//!
 //! Usage: `cargo run --release -p occam-bench --bin bench_json [num_tasks]`
 
 use occam_objtree::{ObjTree, ObjectId, SplitMode};
+use occam_obs::Registry;
 use occam_sched::Policy;
 use occam_sim::{run, Granularity, SimConfig};
 use occam_topology::ProductionScheme;
 use occam_workload::{synthesize, TraceConfig};
 use std::fmt::Write as _;
 
+/// The relate-cache hit ratio recorded in a registry's
+/// `objtree.relate_cache.*` counters.
+fn relate_hit_ratio(reg: &Registry) -> f64 {
+    let hits = reg.counter_value("objtree.relate_cache.hits");
+    let misses = reg.counter_value("objtree.relate_cache.misses");
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
 /// Inserts a churning mix of dc/pod/rack scopes and returns
-/// (inserts, seconds, relate-cache hit ratio).
+/// (inserts, seconds, relate-cache hit ratio) — all three read from the
+/// microbenchmark's own registry.
 fn insert_throughput() -> (u64, f64, f64) {
-    let mut tree = ObjTree::new();
+    let reg = Registry::new();
+    let mut tree = ObjTree::with_obs(SplitMode::Split, &reg);
     let mut live: Vec<ObjectId> = Vec::new();
     let t0 = std::time::Instant::now();
-    let mut inserts = 0u64;
     for round in 0..40u32 {
         for dc in 1..4u32 {
             for pod in 0..8u32 {
@@ -28,7 +45,6 @@ fn insert_throughput() -> (u64, f64, f64) {
                 };
                 let region = occam_regex::Pattern::from_glob(&scope).unwrap();
                 live.extend(tree.insert_region(&region));
-                inserts += 1;
             }
         }
         // Churn: drop half the references so the tree stays bounded and
@@ -39,7 +55,11 @@ fn insert_throughput() -> (u64, f64, f64) {
         }
     }
     let secs = t0.elapsed().as_secs_f64();
-    (inserts, secs, tree.relate_cache_stats().hit_ratio())
+    (
+        reg.counter_value("objtree.inserts"),
+        secs,
+        relate_hit_ratio(&reg),
+    )
 }
 
 fn main() {
@@ -82,28 +102,31 @@ fn main() {
             &trace,
         );
         let wall = t0.elapsed().as_secs_f64();
-        let s = &r.sched_stats;
-        let hit_ratio = s.relate_cache_hit_ratio();
+        let invocations = r.obs.counter_value("sched.invocations");
+        let snap = r
+            .obs
+            .histogram_snapshot("sched.invocation_ns")
+            .expect("scheduler records invocation latency");
+        let hit_ratio = relate_hit_ratio(&r.obs);
         println!(
-            "{policy:?}/obj: {wall:.2}s invocations={} mean={:?} max={:?} relate_hit_ratio={hit_ratio:.4}",
-            s.invocations,
-            s.mean_time(),
-            s.max_time,
+            "{policy:?}/obj: {wall:.2}s invocations={invocations} mean={:.3}us max={:.3}us relate_hit_ratio={hit_ratio:.4}",
+            snap.mean() / 1e3,
+            snap.max as f64 / 1e3,
         );
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"policy\": \"{policy:?}\",");
         let _ = writeln!(out, "      \"granularity\": \"object\",");
         let _ = writeln!(out, "      \"wall_seconds\": {wall:.4},");
-        let _ = writeln!(out, "      \"invocations\": {},", s.invocations);
+        let _ = writeln!(out, "      \"invocations\": {invocations},");
         let _ = writeln!(
             out,
             "      \"mean_invocation_us\": {:.3},",
-            s.mean_time().as_secs_f64() * 1e6
+            snap.mean() / 1e3
         );
         let _ = writeln!(
             out,
             "      \"max_invocation_us\": {:.3},",
-            s.max_time.as_secs_f64() * 1e6
+            snap.max as f64 / 1e3
         );
         let _ = writeln!(out, "      \"relate_cache_hit_ratio\": {hit_ratio:.4},");
         let _ = writeln!(
@@ -111,7 +134,11 @@ fn main() {
             "      \"mean_completion_h\": {:.2},",
             r.mean_completion()
         );
-        let _ = writeln!(out, "      \"deadlocks_broken\": {}", r.deadlocks_broken);
+        let _ = writeln!(
+            out,
+            "      \"deadlocks_broken\": {}",
+            r.obs.counter_value("sim.deadlocks_broken")
+        );
         let _ = writeln!(
             out,
             "    }}{}",

@@ -6,20 +6,16 @@
 //! produces 1-2 orders of magnitude more objects;
 //! (c) object-tree maintenance cost — insertion (regex comparisons) costs
 //! more than deletion.
+//!
+//! All wall-clock overheads here come from the shared `occam-obs` registry
+//! each run carries (`sched.invocation_ns`, `sim.active_objects`,
+//! `objtree.*`); only the sampled per-step series still reads the raw
+//! `active_objects` vector.
 
 use occam_objtree::SplitMode;
 use occam_sched::Policy;
 use occam_sim::{run, Granularity, SimConfig};
 use occam_workload::TraceConfig;
-use std::time::Duration;
-
-fn pct(xs: &mut [Duration], p: f64) -> Duration {
-    if xs.is_empty() {
-        return Duration::ZERO;
-    }
-    xs.sort();
-    xs[((xs.len() - 1) as f64 * p / 100.0).round() as usize]
-}
 
 fn main() {
     let cfg = TraceConfig::default();
@@ -41,14 +37,17 @@ fn main() {
     println!("## Figure 10a: SCHED invocation time (microseconds)");
     println!("lock\tmean\tp50\tp99\tmax");
     for (g, r) in &results {
-        let mut xs = r.sched_durations.clone();
+        let snap = r
+            .obs
+            .histogram_snapshot("sched.invocation_ns")
+            .expect("scheduler records invocation latency");
         println!(
             "{}\t{:.0}\t{:.0}\t{:.0}\t{:.0}",
             g.name(),
-            r.mean_sched_time().as_secs_f64() * 1e6,
-            pct(&mut xs, 50.0).as_secs_f64() * 1e6,
-            pct(&mut xs, 99.0).as_secs_f64() * 1e6,
-            r.max_sched_time().as_secs_f64() * 1e6,
+            snap.mean() / 1e3,
+            snap.quantile(0.50) as f64 / 1e3,
+            snap.quantile(0.99) as f64 / 1e3,
+            snap.max as f64 / 1e3,
         );
     }
     println!("# paper bound: all decisions computed under 100ms (100000us)");
@@ -74,34 +73,40 @@ fn main() {
     }
     println!("## peak active objects");
     for (g, r) in &results {
-        println!(
-            "{}\t{}",
-            g.name(),
-            r.active_objects.iter().copied().max().unwrap_or(0)
-        );
+        let peak = r
+            .obs
+            .histogram_snapshot("sim.active_objects")
+            .map_or(0, |s| s.max);
+        println!("{}\t{}", g.name(), peak);
     }
 
     println!();
     println!("## Figure 10c: object-tree maintenance (object granularity)");
-    let tree = results[2].1.tree_stats.expect("object run has tree stats");
-    let per = |total: Duration, n: u64| {
+    let obs = &results[2].1.obs;
+    // Sums are exact nanosecond totals; the per-delete mean divides the
+    // time spent in every `release_ref` by the physical removals, matching
+    // the original `TreeStats` accounting.
+    let per = |ns_sum: u64, n: u64| {
         if n == 0 {
             0.0
         } else {
-            total.as_secs_f64() * 1e6 / n as f64
+            ns_sum as f64 / 1e3 / n as f64
         }
     };
+    let hist_sum = |name: &str| obs.histogram_snapshot(name).map_or(0, |s| s.sum);
+    let inserts = obs.counter_value("objtree.inserts");
+    let deletes = obs.counter_value("objtree.deletes");
     println!("op\tcount\tmean_us");
     println!(
         "insert\t{}\t{:.1}",
-        tree.inserts,
-        per(tree.insert_time, tree.inserts)
+        inserts,
+        per(hist_sum("objtree.insert_ns"), inserts)
     );
     println!(
         "delete\t{}\t{:.1}",
-        tree.deletes,
-        per(tree.delete_time, tree.deletes)
+        deletes,
+        per(hist_sum("objtree.delete_ns"), deletes)
     );
-    println!("splits\t{}\t-", tree.splits);
+    println!("splits\t{}\t-", obs.counter_value("objtree.splits"));
     println!("# paper shape: insertion takes longer (regex comparisons)");
 }

@@ -1,0 +1,163 @@
+//! Exercises every instrument in the DESIGN.md §9 metrics contract and
+//! writes `BENCH_obs.json` (hand-rolled JSON; no serde).
+//!
+//! Two registries are dumped:
+//!
+//! - `runtime`: an emulated deployment running read, write, concurrent,
+//!   and deliberately-aborted tasks — covering the `core.*`, `netdb.*`,
+//!   `objtree.*`, and `sched.*` families plus the structured event ring;
+//! - `sim`: one Object-granularity simulation run — covering `sim.*` and
+//!   the simulator's shared `objtree.*` / `sched.*` instruments.
+//!
+//! The binary fails loudly if any contract name is missing from the dump,
+//! so drift between DESIGN.md §9 and the code is caught by running it.
+//!
+//! Usage: `cargo run --release -p occam-bench --bin metrics_dump`
+
+use occam::netdb::attrs;
+use occam::obs::Registry;
+use occam_objtree::SplitMode;
+use occam_sched::Policy;
+use occam_sim::{run, Granularity, SimConfig};
+use occam_workload::{synthesize, TraceConfig};
+
+/// The §9 families the runtime registry must carry.
+const RUNTIME_NAMES: &[&str] = &[
+    "core.tasks.submitted",
+    "core.tasks.completed",
+    "core.tasks.aborted",
+    "core.task_wall_ns",
+    "core.lock.acquires",
+    "core.lock_wait_ns",
+    "core.deadlocks",
+    "core.rollback.plans",
+    "core.ops.get",
+    "core.ops.set",
+    "core.ops.apply",
+    "netdb.queries",
+    "netdb.query_ns",
+    "netdb.wal.appends",
+    "netdb.wal.records",
+    "netdb.wal.append_ns",
+    "objtree.inserts",
+    "objtree.splits",
+    "objtree.deletes",
+    "objtree.insert_ns",
+    "objtree.delete_ns",
+    "objtree.relate_cache.hits",
+    "objtree.relate_cache.misses",
+    "objtree.relate_cache.evictions",
+    "sched.invocations",
+    "sched.grants",
+    "sched.invocation_ns",
+];
+
+/// The §9 families the simulation registry must carry.
+const SIM_NAMES: &[&str] = &[
+    "sim.queue_depth",
+    "sim.active_objects",
+    "sim.tasks.completed",
+    "sim.tasks.zero_wait",
+    "sim.deadlocks_broken",
+    "sim.task_completion_mh",
+    "sim.task_waiting_mh",
+    "objtree.inserts",
+    "sched.invocations",
+];
+
+fn check_contract(section: &str, reg: &Registry, names: &[&str]) {
+    let counters: Vec<String> = reg.counters().into_iter().map(|(n, _)| n).collect();
+    let histograms: Vec<String> = reg.histograms().into_iter().map(|(n, _)| n).collect();
+    for name in names {
+        assert!(
+            counters.iter().any(|n| n == name) || histograms.iter().any(|n| n == name),
+            "{section}: instrument `{name}` from DESIGN.md §9 is missing"
+        );
+    }
+    println!(
+        "{section}: {} counters, {} histograms, {} events recorded",
+        counters.len(),
+        histograms.len(),
+        reg.events().recorded()
+    );
+}
+
+/// Drives the emulated runtime through every instrumented code path.
+fn exercise_runtime() -> occam::Runtime {
+    let (runtime, _ft) = occam::emulated_deployment(1, 6);
+
+    // Read-only audit: shared locks, `get` operations, database queries.
+    let report = runtime.run_task("audit", |ctx| {
+        let net = ctx.network_read("dc01.pod00.*")?;
+        let _ = net.devices()?;
+        let _ = net.get(attrs::DEVICE_STATUS)?;
+        net.close();
+        Ok(())
+    });
+    assert_eq!(report.state, occam::TaskState::Completed);
+
+    // Concurrent writers on one pod: exclusive locks, WAL appends, device
+    // functions, and (for whichever task arrives second) real lock waits.
+    std::thread::scope(|s| {
+        for i in 0..2 {
+            let rt = runtime.clone();
+            s.spawn(move || {
+                let name = format!("maintenance_{i}");
+                let report = rt.run_task(&name, |ctx| {
+                    let net = ctx.network("dc01.pod01.*")?;
+                    net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
+                    net.apply("f_drain")?;
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    net.apply("f_undrain")?;
+                    net.set(attrs::DEVICE_STATUS, attrs::STATUS_ACTIVE.into())?;
+                    net.close();
+                    Ok(())
+                });
+                assert_eq!(report.state, occam::TaskState::Completed);
+            });
+        }
+    });
+
+    // A task that fails mid-flight: abort accounting plus a generated
+    // rollback plan (`core.rollback.plans`, `rollback_planned` event).
+    let report = runtime.run_task("doomed", |ctx| {
+        let net = ctx.network("dc01.pod02.*")?;
+        net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
+        Err(occam::TaskError::Failed("induced failure".into()))
+    });
+    assert_eq!(report.state, occam::TaskState::Aborted);
+    assert!(report.rollback.is_some());
+
+    runtime
+}
+
+fn main() {
+    let runtime = exercise_runtime();
+    check_contract("runtime", runtime.obs(), RUNTIME_NAMES);
+
+    let trace = synthesize(&TraceConfig {
+        num_tasks: 300,
+        ..TraceConfig::default()
+    });
+    let cfg = TraceConfig::default();
+    let r = run(
+        &SimConfig {
+            granularity: Granularity::Object,
+            policy: Policy::Ldsf,
+            scheme: cfg.scheme,
+            split_mode: SplitMode::Split,
+        },
+        &trace,
+    );
+    check_contract("sim", &r.obs, SIM_NAMES);
+
+    let mut out = String::from("{\n  \"runtime\": ");
+    out.push_str(&runtime.obs().to_json());
+    out.push_str(",\n  \"runtime_events\": ");
+    out.push_str(&runtime.obs().events().to_json());
+    out.push_str(",\n  \"sim\": ");
+    out.push_str(&r.obs.to_json());
+    out.push_str("\n}\n");
+    std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+}

@@ -62,23 +62,27 @@ impl<'t> Network<'t> {
 
     /// The device names currently in the region (from the database).
     pub fn devices(&self) -> TaskResult<Vec<String>> {
+        self.ctx.runtime().obs_handles().ops_get.inc();
         Ok(self.ctx.runtime().db().select_devices(&self.pattern)?)
     }
 
     /// Reads one attribute for every device in the region: the paper's
     /// `get()`, returning a dictionary keyed on device ids.
     pub fn get(&self, attr: &str) -> TaskResult<BTreeMap<String, AttrValue>> {
+        self.ctx.runtime().obs_handles().ops_get.inc();
         Ok(self.ctx.runtime().db().get_attr(&self.pattern, attr)?)
     }
 
     /// Reads the full attribute map of every device in the region.
     pub fn get_all(&self) -> TaskResult<BTreeMap<String, BTreeMap<String, AttrValue>>> {
+        self.ctx.runtime().obs_handles().ops_get.inc();
         Ok(self.ctx.runtime().db().get_all(&self.pattern)?)
     }
 
     /// Reads one attribute across the links touching the region; link keys
     /// are `(a_end, z_end)` pairs, as in the paper's link-status example.
     pub fn get_links(&self, attr: &str) -> TaskResult<BTreeMap<LinkKey, AttrValue>> {
+        self.ctx.runtime().obs_handles().ops_get.inc();
         Ok(self.ctx.runtime().db().get_link_attr(&self.pattern, attr)?)
     }
 
@@ -87,6 +91,7 @@ impl<'t> Network<'t> {
     /// overwritten values for rollback.
     pub fn set(&self, attr: &str, value: AttrValue) -> TaskResult<Vec<String>> {
         self.require_write("set")?;
+        self.ctx.runtime().obs_handles().ops_set.inc();
         let db = self.ctx.runtime().db();
         let label = format!("set({attr})");
         // Capture previous values (absent = None) for the undo payload.
@@ -149,6 +154,7 @@ impl<'t> Network<'t> {
         attr: &str,
     ) -> TaskResult<()> {
         self.require_write("set_per_device")?;
+        self.ctx.runtime().obs_handles().ops_set.inc();
         for d in values.keys() {
             if !self.pattern.matches(d) {
                 return Err(TaskError::Failed(format!(
@@ -194,6 +200,7 @@ impl<'t> Network<'t> {
     /// `DB_CHANGE`.
     pub fn set_links(&self, attr: &str, value: AttrValue) -> TaskResult<Vec<LinkKey>> {
         self.require_write("set_links")?;
+        self.ctx.runtime().obs_handles().ops_set.inc();
         let db = self.ctx.runtime().db();
         let label = format!("set_links({attr})");
         let current = db.get_link_attr(&self.pattern, attr)?;
@@ -237,6 +244,7 @@ impl<'t> Network<'t> {
     /// Logged as `DB_CHANGE`; rollback deletes the row again.
     pub fn insert_device(&self, name: &str, attrs: Vec<(String, AttrValue)>) -> TaskResult<()> {
         self.require_write("insert_device")?;
+        self.ctx.runtime().obs_handles().ops_set.inc();
         if !self.pattern.matches(name) {
             return Err(TaskError::Failed(format!(
                 "device {name} outside object scope {}",
@@ -279,6 +287,7 @@ impl<'t> Network<'t> {
     /// attributes and links.
     pub fn remove_device(&self, name: &str) -> TaskResult<()> {
         self.require_write("remove_device")?;
+        self.ctx.runtime().obs_handles().ops_set.inc();
         if !self.pattern.matches(name) {
             return Err(TaskError::Failed(format!(
                 "device {name} outside object scope {}",
@@ -340,6 +349,7 @@ impl<'t> Network<'t> {
 
     /// `apply` with function arguments.
     pub fn apply_with(&self, func: &str, args: &FuncArgs) -> TaskResult<String> {
+        self.ctx.runtime().obs_handles().ops_apply.inc();
         self.require_write("apply")?;
         let devices = self.devices()?;
         let label = format!("apply({func})");

@@ -12,13 +12,54 @@ use crate::error::{TaskError, TaskResult};
 use crate::task::{TaskCtx, TaskReport, TaskState};
 use occam_emunet::DeviceService;
 use occam_netdb::Database;
-use occam_objtree::{ObjTree, ObjectId, TaskId};
+use occam_objtree::{ObjTree, ObjectId, SplitMode, TaskId};
+use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry};
 use occam_regex::PatternCache;
 use occam_sched::{Policy, SchedStats, Scheduler};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Observability handles for the runtime, bound to a [`Registry`] under
+/// the `core.*` names (DESIGN.md §9).
+#[derive(Clone)]
+pub(crate) struct CoreObs {
+    pub registry: Registry,
+    pub tasks_submitted: Counter,
+    pub tasks_completed: Counter,
+    pub tasks_aborted: Counter,
+    pub task_wall_ns: Histogram,
+    pub lock_acquires: Counter,
+    pub lock_wait_ns: Histogram,
+    pub deadlocks: Counter,
+    pub rollback_plans: Counter,
+    pub ops_get: Counter,
+    pub ops_set: Counter,
+    pub ops_apply: Counter,
+    pub events: EventRing,
+}
+
+impl CoreObs {
+    fn bound(reg: &Registry) -> CoreObs {
+        CoreObs {
+            registry: reg.clone(),
+            tasks_submitted: reg.counter("core.tasks.submitted"),
+            tasks_completed: reg.counter("core.tasks.completed"),
+            tasks_aborted: reg.counter("core.tasks.aborted"),
+            task_wall_ns: reg.histogram("core.task_wall_ns"),
+            lock_acquires: reg.counter("core.lock.acquires"),
+            lock_wait_ns: reg.histogram("core.lock_wait_ns"),
+            deadlocks: reg.counter("core.deadlocks"),
+            rollback_plans: reg.counter("core.rollback.plans"),
+            ops_get: reg.counter("core.ops.get"),
+            ops_set: reg.counter("core.ops.set"),
+            ops_apply: reg.counter("core.ops.apply"),
+            events: reg.events(),
+        }
+    }
+}
 
 pub(crate) struct LockState {
     pub tree: ObjTree,
@@ -40,6 +81,7 @@ struct Inner {
     cache: PatternCache,
     next_task: AtomicU64,
     seq: AtomicU64,
+    obs: CoreObs,
 }
 
 /// The Occam runtime handle. Cheap to clone; all clones share state.
@@ -61,14 +103,27 @@ impl Runtime {
         service: Arc<dyn DeviceService>,
         policy: Policy,
     ) -> Runtime {
+        Runtime::with_obs(db, service, policy, &Registry::new())
+    }
+
+    /// Creates a runtime whose `core.*` instruments — and those of its
+    /// object tree (`objtree.*`) and scheduler (`sched.*`) — are bound to
+    /// `reg` (DESIGN.md §9). Pass the registry the database was built with
+    /// ([`Database::with_obs`]) to get the whole stack in one registry.
+    pub fn with_obs(
+        db: Arc<Database>,
+        service: Arc<dyn DeviceService>,
+        policy: Policy,
+        reg: &Registry,
+    ) -> Runtime {
         Runtime {
             inner: Arc::new(Inner {
                 db,
                 service,
                 locks: LockTable {
                     state: Mutex::new(LockState {
-                        tree: ObjTree::new(),
-                        sched: Scheduler::new(policy),
+                        tree: ObjTree::with_obs(SplitMode::Split, reg),
+                        sched: Scheduler::with_obs(policy, reg),
                         aborted: HashSet::new(),
                     }),
                     cv: Condvar::new(),
@@ -76,8 +131,18 @@ impl Runtime {
                 cache: PatternCache::default(),
                 next_task: AtomicU64::new(1),
                 seq: AtomicU64::new(0),
+                obs: CoreObs::bound(reg),
             }),
         }
+    }
+
+    /// The registry this runtime's instruments are bound to.
+    pub fn obs(&self) -> &Registry {
+        &self.inner.obs.registry
+    }
+
+    pub(crate) fn obs_handles(&self) -> &CoreObs {
+        &self.inner.obs
     }
 
     /// The source-of-truth database.
@@ -131,13 +196,31 @@ impl Runtime {
         F: FnOnce(&TaskCtx) -> TaskResult<()>,
     {
         let id = TaskId(self.inner.next_task.fetch_add(1, Ordering::Relaxed));
+        let obs = self.obs_handles();
+        obs.tasks_submitted.inc();
+        obs.events.record(EventKind::TaskSubmitted {
+            task: id.0,
+            name: name.to_string(),
+        });
         let ctx = TaskCtx::new(self.clone(), id, name.to_string(), urgent);
         let result = program(&ctx);
         self.teardown(&ctx);
-        ctx.into_report(match result {
+        let report = ctx.into_report(match result {
             Ok(()) => (TaskState::Completed, None),
             Err(e) => (TaskState::Aborted, Some(e)),
-        })
+        });
+        obs.task_wall_ns.record_duration(report.wall);
+        match report.state {
+            TaskState::Completed => {
+                obs.tasks_completed.inc();
+                obs.events.record(EventKind::TaskCompleted { task: id.0 });
+            }
+            _ => {
+                obs.tasks_aborted.inc();
+                obs.events.record(EventKind::TaskAborted { task: id.0 });
+            }
+        }
+        report
     }
 
     /// Spawns a management program on its own thread; the handle yields the
@@ -174,6 +257,8 @@ impl Runtime {
         mode: occam_objtree::LockMode,
     ) -> TaskResult<Vec<ObjectId>> {
         let task = ctx.task_id();
+        let obs = self.obs_handles();
+        let requested = Instant::now();
         let lt = self.locks();
         let mut st = lt.state.lock();
         let covering = st.tree.insert_region(pattern);
@@ -182,6 +267,11 @@ impl Runtime {
         if covering.is_empty() {
             return Ok(covering);
         }
+        obs.events.record(EventKind::LockRequested {
+            task: task.0,
+            objects: covering.len() as u64,
+            exclusive: mode == occam_objtree::LockMode::Exclusive,
+        });
         let arrival = self.next_arrival();
         for &obj in &covering {
             st.tree.request_lock(task, obj, mode, arrival, ctx.urgent());
@@ -194,12 +284,21 @@ impl Runtime {
         loop {
             if st.aborted.remove(&task) {
                 // A breaker released our locks already.
+                obs.deadlocks.inc();
                 return Err(TaskError::Deadlock);
             }
             let all_held = covering
                 .iter()
                 .all(|&obj| st.tree.holders_of(obj).iter().any(|&(t, _)| t == task));
             if all_held {
+                let wait_ns = u64::try_from(requested.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                obs.lock_acquires.inc();
+                obs.lock_wait_ns.record(wait_ns);
+                obs.events.record(EventKind::LockGranted {
+                    task: task.0,
+                    objects: covering.len() as u64,
+                    wait_ns,
+                });
                 return Ok(covering);
             }
             if let Some(cycle) = st.tree.find_deadlock_cycle() {
@@ -212,6 +311,7 @@ impl Runtime {
                 }
                 if victim == task {
                     lt.cv.notify_all();
+                    obs.deadlocks.inc();
                     return Err(TaskError::Deadlock);
                 }
                 st.aborted.insert(victim);
@@ -228,7 +328,14 @@ impl Runtime {
         let lt = self.locks();
         let mut st = lt.state.lock();
         st.tree.release_task(ctx.task_id());
-        for obj in ctx.take_covering() {
+        let covering = ctx.take_covering();
+        if !covering.is_empty() {
+            self.obs_handles().events.record(EventKind::LockReleased {
+                task: ctx.task_id().0,
+                objects: covering.len() as u64,
+            });
+        }
+        for obj in covering {
             st.tree.release_ref(obj);
         }
         st.aborted.remove(&ctx.task_id());

@@ -224,6 +224,14 @@ impl TaskCtx {
         } else {
             (None, None)
         };
+        if let Some(plan) = &rollback {
+            let obs = self.runtime.obs_handles();
+            obs.rollback_plans.inc();
+            obs.events.record(occam_obs::EventKind::RollbackPlanned {
+                task: self.task_id.0,
+                steps: plan.steps.len() as u64,
+            });
+        }
         TaskReport {
             task_id: self.task_id,
             name: self.name,

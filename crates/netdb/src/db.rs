@@ -11,6 +11,7 @@ use crate::error::{DbError, DbResult};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::value::AttrValue;
 use crate::wal::{Wal, WalRecord};
+use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry, Span};
 use occam_regex::Pattern;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -262,31 +263,91 @@ pub enum WriteOp {
     },
 }
 
+/// Observability handles for the database, bound to a [`Registry`] under
+/// the `netdb.*` names (DESIGN.md §9).
+#[derive(Clone, Debug)]
+struct DbObs {
+    queries: Counter,
+    query_ns: Histogram,
+    wal_appends: Counter,
+    wal_records: Counter,
+    wal_append_ns: Histogram,
+    events: EventRing,
+}
+
+impl DbObs {
+    fn bound(reg: &Registry) -> DbObs {
+        DbObs {
+            queries: reg.counter("netdb.queries"),
+            query_ns: reg.histogram("netdb.query_ns"),
+            wal_appends: reg.counter("netdb.wal.appends"),
+            wal_records: reg.counter("netdb.wal.records"),
+            wal_append_ns: reg.histogram("netdb.wal.append_ns"),
+            events: reg.events(),
+        }
+    }
+}
+
 /// The network database handle. Cheap to share behind an `Arc`.
 #[derive(Debug)]
 pub struct Database {
     store: RwLock<Store>,
     wal: Mutex<Wal>,
     faults: FaultInjector,
+    obs: DbObs,
+    obs_registry: Registry,
 }
 
 impl Database {
     /// Creates an empty database with no fault injection.
     pub fn new() -> Database {
+        Database::with_obs(&Registry::new())
+    }
+
+    /// Creates an empty database whose `netdb.*` instruments (query and
+    /// WAL-append latency histograms, query/append/record counters, WAL
+    /// events) are bound to `reg` — see DESIGN.md §9.
+    pub fn with_obs(reg: &Registry) -> Database {
         Database {
             store: RwLock::new(Store::default()),
             wal: Mutex::new(Wal::new()),
             faults: FaultInjector::default(),
+            obs: DbObs::bound(reg),
+            obs_registry: reg.clone(),
         }
     }
 
     /// Creates a database with the given fault-injection plan.
     pub fn with_faults(plan: FaultPlan) -> Database {
-        Database {
-            store: RwLock::new(Store::default()),
-            wal: Mutex::new(Wal::new()),
-            faults: FaultInjector::new(plan),
-        }
+        let mut db = Database::new();
+        db.faults = FaultInjector::new(plan);
+        db
+    }
+
+    /// The registry this database's instruments are bound to.
+    pub fn obs(&self) -> &Registry {
+        &self.obs_registry
+    }
+
+    /// Counts one public query and times it until the guard drops.
+    fn query_span(&self) -> Span {
+        self.obs.queries.inc();
+        Span::start(&self.obs.query_ns)
+    }
+
+    /// Appends one committed batch to the WAL, recording append latency,
+    /// record counts, and a `wal_append` event.
+    fn wal_append(&self, records: Vec<WalRecord>) -> u64 {
+        let n = records.len() as u64;
+        let span = Span::start(&self.obs.wal_append_ns);
+        let seq = self.wal.lock().append_batch(records);
+        span.finish();
+        self.obs.wal_appends.inc();
+        self.obs.wal_records.add(n);
+        self.obs
+            .events
+            .record(EventKind::WalAppend { records: n, seq });
+        seq
     }
 
     /// Replaces the fault-injection plan.
@@ -365,6 +426,7 @@ impl Database {
 
     /// Returns the names of devices matching `scope`, sorted.
     pub fn select_devices(&self, scope: &Pattern) -> DbResult<Vec<String>> {
+        let _q = self.query_span();
         self.guard()?;
         let store = self.store.read();
         Ok(Self::scoped(&store, scope)
@@ -375,6 +437,7 @@ impl Database {
     /// Returns `device → value` for one attribute across a scope; devices
     /// without the attribute are omitted.
     pub fn get_attr(&self, scope: &Pattern, attr: &str) -> DbResult<BTreeMap<String, AttrValue>> {
+        let _q = self.query_span();
         self.guard()?;
         let store = self.store.read();
         Ok(Self::scoped(&store, scope)
@@ -387,6 +450,7 @@ impl Database {
         &self,
         scope: &Pattern,
     ) -> DbResult<BTreeMap<String, BTreeMap<String, AttrValue>>> {
+        let _q = self.query_span();
         self.guard()?;
         let store = self.store.read();
         Ok(Self::scoped(&store, scope)
@@ -396,12 +460,14 @@ impl Database {
 
     /// Returns true if a device row exists.
     pub fn device_exists(&self, name: &str) -> DbResult<bool> {
+        let _q = self.query_span();
         self.guard()?;
         Ok(self.store.read().devices.contains_key(name))
     }
 
     /// Returns the links with at least one endpoint in scope, sorted by key.
     pub fn links_touching(&self, scope: &Pattern) -> DbResult<Vec<LinkKey>> {
+        let _q = self.query_span();
         self.guard()?;
         let store = self.store.read();
         Ok(store
@@ -419,6 +485,7 @@ impl Database {
         scope: &Pattern,
         attr: &str,
     ) -> DbResult<BTreeMap<LinkKey, AttrValue>> {
+        let _q = self.query_span();
         self.guard()?;
         let store = self.store.read();
         Ok(store
@@ -561,6 +628,7 @@ impl Database {
     /// current state (plus earlier ops in the batch), then all apply and the
     /// batch commits to the WAL; or none apply.
     pub fn batch(&self, ops: &[WriteOp]) -> DbResult<u64> {
+        let _q = self.query_span();
         self.guard()?;
         let mut store = self.store.write();
         Self::validate(&store, ops)?;
@@ -568,7 +636,7 @@ impl Database {
         for r in &records {
             store.apply(r);
         }
-        Ok(self.wal.lock().append_batch(records))
+        Ok(self.wal_append(records))
     }
 
     /// Inserts one device.
@@ -591,6 +659,7 @@ impl Database {
     pub fn set_attr(&self, scope: &Pattern, attr: &str, value: AttrValue) -> DbResult<Vec<String>> {
         // Read the scope and write the batch under one lock acquisition so
         // the query is atomic even against concurrent callers.
+        let _q = self.query_span();
         self.guard()?;
         let mut store = self.store.write();
         let names: Vec<String> = Self::scoped(&store, scope)
@@ -607,7 +676,7 @@ impl Database {
         for r in &records {
             store.apply(r);
         }
-        self.wal.lock().append_batch(records);
+        self.wal_append(records);
         Ok(names)
     }
 
@@ -667,6 +736,7 @@ impl Database {
         attr: &str,
         value: AttrValue,
     ) -> DbResult<Vec<LinkKey>> {
+        let _q = self.query_span();
         self.guard()?;
         let mut store = self.store.write();
         let keys: Vec<LinkKey> = store
@@ -687,7 +757,7 @@ impl Database {
         for r in &records {
             store.apply(r);
         }
-        self.wal.lock().append_batch(records);
+        self.wal_append(records);
         Ok(keys)
     }
 }

@@ -8,6 +8,7 @@
 //! probe for every syntactic variant of the same pair — in either order,
 //! thanks to [`Relation::flip`].
 
+use occam_obs::{Counter, Registry};
 use occam_regex::{Pattern, Relation};
 use std::collections::{HashMap, VecDeque};
 
@@ -48,6 +49,11 @@ pub struct RelationCache {
     order: VecDeque<(u128, u128)>,
     cap: usize,
     stats: RelCacheStats,
+    /// Registry-bound mirrors of `stats` (`objtree.relate_cache.*`); no-op
+    /// private counters unless built via [`RelationCache::with_obs`].
+    obs_hits: Counter,
+    obs_misses: Counter,
+    obs_evictions: Counter,
 }
 
 impl RelationCache {
@@ -63,7 +69,20 @@ impl RelationCache {
             order: VecDeque::new(),
             cap: cap.max(1),
             stats: RelCacheStats::default(),
+            obs_hits: Counter::new(),
+            obs_misses: Counter::new(),
+            obs_evictions: Counter::new(),
         }
+    }
+
+    /// A default-capacity cache whose `objtree.relate_cache.*` counters
+    /// are bound to `reg` (DESIGN.md §9).
+    pub fn with_obs(reg: &Registry) -> RelationCache {
+        let mut c = RelationCache::new();
+        c.obs_hits = reg.counter("objtree.relate_cache.hits");
+        c.obs_misses = reg.counter("objtree.relate_cache.misses");
+        c.obs_evictions = reg.counter("objtree.relate_cache.evictions");
+        c
     }
 
     /// Relates `a` to `b`, consulting the cache first.
@@ -76,21 +95,25 @@ impl RelationCache {
         let (fa, fb) = (a.fingerprint(), b.fingerprint());
         if fa == fb {
             self.stats.hits += 1;
+            self.obs_hits.inc();
             return Relation::Equal;
         }
         let flipped = fa > fb;
         let key = if flipped { (fb, fa) } else { (fa, fb) };
         if let Some(&rel) = self.map.get(&key) {
             self.stats.hits += 1;
+            self.obs_hits.inc();
             return if flipped { rel.flip() } else { rel };
         }
         self.stats.misses += 1;
+        self.obs_misses.inc();
         let rel = a.relate(b);
         let canonical = if flipped { rel.flip() } else { rel };
         if self.map.len() >= self.cap {
             if let Some(old) = self.order.pop_front() {
                 self.map.remove(&old);
                 self.stats.evictions += 1;
+                self.obs_evictions.inc();
             }
         }
         self.map.insert(key, canonical);

@@ -11,10 +11,35 @@
 
 use crate::relcache::{RelCacheStats, RelationCache};
 use crate::types::{LockMode, LockRequest, ObjectId, TaskId};
+use occam_obs::{Counter, Histogram, Registry};
 use occam_regex::{Pattern, Relation};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
+
+/// Observability handles for tree maintenance, bound to a [`Registry`]
+/// under the `objtree.*` names (DESIGN.md §9). Updated alongside
+/// [`TreeStats`], which remains the in-process accessor.
+#[derive(Clone, Debug, Default)]
+struct TreeObs {
+    inserts: Counter,
+    splits: Counter,
+    deletes: Counter,
+    insert_ns: Histogram,
+    delete_ns: Histogram,
+}
+
+impl TreeObs {
+    fn bound(reg: &Registry) -> TreeObs {
+        TreeObs {
+            inserts: reg.counter("objtree.inserts"),
+            splits: reg.counter("objtree.splits"),
+            deletes: reg.counter("objtree.deletes"),
+            insert_ns: reg.histogram("objtree.insert_ns"),
+            delete_ns: reg.histogram("objtree.delete_ns"),
+        }
+    }
+}
 
 /// A node in the object tree.
 #[derive(Clone, Debug)]
@@ -79,6 +104,9 @@ pub struct ObjTree {
     /// Fingerprint-keyed cache of region relations, shared by inserts and
     /// validation. Interior-mutable so `&self` queries can consult it.
     relcache: RefCell<RelationCache>,
+    /// Registry-bound instrument handles (a private registry by default;
+    /// see [`ObjTree::with_obs`]).
+    obs: TreeObs,
     /// Nodes that currently have at least one pending waiter, maintained
     /// incrementally by the lock layer so the scheduler's
     /// `objects_with_waiters` is O(answer) instead of O(tree).
@@ -94,6 +122,13 @@ impl ObjTree {
 
     /// Creates a tree with an explicit overlap-reconciliation mode.
     pub fn with_mode(mode: SplitMode) -> ObjTree {
+        ObjTree::with_obs(mode, &Registry::new())
+    }
+
+    /// Creates a tree whose `objtree.*` instruments (insert/split/delete
+    /// counters, maintenance latency histograms, relate-cache counters)
+    /// are bound to `reg` — see DESIGN.md §9 for the name contract.
+    pub fn with_obs(mode: SplitMode, reg: &Registry) -> ObjTree {
         let root_id = ObjectId(0);
         let mut nodes = HashMap::new();
         nodes.insert(
@@ -116,7 +151,8 @@ impl ObjTree {
             stats: TreeStats::default(),
             granted: HashMap::new(),
             waiting: HashMap::new(),
-            relcache: RefCell::new(RelationCache::new()),
+            relcache: RefCell::new(RelationCache::with_obs(reg)),
+            obs: TreeObs::bound(reg),
             waiter_idx: BTreeSet::new(),
         }
     }
@@ -262,6 +298,7 @@ impl ObjTree {
     pub fn insert_region(&mut self, region: &Pattern) -> Vec<ObjectId> {
         let start = std::time::Instant::now();
         self.stats.inserts += 1;
+        self.obs.inserts.inc();
         let mut covering = Vec::new();
         if region.is_universe() {
             // A task scoping the whole network locks the virtual root.
@@ -275,7 +312,9 @@ impl ObjTree {
                 .expect("covering node exists")
                 .refcount += 1;
         }
-        self.stats.insert_time += start.elapsed();
+        let dt = start.elapsed();
+        self.stats.insert_time += dt;
+        self.obs.insert_ns.record_duration(dt);
         covering
     }
 
@@ -322,6 +361,7 @@ impl ObjTree {
                             // remainder. Shrinking cannot create new
                             // overlaps, so the single pass stays valid.
                             self.stats.splits += 1;
+                            self.obs.splits.inc();
                             let inter = obj.intersect(&c_region);
                             self.insert_at(c, inter, covering);
                             obj = obj.subtract(&c_region);
@@ -405,7 +445,12 @@ impl ObjTree {
             self.stats.deletes += 1;
             true
         })();
-        self.stats.delete_time += start.elapsed();
+        if removed {
+            self.obs.deletes.inc();
+        }
+        let dt = start.elapsed();
+        self.stats.delete_time += dt;
+        self.obs.delete_ns.record_duration(dt);
         removed
     }
 

@@ -1,0 +1,322 @@
+//! Fixed-bucket log-scale latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding quantile error to one part in
+/// `2^SUB_BITS` of the value (≤ 12.5% here).
+const SUB_BITS: u32 = 3;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range: values `0..8` get one
+/// bucket each, then 61 octaves × 8 sub-buckets.
+pub const NUM_BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// A thread-safe log-scale histogram of `u64` samples (HDR-style).
+///
+/// Count, sum, min, and max are tracked exactly with atomics, so means and
+/// extrema are precise; quantiles ([`Histogram::quantile`]) resolve to the
+/// containing log-scale bucket (relative error ≤ `1/2^3`). Recording is
+/// lock-free (a handful of relaxed atomic RMWs) and cloning shares the
+/// underlying cells.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    inner: Arc<Cells>,
+}
+
+#[derive(Debug)]
+struct Cells {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Cells {
+    fn default() -> Cells {
+        Cells {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Maps a sample to its bucket index. Values below `SUB_BUCKETS` are exact;
+/// above that, the index is (octave, top `SUB_BITS` mantissa bits).
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as u64;
+    let sub = (v >> (exp - SUB_BITS as u64)) & (SUB_BUCKETS - 1);
+    ((exp - SUB_BITS as u64 + 1) * SUB_BUCKETS + sub) as usize
+}
+
+/// Smallest sample landing in bucket `idx` (inverse of [`bucket_index`]).
+pub(crate) fn bucket_lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let exp = idx / SUB_BUCKETS - 1 + SUB_BITS as u64;
+    let sub = idx % SUB_BUCKETS;
+    (1u64 << exp) + (sub << (exp - SUB_BITS as u64))
+}
+
+/// A representative value for bucket `idx`: its midpoint (exact for the
+/// unit-width buckets below `SUB_BUCKETS`).
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        return idx as u64;
+    }
+    let exp = idx as u64 / SUB_BUCKETS - 1 + SUB_BITS as u64;
+    let width = 1u64 << (exp - SUB_BITS as u64);
+    bucket_lower_bound(idx) + width / 2
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let c = &*self.inner;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact minimum sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.inner.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) resolved to the bucket midpoint
+    /// and clamped into `[min, max]`; 0 when empty. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; count, sum,
+    /// min, and max merge exactly).
+    pub fn merge_from(&self, other: &Histogram) {
+        let dst = &*self.inner;
+        let src = other.snapshot();
+        for (i, &n) in src.buckets.iter().enumerate() {
+            if n > 0 {
+                dst.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if src.count > 0 {
+            dst.count.fetch_add(src.count, Ordering::Relaxed);
+            dst.sum.fetch_add(src.sum, Ordering::Relaxed);
+            dst.min.fetch_min(src.min, Ordering::Relaxed);
+            dst.max.fetch_max(src.max, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the histogram state. Taken bucket by bucket
+    /// without a global lock, so under concurrent writes the totals may be
+    /// off by the handful of in-flight samples — fine for metrics readout.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &*self.inner;
+        let buckets: Vec<u64> = c
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = c.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                c.min.load(Ordering::Relaxed)
+            },
+            max: c.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Exact minimum (0 when empty).
+    pub min: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts (`NUM_BUCKETS` long).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), bucket-resolved and clamped into
+    /// `[min, max]`; 0 when empty. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_bound_agree_on_boundaries() {
+        for idx in 0..NUM_BUCKETS {
+            let lo = bucket_lower_bound(idx);
+            assert_eq!(bucket_index(lo), idx, "lower bound of bucket {idx}");
+            if lo > 0 {
+                assert_eq!(bucket_index(lo - 1), idx - 1, "below bucket {idx}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            let got = h.quantile(q);
+            assert!(got < 8, "q={q} -> {got}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.sum(), 28);
+    }
+
+    #[test]
+    fn mean_max_exact_quantile_bounded() {
+        let h = Histogram::new();
+        let vals = [100u64, 200, 300, 400, 1000, 2000, 50_000];
+        for &v in &vals {
+            h.record(v);
+        }
+        let sum: u64 = vals.iter().sum();
+        assert_eq!(h.sum(), sum);
+        assert_eq!(h.max(), 50_000);
+        assert_eq!(h.min(), 100);
+        let p50 = h.quantile(0.5);
+        // True median 400; bucket resolution is 12.5%.
+        assert!((350..=450).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in [1u64, 9, 77, 1024, 65_535] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 500, 8_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_totals() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.max(), 3999);
+        let bucket_total: u64 = h.snapshot().buckets.iter().sum();
+        assert_eq!(bucket_total, 4000);
+    }
+}

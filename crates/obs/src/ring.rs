@@ -1,0 +1,325 @@
+//! Bounded structured event ring buffer.
+
+use crate::json_escape;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default event capacity for a [`EventRing::new`] ring.
+const DEFAULT_CAP: usize = 4096;
+
+/// A structured runtime event, one of the paper-relevant lifecycle points:
+/// task submission/completion/abort, 2PL lock request/grant/release, WAL
+/// appends, and rollback-plan generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task entered the runtime.
+    TaskSubmitted {
+        /// Runtime task id.
+        task: u64,
+        /// Human-readable task name.
+        name: String,
+    },
+    /// A task committed.
+    TaskCompleted {
+        /// Runtime task id.
+        task: u64,
+    },
+    /// A task aborted (failure or deadlock victim).
+    TaskAborted {
+        /// Runtime task id.
+        task: u64,
+    },
+    /// A task requested locks on a region covering `objects` tree objects.
+    LockRequested {
+        /// Runtime task id.
+        task: u64,
+        /// Number of objects in the covering set.
+        objects: u64,
+        /// True for exclusive (X) mode, false for shared (S).
+        exclusive: bool,
+    },
+    /// All requested locks were granted after `wait_ns` of blocking.
+    LockGranted {
+        /// Runtime task id.
+        task: u64,
+        /// Number of objects granted.
+        objects: u64,
+        /// Wall-clock nanoseconds between request and full grant.
+        wait_ns: u64,
+    },
+    /// A task released its locks (strict 2PL: all at once, at the end).
+    LockReleased {
+        /// Runtime task id.
+        task: u64,
+        /// Number of objects released.
+        objects: u64,
+    },
+    /// A batch of records was appended to the database WAL.
+    WalAppend {
+        /// Data records in the batch (excluding the commit marker).
+        records: u64,
+        /// WAL sequence number of the commit marker.
+        seq: u64,
+    },
+    /// A rollback plan was generated from a failed task's typed log.
+    RollbackPlanned {
+        /// Runtime task id.
+        task: u64,
+        /// Number of steps in the generated plan.
+        steps: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name of the event type (the `event` column).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TaskSubmitted { .. } => "task_submitted",
+            EventKind::TaskCompleted { .. } => "task_completed",
+            EventKind::TaskAborted { .. } => "task_aborted",
+            EventKind::LockRequested { .. } => "lock_requested",
+            EventKind::LockGranted { .. } => "lock_granted",
+            EventKind::LockReleased { .. } => "lock_released",
+            EventKind::WalAppend { .. } => "wal_append",
+            EventKind::RollbackPlanned { .. } => "rollback_planned",
+        }
+    }
+
+    /// The event's payload as `key=value` TSV detail text.
+    fn detail_tsv(&self) -> String {
+        match self {
+            EventKind::TaskSubmitted { task, name } => format!("task={task} name={name}"),
+            EventKind::TaskCompleted { task } | EventKind::TaskAborted { task } => {
+                format!("task={task}")
+            }
+            EventKind::LockRequested {
+                task,
+                objects,
+                exclusive,
+            } => format!("task={task} objects={objects} exclusive={exclusive}"),
+            EventKind::LockGranted {
+                task,
+                objects,
+                wait_ns,
+            } => format!("task={task} objects={objects} wait_ns={wait_ns}"),
+            EventKind::LockReleased { task, objects } => format!("task={task} objects={objects}"),
+            EventKind::WalAppend { records, seq } => format!("records={records} seq={seq}"),
+            EventKind::RollbackPlanned { task, steps } => format!("task={task} steps={steps}"),
+        }
+    }
+
+    /// The event's payload as JSON object fields (no braces).
+    fn fields_json(&self) -> String {
+        match self {
+            EventKind::TaskSubmitted { task, name } => {
+                format!("\"task\":{task},\"name\":\"{}\"", json_escape(name))
+            }
+            EventKind::TaskCompleted { task } | EventKind::TaskAborted { task } => {
+                format!("\"task\":{task}")
+            }
+            EventKind::LockRequested {
+                task,
+                objects,
+                exclusive,
+            } => format!("\"task\":{task},\"objects\":{objects},\"exclusive\":{exclusive}"),
+            EventKind::LockGranted {
+                task,
+                objects,
+                wait_ns,
+            } => format!("\"task\":{task},\"objects\":{objects},\"wait_ns\":{wait_ns}"),
+            EventKind::LockReleased { task, objects } => {
+                format!("\"task\":{task},\"objects\":{objects}")
+            }
+            EventKind::WalAppend { records, seq } => format!("\"records\":{records},\"seq\":{seq}"),
+            EventKind::RollbackPlanned { task, steps } => {
+                format!("\"task\":{task},\"steps\":{steps}")
+            }
+        }
+    }
+}
+
+/// One recorded event: a monotone sequence number, nanoseconds since the
+/// ring's creation, and the structured payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone per-ring sequence number (gap-free across drops).
+    pub seq: u64,
+    /// Nanoseconds since the ring was created (monotonic clock).
+    pub at_ns: u64,
+    /// The structured payload.
+    pub kind: EventKind,
+}
+
+/// A bounded, thread-safe ring of [`Event`]s.
+///
+/// When full, recording a new event drops the oldest one and counts it in
+/// [`EventRing::dropped`]; sequence numbers keep increasing so consumers
+/// can detect the gap. Cloning shares the ring.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    inner: Arc<RingInner>,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    cap: usize,
+    epoch: Instant,
+    state: Mutex<RingState>,
+}
+
+#[derive(Debug)]
+struct RingState {
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<Event>,
+}
+
+impl EventRing {
+    /// A ring with the default capacity (4096 events).
+    pub fn new() -> EventRing {
+        EventRing::with_capacity(DEFAULT_CAP)
+    }
+
+    /// A ring bounded to `cap` events (min 1).
+    pub fn with_capacity(cap: usize) -> EventRing {
+        let cap = cap.max(1);
+        EventRing {
+            inner: Arc::new(RingInner {
+                cap,
+                epoch: Instant::now(),
+                state: Mutex::new(RingState {
+                    next_seq: 0,
+                    dropped: 0,
+                    events: VecDeque::with_capacity(cap),
+                }),
+            }),
+        }
+    }
+
+    /// Records an event, returning its sequence number. Evicts the oldest
+    /// event when the ring is at capacity.
+    pub fn record(&self, kind: EventKind) -> u64 {
+        let at_ns = u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut st = self.inner.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        if st.events.len() == self.inner.cap {
+            st.events.pop_front();
+            st.dropped += 1;
+        }
+        st.events.push_back(Event { seq, at_ns, kind });
+        seq
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of buffered events.
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
+
+    /// Number of events evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.state.lock().dropped
+    }
+
+    /// Total events ever recorded (buffered + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.inner.state.lock().next_seq
+    }
+
+    /// The buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.state.lock().events.iter().cloned().collect()
+    }
+
+    /// The buffered events as TSV: a header line, then
+    /// `seq \t at_ns \t event \t detail` rows (detail is `key=value` pairs).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("seq\tat_ns\tevent\tdetail\n");
+        for e in self.snapshot() {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}",
+                e.seq,
+                e.at_ns,
+                e.kind.name(),
+                e.kind.detail_tsv()
+            );
+        }
+        out
+    }
+
+    /// The buffered events as a JSON array of objects, oldest first.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"at_ns\":{},\"event\":\"{}\",{}}}",
+                e.seq,
+                e.at_ns,
+                e.kind.name(),
+                e.kind.fields_json()
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_and_ordered() {
+        let r = EventRing::with_capacity(3);
+        for t in 0..5 {
+            r.record(EventKind::TaskCompleted { task: t });
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+        let seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn export_shapes() {
+        let r = EventRing::new();
+        r.record(EventKind::TaskSubmitted {
+            task: 1,
+            name: "drain \"pod\"".into(),
+        });
+        r.record(EventKind::WalAppend { records: 3, seq: 9 });
+        let tsv = r.to_tsv();
+        assert!(tsv.starts_with("seq\tat_ns\tevent\tdetail\n"));
+        assert!(tsv.contains("task_submitted"));
+        assert!(tsv.contains("records=3 seq=9"));
+        let json = r.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"event\":\"wal_append\""));
+        assert!(json.contains("drain \\\"pod\\\""), "{json}");
+    }
+}

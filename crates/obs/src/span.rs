@@ -1,0 +1,89 @@
+//! RAII span timing over monotonic clocks.
+
+use crate::Histogram;
+use std::time::{Duration, Instant};
+
+/// A lightweight span: starts a monotonic clock on construction and
+/// records the elapsed nanoseconds into its [`Histogram`] when dropped
+/// (or explicitly via [`Span::finish`]).
+///
+/// ```
+/// let h = occam_obs::Histogram::new();
+/// {
+///     let _span = occam_obs::Span::start(&h);
+///     // ... timed section ...
+/// }
+/// assert_eq!(h.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    hist: Option<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span that will record into `hist`.
+    pub fn start(hist: &Histogram) -> Span {
+        Span {
+            hist: Some(hist.clone()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed so far, without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span now, records it, and returns the elapsed time.
+    pub fn finish(mut self) -> Duration {
+        let dt = self.start.elapsed();
+        if let Some(h) = self.hist.take() {
+            h.record_duration(dt);
+        }
+        dt
+    }
+
+    /// Abandons the span without recording anything.
+    pub fn cancel(mut self) {
+        self.hist = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Histogram::new();
+        {
+            let _s = Span::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_elapsed() {
+        let h = Histogram::new();
+        let s = Span::start(&h);
+        let dt = s.finish();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() as u128 >= dt.as_nanos() / 2);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Histogram::new();
+        Span::start(&h).cancel();
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the observability instruments: histogram bucket
+//! boundaries and quantile laws, merge equivalence, and event-ring
+//! bounding/ordering under concurrent writers.
+
+use occam_obs::{EventKind, EventRing, Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..16,                           // exact unit buckets
+            16u64..1_000,                       // small latencies
+            1_000u64..10_000_000,               // µs..ms range
+            (0u32..63).prop_map(|e| 1u64 << e), // bucket boundaries
+            Just(u64::MAX),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// count/sum/min/max are exact, and every quantile lies inside
+    /// `[min, max]` within one bucket of the true (sorted) quantile.
+    #[test]
+    fn histogram_totals_exact_quantiles_bounded(samples in arb_samples()) {
+        let h = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &samples {
+            h.record(v);
+            sum += v as u128;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        // The histogram's sum saturates at u64::MAX only if the true sum does.
+        if sum <= u64::MAX as u128 {
+            prop_assert_eq!(h.sum(), sum as u64);
+        }
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let got = h.quantile(q);
+            prop_assert!(got >= h.min() && got <= h.max(), "q={} -> {}", q, got);
+            // Relative error vs the true quantile is within one bucket
+            // (1/8 of the value) in either direction.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let lo = truth.saturating_sub(truth / 8 + 1);
+            let hi = truth.saturating_add(truth / 8 + 1);
+            prop_assert!(got >= lo && got <= hi,
+                "q={} got={} truth={}", q, got, truth);
+        }
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_monotone(samples in arb_samples()) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let cur = snap.quantile(q);
+            prop_assert!(cur >= prev, "q={} {} < {}", q, cur, prev);
+            prev = cur;
+        }
+    }
+
+    /// Merging two histograms is indistinguishable from recording all
+    /// samples into one.
+    #[test]
+    fn histogram_merge_equivalence(xs in arb_samples(), ys in arb_samples()) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        prop_assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    /// Bucket counts always total the sample count, and no sample lands
+    /// outside the fixed bucket range.
+    #[test]
+    fn histogram_buckets_conserve_count(samples in arb_samples()) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets.len(), NUM_BUCKETS);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), samples.len() as u64);
+    }
+
+    /// The ring never exceeds its capacity, keeps events in sequence
+    /// order, and accounts for every drop.
+    #[test]
+    fn ring_bounded_and_ordered(cap in 1usize..16, n in 0u64..64) {
+        let r = EventRing::with_capacity(cap);
+        for t in 0..n {
+            r.record(EventKind::TaskCompleted { task: t });
+        }
+        prop_assert!(r.len() <= cap);
+        prop_assert_eq!(r.len() as u64 + r.dropped(), n);
+        prop_assert_eq!(r.recorded(), n);
+        let snap = r.snapshot();
+        for w in snap.windows(2) {
+            prop_assert_eq!(w[1].seq, w[0].seq + 1);
+            prop_assert!(w[1].at_ns >= w[0].at_ns);
+        }
+        if let Some(last) = snap.last() {
+            prop_assert_eq!(last.seq, n - 1);
+        }
+    }
+}
+
+/// Concurrent writers: every record is counted exactly once (buffered or
+/// dropped), sequence numbers stay unique, and buffered events remain
+/// ordered.
+#[test]
+fn ring_concurrent_writers() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 500;
+    let r = EventRing::with_capacity(256);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let r = r.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    r.record(EventKind::TaskSubmitted {
+                        task: t * PER_THREAD + i,
+                        name: format!("writer{t}"),
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(r.recorded(), THREADS * PER_THREAD);
+    assert_eq!(r.len() as u64 + r.dropped(), THREADS * PER_THREAD);
+    let snap = r.snapshot();
+    for w in snap.windows(2) {
+        assert!(w[1].seq > w[0].seq, "sequence must be strictly increasing");
+    }
+}
+
+/// Concurrent histogram writers: totals conserved across threads.
+#[test]
+fn histogram_concurrent_writers() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 2000;
+    let h = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * 1_000_000 + i);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    assert_eq!(
+        h.snapshot().buckets.iter().sum::<u64>(),
+        THREADS * PER_THREAD
+    );
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), (THREADS - 1) * 1_000_000 + PER_THREAD - 1);
+}

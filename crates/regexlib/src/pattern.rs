@@ -135,8 +135,8 @@ impl Pattern {
     /// A stable 128-bit fingerprint of the *language* (not the source
     /// string): equivalent patterns fingerprint identically, regardless of
     /// how they were written or derived. Computed lazily from the canonical
-    /// minimal DFA and memoized in the shared [`Inner`], so clones and
-    /// cache hits pay nothing.
+    /// minimal DFA and memoized in the pattern's shared inner state, so
+    /// clones and cache hits pay nothing.
     pub fn fingerprint(&self) -> u128 {
         *self
             .inner

@@ -133,10 +133,12 @@ fn emit_step(step: &Step, out: &mut Vec<UndoStep>) {
             for &e in db.iter().rev() {
                 out.push(UndoStep::RevertDb { entry: e });
             }
-            if push.is_some() && !db.is_empty() {
-                out.push(UndoStep::PushCfg {
-                    db_entries: db.clone(),
-                });
+            if let Some(p) = push {
+                // A bare push (no preceding DB writes) still changed device
+                // state, so the undo must re-push from the database; its
+                // device list comes from the push entry itself.
+                let db_entries = if db.is_empty() { vec![*p] } else { db.clone() };
+                out.push(UndoStep::PushCfg { db_entries });
             }
         }
         // P4: r(offline) = DRAIN -> r(seq) -> UNDRAIN (devices must be

@@ -3,6 +3,7 @@
 
 use crate::space::LockSpace;
 use occam_objtree::{LockMode, LockRequest, ObjectId, RelCacheStats, TaskId};
+use occam_obs::{Counter, Histogram, Registry};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -80,17 +81,33 @@ pub struct Scheduler<O = ObjectId> {
     wait_wt: WaitList<O>,
     /// Runnable read-request scratch list (reused).
     wait_rd: WaitList<O>,
+    /// Registry-bound mirror of `stats.invocations` (`sched.invocations`).
+    obs_invocations: Counter,
+    /// Registry-bound mirror of `stats.grants` (`sched.grants`).
+    obs_grants: Counter,
+    /// Per-invocation wall time in nanoseconds (`sched.invocation_ns`).
+    obs_invocation_ns: Histogram,
 }
 
 impl<O: Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug> Scheduler<O> {
-    /// Creates a scheduler with the given policy.
+    /// Creates a scheduler with the given policy and a private registry.
     pub fn new(policy: Policy) -> Scheduler<O> {
+        Scheduler::with_obs(policy, &Registry::new())
+    }
+
+    /// Creates a scheduler whose `sched.*` instruments (invocation and
+    /// grant counters, per-invocation latency histogram) are bound to
+    /// `reg` — see DESIGN.md §9 for the name contract.
+    pub fn with_obs(policy: Policy, reg: &Registry) -> Scheduler<O> {
         Scheduler {
             policy,
             stats: SchedStats::default(),
             grants: Vec::new(),
             wait_wt: Vec::new(),
             wait_rd: Vec::new(),
+            obs_invocations: reg.counter("sched.invocations"),
+            obs_grants: reg.counter("sched.grants"),
+            obs_invocation_ns: reg.histogram("sched.invocation_ns"),
         }
     }
 
@@ -101,6 +118,7 @@ impl<O: Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug> Scheduler<O> {
     pub fn sched<S: LockSpace<Obj = O>>(&mut self, space: &mut S) -> &[Grant<O>] {
         let start = Instant::now();
         self.stats.invocations += 1;
+        self.obs_invocations.inc();
         self.grants.clear();
         // LDSF: dependency sets are computed once per invocation (Figure 5
         // line 8).
@@ -155,11 +173,13 @@ impl<O: Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug> Scheduler<O> {
             }
         }
         self.stats.grants += self.grants.len() as u64;
+        self.obs_grants.add(self.grants.len() as u64);
         self.stats.relate_cache = space.relate_cache_stats();
         let dt = start.elapsed();
         self.stats.total_time += dt;
         self.stats.last_time = dt;
         self.stats.max_time = self.stats.max_time.max(dt);
+        self.obs_invocation_ns.record_duration(dt);
         &self.grants
     }
 

@@ -9,6 +9,7 @@
 
 use crate::flatspace::FlatSpace;
 use occam_objtree::{LockMode, ObjTree, ObjectId, SplitMode, TaskId, TreeStats};
+use occam_obs::{Counter, Histogram, Registry};
 use occam_regex::PatternCache;
 use occam_sched::{LockSpace, Policy, SchedStats, Scheduler};
 use occam_topology::ProductionScheme;
@@ -109,6 +110,9 @@ pub struct SimResult {
     pub tree_stats: Option<TreeStats>,
     /// Deadlock cycles broken by abort-and-retry.
     pub deadlocks_broken: u64,
+    /// The run's observability registry: the shared `objtree.*` / `sched.*`
+    /// instruments plus the simulator's own `sim.*` family (DESIGN.md §9).
+    pub obs: Registry,
 }
 
 impl SimResult {
@@ -410,8 +414,11 @@ impl Ord for HeapItem {
     }
 }
 
-/// Runs one simulation.
+/// Runs one simulation. Each run gets a fresh [`Registry`] (returned as
+/// [`SimResult::obs`]) shared by the object tree, the scheduler, and the
+/// simulator's own virtual-time instruments.
 pub fn run(cfg: &SimConfig, tasks: &[TaskSpec]) -> SimResult {
+    let reg = Registry::new();
     match cfg.granularity {
         Granularity::Dc => run_generic(
             DcSpace {
@@ -420,6 +427,7 @@ pub fn run(cfg: &SimConfig, tasks: &[TaskSpec]) -> SimResult {
             },
             cfg.policy,
             tasks,
+            reg,
         ),
         Granularity::Device => run_generic(
             DevSpace {
@@ -428,17 +436,46 @@ pub fn run(cfg: &SimConfig, tasks: &[TaskSpec]) -> SimResult {
             },
             cfg.policy,
             tasks,
+            reg,
         ),
         Granularity::Object => run_generic(
             ObjSpace {
-                tree: ObjTree::with_mode(cfg.split_mode),
+                tree: ObjTree::with_obs(cfg.split_mode, &reg),
                 scheme: cfg.scheme,
                 cache: PatternCache::new(4096),
                 covering: HashMap::new(),
             },
             cfg.policy,
             tasks,
+            reg,
         ),
+    }
+}
+
+/// The simulator's own instruments, registered as the `sim.*` family.
+/// Virtual-time histograms use milli-hours (`_mh`) so whole-number samples
+/// survive the integer encoding at the precision the figures print.
+struct SimObs {
+    queue_depth: Histogram,
+    active_objects: Histogram,
+    tasks_completed: Counter,
+    tasks_zero_wait: Counter,
+    deadlocks_broken: Counter,
+    task_completion_mh: Histogram,
+    task_waiting_mh: Histogram,
+}
+
+impl SimObs {
+    fn bound(reg: &Registry) -> SimObs {
+        SimObs {
+            queue_depth: reg.histogram("sim.queue_depth"),
+            active_objects: reg.histogram("sim.active_objects"),
+            tasks_completed: reg.counter("sim.tasks.completed"),
+            tasks_zero_wait: reg.counter("sim.tasks.zero_wait"),
+            deadlocks_broken: reg.counter("sim.deadlocks_broken"),
+            task_completion_mh: reg.histogram("sim.task_completion_mh"),
+            task_waiting_mh: reg.histogram("sim.task_waiting_mh"),
+        }
     }
 }
 
@@ -453,12 +490,21 @@ struct TaskState {
     arrival_seq: u64,
 }
 
-fn run_generic<S: SimSpace>(mut space: S, policy: Policy, tasks: &[TaskSpec]) -> SimResult
+fn run_generic<S: SimSpace>(
+    mut space: S,
+    policy: Policy,
+    tasks: &[TaskSpec],
+    reg: Registry,
+) -> SimResult
 where
     S::Obj: Copy,
 {
-    let mut scheduler = Scheduler::new(policy);
-    let mut result = SimResult::default();
+    let obs = SimObs::bound(&reg);
+    let mut scheduler = Scheduler::with_obs(policy, &reg);
+    let mut result = SimResult {
+        obs: reg,
+        ..SimResult::default()
+    };
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<HeapItem>, seq: &mut u64, time: f64, event: Event| {
@@ -523,6 +569,7 @@ where
                         None => break,
                     };
                     result.deadlocks_broken += 1;
+                    obs.deadlocks_broken.inc();
                     let i = idx(v);
                     states[i].retries += 1;
                     states[i].granted = 0;
@@ -542,6 +589,7 @@ where
                         &mut started,
                         &mut pending_completions,
                         &mut result,
+                        &obs,
                     );
                 }
                 if started == before && heap.is_empty() {
@@ -596,13 +644,22 @@ where
                 states[i].completed = true;
                 completed += 1;
                 space.finish(tid(i));
-                result.outcomes.push(TaskOutcome {
+                let outcome = TaskOutcome {
                     id: tasks[i].id,
                     arrival: tasks[i].arrival,
                     start: states[i].started.expect("completed implies started"),
                     completion: now,
                     retries: states[i].retries,
-                });
+                };
+                obs.tasks_completed.inc();
+                obs.task_completion_mh
+                    .record((outcome.completion_time() * 1000.0).round() as u64);
+                obs.task_waiting_mh
+                    .record((outcome.waiting() * 1000.0).round() as u64);
+                if outcome.waiting() < 1e-9 {
+                    obs.tasks_zero_wait.inc();
+                }
+                result.outcomes.push(outcome);
             }
         }
         run_sched_round(
@@ -616,10 +673,11 @@ where
             &mut started,
             &mut pending_completions,
             &mut result,
+            &obs,
         );
-        result
-            .queue_timeline
-            .push((now, arrived - started.min(arrived)));
+        let depth = arrived - started.min(arrived);
+        obs.queue_depth.record(depth as u64);
+        result.queue_timeline.push((now, depth));
     }
 
     result.outcomes.sort_by_key(|o| o.id);
@@ -640,6 +698,7 @@ fn run_sched_round<S: SimSpace>(
     started: &mut usize,
     pending_completions: &mut usize,
     result: &mut SimResult,
+    obs: &SimObs,
 ) {
     let grants = scheduler.sched(space);
     space.after_sched();
@@ -661,7 +720,9 @@ fn run_sched_round<S: SimSpace>(
     // The grant slice borrows the scheduler's scratch buffer; read the
     // per-invocation stats only after it is consumed.
     result.sched_durations.push(scheduler.stats.last_time);
-    result.active_objects.push(space.active_object_count());
+    let active = space.active_object_count();
+    obs.active_objects.record(active as u64);
+    result.active_objects.push(active);
 }
 
 /// Chooses the deadlock victim: a member of a waits-for cycle if one

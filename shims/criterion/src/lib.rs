@@ -2,7 +2,7 @@
 //!
 //! The build container has no crates.io access, so this shim provides the
 //! subset the workspace's benches use: [`Criterion::bench_function`],
-//! [`Bencher::iter`] / [`iter_batched`] / [`iter_batched_ref`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`] / [`Bencher::iter_batched_ref`],
 //! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
 //! macros. Each benchmark runs a short calibration pass, then a fixed
 //! measurement pass, and prints the mean wall-clock time per iteration —

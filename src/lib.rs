@@ -15,6 +15,8 @@
 //! - [`sched`] — FIFO/LDSF lock scheduling.
 //! - [`rollback`] — Table 1 grammar and plan generation.
 //! - [`regex`] — the regex/automata engine for region scopes.
+//! - [`obs`] — counters, histograms, spans, and the event ring
+//!   (metrics contract in `DESIGN.md` §9).
 //! - [`sim`] — the at-scale discrete-event simulator.
 //! - [`workload`] — Meta-shaped trace synthesis.
 //!
@@ -27,6 +29,7 @@ pub use occam_core as core;
 pub use occam_emunet as emunet;
 pub use occam_netdb as netdb;
 pub use occam_objtree as objtree;
+pub use occam_obs as obs;
 pub use occam_regex as regex;
 pub use occam_rollback as rollback;
 pub use occam_sched as sched;
@@ -44,6 +47,9 @@ pub use occam_core::{
 /// in-process device service.
 ///
 /// This is the standard harness used by the examples and case studies.
+/// The database and the runtime share one [`obs::Registry`], so
+/// `runtime.obs()` carries the whole stack's `netdb.*` / `objtree.*` /
+/// `sched.*` / `core.*` instruments (contract in `DESIGN.md` §9).
 ///
 /// # Examples
 ///
@@ -52,11 +58,13 @@ pub use occam_core::{
 /// assert_eq!(ft.all_switches().len(), 4 + 8 + 8);
 /// let report = runtime.run_task("noop", |_| Ok(()));
 /// assert_eq!(report.state, occam::TaskState::Completed);
+/// assert_eq!(runtime.obs().counter_value("core.tasks.completed"), 1);
 /// ```
 pub fn emulated_deployment(dc: u32, k: u32) -> (occam_core::Runtime, occam_topology::FatTree) {
     use std::sync::Arc;
+    let reg = occam_obs::Registry::new();
     let ft = occam_topology::FatTree::build(dc, k).expect("valid fat-tree arity");
-    let db = Arc::new(occam_netdb::Database::new());
+    let db = Arc::new(occam_netdb::Database::with_obs(&reg));
     for (_, d) in ft
         .topo
         .devices()
@@ -99,7 +107,8 @@ pub fn emulated_deployment(dc: u32, k: u32) -> (occam_core::Runtime, occam_topol
     let service = Arc::new(occam_emunet::EmuService::new(
         occam_emunet::EmuNet::from_fattree(&ft),
     ));
-    (occam_core::Runtime::new(db, service), ft)
+    let runtime = occam_core::Runtime::with_obs(db, service, occam_sched::Policy::Ldsf, &reg);
+    (runtime, ft)
 }
 
 /// Reaches the emulator service behind a runtime built by

@@ -1,0 +1,332 @@
+//! Load generator for the occam-gateway service frontend.
+//!
+//! Opens `clients` concurrent TCP connections and drives a mixed
+//! management workload with Meta-shaped arrivals (the Poisson/log-normal
+//! trace model from `occam-workload`, compressed onto a wall-clock
+//! window). Writes `BENCH_gateway.json` with throughput, end-to-end
+//! latency percentiles, and admission/loss accounting read back from the
+//! shared observability registry.
+//!
+//! By default the gateway runs in-process on an ephemeral port — that
+//! mode also *asserts* the service invariants: zero lost tasks (every
+//! accepted ticket reaches a terminal phase) and a bounded worker count
+//! (threads spawned == configured pool size, never one per task).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p occam-bench --bin gateway_loadgen \
+//!     [clients] [tasks_per_client] [pool_size] [queue_cap] [window_ms]
+//! # defaults: 32 8 8 48 1500; window_ms 0 = submit everything at once
+//! # (a burst guaranteed to exercise Busy backpressure)
+//!
+//! cargo run --release -p occam-bench --bin gateway_loadgen shutdown [addr]
+//! # sends one SHUTDOWN frame to a running gateway_serve
+//! ```
+
+use occam_gateway::{Engine, EngineConfig, GatewayClient, GatewayServer, SubmitReply, WirePhase};
+use occam_workload::{synthesize, TraceConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Hard budget for the whole run; exceeded only on a service hang.
+const RUN_BUDGET: Duration = Duration::from_secs(120);
+
+/// One planned submission: `(arrival offset, workflow, scope, urgent,
+/// params)`.
+type Submission = (Duration, &'static str, String, bool, Vec<(String, String)>);
+
+/// One client's share of the workload.
+struct ClientPlan {
+    submissions: Vec<Submission>,
+}
+
+#[derive(Default)]
+struct ClientTally {
+    accepted: u64,
+    busy_retries: u64,
+    rejected: u64,
+    completed: u64,
+    aborted: u64,
+    cancelled: u64,
+    lost: u64,
+}
+
+fn build_plans(
+    clients: usize,
+    tasks_per_client: usize,
+    k: u32,
+    window: Duration,
+) -> Vec<ClientPlan> {
+    let total = clients * tasks_per_client;
+    let trace = synthesize(&TraceConfig {
+        num_tasks: total,
+        ..TraceConfig::default()
+    });
+    let last_arrival = trace.last().map(|t| t.arrival).unwrap_or(1.0).max(1e-9);
+    let mut plans: Vec<ClientPlan> = (0..clients)
+        .map(|_| ClientPlan {
+            submissions: Vec::with_capacity(tasks_per_client),
+        })
+        .collect();
+    for spec in &trace {
+        // Compress trace hours onto the wall-clock window, preserving the
+        // Poisson arrival shape.
+        let offset = window.mul_f64(spec.arrival / last_arrival);
+        let pod = (spec.id % k as u64) as u32;
+        let scope = format!("dc01.pod{pod:02}.*");
+        let (workflow, params): (&'static str, Vec<(String, String)>) = if !spec.write {
+            ("status_audit", vec![])
+        } else {
+            match spec.id % 3 {
+                0 => (
+                    "config_push",
+                    vec![("generation".into(), format!("gen-{}", spec.id))],
+                ),
+                1 => (
+                    "firmware_upgrade",
+                    vec![("version".into(), format!("fw-2.{}", spec.id))],
+                ),
+                _ => ("device_maintenance", vec![]),
+            }
+        };
+        plans[(spec.id as usize) % clients].submissions.push((
+            offset,
+            workflow,
+            scope,
+            spec.urgent,
+            params,
+        ));
+    }
+    plans
+}
+
+fn run_client(addr: &str, plan: ClientPlan, start: Instant) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let mut client = GatewayClient::connect(addr).expect("connect to gateway");
+    let mut tickets: Vec<u64> = Vec::with_capacity(plan.submissions.len());
+    for (offset, workflow, scope, urgent, params) in plan.submissions {
+        if let Some(gap) = offset.checked_sub(start.elapsed()) {
+            std::thread::sleep(gap);
+        }
+        loop {
+            match client
+                .submit(workflow, &scope, urgent, &params)
+                .expect("submit roundtrip")
+            {
+                SubmitReply::Accepted(t) => {
+                    tally.accepted += 1;
+                    tickets.push(t);
+                    break;
+                }
+                SubmitReply::Busy(retry_after_ms) => {
+                    // The admission contract: shed now, retry after the
+                    // hint. The load generator honors it verbatim.
+                    tally.busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                SubmitReply::Rejected(code, msg) => {
+                    eprintln!("rejected {workflow} on {scope}: {code:?} {msg}");
+                    tally.rejected += 1;
+                    break;
+                }
+            }
+        }
+    }
+    // Poll every accepted ticket to a terminal phase.
+    for ticket in tickets {
+        loop {
+            if start.elapsed() > RUN_BUDGET {
+                tally.lost += 1;
+                break;
+            }
+            let (phase, _detail) = client.status(ticket).expect("status roundtrip");
+            match phase {
+                WirePhase::Completed => {
+                    tally.completed += 1;
+                    break;
+                }
+                WirePhase::Aborted => {
+                    tally.aborted += 1;
+                    break;
+                }
+                WirePhase::Cancelled => {
+                    tally.cancelled += 1;
+                    break;
+                }
+                WirePhase::Unknown => {
+                    tally.lost += 1;
+                    break;
+                }
+                WirePhase::Queued | WirePhase::Running => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+    tally
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("shutdown") {
+        let addr = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7421".into());
+        let mut client = GatewayClient::connect(&addr).expect("connect to gateway");
+        client.shutdown().expect("shutdown roundtrip");
+        println!("gateway at {addr} acknowledged shutdown");
+        return;
+    }
+    let clients: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let tasks_per_client: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let pool_size: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let queue_cap: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let window = Duration::from_millis(args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1500));
+    let k: u32 = 6;
+
+    let (runtime, _ft) = occam::emulated_deployment(1, k);
+    let engine = Engine::new(
+        runtime,
+        EngineConfig {
+            pool_size,
+            queue_cap,
+            ..EngineConfig::default()
+        },
+    );
+    let mut server =
+        GatewayServer::start(engine, "127.0.0.1:0").expect("bind ephemeral gateway port");
+    let addr = server.local_addr().to_string();
+    println!(
+        "gateway on {addr}: {clients} clients x {tasks_per_client} tasks \
+         (pool={pool_size}, queue_cap={queue_cap})"
+    );
+
+    let plans = build_plans(clients, tasks_per_client, k, window);
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                let addr = addr.clone();
+                s.spawn(move || run_client(&addr, plan, start))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut total = ClientTally::default();
+    for t in &tallies {
+        total.accepted += t.accepted;
+        total.busy_retries += t.busy_retries;
+        total.rejected += t.rejected;
+        total.completed += t.completed;
+        total.aborted += t.aborted;
+        total.cancelled += t.cancelled;
+        total.lost += t.lost;
+    }
+    let stats = server.engine().runtime().pool_stats();
+    let reg = server.engine().runtime().obs().clone();
+    server.shutdown();
+
+    let submitted = (clients * tasks_per_client) as u64;
+    let throughput = total.completed as f64 / wall.as_secs_f64();
+    let e2e = reg.histogram_snapshot("gateway.e2e_ns");
+    let queue_wait = reg.histogram_snapshot("gateway.queue_wait_ns");
+    let pct = |snap: &Option<occam::obs::HistogramSnapshot>, q: f64| -> u64 {
+        snap.as_ref().map(|s| s.quantile(q)).unwrap_or(0)
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"clients\": {clients}, \"tasks_per_client\": {tasks_per_client}, \
+         \"pool_size\": {pool_size}, \"queue_cap\": {queue_cap}, \"fat_tree_k\": {k}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"totals\": {{\"submitted\": {submitted}, \"accepted\": {}, \"busy_retries\": {}, \
+         \"rejected\": {}, \"completed\": {}, \"aborted\": {}, \"cancelled\": {}, \"lost\": {}}},",
+        total.accepted,
+        total.busy_retries,
+        total.rejected,
+        total.completed,
+        total.aborted,
+        total.cancelled,
+        total.lost
+    );
+    let _ = writeln!(
+        json,
+        "  \"pool\": {{\"size\": {}, \"spawned\": {}, \"peak_active\": {}, \"executed\": {}}},",
+        stats.size, stats.spawned, stats.peak_active, stats.executed
+    );
+    let _ = writeln!(
+        json,
+        "  \"wall_secs\": {:.3},\n  \"throughput_tasks_per_sec\": {:.1},",
+        wall.as_secs_f64(),
+        throughput
+    );
+    let _ = writeln!(
+        json,
+        "  \"e2e_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"count\": {}}},",
+        pct(&e2e, 0.50),
+        pct(&e2e, 0.90),
+        pct(&e2e, 0.99),
+        e2e.as_ref().map(|s| s.count).unwrap_or(0)
+    );
+    let _ = writeln!(
+        json,
+        "  \"queue_wait_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},",
+        pct(&queue_wait, 0.50),
+        pct(&queue_wait, 0.90),
+        pct(&queue_wait, 0.99)
+    );
+    let _ = writeln!(
+        json,
+        "  \"gateway_counters\": {{\"frames_rx\": {}, \"frames_tx\": {}, \"conn_opened\": {}, \
+         \"conn_closed\": {}, \"proto_errors\": {}}}",
+        reg.counter_value("gateway.frames.rx"),
+        reg.counter_value("gateway.frames.tx"),
+        reg.counter_value("gateway.conn.opened"),
+        reg.counter_value("gateway.conn.closed"),
+        reg.counter_value("gateway.proto.errors")
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_gateway.json", &json).expect("write BENCH_gateway.json");
+
+    println!(
+        "completed {}/{} ({} aborted, {} cancelled, {} busy retries) in {:.2}s — {:.1} tasks/s",
+        total.completed,
+        submitted,
+        total.aborted,
+        total.cancelled,
+        total.busy_retries,
+        wall.as_secs_f64(),
+        throughput
+    );
+    println!(
+        "e2e latency p50/p90/p99: {:.2}/{:.2}/{:.2} ms",
+        pct(&e2e, 0.50) as f64 / 1e6,
+        pct(&e2e, 0.90) as f64 / 1e6,
+        pct(&e2e, 0.99) as f64 / 1e6
+    );
+    println!("wrote BENCH_gateway.json");
+
+    // Service invariants (CI smoke relies on a nonzero exit here).
+    assert_eq!(
+        total.lost, 0,
+        "lost tasks: accepted tickets never went terminal"
+    );
+    assert_eq!(
+        total.rejected, 0,
+        "unexpected typed rejections during steady state"
+    );
+    assert!(
+        stats.spawned <= pool_size,
+        "worker pool exceeded its bound: spawned {} > pool_size {pool_size}",
+        stats.spawned
+    );
+    assert!(total.completed > 0, "no tasks completed");
+}

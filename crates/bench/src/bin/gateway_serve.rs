@@ -1,0 +1,55 @@
+//! Serves an emulated deployment over the gateway wire protocol.
+//!
+//! Builds a `k`-ary Fat-tree with a seeded database (the standard
+//! harness from `occam::emulated_deployment`), fronts it with the
+//! admission-controlled gateway engine, and listens for clients until
+//! one of them sends SHUTDOWN — then drains in-flight work and exits.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p occam-bench --bin gateway_serve \
+//!     [addr] [pool_size] [queue_cap] [k]
+//! # defaults: 127.0.0.1:7421  8  64  6
+//! ```
+
+use occam_gateway::{Engine, EngineConfig, GatewayServer};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7421".into());
+    let pool_size: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let queue_cap: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let k: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    let (runtime, ft) = occam::emulated_deployment(1, k);
+    let engine = Engine::new(
+        runtime,
+        EngineConfig {
+            pool_size,
+            queue_cap,
+            ..EngineConfig::default()
+        },
+    );
+    let mut server = GatewayServer::start(engine, &addr).expect("bind gateway address");
+    println!(
+        "occam-gateway serving {} switches on {} (pool={pool_size}, queue_cap={queue_cap})",
+        ft.all_switches().len(),
+        server.local_addr()
+    );
+    println!(
+        "send a SHUTDOWN frame (`gateway_loadgen shutdown <addr>`, or GatewayClient::shutdown) to stop"
+    );
+
+    server.wait_shutdown_requested();
+    println!("shutdown requested; draining in-flight work");
+    server.shutdown();
+
+    let reg = server.engine().runtime().obs();
+    println!(
+        "served {} frames, completed {} tasks, rejected {} submissions",
+        reg.counter_value("gateway.frames.rx"),
+        reg.counter_value("gateway.tasks.completed"),
+        reg.counter_value("gateway.submit.rejected"),
+    );
+}

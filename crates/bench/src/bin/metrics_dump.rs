@@ -7,7 +7,11 @@
 //!   and deliberately-aborted tasks — covering the `core.*`, `netdb.*`,
 //!   `objtree.*`, and `sched.*` families plus the structured event ring;
 //! - `sim`: one Object-granularity simulation run — covering `sim.*` and
-//!   the simulator's shared `objtree.*` / `sched.*` instruments.
+//!   the simulator's shared `objtree.*` / `sched.*` instruments;
+//! - `gateway`: an in-process gateway server driven over real TCP —
+//!   covering the `gateway.*` family (submissions, admission, frames,
+//!   connections, latency histograms) plus the runtime's cancellation
+//!   and panic-containment counters.
 //!
 //! The binary fails loudly if any contract name is missing from the dump,
 //! so drift between DESIGN.md §9 and the code is caught by running it.
@@ -50,6 +54,28 @@ const RUNTIME_NAMES: &[&str] = &[
     "sched.invocations",
     "sched.grants",
     "sched.invocation_ns",
+];
+
+/// The §9 families the gateway registry must carry (on top of the
+/// runtime families, which share the same registry).
+const GATEWAY_NAMES: &[&str] = &[
+    "gateway.submit.accepted",
+    "gateway.submit.rejected",
+    "gateway.submit.unknown",
+    "gateway.tasks.completed",
+    "gateway.tasks.aborted",
+    "gateway.tasks.cancelled",
+    "gateway.cancel.requests",
+    "gateway.conn.opened",
+    "gateway.conn.closed",
+    "gateway.frames.rx",
+    "gateway.frames.tx",
+    "gateway.proto.errors",
+    "gateway.queue_wait_ns",
+    "gateway.e2e_ns",
+    "gateway.queue_depth",
+    "core.tasks.cancelled",
+    "core.task.panicked",
 ];
 
 /// The §9 families the simulation registry must carry.
@@ -131,9 +157,79 @@ fn exercise_runtime() -> occam::Runtime {
     runtime
 }
 
+/// Drives a full gateway round over TCP: accepted work, a typed
+/// rejection, a cancellation, a contained panic, and a garbage frame.
+fn exercise_gateway() -> occam::obs::Registry {
+    use occam_gateway::{Engine, EngineConfig, GatewayClient, GatewayServer, SubmitReply};
+
+    let (runtime, _ft) = occam::emulated_deployment(1, 4);
+    // A contained panic: the worker survives and `core.task.panicked`
+    // lands in the shared registry. Hook silenced so the induced panic
+    // does not spray a backtrace over the report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = runtime
+        .submit_pooled("panicky", |_| panic!("induced panic"))
+        .wait();
+    std::panic::set_hook(hook);
+    assert_eq!(report.state, occam::TaskState::Aborted);
+    // A pre-cancelled task: `core.tasks.cancelled`.
+    let token = occam::core::CancelToken::new();
+    token.cancel();
+    runtime
+        .submit_pooled_opts("cancelled", false, token, |_| Ok(()))
+        .wait();
+
+    let engine = Engine::new(runtime, EngineConfig::default());
+    let mut server = GatewayServer::start(engine, "127.0.0.1:0").expect("bind gateway");
+    let addr = server.local_addr().to_string();
+
+    let mut client = GatewayClient::connect(&addr).expect("connect");
+    let SubmitReply::Accepted(ticket) = client
+        .submit("device_maintenance", "dc01.pod00.*", false, &[])
+        .expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    loop {
+        let (phase, _) = client.status(ticket).expect("status");
+        if phase.is_terminal() {
+            break;
+        }
+    }
+    assert!(matches!(
+        client.submit("no_such_workflow", "dc01.*", false, &[]),
+        Ok(SubmitReply::Rejected(..))
+    ));
+    client.cancel(ticket).expect("cancel roundtrip");
+    assert!(!client.list().expect("list").is_empty());
+
+    // A garbage frame: the server answers with a typed error and counts
+    // it under `gateway.proto.errors`.
+    {
+        use std::io::Write as _;
+        let mut raw = std::net::TcpStream::connect(&addr).expect("connect raw");
+        raw.write_all(&5u32.to_be_bytes()).expect("len");
+        raw.write_all(&[0xEE, 1, 2, 3, 4]).expect("body");
+        raw.flush().expect("flush");
+        let mut resp = Vec::new();
+        use std::io::Read as _;
+        let _ = raw.read_to_end(&mut resp);
+        assert!(!resp.is_empty(), "expected a typed error frame back");
+    }
+
+    let reg = server.engine().runtime().obs().clone();
+    server.shutdown();
+    assert!(reg.counter_value("gateway.proto.errors") >= 1);
+    reg
+}
+
 fn main() {
     let runtime = exercise_runtime();
     check_contract("runtime", runtime.obs(), RUNTIME_NAMES);
+
+    let gateway_reg = exercise_gateway();
+    check_contract("gateway", &gateway_reg, GATEWAY_NAMES);
 
     let trace = synthesize(&TraceConfig {
         num_tasks: 300,
@@ -157,6 +253,8 @@ fn main() {
     out.push_str(&runtime.obs().events().to_json());
     out.push_str(",\n  \"sim\": ");
     out.push_str(&r.obs.to_json());
+    out.push_str(",\n  \"gateway\": ");
+    out.push_str(&gateway_reg.to_json());
     out.push_str("\n}\n");
     std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");

@@ -15,6 +15,14 @@ pub enum TaskError {
     Scope(ParseError),
     /// The task was chosen as a deadlock victim and must be re-executed.
     Deadlock,
+    /// The task was cooperatively cancelled (gateway `CANCEL`, operator
+    /// abort). Observed at the next task checkpoint — lock acquisition or
+    /// any stateful operation.
+    Cancelled,
+    /// The management program panicked; the panic was contained by the
+    /// runtime and converted into this failed report (counter
+    /// `core.task.panicked`).
+    Panicked(String),
     /// A `set()`/`apply()` was attempted on a read-mode network object.
     ReadOnlyObject {
         /// The offending scope.
@@ -31,6 +39,8 @@ impl std::fmt::Display for TaskError {
             TaskError::Device(e) => write!(f, "device operation error: {e}"),
             TaskError::Scope(e) => write!(f, "invalid scope: {e}"),
             TaskError::Deadlock => write!(f, "aborted as deadlock victim; re-execute the task"),
+            TaskError::Cancelled => write!(f, "task cancelled at a checkpoint"),
+            TaskError::Panicked(msg) => write!(f, "management program panicked: {msg}"),
             TaskError::ReadOnlyObject { scope } => {
                 write!(f, "stateful operation on read-mode object {scope}")
             }

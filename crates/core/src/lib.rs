@@ -58,6 +58,7 @@
 
 pub mod error;
 pub mod network;
+pub mod pool;
 pub mod queue;
 pub mod recovery;
 pub mod runtime;
@@ -66,10 +67,11 @@ pub mod task;
 pub use error::{TaskError, TaskResult};
 pub use network::Network;
 pub use occam_rollback::RollbackPlan;
+pub use pool::{PoolStats, PooledHandle};
 pub use queue::{TaskQueue, Ticket};
 pub use recovery::{execute_rollback, RecoveryError};
 pub use runtime::Runtime;
-pub use task::{TaskCtx, TaskReport, TaskState, UndoRecord};
+pub use task::{CancelToken, TaskCtx, TaskReport, TaskState, UndoRecord};
 
 #[cfg(test)]
 pub(crate) mod test_support {

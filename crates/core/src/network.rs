@@ -62,6 +62,7 @@ impl<'t> Network<'t> {
 
     /// The device names currently in the region (from the database).
     pub fn devices(&self) -> TaskResult<Vec<String>> {
+        self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
         Ok(self.ctx.runtime().db().select_devices(&self.pattern)?)
     }
@@ -69,12 +70,14 @@ impl<'t> Network<'t> {
     /// Reads one attribute for every device in the region: the paper's
     /// `get()`, returning a dictionary keyed on device ids.
     pub fn get(&self, attr: &str) -> TaskResult<BTreeMap<String, AttrValue>> {
+        self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
         Ok(self.ctx.runtime().db().get_attr(&self.pattern, attr)?)
     }
 
     /// Reads the full attribute map of every device in the region.
     pub fn get_all(&self) -> TaskResult<BTreeMap<String, BTreeMap<String, AttrValue>>> {
+        self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
         Ok(self.ctx.runtime().db().get_all(&self.pattern)?)
     }
@@ -82,6 +85,7 @@ impl<'t> Network<'t> {
     /// Reads one attribute across the links touching the region; link keys
     /// are `(a_end, z_end)` pairs, as in the paper's link-status example.
     pub fn get_links(&self, attr: &str) -> TaskResult<BTreeMap<LinkKey, AttrValue>> {
+        self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
         Ok(self.ctx.runtime().db().get_link_attr(&self.pattern, attr)?)
     }
@@ -90,6 +94,7 @@ impl<'t> Network<'t> {
     /// `set()`. Returns the devices written. Logged as `DB_CHANGE` with the
     /// overwritten values for rollback.
     pub fn set(&self, attr: &str, value: AttrValue) -> TaskResult<Vec<String>> {
+        self.ctx.check_cancelled()?;
         self.require_write("set")?;
         self.ctx.runtime().obs_handles().ops_set.inc();
         let db = self.ctx.runtime().db();
@@ -153,6 +158,7 @@ impl<'t> Network<'t> {
         values: &BTreeMap<String, AttrValue>,
         attr: &str,
     ) -> TaskResult<()> {
+        self.ctx.check_cancelled()?;
         self.require_write("set_per_device")?;
         self.ctx.runtime().obs_handles().ops_set.inc();
         for d in values.keys() {
@@ -199,6 +205,7 @@ impl<'t> Network<'t> {
     /// Writes one attribute on every link touching the region. Logged as
     /// `DB_CHANGE`.
     pub fn set_links(&self, attr: &str, value: AttrValue) -> TaskResult<Vec<LinkKey>> {
+        self.ctx.check_cancelled()?;
         self.require_write("set_links")?;
         self.ctx.runtime().obs_handles().ops_set.inc();
         let db = self.ctx.runtime().db();
@@ -243,6 +250,7 @@ impl<'t> Network<'t> {
     ///
     /// Logged as `DB_CHANGE`; rollback deletes the row again.
     pub fn insert_device(&self, name: &str, attrs: Vec<(String, AttrValue)>) -> TaskResult<()> {
+        self.ctx.check_cancelled()?;
         self.require_write("insert_device")?;
         self.ctx.runtime().obs_handles().ops_set.inc();
         if !self.pattern.matches(name) {
@@ -286,6 +294,7 @@ impl<'t> Network<'t> {
     /// Logged as `DB_CHANGE`; rollback re-inserts the row with its
     /// attributes and links.
     pub fn remove_device(&self, name: &str) -> TaskResult<()> {
+        self.ctx.check_cancelled()?;
         self.require_write("remove_device")?;
         self.ctx.runtime().obs_handles().ops_set.inc();
         if !self.pattern.matches(name) {
@@ -349,6 +358,7 @@ impl<'t> Network<'t> {
 
     /// `apply` with function arguments.
     pub fn apply_with(&self, func: &str, args: &FuncArgs) -> TaskResult<String> {
+        self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_apply.inc();
         self.require_write("apply")?;
         let devices = self.devices()?;

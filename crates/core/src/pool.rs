@@ -1,0 +1,469 @@
+//! The runtime's bounded worker pool: the service-grade replacement for
+//! spawn-per-task submission.
+//!
+//! [`Runtime::submit`] spawns one unbounded OS thread per task, which is
+//! fine for tests but not for a shared management-plane service where many
+//! operators submit long-running workflows concurrently. The pool runs
+//! tasks on at most `pool_size` lazily-spawned worker threads; excess
+//! submissions wait in a FIFO queue (urgent submissions in a fast lane
+//! polled first, matching the scheduler's urgent lock priority).
+//!
+//! The pool deliberately does **not** reject work — admission control
+//! (bounding the queue and answering `Busy`) belongs to the layer in
+//! front of the runtime (see the `occam-gateway` crate), which watches
+//! [`PoolStats::queued`] and applies its own cap.
+//!
+//! Worker threads hold only the shared pool state, never the runtime
+//! (each job closure captures its own `Runtime` clone), so dropping the
+//! last external `Runtime` handle shuts the workers down.
+
+use crate::error::TaskResult;
+use crate::runtime::Runtime;
+use crate::task::{CancelToken, TaskCtx, TaskReport};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between a runtime and its pool workers.
+pub(crate) struct PoolShared {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+struct PoolState {
+    size: usize,
+    normal: VecDeque<Job>,
+    urgent: VecDeque<Job>,
+    idle: usize,
+    spawned: usize,
+    active: usize,
+    peak_active: usize,
+    executed: u64,
+    shutdown: bool,
+}
+
+impl PoolShared {
+    fn with_size(size: usize) -> Arc<PoolShared> {
+        Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                size: size.max(1),
+                normal: VecDeque::new(),
+                urgent: VecDeque::new(),
+                idle: 0,
+                spawned: 0,
+                active: 0,
+                peak_active: 0,
+                executed: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Tells every worker to exit once the queue is empty. Called from
+    /// `Inner::drop`, i.e. when no external `Runtime` handle remains.
+    pub(crate) fn shutdown_now(&self) {
+        self.state.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    fn enqueue(self: &Arc<Self>, job: Job, urgent: bool) {
+        let spawn_worker = {
+            let mut st = self.state.lock();
+            if st.shutdown {
+                // Only reachable if a job is enqueued while the last
+                // runtime handle is dropping; run it inline for
+                // correctness rather than losing it.
+                drop(st);
+                job();
+                return;
+            }
+            if urgent {
+                st.urgent.push_back(job);
+            } else {
+                st.normal.push_back(job);
+            }
+            if st.idle == 0 && st.spawned < st.size {
+                st.spawned += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if spawn_worker {
+            let shared = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("occam-pool-worker".into())
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        self.cv.notify_one();
+    }
+
+    fn stats(&self) -> PoolStats {
+        let st = self.state.lock();
+        PoolStats {
+            size: st.size,
+            spawned: st.spawned,
+            active: st.active,
+            peak_active: st.peak_active,
+            queued: st.normal.len() + st.urgent.len(),
+            executed: st.executed,
+        }
+    }
+
+    fn drain(&self) {
+        let mut st = self.state.lock();
+        while st.active > 0 || !st.normal.is_empty() || !st.urgent.is_empty() {
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(j) = st.urgent.pop_front().or_else(|| st.normal.pop_front()) {
+                    st.active += 1;
+                    st.peak_active = st.peak_active.max(st.active);
+                    break j;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st.idle += 1;
+                shared.cv.wait(&mut st);
+                st.idle -= 1;
+            }
+        };
+        // Panics inside the job would silently kill this worker and wedge
+        // `drain`; run_task already contains program panics, so this only
+        // guards bookkeeping bugs in submit wrappers.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        {
+            let mut st = shared.state.lock();
+            st.active -= 1;
+            st.executed += 1;
+        }
+        // Wake queued-job pollers and `drain` waiters.
+        shared.cv.notify_all();
+    }
+}
+
+/// A point-in-time snapshot of the worker pool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Maximum worker threads the pool will ever spawn.
+    pub size: usize,
+    /// Worker threads spawned so far (lazily, never exceeds `size`).
+    pub spawned: usize,
+    /// Jobs currently executing.
+    pub active: usize,
+    /// High-water mark of concurrently-executing jobs.
+    pub peak_active: usize,
+    /// Jobs admitted but not yet started.
+    pub queued: usize,
+    /// Jobs finished (completed, aborted, or cancelled).
+    pub executed: u64,
+}
+
+#[derive(Default)]
+struct HandleShared {
+    slot: Mutex<Option<TaskReport>>,
+    cv: Condvar,
+}
+
+/// A handle to a task submitted through [`Runtime::submit_pooled`].
+///
+/// Unlike a `JoinHandle`, waiting never propagates panics — the runtime
+/// converts program panics into failed reports.
+#[derive(Clone)]
+pub struct PooledHandle {
+    shared: Arc<HandleShared>,
+}
+
+impl PooledHandle {
+    fn new() -> PooledHandle {
+        PooledHandle {
+            shared: Arc::new(HandleShared::default()),
+        }
+    }
+
+    fn fill(&self, report: TaskReport) {
+        *self.shared.slot.lock() = Some(report);
+        self.shared.cv.notify_all();
+    }
+
+    /// Blocks until the task reaches a terminal state; returns its report.
+    pub fn wait(&self) -> TaskReport {
+        let mut g = self.shared.slot.lock();
+        loop {
+            if let Some(r) = g.as_ref() {
+                return r.clone();
+            }
+            self.shared.cv.wait(&mut g);
+        }
+    }
+
+    /// The report, if the task has already finished (non-blocking).
+    pub fn try_report(&self) -> Option<TaskReport> {
+        self.shared.slot.lock().clone()
+    }
+
+    /// Whether the task has reached a terminal state.
+    pub fn is_done(&self) -> bool {
+        self.shared.slot.lock().is_some()
+    }
+}
+
+impl Runtime {
+    fn pool_shared(&self) -> Arc<PoolShared> {
+        let mut slot = self.pool_slot().lock();
+        slot.get_or_insert_with(|| {
+            let size = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4);
+            PoolShared::with_size(size)
+        })
+        .clone()
+    }
+
+    /// Sets the worker-pool size before the pool starts. Returns `false`
+    /// (and changes nothing) if the pool already exists — size is fixed
+    /// for the lifetime of the runtime. Defaults to the machine's
+    /// available parallelism when never configured.
+    pub fn configure_pool(&self, size: usize) -> bool {
+        let mut slot = self.pool_slot().lock();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(PoolShared::with_size(size));
+        true
+    }
+
+    /// Runs `job` on the worker pool. `urgent` jobs take the fast lane
+    /// (dequeued before ordinary ones). The job receives the runtime and
+    /// is expected to run exactly one task; this is the primitive under
+    /// [`Runtime::submit_pooled`], exposed for frontends (the gateway)
+    /// that need their own bookkeeping around task execution.
+    pub fn spawn_pooled<F>(&self, urgent: bool, job: F)
+    where
+        F: FnOnce(&Runtime) + Send + 'static,
+    {
+        let rt = self.clone();
+        self.pool_shared()
+            .enqueue(Box::new(move || job(&rt)), urgent);
+    }
+
+    /// Submits a management program to the bounded worker pool: at most
+    /// `pool_size` tasks run concurrently ([`Runtime::configure_pool`]);
+    /// the rest wait in FIFO order. This is the preferred submission path
+    /// for service-style callers — unlike [`Runtime::submit`] it never
+    /// spawns per-task threads.
+    pub fn submit_pooled<F>(&self, name: &str, program: F) -> PooledHandle
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
+    {
+        self.submit_pooled_opts(name, false, CancelToken::new(), program)
+    }
+
+    /// Like [`Runtime::submit_pooled`] with an urgent flag (pool fast lane
+    /// plus scheduler urgent priority) and a cancellation token observed
+    /// at task checkpoints.
+    pub fn submit_pooled_opts<F>(
+        &self,
+        name: &str,
+        urgent: bool,
+        cancel: CancelToken,
+        program: F,
+    ) -> PooledHandle
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
+    {
+        let handle = PooledHandle::new();
+        let filler = handle.clone();
+        let name = name.to_string();
+        self.spawn_pooled(urgent, move |rt| {
+            filler.fill(rt.run_task_cancellable(&name, urgent, cancel, program));
+        });
+        handle
+    }
+
+    /// A snapshot of the worker pool (all zeros if it never started).
+    pub fn pool_stats(&self) -> PoolStats {
+        let slot = self.pool_slot().lock();
+        slot.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Blocks until the worker pool is quiescent: no queued and no active
+    /// jobs. Used for graceful drain-then-shutdown. New submissions during
+    /// the wait extend it; stop submitting first.
+    pub fn drain_pool(&self) {
+        let pool = {
+            let slot = self.pool_slot().lock();
+            slot.clone()
+        };
+        if let Some(pool) = pool {
+            pool.drain();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskState;
+    use crate::TaskError;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pooled_submissions_complete_and_bound_threads() {
+        // The satellite regression: many queued submissions must never
+        // create more than `pool_size` runner threads.
+        let rt = crate::test_support::tiny_runtime();
+        assert!(rt.configure_pool(4));
+        assert!(!rt.configure_pool(8), "size is fixed once created");
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..10_000u32 {
+            let ran = Arc::clone(&ran);
+            handles.push(rt.submit_pooled(&format!("t{i}"), move |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }));
+        }
+        for h in &handles {
+            assert_eq!(h.wait().state, TaskState::Completed);
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 10_000);
+        // `executed` increments after the handle fills; drain first so the
+        // bookkeeping for the last job has landed.
+        rt.drain_pool();
+        let stats = rt.pool_stats();
+        assert_eq!(stats.size, 4);
+        assert!(stats.spawned <= 4, "spawned {} workers", stats.spawned);
+        assert!(stats.peak_active <= 4, "peak {}", stats.peak_active);
+        assert_eq!(stats.executed, 10_000);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn urgent_jobs_take_the_fast_lane() {
+        let rt = crate::test_support::tiny_runtime();
+        assert!(rt.configure_pool(1));
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        // Occupy the single worker so the next two submissions queue.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let blocker = rt.submit_pooled("blocker", move |_| {
+            let (l, c) = &*g;
+            let mut open = l.lock();
+            while !*open {
+                c.wait(&mut open);
+            }
+            Ok(())
+        });
+        // Wait until the blocker actually occupies the worker.
+        while rt.pool_stats().active == 0 {
+            std::thread::yield_now();
+        }
+        let o1 = Arc::clone(&order);
+        let normal = rt.submit_pooled("normal", move |_| {
+            o1.lock().push("normal");
+            Ok(())
+        });
+        let o2 = Arc::clone(&order);
+        let urgent = rt.submit_pooled_opts("urgent", true, CancelToken::new(), move |_| {
+            o2.lock().push("urgent");
+            Ok(())
+        });
+        {
+            let (l, c) = &*gate;
+            *l.lock() = true;
+            c.notify_all();
+        }
+        blocker.wait();
+        normal.wait();
+        urgent.wait();
+        assert_eq!(*order.lock(), vec!["urgent", "normal"]);
+    }
+
+    #[test]
+    fn cancelled_before_start_never_runs_program() {
+        let rt = crate::test_support::tiny_runtime();
+        assert!(rt.configure_pool(2));
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        let h = rt.submit_pooled_opts("cancelled-early", false, token, move |_| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let report = h.wait();
+        assert_eq!(report.state, TaskState::Aborted);
+        assert!(matches!(report.error, Some(TaskError::Cancelled)));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "program must not run");
+        assert_eq!(rt.obs().counter_value("core.tasks.cancelled"), 1);
+    }
+
+    #[test]
+    fn cancel_unblocks_task_waiting_for_lock() {
+        let rt = crate::test_support::tiny_runtime();
+        assert!(rt.configure_pool(2));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let holder = rt.submit_pooled("holder", move |ctx| {
+            let _net = ctx.network("dc01.pod00.*")?;
+            let (l, c) = &*g;
+            let mut open = l.lock();
+            while !*open {
+                c.wait(&mut open);
+            }
+            Ok(())
+        });
+        // Second task blocks on the same region.
+        let token = CancelToken::new();
+        let waiter = rt.submit_pooled_opts("waiter", false, token.clone(), |ctx| {
+            let _net = ctx.network("dc01.pod00.*")?;
+            Ok(())
+        });
+        // Let the waiter actually block, then cancel it.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        token.cancel();
+        rt.wake_lock_waiters();
+        let report = waiter.wait();
+        assert_eq!(report.state, TaskState::Aborted);
+        assert!(matches!(report.error, Some(TaskError::Cancelled)));
+        // The holder is unaffected.
+        {
+            let (l, c) = &*gate;
+            *l.lock() = true;
+            c.notify_all();
+        }
+        assert_eq!(holder.wait().state, TaskState::Completed);
+        assert_eq!(rt.active_objects(), 0, "cancelled task released its refs");
+    }
+
+    #[test]
+    fn worker_survives_panicking_program() {
+        let rt = crate::test_support::tiny_runtime();
+        assert!(rt.configure_pool(1));
+        let bad = rt.submit_pooled("bad", |_| panic!("boom in program"));
+        let report = bad.wait();
+        assert_eq!(report.state, TaskState::Aborted);
+        match &report.error {
+            Some(TaskError::Panicked(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(rt.obs().counter_value("core.task.panicked"), 1);
+        // The same (single) worker runs the next job fine.
+        let good = rt.submit_pooled("good", |_| Ok(()));
+        assert_eq!(good.wait().state, TaskState::Completed);
+        assert!(rt.pool_stats().spawned <= 1);
+    }
+}

@@ -9,7 +9,8 @@
 //! together at commit or abort.
 
 use crate::error::{TaskError, TaskResult};
-use crate::task::{TaskCtx, TaskReport, TaskState};
+use crate::pool::PoolShared;
+use crate::task::{CancelToken, TaskCtx, TaskReport, TaskState};
 use occam_emunet::DeviceService;
 use occam_netdb::Database;
 use occam_objtree::{ObjTree, ObjectId, SplitMode, TaskId};
@@ -30,6 +31,8 @@ pub(crate) struct CoreObs {
     pub tasks_submitted: Counter,
     pub tasks_completed: Counter,
     pub tasks_aborted: Counter,
+    pub tasks_cancelled: Counter,
+    pub task_panicked: Counter,
     pub task_wall_ns: Histogram,
     pub lock_acquires: Counter,
     pub lock_wait_ns: Histogram,
@@ -48,6 +51,8 @@ impl CoreObs {
             tasks_submitted: reg.counter("core.tasks.submitted"),
             tasks_completed: reg.counter("core.tasks.completed"),
             tasks_aborted: reg.counter("core.tasks.aborted"),
+            tasks_cancelled: reg.counter("core.tasks.cancelled"),
+            task_panicked: reg.counter("core.task.panicked"),
             task_wall_ns: reg.histogram("core.task_wall_ns"),
             lock_acquires: reg.counter("core.lock.acquires"),
             lock_wait_ns: reg.histogram("core.lock_wait_ns"),
@@ -74,7 +79,7 @@ pub(crate) struct LockTable {
     pub cv: Condvar,
 }
 
-struct Inner {
+pub(crate) struct Inner {
     db: Arc<Database>,
     service: Arc<dyn DeviceService>,
     locks: LockTable,
@@ -82,6 +87,20 @@ struct Inner {
     next_task: AtomicU64,
     seq: AtomicU64,
     obs: CoreObs,
+    /// Lazily-started bounded worker pool ([`Runtime::submit_pooled`]).
+    pub(crate) pool: Mutex<Option<Arc<PoolShared>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Worker threads hold only the `PoolShared`, never the `Inner`
+        // (jobs capture a `Runtime` clone, but a queued job keeps `Inner`
+        // alive, so by the time we get here the queue is empty). Tell them
+        // to exit.
+        if let Some(pool) = self.pool.get_mut().take() {
+            pool.shutdown_now();
+        }
+    }
 }
 
 /// The Occam runtime handle. Cheap to clone; all clones share state.
@@ -132,8 +151,13 @@ impl Runtime {
                 next_task: AtomicU64::new(1),
                 seq: AtomicU64::new(0),
                 obs: CoreObs::bound(reg),
+                pool: Mutex::new(None),
             }),
         }
+    }
+
+    pub(crate) fn pool_slot(&self) -> &Mutex<Option<Arc<PoolShared>>> {
+        &self.inner.pool
     }
 
     /// The registry this runtime's instruments are bound to.
@@ -195,6 +219,29 @@ impl Runtime {
     where
         F: FnOnce(&TaskCtx) -> TaskResult<()>,
     {
+        self.run_task_cancellable(name, urgent, CancelToken::new(), program)
+    }
+
+    /// Like [`Runtime::run_task_opts`], observing `cancel` at task
+    /// checkpoints (lock acquisition and stateful operations): a cancelled
+    /// task aborts with [`TaskError::Cancelled`], releases its locks, and
+    /// gets a rollback suggestion for work already done. A token cancelled
+    /// before the task starts aborts it without running the program.
+    ///
+    /// Panics inside `program` are contained: the task aborts with
+    /// [`TaskError::Panicked`] (counter `core.task.panicked`) instead of
+    /// unwinding into the calling thread, so one bad program cannot take
+    /// down a worker or a joining caller.
+    pub fn run_task_cancellable<F>(
+        &self,
+        name: &str,
+        urgent: bool,
+        cancel: CancelToken,
+        program: F,
+    ) -> TaskReport
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()>,
+    {
         let id = TaskId(self.inner.next_task.fetch_add(1, Ordering::Relaxed));
         let obs = self.obs_handles();
         obs.tasks_submitted.inc();
@@ -202,8 +249,18 @@ impl Runtime {
             task: id.0,
             name: name.to_string(),
         });
-        let ctx = TaskCtx::new(self.clone(), id, name.to_string(), urgent);
-        let result = program(&ctx);
+        let ctx = TaskCtx::new(self.clone(), id, name.to_string(), urgent, cancel);
+        let result = if ctx.cancel_token().is_cancelled() {
+            Err(TaskError::Cancelled)
+        } else {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| program(&ctx))) {
+                Ok(r) => r,
+                Err(payload) => {
+                    obs.task_panicked.inc();
+                    Err(TaskError::Panicked(panic_message(payload.as_ref())))
+                }
+            }
+        };
         self.teardown(&ctx);
         let report = ctx.into_report(match result {
             Ok(()) => (TaskState::Completed, None),
@@ -216,6 +273,9 @@ impl Runtime {
                 obs.events.record(EventKind::TaskCompleted { task: id.0 });
             }
             _ => {
+                if matches!(report.error, Some(TaskError::Cancelled)) {
+                    obs.tasks_cancelled.inc();
+                }
                 obs.tasks_aborted.inc();
                 obs.events.record(EventKind::TaskAborted { task: id.0 });
             }
@@ -225,6 +285,12 @@ impl Runtime {
 
     /// Spawns a management program on its own thread; the handle yields the
     /// report.
+    ///
+    /// **Deprecated pattern**: this spawns one unbounded OS thread per
+    /// task and offers no backpressure. Service-style callers (many
+    /// concurrent submitters, e.g. the `occam-gateway` frontend) should
+    /// use [`Runtime::submit_pooled`], which runs tasks on a fixed worker
+    /// pool. `submit` remains for tests and one-shot tooling.
     pub fn submit<F>(&self, name: &str, program: F) -> std::thread::JoinHandle<TaskReport>
     where
         F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
@@ -235,6 +301,11 @@ impl Runtime {
     }
 
     /// Like [`Runtime::submit`] with the urgent flag.
+    ///
+    /// **Deprecated pattern**: spawns an unbounded thread; prefer
+    /// [`Runtime::submit_pooled_opts`] with `urgent = true`, which maps
+    /// onto the pool's urgent fast lane *and* the scheduler's urgent
+    /// priority.
     pub fn submit_urgent<F>(&self, name: &str, program: F) -> std::thread::JoinHandle<TaskReport>
     where
         F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
@@ -242,6 +313,14 @@ impl Runtime {
         let rt = self.clone();
         let name = name.to_string();
         std::thread::spawn(move || rt.run_task_opts(&name, true, program))
+    }
+
+    /// Wakes every task blocked in lock acquisition so it re-checks its
+    /// cancellation token. Call after [`CancelToken::cancel`] when the
+    /// cancelled task may be waiting for a lock; otherwise it observes the
+    /// flag at its next grant or operation.
+    pub fn wake_lock_waiters(&self) {
+        self.inner.locks.cv.notify_all();
     }
 
     /// Acquires locks on every node covering `pattern` for `task`,
@@ -256,6 +335,7 @@ impl Runtime {
         pattern: &occam_regex::Pattern,
         mode: occam_objtree::LockMode,
     ) -> TaskResult<Vec<ObjectId>> {
+        ctx.check_cancelled()?;
         let task = ctx.task_id();
         let obs = self.obs_handles();
         let requested = Instant::now();
@@ -286,6 +366,11 @@ impl Runtime {
                 // A breaker released our locks already.
                 obs.deadlocks.inc();
                 return Err(TaskError::Deadlock);
+            }
+            if ctx.cancel_token().is_cancelled() {
+                // Cancellation checkpoint while blocked: bail out; the
+                // task teardown releases whatever was requested/held.
+                return Err(TaskError::Cancelled);
             }
             let all_held = covering
                 .iter()
@@ -344,6 +429,17 @@ impl Runtime {
             let _ = state.sched.sched(&mut state.tree);
         }
         lt.cv.notify_all();
+    }
+}
+
+/// Renders a `catch_unwind` payload as a one-line message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -8,6 +8,42 @@ use occam_netdb::{AttrValue, LinkKey};
 use occam_objtree::{LockMode, ObjectId, TaskId};
 use occam_rollback::{parse_log, rollback_plan, LogEntry, RollbackPlan};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation handle shared between a task and its
+/// submitter.
+///
+/// Cancellation is *checkpoint-based*: setting the flag never interrupts a
+/// running operation. The task observes it at its next checkpoint — lock
+/// acquisition ([`TaskCtx::network`] and friends, including while blocked
+/// waiting for a lock) or any stateful [`crate::Network`] operation — and
+/// aborts with [`TaskError::Cancelled`], releasing all locks and producing
+/// a normal rollback suggestion for any work already done.
+///
+/// If the cancelled task may be blocked on a lock, follow the `cancel()`
+/// with [`crate::Runtime::wake_lock_waiters`] so it re-checks promptly.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, non-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// Lifecycle state of a task (paper §4.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -107,6 +143,7 @@ pub struct TaskCtx {
     task_id: TaskId,
     name: String,
     urgent: bool,
+    cancel: CancelToken,
     started: std::time::Instant,
     pub(crate) log: Mutex<Vec<LogEntry>>,
     pub(crate) undo: Mutex<Vec<UndoRecord>>,
@@ -116,12 +153,19 @@ pub struct TaskCtx {
 }
 
 impl TaskCtx {
-    pub(crate) fn new(runtime: Runtime, task_id: TaskId, name: String, urgent: bool) -> TaskCtx {
+    pub(crate) fn new(
+        runtime: Runtime,
+        task_id: TaskId,
+        name: String,
+        urgent: bool,
+        cancel: CancelToken,
+    ) -> TaskCtx {
         TaskCtx {
             runtime,
             task_id,
             name,
             urgent,
+            cancel,
             started: std::time::Instant::now(),
             log: Mutex::new(Vec::new()),
             undo: Mutex::new(Vec::new()),
@@ -144,6 +188,23 @@ impl TaskCtx {
     /// Whether the task was submitted urgent.
     pub fn urgent(&self) -> bool {
         self.urgent
+    }
+
+    /// The cancellation token this task observes at checkpoints.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Checkpoint: returns [`TaskError::Cancelled`] if cancellation has
+    /// been requested. Called automatically on lock acquisition and every
+    /// stateful [`crate::Network`] operation; long stateless computations
+    /// may call it explicitly.
+    pub fn check_cancelled(&self) -> TaskResult<()> {
+        if self.cancel.is_cancelled() {
+            Err(TaskError::Cancelled)
+        } else {
+            Ok(())
+        }
     }
 
     /// The runtime this task runs under.
@@ -256,7 +317,7 @@ mod tests {
     #[test]
     fn report_generation_for_aborted_task() {
         let rt = crate::test_support::tiny_runtime();
-        let ctx = TaskCtx::new(rt, TaskId(1), "t".into(), false);
+        let ctx = TaskCtx::new(rt, TaskId(1), "t".into(), false, CancelToken::new());
         ctx.push_log(
             LogEntry::ok(OpType::DbChange, "set(X)"),
             UndoRecord::Db {
@@ -290,7 +351,7 @@ mod tests {
     #[test]
     fn completed_task_has_no_plan() {
         let rt = crate::test_support::tiny_runtime();
-        let ctx = TaskCtx::new(rt, TaskId(2), "t".into(), false);
+        let ctx = TaskCtx::new(rt, TaskId(2), "t".into(), false, CancelToken::new());
         let report = ctx.into_report((TaskState::Completed, None));
         assert!(report.rollback.is_none());
         assert!(report.error.is_none());
@@ -299,7 +360,7 @@ mod tests {
     #[test]
     fn malformed_log_reports_grammar_error() {
         let rt = crate::test_support::tiny_runtime();
-        let ctx = TaskCtx::new(rt, TaskId(3), "t".into(), false);
+        let ctx = TaskCtx::new(rt, TaskId(3), "t".into(), false, CancelToken::new());
         // UNDRAIN without DRAIN: outside the grammar.
         ctx.push_log(
             LogEntry::ok(OpType::Undrain, "apply(f_undrain)"),

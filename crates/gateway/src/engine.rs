@@ -1,0 +1,550 @@
+//! The gateway execution engine: admission control in front of the
+//! runtime's bounded worker pool.
+//!
+//! The engine is the piece that turns the library runtime into a
+//! *service*. It owns the admission state machine:
+//!
+//! ```text
+//!            submit
+//!              │
+//!   unknown ◄──┼──► bad scope          (rejected, typed error)
+//!              │
+//!       queued ≥ cap ──► Busy{retry_after_ms}   (backpressure)
+//!              │
+//!           Queued ──► Running ──► Completed | Aborted | Cancelled
+//!                        ▲                (terminal, kept for STATUS)
+//!                 cancel ┘ (cooperative, at task checkpoints)
+//! ```
+//!
+//! Admission is bounded: at most `queue_cap` admitted-but-unfinished jobs
+//! may be queued ahead of the `pool_size` workers. Beyond that the client
+//! gets `Busy` with a retry hint instead of an unbounded backlog — the
+//! management plane prefers shedding load to queueing it invisibly.
+
+use crate::catalog::{Catalog, WorkflowSpec};
+use crate::proto::{ErrorCode, WirePhase};
+use occam_core::{CancelToken, Runtime, TaskError, TaskState};
+use occam_obs::{Counter, Histogram, Registry};
+use occam_regex::Pattern;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker-pool size (concurrent task executions).
+    pub pool_size: usize,
+    /// Maximum admitted-but-unfinished jobs waiting for a worker.
+    pub queue_cap: usize,
+    /// Backoff hint returned in `Busy` responses, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            pool_size: 8,
+            queue_cap: 64,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SubmitOutcome {
+    /// Admitted; poll/cancel with this ticket.
+    Accepted(u64),
+    /// Admission queue full; retry after the hint (milliseconds).
+    Busy(u64),
+    /// Typed rejection (unknown workflow, bad scope, shutting down).
+    Rejected(ErrorCode, String),
+}
+
+struct JobRecord {
+    phase: WirePhase,
+    detail: String,
+    cancel: CancelToken,
+    workflow: &'static str,
+}
+
+struct EngineObs {
+    accepted: Counter,
+    rejected: Counter,
+    unknown: Counter,
+    completed: Counter,
+    aborted: Counter,
+    cancelled: Counter,
+    cancel_requests: Counter,
+    queue_wait_ns: Histogram,
+    e2e_ns: Histogram,
+    queue_depth: Histogram,
+}
+
+impl EngineObs {
+    fn bind(reg: &Registry) -> EngineObs {
+        EngineObs {
+            accepted: reg.counter("gateway.submit.accepted"),
+            rejected: reg.counter("gateway.submit.rejected"),
+            unknown: reg.counter("gateway.submit.unknown"),
+            completed: reg.counter("gateway.tasks.completed"),
+            aborted: reg.counter("gateway.tasks.aborted"),
+            cancelled: reg.counter("gateway.tasks.cancelled"),
+            cancel_requests: reg.counter("gateway.cancel.requests"),
+            queue_wait_ns: reg.histogram("gateway.queue_wait_ns"),
+            e2e_ns: reg.histogram("gateway.e2e_ns"),
+            queue_depth: reg.histogram("gateway.queue_depth"),
+        }
+    }
+}
+
+struct EngineInner {
+    rt: Runtime,
+    catalog: Catalog,
+    cfg: EngineConfig,
+    jobs: Mutex<BTreeMap<u64, JobRecord>>,
+    /// Admitted-but-unfinished jobs not yet picked up by a worker.
+    queued: AtomicUsize,
+    next_ticket: AtomicU64,
+    accepting: AtomicBool,
+    obs: EngineObs,
+}
+
+/// The admission-controlled execution engine. Cheap to clone; all clones
+/// share state.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// Builds an engine over `rt` with the standard catalog, sizing the
+    /// runtime's worker pool to `cfg.pool_size`. The pool size only takes
+    /// effect if the runtime's pool has not started yet.
+    pub fn new(rt: Runtime, cfg: EngineConfig) -> Engine {
+        rt.configure_pool(cfg.pool_size);
+        let obs = EngineObs::bind(rt.obs());
+        // Touch the connection/frame instruments so the full gateway
+        // metric family exists from boot (DESIGN.md §9 contract).
+        for name in [
+            "gateway.conn.opened",
+            "gateway.conn.closed",
+            "gateway.frames.rx",
+            "gateway.frames.tx",
+            "gateway.proto.errors",
+        ] {
+            rt.obs().counter(name);
+        }
+        Engine {
+            inner: Arc::new(EngineInner {
+                rt,
+                catalog: Catalog::standard(),
+                cfg,
+                jobs: Mutex::new(BTreeMap::new()),
+                queued: AtomicUsize::new(0),
+                next_ticket: AtomicU64::new(1),
+                accepting: AtomicBool::new(true),
+                obs,
+            }),
+        }
+    }
+
+    /// The underlying runtime (shared observability registry lives here).
+    pub fn runtime(&self) -> &Runtime {
+        &self.inner.rt
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.cfg
+    }
+
+    /// Submits a catalog workflow. Validates the name and scope, applies
+    /// admission control, and hands the built program to the worker pool.
+    pub fn submit(
+        &self,
+        workflow: &str,
+        scope: &str,
+        urgent: bool,
+        params: &[(String, String)],
+    ) -> SubmitOutcome {
+        let inner = &self.inner;
+        if !inner.accepting.load(Ordering::SeqCst) {
+            inner.obs.rejected.inc();
+            return SubmitOutcome::Rejected(
+                ErrorCode::ShuttingDown,
+                "gateway is draining; no new work admitted".into(),
+            );
+        }
+        let Some(entry) = inner.catalog.get(workflow) else {
+            inner.obs.unknown.inc();
+            return SubmitOutcome::Rejected(
+                ErrorCode::UnknownWorkflow,
+                format!("unknown workflow {workflow:?}; use LIST for the catalog"),
+            );
+        };
+        if let Err(e) = Pattern::from_glob(scope) {
+            inner.obs.rejected.inc();
+            return SubmitOutcome::Rejected(
+                ErrorCode::BadScope,
+                format!("bad scope {scope:?}: {e}"),
+            );
+        }
+
+        // Admission: reserve a queue slot or shed with Busy. A CAS loop
+        // keeps the bound exact under concurrent submitters.
+        let mut depth = inner.queued.load(Ordering::SeqCst);
+        loop {
+            if depth >= inner.cfg.queue_cap {
+                inner.obs.rejected.inc();
+                return SubmitOutcome::Busy(inner.cfg.retry_after_ms);
+            }
+            match inner.queued.compare_exchange(
+                depth,
+                depth + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(now) => depth = now,
+            }
+        }
+        inner.obs.queue_depth.record((depth + 1) as u64);
+
+        let ticket = inner.next_ticket.fetch_add(1, Ordering::SeqCst);
+        let cancel = CancelToken::new();
+        let program = inner
+            .catalog
+            .build(workflow, WorkflowSpec::new(scope, params))
+            .expect("entry existence checked above");
+        inner.jobs.lock().insert(
+            ticket,
+            JobRecord {
+                phase: WirePhase::Queued,
+                detail: String::new(),
+                cancel: cancel.clone(),
+                workflow: entry.name,
+            },
+        );
+        inner.obs.accepted.inc();
+
+        let engine = self.clone();
+        let name = format!("gw.{}.{}", entry.name, ticket);
+        let token = cancel.clone();
+        let admitted_at = Instant::now();
+        inner.rt.spawn_pooled(urgent, move |rt| {
+            let inner = &engine.inner;
+            inner
+                .obs
+                .queue_wait_ns
+                .record_duration(admitted_at.elapsed());
+            inner.queued.fetch_sub(1, Ordering::SeqCst);
+            {
+                let mut jobs = inner.jobs.lock();
+                if let Some(rec) = jobs.get_mut(&ticket) {
+                    rec.phase = WirePhase::Running;
+                }
+            }
+            let report = rt.run_task_cancellable(&name, urgent, token, program);
+            inner.obs.e2e_ns.record_duration(admitted_at.elapsed());
+            let (phase, detail) = match (report.state, &report.error) {
+                (TaskState::Completed, _) => {
+                    inner.obs.completed.inc();
+                    (WirePhase::Completed, String::new())
+                }
+                (_, Some(TaskError::Cancelled)) => {
+                    inner.obs.cancelled.inc();
+                    (WirePhase::Cancelled, "cancelled at a checkpoint".into())
+                }
+                (_, Some(err)) => {
+                    inner.obs.aborted.inc();
+                    (WirePhase::Aborted, err.to_string())
+                }
+                (_, None) => {
+                    inner.obs.aborted.inc();
+                    (WirePhase::Aborted, "aborted without error detail".into())
+                }
+            };
+            let mut jobs = inner.jobs.lock();
+            if let Some(rec) = jobs.get_mut(&ticket) {
+                rec.phase = phase;
+                rec.detail = detail;
+            }
+        });
+        SubmitOutcome::Accepted(ticket)
+    }
+
+    /// Looks up the lifecycle phase of a ticket.
+    pub fn status(&self, ticket: u64) -> (WirePhase, String) {
+        let jobs = self.inner.jobs.lock();
+        match jobs.get(&ticket) {
+            Some(rec) => (rec.phase, rec.detail.clone()),
+            None => (WirePhase::Unknown, String::new()),
+        }
+    }
+
+    /// Requests cooperative cancellation of a ticket. Returns `false` if
+    /// the ticket is unknown or already terminal. Cancellation takes
+    /// effect at the task's next checkpoint (lock acquisition or stateful
+    /// operation); blocked lock waiters are woken to observe it.
+    pub fn cancel(&self, ticket: u64) -> bool {
+        self.inner.obs.cancel_requests.inc();
+        let token = {
+            let jobs = self.inner.jobs.lock();
+            match jobs.get(&ticket) {
+                Some(rec) if !rec.phase.is_terminal() => Some(rec.cancel.clone()),
+                _ => None,
+            }
+        };
+        match token {
+            Some(token) => {
+                token.cancel();
+                self.inner.rt.wake_lock_waiters();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The workflow catalog as `(name, description, read_only)` rows.
+    pub fn list(&self) -> Vec<(String, String, bool)> {
+        self.inner
+            .catalog
+            .entries()
+            .iter()
+            .map(|e| (e.name.to_string(), e.description.to_string(), e.read_only))
+            .collect()
+    }
+
+    /// The shared observability registry rendered as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.inner.rt.obs().to_json()
+    }
+
+    /// Count of admitted-but-unfinished jobs waiting for a worker.
+    pub fn queued(&self) -> usize {
+        self.inner.queued.load(Ordering::SeqCst)
+    }
+
+    /// Whether every known job is in a terminal phase.
+    pub fn all_terminal(&self) -> bool {
+        self.inner
+            .jobs
+            .lock()
+            .values()
+            .all(|r| r.phase.is_terminal())
+    }
+
+    /// Per-workflow terminal counts, for reporting: `(workflow, phase) →
+    /// count`.
+    pub fn terminal_breakdown(&self) -> BTreeMap<(String, &'static str), u64> {
+        let jobs = self.inner.jobs.lock();
+        let mut out: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
+        for rec in jobs.values() {
+            let phase = match rec.phase {
+                WirePhase::Completed => "completed",
+                WirePhase::Aborted => "aborted",
+                WirePhase::Cancelled => "cancelled",
+                WirePhase::Queued => "queued",
+                WirePhase::Running => "running",
+                WirePhase::Unknown => "unknown",
+            };
+            *out.entry((rec.workflow.to_string(), phase)).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Graceful drain-then-shutdown: stop admitting, then block until the
+    /// worker pool is quiescent. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+        self.inner.rt.drain_pool();
+    }
+
+    /// Whether the engine still admits new submissions.
+    pub fn accepting(&self) -> bool {
+        self.inner.accepting.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_emunet::{EmuNet, EmuService};
+    use occam_netdb::{attrs, Database};
+    use occam_topology::FatTree;
+
+    fn tiny_engine(cfg: EngineConfig) -> Engine {
+        let ft = FatTree::build(1, 4).unwrap();
+        let db = Arc::new(Database::new());
+        for (_, d) in ft
+            .topo
+            .devices()
+            .filter(|(_, d)| d.role != occam_topology::Role::Host)
+        {
+            db.insert_device(
+                &d.name,
+                vec![(attrs::DEVICE_STATUS.into(), attrs::STATUS_ACTIVE.into())],
+            )
+            .unwrap();
+        }
+        let service = Arc::new(EmuService::new(EmuNet::from_fattree(&ft)));
+        Engine::new(Runtime::new(db, service), cfg)
+    }
+
+    fn wait_terminal(engine: &Engine, ticket: u64) -> (WirePhase, String) {
+        loop {
+            let (phase, detail) = engine.status(ticket);
+            if phase.is_terminal() || phase == WirePhase::Unknown {
+                return (phase, detail);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn submit_runs_to_completion_and_mutates_state() {
+        let engine = tiny_engine(EngineConfig::default());
+        let out = engine.submit("drain", "dc01.pod01.*", false, &[]);
+        let SubmitOutcome::Accepted(ticket) = out else {
+            panic!("expected acceptance, got {out:?}");
+        };
+        let (phase, detail) = wait_terminal(&engine, ticket);
+        assert_eq!(phase, WirePhase::Completed, "{detail}");
+        let statuses = engine
+            .runtime()
+            .db()
+            .get_attr(
+                &Pattern::from_glob("dc01.pod01.*").unwrap(),
+                attrs::DEVICE_STATUS,
+            )
+            .unwrap();
+        assert!(!statuses.is_empty());
+        for (dev, v) in &statuses {
+            assert_eq!(
+                v.as_str(),
+                Some(attrs::STATUS_UNDER_MAINTENANCE),
+                "device {dev}"
+            );
+        }
+        assert_eq!(
+            engine
+                .runtime()
+                .obs()
+                .counter_value("gateway.tasks.completed"),
+            1
+        );
+    }
+
+    #[test]
+    fn unknown_workflow_and_bad_scope_rejected() {
+        let engine = tiny_engine(EngineConfig::default());
+        assert!(matches!(
+            engine.submit("nope", "dc01.*", false, &[]),
+            SubmitOutcome::Rejected(ErrorCode::UnknownWorkflow, _)
+        ));
+        assert!(matches!(
+            engine.submit("drain", "dc01.[", false, &[]),
+            SubmitOutcome::Rejected(ErrorCode::BadScope, _)
+        ));
+        assert_eq!(
+            engine
+                .runtime()
+                .obs()
+                .counter_value("gateway.submit.unknown"),
+            1
+        );
+    }
+
+    #[test]
+    fn queue_full_answers_busy() {
+        let engine = tiny_engine(EngineConfig {
+            pool_size: 1,
+            queue_cap: 1,
+            retry_after_ms: 7,
+        });
+        // Fill the single worker and the single queue slot with jobs that
+        // block on an attribute the test controls via lock contention:
+        // simplest is a long chain of status audits over the same scope.
+        let mut accepted = 0;
+        let mut busy = 0;
+        for _ in 0..64 {
+            match engine.submit("status_audit", "dc01.*", false, &[]) {
+                SubmitOutcome::Accepted(_) => accepted += 1,
+                SubmitOutcome::Busy(ms) => {
+                    assert_eq!(ms, 7);
+                    busy += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(accepted >= 1);
+        // With cap 1 the burst must shed at least once unless every job
+        // drained between submissions; 64 back-to-back makes that
+        // overwhelmingly unlikely, but tolerate it to avoid flakiness.
+        let _ = busy;
+        engine.shutdown();
+        assert!(engine.all_terminal());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drains() {
+        let engine = tiny_engine(EngineConfig::default());
+        let SubmitOutcome::Accepted(t) =
+            engine.submit("device_maintenance", "dc01.pod02.*", false, &[])
+        else {
+            panic!("expected acceptance");
+        };
+        engine.shutdown();
+        assert!(engine.status(t).0.is_terminal());
+        assert!(matches!(
+            engine.submit("drain", "dc01.*", false, &[]),
+            SubmitOutcome::Rejected(ErrorCode::ShuttingDown, _)
+        ));
+    }
+
+    #[test]
+    fn cancel_before_start_yields_cancelled_phase() {
+        let engine = tiny_engine(EngineConfig {
+            pool_size: 1,
+            queue_cap: 8,
+            retry_after_ms: 1,
+        });
+        // Occupy the single worker with a workflow long enough to let us
+        // cancel the queued one behind it.
+        let SubmitOutcome::Accepted(_front) = engine.submit(
+            "firmware_upgrade",
+            "dc01.pod01.*",
+            false,
+            &[("version".into(), "v9".into())],
+        ) else {
+            panic!("expected acceptance");
+        };
+        let SubmitOutcome::Accepted(victim) = engine.submit("drain", "dc01.pod02.*", false, &[])
+        else {
+            panic!("expected acceptance");
+        };
+        // Cancel may race the victim starting; both Cancelled (never ran
+        // or hit a checkpoint) and Completed (won the race) are legal —
+        // but if cancel() returned true before it went terminal, the
+        // token is set and a still-queued victim must end Cancelled.
+        engine.cancel(victim);
+        let (phase, _) = {
+            loop {
+                let (p, d) = engine.status(victim);
+                if p.is_terminal() {
+                    break (p, d);
+                }
+                std::thread::yield_now();
+            }
+        };
+        assert!(
+            phase == WirePhase::Cancelled || phase == WirePhase::Completed,
+            "unexpected phase {phase:?}"
+        );
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,765 @@
+//! The gateway wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is `u32 length (big-endian) || body`, where `body` is a
+//! one-byte tag followed by a tag-specific payload; `length` counts the
+//! body only and is capped at [`MAX_FRAME`]. Strings are `u32 length ||
+//! UTF-8 bytes` (capped at [`MAX_STR`]); integers are big-endian.
+//!
+//! Decoding is total: any byte sequence decodes to either a message or a
+//! typed [`FrameError`] — truncated, oversized, or garbage input must
+//! never panic (property-tested in `tests/proto_fuzz.rs`).
+//!
+//! Frame layout (DESIGN.md §10):
+//!
+//! ```text
+//! requests                        responses
+//! 0x01 SUBMIT   wf scope urg n(kv)*   0x81 ACCEPTED  ticket
+//! 0x02 STATUS   ticket                0x82 BUSY      retry_after_ms
+//! 0x03 CANCEL   ticket                0x83 STATUS    ticket phase detail
+//! 0x04 LIST                           0x84 CANCELLED ticket ok
+//! 0x05 METRICS                        0x85 CATALOG   n(name desc ro)*
+//! 0x06 SHUTDOWN                       0x86 METRICS   json
+//!                                     0x87 ERROR     code message
+//!                                     0x88 BYE
+//! ```
+
+use std::io::{Read, Write};
+
+/// Maximum frame body size (1 MiB). Larger length prefixes are rejected
+/// before any allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+/// Maximum encoded string length (64 KiB).
+pub const MAX_STR: usize = 1 << 16;
+/// Maximum repeated items (submit params, catalog entries) per frame.
+pub const MAX_ITEMS: u32 = 1024;
+
+/// A typed frame decoding error. Total: decoding never panics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The buffer ended before the field (`need` more bytes than `have`).
+    Truncated {
+        /// Bytes required by the next field.
+        need: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// A length prefix exceeded its cap.
+    Oversized {
+        /// Declared length.
+        len: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// The leading tag byte is not a known message type.
+    UnknownTag(u8),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A fixed-range field (bool, phase, error code) had an out-of-range
+    /// value.
+    BadEnum {
+        /// Field description.
+        what: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// The frame decoded but left unconsumed bytes.
+    TrailingBytes(usize),
+    /// A repeated-item count exceeded [`MAX_ITEMS`].
+    TooManyItems {
+        /// Field description.
+        what: &'static str,
+        /// Declared count.
+        count: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized field: {len} bytes exceeds cap {max}")
+            }
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag 0x{t:02x}"),
+            FrameError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            FrameError::BadEnum { what, value } => {
+                write!(f, "bad {what} value 0x{value:02x}")
+            }
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            FrameError::TooManyItems { what, count } => {
+                write!(f, "too many {what}: {count} exceeds {MAX_ITEMS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Lifecycle phase of a gateway job, as carried on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WirePhase {
+    /// Admitted, waiting for a pool worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Terminal: committed.
+    Completed,
+    /// Terminal: aborted (failure or deadlock victim).
+    Aborted,
+    /// Terminal: cooperatively cancelled.
+    Cancelled,
+    /// The ticket is not known to this gateway.
+    Unknown,
+}
+
+impl WirePhase {
+    fn from_u8(v: u8) -> Result<WirePhase, FrameError> {
+        Ok(match v {
+            0 => WirePhase::Queued,
+            1 => WirePhase::Running,
+            2 => WirePhase::Completed,
+            3 => WirePhase::Aborted,
+            4 => WirePhase::Cancelled,
+            5 => WirePhase::Unknown,
+            other => {
+                return Err(FrameError::BadEnum {
+                    what: "phase",
+                    value: other,
+                })
+            }
+        })
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            WirePhase::Queued => 0,
+            WirePhase::Running => 1,
+            WirePhase::Completed => 2,
+            WirePhase::Aborted => 3,
+            WirePhase::Cancelled => 4,
+            WirePhase::Unknown => 5,
+        }
+    }
+
+    /// Whether this phase is terminal (the job will not change again).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            WirePhase::Completed | WirePhase::Aborted | WirePhase::Cancelled
+        )
+    }
+}
+
+/// Machine-readable error class in an [`Response::Error`] frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// The submitted workflow name is not in the catalog.
+    UnknownWorkflow,
+    /// The region scope did not compile.
+    BadScope,
+    /// The gateway is draining and admits no new work.
+    ShuttingDown,
+    /// The request frame was malformed.
+    BadRequest,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<ErrorCode, FrameError> {
+        Ok(match v {
+            0 => ErrorCode::UnknownWorkflow,
+            1 => ErrorCode::BadScope,
+            2 => ErrorCode::ShuttingDown,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::Internal,
+            other => {
+                return Err(FrameError::BadEnum {
+                    what: "error code",
+                    value: other,
+                })
+            }
+        })
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::UnknownWorkflow => 0,
+            ErrorCode::BadScope => 1,
+            ErrorCode::ShuttingDown => 2,
+            ErrorCode::BadRequest => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+}
+
+/// A client-to-gateway request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Invoke catalog workflow `workflow` over glob `scope`.
+    Submit {
+        /// Catalog workflow name.
+        workflow: String,
+        /// Region scope (glob over device names).
+        scope: String,
+        /// Urgent fast lane + scheduler urgent priority.
+        urgent: bool,
+        /// Workflow parameters (`key`, `value`).
+        params: Vec<(String, String)>,
+    },
+    /// Poll the lifecycle state of a ticket.
+    Status {
+        /// Ticket from an `Accepted` response.
+        ticket: u64,
+    },
+    /// Request cooperative cancellation of a ticket.
+    Cancel {
+        /// Ticket from an `Accepted` response.
+        ticket: u64,
+    },
+    /// List the workflow catalog.
+    List,
+    /// Fetch the gateway's metrics registry as JSON.
+    Metrics,
+    /// Ask the gateway to drain and shut down.
+    Shutdown,
+}
+
+/// A gateway-to-client response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// The submission was admitted.
+    Accepted {
+        /// Ticket to poll/cancel with.
+        ticket: u64,
+    },
+    /// The admission queue is full; retry after the hint.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Status of a ticket.
+    Status {
+        /// The polled ticket.
+        ticket: u64,
+        /// Lifecycle phase.
+        phase: WirePhase,
+        /// Terminal detail (error message for aborted tasks, else empty).
+        detail: String,
+    },
+    /// Result of a cancellation request.
+    Cancelled {
+        /// The cancelled ticket.
+        ticket: u64,
+        /// `false` if the job was already terminal or unknown.
+        ok: bool,
+    },
+    /// The workflow catalog: `(name, description, read_only)`.
+    Catalog {
+        /// Catalog rows.
+        entries: Vec<(String, String, bool)>,
+    },
+    /// The metrics registry rendered as JSON.
+    Metrics {
+        /// `Registry::to_json` output.
+        json: String,
+    },
+    /// The request failed.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Acknowledges a `Shutdown` request; the connection closes next.
+    Bye,
+}
+
+// ---------------------------------------------------------------- encoding
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn tag(t: u8) -> Enc {
+        Enc(vec![t])
+    }
+    fn u8(&mut self, v: u8) -> &mut Self {
+        self.0.push(v);
+        self
+    }
+    fn u32(&mut self, v: u32) -> &mut Self {
+        self.0.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+    fn u64(&mut self, v: u64) -> &mut Self {
+        self.0.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+    fn str(&mut self, s: &str) -> &mut Self {
+        // Encoding truncates at the cap rather than erroring: the caller
+        // controls its own strings, and decode enforces the limit anyway.
+        let bytes = s.as_bytes();
+        let take = if bytes.len() > MAX_STR {
+            let mut end = MAX_STR;
+            while end > 0 && !s.is_char_boundary(end) {
+                end -= 1;
+            }
+            &bytes[..end]
+        } else {
+            bytes
+        };
+        self.u32(take.len() as u32);
+        self.0.extend_from_slice(take);
+        self
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let have = self.buf.len() - self.pos;
+        if have < n {
+            return Err(FrameError::Truncated { need: n, have });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(FrameError::BadEnum { what, value }),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STR {
+            return Err(FrameError::Oversized { len, max: MAX_STR });
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)
+    }
+
+    fn items(&mut self, what: &'static str) -> Result<u32, FrameError> {
+        let n = self.u32()?;
+        if n > MAX_ITEMS {
+            return Err(FrameError::TooManyItems { what, count: n });
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes(left))
+        }
+    }
+}
+
+impl Request {
+    /// Encodes this request as a frame body (tag + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Submit {
+                workflow,
+                scope,
+                urgent,
+                params,
+            } => {
+                let mut e = Enc::tag(0x01);
+                e.str(workflow)
+                    .str(scope)
+                    .u8(u8::from(*urgent))
+                    .u32(params.len().min(MAX_ITEMS as usize) as u32);
+                for (k, v) in params.iter().take(MAX_ITEMS as usize) {
+                    e.str(k).str(v);
+                }
+                e.0
+            }
+            Request::Status { ticket } => {
+                let mut e = Enc::tag(0x02);
+                e.u64(*ticket);
+                e.0
+            }
+            Request::Cancel { ticket } => {
+                let mut e = Enc::tag(0x03);
+                e.u64(*ticket);
+                e.0
+            }
+            Request::List => Enc::tag(0x04).0,
+            Request::Metrics => Enc::tag(0x05).0,
+            Request::Shutdown => Enc::tag(0x06).0,
+        }
+    }
+
+    /// Decodes a frame body into a request. Total — never panics.
+    pub fn decode(body: &[u8]) -> Result<Request, FrameError> {
+        let mut d = Dec::new(body);
+        let req = match d.u8()? {
+            0x01 => {
+                let workflow = d.str()?;
+                let scope = d.str()?;
+                let urgent = d.bool("urgent flag")?;
+                let n = d.items("submit params")?;
+                let mut params = Vec::with_capacity(n.min(64) as usize);
+                for _ in 0..n {
+                    let k = d.str()?;
+                    let v = d.str()?;
+                    params.push((k, v));
+                }
+                Request::Submit {
+                    workflow,
+                    scope,
+                    urgent,
+                    params,
+                }
+            }
+            0x02 => Request::Status { ticket: d.u64()? },
+            0x03 => Request::Cancel { ticket: d.u64()? },
+            0x04 => Request::List,
+            0x05 => Request::Metrics,
+            0x06 => Request::Shutdown,
+            tag => return Err(FrameError::UnknownTag(tag)),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes this response as a frame body (tag + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Accepted { ticket } => {
+                let mut e = Enc::tag(0x81);
+                e.u64(*ticket);
+                e.0
+            }
+            Response::Busy { retry_after_ms } => {
+                let mut e = Enc::tag(0x82);
+                e.u64(*retry_after_ms);
+                e.0
+            }
+            Response::Status {
+                ticket,
+                phase,
+                detail,
+            } => {
+                let mut e = Enc::tag(0x83);
+                e.u64(*ticket).u8(phase.as_u8()).str(detail);
+                e.0
+            }
+            Response::Cancelled { ticket, ok } => {
+                let mut e = Enc::tag(0x84);
+                e.u64(*ticket).u8(u8::from(*ok));
+                e.0
+            }
+            Response::Catalog { entries } => {
+                let mut e = Enc::tag(0x85);
+                e.u32(entries.len().min(MAX_ITEMS as usize) as u32);
+                for (name, desc, ro) in entries.iter().take(MAX_ITEMS as usize) {
+                    e.str(name).str(desc).u8(u8::from(*ro));
+                }
+                e.0
+            }
+            Response::Metrics { json } => {
+                let mut e = Enc::tag(0x86);
+                e.str(json);
+                e.0
+            }
+            Response::Error { code, message } => {
+                let mut e = Enc::tag(0x87);
+                e.u8(code.as_u8()).str(message);
+                e.0
+            }
+            Response::Bye => Enc::tag(0x88).0,
+        }
+    }
+
+    /// Decodes a frame body into a response. Total — never panics.
+    pub fn decode(body: &[u8]) -> Result<Response, FrameError> {
+        let mut d = Dec::new(body);
+        let resp = match d.u8()? {
+            0x81 => Response::Accepted { ticket: d.u64()? },
+            0x82 => Response::Busy {
+                retry_after_ms: d.u64()?,
+            },
+            0x83 => Response::Status {
+                ticket: d.u64()?,
+                phase: WirePhase::from_u8(d.u8()?)?,
+                detail: d.str()?,
+            },
+            0x84 => Response::Cancelled {
+                ticket: d.u64()?,
+                ok: d.bool("cancel ok flag")?,
+            },
+            0x85 => {
+                let n = d.items("catalog entries")?;
+                let mut entries = Vec::with_capacity(n.min(64) as usize);
+                for _ in 0..n {
+                    let name = d.str()?;
+                    let desc = d.str()?;
+                    let ro = d.bool("read-only flag")?;
+                    entries.push((name, desc, ro));
+                }
+                Response::Catalog { entries }
+            }
+            0x86 => Response::Metrics { json: d.str()? },
+            0x87 => Response::Error {
+                code: ErrorCode::from_u8(d.u8()?)?,
+                message: d.str()?,
+            },
+            0x88 => Response::Bye,
+            tag => return Err(FrameError::UnknownTag(tag)),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+// ----------------------------------------------------------------- framing
+
+/// Writes one frame (`u32 BE length || body`) to `w`.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Outcome of reading one frame from a stream.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// The length prefix exceeded [`MAX_FRAME`]; the stream is unusable.
+    Frame(FrameError),
+    /// I/O failure (including mid-frame EOF).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "connection closed"),
+            RecvError::Frame(e) => write!(f, "frame error: {e}"),
+            RecvError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Reads one frame body from `r`, blocking. Returns [`RecvError::Closed`]
+/// on clean EOF at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, RecvError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof inside frame header",
+                    )))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(RecvError::Frame(FrameError::Oversized {
+            len,
+            max: MAX_FRAME,
+        }));
+    }
+    let mut body = vec![0u8; len];
+    let mut off = 0;
+    while off < len {
+        match r.read(&mut body[off..]) {
+            Ok(0) => {
+                return Err(RecvError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame body",
+                )))
+            }
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let body = resp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Submit {
+            workflow: "firmware_upgrade".into(),
+            scope: "dc01.pod03.*".into(),
+            urgent: true,
+            params: vec![("version".into(), "fw-2.1.0".into())],
+        });
+        roundtrip_req(Request::Status { ticket: 42 });
+        roundtrip_req(Request::Cancel { ticket: u64::MAX });
+        roundtrip_req(Request::List);
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Accepted { ticket: 7 });
+        roundtrip_resp(Response::Busy { retry_after_ms: 25 });
+        roundtrip_resp(Response::Status {
+            ticket: 7,
+            phase: WirePhase::Running,
+            detail: String::new(),
+        });
+        roundtrip_resp(Response::Status {
+            ticket: 8,
+            phase: WirePhase::Aborted,
+            detail: "task failed: boom".into(),
+        });
+        roundtrip_resp(Response::Cancelled {
+            ticket: 7,
+            ok: true,
+        });
+        roundtrip_resp(Response::Catalog {
+            entries: vec![
+                ("drain".into(), "drain a region".into(), false),
+                ("status_audit".into(), "read-only audit".into(), true),
+            ],
+        });
+        roundtrip_resp(Response::Metrics {
+            json: "{\"counters\":{}}".into(),
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::UnknownWorkflow,
+            message: "no such workflow".into(),
+        });
+        roundtrip_resp(Response::Bye);
+    }
+
+    #[test]
+    fn truncation_yields_typed_errors_at_every_prefix() {
+        let body = Request::Submit {
+            workflow: "drain".into(),
+            scope: "dc01.*".into(),
+            urgent: false,
+            params: vec![("a".into(), "b".into())],
+        }
+        .encode();
+        for cut in 0..body.len() {
+            let err = Request::decode(&body[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = Request::List.encode();
+        body.push(0);
+        assert_eq!(
+            Request::decode(&body).unwrap_err(),
+            FrameError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn oversized_string_rejected_without_allocation() {
+        // Tag SUBMIT, then a string length far beyond MAX_STR.
+        let mut body = vec![0x01];
+        body.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(matches!(
+            Request::decode(&body).unwrap_err(),
+            FrameError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert_eq!(
+            Request::decode(&[0x42]).unwrap_err(),
+            FrameError::UnknownTag(0x42)
+        );
+        assert_eq!(
+            Response::decode(&[0x07]).unwrap_err(),
+            FrameError::UnknownTag(0x07)
+        );
+        assert!(matches!(
+            Request::decode(&[]).unwrap_err(),
+            FrameError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_rejects_oversized() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Metrics.encode()).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        let body = read_frame(&mut r).unwrap();
+        assert_eq!(Request::decode(&body).unwrap(), Request::Metrics);
+        assert!(matches!(read_frame(&mut r), Err(RecvError::Closed)));
+
+        let huge = ((MAX_FRAME + 1) as u32).to_be_bytes();
+        let mut r = std::io::Cursor::new(huge.to_vec());
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(RecvError::Frame(FrameError::Oversized { .. }))
+        ));
+    }
+}

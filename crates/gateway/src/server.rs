@@ -1,0 +1,254 @@
+//! The TCP frontend: one reader thread per connection, frames in, frames
+//! out.
+//!
+//! The server is a thin shell over [`Engine`]: it decodes a request
+//! frame, calls the corresponding engine method, and writes exactly one
+//! response frame. Decode errors are answered with a typed `Error`
+//! response and the connection is closed — a malformed peer can cost at
+//! most its own connection, never a worker or an admission slot
+//! (admission happens after decoding succeeds).
+//!
+//! Shutdown is cooperative and graceful: the accept loop stops, open
+//! connections observe the flag at their next read-timeout tick, and the
+//! engine drains in-flight work before `shutdown()` returns.
+
+use crate::engine::{Engine, SubmitOutcome};
+use crate::proto::{read_frame, write_frame, ErrorCode, FrameError, RecvError, Request, Response};
+use occam_obs::Counter;
+use parking_lot::{Condvar, Mutex};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often an idle connection polls the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+struct ConnObs {
+    opened: Counter,
+    closed: Counter,
+    frames_rx: Counter,
+    frames_tx: Counter,
+    proto_errors: Counter,
+}
+
+struct ServerShared {
+    engine: Engine,
+    stop: AtomicBool,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    obs: ConnObs,
+}
+
+/// A running gateway server. Dropping the handle does not stop the
+/// server; call [`GatewayServer::shutdown`].
+pub struct GatewayServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl GatewayServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop.
+    pub fn start(engine: Engine, addr: &str) -> std::io::Result<GatewayServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let reg = engine.runtime().obs().clone();
+        let shared = Arc::new(ServerShared {
+            engine,
+            stop: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            obs: ConnObs {
+                opened: reg.counter("gateway.conn.opened"),
+                closed: reg.counter("gateway.conn.closed"),
+                frames_rx: reg.counter("gateway.frames.rx"),
+                frames_tx: reg.counter("gateway.frames.tx"),
+                proto_errors: reg.counter("gateway.proto.errors"),
+            },
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("occam-gw-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(GatewayServer {
+            shared,
+            addr: local,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Blocks until some client sends a SHUTDOWN frame (used by the
+    /// `gateway_serve` binary's main thread).
+    pub fn wait_shutdown_requested(&self) {
+        let mut requested = self.shared.shutdown_requested.lock();
+        while !*requested {
+            self.shared.shutdown_cv.wait(&mut requested);
+        }
+    }
+
+    /// Graceful stop: close the accept loop, let connections wind down,
+    /// and drain the engine. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection; the loop rechecks
+        // the flag before serving it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.engine.shutdown();
+        // Release anyone parked in wait_shutdown_requested().
+        let mut requested = self.shared.shutdown_requested.lock();
+        *requested = true;
+        self.shared.shutdown_cv.notify_all();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    let mut conn_threads = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("occam-gw-conn".into())
+            .spawn(move || serve_connection(stream, conn_shared))
+            .expect("spawn connection thread");
+        conn_threads.push(handle);
+        // Reap finished connection threads so a long-lived server does
+        // not accumulate join handles.
+        conn_threads.retain(|t| !t.is_finished());
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
+    shared.obs.opened.inc();
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let body = match read_frame(&mut stream) {
+            Ok(body) => body,
+            Err(RecvError::Closed) => break,
+            Err(RecvError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                // Idle tick at a frame boundary: poll the stop flag.
+                continue;
+            }
+            Err(RecvError::Io(_)) => break,
+            Err(RecvError::Frame(err)) => {
+                shared.obs.proto_errors.inc();
+                let _ = send(
+                    &mut stream,
+                    &shared,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: err.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        shared.obs.frames_rx.inc();
+        let (response, hangup) = match Request::decode(&body) {
+            Ok(req) => handle_request(&shared, req),
+            Err(err) => {
+                shared.obs.proto_errors.inc();
+                (bad_request(err), true)
+            }
+        };
+        if send(&mut stream, &shared, &response).is_err() || hangup {
+            break;
+        }
+    }
+    shared.obs.closed.inc();
+}
+
+fn bad_request(err: FrameError) -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message: err.to_string(),
+    }
+}
+
+fn send(stream: &mut TcpStream, shared: &ServerShared, resp: &Response) -> std::io::Result<()> {
+    write_frame(stream, &resp.encode())?;
+    shared.obs.frames_tx.inc();
+    Ok(())
+}
+
+/// Maps one decoded request to `(response, hang up after sending)`.
+fn handle_request(shared: &ServerShared, req: Request) -> (Response, bool) {
+    let engine = &shared.engine;
+    match req {
+        Request::Submit {
+            workflow,
+            scope,
+            urgent,
+            params,
+        } => {
+            let resp = match engine.submit(&workflow, &scope, urgent, &params) {
+                SubmitOutcome::Accepted(ticket) => Response::Accepted { ticket },
+                SubmitOutcome::Busy(retry_after_ms) => Response::Busy { retry_after_ms },
+                SubmitOutcome::Rejected(code, message) => Response::Error { code, message },
+            };
+            (resp, false)
+        }
+        Request::Status { ticket } => {
+            let (phase, detail) = engine.status(ticket);
+            (
+                Response::Status {
+                    ticket,
+                    phase,
+                    detail,
+                },
+                false,
+            )
+        }
+        Request::Cancel { ticket } => {
+            let ok = engine.cancel(ticket);
+            (Response::Cancelled { ticket, ok }, false)
+        }
+        Request::List => (
+            Response::Catalog {
+                entries: engine.list(),
+            },
+            false,
+        ),
+        Request::Metrics => (
+            Response::Metrics {
+                json: engine.metrics_json(),
+            },
+            false,
+        ),
+        Request::Shutdown => {
+            let mut requested = shared.shutdown_requested.lock();
+            *requested = true;
+            shared.shutdown_cv.notify_all();
+            (Response::Bye, true)
+        }
+    }
+}

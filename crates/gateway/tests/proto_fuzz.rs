@@ -1,0 +1,150 @@
+//! Fuzz-style robustness tests for the gateway wire protocol: decoding
+//! is total. Truncated, oversized, mutated, and garbage frames must
+//! produce a typed [`FrameError`] or a valid message — never a panic —
+//! and a live server must answer garbage with a typed error frame
+//! without leaking the connection slot.
+
+use occam_gateway::proto::{FrameError, Request, Response};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup decodes to Ok or a typed error, never panics.
+    #[test]
+    fn decode_is_total_on_garbage(body in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&body);
+        let _ = Response::decode(&body);
+    }
+
+    /// Every prefix of a valid request decodes to `Truncated` (or, for
+    /// the full length, the original message) — no partial reads panic
+    /// and no prefix is mistaken for a different message.
+    #[test]
+    fn request_prefixes_truncate_cleanly(
+        workflow in "[a-z_]{0,12}",
+        scope in "[a-z0-9.*]{0,16}",
+        urgent in any::<bool>(),
+        params in proptest::collection::vec(("[a-z]{0,6}", "[ -~]{0,10}"), 0..4),
+        cut_permille in 0u32..1000,
+    ) {
+        let req = Request::Submit { workflow, scope, urgent, params };
+        let body = req.encode();
+        let cut = body.len() * cut_permille as usize / 1000;
+        match Request::decode(&body[..cut]) {
+            Ok(decoded) => prop_assert_eq!(decoded, req),
+            Err(FrameError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "prefix produced {other:?}"),
+        }
+        prop_assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    /// Flipping one byte of a valid response never panics and never
+    /// produces an unbounded allocation (decode returns promptly).
+    #[test]
+    fn response_single_byte_mutations_are_safe(
+        ticket in any::<u64>(),
+        detail in "[ -~]{0,24}",
+        idx_permille in 0u32..1000,
+        flip in any::<u8>(),
+    ) {
+        let resp = Response::Status {
+            ticket,
+            phase: occam_gateway::WirePhase::Running,
+            detail,
+        };
+        let mut body = resp.encode();
+        let idx = (body.len() * idx_permille as usize / 1000) % body.len();
+        body[idx] ^= flip;
+        let _ = Response::decode(&body);
+    }
+
+    /// Declared lengths beyond the caps are rejected before allocation.
+    #[test]
+    fn oversized_declared_lengths_rejected(tag in 0x01u8..=0x06, len in 65_537u32..=u32::MAX) {
+        let mut body = vec![tag];
+        body.extend_from_slice(&len.to_be_bytes());
+        if let Err(e) = Request::decode(&body) {
+            prop_assert!(
+                matches!(
+                    e,
+                    FrameError::Oversized { .. }
+                        | FrameError::Truncated { .. }
+                        | FrameError::TooManyItems { .. }
+                        | FrameError::TrailingBytes(_)
+                ),
+                "unexpected {e:?}"
+            );
+        }
+    }
+}
+
+/// A server keeps serving other clients after one sends garbage: the
+/// poisoned connection gets a typed error and is closed; its slot is
+/// released (conn.closed catches up with conn.opened) and a fresh
+/// connection still works.
+#[test]
+fn garbage_frame_never_leaks_connection_slot() {
+    use occam_core::Runtime;
+    use occam_emunet::{EmuNet, EmuService};
+    use occam_gateway::{Engine, EngineConfig, GatewayClient, GatewayServer};
+    use occam_netdb::{attrs, Database};
+    use occam_topology::FatTree;
+    use std::io::{Read as _, Write as _};
+    use std::sync::Arc;
+
+    let ft = FatTree::build(1, 4).unwrap();
+    let db = Arc::new(Database::new());
+    for (_, d) in ft
+        .topo
+        .devices()
+        .filter(|(_, d)| d.role != occam_topology::Role::Host)
+    {
+        db.insert_device(
+            &d.name,
+            vec![(attrs::DEVICE_STATUS.into(), attrs::STATUS_ACTIVE.into())],
+        )
+        .unwrap();
+    }
+    let rt = Runtime::new(db, Arc::new(EmuService::new(EmuNet::from_fattree(&ft))));
+    let engine = Engine::new(rt, EngineConfig::default());
+    let mut server = GatewayServer::start(engine, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+    let reg = server.engine().runtime().obs().clone();
+
+    for round in 0u8..8 {
+        let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+        // Garbage body under a valid length prefix.
+        let body = [0xF0 ^ round, round, 0xFF, round];
+        raw.write_all(&(body.len() as u32).to_be_bytes()).unwrap();
+        raw.write_all(&body).unwrap();
+        raw.flush().unwrap();
+        // The server answers with a typed error frame, then closes.
+        let mut resp = Vec::new();
+        let _ = raw.read_to_end(&mut resp);
+        assert!(resp.len() >= 5, "round {round}: no error frame back");
+    }
+
+    // Wait for the per-connection threads to finish closing.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while reg.counter_value("gateway.conn.closed") < 8 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection slots leaked: opened {}, closed {}",
+            reg.counter_value("gateway.conn.opened"),
+            reg.counter_value("gateway.conn.closed")
+        );
+        std::thread::yield_now();
+    }
+    assert!(reg.counter_value("gateway.proto.errors") >= 8);
+
+    // A well-formed client still gets service.
+    let mut client = GatewayClient::connect(&addr).unwrap();
+    assert!(!client.list().unwrap().is_empty());
+    server.shutdown();
+    assert_eq!(
+        reg.counter_value("gateway.conn.opened"),
+        reg.counter_value("gateway.conn.closed"),
+        "every opened connection must be closed after shutdown"
+    );
+}

@@ -17,6 +17,9 @@
 //! - [`regex`] — the regex/automata engine for region scopes.
 //! - [`obs`] — counters, histograms, spans, and the event ring
 //!   (metrics contract in `DESIGN.md` §9).
+//! - [`gateway`] — the management-plane service frontend: workflow
+//!   catalog, wire protocol, admission-controlled execution engine, and
+//!   TCP server/client (`DESIGN.md` §10).
 //! - [`sim`] — the at-scale discrete-event simulator.
 //! - [`workload`] — Meta-shaped trace synthesis.
 //!
@@ -27,6 +30,7 @@
 
 pub use occam_core as core;
 pub use occam_emunet as emunet;
+pub use occam_gateway as gateway;
 pub use occam_netdb as netdb;
 pub use occam_objtree as objtree;
 pub use occam_obs as obs;

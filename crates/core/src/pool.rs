@@ -85,7 +85,13 @@ impl PoolShared {
             } else {
                 st.normal.push_back(job);
             }
-            if st.idle == 0 && st.spawned < st.size {
+            // Spawn whenever there are more queued jobs (including this
+            // one) than idle workers to absorb them. Gating on
+            // `idle == 0` alone would let a single idle worker mask a
+            // whole burst: every enqueue in the burst would see
+            // `idle == 1` and notify the same worker, serializing N jobs
+            // on one thread despite spare pool capacity.
+            if st.spawned < st.size && st.idle < st.normal.len() + st.urgent.len() {
                 st.spawned += 1;
                 true
             } else {
@@ -349,6 +355,50 @@ mod tests {
         assert!(stats.peak_active <= 4, "peak {}", stats.peak_active);
         assert_eq!(stats.executed, 10_000);
         assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn burst_after_idle_ramps_to_full_pool() {
+        let rt = crate::test_support::tiny_runtime();
+        assert!(rt.configure_pool(4));
+        // Run one job and let its worker go idle: the regression scenario
+        // is a burst arriving while `idle == 1`.
+        rt.submit_pooled("warmup", |_| Ok(())).wait();
+        rt.drain_pool();
+        // Burst of pool-size jobs that rendezvous: each blocks until all
+        // four execute concurrently (with a timeout so a regression fails
+        // the assertion instead of hanging). Under the old `idle == 0`
+        // spawn gate the lone idle worker absorbed the whole burst
+        // serially and the rendezvous could never be reached.
+        let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let g = Arc::clone(&gate);
+            handles.push(rt.submit_pooled(&format!("burst{i}"), move |_| {
+                let (l, c) = &*g;
+                let mut n = l.lock();
+                *n += 1;
+                c.notify_all();
+                while *n < 4 {
+                    if c.wait_for(&mut n, std::time::Duration::from_secs(5))
+                        .timed_out()
+                    {
+                        break;
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in &handles {
+            assert_eq!(h.wait().state, TaskState::Completed);
+        }
+        let stats = rt.pool_stats();
+        assert!(
+            stats.peak_active >= 4,
+            "burst ran with peak concurrency {} despite pool capacity 4",
+            stats.peak_active
+        );
+        assert!(stats.spawned <= 4, "spawned {} workers", stats.spawned);
     }
 
     #[test]

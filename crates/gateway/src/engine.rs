@@ -20,6 +20,13 @@
 //! may be queued ahead of the `pool_size` workers. Beyond that the client
 //! gets `Busy` with a retry hint instead of an unbounded backlog — the
 //! management plane prefers shedding load to queueing it invisibly.
+//!
+//! Job records are bounded too: terminal records are retained for STATUS
+//! polling only up to `terminal_retain` entries, after which the oldest
+//! are evicted (a STATUS on an evicted ticket answers `Unknown`). A
+//! long-lived gateway therefore holds at most
+//! `queue_cap + pool_size + terminal_retain` records, not one per
+//! lifetime submission.
 
 use crate::catalog::{Catalog, WorkflowSpec};
 use crate::proto::{ErrorCode, WirePhase};
@@ -27,7 +34,7 @@ use occam_core::{CancelToken, Runtime, TaskError, TaskState};
 use occam_obs::{Counter, Histogram, Registry};
 use occam_regex::Pattern;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -41,6 +48,12 @@ pub struct EngineConfig {
     pub queue_cap: usize,
     /// Backoff hint returned in `Busy` responses, in milliseconds.
     pub retry_after_ms: u64,
+    /// Maximum terminal job records kept for STATUS polling. Oldest
+    /// terminal records beyond this are evicted and answer `Unknown`;
+    /// live (queued/running) records are never evicted. Keeps a
+    /// long-lived gateway's memory bounded instead of growing with every
+    /// submission ever accepted.
+    pub terminal_retain: usize,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +62,7 @@ impl Default for EngineConfig {
             pool_size: 8,
             queue_cap: 64,
             retry_after_ms: 25,
+            terminal_retain: 16_384,
         }
     }
 }
@@ -69,6 +83,36 @@ struct JobRecord {
     detail: String,
     cancel: CancelToken,
     workflow: &'static str,
+}
+
+/// Ticket-keyed job records plus the terminal-eviction queue.
+#[derive(Default)]
+struct JobTable {
+    records: BTreeMap<u64, JobRecord>,
+    /// Tickets in the order they reached a terminal phase; the front is
+    /// evicted first once more than `terminal_retain` are retained.
+    terminal_order: VecDeque<u64>,
+}
+
+impl JobTable {
+    /// Moves `ticket` to a terminal phase and evicts the oldest terminal
+    /// records beyond `retain`. Live records are never evicted — only
+    /// tickets pushed onto `terminal_order` (i.e. already terminal) are
+    /// ever removed.
+    fn mark_terminal(&mut self, ticket: u64, phase: WirePhase, detail: String, retain: usize) {
+        if let Some(rec) = self.records.get_mut(&ticket) {
+            rec.phase = phase;
+            rec.detail = detail;
+            self.terminal_order.push_back(ticket);
+        }
+        while self.terminal_order.len() > retain {
+            let old = self
+                .terminal_order
+                .pop_front()
+                .expect("len > retain >= 0 implies non-empty");
+            self.records.remove(&old);
+        }
+    }
 }
 
 struct EngineObs {
@@ -105,7 +149,7 @@ struct EngineInner {
     rt: Runtime,
     catalog: Catalog,
     cfg: EngineConfig,
-    jobs: Mutex<BTreeMap<u64, JobRecord>>,
+    jobs: Mutex<JobTable>,
     /// Admitted-but-unfinished jobs not yet picked up by a worker.
     queued: AtomicUsize,
     next_ticket: AtomicU64,
@@ -143,7 +187,7 @@ impl Engine {
                 rt,
                 catalog: Catalog::standard(),
                 cfg,
-                jobs: Mutex::new(BTreeMap::new()),
+                jobs: Mutex::new(JobTable::default()),
                 queued: AtomicUsize::new(0),
                 next_ticket: AtomicU64::new(1),
                 accepting: AtomicBool::new(true),
@@ -220,7 +264,7 @@ impl Engine {
             .catalog
             .build(workflow, WorkflowSpec::new(scope, params))
             .expect("entry existence checked above");
-        inner.jobs.lock().insert(
+        inner.jobs.lock().records.insert(
             ticket,
             JobRecord {
                 phase: WirePhase::Queued,
@@ -244,7 +288,7 @@ impl Engine {
             inner.queued.fetch_sub(1, Ordering::SeqCst);
             {
                 let mut jobs = inner.jobs.lock();
-                if let Some(rec) = jobs.get_mut(&ticket) {
+                if let Some(rec) = jobs.records.get_mut(&ticket) {
                     rec.phase = WirePhase::Running;
                 }
             }
@@ -268,19 +312,20 @@ impl Engine {
                     (WirePhase::Aborted, "aborted without error detail".into())
                 }
             };
-            let mut jobs = inner.jobs.lock();
-            if let Some(rec) = jobs.get_mut(&ticket) {
-                rec.phase = phase;
-                rec.detail = detail;
-            }
+            inner
+                .jobs
+                .lock()
+                .mark_terminal(ticket, phase, detail, inner.cfg.terminal_retain);
         });
         SubmitOutcome::Accepted(ticket)
     }
 
-    /// Looks up the lifecycle phase of a ticket.
+    /// Looks up the lifecycle phase of a ticket. Terminal records are
+    /// retained for `terminal_retain` completions, after which the
+    /// ticket answers `Unknown`.
     pub fn status(&self, ticket: u64) -> (WirePhase, String) {
         let jobs = self.inner.jobs.lock();
-        match jobs.get(&ticket) {
+        match jobs.records.get(&ticket) {
             Some(rec) => (rec.phase, rec.detail.clone()),
             None => (WirePhase::Unknown, String::new()),
         }
@@ -294,7 +339,7 @@ impl Engine {
         self.inner.obs.cancel_requests.inc();
         let token = {
             let jobs = self.inner.jobs.lock();
-            match jobs.get(&ticket) {
+            match jobs.records.get(&ticket) {
                 Some(rec) if !rec.phase.is_terminal() => Some(rec.cancel.clone()),
                 _ => None,
             }
@@ -329,21 +374,25 @@ impl Engine {
         self.inner.queued.load(Ordering::SeqCst)
     }
 
-    /// Whether every known job is in a terminal phase.
+    /// Whether every known job is in a terminal phase. (Evicted records
+    /// were terminal by construction, so eviction never flips this.)
     pub fn all_terminal(&self) -> bool {
         self.inner
             .jobs
             .lock()
+            .records
             .values()
             .all(|r| r.phase.is_terminal())
     }
 
-    /// Per-workflow terminal counts, for reporting: `(workflow, phase) →
-    /// count`.
+    /// Per-workflow phase counts over the *retained* records — all live
+    /// jobs plus the most recent `terminal_retain` terminal ones:
+    /// `(workflow, phase) → count`. Lifetime totals live in the
+    /// `gateway.tasks.*` counters.
     pub fn terminal_breakdown(&self) -> BTreeMap<(String, &'static str), u64> {
         let jobs = self.inner.jobs.lock();
         let mut out: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
-        for rec in jobs.values() {
+        for rec in jobs.records.values() {
             let phase = match rec.phase {
                 WirePhase::Completed => "completed",
                 WirePhase::Aborted => "aborted",
@@ -465,6 +514,7 @@ mod tests {
             pool_size: 1,
             queue_cap: 1,
             retry_after_ms: 7,
+            ..EngineConfig::default()
         });
         // Fill the single worker and the single queue slot with jobs that
         // block on an attribute the test controls via lock contention:
@@ -491,6 +541,44 @@ mod tests {
     }
 
     #[test]
+    fn terminal_records_are_evicted_beyond_retention() {
+        let engine = tiny_engine(EngineConfig {
+            pool_size: 2,
+            queue_cap: 8,
+            retry_after_ms: 1,
+            terminal_retain: 3,
+        });
+        let mut tickets = Vec::new();
+        for _ in 0..6 {
+            loop {
+                match engine.submit("status_audit", "dc01.*", false, &[]) {
+                    SubmitOutcome::Accepted(t) => {
+                        tickets.push(t);
+                        // Serialize: wait for terminal before the next
+                        // submission so eviction order is deterministic.
+                        wait_terminal(&engine, t);
+                        break;
+                    }
+                    SubmitOutcome::Busy(_) => std::thread::yield_now(),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        // Only the 3 most recent terminal records survive; older tickets
+        // answer Unknown and cancel() on them reports not-live.
+        for &old in &tickets[..3] {
+            assert_eq!(engine.status(old).0, WirePhase::Unknown, "ticket {old}");
+            assert!(!engine.cancel(old));
+        }
+        for &recent in &tickets[3..] {
+            assert_eq!(engine.status(recent).0, WirePhase::Completed);
+        }
+        assert!(engine.all_terminal());
+        let retained: u64 = engine.terminal_breakdown().values().sum();
+        assert_eq!(retained, 3);
+    }
+
+    #[test]
     fn shutdown_rejects_new_work_and_drains() {
         let engine = tiny_engine(EngineConfig::default());
         let SubmitOutcome::Accepted(t) =
@@ -512,6 +600,7 @@ mod tests {
             pool_size: 1,
             queue_cap: 8,
             retry_after_ms: 1,
+            ..EngineConfig::default()
         });
         // Occupy the single worker with a workflow long enough to let us
         // cancel the queued one behind it.

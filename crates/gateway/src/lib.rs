@@ -68,5 +68,7 @@ pub mod server;
 pub use catalog::{Catalog, CatalogEntry, Program, WorkflowSpec};
 pub use client::{ClientError, GatewayClient, SubmitReply};
 pub use engine::{Engine, EngineConfig, SubmitOutcome};
-pub use proto::{ErrorCode, FrameError, Request, Response, WirePhase, MAX_FRAME};
+pub use proto::{
+    ErrorCode, FrameError, FrameReader, Request, Response, WirePhase, MAX_FRAME, MAX_METRICS_STR,
+};
 pub use server::GatewayServer;

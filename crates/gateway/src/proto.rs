@@ -30,6 +30,12 @@ use std::io::{Read, Write};
 pub const MAX_FRAME: usize = 1 << 20;
 /// Maximum encoded string length (64 KiB).
 pub const MAX_STR: usize = 1 << 16;
+/// Cap for the METRICS response's JSON payload: the whole registry is
+/// one string and can legitimately exceed [`MAX_STR`] on a busy gateway,
+/// so it gets its own cap — the full frame budget minus tag and length
+/// prefix headroom. A registry larger than this is answered with an
+/// `Internal` error rather than truncated mid-JSON (see `server.rs`).
+pub const MAX_METRICS_STR: usize = MAX_FRAME - 64;
 /// Maximum repeated items (submit params, catalog entries) per frame.
 pub const MAX_ITEMS: u32 = 1024;
 
@@ -298,11 +304,16 @@ impl Enc {
         self
     }
     fn str(&mut self, s: &str) -> &mut Self {
+        self.str_capped(s, MAX_STR)
+    }
+    fn str_capped(&mut self, s: &str, cap: usize) -> &mut Self {
         // Encoding truncates at the cap rather than erroring: the caller
         // controls its own strings, and decode enforces the limit anyway.
+        // Fields that can legitimately grow large (METRICS json) pass a
+        // larger cap and are length-checked by the sender before encoding.
         let bytes = s.as_bytes();
-        let take = if bytes.len() > MAX_STR {
-            let mut end = MAX_STR;
+        let take = if bytes.len() > cap {
+            let mut end = cap;
             while end > 0 && !s.is_char_boundary(end) {
                 end -= 1;
             }
@@ -361,9 +372,13 @@ impl<'a> Dec<'a> {
     }
 
     fn str(&mut self) -> Result<String, FrameError> {
+        self.str_capped(MAX_STR)
+    }
+
+    fn str_capped(&mut self, cap: usize) -> Result<String, FrameError> {
         let len = self.u32()? as usize;
-        if len > MAX_STR {
-            return Err(FrameError::Oversized { len, max: MAX_STR });
+        if len > cap {
+            return Err(FrameError::Oversized { len, max: cap });
         }
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)
@@ -495,7 +510,7 @@ impl Response {
             }
             Response::Metrics { json } => {
                 let mut e = Enc::tag(0x86);
-                e.str(json);
+                e.str_capped(json, MAX_METRICS_STR);
                 e.0
             }
             Response::Error { code, message } => {
@@ -535,7 +550,9 @@ impl Response {
                 }
                 Response::Catalog { entries }
             }
-            0x86 => Response::Metrics { json: d.str()? },
+            0x86 => Response::Metrics {
+                json: d.str_capped(MAX_METRICS_STR)?,
+            },
             0x87 => Response::Error {
                 code: ErrorCode::from_u8(d.u8()?)?,
                 message: d.str()?,
@@ -551,8 +568,21 @@ impl Response {
 // ----------------------------------------------------------------- framing
 
 /// Writes one frame (`u32 BE length || body`) to `w`.
+///
+/// Returns `InvalidInput` (writing nothing) if `body` exceeds
+/// [`MAX_FRAME`] — a peer would reject the length prefix as `Oversized`
+/// and kill the connection with a confusing error on its side, so the
+/// oversize is surfaced to the sender instead.
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
-    debug_assert!(body.len() <= MAX_FRAME);
+    if body.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "frame body of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+                body.len()
+            ),
+        ));
+    }
     w.write_all(&(body.len() as u32).to_be_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -581,51 +611,116 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
-/// Reads one frame body from `r`, blocking. Returns [`RecvError::Closed`]
-/// on clean EOF at a frame boundary.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, RecvError> {
-    let mut header = [0u8; 4];
-    let mut got = 0;
-    while got < 4 {
-        match r.read(&mut header[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    Err(RecvError::Closed)
-                } else {
-                    Err(RecvError::Io(std::io::Error::new(
+/// A resumable frame reader for streams with a read timeout.
+///
+/// A server polling a shutdown flag sets `SO_RCVTIMEO`, and that timeout
+/// applies to *each* `read()` — it can fire after part of the header or
+/// body was already consumed (the sender writes header and body in
+/// separate syscalls, so they routinely arrive more than one timeout
+/// apart under real network latency). Restarting a one-shot read would
+/// silently drop the buffered prefix and permanently desync the stream.
+/// `FrameReader` instead keeps the partial header/body across calls:
+/// [`FrameReader::poll`] returns `Ok(None)` on timeout and the next call
+/// resumes exactly where the previous one stopped.
+#[derive(Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    got: usize,
+    body: Option<Vec<u8>>,
+    off: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Whether part of a frame is buffered (the stream is mid-frame).
+    pub fn mid_frame(&self) -> bool {
+        self.got > 0 || self.body.is_some()
+    }
+
+    /// Pulls bytes from `r` until a full frame body is available.
+    ///
+    /// Returns `Ok(Some(body))` for a complete frame and `Ok(None)` if
+    /// the read timed out (`WouldBlock`/`TimedOut`) — partial progress is
+    /// retained for the next call. Clean EOF at a frame boundary is
+    /// [`RecvError::Closed`]; EOF mid-frame is an `UnexpectedEof` I/O
+    /// error; an oversized length prefix is rejected before allocation.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> Result<Option<Vec<u8>>, RecvError> {
+        if self.body.is_none() {
+            while self.got < 4 {
+                match r.read(&mut self.header[self.got..]) {
+                    Ok(0) => {
+                        return if self.got == 0 {
+                            Err(RecvError::Closed)
+                        } else {
+                            Err(RecvError::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "eof inside frame header",
+                            )))
+                        };
+                    }
+                    Ok(n) => self.got += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return Ok(None)
+                    }
+                    Err(e) => return Err(RecvError::Io(e)),
+                }
+            }
+            let len = u32::from_be_bytes(self.header) as usize;
+            if len > MAX_FRAME {
+                return Err(RecvError::Frame(FrameError::Oversized {
+                    len,
+                    max: MAX_FRAME,
+                }));
+            }
+            self.body = Some(vec![0u8; len]);
+            self.off = 0;
+        }
+        let body = self.body.as_mut().expect("body allocated above");
+        while self.off < body.len() {
+            match r.read(&mut body[self.off..]) {
+                Ok(0) => {
+                    return Err(RecvError::Io(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
-                        "eof inside frame header",
+                        "eof inside frame body",
                     )))
-                };
+                }
+                Ok(n) => self.off += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(RecvError::Io(e)),
             }
-            Ok(n) => got += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(RecvError::Io(e)),
         }
+        self.got = 0;
+        Ok(self.body.take())
     }
-    let len = u32::from_be_bytes(header) as usize;
-    if len > MAX_FRAME {
-        return Err(RecvError::Frame(FrameError::Oversized {
-            len,
-            max: MAX_FRAME,
-        }));
+}
+
+/// Reads one frame body from `r`, blocking. Returns [`RecvError::Closed`]
+/// on clean EOF at a frame boundary. A read timeout on the stream
+/// surfaces as a `TimedOut` I/O error; callers that must survive
+/// timeouts without losing partial frames should hold a [`FrameReader`]
+/// instead.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, RecvError> {
+    match FrameReader::new().poll(r)? {
+        Some(body) => Ok(body),
+        None => Err(RecvError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "read timed out mid-frame",
+        ))),
     }
-    let mut body = vec![0u8; len];
-    let mut off = 0;
-    while off < len {
-        match r.read(&mut body[off..]) {
-            Ok(0) => {
-                return Err(RecvError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "eof inside frame body",
-                )))
-            }
-            Ok(n) => off += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(RecvError::Io(e)),
-        }
-    }
-    Ok(body)
 }
 
 #[cfg(test)]
@@ -744,6 +839,101 @@ mod tests {
             Request::decode(&[]).unwrap_err(),
             FrameError::Truncated { .. }
         ));
+    }
+
+    #[test]
+    fn metrics_json_larger_than_max_str_roundtrips() {
+        // The registry JSON is one string and can exceed the generic
+        // 64 KiB string cap; METRICS has its own cap under MAX_FRAME.
+        let json = format!("{{\"pad\":\"{}\"}}", "x".repeat(MAX_STR * 3));
+        assert!(json.len() > MAX_STR);
+        roundtrip_resp(Response::Metrics { json });
+    }
+
+    #[test]
+    fn oversized_write_frame_is_an_error_not_a_truncation() {
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &vec![0u8; MAX_FRAME + 1]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "nothing may reach the wire");
+        write_frame(&mut buf, &vec![0u8; MAX_FRAME]).unwrap();
+    }
+
+    /// A reader that yields `data` in single-byte reads, interleaving a
+    /// timeout before every byte — the worst case for a frame reader on a
+    /// stream with `SO_RCVTIMEO`.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl std::io::Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "timeout tick",
+                ));
+            }
+            self.ready = false;
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts_mid_frame() {
+        let req = Request::Submit {
+            workflow: "drain".into(),
+            scope: "dc01.*".into(),
+            urgent: false,
+            params: vec![("a".into(), "b".into())],
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        write_frame(&mut wire, &Request::List.encode()).unwrap();
+        let mut r = Trickle {
+            data: wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut fr = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0;
+        loop {
+            match fr.poll(&mut r) {
+                Ok(Some(body)) => frames.push(body),
+                Ok(None) => timeouts += 1,
+                Err(RecvError::Closed) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames.len(), 2, "both frames must survive the timeouts");
+        assert_eq!(Request::decode(&frames[0]).unwrap(), req);
+        assert_eq!(Request::decode(&frames[1]).unwrap(), Request::List);
+        assert!(timeouts > 8, "every byte was preceded by a timeout");
+        assert!(!fr.mid_frame());
+    }
+
+    #[test]
+    fn frame_reader_reports_eof_mid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Metrics.encode()).unwrap();
+        wire.truncate(wire.len() - 1);
+        let mut r = std::io::Cursor::new(wire);
+        let mut fr = FrameReader::new();
+        match fr.poll(&mut r) {
+            Err(RecvError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("expected eof error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,10 +13,11 @@
 //! engine drains in-flight work before `shutdown()` returns.
 
 use crate::engine::{Engine, SubmitOutcome};
-use crate::proto::{read_frame, write_frame, ErrorCode, FrameError, RecvError, Request, Response};
+use crate::proto::{
+    write_frame, ErrorCode, FrameError, FrameReader, RecvError, Request, Response, MAX_METRICS_STR,
+};
 use occam_obs::Counter;
 use parking_lot::{Condvar, Mutex};
-use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -145,19 +146,21 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
     shared.obs.opened.inc();
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_nodelay(true);
+    // The read timeout applies to each read() syscall, so it can fire
+    // with part of a frame already consumed (header and body arrive in
+    // separate writes). FrameReader keeps that partial state across
+    // timeout ticks — a slow-but-well-behaved client is never desynced.
+    let mut reader = FrameReader::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let body = match read_frame(&mut stream) {
-            Ok(body) => body,
+        let body = match reader.poll(&mut stream) {
+            Ok(Some(body)) => body,
+            // Timeout tick (mid-frame or at a boundary): any partial
+            // frame stays buffered in `reader`; poll the stop flag.
+            Ok(None) => continue,
             Err(RecvError::Closed) => break,
-            Err(RecvError::Io(e))
-                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-            {
-                // Idle tick at a frame boundary: poll the stop flag.
-                continue;
-            }
             Err(RecvError::Io(_)) => break,
             Err(RecvError::Frame(err)) => {
                 shared.obs.proto_errors.inc();
@@ -238,12 +241,25 @@ fn handle_request(shared: &ServerShared, req: Request) -> (Response, bool) {
             },
             false,
         ),
-        Request::Metrics => (
-            Response::Metrics {
-                json: engine.metrics_json(),
-            },
-            false,
-        ),
+        Request::Metrics => {
+            let json = engine.metrics_json();
+            // The METRICS cap is generous (MAX_FRAME minus headroom) but
+            // a pathological registry must get a typed error, not a
+            // silently truncated — i.e. syntactically invalid — JSON blob.
+            let resp = if json.len() > MAX_METRICS_STR {
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!(
+                        "metrics registry JSON is {} bytes, exceeding the {} byte frame cap",
+                        json.len(),
+                        MAX_METRICS_STR
+                    ),
+                }
+            } else {
+                Response::Metrics { json }
+            };
+            (resp, false)
+        }
         Request::Shutdown => {
             let mut requested = shared.shutdown_requested.lock();
             *requested = true;

@@ -193,6 +193,25 @@ impl Condvar {
         });
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guard's
+    /// mutex while waiting. Mirrors `parking_lot::Condvar::wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_mut_guard(&mut guard.inner, |g| {
+            let (g, r) = match self.inner.wait_timeout(g, timeout) {
+                Ok(pair) => pair,
+                Err(p) => p.into_inner(),
+            };
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -201,6 +220,18 @@ impl Condvar {
     /// Wakes all waiting threads.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Result of a timed condition-variable wait (see [`Condvar::wait_for`]).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait returned because the timeout elapsed rather than
+    /// a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 

@@ -22,6 +22,7 @@ fn start_gateway(pool_size: usize, queue_cap: usize) -> (GatewayServer, String) 
             pool_size,
             queue_cap,
             retry_after_ms: 2,
+            ..EngineConfig::default()
         },
     );
     let server = GatewayServer::start(engine, "127.0.0.1:0").expect("bind");

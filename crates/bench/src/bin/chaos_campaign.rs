@@ -1,0 +1,113 @@
+//! Seeded chaos-campaign sweep for the recovery evaluation.
+//!
+//! Runs N seeded fault campaigns (see `occam-chaos`) across a fault-rate
+//! sweep, re-runs the first campaign to check the byte-identical
+//! determinism contract, and writes `BENCH_chaos.json` with per-campaign
+//! counters: tasks attempted, completed, rolled back, retries, injected
+//! faults per layer, crash points, and invariant violations (which a
+//! healthy stack keeps at zero across the whole sweep — the process
+//! exits non-zero otherwise).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p occam-bench --bin chaos_campaign [tasks]
+//! # full sweep: seeds {11, 42, 1234} x rates {0, 0.05, 0.10, 0.15, 0.20}
+//! # default 60 tasks per campaign
+//!
+//! cargo run --release -p occam-bench --bin chaos_campaign --smoke
+//! # CI smoke: one campaign, seed 42, fault rate 10%, 100 tasks,
+//! # gateway phase included
+//! ```
+
+use occam_chaos::{Campaign, CampaignConfig, CampaignReport, GatewayChaosConfig};
+use std::fmt::Write as _;
+
+const SWEEP_SEEDS: [u64; 3] = [11, 42, 1234];
+const SWEEP_RATES: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
+
+fn run_campaign(seed: u64, rate: f64, tasks: u32, gateway: bool) -> CampaignReport {
+    let mut cfg = CampaignConfig::at_rate(seed, rate);
+    cfg.tasks = tasks;
+    if gateway {
+        cfg.gateway = Some(GatewayChaosConfig::default());
+    }
+    let report = Campaign::new(cfg).run();
+    eprintln!(
+        "seed {seed:>5} rate {rate:.2}: {} tasks, {} completed, {} rolled back, \
+         {} retries, {} violations",
+        report.tasks,
+        report.completed,
+        report.rolled_back,
+        report.retries,
+        report.invariant_violations
+    );
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let tasks: u32 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|a| a.parse().expect("tasks must be a number"))
+        .unwrap_or(if smoke { 100 } else { 60 });
+
+    let mut campaigns: Vec<CampaignReport> = Vec::new();
+    if smoke {
+        // The gateway connection-chaos phase rides along on the smoke
+        // campaign, so CI covers every fault layer in one run.
+        campaigns.push(run_campaign(42, 0.10, tasks, true));
+    } else {
+        for &seed in &SWEEP_SEEDS {
+            for &rate in &SWEEP_RATES {
+                // Attach the gateway phase once per seed (at the 10% rate);
+                // it is fault-rate independent, so once is representative.
+                let gateway = (rate - 0.10).abs() < f64::EPSILON;
+                campaigns.push(run_campaign(seed, rate, tasks, gateway));
+            }
+        }
+    }
+
+    // Determinism contract: the first campaign, re-run with an identical
+    // config, must serialize byte-identically.
+    let first = &campaigns[0];
+    let rerun = run_campaign(first.seed, first.fault_rate, tasks, first.gateway.is_some());
+    let determinism_ok = rerun.to_json() == first.to_json();
+
+    let total_violations: u64 = campaigns.iter().map(|c| c.invariant_violations).sum();
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"chaos_campaign\",\"smoke\":{smoke},\"tasks_per_campaign\":{tasks},\
+         \"campaigns\":["
+    );
+    for (i, c) in campaigns.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&c.to_json());
+    }
+    let _ = write!(
+        json,
+        "],\"determinism_ok\":{determinism_ok},\"total_violations\":{total_violations}}}"
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json ({} campaigns)", campaigns.len());
+
+    if !determinism_ok {
+        eprintln!("FAIL: identical configs produced different reports");
+        std::process::exit(1);
+    }
+    if total_violations > 0 {
+        let first_bad = campaigns
+            .iter()
+            .find(|c| c.invariant_violations > 0)
+            .and_then(|c| c.first_violation.clone())
+            .unwrap_or_default();
+        eprintln!("FAIL: {total_violations} invariant violations ({first_bad})");
+        std::process::exit(1);
+    }
+    println!("sweep clean: zero invariant violations, determinism holds");
+}

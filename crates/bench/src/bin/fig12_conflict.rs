@@ -39,7 +39,7 @@ fn scenario(with_locks: bool) -> Timeline {
     if with_locks {
         let rt1 = runtime.clone();
         let t = target.clone();
-        let h1 = rt1.submit("upgrade_data_plane", move |ctx| {
+        let h1 = rt1.task("upgrade_data_plane").spawn(move |ctx| {
             let net = ctx.network(&t)?;
             net.apply("f_drain")?;
             ctx.runtime().service().advance(2);
@@ -54,7 +54,7 @@ fn scenario(with_locks: bool) -> Timeline {
         std::thread::sleep(std::time::Duration::from_millis(40));
         let rt2 = runtime.clone();
         let t = target.clone();
-        let h2 = rt2.submit("turn_up_links", move |ctx| {
+        let h2 = rt2.task("turn_up_links").spawn(move |ctx| {
             let net = ctx.network(&t)?;
             net.set_links(attrs::LINK_STATUS, attrs::UP.into())?;
             net.apply("f_turnup_link")?;

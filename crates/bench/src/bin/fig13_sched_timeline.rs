@@ -90,7 +90,7 @@ fn traffic(policy: Policy) -> (f64, f64, f64, usize) {
     };
 
     let mut handles = Vec::new();
-    type Program = Box<dyn FnOnce(&occam::TaskCtx) -> occam::TaskResult<()> + Send>;
+    type Program = Box<dyn FnMut(&occam::TaskCtx) -> occam::TaskResult<()> + Send>;
     let programs: Vec<(&str, Program)> = vec![
         (
             "middlebox_rerouting",
@@ -134,7 +134,7 @@ fn traffic(policy: Policy) -> (f64, f64, f64, usize) {
     ];
     for (name, program) in programs {
         let rt = runtime.clone();
-        handles.push(rt.clone().submit(name, program));
+        handles.push(rt.clone().task(name).spawn(program));
         std::thread::sleep(std::time::Duration::from_millis(15));
     }
     for h in handles {

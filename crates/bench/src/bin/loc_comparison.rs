@@ -103,17 +103,18 @@ fn legacy_cs4(rt: &occam::Runtime) -> Result<(), String> {
 }
 
 fn occam_cs4(rt: &occam::Runtime) -> TaskState {
-    rt.run_task("cs4_connectivity_test", |ctx| {
-        // BEGIN occam_cs4
-        let tors = ctx.network("dc01.pod02.tor*")?;
-        tors.apply("f_alloc_ip")?;
-        tors.apply("f_ping_test")?;
-        tors.apply("f_dealloc_ip")?;
-        tors.close();
-        Ok(())
-        // END occam_cs4
-    })
-    .state
+    rt.task("cs4_connectivity_test")
+        .run(|ctx| {
+            // BEGIN occam_cs4
+            let tors = ctx.network("dc01.pod02.tor*")?;
+            tors.apply("f_alloc_ip")?;
+            tors.apply("f_ping_test")?;
+            tors.apply("f_dealloc_ip")?;
+            tors.close();
+            Ok(())
+            // END occam_cs4
+        })
+        .state
 }
 
 // ---------------------------------------------------------------------
@@ -198,28 +199,29 @@ fn legacy_cs5(rt: &occam::Runtime) -> Result<(), String> {
 }
 
 fn occam_cs5(rt: &occam::Runtime) -> TaskState {
-    rt.run_task("cs5_activate_links", |ctx| {
-        // BEGIN occam_cs5
-        let net = ctx.network("dc01.pod03.*")?;
-        let statuses = net.get(attrs::DEVICE_STATUS)?;
-        if statuses
-            .values()
-            .any(|v| v.as_str() != Some(attrs::STATUS_ACTIVE))
-        {
-            return Err(occam::TaskError::Failed("devices not healthy".into()));
-        }
-        net.set_links(attrs::LINK_STATUS, attrs::UP.into())?;
-        net.apply("f_create_config")?;
-        net.apply("f_push")?;
-        let after = net.get_links(attrs::LINK_STATUS)?;
-        if after.values().any(|v| v.as_str() != Some(attrs::UP)) {
-            return Err(occam::TaskError::Failed("did not converge".into()));
-        }
-        net.close();
-        Ok(())
-        // END occam_cs5
-    })
-    .state
+    rt.task("cs5_activate_links")
+        .run(|ctx| {
+            // BEGIN occam_cs5
+            let net = ctx.network("dc01.pod03.*")?;
+            let statuses = net.get(attrs::DEVICE_STATUS)?;
+            if statuses
+                .values()
+                .any(|v| v.as_str() != Some(attrs::STATUS_ACTIVE))
+            {
+                return Err(occam::TaskError::Failed("devices not healthy".into()));
+            }
+            net.set_links(attrs::LINK_STATUS, attrs::UP.into())?;
+            net.apply("f_create_config")?;
+            net.apply("f_push")?;
+            let after = net.get_links(attrs::LINK_STATUS)?;
+            if after.values().any(|v| v.as_str() != Some(attrs::UP)) {
+                return Err(occam::TaskError::Failed("did not converge".into()));
+            }
+            net.close();
+            Ok(())
+            // END occam_cs5
+        })
+        .state
 }
 
 // ---------------------------------------------------------------------
@@ -289,17 +291,18 @@ fn legacy_cs6(rt: &occam::Runtime) -> Result<(), String> {
 }
 
 fn occam_cs6(rt: &occam::Runtime) -> TaskState {
-    rt.run_task("cs6_deploy_config", |ctx| {
-        // BEGIN occam_cs6
-        let net = ctx.network("dc01.pod04.*")?;
-        net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
-        net.apply("f_create_config")?;
-        net.apply_with("f_push", &FuncArgs::one("admin", "drained"))?;
-        net.close();
-        Ok(())
-        // END occam_cs6
-    })
-    .state
+    rt.task("cs6_deploy_config")
+        .run(|ctx| {
+            // BEGIN occam_cs6
+            let net = ctx.network("dc01.pod04.*")?;
+            net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
+            net.apply("f_create_config")?;
+            net.apply_with("f_push", &FuncArgs::one("admin", "drained"))?;
+            net.close();
+            Ok(())
+            // END occam_cs6
+        })
+        .state
 }
 
 // ---------------------------------------------------------------------

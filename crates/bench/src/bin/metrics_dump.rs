@@ -35,6 +35,8 @@ const RUNTIME_NAMES: &[&str] = &[
     "core.lock_wait_ns",
     "core.deadlocks",
     "core.rollback.plans",
+    "core.task.retries",
+    "core.task.retry_rollback_failed",
     "core.ops.get",
     "core.ops.set",
     "core.ops.apply",
@@ -78,6 +80,21 @@ const GATEWAY_NAMES: &[&str] = &[
     "core.task.panicked",
 ];
 
+/// The §9 / §11 families a chaos-campaign registry must carry (on top
+/// of the runtime families, which share the same registry).
+const CHAOS_NAMES: &[&str] = &[
+    "chaos.campaigns",
+    "chaos.tasks",
+    "chaos.tasks.completed",
+    "chaos.tasks.rolled_back",
+    "chaos.crashes",
+    "chaos.invariant.violations",
+    "chaos.faults.db",
+    "chaos.faults.device",
+    "core.task.retries",
+    "core.task.retry_rollback_failed",
+];
+
 /// The §9 families the simulation registry must carry.
 const SIM_NAMES: &[&str] = &[
     "sim.queue_depth",
@@ -113,7 +130,7 @@ fn exercise_runtime() -> occam::Runtime {
     let (runtime, _ft) = occam::emulated_deployment(1, 6);
 
     // Read-only audit: shared locks, `get` operations, database queries.
-    let report = runtime.run_task("audit", |ctx| {
+    let report = runtime.task("audit").run(|ctx| {
         let net = ctx.network_read("dc01.pod00.*")?;
         let _ = net.devices()?;
         let _ = net.get(attrs::DEVICE_STATUS)?;
@@ -129,7 +146,7 @@ fn exercise_runtime() -> occam::Runtime {
             let rt = runtime.clone();
             s.spawn(move || {
                 let name = format!("maintenance_{i}");
-                let report = rt.run_task(&name, |ctx| {
+                let report = rt.task(&name).run(|ctx| {
                     let net = ctx.network("dc01.pod01.*")?;
                     net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
                     net.apply("f_drain")?;
@@ -146,7 +163,7 @@ fn exercise_runtime() -> occam::Runtime {
 
     // A task that fails mid-flight: abort accounting plus a generated
     // rollback plan (`core.rollback.plans`, `rollback_planned` event).
-    let report = runtime.run_task("doomed", |ctx| {
+    let report = runtime.task("doomed").run(|ctx| {
         let net = ctx.network("dc01.pod02.*")?;
         net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
         Err(occam::TaskError::Failed("induced failure".into()))
@@ -169,7 +186,8 @@ fn exercise_gateway() -> occam::obs::Registry {
     let hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let report = runtime
-        .submit_pooled("panicky", |_| panic!("induced panic"))
+        .task("panicky")
+        .spawn_pooled(|_| panic!("induced panic"))
         .wait();
     std::panic::set_hook(hook);
     assert_eq!(report.state, occam::TaskState::Aborted);
@@ -177,7 +195,9 @@ fn exercise_gateway() -> occam::obs::Registry {
     let token = occam::core::CancelToken::new();
     token.cancel();
     runtime
-        .submit_pooled_opts("cancelled", false, token, |_| Ok(()))
+        .task("cancelled")
+        .cancel_token(token)
+        .spawn_pooled(|_| Ok(()))
         .wait();
 
     let engine = Engine::new(runtime, EngineConfig::default());
@@ -247,6 +267,20 @@ fn main() {
     );
     check_contract("sim", &r.obs, SIM_NAMES);
 
+    // A short seeded fault campaign: covers the `chaos.*` family plus the
+    // retry counters under real (injected) transient faults.
+    let mut chaos_cfg = occam_chaos::CampaignConfig::at_rate(7, 0.05);
+    chaos_cfg.tasks = 8;
+    let chaos = occam_chaos::Campaign::new(chaos_cfg);
+    let chaos_reg = chaos.registry().clone();
+    let chaos_report = chaos.run();
+    assert_eq!(
+        chaos_report.invariant_violations, 0,
+        "chaos campaign violated the recovery contract: {:?}",
+        chaos_report.first_violation
+    );
+    check_contract("chaos", &chaos_reg, CHAOS_NAMES);
+
     let mut out = String::from("{\n  \"runtime\": ");
     out.push_str(&runtime.obs().to_json());
     out.push_str(",\n  \"runtime_events\": ");
@@ -255,6 +289,8 @@ fn main() {
     out.push_str(&r.obs.to_json());
     out.push_str(",\n  \"gateway\": ");
     out.push_str(&gateway_reg.to_json());
+    out.push_str(",\n  \"chaos\": ");
+    out.push_str(&chaos_reg.to_json());
     out.push_str("\n}\n");
     std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");

@@ -41,7 +41,7 @@ fn main() {
         let svc = occam::emu_service(&rt);
         let before = rt.db().snapshot();
         svc.library().fail_at(func, 0);
-        let report = rt.run_task("firmware_upgrade", upgrade);
+        let report = rt.task("firmware_upgrade").run(upgrade);
         assert_eq!(report.state, TaskState::Aborted);
         svc.library().clear_faults();
         println!("### failure injected at {func}");
@@ -70,7 +70,7 @@ fn main() {
     }
     // And the no-failure control: the task completes, nothing to roll back.
     let (rt, _ft) = occam::emulated_deployment(1, 6);
-    let report = rt.run_task("firmware_upgrade", upgrade);
+    let report = rt.task("firmware_upgrade").run(upgrade);
     assert_eq!(report.state, TaskState::Completed);
     println!("### control (no injected failure)");
     println!("log:  {}", render_log(&report.log));

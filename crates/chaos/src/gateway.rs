@@ -1,0 +1,199 @@
+//! Gateway connection chaos: drops and resets mid-frame.
+//!
+//! The service frontend has its own failure surface the task layers never
+//! see: clients that die mid-frame, and clients that submit work and
+//! vanish before reading the reply. This phase drives both against a real
+//! [`GatewayServer`] over loopback and then audits the engine's job
+//! table: a partial SUBMIT must never create a job record (admission
+//! happens only after a full decode), and a vanished client's job must
+//! still run to a terminal phase — nothing may be left queued or running
+//! after drain.
+//!
+//! Determinism: the phase runs sequentially (pool size 1, one connection
+//! at a time) and synchronizes on the engine's own counters between
+//! steps, so the resulting [`GatewayChaosReport`] depends only on the
+//! config.
+
+use crate::report::GatewayChaosReport;
+use occam_core::Runtime;
+use occam_emunet::{EmuNet, EmuService};
+use occam_gateway::proto::{write_frame, Request};
+use occam_gateway::{Engine, EngineConfig, GatewayClient, GatewayServer, SubmitReply};
+use occam_netdb::{attrs, Database};
+use occam_topology::{FatTree, Role};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for the gateway chaos phase.
+#[derive(Clone, Debug)]
+pub struct GatewayChaosConfig {
+    /// Total submission slots (normal + chaotic).
+    pub submissions: u32,
+    /// Every N-th slot is a chaotic connection (alternating partial-frame
+    /// drop and submit-then-vanish); `0` disables chaos.
+    pub drop_every: u32,
+}
+
+impl Default for GatewayChaosConfig {
+    fn default() -> GatewayChaosConfig {
+        GatewayChaosConfig {
+            submissions: 24,
+            drop_every: 3,
+        }
+    }
+}
+
+fn substrate() -> Engine {
+    let ft = FatTree::build(1, 4).expect("k=4 fat tree");
+    let db = Arc::new(Database::new());
+    for (_, d) in ft.topo.devices() {
+        if d.role == Role::Host {
+            continue;
+        }
+        db.insert_device(
+            &d.name,
+            vec![(attrs::DEVICE_STATUS.into(), attrs::STATUS_ACTIVE.into())],
+        )
+        .expect("seed device");
+    }
+    let rt = Runtime::new(db, Arc::new(EmuService::new(EmuNet::from_fattree(&ft))));
+    Engine::new(
+        rt,
+        EngineConfig {
+            pool_size: 1,
+            queue_cap: 4,
+            retry_after_ms: 1,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Spins until `probe()` is true or ~5s pass (returns whether it held).
+fn wait_until(mut probe: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::yield_now();
+    }
+    probe()
+}
+
+/// Runs the phase against a fresh fault-free substrate (the chaos here is
+/// connection-level, injected by construction every `drop_every`-th slot).
+pub fn run_gateway_phase(cfg: &GatewayChaosConfig) -> GatewayChaosReport {
+    let engine = substrate();
+    let server = GatewayServer::start(engine.clone(), "127.0.0.1:0").expect("loopback listener");
+    let addr = server.local_addr().to_string();
+    let reg = engine.runtime().obs().clone();
+
+    let mut report = GatewayChaosReport {
+        submissions: cfg.submissions as u64,
+        ..GatewayChaosReport::default()
+    };
+    let mut expected_accepted: u64 = 0;
+    let mut chaotic_slots: u64 = 0;
+    let submit_body = Request::Submit {
+        workflow: "drain".into(),
+        scope: "dc01.pod00.*".into(),
+        urgent: false,
+        params: Vec::new(),
+    }
+    .encode();
+
+    for i in 0..cfg.submissions {
+        let chaotic = cfg.drop_every > 0 && (i + 1) % cfg.drop_every == 0;
+        if chaotic {
+            chaotic_slots += 1;
+            if chaotic_slots % 2 == 1 {
+                // Partial frame: length prefix plus half the body, then a
+                // hard drop. The server must tear the connection down
+                // without admitting anything.
+                let mut s = TcpStream::connect(&addr).expect("connect");
+                s.write_all(&(submit_body.len() as u32).to_be_bytes())
+                    .expect("length prefix");
+                s.write_all(&submit_body[..submit_body.len() / 2])
+                    .expect("half body");
+                drop(s);
+                report.partial_drops += 1;
+            } else {
+                // Full SUBMIT, then vanish before the reply. The job is
+                // admitted and must still run to a terminal phase.
+                let mut s = TcpStream::connect(&addr).expect("connect");
+                write_frame(&mut s, &submit_body).expect("frame");
+                expected_accepted += 1;
+                // Don't advance until the engine has actually admitted it,
+                // so counters can't race the next slot.
+                wait_until(|| reg.counter_value("gateway.submit.accepted") >= expected_accepted);
+                drop(s);
+                report.vanish_drops += 1;
+            }
+        } else {
+            // Normal client: alternate drain/undrain so the region state
+            // stays well-formed, and wait for the terminal phase.
+            let workflow = if i % 2 == 0 { "drain" } else { "undrain" };
+            let mut client = GatewayClient::connect(&addr).expect("connect");
+            client
+                .set_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            loop {
+                match client
+                    .submit(workflow, "dc01.pod00.*", false, &[])
+                    .expect("submit")
+                {
+                    SubmitReply::Accepted(ticket) => {
+                        expected_accepted += 1;
+                        wait_until(
+                            || matches!(client.status(ticket), Ok((p, _)) if p.is_terminal()),
+                        );
+                        break;
+                    }
+                    SubmitReply::Busy(_) => std::thread::yield_now(),
+                    SubmitReply::Rejected(code, msg) => {
+                        panic!("unexpected rejection: {code:?} {msg}")
+                    }
+                }
+            }
+            drop(client);
+        }
+        // Every slot used exactly one connection; let the server finish
+        // accounting for it before the next slot starts.
+        wait_until(|| reg.counter_value("gateway.conn.closed") >= (i + 1) as u64);
+    }
+
+    engine.shutdown();
+    report.accepted = reg.counter_value("gateway.submit.accepted");
+    report.completed = reg.counter_value("gateway.tasks.completed");
+    report.leaked_records = engine
+        .terminal_breakdown()
+        .iter()
+        .filter(|((_, phase), _)| matches!(*phase, "queued" | "running"))
+        .map(|(_, n)| n)
+        .sum();
+    let mut server = server;
+    server.shutdown();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_phase_never_leaks_job_records() {
+        let report = run_gateway_phase(&GatewayChaosConfig {
+            submissions: 12,
+            drop_every: 3,
+        });
+        assert_eq!(report.partial_drops, 2);
+        assert_eq!(report.vanish_drops, 2);
+        // 8 normal + 2 vanished submissions were admitted; partial frames
+        // never were.
+        assert_eq!(report.accepted, 10);
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.leaked_records, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Campaign outcome accounting.
+//!
+//! Reports are fully deterministic for a given `(config, seed)`: they
+//! carry counters only — no wall-clock times, no host-dependent values —
+//! so byte-identical JSON across runs is the campaign determinism
+//! contract the tests and the bench harness assert.
+
+/// Outcome of the gateway connection-chaos phase.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GatewayChaosReport {
+    /// Submission slots the phase attempted (normal + chaotic).
+    pub submissions: u64,
+    /// Submissions the engine admitted.
+    pub accepted: u64,
+    /// Admitted tasks that reached `Completed`.
+    pub completed: u64,
+    /// Connections dropped mid-frame (partial SUBMIT, then reset).
+    pub partial_drops: u64,
+    /// Connections dropped after a full SUBMIT, before reading the reply.
+    pub vanish_drops: u64,
+    /// Job records left non-terminal after drain — must be 0.
+    pub leaked_records: u64,
+}
+
+impl GatewayChaosReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"submissions\":{},\"accepted\":{},\"completed\":{},\"partial_drops\":{},\"vanish_drops\":{},\"leaked_records\":{}}}",
+            self.submissions,
+            self.accepted,
+            self.completed,
+            self.partial_drops,
+            self.vanish_drops,
+            self.leaked_records
+        )
+    }
+}
+
+/// Outcome of one seeded campaign. All fields are counters; see the
+/// module docs for the determinism contract.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CampaignReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Fault rate (per stateful operation) the campaign ran at.
+    pub fault_rate: f64,
+    /// Tasks attempted.
+    pub tasks: u64,
+    /// Tasks that ended `Completed` (postcondition verified).
+    pub completed: u64,
+    /// Tasks that ended `Aborted` and were verified fully rolled back.
+    pub rolled_back: u64,
+    /// Retry attempts the runtime made (`core.task.retries`).
+    pub retries: u64,
+    /// Inter-attempt rollbacks that failed (`core.task.retry_rollback_failed`).
+    pub retry_rollback_failed: u64,
+    /// Faults injected by the netdb query injector.
+    pub db_faults: u64,
+    /// Faults injected by the device-service shim.
+    pub device_faults: u64,
+    /// Latency spikes fired by the device-service shim.
+    pub latency_spikes: u64,
+    /// Calls failed against wedged (stuck) devices.
+    pub stuck_hits: u64,
+    /// Simulated crash-and-replay points exercised.
+    pub crashes: u64,
+    /// Invariant violations detected — the headline number; must be 0.
+    pub invariant_violations: u64,
+    /// First violation description, when any occurred.
+    pub first_violation: Option<String>,
+    /// Gateway phase outcome, when the phase ran.
+    pub gateway: Option<GatewayChaosReport>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl CampaignReport {
+    /// Renders the report as one deterministic JSON object (fixed key
+    /// order, no whitespace).
+    pub fn to_json(&self) -> String {
+        let gateway = match &self.gateway {
+            Some(g) => g.to_json(),
+            None => "null".to_string(),
+        };
+        let first_violation = match &self.first_violation {
+            Some(v) => format!("\"{}\"", json_escape(v)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{}}}",
+            self.seed,
+            self.fault_rate,
+            self.tasks,
+            self.completed,
+            self.rolled_back,
+            self.retries,
+            self.retry_rollback_failed,
+            self.db_faults,
+            self.device_faults,
+            self.latency_spikes,
+            self.stuck_hits,
+            self.crashes,
+            self.invariant_violations,
+            first_violation,
+            gateway
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_escapes() {
+        let mut r = CampaignReport {
+            seed: 42,
+            fault_rate: 0.05,
+            tasks: 10,
+            completed: 8,
+            rolled_back: 2,
+            ..CampaignReport::default()
+        };
+        assert_eq!(r.to_json(), r.clone().to_json());
+        assert!(r.to_json().contains("\"fault_rate\":0.05"));
+        assert!(r.to_json().ends_with("\"gateway\":null}"));
+        r.first_violation = Some("say \"what\"\n".into());
+        assert!(r.to_json().contains("say \\\"what\\\"\\n"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Campaign scenarios: re-runnable management programs with checkable
+//! postconditions.
+//!
+//! Each scenario mirrors one of the paper's case-study workflows and
+//! carries the predicate a *fully applied* execution must satisfy, so the
+//! campaign engine can verify the all-or-nothing contract in both
+//! directions: a completed task must pass its postcondition, and an
+//! aborted task (after mechanical rollback) must leave state identical to
+//! the pre-task snapshot.
+
+use occam_core::{TaskCtx, TaskResult};
+use occam_emunet::{EmuService, FuncArgs};
+use occam_netdb::{attrs, Database};
+use occam_regex::Pattern;
+use occam_topology::Role;
+
+/// Which workflow shape a scenario runs.
+///
+/// Every shape emits a log the Table-1 rollback grammar parses, so an
+/// abort at *any* prefix yields a mechanical rollback plan — the
+/// campaign (and the runtime's inter-attempt retry rollback) depend on
+/// that.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScenarioKind {
+    /// Drain → test-IP prepare → optics test → unprepare → undrain over
+    /// a region (case study: device maintenance).
+    Maintenance,
+    /// Drain → firmware write + config push → undrain (case study #1).
+    Firmware,
+    /// Allocate test IP → optics test → deallocate (temporary physical
+    /// state that must never leak).
+    TestIpCycle,
+    /// Read-only status audit; must not change anything.
+    Audit,
+}
+
+impl ScenarioKind {
+    /// All kinds, in the order the campaign RNG indexes them.
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::Maintenance,
+        ScenarioKind::Firmware,
+        ScenarioKind::TestIpCycle,
+        ScenarioKind::Audit,
+    ];
+}
+
+/// One concrete task the campaign will run: a kind, a region scope, and
+/// (for firmware pushes) a target version.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The workflow shape.
+    pub kind: ScenarioKind,
+    /// Region scope as a device-name glob.
+    pub scope: String,
+    /// Target firmware version (used by [`ScenarioKind::Firmware`]).
+    pub firmware: String,
+}
+
+impl Scenario {
+    /// Task name for reports and metrics.
+    pub fn name(&self) -> String {
+        let kind = match self.kind {
+            ScenarioKind::Maintenance => "maintenance",
+            ScenarioKind::Firmware => "firmware",
+            ScenarioKind::TestIpCycle => "test_ip_cycle",
+            ScenarioKind::Audit => "audit",
+        };
+        format!("chaos.{kind}[{}]", self.scope)
+    }
+
+    /// Builds the re-runnable management program. The closure is `Fn` —
+    /// it only reads the scenario — so a [`occam_core::RetryPolicy`] can
+    /// re-execute it after transient aborts.
+    pub fn program(&self) -> impl Fn(&TaskCtx) -> TaskResult<()> + Send + 'static {
+        let kind = self.kind;
+        let scope = self.scope.clone();
+        let firmware = self.firmware.clone();
+        move |ctx| match kind {
+            ScenarioKind::Maintenance => {
+                // DRAIN (PREPARE TEST UNPREPARE) UNDRAIN — an offline
+                // block with a testing block inside, per Table 1.
+                let region = ctx.network(&scope)?;
+                region.apply("f_drain")?;
+                region.apply("f_alloc_ip")?;
+                region.apply("f_optic_test")?;
+                region.apply("f_dealloc_ip")?;
+                region.apply("f_undrain")?;
+                region.close();
+                Ok(())
+            }
+            ScenarioKind::Firmware => {
+                // DRAIN (DB_CHANGE PUSH_CFG) UNDRAIN — the paper's
+                // canonical firmware-upgrade shape.
+                let region = ctx.network(&scope)?;
+                region.apply("f_drain")?;
+                region.set(attrs::FIRMWARE_VERSION, firmware.as_str().into())?;
+                region.apply_with(
+                    "f_push",
+                    &FuncArgs::one("admin", "drained").with("firmware", &firmware),
+                )?;
+                region.apply("f_undrain")?;
+                region.close();
+                Ok(())
+            }
+            ScenarioKind::TestIpCycle => {
+                let region = ctx.network(&scope)?;
+                region.apply("f_alloc_ip")?;
+                region.apply("f_optic_test")?;
+                region.apply("f_dealloc_ip")?;
+                region.close();
+                Ok(())
+            }
+            ScenarioKind::Audit => {
+                let region = ctx.network_read(&scope)?;
+                let devices = region.devices()?;
+                let statuses = region.get(attrs::DEVICE_STATUS)?;
+                region.close();
+                if statuses.len() > devices.len() {
+                    return Err(occam_core::TaskError::Failed(
+                        "audit saw more statuses than devices".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Verifies the fully-applied postcondition against both layers.
+    /// Call with fault injection paused. `Ok(())` when it holds,
+    /// `Err(description)` otherwise.
+    pub fn check_postcondition(&self, db: &Database, service: &EmuService) -> Result<(), String> {
+        let pat = Pattern::from_glob(&self.scope).map_err(|e| format!("bad scope: {e}"))?;
+        match self.kind {
+            ScenarioKind::Audit => Ok(()), // read-only; checked via snapshot equality
+            ScenarioKind::Firmware => {
+                let fw = db
+                    .get_attr(&pat, attrs::FIRMWARE_VERSION)
+                    .map_err(|e| format!("firmware read: {e}"))?;
+                for (dev, v) in &fw {
+                    if v.as_str() != Some(self.firmware.as_str()) {
+                        return Err(format!("{dev}: db firmware {v:?} != {}", self.firmware));
+                    }
+                }
+                self.check_devices(service, |dev, drained, firmware| {
+                    if drained {
+                        return Err(format!("{dev}: still drained after completed task"));
+                    }
+                    if firmware != self.firmware {
+                        return Err(format!(
+                            "{dev}: device firmware {firmware} != {}",
+                            self.firmware
+                        ));
+                    }
+                    Ok(())
+                })
+            }
+            ScenarioKind::Maintenance => self
+                .check_devices(service, |dev, drained, _| {
+                    if drained {
+                        return Err(format!("{dev}: still drained after completed task"));
+                    }
+                    Ok(())
+                })
+                .and_then(|()| self.check_no_test_ip(service)),
+            ScenarioKind::TestIpCycle => self.check_no_test_ip(service),
+        }
+    }
+
+    /// No device in scope may keep a leaked test IP.
+    fn check_no_test_ip(&self, service: &EmuService) -> Result<(), String> {
+        let pat = Pattern::from_glob(&self.scope).map_err(|e| format!("bad scope: {e}"))?;
+        let net = service.net();
+        let guard = net.lock();
+        for (id, d) in guard.topo.devices() {
+            if d.role == Role::Host || !pat.matches(&d.name) {
+                continue;
+            }
+            let sw = guard.switch(id).expect("non-host switch");
+            if sw.test_ip.is_some() {
+                return Err(format!("{}: leaked test IP {:?}", d.name, sw.test_ip));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_devices(
+        &self,
+        service: &EmuService,
+        mut f: impl FnMut(&str, bool, &str) -> Result<(), String>,
+    ) -> Result<(), String> {
+        let pat = Pattern::from_glob(&self.scope).map_err(|e| format!("bad scope: {e}"))?;
+        let net = service.net();
+        let guard = net.lock();
+        for (id, d) in guard.topo.devices() {
+            if d.role == Role::Host || !pat.matches(&d.name) {
+                continue;
+            }
+            let sw = guard.switch(id).expect("non-host switch");
+            f(&d.name, sw.drained, &sw.firmware)?;
+        }
+        Ok(())
+    }
+}

@@ -5,6 +5,12 @@ use occam_netdb::DbError;
 use occam_regex::ParseError;
 
 /// An error aborting an Occam task.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm so new failure classes can be added without a breaking change.
+/// Retry logic should branch on [`TaskError::is_transient`] rather than
+/// on concrete variants.
+#[non_exhaustive]
 #[derive(Clone, PartialEq, Debug)]
 pub enum TaskError {
     /// A database query failed (connection failure, missing row, …).
@@ -30,6 +36,26 @@ pub enum TaskError {
     },
     /// Task-specific failure raised by the management program itself.
     Failed(String),
+}
+
+impl TaskError {
+    /// Whether re-executing the task can plausibly succeed — the retry
+    /// classifier behind `TaskBuilder::retry`.
+    ///
+    /// Transient: database connectivity loss ([`DbError::is_transient`]),
+    /// injected device-RPC failures ([`FuncError::is_transient`]), and
+    /// deadlock victimhood (the paper's §5 prescription is exactly
+    /// "re-execute the task"). Permanent: cancellation (the operator asked
+    /// for it), panics, bad scopes, read-only violations, and failures the
+    /// program raised itself — all of which recur deterministically.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            TaskError::Db(e) => e.is_transient(),
+            TaskError::Device(e) => e.is_transient(),
+            TaskError::Deadlock => true,
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for TaskError {

@@ -46,7 +46,7 @@
 //! }
 //! let runtime = Runtime::new(db, Arc::new(EmuService::new(EmuNet::from_fattree(&ft))));
 //!
-//! let report = runtime.run_task("device_maintenance", |ctx| {
+//! let report = runtime.task("device_maintenance").run(|ctx| {
 //!     let dc1pod3 = ctx.network("dc01.pod03.*")?;
 //!     dc1pod3.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
 //!     dc1pod3.apply("f_drain")?;
@@ -56,20 +56,24 @@
 //! assert_eq!(report.state, occam_core::TaskState::Completed);
 //! ```
 
+pub mod builder;
 pub mod error;
 pub mod network;
 pub mod pool;
 pub mod queue;
 pub mod recovery;
+pub mod retry;
 pub mod runtime;
 pub mod task;
 
+pub use builder::TaskBuilder;
 pub use error::{TaskError, TaskResult};
 pub use network::Network;
 pub use occam_rollback::RollbackPlan;
 pub use pool::{PoolStats, PooledHandle};
 pub use queue::{TaskQueue, Ticket};
 pub use recovery::{execute_rollback, RecoveryError};
+pub use retry::RetryPolicy;
 pub use runtime::Runtime;
 pub use task::{CancelToken, TaskCtx, TaskReport, TaskState, UndoRecord};
 

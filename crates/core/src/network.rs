@@ -412,7 +412,7 @@ mod tests {
     #[test]
     fn get_set_roundtrip_and_log() {
         let rt = crate::test_support::tiny_runtime();
-        let report = rt.run_task("maintenance", |ctx| {
+        let report = rt.task("maintenance").run(|ctx| {
             let net = ctx.network("dc01.pod00.*")?;
             net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
             let statuses = net.get(attrs::DEVICE_STATUS)?;
@@ -431,7 +431,7 @@ mod tests {
     #[test]
     fn read_object_rejects_writes() {
         let rt = crate::test_support::tiny_runtime();
-        let report = rt.run_task("reader", |ctx| {
+        let report = rt.task("reader").run(|ctx| {
             let net = ctx.network_read("dc01.pod00.*")?;
             let err = net.set("X", 1i64.into()).unwrap_err();
             assert!(matches!(err, TaskError::ReadOnlyObject { .. }));
@@ -445,7 +445,7 @@ mod tests {
     #[test]
     fn apply_executes_and_logs_typed_funcs() {
         let rt = crate::test_support::tiny_runtime();
-        let report = rt.run_task("drainer", |ctx| {
+        let report = rt.task("drainer").run(|ctx| {
             let net = ctx.network("dc01.pod00.agg00")?;
             net.apply("f_drain")?;
             net.apply("f_undrain")?;
@@ -461,7 +461,7 @@ mod tests {
     #[test]
     fn untyped_funcs_go_to_activity_log() {
         let rt = crate::test_support::tiny_runtime();
-        let report = rt.run_task("config", |ctx| {
+        let report = rt.task("config").run(|ctx| {
             let net = ctx.network("dc01.pod00.*")?;
             net.apply("f_create_config")?;
             Ok(())
@@ -474,7 +474,7 @@ mod tests {
     #[test]
     fn set_per_device_rejects_out_of_scope() {
         let rt = crate::test_support::tiny_runtime();
-        let report = rt.run_task("oops", |ctx| {
+        let report = rt.task("oops").run(|ctx| {
             let net = ctx.network("dc01.pod00.*")?;
             let mut m = BTreeMap::new();
             m.insert("dc01.pod01.tor00".to_string(), AttrValue::Int(1));
@@ -489,7 +489,7 @@ mod tests {
         // The paper's turnup_links_subnet pattern: build an object over a
         // computed device list.
         let rt = crate::test_support::tiny_runtime();
-        let report = rt.run_task("subnet", |ctx| {
+        let report = rt.task("subnet").run(|ctx| {
             let net = ctx.network_read("dc01.*")?;
             let devs = net.devices()?;
             let picked: Vec<String> = devs.into_iter().take(2).collect();
@@ -508,7 +508,7 @@ mod tests {
         crate::test_support::emu_service(&rt)
             .library()
             .fail_at("f_optic_test", 0);
-        let report = rt.run_task("upgrade", |ctx| {
+        let report = rt.task("upgrade").run(|ctx| {
             let net = ctx.network("dc01.pod00.agg00")?;
             net.apply("f_drain")?;
             net.set(attrs::FIRMWARE_VERSION, "fw-2".into())?;

@@ -193,13 +193,13 @@ pub struct PooledHandle {
 }
 
 impl PooledHandle {
-    fn new() -> PooledHandle {
+    pub(crate) fn new() -> PooledHandle {
         PooledHandle {
             shared: Arc::new(HandleShared::default()),
         }
     }
 
-    fn fill(&self, report: TaskReport) {
+    pub(crate) fn fill(&self, report: TaskReport) {
         *self.shared.slot.lock() = Some(report);
         self.shared.cv.notify_all();
     }
@@ -267,20 +267,38 @@ impl Runtime {
 
     /// Submits a management program to the bounded worker pool: at most
     /// `pool_size` tasks run concurrently ([`Runtime::configure_pool`]);
-    /// the rest wait in FIFO order. This is the preferred submission path
-    /// for service-style callers — unlike [`Runtime::submit`] it never
-    /// spawns per-task threads.
+    /// the rest wait in FIFO order.
+    #[deprecated(note = "use `rt.task(name).spawn_pooled(program)` (TaskBuilder)")]
     pub fn submit_pooled<F>(&self, name: &str, program: F) -> PooledHandle
     where
         F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
     {
-        self.submit_pooled_opts(name, false, CancelToken::new(), program)
+        self.pooled_once(name, false, CancelToken::new(), program)
     }
 
-    /// Like [`Runtime::submit_pooled`] with an urgent flag (pool fast lane
-    /// plus scheduler urgent priority) and a cancellation token observed
-    /// at task checkpoints.
+    /// Like `submit_pooled` with an urgent flag (pool fast lane plus
+    /// scheduler urgent priority) and a cancellation token observed at
+    /// task checkpoints.
+    #[deprecated(
+        note = "use `rt.task(name).urgency(urgent).cancel_token(cancel).spawn_pooled(program)` \
+                (TaskBuilder)"
+    )]
     pub fn submit_pooled_opts<F>(
+        &self,
+        name: &str,
+        urgent: bool,
+        cancel: CancelToken,
+        program: F,
+    ) -> PooledHandle
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
+    {
+        self.pooled_once(name, urgent, cancel, program)
+    }
+
+    /// Shared body of the deprecated pooled shims: single attempt, no
+    /// retry (the `FnOnce` program cannot be re-executed).
+    fn pooled_once<F>(
         &self,
         name: &str,
         urgent: bool,
@@ -294,7 +312,7 @@ impl Runtime {
         let filler = handle.clone();
         let name = name.to_string();
         self.spawn_pooled(urgent, move |rt| {
-            filler.fill(rt.run_task_cancellable(&name, urgent, cancel, program));
+            filler.fill(rt.execute_attempt(&name, urgent, cancel, program));
         });
         handle
     }
@@ -337,7 +355,7 @@ mod tests {
         let mut handles = Vec::new();
         for i in 0..10_000u32 {
             let ran = Arc::clone(&ran);
-            handles.push(rt.submit_pooled(&format!("t{i}"), move |_| {
+            handles.push(rt.task(format!("t{i}")).spawn_pooled(move |_| {
                 ran.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }));
@@ -363,7 +381,7 @@ mod tests {
         assert!(rt.configure_pool(4));
         // Run one job and let its worker go idle: the regression scenario
         // is a burst arriving while `idle == 1`.
-        rt.submit_pooled("warmup", |_| Ok(())).wait();
+        rt.task("warmup").spawn_pooled(|_| Ok(())).wait();
         rt.drain_pool();
         // Burst of pool-size jobs that rendezvous: each blocks until all
         // four execute concurrently (with a timeout so a regression fails
@@ -374,7 +392,7 @@ mod tests {
         let mut handles = Vec::new();
         for i in 0..4 {
             let g = Arc::clone(&gate);
-            handles.push(rt.submit_pooled(&format!("burst{i}"), move |_| {
+            handles.push(rt.task(format!("burst{i}")).spawn_pooled(move |_| {
                 let (l, c) = &*g;
                 let mut n = l.lock();
                 *n += 1;
@@ -409,7 +427,7 @@ mod tests {
         // Occupy the single worker so the next two submissions queue.
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let g = Arc::clone(&gate);
-        let blocker = rt.submit_pooled("blocker", move |_| {
+        let blocker = rt.task("blocker").spawn_pooled(move |_| {
             let (l, c) = &*g;
             let mut open = l.lock();
             while !*open {
@@ -422,12 +440,12 @@ mod tests {
             std::thread::yield_now();
         }
         let o1 = Arc::clone(&order);
-        let normal = rt.submit_pooled("normal", move |_| {
+        let normal = rt.task("normal").spawn_pooled(move |_| {
             o1.lock().push("normal");
             Ok(())
         });
         let o2 = Arc::clone(&order);
-        let urgent = rt.submit_pooled_opts("urgent", true, CancelToken::new(), move |_| {
+        let urgent = rt.task("urgent").urgent().spawn_pooled(move |_| {
             o2.lock().push("urgent");
             Ok(())
         });
@@ -450,10 +468,13 @@ mod tests {
         token.cancel();
         let ran = Arc::new(AtomicUsize::new(0));
         let r2 = Arc::clone(&ran);
-        let h = rt.submit_pooled_opts("cancelled-early", false, token, move |_| {
-            r2.fetch_add(1, Ordering::SeqCst);
-            Ok(())
-        });
+        let h = rt
+            .task("cancelled-early")
+            .cancel_token(token)
+            .spawn_pooled(move |_| {
+                r2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
         let report = h.wait();
         assert_eq!(report.state, TaskState::Aborted);
         assert!(matches!(report.error, Some(TaskError::Cancelled)));
@@ -467,8 +488,11 @@ mod tests {
         assert!(rt.configure_pool(2));
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let g = Arc::clone(&gate);
-        let holder = rt.submit_pooled("holder", move |ctx| {
+        let locked = Arc::new(AtomicUsize::new(0));
+        let l2 = Arc::clone(&locked);
+        let holder = rt.task("holder").spawn_pooled(move |ctx| {
             let _net = ctx.network("dc01.pod00.*")?;
+            l2.store(1, Ordering::SeqCst);
             let (l, c) = &*g;
             let mut open = l.lock();
             while !*open {
@@ -476,12 +500,21 @@ mod tests {
             }
             Ok(())
         });
+        // Wait until the holder actually holds the region before submitting
+        // the contender (otherwise the waiter can win the lock race and
+        // complete instead of blocking).
+        while locked.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
         // Second task blocks on the same region.
         let token = CancelToken::new();
-        let waiter = rt.submit_pooled_opts("waiter", false, token.clone(), |ctx| {
-            let _net = ctx.network("dc01.pod00.*")?;
-            Ok(())
-        });
+        let waiter = rt
+            .task("waiter")
+            .cancel_token(token.clone())
+            .spawn_pooled(|ctx| {
+                let _net = ctx.network("dc01.pod00.*")?;
+                Ok(())
+            });
         // Let the waiter actually block, then cancel it.
         std::thread::sleep(std::time::Duration::from_millis(60));
         token.cancel();
@@ -503,7 +536,7 @@ mod tests {
     fn worker_survives_panicking_program() {
         let rt = crate::test_support::tiny_runtime();
         assert!(rt.configure_pool(1));
-        let bad = rt.submit_pooled("bad", |_| panic!("boom in program"));
+        let bad = rt.task("bad").spawn_pooled(|_| panic!("boom in program"));
         let report = bad.wait();
         assert_eq!(report.state, TaskState::Aborted);
         match &report.error {
@@ -512,7 +545,7 @@ mod tests {
         }
         assert_eq!(rt.obs().counter_value("core.task.panicked"), 1);
         // The same (single) worker runs the next job fine.
-        let good = rt.submit_pooled("good", |_| Ok(()));
+        let good = rt.task("good").spawn_pooled(|_| Ok(()));
         assert_eq!(good.wait().state, TaskState::Completed);
         assert!(rt.pool_stats().spawned <= 1);
     }

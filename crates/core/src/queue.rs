@@ -149,7 +149,10 @@ impl TaskQueue {
             let queue_state = Arc::clone(&self.state);
             let workers = self.workers;
             std::thread::spawn(move || {
-                let report = runtime.run_task_opts(&job.name, job.urgent, job.program);
+                let report = runtime
+                    .task(job.name.as_str())
+                    .urgency(job.urgent)
+                    .run_once(job.program);
                 let (lock, cv) = &*state;
                 {
                     let mut st = lock.lock();
@@ -182,7 +185,10 @@ impl TaskQueue {
             let runtime2 = runtime.clone();
             let state2 = Arc::clone(state);
             std::thread::spawn(move || {
-                let report = runtime2.run_task_opts(&job.name, job.urgent, job.program);
+                let report = runtime2
+                    .task(job.name.as_str())
+                    .urgency(job.urgent)
+                    .run_once(job.program);
                 {
                     let mut st = state2.0.lock();
                     st.active -= 1;

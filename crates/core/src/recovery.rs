@@ -12,6 +12,10 @@ use occam_netdb::{attrs, Database, WriteOp};
 use occam_rollback::UndoStep;
 
 /// An error while executing a rollback plan.
+///
+/// Marked `#[non_exhaustive]` (like [`TaskError`]): match with a wildcard
+/// arm, and branch retry decisions on [`RecoveryError::is_transient`].
+#[non_exhaustive]
 #[derive(Clone, PartialEq, Debug)]
 pub enum RecoveryError {
     /// The report has no plan (task completed, or its log was unparseable).
@@ -26,8 +30,21 @@ pub enum RecoveryError {
         /// Index of the failing plan step.
         step: usize,
         /// The underlying error.
-        error: String,
+        error: TaskError,
     },
+}
+
+impl RecoveryError {
+    /// Whether re-executing the rollback can plausibly succeed: true only
+    /// for step failures whose underlying [`TaskError`] is transient
+    /// (rollback steps are idempotent, so replaying the whole plan after a
+    /// transient step failure is safe).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            RecoveryError::StepFailed { error, .. } => error.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -55,10 +72,8 @@ pub fn execute_rollback(
 ) -> Result<usize, RecoveryError> {
     let plan = report.rollback.as_ref().ok_or(RecoveryError::NoPlan)?;
     for (i, step) in plan.steps.iter().enumerate() {
-        run_step(report, db, service, step).map_err(|e| RecoveryError::StepFailed {
-            step: i,
-            error: e.to_string(),
-        })?;
+        run_step(report, db, service, step)
+            .map_err(|e| RecoveryError::StepFailed { step: i, error: e })?;
     }
     Ok(plan.steps.len())
 }
@@ -202,7 +217,7 @@ mod tests {
         let svc = emu_service(&rt);
         let before_db = rt.db().snapshot();
         svc.library().fail_at("f_optic_test", 0);
-        let report = rt.run_task("upgrade", |ctx| {
+        let report = rt.task("upgrade").run(|ctx| {
             let net = ctx.network("dc01.pod00.agg00")?;
             net.apply("f_drain")?;
             net.set(attrs::FIRMWARE_VERSION, "fw-9".into())?;
@@ -231,7 +246,7 @@ mod tests {
     fn completed_report_has_no_plan_to_execute() {
         let rt = tiny_runtime();
         let svc = emu_service(&rt);
-        let report = rt.run_task("ok", |_| Ok(()));
+        let report = rt.task("ok").run(|_| Ok(()));
         let err = execute_rollback(&report, rt.db(), svc).unwrap_err();
         assert_eq!(err, RecoveryError::NoPlan);
     }

@@ -1,0 +1,146 @@
+//! Retry/backoff policy for transient task failures.
+//!
+//! The paper's failure dataset is dominated by transient classes —
+//! database connectivity loss (63%) and flaky management-session RPCs —
+//! where re-executing the task is both safe (the runtime rolls the failed
+//! attempt back first, see `TaskBuilder::retry`) and usually sufficient.
+//! [`RetryPolicy`] says *when* to re-execute: how many attempts, and how
+//! long to back off between them.
+//!
+//! Backoff is exponential with **deterministic jitter**: the jitter factor
+//! is derived from the policy seed and the attempt number, never from a
+//! global RNG or the clock, so a seeded chaos campaign replays the exact
+//! same schedule run after run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// When and how aborted tasks are re-executed (see `TaskBuilder::retry`).
+///
+/// Only *transient* failures are retried ([`crate::TaskError::is_transient`]);
+/// semantic failures (bad scope, failed precondition, cancellation) abort
+/// immediately regardless of the policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, period. This is the default everywhere —
+    /// retry is opt-in.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Up to `max_attempts` total attempts (clamped to at least 1) with no
+    /// delay between them. Compose with [`RetryPolicy::with_backoff`] and
+    /// [`RetryPolicy::with_seed`].
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::none()
+        }
+    }
+
+    /// Exponential backoff between attempts: attempt `n` (1-based) sleeps
+    /// `min(cap, base · 2^(n-1))`, scaled by a deterministic jitter factor
+    /// in `[0.5, 1.0)`.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> RetryPolicy {
+        self.base = base;
+        self.cap = cap.max(base);
+        self
+    }
+
+    /// Seeds the jitter stream (campaigns pass their campaign seed so the
+    /// whole schedule is reproducible).
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// Maximum total attempts (≥ 1).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The delay to sleep after failed attempt `attempt` (1-based), before
+    /// attempt `attempt + 1`. Pure: same policy and attempt number give
+    /// the same duration.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base
+            .saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX))
+            .min(self.cap);
+        // Deterministic jitter: seeded per (policy seed, attempt), drawn
+        // from the same StdRng the fault injectors use.
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let factor = 0.5 + 0.5 * rng.random::<f64>();
+        raw.mul_f64(factor)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_single_attempt_zero_backoff() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts(), 1);
+        assert_eq!(p.backoff(1), Duration::ZERO);
+        assert_eq!(RetryPolicy::default(), p);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_under_the_cap() {
+        let p = RetryPolicy::attempts(8)
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(50))
+            .with_seed(1);
+        let d1 = p.backoff(1);
+        let d2 = p.backoff(2);
+        let d4 = p.backoff(4);
+        // Jitter keeps each delay within [0.5, 1.0) of the raw value.
+        assert!(d1 >= Duration::from_millis(5) && d1 < Duration::from_millis(10));
+        assert!(d2 >= Duration::from_millis(10) && d2 < Duration::from_millis(20));
+        assert!(
+            d4 <= Duration::from_millis(50),
+            "capped at 50ms, got {d4:?}"
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_attempt() {
+        let p = RetryPolicy::attempts(4)
+            .with_backoff(Duration::from_millis(10), Duration::from_secs(1))
+            .with_seed(42);
+        assert_eq!(p.backoff(2), p.backoff(2));
+        let other = p.clone().with_seed(43);
+        assert_ne!(p.backoff(2), other.backoff(2), "seed moves the jitter");
+    }
+
+    #[test]
+    fn attempts_clamps_to_one() {
+        assert_eq!(RetryPolicy::attempts(0).max_attempts(), 1);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::error::{TaskError, TaskResult};
 use crate::pool::PoolShared;
+use crate::retry::RetryPolicy;
 use crate::task::{CancelToken, TaskCtx, TaskReport, TaskState};
 use occam_emunet::DeviceService;
 use occam_netdb::Database;
@@ -33,6 +34,8 @@ pub(crate) struct CoreObs {
     pub tasks_aborted: Counter,
     pub tasks_cancelled: Counter,
     pub task_panicked: Counter,
+    pub task_retries: Counter,
+    pub retry_rollback_failed: Counter,
     pub task_wall_ns: Histogram,
     pub lock_acquires: Counter,
     pub lock_wait_ns: Histogram,
@@ -53,6 +56,8 @@ impl CoreObs {
             tasks_aborted: reg.counter("core.tasks.aborted"),
             tasks_cancelled: reg.counter("core.tasks.cancelled"),
             task_panicked: reg.counter("core.task.panicked"),
+            task_retries: reg.counter("core.task.retries"),
+            retry_rollback_failed: reg.counter("core.task.retry_rollback_failed"),
             task_wall_ns: reg.histogram("core.task_wall_ns"),
             lock_acquires: reg.counter("core.lock.acquires"),
             lock_wait_ns: reg.histogram("core.lock_wait_ns"),
@@ -202,37 +207,18 @@ impl Runtime {
         &self.inner.locks
     }
 
-    /// Runs a management program synchronously as one Occam task and
-    /// returns its report. The task commits (releasing all locks) when the
-    /// program returns `Ok`, and aborts with a suggested rollback plan when
-    /// it returns `Err`.
-    pub fn run_task<F>(&self, name: &str, program: F) -> TaskReport
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()>,
-    {
-        self.run_task_opts(name, false, program)
-    }
-
-    /// Like [`Runtime::run_task`], optionally flagging the task urgent so
-    /// its lock requests pre-empt policy order (outage recovery, §5).
-    pub fn run_task_opts<F>(&self, name: &str, urgent: bool, program: F) -> TaskReport
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()>,
-    {
-        self.run_task_cancellable(name, urgent, CancelToken::new(), program)
-    }
-
-    /// Like [`Runtime::run_task_opts`], observing `cancel` at task
-    /// checkpoints (lock acquisition and stateful operations): a cancelled
-    /// task aborts with [`TaskError::Cancelled`], releases its locks, and
-    /// gets a rollback suggestion for work already done. A token cancelled
-    /// before the task starts aborts it without running the program.
+    /// Runs one execution attempt of a management program: the primitive
+    /// under every `TaskBuilder` terminal and the deprecated shims.
     ///
-    /// Panics inside `program` are contained: the task aborts with
-    /// [`TaskError::Panicked`] (counter `core.task.panicked`) instead of
-    /// unwinding into the calling thread, so one bad program cannot take
-    /// down a worker or a joining caller.
-    pub fn run_task_cancellable<F>(
+    /// The task commits (releasing all locks) when the program returns
+    /// `Ok` and aborts with a suggested rollback plan when it returns
+    /// `Err`. `cancel` is observed at task checkpoints (lock acquisition
+    /// and stateful operations); a token cancelled before the task starts
+    /// aborts it without running the program. Panics inside `program` are
+    /// contained: the task aborts with [`TaskError::Panicked`] (counter
+    /// `core.task.panicked`) instead of unwinding into the calling thread,
+    /// so one bad program cannot take down a worker or a joining caller.
+    pub(crate) fn execute_attempt<F>(
         &self,
         name: &str,
         urgent: bool,
@@ -283,36 +269,115 @@ impl Runtime {
         report
     }
 
+    /// Runs `program` under `retry`, re-executing transient aborts after
+    /// mechanically rolling back the failed attempt (so every attempt
+    /// starts from the task's initial state). The returned report is the
+    /// final attempt's, with [`TaskReport::attempts`] set.
+    ///
+    /// Between attempts the runtime executes the failed attempt's
+    /// suggested rollback plan; if that rollback itself fails (counter
+    /// `core.task.retry_rollback_failed`), retrying stops immediately and
+    /// the aborted report is surfaced for operator recovery — its plan
+    /// still describes how to restore the pre-task state, because every
+    /// *earlier* attempt was fully rolled back and rollback steps are
+    /// idempotent.
+    pub(crate) fn execute_with_policy<F>(
+        &self,
+        name: &str,
+        urgent: bool,
+        cancel: CancelToken,
+        retry: &RetryPolicy,
+        mut program: F,
+    ) -> TaskReport
+    where
+        F: FnMut(&TaskCtx) -> TaskResult<()>,
+    {
+        let obs = self.obs_handles().clone();
+        let mut attempt: u32 = 1;
+        loop {
+            let mut report = self.execute_attempt(name, urgent, cancel.clone(), &mut program);
+            report.attempts = attempt;
+            if report.state != TaskState::Aborted {
+                return report;
+            }
+            let transient = report.error.as_ref().is_some_and(TaskError::is_transient);
+            if !transient || attempt >= retry.max_attempts() || cancel.is_cancelled() {
+                return report;
+            }
+            if !report.log.is_empty()
+                && crate::recovery::execute_rollback(&report, self.db(), self.service().as_ref())
+                    .is_err()
+            {
+                obs.retry_rollback_failed.inc();
+                return report;
+            }
+            obs.task_retries.inc();
+            let delay = retry.backoff(attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            attempt += 1;
+        }
+    }
+
     /// Spawns a management program on its own thread; the handle yields the
     /// report.
-    ///
-    /// **Deprecated pattern**: this spawns one unbounded OS thread per
-    /// task and offers no backpressure. Service-style callers (many
-    /// concurrent submitters, e.g. the `occam-gateway` frontend) should
-    /// use [`Runtime::submit_pooled`], which runs tasks on a fixed worker
-    /// pool. `submit` remains for tests and one-shot tooling.
+    #[deprecated(note = "use `rt.task(name).spawn(program)` (TaskBuilder)")]
     pub fn submit<F>(&self, name: &str, program: F) -> std::thread::JoinHandle<TaskReport>
     where
         F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
     {
         let rt = self.clone();
         let name = name.to_string();
-        std::thread::spawn(move || rt.run_task(&name, program))
+        std::thread::spawn(move || rt.execute_attempt(&name, false, CancelToken::new(), program))
     }
 
     /// Like [`Runtime::submit`] with the urgent flag.
-    ///
-    /// **Deprecated pattern**: spawns an unbounded thread; prefer
-    /// [`Runtime::submit_pooled_opts`] with `urgent = true`, which maps
-    /// onto the pool's urgent fast lane *and* the scheduler's urgent
-    /// priority.
+    #[deprecated(note = "use `rt.task(name).urgent().spawn(program)` (TaskBuilder)")]
     pub fn submit_urgent<F>(&self, name: &str, program: F) -> std::thread::JoinHandle<TaskReport>
     where
         F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
     {
         let rt = self.clone();
         let name = name.to_string();
-        std::thread::spawn(move || rt.run_task_opts(&name, true, program))
+        std::thread::spawn(move || rt.execute_attempt(&name, true, CancelToken::new(), program))
+    }
+
+    /// Runs a management program synchronously as one Occam task and
+    /// returns its report.
+    #[deprecated(note = "use `rt.task(name).run(program)` (TaskBuilder)")]
+    pub fn run_task<F>(&self, name: &str, program: F) -> TaskReport
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()>,
+    {
+        self.execute_attempt(name, false, CancelToken::new(), program)
+    }
+
+    /// Like `run_task`, optionally flagging the task urgent so its lock
+    /// requests pre-empt policy order (outage recovery, §5).
+    #[deprecated(note = "use `rt.task(name).urgency(urgent).run(program)` (TaskBuilder)")]
+    pub fn run_task_opts<F>(&self, name: &str, urgent: bool, program: F) -> TaskReport
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()>,
+    {
+        self.execute_attempt(name, urgent, CancelToken::new(), program)
+    }
+
+    /// Like `run_task_opts`, observing `cancel` at task checkpoints.
+    #[deprecated(
+        note = "use `rt.task(name).urgency(urgent).cancel_token(cancel).run(program)` (TaskBuilder)"
+    )]
+    pub fn run_task_cancellable<F>(
+        &self,
+        name: &str,
+        urgent: bool,
+        cancel: CancelToken,
+        program: F,
+    ) -> TaskReport
+    where
+        F: FnOnce(&TaskCtx) -> TaskResult<()>,
+    {
+        self.execute_attempt(name, urgent, cancel, program)
     }
 
     /// Wakes every task blocked in lock acquisition so it re-checks its
@@ -455,7 +520,7 @@ mod tests {
     #[test]
     fn completed_task_releases_everything() {
         let rt = runtime();
-        let report = rt.run_task("noop", |ctx| {
+        let report = rt.task("noop").run(|ctx| {
             let net = ctx.network("dc01.pod00.*")?;
             let _ = net.get(attrs::DEVICE_STATUS)?;
             Ok(())
@@ -467,7 +532,7 @@ mod tests {
     #[test]
     fn failing_task_reports_abort_with_plan() {
         let rt = runtime();
-        let report = rt.run_task("fails", |ctx| {
+        let report = rt.task("fails").run(|ctx| {
             let net = ctx.network("dc01.pod00.*")?;
             net.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
             Err(TaskError::Failed("manual step failed".into()))
@@ -485,7 +550,7 @@ mod tests {
         let marker = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let m1 = Arc::clone(&marker);
         let rt1 = rt.clone();
-        let h1 = rt1.submit("writer1", move |ctx| {
+        let h1 = rt1.task("writer1").spawn(move |ctx| {
             let net = ctx.network("dc01.pod00.*")?;
             net.set("X", 1i64.into())?;
             std::thread::sleep(std::time::Duration::from_millis(120));
@@ -496,7 +561,7 @@ mod tests {
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
         let m2 = Arc::clone(&marker);
-        let report2 = rt.run_task("writer2", move |ctx| {
+        let report2 = rt.task("writer2").run(move |ctx| {
             let net = ctx.network("dc01.pod00.*")?;
             net.set("X", 2i64.into())?;
             m2.store(1, Ordering::SeqCst);
@@ -511,14 +576,14 @@ mod tests {
     fn deadlock_victim_aborts_and_survivor_completes() {
         let rt = runtime();
         let rt1 = rt.clone();
-        let h1 = rt1.submit("t1", move |ctx| {
+        let h1 = rt1.task("t1").spawn(move |ctx| {
             let _a = ctx.network("dc01.pod00.*")?;
             std::thread::sleep(std::time::Duration::from_millis(80));
             let _b = ctx.network("dc01.pod01.*")?;
             Ok(())
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let report2 = rt.run_task("t2", |ctx| {
+        let report2 = rt.task("t2").run(|ctx| {
             let _b = ctx.network("dc01.pod01.*")?;
             std::thread::sleep(std::time::Duration::from_millis(80));
             let _a = ctx.network("dc01.pod00.*")?;
@@ -544,7 +609,7 @@ mod tests {
         let rt = runtime();
         let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
         let rt1 = rt.clone();
-        let h1 = rt1.submit("holder", move |ctx| {
+        let h1 = rt1.task("holder").spawn(move |ctx| {
             let _a = ctx.network("dc01.pod00.*")?;
             std::thread::sleep(std::time::Duration::from_millis(150));
             Ok(())
@@ -552,7 +617,7 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(30));
         let o2 = Arc::clone(&order);
         let rt2 = rt.clone();
-        let h2 = rt2.submit("normal", move |ctx| {
+        let h2 = rt2.task("normal").spawn(move |ctx| {
             let _a = ctx.network("dc01.pod00.*")?;
             o2.lock().push("normal");
             Ok(())
@@ -560,7 +625,7 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(30));
         let o3 = Arc::clone(&order);
         let rt3 = rt.clone();
-        let h3 = rt3.submit_urgent("urgent", move |ctx| {
+        let h3 = rt3.task("urgent").urgent().spawn(move |ctx| {
             let _a = ctx.network("dc01.pod00.*")?;
             o3.lock().push("urgent");
             Ok(())

@@ -121,6 +121,10 @@ pub struct TaskReport {
     pub rollback: Option<RollbackPlan>,
     /// Present when the log failed to parse against the grammar.
     pub rollback_error: Option<String>,
+    /// How many executions this report covers (1 unless a retry policy
+    /// re-executed the task; see `TaskBuilder::retry`). The log, undo,
+    /// and rollback fields always describe the *final* attempt.
+    pub attempts: u32,
 }
 
 impl TaskReport {
@@ -305,6 +309,7 @@ impl TaskCtx {
             wall,
             rollback,
             rollback_error,
+            attempts: 1,
         }
     }
 }
@@ -335,7 +340,7 @@ mod tests {
     #[test]
     fn op_offsets_track_progress_monotonically() {
         let rt = crate::test_support::tiny_runtime();
-        let report = rt.run_task("timed", |ctx| {
+        let report = rt.task("timed").run(|ctx| {
             let net = ctx.network("dc01.pod00.agg00")?;
             net.apply("f_drain")?;
             std::thread::sleep(std::time::Duration::from_millis(10));

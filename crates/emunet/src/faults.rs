@@ -1,0 +1,256 @@
+//! A fault-injecting decorator over any [`DeviceService`].
+//!
+//! The netdb layer has injected query faults since the beginning (the
+//! paper's dominant failure class); this shim brings the *device* layer to
+//! parity so chaos campaigns can drive faults through every stateful
+//! boundary. It wraps an inner service and, per `execute` call, may:
+//!
+//! - **fail the call** (deterministically by sequence number or with a
+//!   seeded probability, via the shared [`FaultPlan`] type) — surfaced as
+//!   [`FuncError::Injected`], the transient class retry policies act on;
+//! - **delay the call** (seeded latency spikes modelling slow management
+//!   sessions);
+//! - **wedge named devices** ("stuck" devices whose management session
+//!   never answers: every call touching them fails until unstuck).
+//!
+//! Faults can be paused wholesale ([`FaultyService::set_enabled`]) so a
+//! campaign's recovery and verification phases run fault-free without
+//! disturbing the seeded fault stream.
+
+use crate::funcs::{FuncArgs, FuncError, FuncResult};
+use crate::service::DeviceService;
+use occam_netdb::{FaultInjector, FaultPlan};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Latency-spike configuration for [`FaultyService`].
+#[derive(Clone, Debug, Default)]
+pub struct LatencyPlan {
+    /// Probability in `[0, 1]` that an `execute` call is delayed.
+    pub rate: f64,
+    /// The delay applied when a spike fires.
+    pub delay: Duration,
+    /// Seed for the spike stream (independent of the failure stream).
+    pub seed: u64,
+}
+
+impl LatencyPlan {
+    /// No latency spikes.
+    pub fn none() -> LatencyPlan {
+        LatencyPlan::default()
+    }
+
+    /// Spikes each call with probability `rate`, sleeping `delay`.
+    pub fn new(rate: f64, delay: Duration, seed: u64) -> LatencyPlan {
+        LatencyPlan {
+            rate: rate.clamp(0.0, 1.0),
+            delay,
+            seed,
+        }
+    }
+}
+
+/// A [`DeviceService`] decorator injecting per-operation failures, latency
+/// spikes, and stuck devices (see the module docs).
+pub struct FaultyService {
+    inner: Arc<dyn DeviceService>,
+    injector: FaultInjector,
+    latency: Mutex<LatencyPlan>,
+    latency_rng: Mutex<StdRng>,
+    stuck: Mutex<HashSet<String>>,
+    enabled: AtomicBool,
+    spikes: AtomicU64,
+    stuck_hits: AtomicU64,
+}
+
+impl FaultyService {
+    /// Wraps `inner`, failing `execute` calls per `plan` (the same
+    /// [`FaultPlan`] type the netdb injector consumes — build one with
+    /// `FaultPlan::builder()`).
+    pub fn new(inner: Arc<dyn DeviceService>, plan: FaultPlan) -> FaultyService {
+        FaultyService {
+            inner,
+            injector: FaultInjector::new(plan),
+            latency: Mutex::new(LatencyPlan::none()),
+            latency_rng: Mutex::new(StdRng::seed_from_u64(0)),
+            stuck: Mutex::new(HashSet::new()),
+            enabled: AtomicBool::new(true),
+            spikes: AtomicU64::new(0),
+            stuck_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs a latency-spike plan (reseeds the spike stream).
+    pub fn set_latency(&self, plan: LatencyPlan) {
+        *self.latency_rng.lock() = StdRng::seed_from_u64(plan.seed);
+        *self.latency.lock() = plan;
+    }
+
+    /// Replaces the failure plan (restarts the operation sequence, like
+    /// [`FaultInjector::set_plan`]).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.injector.set_plan(plan);
+    }
+
+    /// Marks a device stuck: every `execute` naming it fails until
+    /// [`FaultyService::unstick_all`].
+    pub fn stick_device(&self, name: impl Into<String>) {
+        self.stuck.lock().insert(name.into());
+    }
+
+    /// Clears the stuck-device set.
+    pub fn unstick_all(&self) {
+        self.stuck.lock().clear();
+    }
+
+    /// Pauses (`false`) or resumes (`true`) all fault behaviors — failures,
+    /// spikes, and stuck devices — without disturbing the seeded streams.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+        self.injector.set_enabled(enabled);
+    }
+
+    /// The underlying failure injector (counters, plan swaps).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Latency spikes fired so far.
+    pub fn spikes_fired(&self) -> u64 {
+        self.spikes.load(Ordering::Relaxed)
+    }
+
+    /// Calls failed because they touched a stuck device.
+    pub fn stuck_hits(&self) -> u64 {
+        self.stuck_hits.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped service (for downcasts past the shim).
+    pub fn inner(&self) -> &Arc<dyn DeviceService> {
+        &self.inner
+    }
+}
+
+impl DeviceService for FaultyService {
+    fn execute(&self, func: &str, devices: &[String], args: &FuncArgs) -> FuncResult {
+        if self.enabled.load(Ordering::SeqCst) {
+            {
+                let stuck = self.stuck.lock();
+                if let Some(d) = devices.iter().find(|d| stuck.contains(*d)) {
+                    self.stuck_hits.fetch_add(1, Ordering::Relaxed);
+                    return Err(FuncError::Precondition(format!(
+                        "management session to {d} is wedged (stuck device)"
+                    )));
+                }
+            }
+            let spike = {
+                let plan = self.latency.lock();
+                if plan.rate > 0.0 && self.latency_rng.lock().random::<f64>() < plan.rate {
+                    Some(plan.delay)
+                } else {
+                    None
+                }
+            };
+            if let Some(delay) = spike {
+                self.spikes.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(delay);
+            }
+            if let Some(nth) = self.injector.check() {
+                return Err(FuncError::Injected {
+                    func: func.to_string(),
+                    nth,
+                });
+            }
+        }
+        self.inner.execute(func, devices, args)
+    }
+
+    fn advance(&self, ticks: u64) {
+        self.inner.advance(ticks);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::EmuNet;
+    use crate::service::EmuService;
+    use occam_topology::FatTree;
+
+    fn substrate() -> (Arc<EmuService>, String) {
+        let ft = FatTree::build(1, 4).unwrap();
+        let net = EmuNet::from_fattree(&ft);
+        let name = {
+            let topo = &net.topo;
+            topo.device(ft.aggs[0][0]).name.clone()
+        };
+        (Arc::new(EmuService::new(net)), name)
+    }
+
+    #[test]
+    fn injected_failures_follow_the_plan_and_passthrough_otherwise() {
+        let (inner, agg) = substrate();
+        let svc = FaultyService::new(inner.clone(), FaultPlan::fail_at([1]));
+        let devs = vec![agg.clone()];
+        svc.execute("f_drain", &devs, &FuncArgs::none()).unwrap();
+        let err = svc
+            .execute("f_undrain", &devs, &FuncArgs::none())
+            .unwrap_err();
+        assert!(matches!(err, FuncError::Injected { nth: 1, .. }));
+        assert!(err.is_transient());
+        // The failed call never reached the inner service.
+        let net = inner.net();
+        let guard = net.lock();
+        let id = guard.device_by_name(&agg).unwrap();
+        assert!(guard.switch(id).unwrap().drained, "drain landed");
+        assert_eq!(svc.injector().failures_injected(), 1);
+    }
+
+    #[test]
+    fn stuck_devices_fail_until_unstuck_and_pause_disables_everything() {
+        let (inner, agg) = substrate();
+        let svc = FaultyService::new(inner, FaultPlan::none());
+        let devs = vec![agg.clone()];
+        svc.stick_device(&agg);
+        let err = svc
+            .execute("f_drain", &devs, &FuncArgs::none())
+            .unwrap_err();
+        assert!(matches!(err, FuncError::Precondition(_)));
+        assert!(!err.is_transient(), "wedged session needs an operator");
+        assert_eq!(svc.stuck_hits(), 1);
+        // Paused faults pass straight through, stuck set intact.
+        svc.set_enabled(false);
+        svc.execute("f_drain", &devs, &FuncArgs::none()).unwrap();
+        svc.set_enabled(true);
+        let err = svc
+            .execute("f_undrain", &devs, &FuncArgs::none())
+            .unwrap_err();
+        assert!(matches!(err, FuncError::Precondition(_)));
+        svc.unstick_all();
+        svc.execute("f_undrain", &devs, &FuncArgs::none()).unwrap();
+    }
+
+    #[test]
+    fn latency_spikes_are_seeded_and_counted() {
+        let (inner, agg) = substrate();
+        let svc = FaultyService::new(inner, FaultPlan::none());
+        svc.set_latency(LatencyPlan::new(1.0, Duration::from_millis(1), 7));
+        let devs = vec![agg];
+        let t0 = std::time::Instant::now();
+        for _ in 0..3 {
+            svc.execute("f_optic_test", &devs, &FuncArgs::one("admin", "active"))
+                .ok();
+        }
+        assert_eq!(svc.spikes_fired(), 3);
+        assert!(t0.elapsed() >= Duration::from_millis(3));
+    }
+}

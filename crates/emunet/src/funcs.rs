@@ -75,6 +75,18 @@ impl std::fmt::Display for FuncError {
     }
 }
 
+impl FuncError {
+    /// Whether retrying the operation can plausibly succeed.
+    ///
+    /// Injected faults model the flaky management-session RPC failures of
+    /// the paper's platform: the device is fine, the call never landed, so
+    /// a retry is safe. The other classes are semantic (unknown function
+    /// or device, failed precondition) and fail identically on re-execution.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FuncError::Injected { .. })
+    }
+}
+
 impl std::error::Error for FuncError {}
 
 /// Result of a device function: a human-readable summary.

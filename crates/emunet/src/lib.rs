@@ -33,11 +33,13 @@
 //! assert_eq!(sample.flow_rate[&flow].1, 100.0);
 //! ```
 
+pub mod faults;
 pub mod funcs;
 pub mod net;
 pub mod service;
 pub mod switch;
 
+pub use faults::{FaultyService, LatencyPlan};
 pub use funcs::{FuncArgs, FuncError, FuncLibrary, FuncResult, FUNC_NAMES};
 pub use net::{Delivery, EmuNet, Flow, TrafficSample};
 pub use service::{DeviceService, EmuService, UnreachableService};

@@ -42,8 +42,11 @@ impl WorkflowSpec {
     }
 }
 
-/// A built management program, ready for the runtime.
-pub type Program = Box<dyn FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static>;
+/// A built management program, ready for the runtime. `Fn` (not
+/// `FnOnce`): workflows close over an immutable [`WorkflowSpec`], so the
+/// engine can re-execute them under a retry policy after transient
+/// aborts.
+pub type Program = Box<dyn Fn(&TaskCtx) -> TaskResult<()> + Send + 'static>;
 
 /// One catalog row.
 pub struct CatalogEntry {

@@ -30,7 +30,7 @@
 
 use crate::catalog::{Catalog, WorkflowSpec};
 use crate::proto::{ErrorCode, WirePhase};
-use occam_core::{CancelToken, Runtime, TaskError, TaskState};
+use occam_core::{CancelToken, RetryPolicy, Runtime, TaskError, TaskReport, TaskState};
 use occam_obs::{Counter, Histogram, Registry};
 use occam_regex::Pattern;
 use parking_lot::Mutex;
@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker-pool size (concurrent task executions).
     pub pool_size: usize,
@@ -54,6 +54,11 @@ pub struct EngineConfig {
     /// long-lived gateway's memory bounded instead of growing with every
     /// submission ever accepted.
     pub terminal_retain: usize,
+    /// Retry policy applied to every admitted task: transient aborts
+    /// (injected faults, connection failures, deadlock victims) are
+    /// re-executed after rollback, up to the policy's attempt budget.
+    /// Defaults to no retries.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +68,7 @@ impl Default for EngineConfig {
             queue_cap: 64,
             retry_after_ms: 25,
             terminal_retain: 16_384,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -278,6 +284,7 @@ impl Engine {
         let engine = self.clone();
         let name = format!("gw.{}.{}", entry.name, ticket);
         let token = cancel.clone();
+        let retry = inner.cfg.retry.clone();
         let admitted_at = Instant::now();
         inner.rt.spawn_pooled(urgent, move |rt| {
             let inner = &engine.inner;
@@ -292,32 +299,46 @@ impl Engine {
                     rec.phase = WirePhase::Running;
                 }
             }
-            let report = rt.run_task_cancellable(&name, urgent, token, program);
+            let report = rt
+                .task(name.as_str())
+                .urgency(urgent)
+                .cancel_token(token)
+                .retry(retry)
+                .run(|ctx| program(ctx));
             inner.obs.e2e_ns.record_duration(admitted_at.elapsed());
-            let (phase, detail) = match (report.state, &report.error) {
-                (TaskState::Completed, _) => {
-                    inner.obs.completed.inc();
-                    (WirePhase::Completed, String::new())
-                }
-                (_, Some(TaskError::Cancelled)) => {
-                    inner.obs.cancelled.inc();
-                    (WirePhase::Cancelled, "cancelled at a checkpoint".into())
-                }
-                (_, Some(err)) => {
-                    inner.obs.aborted.inc();
-                    (WirePhase::Aborted, err.to_string())
-                }
-                (_, None) => {
-                    inner.obs.aborted.inc();
-                    (WirePhase::Aborted, "aborted without error detail".into())
-                }
-            };
+            let (phase, detail) = engine.settle(&report);
             inner
                 .jobs
                 .lock()
                 .mark_terminal(ticket, phase, detail, inner.cfg.terminal_retain);
         });
         SubmitOutcome::Accepted(ticket)
+    }
+
+    /// The single report → wire-phase conversion: maps a final
+    /// [`TaskReport`] to its `(phase, detail)` pair and bumps the matching
+    /// terminal counter. Every terminal job record goes through here so
+    /// error text and counters cannot drift apart.
+    fn settle(&self, report: &TaskReport) -> (WirePhase, String) {
+        let obs = &self.inner.obs;
+        match (report.state, &report.error) {
+            (TaskState::Completed, _) => {
+                obs.completed.inc();
+                (WirePhase::Completed, String::new())
+            }
+            (_, Some(TaskError::Cancelled)) => {
+                obs.cancelled.inc();
+                (WirePhase::Cancelled, "cancelled at a checkpoint".into())
+            }
+            (_, Some(err)) => {
+                obs.aborted.inc();
+                (WirePhase::Aborted, err.to_string())
+            }
+            (_, None) => {
+                obs.aborted.inc();
+                (WirePhase::Aborted, "aborted without error detail".into())
+            }
+        }
     }
 
     /// Looks up the lifecycle phase of a ticket. Terminal records are
@@ -547,6 +568,7 @@ mod tests {
             queue_cap: 8,
             retry_after_ms: 1,
             terminal_retain: 3,
+            ..EngineConfig::default()
         });
         let mut tickets = Vec::new();
         for _ in 0..6 {

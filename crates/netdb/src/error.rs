@@ -6,6 +6,12 @@
 //! writes.
 
 /// An error returned by a database query.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm so new failure classes can be added without a breaking change.
+/// Retry logic should branch on [`DbError::is_transient`] rather than on
+/// concrete variants.
+#[non_exhaustive]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum DbError {
     /// The query could not reach the database (injected or simulated
@@ -29,6 +35,19 @@ pub enum DbError {
     AlreadyExists(String),
     /// A constraint rejected the write (e.g. link endpoints missing).
     Constraint(String),
+}
+
+impl DbError {
+    /// Whether retrying the operation can plausibly succeed.
+    ///
+    /// Connectivity loss is the paper's dominant failure class (63% of
+    /// incidents) and is inherently transient: the query never reached
+    /// the database, so re-issuing it is safe and often sufficient. The
+    /// remaining classes are semantic (bad scope, missing row, rejected
+    /// write) — retrying the same operation deterministically fails again.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DbError::ConnectionFailure { .. })
+    }
 }
 
 impl std::fmt::Display for DbError {

@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration for query fault injection.
 #[derive(Clone, Debug, Default)]
@@ -43,6 +44,57 @@ impl FaultPlan {
             ..FaultPlan::default()
         }
     }
+
+    /// Starts a fluent [`FaultPlanBuilder`] — the uniform way campaign
+    /// configs declare faults across layers (netdb queries and the
+    /// emunet device-fault shim share this plan type):
+    ///
+    /// ```
+    /// use occam_netdb::FaultPlan;
+    /// let plan = FaultPlan::builder().fail_at([3, 7]).rate(0.05).seed(42).build();
+    /// assert!(plan.fail_queries.contains(&3));
+    /// assert_eq!(plan.failure_rate, 0.05);
+    /// assert_eq!(plan.seed, 42);
+    /// ```
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder::default()
+    }
+}
+
+/// Fluent constructor for [`FaultPlan`] (see [`FaultPlan::builder`]).
+///
+/// All knobs compose: deterministic per-sequence failures (`fail_at`),
+/// a seeded probabilistic failure rate (`rate` + `seed`), or both.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+impl FaultPlanBuilder {
+    /// Adds operation sequence numbers (0-based, counted from the moment
+    /// the plan is installed) that must fail. Accumulates across calls.
+    pub fn fail_at(mut self, seqs: impl IntoIterator<Item = u64>) -> FaultPlanBuilder {
+        self.plan.fail_queries.extend(seqs);
+        self
+    }
+
+    /// Sets the independent per-operation failure probability, clamped to
+    /// `[0, 1]`.
+    pub fn rate(mut self, rate: f64) -> FaultPlanBuilder {
+        self.plan.failure_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Seeds the probabilistic failures (same seed ⇒ same fault stream).
+    pub fn seed(mut self, seed: u64) -> FaultPlanBuilder {
+        self.plan.seed = seed;
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> FaultPlan {
+        self.plan
+    }
 }
 
 /// Stateful injector: consulted once per query.
@@ -52,6 +104,7 @@ pub struct FaultInjector {
     rng: Mutex<StdRng>,
     seq: Mutex<u64>,
     injected: Mutex<u64>,
+    enabled: AtomicBool,
 }
 
 impl FaultInjector {
@@ -63,6 +116,7 @@ impl FaultInjector {
             rng: Mutex::new(rng),
             seq: Mutex::new(0),
             injected: Mutex::new(0),
+            enabled: AtomicBool::new(true),
         }
     }
 
@@ -74,9 +128,28 @@ impl FaultInjector {
         *self.seq.lock() = 0;
     }
 
+    /// Pauses (`false`) or resumes (`true`) injection without touching the
+    /// plan, the sequence counter, or the probabilistic stream. A paused
+    /// injector answers every [`FaultInjector::check`] with `None` and
+    /// does not advance the sequence, so recovery procedures (rollback
+    /// execution, invariant verification) can run fault-free and the fault
+    /// stream stays aligned with the *injected-into* operation count.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether injection is currently active (see
+    /// [`FaultInjector::set_enabled`]).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
     /// Advances the query sequence; returns `Some(seq)` if this query must
     /// fail, `None` otherwise.
     pub fn check(&self) -> Option<u64> {
+        if !self.is_enabled() {
+            return None;
+        }
         let mut seq_guard = self.seq.lock();
         let seq = *seq_guard;
         *seq_guard += 1;
@@ -145,6 +218,38 @@ mod tests {
         assert_ne!(run(7), run(8));
         let hits = run(7).iter().filter(|&&b| b).count();
         assert!(hits > 0 && hits < 50, "rate 0.3 over 50 should be interior");
+    }
+
+    #[test]
+    fn builder_composes_all_knobs() {
+        let plan = FaultPlan::builder()
+            .fail_at([3, 7])
+            .fail_at([11])
+            .rate(0.05)
+            .seed(42)
+            .build();
+        assert_eq!(
+            plan.fail_queries,
+            HashSet::from([3, 7, 11]),
+            "fail_at accumulates"
+        );
+        assert_eq!(plan.failure_rate, 0.05);
+        assert_eq!(plan.seed, 42);
+        assert_eq!(FaultPlan::builder().rate(9.0).build().failure_rate, 1.0);
+    }
+
+    #[test]
+    fn paused_injector_neither_fails_nor_advances() {
+        let inj = FaultInjector::new(FaultPlan::fail_at([0, 1, 2, 3]));
+        assert!(inj.check().is_some());
+        inj.set_enabled(false);
+        assert!(!inj.is_enabled());
+        for _ in 0..10 {
+            assert_eq!(inj.check(), None);
+        }
+        assert_eq!(inj.queries_seen(), 1, "paused checks do not advance seq");
+        inj.set_enabled(true);
+        assert_eq!(inj.check(), Some(1), "sequence resumes where it paused");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use db::{
     diff, link_key, Database, DeviceRecord, DiffEntry, LinkKey, LinkRecord, Store, WriteOp,
 };
 pub use error::{DbError, DbResult};
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{FaultInjector, FaultPlan, FaultPlanBuilder};
 pub use persist::{decode as decode_wal, encode as encode_wal, WalDecodeError};
 pub use value::{attrs, AttrValue};
 pub use wal::{Wal, WalRecord};

@@ -89,7 +89,7 @@ fn main() {
         ),
     ] {
         let rt = runtime.clone();
-        handles.push(rt.clone().submit(name, move |ctx| {
+        handles.push(rt.clone().task(name).spawn(move |ctx| {
             let net = ctx.network(scope)?;
             net.apply_with(func, &args)?;
             if func == "f_alloc_ip" {

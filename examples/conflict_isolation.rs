@@ -38,7 +38,7 @@ fn black_holed_ticks(with_locks: bool) -> usize {
         // Both programs run as Occam tasks: the runtime serializes them.
         let rt1 = runtime.clone();
         let t = target.clone();
-        let h1 = rt1.submit("upgrade_data_plane", move |ctx| {
+        let h1 = rt1.task("upgrade_data_plane").spawn(move |ctx| {
             let net = ctx.network(&t)?;
             net.apply("f_drain")?;
             net.apply_with("f_upgrade_data_plane", &FuncArgs::one("phase", "begin"))?;
@@ -55,7 +55,7 @@ fn black_holed_ticks(with_locks: bool) -> usize {
         std::thread::sleep(std::time::Duration::from_millis(40));
         let rt2 = runtime.clone();
         let t = target.clone();
-        let h2 = rt2.submit("turn_up_links", move |ctx| {
+        let h2 = rt2.task("turn_up_links").spawn(move |ctx| {
             let net = ctx.network(&t)?;
             net.set_links(attrs::LINK_STATUS, attrs::UP.into())?;
             net.apply("f_turnup_link")?;

@@ -21,7 +21,7 @@ fn main() {
     // Fail the first f_optic_test invocation, like the paper's example.
     svc.library().fail_at("f_optic_test", 0);
 
-    let report = runtime.run_task("firmware_upgrade", |ctx| {
+    let report = runtime.task("firmware_upgrade").run(|ctx| {
         let target = ctx.network("dc01.pod01.tor00")?;
         target.apply("f_drain")?;
         target.set(attrs::FIRMWARE_VERSION, "fw-2.1.0".into())?;

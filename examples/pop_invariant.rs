@@ -48,7 +48,7 @@ fn scenario(invariant_scoped: bool) -> (usize, TaskState) {
     };
 
     let rt1 = runtime.clone();
-    let h1 = rt1.submit("flap_response", move |ctx| {
+    let h1 = rt1.task("flap_response").spawn(move |ctx| {
         let uplinks = if flap_scope.contains('|') {
             ctx.network_regex(flap_scope)?
         } else {
@@ -76,7 +76,7 @@ fn scenario(invariant_scoped: bool) -> (usize, TaskState) {
     std::thread::sleep(std::time::Duration::from_millis(20));
 
     let rt2 = runtime.clone();
-    let h2 = rt2.submit("uplink_maintenance", move |ctx| {
+    let h2 = rt2.task("uplink_maintenance").spawn(move |ctx| {
         let scope = if maint_scope.contains('|') {
             ctx.network_regex(maint_scope)?
         } else {

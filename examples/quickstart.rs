@@ -14,7 +14,7 @@ fn main() {
     // 18 aggregation, 9 core switches) with a seeded source-of-truth DB.
     let (runtime, _ft) = occam::emulated_deployment(1, 6);
 
-    let report = runtime.run_task("device_maintenance", |ctx| {
+    let report = runtime.task("device_maintenance").run(|ctx| {
         // device_maintenance.occam, line for line:
         let dc1pod3 = ctx.network("dc01.pod03.*")?;
         dc1pod3.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;

@@ -33,7 +33,7 @@ fn main() {
         }
     }
 
-    let report = runtime.run_task("turnup_links_subnet", |ctx| {
+    let report = runtime.task("turnup_links_subnet").run(|ctx| {
         // turnup_links_subnet.occam, line for line:
         let net = ctx.network("dc01.*")?;
         let link_status = net.get_links(attrs::LINK_STATUS)?;

@@ -20,6 +20,9 @@
 //! - [`gateway`] — the management-plane service frontend: workflow
 //!   catalog, wire protocol, admission-controlled execution engine, and
 //!   TCP server/client (`DESIGN.md` §10).
+//! - [`chaos`] — deterministic seeded fault campaigns asserting the
+//!   fully-applied-or-fully-rolled-back recovery contract across every
+//!   layer (`DESIGN.md` §11).
 //! - [`sim`] — the at-scale discrete-event simulator.
 //! - [`workload`] — Meta-shaped trace synthesis.
 //!
@@ -28,6 +31,7 @@
 //! table and figure of the paper, and `EXPERIMENTS.md` for the measured
 //! results.
 
+pub use occam_chaos as chaos;
 pub use occam_core as core;
 pub use occam_emunet as emunet;
 pub use occam_gateway as gateway;
@@ -60,7 +64,7 @@ pub use occam_core::{
 /// ```
 /// let (runtime, ft) = occam::emulated_deployment(1, 4);
 /// assert_eq!(ft.all_switches().len(), 4 + 8 + 8);
-/// let report = runtime.run_task("noop", |_| Ok(()));
+/// let report = runtime.task("noop").run(|_| Ok(()));
 /// assert_eq!(report.state, occam::TaskState::Completed);
 /// assert_eq!(runtime.obs().counter_value("core.tasks.completed"), 1);
 /// ```

@@ -6,7 +6,7 @@ use occam::{TaskError, TaskState};
 #[test]
 fn invalid_scope_aborts_with_scope_error() {
     let (rt, _ft) = occam::emulated_deployment(1, 4);
-    let report = rt.run_task("bad_scope", |ctx| {
+    let report = rt.task("bad_scope").run(|ctx| {
         let _ = ctx.network_regex("(((")?;
         Ok(())
     });
@@ -18,7 +18,7 @@ fn invalid_scope_aborts_with_scope_error() {
 #[test]
 fn empty_scope_locks_nothing_but_operates_on_nothing() {
     let (rt, _ft) = occam::emulated_deployment(1, 4);
-    let report = rt.run_task("empty", |ctx| {
+    let report = rt.task("empty").run(|ctx| {
         let net = ctx.network_of_devices::<&str>(&[])?;
         assert!(net.devices()?.is_empty());
         assert!(net.get(attrs::DEVICE_STATUS)?.is_empty());
@@ -36,7 +36,7 @@ fn scope_matching_no_devices_still_locks_the_region() {
     // writer to the same future region must wait.
     let (rt, _ft) = occam::emulated_deployment(1, 4);
     let rt1 = rt.clone();
-    let h = rt1.submit("future_region", |ctx| {
+    let h = rt1.task("future_region").spawn(|ctx| {
         let net = ctx.network("dc09.pod00.*")?;
         assert!(net.devices()?.is_empty());
         std::thread::sleep(std::time::Duration::from_millis(80));
@@ -44,7 +44,7 @@ fn scope_matching_no_devices_still_locks_the_region() {
     });
     std::thread::sleep(std::time::Duration::from_millis(20));
     let t0 = std::time::Instant::now();
-    let report = rt.run_task("same_future_region", |ctx| {
+    let report = rt.task("same_future_region").run(|ctx| {
         let _ = ctx.network("dc09.pod00.*")?;
         Ok(())
     });
@@ -59,7 +59,7 @@ fn scope_matching_no_devices_still_locks_the_region() {
 #[test]
 fn get_all_returns_full_attribute_maps() {
     let (rt, _ft) = occam::emulated_deployment(1, 4);
-    let report = rt.run_task("get_all", |ctx| {
+    let report = rt.task("get_all").run(|ctx| {
         let net = ctx.network_read("dc01.pod00.tor00")?;
         let all = net.get_all()?;
         let attrs_map = all.get("dc01.pod00.tor00").expect("device present");
@@ -73,7 +73,7 @@ fn get_all_returns_full_attribute_maps() {
 #[test]
 fn unknown_device_function_aborts_cleanly() {
     let (rt, _ft) = occam::emulated_deployment(1, 4);
-    let report = rt.run_task("bogus_func", |ctx| {
+    let report = rt.task("bogus_func").run(|ctx| {
         let net = ctx.network("dc01.pod00.tor00")?;
         net.apply("f_not_a_function")?;
         Ok(())
@@ -102,7 +102,7 @@ fn task_queue_reports_aborted_tasks() {
 #[test]
 fn scope_accessor_and_display() {
     let (rt, _ft) = occam::emulated_deployment(1, 4);
-    rt.run_task("scope", |ctx| {
+    rt.task("scope").run(|ctx| {
         let net = ctx.network("dc01.pod00.*")?;
         assert!(net.scope().matches("dc01.pod00.tor01"));
         assert!(!net.scope().matches("dc01.pod01.tor01"));

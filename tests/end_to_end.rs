@@ -11,7 +11,7 @@ use std::sync::Arc;
 #[test]
 fn maintenance_task_updates_db_and_devices_atomically() {
     let (rt, _ft) = occam::emulated_deployment(1, 6);
-    let report = rt.run_task("maintenance", |ctx| {
+    let report = rt.task("maintenance").run(|ctx| {
         let pod = ctx.network("dc01.pod05.*")?;
         pod.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
         pod.apply("f_drain")?;
@@ -52,7 +52,7 @@ fn overlapping_writers_never_interleave() {
     let mut handles = Vec::new();
     for i in 0..n {
         let rt = rt.clone();
-        handles.push(rt.clone().submit(&format!("inc{i}"), move |ctx| {
+        handles.push(rt.clone().task(format!("inc{i}")).spawn(move |ctx| {
             let net = ctx.network("dc01.pod00.tor00")?;
             let cur = net.get("COUNTER")?;
             let v = cur
@@ -88,7 +88,7 @@ fn readers_run_concurrently_under_shared_locks() {
         let rt = rt.clone();
         let c = Arc::clone(&concurrent);
         let p = Arc::clone(&peak);
-        handles.push(rt.clone().submit(&format!("reader{i}"), move |ctx| {
+        handles.push(rt.clone().task(format!("reader{i}")).spawn(move |ctx| {
             let net = ctx.network_read("dc01.*")?;
             let inside = c.fetch_add(1, Ordering::SeqCst) + 1;
             p.fetch_max(inside, Ordering::SeqCst);
@@ -114,7 +114,7 @@ fn containment_conflict_blocks_whole_dc_writer() {
     let order = Arc::new(std::sync::Mutex::new(Vec::<&'static str>::new()));
     let o1 = Arc::clone(&order);
     let rt1 = rt.clone();
-    let h1 = rt1.submit("pod_writer", move |ctx| {
+    let h1 = rt1.task("pod_writer").spawn(move |ctx| {
         let _net = ctx.network("dc01.pod01.*")?;
         std::thread::sleep(std::time::Duration::from_millis(100));
         o1.lock().unwrap().push("pod");
@@ -122,7 +122,7 @@ fn containment_conflict_blocks_whole_dc_writer() {
     });
     std::thread::sleep(std::time::Duration::from_millis(30));
     let o2 = Arc::clone(&order);
-    let report = rt.run_task("dc_writer", move |ctx| {
+    let report = rt.task("dc_writer").run(move |ctx| {
         let _net = ctx.network("dc01.*")?;
         o2.lock().unwrap().push("dc");
         Ok(())
@@ -142,7 +142,7 @@ fn db_failure_aborts_task_and_suggests_revert() {
     let before = rt.db().snapshot();
     // First write succeeds, second query hits an injected connection
     // failure.
-    let report = rt.run_task("flaky_db", |ctx| {
+    let report = rt.task("flaky_db").run(|ctx| {
         let net = ctx.network("dc01.pod00.*")?;
         net.set("STAGE", 1i64.into())?;
         ctx.runtime()
@@ -179,7 +179,7 @@ fn traffic_survives_serialized_conflicting_tasks() {
         )
     };
     let rt1 = rt.clone();
-    let h1 = rt1.submit("upgrade", move |ctx| {
+    let h1 = rt1.task("upgrade").spawn(move |ctx| {
         let net = ctx.network("dc01.pod00.agg00")?;
         net.apply("f_drain")?;
         net.apply_with("f_upgrade_data_plane", &FuncArgs::one("phase", "begin"))?;
@@ -190,7 +190,7 @@ fn traffic_survives_serialized_conflicting_tasks() {
         Ok(())
     });
     std::thread::sleep(std::time::Duration::from_millis(30));
-    let report2 = rt.run_task("turnup", |ctx| {
+    let report2 = rt.task("turnup").run(|ctx| {
         let net = ctx.network("dc01.pod00.agg00")?;
         net.apply("f_push")?;
         Ok(())
@@ -212,7 +212,7 @@ fn traffic_survives_serialized_conflicting_tasks() {
 fn pattern_cache_is_exercised_by_repeated_scopes() {
     let (rt, _ft) = occam::emulated_deployment(1, 4);
     for _ in 0..4 {
-        let report = rt.run_task("repeat", |ctx| {
+        let report = rt.task("repeat").run(|ctx| {
             let _ = ctx.network_read("dc01.pod00.*")?;
             Ok(())
         });

@@ -102,7 +102,7 @@ fn concurrent_clients_mixed_workflows_all_terminate() {
                             ),
                             _ => ("status_audit", vec![]),
                         };
-                        let urgent = n % 7 == 0;
+                        let urgent = n.is_multiple_of(7);
                         let t = submit_retrying(&mut client, wf, &scope, urgent, &params, start);
                         tickets.push((wf.to_string(), t));
                     }

@@ -17,7 +17,7 @@ const NEW_DEV: &str = "dc01.pod02.tor90";
 #[test]
 fn migration_commits_atomically() {
     let (rt, _ft) = occam::emulated_deployment(1, 6);
-    let report = rt.run_task("migration", |ctx| {
+    let report = rt.task("migration").run(|ctx| {
         let pod = ctx.network("dc01.pod02.*")?;
         pod.remove_device(OLD_DEV)?;
         pod.insert_device(
@@ -47,7 +47,7 @@ fn intermediate_state_is_invisible_to_concurrent_readers() {
     let saw_partial = Arc::new(AtomicBool::new(false));
     let mut readers = Vec::new();
     let rt1 = rt.clone();
-    let migration = rt1.submit("migration", move |ctx| {
+    let migration = rt1.task("migration").spawn(move |ctx| {
         let pod = ctx.network("dc01.pod02.*")?;
         pod.remove_device(OLD_DEV)?;
         // A long gap between delete and insert: the dangerous window.
@@ -62,7 +62,7 @@ fn intermediate_state_is_invisible_to_concurrent_readers() {
     for i in 0..4 {
         let rt = rt.clone();
         let saw = Arc::clone(&saw_partial);
-        readers.push(rt.clone().submit(&format!("te_reader{i}"), move |ctx| {
+        readers.push(rt.clone().task(format!("te_reader{i}")).spawn(move |ctx| {
             let pod = ctx.network_read("dc01.pod02.*")?;
             let n = pod.devices()?.len();
             if n < baseline {
@@ -87,7 +87,7 @@ fn failed_migration_rolls_back_to_original_inventory() {
     let (rt, _ft) = occam::emulated_deployment(1, 6);
     let svc = occam::emu_service(&rt);
     let before = rt.db().snapshot();
-    let report = rt.run_task("migration", |ctx| {
+    let report = rt.task("migration").run(|ctx| {
         let pod = ctx.network("dc01.pod02.*")?;
         pod.remove_device(OLD_DEV)?;
         pod.insert_device(
@@ -109,7 +109,7 @@ fn failed_migration_rolls_back_to_original_inventory() {
 #[test]
 fn insert_outside_scope_is_rejected() {
     let (rt, _ft) = occam::emulated_deployment(1, 4);
-    let report = rt.run_task("bad_insert", |ctx| {
+    let report = rt.task("bad_insert").run(|ctx| {
         let pod = ctx.network("dc01.pod01.*")?;
         pod.insert_device("dc01.pod02.sw99", vec![])
     });
@@ -126,7 +126,7 @@ fn symbolic_region_covers_devices_added_later() {
     // migration even though the new device did not exist when it locked.
     let (rt, _ft) = occam::emulated_deployment(1, 6);
     let rt1 = rt.clone();
-    let h = rt1.submit("migration", |ctx| {
+    let h = rt1.task("migration").spawn(|ctx| {
         let pod = ctx.network("dc01.pod02.*")?;
         pod.insert_device(NEW_DEV, vec![])?;
         std::thread::sleep(std::time::Duration::from_millis(100));
@@ -144,7 +144,7 @@ fn symbolic_region_covers_devices_added_later() {
     std::thread::sleep(std::time::Duration::from_millis(30));
     // This writer names the new device explicitly; its scope is inside
     // dc01.pod02.* so it must serialize behind the migration.
-    let report = rt.run_task("configure_new", |ctx| {
+    let report = rt.task("configure_new").run(|ctx| {
         let dev = ctx.network_of_devices(&[NEW_DEV])?;
         let status = dev.get(attrs::DEVICE_STATUS)?;
         // By the time we run, the migration has committed: the device
@@ -169,7 +169,7 @@ fn rollback_after_insert_and_push_handles_deleted_target() {
     let (rt, _ft) = occam::emulated_deployment(1, 6);
     let svc = occam::emu_service(&rt);
     let before = rt.db().snapshot();
-    let report = rt.run_task("insert_push_fail", |ctx| {
+    let report = rt.task("insert_push_fail").run(|ctx| {
         let pod = ctx.network("dc01.pod03.*")?;
         pod.insert_device(NEW_POD3_DEV, vec![])?;
         pod.set(attrs::FIRMWARE_VERSION, "fw-3".into())?;

@@ -110,7 +110,7 @@ proptest! {
         let func = FUNCS[func_idx];
         svc.library().fail_at(func, nth);
         let steps2 = steps.clone();
-        let report = rt.run_task("random_program", move |ctx| {
+        let report = rt.task("random_program").run(move |ctx| {
             let net = ctx.network("dc01.pod01.tor00")?;
             run_steps(&net, &steps2)?;
             Ok(())
@@ -151,7 +151,7 @@ proptest! {
     #[test]
     fn random_programs_complete_without_faults(steps in arb_steps()) {
         let (rt, _ft) = occam::emulated_deployment(1, 4);
-        let report = rt.run_task("random_program", move |ctx| {
+        let report = rt.task("random_program").run(move |ctx| {
             let net = ctx.network("dc01.pod01.tor00")?;
             run_steps(&net, &steps)?;
             Ok(())

@@ -40,7 +40,7 @@ fn run_with_failure_at(func: &str) -> (occam::TaskReport, bool) {
     let svc = occam::emu_service(&rt);
     let before_db = rt.db().snapshot();
     svc.library().fail_at(func, 0);
-    let report = rt.run_task("firmware_upgrade", upgrade_program);
+    let report = rt.task("firmware_upgrade").run(upgrade_program);
     assert_eq!(report.state, TaskState::Aborted, "failure at {func}");
     svc.library().clear_faults();
     execute_rollback(&report, rt.db(), svc)
@@ -118,7 +118,7 @@ fn db_write_failures_are_also_recoverable() {
     let (rt, _ft) = occam::emulated_deployment(1, 6);
     let svc = occam::emu_service(&rt);
     let before_db = rt.db().snapshot();
-    let report = rt.run_task("firmware_upgrade", |ctx| {
+    let report = rt.task("firmware_upgrade").run(|ctx| {
         let net = ctx.network(TARGET)?;
         net.apply("f_drain")?;
         net.set(attrs::FIRMWARE_VERSION, "fw-2.1.0".into())?;

@@ -19,7 +19,7 @@ fn forty_conflicting_tasks_all_terminate_cleanly() {
             2 => format!("dc01.pod0{}.*", i % 6),
             _ => format!("dc01.pod0{}.tor*", i % 6),
         };
-        handles.push(rt.clone().submit(&format!("task{i}"), move |ctx| {
+        handles.push(rt.clone().task(format!("task{i}")).spawn(move |ctx| {
             if i % 5 == 0 {
                 let net = ctx.network_read(&scope)?;
                 let _ = net.get(attrs::DEVICE_STATUS)?;
@@ -63,7 +63,8 @@ fn deadlock_victims_can_be_reexecuted_to_completion() {
               second: &'static str,
               b: Arc<std::sync::Barrier>| {
         rt.clone()
-            .submit(&format!("{first}->{second}"), move |ctx| {
+            .task(format!("{first}->{second}"))
+            .spawn(move |ctx| {
                 let _a = ctx.network(first)?;
                 b.wait();
                 let _b = ctx.network(second)?;
@@ -92,7 +93,7 @@ fn deadlock_victims_can_be_reexecuted_to_completion() {
     assert!(matches!(victims[0].error, Some(TaskError::Deadlock)));
     // Re-execute the victim's program: it now completes (paper: abort and
     // re-execute the task that caused the deadlock).
-    let retry = rt.run_task("retry", |ctx| {
+    let retry = rt.task("retry").run(|ctx| {
         let _a = ctx.network("dc01.pod00.*")?;
         let _b = ctx.network("dc01.pod01.*")?;
         Ok(())
@@ -109,7 +110,7 @@ fn mixed_read_write_storm_preserves_db_consistency() {
     let mut handles = Vec::new();
     for i in 0..16u32 {
         let rt = rt.clone();
-        handles.push(rt.clone().submit(&format!("w{i}"), move |ctx| {
+        handles.push(rt.clone().task(format!("w{i}")).spawn(move |ctx| {
             let net = ctx.network("dc01.pod00.*")?;
             let vals = net.get("GEN")?;
             // All devices in the region must show the same generation:
@@ -139,7 +140,7 @@ fn wal_replay_matches_after_concurrent_task_storm() {
     let mut handles = Vec::new();
     for i in 0..12u32 {
         let rt = rt.clone();
-        handles.push(rt.clone().submit(&format!("s{i}"), move |ctx| {
+        handles.push(rt.clone().task(format!("s{i}")).spawn(move |ctx| {
             let net = ctx.network(&format!("dc01.pod0{}.*", i % 4))?;
             net.set("ROUND", (i as i64).into())?;
             net.set_links(occam::netdb::attrs::LINK_SPEED, 100i64.into())?;

@@ -368,7 +368,7 @@ fn main() {
         let (rt_occam, _) = deploy();
         occam_fn(&rt_occam).unwrap_or_else(|e| panic!("{name} occam failed: {e}"));
         // Compare end states, ignoring the legacy advisory-lock attribute.
-        let mut legacy_snap = rt_legacy.db().snapshot();
+        let mut legacy_snap = rt_legacy.db().snapshot().materialize();
         for dev in legacy_snap.devices.values_mut() {
             dev.attrs.remove("WF_LOCK");
         }

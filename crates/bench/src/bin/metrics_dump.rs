@@ -45,6 +45,9 @@ const RUNTIME_NAMES: &[&str] = &[
     "netdb.wal.appends",
     "netdb.wal.records",
     "netdb.wal.append_ns",
+    "netdb.snapshot_ns",
+    "netdb.shard.commits",
+    "netdb.shard.read_lock_free",
     "objtree.inserts",
     "objtree.splits",
     "objtree.deletes",

@@ -24,7 +24,7 @@ use crate::scenario::{Scenario, ScenarioKind};
 use crate::snapshot::StateSnapshot;
 use occam_core::{execute_rollback, RetryPolicy, Runtime, TaskState};
 use occam_emunet::{EmuNet, EmuService, FaultyService, LatencyPlan};
-use occam_netdb::{attrs, db::Store, AttrValue, Database, FaultPlan};
+use occam_netdb::{attrs, db::Store, AttrValue, Database, FaultPlan, StoreSnapshot};
 use occam_obs::{Counter, Registry};
 use occam_sched::Policy;
 use occam_topology::{FatTree, Role};
@@ -318,7 +318,8 @@ impl Campaign {
     }
 
     /// Simulates a crash: the WAL must recover to exactly the live state,
-    /// and replaying a seeded prefix (a torn shutdown) must be total.
+    /// and replaying a seeded prefix (a torn shutdown) must be total and
+    /// identical under the sharded and the naive replay implementations.
     fn crash_point(&mut self, rng: &mut StdRng, report: &mut CampaignReport) {
         self.faults_enabled(false);
         self.obs.crashes.inc();
@@ -335,7 +336,16 @@ impl Campaign {
         let records = self.db.wal_records();
         if !records.is_empty() {
             let k = rng.random_range(0usize..=records.len());
-            let _ = Store::replay(&records[..k]);
+            let sharded = StoreSnapshot::replay(&records[..k]);
+            if sharded != Store::replay(&records[..k]) {
+                self.violation(
+                    report,
+                    format!("sharded replay diverged from naive replay at prefix {k}"),
+                );
+            }
+            if let Err(e) = sharded.self_check() {
+                self.violation(report, format!("sharded replay broke invariants: {e}"));
+            }
         }
         self.faults_enabled(true);
     }

@@ -8,8 +8,7 @@
 //! layers, which this module provides.
 
 use occam_emunet::{EmuService, FlowClass, SwitchState};
-use occam_netdb::db::Store;
-use occam_netdb::Database;
+use occam_netdb::{Database, StoreSnapshot};
 use occam_topology::Role;
 use std::collections::BTreeMap;
 
@@ -57,12 +56,13 @@ impl DeviceFingerprint {
     }
 }
 
-/// A point-in-time capture of the logical layer (database [`Store`]) and
-/// the physical layer (per-device fingerprints).
+/// A point-in-time capture of the logical layer (a [`StoreSnapshot`]
+/// handle — an O(1) capture even at production scale) and the physical
+/// layer (per-device fingerprints).
 #[derive(Clone, PartialEq, Debug)]
 pub struct StateSnapshot {
     /// The database contents.
-    pub db: Store,
+    pub db: StoreSnapshot,
     /// Device name → fingerprint, for every non-host device.
     pub devices: BTreeMap<String, DeviceFingerprint>,
 }
@@ -93,7 +93,13 @@ impl StateSnapshot {
     /// for violation reports. `None` when equal.
     pub fn first_diff(&self, other: &StateSnapshot) -> Option<String> {
         if self.db != other.db {
-            return Some("database stores differ".into());
+            // Materialize only on the failure path: diff wants the flat
+            // representation, and violations are the rare case.
+            let entries = occam_netdb::diff(&self.db.materialize(), &other.db.materialize());
+            return Some(match entries.first() {
+                Some(e) => format!("database stores differ, first: {e:?}"),
+                None => "database stores differ".into(),
+            });
         }
         for (name, fp) in &self.devices {
             match other.devices.get(name) {

@@ -9,7 +9,7 @@
 use crate::error::{TaskError, TaskResult};
 use crate::task::{TaskCtx, UndoRecord};
 use occam_emunet::FuncArgs;
-use occam_netdb::{AttrValue, LinkKey};
+use occam_netdb::{AttrValue, LinkKey, StoreSnapshot};
 use occam_objtree::{LockMode, ObjectId};
 use occam_regex::Pattern;
 use occam_rollback::{func_optype, LogEntry, OpStatus};
@@ -90,6 +90,16 @@ impl<'t> Network<'t> {
         Ok(self.ctx.runtime().db().get_link_attr(&self.pattern, attr)?)
     }
 
+    /// Takes a consistent lock-free snapshot of the store, scoped reads
+    /// included: all reads against the returned handle observe the same
+    /// committed version, so multi-attribute audits cannot tear across a
+    /// concurrent commit. Counted and fault-injected like any other query.
+    pub fn view(&self) -> TaskResult<StoreSnapshot> {
+        self.ctx.check_cancelled()?;
+        self.ctx.runtime().obs_handles().ops_get.inc();
+        Ok(self.ctx.runtime().db().query_snapshot()?)
+    }
+
     /// Writes one attribute on every device in the region: the paper's
     /// `set()`. Returns the devices written. Logged as `DB_CHANGE` with the
     /// overwritten values for rollback.
@@ -102,8 +112,11 @@ impl<'t> Network<'t> {
         // Capture previous values (absent = None) for the undo payload.
         type Captured = (Vec<String>, Vec<(String, Option<AttrValue>)>);
         let capture = || -> Result<Captured, TaskError> {
-            let devices = db.select_devices(&self.pattern)?;
-            let current = db.get_attr(&self.pattern, attr)?;
+            // One snapshot: names and previous values are mutually
+            // consistent even against concurrent writers.
+            let snap = db.query_snapshot()?;
+            let devices = snap.select_devices(&self.pattern);
+            let current = snap.get_attr(&self.pattern, attr);
             let old = devices
                 .iter()
                 .map(|d| (d.clone(), current.get(d).cloned()))
@@ -210,8 +223,9 @@ impl<'t> Network<'t> {
         self.ctx.runtime().obs_handles().ops_set.inc();
         let db = self.ctx.runtime().db();
         let label = format!("set_links({attr})");
-        let current = db.get_link_attr(&self.pattern, attr)?;
-        let keys = db.links_touching(&self.pattern)?;
+        let snap = db.query_snapshot()?;
+        let current = snap.get_link_attr(&self.pattern, attr);
+        let keys = snap.links_touching(&self.pattern);
         let old: Vec<(LinkKey, Option<AttrValue>)> = keys
             .iter()
             .map(|k| (k.clone(), current.get(k).cloned()))
@@ -313,15 +327,11 @@ impl<'t> Network<'t> {
             .map(|m| m.into_iter().collect())
             .unwrap_or_default();
         let mut links = Vec::new();
-        let snap = db.snapshot();
-        for (a, z) in db.links_touching(&one)? {
+        let snap = db.query_snapshot()?;
+        for (a, z) in snap.links_touching(&one) {
             let peer = if a == name { z.clone() } else { a.clone() };
-            let rec = snap
-                .links
-                .get(&occam_netdb::link_key(&a, &z))
-                .cloned()
-                .unwrap_or_default();
-            links.push((peer, rec.attrs.into_iter().collect()));
+            let attrs = snap.link_attrs(&a, &z).unwrap_or_default();
+            links.push((peer, attrs.into_iter().collect()));
         }
         match db.delete_device(name) {
             Ok(_) => {

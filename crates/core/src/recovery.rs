@@ -158,21 +158,19 @@ fn run_step(
                     }
                 }
             }
+            // One snapshot for the whole re-push: every device's admin
+            // state and firmware come from the same committed version.
+            let snap = db.query_snapshot()?;
             for device in devices {
-                let scope = occam_regex::Pattern::from_names(&[device.as_str()])?;
-                let status = db.get_attr(&scope, attrs::DEVICE_STATUS)?;
-                let drained = status
-                    .get(&device)
+                let row = snap.device_attrs(&device).unwrap_or_default();
+                let drained = row
+                    .get(attrs::DEVICE_STATUS)
                     .and_then(|v| v.as_str())
                     .is_some_and(|s| {
                         s == attrs::STATUS_DRAINED || s == attrs::STATUS_UNDER_MAINTENANCE
                     });
                 let mut args = FuncArgs::one("admin", if drained { "drained" } else { "active" });
-                if let Some(fw) = db
-                    .get_attr(&scope, attrs::FIRMWARE_VERSION)?
-                    .get(&device)
-                    .and_then(|v| v.as_str())
-                {
+                if let Some(fw) = row.get(attrs::FIRMWARE_VERSION).and_then(|v| v.as_str()) {
                     args = args.with("firmware", fw);
                 }
                 service.execute("f_push", std::slice::from_ref(&device), &args)?;

@@ -216,8 +216,12 @@ fn build_config_push(spec: WorkflowSpec) -> Program {
 fn build_status_audit(spec: WorkflowSpec) -> Program {
     Box::new(move |ctx| {
         let region = ctx.network_read(&spec.scope)?;
-        let devices = region.devices()?;
-        let statuses = region.get(attrs::DEVICE_STATUS)?;
+        // One lock-free snapshot: device list and statuses come from the
+        // same committed version, so the audit can never tear across a
+        // concurrent commit (and never blocks a writer).
+        let view = region.view()?;
+        let devices = view.select_devices(region.scope());
+        let statuses = view.get_attr(region.scope(), attrs::DEVICE_STATUS);
         ctx.check_cancelled()?;
         if statuses.len() > devices.len() {
             return Err(TaskError::Failed(

@@ -9,12 +9,14 @@
 
 use crate::error::{DbError, DbResult};
 use crate::fault::{FaultInjector, FaultPlan};
+use crate::shard::{StoreSnapshot, StoreState};
 use crate::value::AttrValue;
 use crate::wal::{Wal, WalRecord};
 use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry, Span};
 use occam_regex::Pattern;
-use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A device row: an attribute map.
 #[derive(Clone, PartialEq, Default, Debug)]
@@ -42,16 +44,56 @@ pub fn link_key(a: &str, z: &str) -> LinkKey {
     }
 }
 
-/// The materialized database state. Cloneable: a clone is a snapshot.
-#[derive(Clone, PartialEq, Default, Debug)]
+/// The materialized database state: the flat, single-map representation.
+///
+/// The live database no longer stores one of these (state is sharded —
+/// see [`crate::shard`]); `Store` remains as the replay reference
+/// implementation, the [`diff`] input type, and the target of
+/// [`StoreSnapshot::materialize`]. Cloneable: a clone is a snapshot.
+///
+/// The `devices`/`links` maps stay public for read access; treat them as
+/// read-only — the store keeps a private per-endpoint link index in sync
+/// through [`Store::apply`], which direct map mutation would skew.
+#[derive(Clone, Default, Debug)]
 pub struct Store {
     /// Device rows by name.
     pub devices: BTreeMap<String, DeviceRecord>,
     /// Link rows by normalized endpoint pair.
     pub links: BTreeMap<LinkKey, LinkRecord>,
+    /// Endpoint → keys of links touching it, so a device delete walks
+    /// only its own links instead of scanning the whole link table.
+    pub(crate) by_endpoint: BTreeMap<String, BTreeSet<LinkKey>>,
+}
+
+/// Equality is over the logical contents (devices and links); the
+/// endpoint index is a pure function of `links` and excluded.
+impl PartialEq for Store {
+    fn eq(&self, other: &Store) -> bool {
+        self.devices == other.devices && self.links == other.links
+    }
 }
 
 impl Store {
+    fn index_link(&mut self, key: &LinkKey) {
+        self.by_endpoint
+            .entry(key.0.clone())
+            .or_default()
+            .insert(key.clone());
+        self.by_endpoint
+            .entry(key.1.clone())
+            .or_default()
+            .insert(key.clone());
+    }
+
+    fn unindex_link(&mut self, endpoint: &str, key: &LinkKey) {
+        if let Some(set) = self.by_endpoint.get_mut(endpoint) {
+            set.remove(key);
+            if set.is_empty() {
+                self.by_endpoint.remove(endpoint);
+            }
+        }
+    }
+
     /// Applies one redo record. Application is total: records referencing
     /// missing rows are no-ops, which makes replay robust to truncation.
     pub fn apply(&mut self, rec: &WalRecord) {
@@ -64,7 +106,17 @@ impl Store {
             }
             WalRecord::DeleteDevice { name } => {
                 self.devices.remove(name);
-                self.links.retain(|(a, z), _| a != name && z != name);
+                // Cascade through the endpoint index: cost is the
+                // device's own degree, not the whole link table.
+                let keys = self.by_endpoint.remove(name).unwrap_or_default();
+                for key in keys {
+                    self.links.remove(&key);
+                    let other = if key.0 == *name { &key.1 } else { &key.0 };
+                    if other != name {
+                        let other = other.clone();
+                        self.unindex_link(&other, &key);
+                    }
+                }
             }
             WalRecord::SetDeviceAttr { name, attr, value } => {
                 if let Some(dev) = self.devices.get_mut(name) {
@@ -81,13 +133,20 @@ impl Store {
                 z_end,
                 attrs,
             } => {
-                let link = self.links.entry(link_key(a_end, z_end)).or_default();
+                let key = link_key(a_end, z_end);
+                let link = self.links.entry(key.clone()).or_default();
                 for (k, v) in attrs {
                     link.attrs.insert(k.clone(), v.clone());
                 }
+                self.index_link(&key);
             }
             WalRecord::DeleteLink { a_end, z_end } => {
-                self.links.remove(&link_key(a_end, z_end));
+                let key = link_key(a_end, z_end);
+                if self.links.remove(&key).is_some() {
+                    let (a, z) = (key.0.clone(), key.1.clone());
+                    self.unindex_link(&a, &key);
+                    self.unindex_link(&z, &key);
+                }
             }
             WalRecord::SetLinkAttr {
                 a_end,
@@ -272,6 +331,9 @@ struct DbObs {
     wal_appends: Counter,
     wal_records: Counter,
     wal_append_ns: Histogram,
+    snapshot_ns: Histogram,
+    shard_commits: Counter,
+    lock_free_reads: Counter,
     events: EventRing,
 }
 
@@ -283,15 +345,32 @@ impl DbObs {
             wal_appends: reg.counter("netdb.wal.appends"),
             wal_records: reg.counter("netdb.wal.records"),
             wal_append_ns: reg.histogram("netdb.wal.append_ns"),
+            snapshot_ns: reg.histogram("netdb.snapshot_ns"),
+            shard_commits: reg.counter("netdb.shard.commits"),
+            lock_free_reads: reg.counter("netdb.shard.read_lock_free"),
             events: reg.events(),
         }
     }
 }
 
 /// The network database handle. Cheap to share behind an `Arc`.
+///
+/// State lives in a sharded copy-on-write `StoreState`
+/// (see [`crate::shard`]): `state` holds the current published version
+/// behind a short pointer-swap lock, and `writer` serializes commits.
+/// Readers never take `writer` — they clone the published `Arc` and read
+/// lock-free — so scoped queries proceed concurrently with a committing
+/// writer, and [`Database::snapshot`] is an O(1) `Arc` bump instead of a
+/// deep clone.
 #[derive(Debug)]
 pub struct Database {
-    store: RwLock<Store>,
+    /// The current committed version. The mutex guards only the pointer
+    /// swap; it is held for O(1) by readers and writers alike.
+    state: Mutex<Arc<StoreState>>,
+    /// Commit lock: serializes validate → apply → WAL-append → publish,
+    /// so WAL order equals publication order (the cross-shard commit
+    /// protocol of DESIGN.md §12).
+    writer: Mutex<()>,
     wal: Mutex<Wal>,
     faults: FaultInjector,
     obs: DbObs,
@@ -309,7 +388,8 @@ impl Database {
     /// events) are bound to `reg` — see DESIGN.md §9.
     pub fn with_obs(reg: &Registry) -> Database {
         Database {
-            store: RwLock::new(Store::default()),
+            state: Mutex::new(Arc::new(StoreState::new())),
+            writer: Mutex::new(()),
             wal: Mutex::new(Wal::new()),
             faults: FaultInjector::default(),
             obs: DbObs::bound(reg),
@@ -367,24 +447,36 @@ impl Database {
         }
     }
 
-    /// Iterates the device rows a scope can possibly match, using the
-    /// scope's literal prefix as a `BTreeMap` range bound so pod- and
-    /// DC-scoped queries touch only their slice of the table.
-    fn scoped<'a>(
-        store: &'a Store,
-        scope: &'a Pattern,
-    ) -> impl Iterator<Item = (&'a String, &'a DeviceRecord)> + 'a {
-        let prefix = scope.literal_prefix();
-        store
-            .devices
-            .range(prefix.clone()..)
-            .take_while(move |(n, _)| n.starts_with(&prefix))
-            .filter(|(n, _)| scope.matches(n))
+    /// The currently published store version: an O(1) `Arc` bump.
+    fn current(&self) -> Arc<StoreState> {
+        self.state.lock().clone()
     }
 
     /// Takes a consistent snapshot of the whole store.
-    pub fn snapshot(&self) -> Store {
-        self.store.read().clone()
+    ///
+    /// O(1): bumps the refcount of the published shard vector — no deep
+    /// clone, no waiting on in-flight commits. The handle stays immutable
+    /// forever; use [`StoreSnapshot::materialize`] to flatten it when a
+    /// legacy [`Store`] is needed. Bypasses the fault injector, so
+    /// invariant checkers can capture state while fault plans are armed.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let span = Span::start(&self.obs.snapshot_ns);
+        let snap = StoreSnapshot {
+            state: self.current(),
+        };
+        span.finish();
+        snap
+    }
+
+    /// Takes a snapshot *as a query*: counted, timed, and subject to the
+    /// fault injector like every other read. This is what runtime layers
+    /// use so a task's reads keep their failure semantics while becoming
+    /// lock-free and mutually consistent.
+    pub fn query_snapshot(&self) -> DbResult<StoreSnapshot> {
+        let _q = self.query_span();
+        self.guard()?;
+        self.obs.lock_free_reads.inc();
+        Ok(self.snapshot())
     }
 
     /// Number of committed write batches.
@@ -400,8 +492,12 @@ impl Database {
     /// Installs a recovered record sequence: replays it into the store and
     /// re-seeds the WAL so future commits continue the history.
     pub(crate) fn install_recovered(&self, records: Vec<WalRecord>) {
-        let mut store = self.store.write();
-        *store = Store::replay(&records);
+        let _w = self.writer.lock();
+        let mut state = StoreState::new();
+        for r in &records {
+            state.apply(r);
+        }
+        *self.state.lock() = Arc::new(state);
         let mut wal = self.wal.lock();
         *wal = Wal::new();
         // Preserve history: append all recovered records as one batch-free
@@ -424,14 +520,21 @@ impl Database {
     // Read queries
     // ------------------------------------------------------------------
 
+    /// Reads route through a lock-free snapshot of the published version:
+    /// shard-routed by the scope's literal prefix, never blocked by (and
+    /// never blocking) a committing writer.
+    fn read_view(&self) -> StoreSnapshot {
+        self.obs.lock_free_reads.inc();
+        StoreSnapshot {
+            state: self.current(),
+        }
+    }
+
     /// Returns the names of devices matching `scope`, sorted.
     pub fn select_devices(&self, scope: &Pattern) -> DbResult<Vec<String>> {
         let _q = self.query_span();
         self.guard()?;
-        let store = self.store.read();
-        Ok(Self::scoped(&store, scope)
-            .map(|(n, _)| n.clone())
-            .collect())
+        Ok(self.read_view().select_devices(scope))
     }
 
     /// Returns `device → value` for one attribute across a scope; devices
@@ -439,10 +542,7 @@ impl Database {
     pub fn get_attr(&self, scope: &Pattern, attr: &str) -> DbResult<BTreeMap<String, AttrValue>> {
         let _q = self.query_span();
         self.guard()?;
-        let store = self.store.read();
-        Ok(Self::scoped(&store, scope)
-            .filter_map(|(n, d)| d.attrs.get(attr).map(|v| (n.clone(), v.clone())))
-            .collect())
+        Ok(self.read_view().get_attr(scope, attr))
     }
 
     /// Returns the full attribute map for every device in a scope.
@@ -452,30 +552,21 @@ impl Database {
     ) -> DbResult<BTreeMap<String, BTreeMap<String, AttrValue>>> {
         let _q = self.query_span();
         self.guard()?;
-        let store = self.store.read();
-        Ok(Self::scoped(&store, scope)
-            .map(|(n, d)| (n.clone(), d.attrs.clone()))
-            .collect())
+        Ok(self.read_view().get_all(scope))
     }
 
     /// Returns true if a device row exists.
     pub fn device_exists(&self, name: &str) -> DbResult<bool> {
         let _q = self.query_span();
         self.guard()?;
-        Ok(self.store.read().devices.contains_key(name))
+        Ok(self.read_view().device_exists(name))
     }
 
     /// Returns the links with at least one endpoint in scope, sorted by key.
     pub fn links_touching(&self, scope: &Pattern) -> DbResult<Vec<LinkKey>> {
         let _q = self.query_span();
         self.guard()?;
-        let store = self.store.read();
-        Ok(store
-            .links
-            .keys()
-            .filter(|(a, z)| scope.matches(a) || scope.matches(z))
-            .cloned()
-            .collect())
+        Ok(self.read_view().links_touching(scope))
     }
 
     /// Returns `link → value` for one attribute across links touching a
@@ -487,35 +578,29 @@ impl Database {
     ) -> DbResult<BTreeMap<LinkKey, AttrValue>> {
         let _q = self.query_span();
         self.guard()?;
-        let store = self.store.read();
-        Ok(store
-            .links
-            .iter()
-            .filter(|((a, z), _)| scope.matches(a) || scope.matches(z))
-            .filter_map(|(k, l)| l.attrs.get(attr).map(|v| (k.clone(), v.clone())))
-            .collect())
+        Ok(self.read_view().get_link_attr(scope, attr))
     }
 
     // ------------------------------------------------------------------
     // Write queries (each is one atomic batch)
     // ------------------------------------------------------------------
 
-    /// Validates a batch against a store without mutating it.
-    fn validate(store: &Store, ops: &[WriteOp]) -> DbResult<()> {
+    /// Validates a batch against a store version without mutating it.
+    fn validate(store: &StoreState, ops: &[WriteOp]) -> DbResult<()> {
         // Track devices/links created or destroyed earlier in this batch so
         // that intra-batch sequences validate consistently.
         let mut devs: BTreeMap<&str, bool> = BTreeMap::new(); // name -> exists
         let mut links: BTreeMap<LinkKey, bool> = BTreeMap::new();
-        let dev_exists = |store: &Store, devs: &BTreeMap<&str, bool>, n: &str| {
+        let dev_exists = |store: &StoreState, devs: &BTreeMap<&str, bool>, n: &str| {
             devs.get(n)
                 .copied()
-                .unwrap_or_else(|| store.devices.contains_key(n))
+                .unwrap_or_else(|| store.device_exists(n))
         };
-        let link_exists = |store: &Store, links: &BTreeMap<LinkKey, bool>, k: &LinkKey| {
+        let link_exists = |store: &StoreState, links: &BTreeMap<LinkKey, bool>, k: &LinkKey| {
             links
                 .get(k)
                 .copied()
-                .unwrap_or_else(|| store.links.contains_key(k))
+                .unwrap_or_else(|| store.link_exists(k))
         };
         for op in ops {
             match op {
@@ -624,19 +709,44 @@ impl Database {
         }
     }
 
+    /// Commits pre-validated records under the held writer lock: clones the
+    /// base shard vector shallowly, applies copy-on-write (only touched
+    /// shards are deep-cloned), appends to the WAL, then publishes the new
+    /// version with an O(1) pointer swap. Returns the WAL commit sequence.
+    ///
+    /// Because `writer` is held across append + publish, WAL order equals
+    /// publication order — the invariant `install_recovered` and the chaos
+    /// crash points rely on.
+    fn commit_records(&self, base: &Arc<StoreState>, records: Vec<WalRecord>) -> u64 {
+        let mut next = StoreState {
+            shards: base.shards.clone(),
+        };
+        for r in &records {
+            next.apply(r);
+        }
+        let dirty = next
+            .shards
+            .iter()
+            .zip(base.shards.iter())
+            .filter(|(a, b)| !Arc::ptr_eq(a, b))
+            .count();
+        let seq = self.wal_append(records);
+        *self.state.lock() = Arc::new(next);
+        self.obs.shard_commits.add(dirty as u64);
+        seq
+    }
+
     /// Executes a batch of writes atomically: all ops validate against the
     /// current state (plus earlier ops in the batch), then all apply and the
     /// batch commits to the WAL; or none apply.
     pub fn batch(&self, ops: &[WriteOp]) -> DbResult<u64> {
         let _q = self.query_span();
         self.guard()?;
-        let mut store = self.store.write();
-        Self::validate(&store, ops)?;
+        let _w = self.writer.lock();
+        let base = self.current();
+        Self::validate(&base, ops)?;
         let records: Vec<WalRecord> = ops.iter().map(Self::to_record).collect();
-        for r in &records {
-            store.apply(r);
-        }
-        Ok(self.wal_append(records))
+        Ok(self.commit_records(&base, records))
     }
 
     /// Inserts one device.
@@ -657,14 +767,16 @@ impl Database {
     /// Sets one attribute on every device in scope; returns the device names
     /// written.
     pub fn set_attr(&self, scope: &Pattern, attr: &str, value: AttrValue) -> DbResult<Vec<String>> {
-        // Read the scope and write the batch under one lock acquisition so
-        // the query is atomic even against concurrent callers.
+        // Capture the scope and commit the batch under the writer lock so
+        // the read-modify-write is atomic against concurrent writers.
         let _q = self.query_span();
         self.guard()?;
-        let mut store = self.store.write();
-        let names: Vec<String> = Self::scoped(&store, scope)
-            .map(|(n, _)| n.clone())
-            .collect();
+        let _w = self.writer.lock();
+        let base = self.current();
+        let names = StoreSnapshot {
+            state: Arc::clone(&base),
+        }
+        .select_devices(scope);
         let records: Vec<WalRecord> = names
             .iter()
             .map(|n| WalRecord::SetDeviceAttr {
@@ -673,10 +785,7 @@ impl Database {
                 value: value.clone(),
             })
             .collect();
-        for r in &records {
-            store.apply(r);
-        }
-        self.wal_append(records);
+        self.commit_records(&base, records);
         Ok(names)
     }
 
@@ -738,13 +847,12 @@ impl Database {
     ) -> DbResult<Vec<LinkKey>> {
         let _q = self.query_span();
         self.guard()?;
-        let mut store = self.store.write();
-        let keys: Vec<LinkKey> = store
-            .links
-            .keys()
-            .filter(|(a, z)| scope.matches(a) || scope.matches(z))
-            .cloned()
-            .collect();
+        let _w = self.writer.lock();
+        let base = self.current();
+        let keys = StoreSnapshot {
+            state: Arc::clone(&base),
+        }
+        .links_touching(scope);
         let records: Vec<WalRecord> = keys
             .iter()
             .map(|(a, z)| WalRecord::SetLinkAttr {
@@ -754,10 +862,7 @@ impl Database {
                 value: value.clone(),
             })
             .collect();
-        for r in &records {
-            store.apply(r);
-        }
-        self.wal_append(records);
+        self.commit_records(&base, records);
         Ok(keys)
     }
 }
@@ -937,6 +1042,7 @@ mod tests {
         .unwrap();
         db.insert_device("dc01.pod00.sw99", vec![]).unwrap();
         let after = db.snapshot();
+        let (before, after) = (before.materialize(), after.materialize());
         let d = diff(&before, &after);
         assert!(d.contains(&DiffEntry::DeviceAdded("dc01.pod00.sw99".into())));
         assert!(d.iter().any(|e| matches!(

@@ -33,6 +33,7 @@ pub mod db;
 pub mod error;
 pub mod fault;
 pub mod persist;
+pub mod shard;
 pub mod value;
 pub mod wal;
 
@@ -42,5 +43,6 @@ pub use db::{
 pub use error::{DbError, DbResult};
 pub use fault::{FaultInjector, FaultPlan, FaultPlanBuilder};
 pub use persist::{decode as decode_wal, encode as encode_wal, WalDecodeError};
+pub use shard::{shard_of, ShardRoute, StoreSnapshot, NUM_SHARDS};
 pub use value::{attrs, AttrValue};
 pub use wal::{Wal, WalRecord};

@@ -80,7 +80,7 @@ proptest! {
             for op in ops {
                 let _ = db.batch(std::slice::from_ref(op));
             }
-            db.snapshot()
+            db.snapshot().materialize()
         };
         let a = mk(&ops_a);
         let b = mk(&ops_b);
@@ -117,9 +117,9 @@ proptest! {
             db.insert_device(d, vec![]).unwrap();
         }
         let scope = Pattern::from_glob(&format!("dc{dc:02}.*")).unwrap();
-        let before = db.snapshot();
+        let before = db.snapshot().materialize();
         let written = db.set_attr(&scope, "MARK", 1i64.into()).unwrap();
-        let after = db.snapshot();
+        let after = db.snapshot().materialize();
         for d in &devices {
             let changed = before.devices[d] != after.devices[d];
             prop_assert_eq!(changed, scope.matches(d));

@@ -122,10 +122,11 @@ fn db_write_failures_are_also_recoverable() {
         let net = ctx.network(TARGET)?;
         net.apply("f_drain")?;
         net.set(attrs::FIRMWARE_VERSION, "fw-2.1.0".into())?;
-        // Fail the *write* query of the next set (its two reads pass).
+        // Fail the *write* query of the next set (its single snapshot
+        // read, query 0, passes).
         ctx.runtime()
             .db()
-            .set_fault_plan(occam::netdb::FaultPlan::fail_at([2]));
+            .set_fault_plan(occam::netdb::FaultPlan::fail_at([1]));
         net.set(attrs::FIRMWARE_BINARY, "s3://fw/2.1.0.bin".into())?;
         unreachable!("previous set must fail");
     });

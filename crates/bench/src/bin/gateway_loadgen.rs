@@ -1,16 +1,24 @@
 //! Load generator for the occam-gateway service frontend.
 //!
-//! Opens `clients` concurrent TCP connections and drives a mixed
-//! management workload with Meta-shaped arrivals (the Poisson/log-normal
-//! trace model from `occam-workload`, compressed onto a wall-clock
-//! window). Writes `BENCH_gateway.json` with throughput, end-to-end
-//! latency percentiles, and admission/loss accounting read back from the
-//! shared observability registry.
+//! Runs two phases and publishes both in `BENCH_gateway.json`:
 //!
-//! By default the gateway runs in-process on an ephemeral port — that
-//! mode also *asserts* the service invariants: zero lost tasks (every
-//! accepted ticket reaches a terminal phase) and a bounded worker count
-//! (threads spawned == configured pool size, never one per task).
+//! 1. **arrival** — `clients` concurrent connections driving a mixed
+//!    management workload with Meta-shaped arrivals (the Poisson/
+//!    log-normal trace model from `occam-workload`, compressed onto a
+//!    wall-clock window). This is the latency-under-realistic-load
+//!    phase; throughput is arrival-limited by construction.
+//! 2. **burst** — ≥1024 concurrent connections submitting pipelined
+//!    batches of read-only workflows as fast as the gateway admits
+//!    them. This is the serving-throughput phase: it measures how many
+//!    tasks/s the reactor + batch admission + worker pool sustain, and
+//!    it is the number the CI gate holds (the seed thread-per-connection
+//!    server topped out at ~1.1k tasks/s here).
+//!
+//! Both phases run the gateway in-process on an ephemeral port and
+//! *assert* the service invariants: zero lost tasks (every accepted
+//! ticket reaches a terminal phase), zero protocol errors, and a
+//! bounded worker count (threads spawned ≤ configured pool size, never
+//! one per task or per connection).
 //!
 //! Usage:
 //!
@@ -18,19 +26,32 @@
 //! cargo run --release -p occam-bench --bin gateway_loadgen \
 //!     [clients] [tasks_per_client] [pool_size] [queue_cap] [window_ms]
 //! # defaults: 32 8 8 48 1500; window_ms 0 = submit everything at once
-//! # (a burst guaranteed to exercise Busy backpressure)
+//!
+//! cargo run --release -p occam-bench --bin gateway_loadgen --smoke
+//! # CI mode: smaller burst, hard gate at ≥5x the seed burst throughput
 //!
 //! cargo run --release -p occam-bench --bin gateway_loadgen shutdown [addr]
 //! # sends one SHUTDOWN frame to a running gateway_serve
 //! ```
 
-use occam_gateway::{Engine, EngineConfig, GatewayClient, GatewayServer, SubmitReply, WirePhase};
+use occam_gateway::{
+    Engine, EngineConfig, GatewayClient, GatewayServer, SubmitReply, SubmitSpec, WirePhase,
+};
 use occam_workload::{synthesize, TraceConfig};
 use std::fmt::Write as _;
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-/// Hard budget for the whole run; exceeded only on a service hang.
+/// Hard budget for one phase; exceeded only on a service hang.
 const RUN_BUDGET: Duration = Duration::from_secs(120);
+
+/// Burst-phase connection count (the acceptance floor is 1024).
+const BURST_CONNS: usize = 1024;
+/// Pipelined SUBMITs per wire batch in the burst phase.
+const BURST_BATCH: usize = 32;
+/// Seed burst throughput (thread-per-connection server) — the CI smoke
+/// gate requires ≥5x this.
+const SEED_BURST_TASKS_PER_SEC: f64 = 1110.0;
 
 /// One planned submission: `(arrival offset, workflow, scope, urgent,
 /// params)`.
@@ -167,25 +188,21 @@ fn run_client(addr: &str, plan: ClientPlan, start: Instant) -> ClientTally {
     tally
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("shutdown") {
-        let addr = args
-            .get(1)
-            .cloned()
-            .unwrap_or_else(|| "127.0.0.1:7421".into());
-        let mut client = GatewayClient::connect(&addr).expect("connect to gateway");
-        client.shutdown().expect("shutdown roundtrip");
-        println!("gateway at {addr} acknowledged shutdown");
-        return;
-    }
-    let clients: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(32);
-    let tasks_per_client: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let pool_size: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let queue_cap: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(48);
-    let window = Duration::from_millis(args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1500));
-    let k: u32 = 6;
+/// Arrival-phase results, pre-rendered as the `"arrival"` JSON object.
+struct ArrivalResult {
+    json: String,
+    summary: String,
+}
 
+#[allow(clippy::too_many_arguments)]
+fn arrival_phase(
+    clients: usize,
+    tasks_per_client: usize,
+    pool_size: usize,
+    queue_cap: usize,
+    window: Duration,
+    k: u32,
+) -> ArrivalResult {
     let (runtime, _ft) = occam::emulated_deployment(1, k);
     let engine = Engine::new(
         runtime,
@@ -199,7 +216,7 @@ fn main() {
         GatewayServer::start(engine, "127.0.0.1:0").expect("bind ephemeral gateway port");
     let addr = server.local_addr().to_string();
     println!(
-        "gateway on {addr}: {clients} clients x {tasks_per_client} tasks \
+        "[arrival] gateway on {addr}: {clients} clients x {tasks_per_client} tasks \
          (pool={pool_size}, queue_cap={queue_cap})"
     );
 
@@ -239,15 +256,15 @@ fn main() {
         snap.as_ref().map(|s| s.quantile(q)).unwrap_or(0)
     };
 
-    let mut json = String::from("{\n");
+    let mut json = String::from("  \"arrival\": {\n");
     let _ = writeln!(
         json,
-        "  \"config\": {{\"clients\": {clients}, \"tasks_per_client\": {tasks_per_client}, \
+        "    \"config\": {{\"clients\": {clients}, \"tasks_per_client\": {tasks_per_client}, \
          \"pool_size\": {pool_size}, \"queue_cap\": {queue_cap}, \"fat_tree_k\": {k}}},"
     );
     let _ = writeln!(
         json,
-        "  \"totals\": {{\"submitted\": {submitted}, \"accepted\": {}, \"busy_retries\": {}, \
+        "    \"totals\": {{\"submitted\": {submitted}, \"accepted\": {}, \"busy_retries\": {}, \
          \"rejected\": {}, \"completed\": {}, \"aborted\": {}, \"cancelled\": {}, \"lost\": {}}},",
         total.accepted,
         total.busy_retries,
@@ -259,18 +276,18 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"pool\": {{\"size\": {}, \"spawned\": {}, \"peak_active\": {}, \"executed\": {}}},",
+        "    \"pool\": {{\"size\": {}, \"spawned\": {}, \"peak_active\": {}, \"executed\": {}}},",
         stats.size, stats.spawned, stats.peak_active, stats.executed
     );
     let _ = writeln!(
         json,
-        "  \"wall_secs\": {:.3},\n  \"throughput_tasks_per_sec\": {:.1},",
+        "    \"wall_secs\": {:.3},\n    \"throughput_tasks_per_sec\": {:.1},",
         wall.as_secs_f64(),
         throughput
     );
     let _ = writeln!(
         json,
-        "  \"e2e_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"count\": {}}},",
+        "    \"e2e_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"count\": {}}},",
         pct(&e2e, 0.50),
         pct(&e2e, 0.90),
         pct(&e2e, 0.99),
@@ -278,14 +295,14 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"queue_wait_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},",
+        "    \"queue_wait_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},",
         pct(&queue_wait, 0.50),
         pct(&queue_wait, 0.90),
         pct(&queue_wait, 0.99)
     );
     let _ = writeln!(
         json,
-        "  \"gateway_counters\": {{\"frames_rx\": {}, \"frames_tx\": {}, \"conn_opened\": {}, \
+        "    \"gateway_counters\": {{\"frames_rx\": {}, \"frames_tx\": {}, \"conn_opened\": {}, \
          \"conn_closed\": {}, \"proto_errors\": {}}}",
         reg.counter_value("gateway.frames.rx"),
         reg.counter_value("gateway.frames.tx"),
@@ -293,40 +310,319 @@ fn main() {
         reg.counter_value("gateway.conn.closed"),
         reg.counter_value("gateway.proto.errors")
     );
-    json.push_str("}\n");
-    std::fs::write("BENCH_gateway.json", &json).expect("write BENCH_gateway.json");
+    json.push_str("  }");
 
-    println!(
-        "completed {}/{} ({} aborted, {} cancelled, {} busy retries) in {:.2}s — {:.1} tasks/s",
+    let summary = format!(
+        "[arrival] completed {}/{} ({} aborted, {} cancelled, {} busy retries) in {:.2}s — \
+         {:.1} tasks/s; e2e p50/p90/p99 {:.2}/{:.2}/{:.2} ms",
         total.completed,
         submitted,
         total.aborted,
         total.cancelled,
         total.busy_retries,
         wall.as_secs_f64(),
-        throughput
-    );
-    println!(
-        "e2e latency p50/p90/p99: {:.2}/{:.2}/{:.2} ms",
+        throughput,
         pct(&e2e, 0.50) as f64 / 1e6,
         pct(&e2e, 0.90) as f64 / 1e6,
         pct(&e2e, 0.99) as f64 / 1e6
     );
-    println!("wrote BENCH_gateway.json");
+    println!("{summary}");
 
     // Service invariants (CI smoke relies on a nonzero exit here).
     assert_eq!(
         total.lost, 0,
-        "lost tasks: accepted tickets never went terminal"
+        "[arrival] lost tasks: accepted tickets never went terminal"
     );
     assert_eq!(
         total.rejected, 0,
-        "unexpected typed rejections during steady state"
+        "[arrival] unexpected typed rejections during steady state"
     );
     assert!(
         stats.spawned <= pool_size,
-        "worker pool exceeded its bound: spawned {} > pool_size {pool_size}",
+        "[arrival] worker pool exceeded its bound: spawned {} > pool_size {pool_size}",
         stats.spawned
     );
-    assert!(total.completed > 0, "no tasks completed");
+    assert!(total.completed > 0, "[arrival] no tasks completed");
+    assert_eq!(
+        reg.counter_value("gateway.proto.errors"),
+        0,
+        "[arrival] protocol errors"
+    );
+
+    ArrivalResult { json, summary }
+}
+
+/// Burst-phase results, pre-rendered as the `"burst"` JSON object.
+struct BurstResult {
+    json: String,
+    tasks_per_sec: f64,
+    lost: u64,
+    proto_errors: u64,
+}
+
+/// Serving-throughput phase: `conns` connections submit `per_conn`
+/// read-only workflows each, in pipelined batches of [`BURST_BATCH`],
+/// as fast as admission allows. A handful of driver threads multiplex
+/// the connections (the gateway must cope with 1024 sockets; the load
+/// generator does not need 1024 threads to saturate it). The clock
+/// runs from the post-connect barrier until every admitted task is
+/// terminal, so the number is end-to-end serving throughput, not just
+/// admission rate.
+fn burst_phase(conns: usize, per_conn: usize, pool_size: usize, queue_cap: usize) -> BurstResult {
+    let k: u32 = 6;
+    let total = conns * per_conn;
+    let (runtime, _ft) = occam::emulated_deployment(1, k);
+    let engine = Engine::new(
+        runtime,
+        EngineConfig {
+            pool_size,
+            queue_cap,
+            // Keep every burst record resident so the lost-ticket audit
+            // below can see all of them.
+            terminal_retain: total + 1024,
+            ..EngineConfig::default()
+        },
+    );
+    let mut server =
+        GatewayServer::start(engine, "127.0.0.1:0").expect("bind ephemeral gateway port");
+    let addr = server.local_addr().to_string();
+    let engine = server.engine().clone();
+    let shards = engine.shards();
+    println!(
+        "[burst] gateway on {addr}: {conns} conns x {per_conn} tasks, batch={BURST_BATCH} \
+         (pool={pool_size}, queue_cap={queue_cap}, shards={shards})"
+    );
+
+    let drivers = conns.clamp(1, 8);
+    let per_driver = conns.div_ceil(drivers);
+    let barrier = Barrier::new(drivers + 1);
+    let (tickets, busy_retries, wall) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                let addr = &addr;
+                let barrier = &barrier;
+                let my_conns = per_driver.min(conns - (d * per_driver).min(conns));
+                s.spawn(move || {
+                    let mut clients: Vec<GatewayClient> = (0..my_conns)
+                        .map(|_| GatewayClient::connect(addr).expect("connect to gateway"))
+                        .collect();
+                    let mut remaining: Vec<usize> = vec![per_conn; my_conns];
+                    barrier.wait();
+                    let mut tickets: Vec<u64> = Vec::with_capacity(my_conns * per_conn);
+                    let mut busy_retries = 0u64;
+                    let started = Instant::now();
+                    while remaining.iter().any(|&r| r > 0) {
+                        assert!(started.elapsed() < RUN_BUDGET, "[burst] submission hang");
+                        let mut progressed = false;
+                        for (ci, client) in clients.iter_mut().enumerate() {
+                            if remaining[ci] == 0 {
+                                continue;
+                            }
+                            let n = remaining[ci].min(BURST_BATCH);
+                            let specs: Vec<SubmitSpec> = (0..n)
+                                .map(|j| SubmitSpec {
+                                    workflow: "status_audit".into(),
+                                    scope: format!("dc01.pod{:02}.*", (ci + j) % k as usize),
+                                    urgent: false,
+                                    params: vec![],
+                                })
+                                .collect();
+                            for reply in client.submit_batch(&specs).expect("pipelined submit") {
+                                match reply {
+                                    SubmitReply::Accepted(t) => {
+                                        tickets.push(t);
+                                        remaining[ci] -= 1;
+                                        progressed = true;
+                                    }
+                                    SubmitReply::Busy(_) => busy_retries += 1,
+                                    SubmitReply::Rejected(code, msg) => {
+                                        panic!("[burst] rejected: {code:?} {msg}")
+                                    }
+                                }
+                            }
+                        }
+                        if !progressed {
+                            // Whole sweep shed: honor the backoff hint.
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                    (tickets, busy_retries)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let mut tickets: Vec<u64> = Vec::with_capacity(total);
+        let mut busy_retries = 0u64;
+        for h in handles {
+            let (t, b) = h.join().unwrap();
+            tickets.extend_from_slice(&t);
+            busy_retries += b;
+        }
+        // All submissions admitted; now wait for the pool to drain them.
+        while !(engine.queued() == 0 && engine.all_terminal()) {
+            assert!(start.elapsed() < RUN_BUDGET, "[burst] drain hang");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        (tickets, busy_retries, start.elapsed())
+    });
+
+    // Lost-ticket audit: every admitted ticket must be terminal now.
+    let mut lost = 0u64;
+    for &t in &tickets {
+        if !engine.status(t).0.is_terminal() {
+            lost += 1;
+        }
+    }
+    let accepted = tickets.len() as u64;
+    let stats = engine.runtime().pool_stats();
+    let reg = engine.runtime().obs().clone();
+    server.shutdown();
+
+    let tasks_per_sec = accepted as f64 / wall.as_secs_f64();
+    let proto_errors = reg.counter_value("gateway.proto.errors");
+    let e2e = reg.histogram_snapshot("gateway.e2e_ns");
+    let batch_len = reg.histogram_snapshot("gateway.reactor.batch_len");
+    let pct = |snap: &Option<occam::obs::HistogramSnapshot>, q: f64| -> u64 {
+        snap.as_ref().map(|s| s.quantile(q)).unwrap_or(0)
+    };
+
+    let mut json = String::from("  \"burst\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"conns\": {conns},\n    \"tasks_per_conn\": {per_conn},\n    \
+         \"pipeline_batch\": {BURST_BATCH},\n    \"pool_size\": {pool_size},\n    \
+         \"queue_cap\": {queue_cap},\n    \"shards\": {shards},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"submitted\": {total},\n    \"accepted\": {accepted},\n    \
+         \"busy_retries\": {busy_retries},\n    \"lost\": {lost},\n    \
+         \"proto_errors\": {proto_errors},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"wall_secs\": {:.3},\n    \"tasks_per_sec\": {:.1},",
+        wall.as_secs_f64(),
+        tasks_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"e2e_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"count\": {}}},",
+        pct(&e2e, 0.50),
+        pct(&e2e, 0.90),
+        pct(&e2e, 0.99),
+        e2e.as_ref().map(|s| s.count).unwrap_or(0)
+    );
+    let _ = writeln!(
+        json,
+        "    \"reactor\": {{\"events\": {}, \"wouldblock\": {}, \"batch_len_p50\": {}, \
+         \"batch_len_p99\": {}}},",
+        reg.counter_value("gateway.reactor.events"),
+        reg.counter_value("gateway.reactor.wouldblock"),
+        pct(&batch_len, 0.50),
+        pct(&batch_len, 0.99)
+    );
+    let _ = writeln!(
+        json,
+        "    \"pool\": {{\"size\": {}, \"spawned\": {}, \"peak_active\": {}, \"executed\": {}}},",
+        stats.size, stats.spawned, stats.peak_active, stats.executed
+    );
+    let _ = writeln!(
+        json,
+        "    \"gateway_counters\": {{\"frames_rx\": {}, \"frames_tx\": {}, \"conn_opened\": {}, \
+         \"conn_closed\": {}}}",
+        reg.counter_value("gateway.frames.rx"),
+        reg.counter_value("gateway.frames.tx"),
+        reg.counter_value("gateway.conn.opened"),
+        reg.counter_value("gateway.conn.closed")
+    );
+    json.push_str("  }");
+
+    println!(
+        "[burst] {accepted}/{total} tasks over {conns} conns in {:.2}s — {:.0} tasks/s \
+         ({busy_retries} busy retries, {lost} lost, {proto_errors} proto errors); \
+         e2e p99 {:.2} ms",
+        wall.as_secs_f64(),
+        tasks_per_sec,
+        pct(&e2e, 0.99) as f64 / 1e6
+    );
+
+    assert_eq!(
+        reg.counter_value("gateway.conn.opened"),
+        reg.counter_value("gateway.conn.closed"),
+        "[burst] connection leak"
+    );
+    assert!(
+        stats.spawned <= pool_size,
+        "[burst] worker pool exceeded its bound: spawned {} > pool_size {pool_size}",
+        stats.spawned
+    );
+
+    BurstResult {
+        json,
+        tasks_per_sec,
+        lost,
+        proto_errors,
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("shutdown") {
+        let addr = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7421".into());
+        let mut client = GatewayClient::connect(&addr).expect("connect to gateway");
+        client.shutdown().expect("shutdown roundtrip");
+        println!("gateway at {addr} acknowledged shutdown");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+
+    // Smoke defaults keep the arrival phase CI-sized; the burst phase
+    // always runs at full connection count (that is the contract under
+    // test) but with a shorter pipeline per connection.
+    let (d_clients, d_tasks, d_pool, d_queue, d_window) = if smoke {
+        (8, 4, 4, 16, 200)
+    } else {
+        (32, 8, 8, 48, 1500)
+    };
+    let clients: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(d_clients);
+    let tasks_per_client: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(d_tasks);
+    let pool_size: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(d_pool);
+    let queue_cap: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(d_queue);
+    let window =
+        Duration::from_millis(args.get(4).and_then(|s| s.parse().ok()).unwrap_or(d_window));
+
+    let arrival = arrival_phase(clients, tasks_per_client, pool_size, queue_cap, window, 6);
+    let burst_per_conn = if smoke { 8 } else { 32 };
+    let burst = burst_phase(BURST_CONNS, burst_per_conn, 2, 16_384);
+
+    let mut json = String::from("{\n");
+    json.push_str(&arrival.json);
+    json.push_str(",\n");
+    json.push_str(&burst.json);
+    json.push_str("\n}\n");
+    std::fs::write("BENCH_gateway.json", &json).expect("write BENCH_gateway.json");
+    println!("wrote BENCH_gateway.json");
+    println!("{}", arrival.summary);
+
+    assert_eq!(burst.lost, 0, "[burst] lost tasks");
+    assert_eq!(burst.proto_errors, 0, "[burst] protocol errors");
+    let floor = if smoke {
+        5.0 * SEED_BURST_TASKS_PER_SEC
+    } else {
+        10_000.0
+    };
+    assert!(
+        burst.tasks_per_sec >= floor,
+        "[burst] throughput gate: {:.1} tasks/s < floor {floor:.1}",
+        burst.tasks_per_sec
+    );
 }

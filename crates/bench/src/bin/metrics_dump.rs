@@ -79,6 +79,9 @@ const GATEWAY_NAMES: &[&str] = &[
     "gateway.queue_wait_ns",
     "gateway.e2e_ns",
     "gateway.queue_depth",
+    "gateway.reactor.events",
+    "gateway.reactor.batch_len",
+    "gateway.reactor.wouldblock",
     "core.tasks.cancelled",
     "core.task.panicked",
 ];

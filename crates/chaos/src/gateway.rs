@@ -1,13 +1,15 @@
 //! Gateway connection chaos: drops and resets mid-frame.
 //!
 //! The service frontend has its own failure surface the task layers never
-//! see: clients that die mid-frame, and clients that submit work and
-//! vanish before reading the reply. This phase drives both against a real
+//! see: clients that die mid-frame, clients that submit work and vanish
+//! before reading the reply, and — on the reactor's batch-admission path —
+//! clients that pipeline several SUBMIT frames and vanish before reading
+//! any reply. This phase drives all three against a real
 //! [`GatewayServer`] over loopback and then audits the engine's job
 //! table: a partial SUBMIT must never create a job record (admission
-//! happens only after a full decode), and a vanished client's job must
-//! still run to a terminal phase — nothing may be left queued or running
-//! after drain.
+//! happens only after a full decode), and a vanished client's jobs —
+//! single or pipelined — must still run to a terminal phase; nothing may
+//! be left queued or running after drain.
 //!
 //! Determinism: the phase runs sequentially (pool size 1, one connection
 //! at a time) and synchronizes on the engine's own counters between
@@ -26,13 +28,17 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// SUBMIT frames pipelined by the batch-then-vanish fault.
+const BATCH_VANISH: usize = 3;
+
 /// Tuning for the gateway chaos phase.
 #[derive(Clone, Debug)]
 pub struct GatewayChaosConfig {
     /// Total submission slots (normal + chaotic).
     pub submissions: u32,
-    /// Every N-th slot is a chaotic connection (alternating partial-frame
-    /// drop and submit-then-vanish); `0` disables chaos.
+    /// Every N-th slot is a chaotic connection (cycling partial-frame
+    /// drop, submit-then-vanish, and pipelined-batch-then-vanish); `0`
+    /// disables chaos.
     pub drop_every: u32,
 }
 
@@ -108,28 +114,49 @@ pub fn run_gateway_phase(cfg: &GatewayChaosConfig) -> GatewayChaosReport {
         let chaotic = cfg.drop_every > 0 && (i + 1) % cfg.drop_every == 0;
         if chaotic {
             chaotic_slots += 1;
-            if chaotic_slots % 2 == 1 {
-                // Partial frame: length prefix plus half the body, then a
-                // hard drop. The server must tear the connection down
-                // without admitting anything.
-                let mut s = TcpStream::connect(&addr).expect("connect");
-                s.write_all(&(submit_body.len() as u32).to_be_bytes())
-                    .expect("length prefix");
-                s.write_all(&submit_body[..submit_body.len() / 2])
-                    .expect("half body");
-                drop(s);
-                report.partial_drops += 1;
-            } else {
-                // Full SUBMIT, then vanish before the reply. The job is
-                // admitted and must still run to a terminal phase.
-                let mut s = TcpStream::connect(&addr).expect("connect");
-                write_frame(&mut s, &submit_body).expect("frame");
-                expected_accepted += 1;
-                // Don't advance until the engine has actually admitted it,
-                // so counters can't race the next slot.
-                wait_until(|| reg.counter_value("gateway.submit.accepted") >= expected_accepted);
-                drop(s);
-                report.vanish_drops += 1;
+            match chaotic_slots % 3 {
+                1 => {
+                    // Partial frame: length prefix plus half the body, then
+                    // a hard drop. The server must tear the connection down
+                    // without admitting anything.
+                    let mut s = TcpStream::connect(&addr).expect("connect");
+                    s.write_all(&(submit_body.len() as u32).to_be_bytes())
+                        .expect("length prefix");
+                    s.write_all(&submit_body[..submit_body.len() / 2])
+                        .expect("half body");
+                    drop(s);
+                    report.partial_drops += 1;
+                }
+                2 => {
+                    // Full SUBMIT, then vanish before the reply. The job is
+                    // admitted and must still run to a terminal phase.
+                    let mut s = TcpStream::connect(&addr).expect("connect");
+                    write_frame(&mut s, &submit_body).expect("frame");
+                    expected_accepted += 1;
+                    // Don't advance until the engine has actually admitted
+                    // it, so counters can't race the next slot.
+                    wait_until(|| {
+                        reg.counter_value("gateway.submit.accepted") >= expected_accepted
+                    });
+                    drop(s);
+                    report.vanish_drops += 1;
+                }
+                _ => {
+                    // Pipelined batch, then vanish before any reply: the
+                    // reactor decodes all three frames off one readiness
+                    // event and admits them as one engine batch; every one
+                    // must still run to a terminal phase.
+                    let mut s = TcpStream::connect(&addr).expect("connect");
+                    for _ in 0..BATCH_VANISH {
+                        write_frame(&mut s, &submit_body).expect("frame");
+                    }
+                    expected_accepted += BATCH_VANISH as u64;
+                    wait_until(|| {
+                        reg.counter_value("gateway.submit.accepted") >= expected_accepted
+                    });
+                    drop(s);
+                    report.batch_vanish_drops += 1;
+                }
             }
         } else {
             // Normal client: alternate drain/undrain so the region state
@@ -188,12 +215,14 @@ mod tests {
             submissions: 12,
             drop_every: 3,
         });
+        // 4 chaotic slots cycle partial → vanish → batch-vanish → partial.
         assert_eq!(report.partial_drops, 2);
-        assert_eq!(report.vanish_drops, 2);
-        // 8 normal + 2 vanished submissions were admitted; partial frames
-        // never were.
-        assert_eq!(report.accepted, 10);
-        assert_eq!(report.completed, 10);
+        assert_eq!(report.vanish_drops, 1);
+        assert_eq!(report.batch_vanish_drops, 1);
+        // 8 normal + 1 vanished + 3 batch-vanished submissions were
+        // admitted; partial frames never were.
+        assert_eq!(report.accepted, 12);
+        assert_eq!(report.completed, 12);
         assert_eq!(report.leaked_records, 0);
     }
 }

@@ -18,6 +18,9 @@ pub struct GatewayChaosReport {
     pub partial_drops: u64,
     /// Connections dropped after a full SUBMIT, before reading the reply.
     pub vanish_drops: u64,
+    /// Connections dropped after a pipelined batch of SUBMIT frames,
+    /// before reading any reply (reactor batch-admission path).
+    pub batch_vanish_drops: u64,
     /// Job records left non-terminal after drain — must be 0.
     pub leaked_records: u64,
 }
@@ -25,12 +28,13 @@ pub struct GatewayChaosReport {
 impl GatewayChaosReport {
     fn to_json(&self) -> String {
         format!(
-            "{{\"submissions\":{},\"accepted\":{},\"completed\":{},\"partial_drops\":{},\"vanish_drops\":{},\"leaked_records\":{}}}",
+            "{{\"submissions\":{},\"accepted\":{},\"completed\":{},\"partial_drops\":{},\"vanish_drops\":{},\"batch_vanish_drops\":{},\"leaked_records\":{}}}",
             self.submissions,
             self.accepted,
             self.completed,
             self.partial_drops,
             self.vanish_drops,
+            self.batch_vanish_drops,
             self.leaked_records
         )
     }

@@ -70,7 +70,7 @@ pub use builder::TaskBuilder;
 pub use error::{TaskError, TaskResult};
 pub use network::Network;
 pub use occam_rollback::RollbackPlan;
-pub use pool::{PoolStats, PooledHandle};
+pub use pool::{PoolStats, PooledHandle, PooledJob};
 pub use queue::{TaskQueue, Ticket};
 pub use recovery::{execute_rollback, RecoveryError};
 pub use retry::RetryPolicy;

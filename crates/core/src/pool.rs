@@ -26,6 +26,12 @@ use std::sync::Arc;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A boxed pool job as accepted by [`Runtime::spawn_pooled_batch`]: the
+/// closure receives the runtime exactly like [`Runtime::spawn_pooled`]'s
+/// generic parameter, but boxed so heterogeneous batches can share one
+/// `Vec`.
+pub type PooledJob = Box<dyn FnOnce(&Runtime) + Send + 'static>;
+
 /// Shared state between a runtime and its pool workers.
 pub(crate) struct PoolShared {
     state: Mutex<PoolState>,
@@ -106,6 +112,53 @@ impl PoolShared {
                 .expect("spawn pool worker");
         }
         self.cv.notify_one();
+    }
+
+    /// Enqueues a whole batch of jobs under one lock acquisition. The
+    /// submission hot path (the gateway reactor decodes every frame a
+    /// readability event delivers and admits them together) would
+    /// otherwise cross the pool mutex once per task; batching makes the
+    /// admission cost per event O(1) lock crossings plus O(batch) pushes.
+    fn enqueue_batch(self: &Arc<Self>, jobs: Vec<(bool, Job)>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let spawn = {
+            let mut st = self.state.lock();
+            if st.shutdown {
+                // Same correctness fallback as the single-job path: a
+                // batch enqueued while the last runtime handle drops runs
+                // inline rather than being lost.
+                drop(st);
+                for (_, job) in jobs {
+                    job();
+                }
+                return;
+            }
+            for (urgent, job) in jobs {
+                if urgent {
+                    st.urgent.push_back(job);
+                } else {
+                    st.normal.push_back(job);
+                }
+            }
+            // Spawn enough workers to absorb the backlog the idle ones
+            // cannot (the batch analogue of the per-job spawn gate).
+            let backlog = st.normal.len() + st.urgent.len();
+            let want = backlog
+                .saturating_sub(st.idle)
+                .min(st.size.saturating_sub(st.spawned));
+            st.spawned += want;
+            want
+        };
+        for _ in 0..spawn {
+            let shared = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("occam-pool-worker".into())
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        self.cv.notify_all();
     }
 
     fn stats(&self) -> PoolStats {
@@ -263,6 +316,24 @@ impl Runtime {
         let rt = self.clone();
         self.pool_shared()
             .enqueue(Box::new(move || job(&rt)), urgent);
+    }
+
+    /// Runs a whole batch of jobs on the worker pool, crossing the pool
+    /// lock once for the entire batch instead of once per job. Jobs keep
+    /// their relative order within each urgency lane. This is the batch
+    /// analogue of [`Runtime::spawn_pooled`], used by frontends that
+    /// admit pipelined submissions (the gateway reactor decodes every
+    /// complete frame a readiness event delivers and admits them as one
+    /// batch).
+    pub fn spawn_pooled_batch(&self, jobs: Vec<(bool, PooledJob)>) {
+        let batch: Vec<(bool, Job)> = jobs
+            .into_iter()
+            .map(|(urgent, f)| {
+                let rt = self.clone();
+                (urgent, Box::new(move || f(&rt)) as Job)
+            })
+            .collect();
+        self.pool_shared().enqueue_batch(batch);
     }
 
     /// Submits a management program to the bounded worker pool: at most

@@ -13,13 +13,17 @@
 //!   typed decoding (`SUBMIT`/`STATUS`/`CANCEL`/`LIST`/`METRICS`/
 //!   `SHUTDOWN`).
 //! - [`engine`] — admission control: a bounded queue in front of the
-//!   runtime's fixed worker pool. Queue-full answers `Busy{retry_after}`
-//!   instead of building invisible backlog; urgent submissions take the
-//!   pool fast lane *and* the scheduler's urgent priority; cancellation
-//!   is cooperative at task checkpoints.
-//! - [`server`]/[`client`] — a `std::net` TCP server (one reader thread
-//!   per connection) and a blocking client used by the load generator
-//!   and tests.
+//!   runtime's fixed worker pool, sharded so each reactor shard admits
+//!   without cross-shard contention. Queue-full answers
+//!   `Busy{retry_after}` instead of building invisible backlog; urgent
+//!   submissions take the pool fast lane *and* the scheduler's urgent
+//!   priority; cancellation is cooperative at task checkpoints.
+//! - [`server`]/[`client`] — a `std::net` TCP server driven by a
+//!   sharded edge-triggered epoll reactor (DESIGN.md §13): a handful
+//!   of event-loop threads serve thousands of non-blocking
+//!   connections, decoding pipelined SUBMIT batches per readiness
+//!   event. The blocking client (used by the load generator and tests)
+//!   pipelines with [`GatewayClient::submit_batch`].
 //!
 //! Everything reports into the runtime's shared observability registry
 //! under the `gateway.*` metric family (DESIGN.md §9).
@@ -63,11 +67,12 @@ pub mod catalog;
 pub mod client;
 pub mod engine;
 pub mod proto;
+pub(crate) mod reactor;
 pub mod server;
 
 pub use catalog::{Catalog, CatalogEntry, Program, WorkflowSpec};
 pub use client::{ClientError, GatewayClient, SubmitReply};
-pub use engine::{Engine, EngineConfig, SubmitOutcome};
+pub use engine::{Engine, EngineConfig, SubmitOutcome, SubmitSpec, MAX_ENGINE_SHARDS};
 pub use proto::{
     ErrorCode, FrameError, FrameReader, Request, Response, WirePhase, MAX_FRAME, MAX_METRICS_STR,
 };

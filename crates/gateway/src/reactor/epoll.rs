@@ -1,0 +1,186 @@
+//! A minimal, std-only epoll wrapper.
+//!
+//! The workspace has no `libc` crate, but `std` on Linux already links
+//! the C library, so the four syscall entry points the reactor needs are
+//! declared directly as `extern "C"` symbols. Everything is wrapped in
+//! owned-fd types ([`Epoll`], [`WakeFd`]) so the unsafe surface stays
+//! inside this module: callers see safe methods returning
+//! `std::io::Result`.
+
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint};
+
+// Linux ABI constants (asm-generic values; identical on x86_64/aarch64).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// Readability interest/event bit.
+pub const EPOLLIN: u32 = 0x001;
+/// Writability interest/event bit.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition event bit (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup event bit (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half (must be requested explicitly).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered mode.
+pub const EPOLLET: u32 = 1 << 31;
+/// Wake at most one of the epoll instances watching this fd (Linux
+/// ≥ 4.5); avoids a thundering herd on the shared listener.
+pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One `struct epoll_event`. Packed on x86_64 (kernel ABI quirk); the
+/// natural layout everywhere else.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event bit set (`EPOLLIN | …`).
+    pub events: u32,
+    /// The caller's token registered with [`Epoll::add`].
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event (used to size the wait buffer).
+    pub fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The ready-event bits (copies out of the possibly-packed field).
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The registration token (copies out of the possibly-packed field).
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> std::io::Result<c_int> {
+    if ret < 0 {
+        Err(std::io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> std::io::Result<Epoll> {
+        // SAFETY: plain syscall; the returned fd is immediately owned.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` for `events`, delivering `token` back on readiness.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the registered interest set for `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Waits up to `timeout_ms` for readiness events (`-1` blocks,
+    /// `0` polls). Returns the filled prefix of `buf`. `EINTR` retries
+    /// internally so callers never see a spurious error.
+    pub fn wait<'a>(
+        &self,
+        buf: &'a mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> std::io::Result<&'a [EpollEvent]> {
+        loop {
+            // SAFETY: buf is a valid, writable epoll_event array.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    buf.as_mut_ptr(),
+                    buf.len() as c_int,
+                    timeout_ms as c_int,
+                )
+            };
+            if n >= 0 {
+                return Ok(&buf[..n as usize]);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// A wakeup channel for an epoll loop: an `eventfd` registered in the
+/// instance. [`WakeFd::wake`] is cheap and thread-safe; the loop calls
+/// [`WakeFd::drain`] when the token fires.
+pub struct WakeFd {
+    fd: OwnedFd,
+}
+
+impl WakeFd {
+    /// Creates a non-blocking eventfd.
+    pub fn new() -> std::io::Result<WakeFd> {
+        // SAFETY: plain syscall; the returned fd is immediately owned.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(WakeFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// The raw fd, for registration in an [`Epoll`].
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Wakes the owning loop (adds 1 to the eventfd counter). Writes
+    /// through a dup so the fd stays owned here; the dup closes on drop.
+    pub fn wake(&self) {
+        use std::io::Write;
+        if let Ok(dup) = self.fd.try_clone() {
+            let mut f = std::fs::File::from(dup);
+            let _ = f.write_all(&1u64.to_ne_bytes());
+        }
+    }
+
+    /// Clears the pending wake count (non-blocking).
+    pub fn drain(&self) {
+        use std::io::Read;
+        if let Ok(dup) = self.fd.try_clone() {
+            let mut f = std::fs::File::from(dup);
+            let mut buf = [0u8; 8];
+            let _ = f.read(&mut buf);
+        }
+    }
+}

@@ -1,46 +1,47 @@
-//! The TCP frontend: one reader thread per connection, frames in, frames
-//! out.
+//! The TCP frontend: a sharded epoll reactor, frames in, frames out.
 //!
-//! The server is a thin shell over [`Engine`]: it decodes a request
-//! frame, calls the corresponding engine method, and writes exactly one
-//! response frame. Decode errors are answered with a typed `Error`
-//! response and the connection is closed — a malformed peer can cost at
-//! most its own connection, never a worker or an admission slot
-//! (admission happens after decoding succeeds).
+//! The server is a thin shell over [`Engine`] and the crate's private
+//! `reactor` module: `engine.shards()` event-loop threads share one listener,
+//! each accepting into its own connection slab and admitting SUBMIT
+//! batches into its own engine shard (DESIGN.md §13). Decode errors are
+//! answered with a typed `Error` response and the connection is closed —
+//! a malformed peer can cost at most its own connection, never a worker
+//! or an admission slot (admission happens after decoding succeeds).
 //!
-//! Shutdown is cooperative and graceful: the accept loop stops, open
-//! connections observe the flag at their next read-timeout tick, and the
-//! engine drains in-flight work before `shutdown()` returns.
+//! Shutdown is cooperative and graceful: the stop flag is raised, every
+//! shard loop is woken through its eventfd, open connections are closed,
+//! and the engine drains in-flight work before `shutdown()` returns.
 
-use crate::engine::{Engine, SubmitOutcome};
-use crate::proto::{
-    write_frame, ErrorCode, FrameError, FrameReader, RecvError, Request, Response, MAX_METRICS_STR,
-};
-use occam_obs::Counter;
+use crate::engine::Engine;
+use crate::reactor::Reactor;
+use occam_obs::{Counter, Histogram};
 use parking_lot::{Condvar, Mutex};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// How often an idle connection polls the shutdown flag.
-const IDLE_POLL: Duration = Duration::from_millis(50);
-
-struct ConnObs {
-    opened: Counter,
-    closed: Counter,
-    frames_rx: Counter,
-    frames_tx: Counter,
-    proto_errors: Counter,
+/// Connection/frame/reactor instruments, bound once per server.
+pub(crate) struct ConnObs {
+    pub(crate) opened: Counter,
+    pub(crate) closed: Counter,
+    pub(crate) frames_rx: Counter,
+    pub(crate) frames_tx: Counter,
+    pub(crate) proto_errors: Counter,
+    /// Readiness events dispatched across all shard loops.
+    pub(crate) reactor_events: Counter,
+    /// Write-side `WouldBlock`s (EPOLLOUT re-arms; backpressure signal).
+    pub(crate) reactor_wouldblock: Counter,
+    /// SUBMITs admitted per batch-admission call.
+    pub(crate) reactor_batch_len: Histogram,
 }
 
-struct ServerShared {
-    engine: Engine,
-    stop: AtomicBool,
-    shutdown_requested: Mutex<bool>,
-    shutdown_cv: Condvar,
-    obs: ConnObs,
+/// State shared between the server handle and every shard loop.
+pub(crate) struct ServerShared {
+    pub(crate) engine: Engine,
+    pub(crate) stop: AtomicBool,
+    pub(crate) shutdown_requested: Mutex<bool>,
+    pub(crate) shutdown_cv: Condvar,
+    pub(crate) obs: ConnObs,
 }
 
 /// A running gateway server. Dropping the handle does not stop the
@@ -48,12 +49,12 @@ struct ServerShared {
 pub struct GatewayServer {
     shared: Arc<ServerShared>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
 }
 
 impl GatewayServer {
     /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and starts
-    /// the accept loop.
+    /// one reactor event loop per engine admission shard.
     pub fn start(engine: Engine, addr: &str) -> std::io::Result<GatewayServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -69,17 +70,16 @@ impl GatewayServer {
                 frames_rx: reg.counter("gateway.frames.rx"),
                 frames_tx: reg.counter("gateway.frames.tx"),
                 proto_errors: reg.counter("gateway.proto.errors"),
+                reactor_events: reg.counter("gateway.reactor.events"),
+                reactor_wouldblock: reg.counter("gateway.reactor.wouldblock"),
+                reactor_batch_len: reg.histogram("gateway.reactor.batch_len"),
             },
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("occam-gw-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn accept thread");
+        let reactor = Reactor::start(&shared, &listener)?;
         Ok(GatewayServer {
             shared,
             addr: local,
-            accept_thread: Some(accept_thread),
+            reactor: Some(reactor),
         })
     }
 
@@ -102,169 +102,20 @@ impl GatewayServer {
         }
     }
 
-    /// Graceful stop: close the accept loop, let connections wind down,
-    /// and drain the engine. Idempotent.
+    /// Graceful stop: raise the stop flag, wake and join every shard
+    /// loop (closing their connections), and drain the engine.
+    /// Idempotent.
     pub fn shutdown(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock accept() with a throwaway connection; the loop rechecks
-        // the flag before serving it.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        self.shared
+            .stop
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
         self.shared.engine.shutdown();
         // Release anyone parked in wait_shutdown_requested().
         let mut requested = self.shared.shutdown_requested.lock();
         *requested = true;
         self.shared.shutdown_cv.notify_all();
-    }
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
-    let mut conn_threads = Vec::new();
-    for stream in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let conn_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("occam-gw-conn".into())
-            .spawn(move || serve_connection(stream, conn_shared))
-            .expect("spawn connection thread");
-        conn_threads.push(handle);
-        // Reap finished connection threads so a long-lived server does
-        // not accumulate join handles.
-        conn_threads.retain(|t| !t.is_finished());
-    }
-    for t in conn_threads {
-        let _ = t.join();
-    }
-}
-
-fn serve_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
-    shared.obs.opened.inc();
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let _ = stream.set_nodelay(true);
-    // The read timeout applies to each read() syscall, so it can fire
-    // with part of a frame already consumed (header and body arrive in
-    // separate writes). FrameReader keeps that partial state across
-    // timeout ticks — a slow-but-well-behaved client is never desynced.
-    let mut reader = FrameReader::new();
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let body = match reader.poll(&mut stream) {
-            Ok(Some(body)) => body,
-            // Timeout tick (mid-frame or at a boundary): any partial
-            // frame stays buffered in `reader`; poll the stop flag.
-            Ok(None) => continue,
-            Err(RecvError::Closed) => break,
-            Err(RecvError::Io(_)) => break,
-            Err(RecvError::Frame(err)) => {
-                shared.obs.proto_errors.inc();
-                let _ = send(
-                    &mut stream,
-                    &shared,
-                    &Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: err.to_string(),
-                    },
-                );
-                break;
-            }
-        };
-        shared.obs.frames_rx.inc();
-        let (response, hangup) = match Request::decode(&body) {
-            Ok(req) => handle_request(&shared, req),
-            Err(err) => {
-                shared.obs.proto_errors.inc();
-                (bad_request(err), true)
-            }
-        };
-        if send(&mut stream, &shared, &response).is_err() || hangup {
-            break;
-        }
-    }
-    shared.obs.closed.inc();
-}
-
-fn bad_request(err: FrameError) -> Response {
-    Response::Error {
-        code: ErrorCode::BadRequest,
-        message: err.to_string(),
-    }
-}
-
-fn send(stream: &mut TcpStream, shared: &ServerShared, resp: &Response) -> std::io::Result<()> {
-    write_frame(stream, &resp.encode())?;
-    shared.obs.frames_tx.inc();
-    Ok(())
-}
-
-/// Maps one decoded request to `(response, hang up after sending)`.
-fn handle_request(shared: &ServerShared, req: Request) -> (Response, bool) {
-    let engine = &shared.engine;
-    match req {
-        Request::Submit {
-            workflow,
-            scope,
-            urgent,
-            params,
-        } => {
-            let resp = match engine.submit(&workflow, &scope, urgent, &params) {
-                SubmitOutcome::Accepted(ticket) => Response::Accepted { ticket },
-                SubmitOutcome::Busy(retry_after_ms) => Response::Busy { retry_after_ms },
-                SubmitOutcome::Rejected(code, message) => Response::Error { code, message },
-            };
-            (resp, false)
-        }
-        Request::Status { ticket } => {
-            let (phase, detail) = engine.status(ticket);
-            (
-                Response::Status {
-                    ticket,
-                    phase,
-                    detail,
-                },
-                false,
-            )
-        }
-        Request::Cancel { ticket } => {
-            let ok = engine.cancel(ticket);
-            (Response::Cancelled { ticket, ok }, false)
-        }
-        Request::List => (
-            Response::Catalog {
-                entries: engine.list(),
-            },
-            false,
-        ),
-        Request::Metrics => {
-            let json = engine.metrics_json();
-            // The METRICS cap is generous (MAX_FRAME minus headroom) but
-            // a pathological registry must get a typed error, not a
-            // silently truncated — i.e. syntactically invalid — JSON blob.
-            let resp = if json.len() > MAX_METRICS_STR {
-                Response::Error {
-                    code: ErrorCode::Internal,
-                    message: format!(
-                        "metrics registry JSON is {} bytes, exceeding the {} byte frame cap",
-                        json.len(),
-                        MAX_METRICS_STR
-                    ),
-                }
-            } else {
-                Response::Metrics { json }
-            };
-            (resp, false)
-        }
-        Request::Shutdown => {
-            let mut requested = shared.shutdown_requested.lock();
-            *requested = true;
-            shared.shutdown_cv.notify_all();
-            (Response::Bye, true)
-        }
     }
 }

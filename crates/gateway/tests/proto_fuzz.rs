@@ -4,8 +4,35 @@
 //! and a live server must answer garbage with a typed error frame
 //! without leaking the connection slot.
 
-use occam_gateway::proto::{FrameError, Request, Response};
+use occam_gateway::proto::{FrameError, FrameReader, RecvError, Request, Response};
 use proptest::prelude::*;
+
+/// A reader that delivers its bytes according to a schedule of chunk
+/// sizes, where size 0 means "return `WouldBlock`" — the shape of a
+/// non-blocking socket under the reactor's edge-triggered read loop.
+struct ChoppyReader {
+    data: Vec<u8>,
+    pos: usize,
+    schedule: Vec<usize>,
+    step: usize,
+}
+
+impl std::io::Read for ChoppyReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0); // clean EOF at a frame boundary
+        }
+        let chunk = self.schedule[self.step % self.schedule.len()];
+        self.step += 1;
+        if chunk == 0 {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -57,6 +84,40 @@ proptest! {
         let idx = (body.len() * idx_permille as usize / 1000) % body.len();
         body[idx] ^= flip;
         let _ = Response::decode(&body);
+    }
+
+    /// The resumable `FrameReader` under a randomized partial-read
+    /// schedule — arbitrary chunk sizes interleaved with `WouldBlock`,
+    /// exactly what the non-blocking reactor path produces — recovers
+    /// every pipelined frame intact, in order, with no desync and no
+    /// spurious error.
+    #[test]
+    fn frame_reader_survives_partial_read_schedules(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..96),
+            1..8,
+        ),
+        schedule in proptest::collection::vec(0usize..17, 1..48),
+    ) {
+        // At least one nonzero chunk so the stream drains.
+        prop_assume!(schedule.iter().any(|&c| c > 0));
+        let mut wire = Vec::new();
+        for body in &bodies {
+            wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            wire.extend_from_slice(body);
+        }
+        let mut reader = ChoppyReader { data: wire, pos: 0, schedule, step: 0 };
+        let mut frames = FrameReader::new();
+        let mut recovered: Vec<Vec<u8>> = Vec::new();
+        loop {
+            match frames.poll(&mut reader) {
+                Ok(Some(body)) => recovered.push(body),
+                Ok(None) => {} // WouldBlock tick: partial state retained
+                Err(RecvError::Closed) => break,
+                Err(other) => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            }
+        }
+        prop_assert_eq!(recovered, bodies);
     }
 
     /// Declared lengths beyond the caps are rejected before allocation.

@@ -24,17 +24,22 @@ fn seeded_campaigns_are_deterministic() {
 
 /// A connection that dies mid-SUBMIT (length prefix plus half the body)
 /// must never create an engine job record: admission happens only after
-/// a full decode. Clients that vanish after a complete SUBMIT still get
-/// their job driven to a terminal phase — nothing stays queued or
-/// running after drain.
+/// a full decode. Clients that vanish after a complete SUBMIT — or
+/// after a pipelined batch of SUBMITs, on the reactor's batch-admission
+/// path — still get their jobs driven to a terminal phase; nothing
+/// stays queued or running after drain.
 #[test]
 fn gateway_mid_frame_reset_never_leaks_job_records() {
     let report = run_gateway_phase(&GatewayChaosConfig {
-        submissions: 9,
+        submissions: 12,
         drop_every: 2,
     });
     assert!(report.partial_drops >= 2, "phase must reset mid-frame");
     assert!(report.vanish_drops >= 2, "phase must vanish after SUBMIT");
+    assert!(
+        report.batch_vanish_drops >= 1,
+        "phase must vanish after a pipelined batch"
+    );
     // Partial frames were never admitted; everything admitted finished.
     assert_eq!(report.accepted, report.completed);
     assert_eq!(report.leaked_records, 0);

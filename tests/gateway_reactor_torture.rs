@@ -1,0 +1,233 @@
+//! Reactor torture test: 1024+ concurrent connections mixing three
+//! adversarial client populations against one sharded epoll gateway:
+//!
+//! - **full-pipe writers** — pipelined SUBMIT batches back to back,
+//!   the throughput path;
+//! - **trickle writers** — one byte per tick across the whole frame,
+//!   the resumable-`FrameReader` path (a frame arrives over ~40
+//!   readiness events);
+//! - **mid-frame disconnecters** — write half a frame and vanish, the
+//!   teardown path.
+//!
+//! Asserts the reactor invariants: no desync (every well-behaved client
+//! reads exactly the responses for its requests, in order), no slot
+//! leak (`conn.opened == conn.closed` after shutdown), no lost ticket
+//! (every accepted submission reaches a terminal phase), and no job
+//! record created from a partial frame.
+
+use occam::gateway::{
+    Engine, EngineConfig, GatewayClient, GatewayServer, Request, Response, SubmitReply, SubmitSpec,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget; exceeding it means a hang.
+const BUDGET: Duration = Duration::from_secs(60);
+
+const FULL_PIPE_CONNS: usize = 512;
+const FULL_PIPE_BATCH: usize = 4;
+const TRICKLE_CONNS: usize = 256;
+const VANISH_CONNS: usize = 256;
+
+/// Length-prefixed wire frame for one request.
+fn frame(req: &Request) -> Vec<u8> {
+    let body = req.encode();
+    let mut wire = Vec::with_capacity(4 + body.len());
+    wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    wire.extend_from_slice(&body);
+    wire
+}
+
+fn submit_req(pod: usize) -> Request {
+    Request::Submit {
+        workflow: "status_audit".into(),
+        scope: format!("dc01.pod{:02}.*", pod % 6),
+        urgent: false,
+        params: vec![],
+    }
+}
+
+/// Reads one length-prefixed frame (blocking).
+fn read_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("frame length");
+    let mut body = vec![0u8; u32::from_be_bytes(len) as usize];
+    stream.read_exact(&mut body).expect("frame body");
+    body
+}
+
+#[test]
+fn torture_1024_conns_trickle_vanish_full_pipe() {
+    let (rt, _ft) = occam::emulated_deployment(1, 6);
+    let engine = Engine::new(
+        rt,
+        EngineConfig {
+            pool_size: 2,
+            queue_cap: 8192,
+            terminal_retain: 16_384,
+            ..EngineConfig::default()
+        },
+    );
+    let mut server = GatewayServer::start(engine, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let reg = server.engine().runtime().obs().clone();
+    let start = Instant::now();
+
+    let tickets: Vec<u64> = std::thread::scope(|s| {
+        // Population 1: full-pipe writers, 4 driver threads multiplexing
+        // 128 pipelined connections each.
+        let full_pipe: Vec<_> = (0..4)
+            .map(|d| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut clients: Vec<GatewayClient> = (0..FULL_PIPE_CONNS / 4)
+                        .map(|_| GatewayClient::connect(&addr).expect("connect"))
+                        .collect();
+                    let specs: Vec<SubmitSpec> = (0..FULL_PIPE_BATCH)
+                        .map(|j| SubmitSpec {
+                            workflow: "status_audit".into(),
+                            scope: format!("dc01.pod{:02}.*", (d + j) % 6),
+                            urgent: false,
+                            params: vec![],
+                        })
+                        .collect();
+                    let mut tickets = Vec::new();
+                    for client in clients.iter_mut() {
+                        assert!(start.elapsed() < BUDGET, "full-pipe starved");
+                        let mut remaining = FULL_PIPE_BATCH;
+                        while remaining > 0 {
+                            for reply in client
+                                .submit_batch(&specs[..remaining])
+                                .expect("pipelined submit")
+                            {
+                                match reply {
+                                    SubmitReply::Accepted(t) => {
+                                        tickets.push(t);
+                                        remaining -= 1;
+                                    }
+                                    SubmitReply::Busy(_) => {}
+                                    SubmitReply::Rejected(code, msg) => {
+                                        panic!("rejected: {code:?} {msg}")
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    tickets
+                })
+            })
+            .collect();
+
+        // Population 2: trickle writers — 256 raw sockets, one byte per
+        // sweep, round-robin, so every frame needs ~40 readiness events
+        // and the partial state must survive each one.
+        let trickle = {
+            let addr = addr.clone();
+            s.spawn(move || {
+                let mut streams: Vec<TcpStream> = (0..TRICKLE_CONNS)
+                    .map(|_| {
+                        let s = TcpStream::connect(&addr).expect("connect");
+                        s.set_nodelay(true).unwrap();
+                        s
+                    })
+                    .collect();
+                let wires: Vec<Vec<u8>> =
+                    (0..TRICKLE_CONNS).map(|i| frame(&submit_req(i))).collect();
+                let max_len = wires.iter().map(Vec::len).max().unwrap();
+                for pos in 0..max_len {
+                    assert!(start.elapsed() < BUDGET, "trickle starved");
+                    for (stream, wire) in streams.iter_mut().zip(&wires) {
+                        if let Some(&byte) = wire.get(pos) {
+                            stream.write_all(&[byte]).expect("trickle byte");
+                        }
+                    }
+                }
+                // Every trickled frame is now complete; each connection
+                // must get exactly one Accepted back (no desync).
+                let mut tickets = Vec::with_capacity(TRICKLE_CONNS);
+                for stream in streams.iter_mut() {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(20)))
+                        .unwrap();
+                    let body = read_frame(stream);
+                    match Response::decode(&body).expect("decode response") {
+                        Response::Accepted { ticket } => tickets.push(ticket),
+                        other => panic!("trickle conn desynced: {other:?}"),
+                    }
+                }
+                tickets
+            })
+        };
+
+        // Population 3: mid-frame disconnecters — write a valid prefix
+        // (length header plus half the body) and vanish. No job record,
+        // no protocol error, no leaked slot may result.
+        let vanish = {
+            let addr = addr.clone();
+            s.spawn(move || {
+                for i in 0..VANISH_CONNS {
+                    assert!(start.elapsed() < BUDGET, "vanish starved");
+                    let mut stream = TcpStream::connect(&addr).expect("connect");
+                    let wire = frame(&submit_req(i));
+                    stream.write_all(&wire[..wire.len() / 2]).expect("half");
+                    drop(stream);
+                }
+            })
+        };
+
+        vanish.join().unwrap();
+        let mut tickets: Vec<u64> = Vec::new();
+        for h in full_pipe {
+            tickets.extend(h.join().unwrap());
+        }
+        tickets.extend(trickle.join().unwrap());
+        tickets
+    });
+
+    // No lost ticket: every accepted submission reaches a terminal
+    // phase within the budget.
+    assert_eq!(
+        tickets.len(),
+        FULL_PIPE_CONNS * FULL_PIPE_BATCH + TRICKLE_CONNS
+    );
+    let engine = server.engine().clone();
+    for &t in &tickets {
+        loop {
+            assert!(
+                start.elapsed() < BUDGET,
+                "ticket {t} not terminal within budget"
+            );
+            let (phase, _) = engine.status(t);
+            assert_ne!(
+                phase,
+                occam::gateway::WirePhase::Unknown,
+                "ticket {t} vanished"
+            );
+            if phase.is_terminal() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // Partial frames never created a job record: accepted == tickets.
+    assert_eq!(
+        reg.counter_value("gateway.submit.accepted"),
+        tickets.len() as u64
+    );
+    // A half-written frame is not a protocol error, just a vanished peer.
+    assert_eq!(reg.counter_value("gateway.proto.errors"), 0);
+
+    server.shutdown();
+    // No slot leak: every opened connection was torn down exactly once.
+    assert_eq!(
+        reg.counter_value("gateway.conn.opened"),
+        (FULL_PIPE_CONNS + TRICKLE_CONNS + VANISH_CONNS) as u64
+    );
+    assert_eq!(
+        reg.counter_value("gateway.conn.opened"),
+        reg.counter_value("gateway.conn.closed"),
+        "connection slot leak"
+    );
+}

@@ -17,10 +17,10 @@
 //!
 //! cargo run --release -p occam-bench --bin chaos_campaign --smoke
 //! # CI smoke: one campaign, seed 42, fault rate 10%, 100 tasks,
-//! # gateway phase included
+//! # gateway and replication phases included
 //! ```
 
-use occam_chaos::{Campaign, CampaignConfig, CampaignReport, GatewayChaosConfig};
+use occam_chaos::{Campaign, CampaignConfig, CampaignReport, GatewayChaosConfig, ReplChaosConfig};
 use std::fmt::Write as _;
 
 const SWEEP_SEEDS: [u64; 3] = [11, 42, 1234];
@@ -31,6 +31,9 @@ fn run_campaign(seed: u64, rate: f64, tasks: u32, gateway: bool) -> CampaignRepo
     cfg.tasks = tasks;
     if gateway {
         cfg.gateway = Some(GatewayChaosConfig::default());
+        // The replication phase rides along with the gateway phase: both
+        // are fault-rate independent, so once per seed is representative.
+        cfg.repl = Some(ReplChaosConfig::default());
     }
     let report = Campaign::new(cfg).run();
     eprintln!(

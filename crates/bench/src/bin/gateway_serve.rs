@@ -5,24 +5,65 @@
 //! admission-controlled gateway engine, and listens for clients until
 //! one of them sends SHUTDOWN — then drains in-flight work and exits.
 //!
+//! With `--followers N` the database is replicated to `N` in-process
+//! follower replicas (DESIGN.md §14) and scoped reads — `status_audit`
+//! views, `Network::view()` — are routed to caught-up followers, with
+//! the observed staleness recorded under `netdb.repl.read_lag_commits`.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p occam-bench --bin gateway_serve \
-//!     [addr] [pool_size] [queue_cap] [k]
-//! # defaults: 127.0.0.1:7421  8  64  6
+//!     [addr] [pool_size] [queue_cap] [k] [--followers N]
+//! # defaults: 127.0.0.1:7421  8  64  6  --followers 0
 //! ```
 
+use occam::netdb::{ReplicaConfig, ReplicaSet};
 use occam_gateway::{Engine, EngineConfig, GatewayServer};
+use std::time::Duration;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut followers: usize = 0;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--followers" {
+            followers = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--followers takes a count");
+        } else if let Some(v) = a.strip_prefix("--followers=") {
+            followers = v.parse().expect("--followers takes a count");
+        } else {
+            positional.push(a);
+        }
+    }
+    let mut args = positional.into_iter();
     let addr = args.next().unwrap_or_else(|| "127.0.0.1:7421".into());
     let pool_size: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let queue_cap: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
     let k: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
 
     let (runtime, ft) = occam::emulated_deployment(1, k);
+    let replicas = if followers > 0 {
+        let set = ReplicaSet::start(
+            runtime.db().clone(),
+            ReplicaConfig {
+                followers,
+                ..ReplicaConfig::default()
+            },
+        );
+        assert!(
+            set.wait_converged(Duration::from_secs(30)),
+            "followers failed to bootstrap"
+        );
+        runtime.attach_read_router(set.router());
+        println!("replicating to {followers} follower(s); scoped reads routed to replicas");
+        Some(set)
+    } else {
+        None
+    };
     let engine = Engine::new(
         runtime,
         EngineConfig {
@@ -52,4 +93,14 @@ fn main() {
         reg.counter_value("gateway.tasks.completed"),
         reg.counter_value("gateway.submit.rejected"),
     );
+    if let Some(set) = replicas {
+        println!(
+            "replica reads: {} follower, {} leader ({} stale fallbacks)",
+            set.obs().counter_value("netdb.repl.reads.follower"),
+            set.obs().counter_value("netdb.repl.reads.leader"),
+            set.obs().counter_value("netdb.repl.reads.stale_fallback"),
+        );
+        server.engine().runtime().detach_read_router();
+        set.shutdown();
+    }
 }

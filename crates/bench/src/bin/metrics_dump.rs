@@ -101,6 +101,25 @@ const CHAOS_NAMES: &[&str] = &[
     "core.task.retry_rollback_failed",
 ];
 
+/// The §9 / §14 families a replication registry must carry (on top of
+/// the `netdb.*` families, which share the same registry). All are bound
+/// eagerly when a [`occam::netdb::ReplicaSet`] starts, so the contract
+/// holds even before traffic flows.
+const REPL_NAMES: &[&str] = &[
+    "netdb.repl.ship.batches",
+    "netdb.repl.ship.records",
+    "netdb.repl.ship.snapshots",
+    "netdb.repl.acks",
+    "netdb.repl.follower.applied",
+    "netdb.repl.reads.follower",
+    "netdb.repl.reads.leader",
+    "netdb.repl.reads.stale_fallback",
+    "netdb.repl.failovers",
+    "netdb.repl.lag_ns",
+    "netdb.repl.read_lag_commits",
+    "netdb.repl.failover_ns",
+];
+
 /// The §9 families the simulation registry must carry.
 const SIM_NAMES: &[&str] = &[
     "sim.queue_depth",
@@ -250,9 +269,65 @@ fn exercise_gateway() -> occam::obs::Registry {
     reg
 }
 
+/// Drives a replica set through shipping, routed reads, a stale
+/// fallback, and a failover, then returns its registry.
+fn exercise_repl() -> occam::obs::Registry {
+    use occam::netdb::{Database, ReplicaConfig, ReplicaSet};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let reg = occam::obs::Registry::new();
+    let leader_db = Arc::new(Database::with_obs(&reg));
+    for i in 0..16 {
+        leader_db
+            .insert_device(&format!("dc01.pod00.sw{i:02}"), vec![])
+            .expect("seed device");
+    }
+    let set = ReplicaSet::start(
+        Arc::clone(&leader_db),
+        ReplicaConfig {
+            followers: 2,
+            quorum: 1,
+            ..ReplicaConfig::default()
+        },
+    );
+    assert_eq!(
+        set.leader().wait_acked(16, Duration::from_secs(10)),
+        16,
+        "quorum ack"
+    );
+    assert!(set.wait_converged(Duration::from_secs(10)), "convergence");
+    let router = set.router();
+    for _ in 0..8 {
+        router.snapshot().expect("routed read");
+    }
+    // Partition both followers and write through: the next routed read
+    // exceeds the staleness bound and falls back to the leader.
+    set.set_partitioned(0, true);
+    set.set_partitioned(1, true);
+    for i in 0..8 {
+        leader_db
+            .insert_device(&format!("dc01.pod01.sw{i:02}"), vec![])
+            .expect("write");
+    }
+    router.snapshot().expect("stale fallback read");
+    set.set_partitioned(0, false);
+    set.set_partitioned(1, false);
+    assert!(set.wait_converged(Duration::from_secs(10)), "heal");
+    let (set, _promotion) = set.failover();
+    set.shutdown();
+    reg
+}
+
 fn main() {
     let runtime = exercise_runtime();
     check_contract("runtime", runtime.obs(), RUNTIME_NAMES);
+
+    let repl_reg = exercise_repl();
+    check_contract("repl", &repl_reg, REPL_NAMES);
+    assert!(repl_reg.counter_value("netdb.repl.reads.follower") >= 1);
+    assert!(repl_reg.counter_value("netdb.repl.reads.stale_fallback") >= 1);
+    assert!(repl_reg.counter_value("netdb.repl.failovers") >= 1);
 
     let gateway_reg = exercise_gateway();
     check_contract("gateway", &gateway_reg, GATEWAY_NAMES);
@@ -297,6 +372,8 @@ fn main() {
     out.push_str(&gateway_reg.to_json());
     out.push_str(",\n  \"chaos\": ");
     out.push_str(&chaos_reg.to_json());
+    out.push_str(",\n  \"repl\": ");
+    out.push_str(&repl_reg.to_json());
     out.push_str("\n}\n");
     std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");

@@ -65,6 +65,9 @@ pub struct CampaignConfig {
     pub latency: Duration,
     /// Gateway connection-chaos phase, when configured.
     pub gateway: Option<crate::gateway::GatewayChaosConfig>,
+    /// Replication chaos phase (leader kill, partitions, rejoin), when
+    /// configured.
+    pub repl: Option<crate::repl::ReplChaosConfig>,
 }
 
 impl CampaignConfig {
@@ -84,6 +87,7 @@ impl CampaignConfig {
             latency_rate: 0.02,
             latency: Duration::from_micros(200),
             gateway: None,
+            repl: None,
         }
     }
 }
@@ -359,7 +363,7 @@ impl Campaign {
     }
 
     /// Folds the fault-layer counters into the report and runs the
-    /// gateway phase, if configured.
+    /// gateway and replication phases, if configured.
     fn finish(self, mut report: CampaignReport) -> CampaignReport {
         report.retries = self.reg.counter_value("core.task.retries");
         report.retry_rollback_failed = self.reg.counter_value("core.task.retry_rollback_failed");
@@ -377,6 +381,14 @@ impl Campaign {
                     Some(format!("{} gateway job records leaked", gw.leaked_records));
             }
             report.gateway = Some(gw);
+        }
+        if let Some(repl_cfg) = &self.cfg.repl {
+            let repl = crate::repl::run_repl_phase(repl_cfg);
+            report.invariant_violations += repl.violations;
+            if repl.violations > 0 && report.first_violation.is_none() {
+                report.first_violation = repl.first_violation.clone();
+            }
+            report.repl = Some(repl);
         }
         report
     }

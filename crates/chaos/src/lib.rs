@@ -16,6 +16,7 @@
 //! | devices | injected call failures, latency spikes, wedged ("stuck") devices | [`occam_emunet::FaultyService`] shim |
 //! | storage | crash points: WAL dump → recover → compare; torn-prefix replay | [`occam_netdb::Database::recover`] |
 //! | gateway | connections dropped mid-frame; clients vanishing after SUBMIT | raw loopback sockets against a live [`occam_gateway::GatewayServer`] |
+//! | replication | leader killed mid-commit; followers partitioned mid-catch-up; crash-and-rejoin | live [`occam_netdb::ReplicaSet`] with deterministic failover |
 //!
 //! After every task the campaign asserts the paper's recovery contract:
 //! completed tasks satisfy their scenario postcondition (*fully
@@ -41,12 +42,14 @@
 
 pub mod campaign;
 pub mod gateway;
+pub mod repl;
 pub mod report;
 pub mod scenario;
 pub mod snapshot;
 
 pub use campaign::{Campaign, CampaignConfig};
 pub use gateway::{run_gateway_phase, GatewayChaosConfig};
-pub use report::{CampaignReport, GatewayChaosReport};
+pub use repl::{run_repl_phase, ReplChaosConfig};
+pub use report::{CampaignReport, GatewayChaosReport, ReplChaosReport};
 pub use scenario::{Scenario, ScenarioKind};
 pub use snapshot::{DeviceFingerprint, StateSnapshot};

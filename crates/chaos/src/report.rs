@@ -40,6 +40,53 @@ impl GatewayChaosReport {
     }
 }
 
+/// Outcome of the replication chaos phase (DESIGN.md §14): leader kill
+/// mid-commit, follower partition mid-catch-up, crash-and-rejoin.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ReplChaosReport {
+    /// Writes committed on the leader(s) across all sub-phases.
+    pub writes: u64,
+    /// Commits acknowledged by the quorum when the leader was killed.
+    pub acked_before_kill: u64,
+    /// Commits the dead leader held that no follower had confirmed —
+    /// allowed to die with it (unacknowledged ≠ durable).
+    pub unacked_at_kill: u64,
+    /// Follower links partitioned and healed.
+    pub partitions: u64,
+    /// Followers crashed with total state loss and re-bootstrapped.
+    pub rejoins: u64,
+    /// Id of the follower promoted at failover.
+    pub promoted: u32,
+    /// Acknowledged commits missing from the promoted leader — the
+    /// headline durability number; must be 0.
+    pub lost_acked: u64,
+    /// Invariant violations detected in the phase — must be 0.
+    pub violations: u64,
+    /// First violation description, when any occurred.
+    pub first_violation: Option<String>,
+}
+
+impl ReplChaosReport {
+    fn to_json(&self) -> String {
+        let first_violation = match &self.first_violation {
+            Some(v) => format!("\"{}\"", json_escape(v)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"writes\":{},\"acked_before_kill\":{},\"unacked_at_kill\":{},\"partitions\":{},\"rejoins\":{},\"promoted\":{},\"lost_acked\":{},\"violations\":{},\"first_violation\":{}}}",
+            self.writes,
+            self.acked_before_kill,
+            self.unacked_at_kill,
+            self.partitions,
+            self.rejoins,
+            self.promoted,
+            self.lost_acked,
+            self.violations,
+            first_violation
+        )
+    }
+}
+
 /// Outcome of one seeded campaign. All fields are counters; see the
 /// module docs for the determinism contract.
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -74,6 +121,8 @@ pub struct CampaignReport {
     pub first_violation: Option<String>,
     /// Gateway phase outcome, when the phase ran.
     pub gateway: Option<GatewayChaosReport>,
+    /// Replication phase outcome, when the phase ran.
+    pub repl: Option<ReplChaosReport>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -96,12 +145,16 @@ impl CampaignReport {
             Some(g) => g.to_json(),
             None => "null".to_string(),
         };
+        let repl = match &self.repl {
+            Some(r) => r.to_json(),
+            None => "null".to_string(),
+        };
         let first_violation = match &self.first_violation {
             Some(v) => format!("\"{}\"", json_escape(v)),
             None => "null".to_string(),
         };
         format!(
-            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{}}}",
+            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{},\"repl\":{}}}",
             self.seed,
             self.fault_rate,
             self.tasks,
@@ -116,7 +169,8 @@ impl CampaignReport {
             self.crashes,
             self.invariant_violations,
             first_violation,
-            gateway
+            gateway,
+            repl
         )
     }
 }
@@ -137,7 +191,12 @@ mod tests {
         };
         assert_eq!(r.to_json(), r.clone().to_json());
         assert!(r.to_json().contains("\"fault_rate\":0.05"));
-        assert!(r.to_json().ends_with("\"gateway\":null}"));
+        assert!(r.to_json().ends_with("\"gateway\":null,\"repl\":null}"));
+        r.repl = Some(ReplChaosReport {
+            writes: 3,
+            ..ReplChaosReport::default()
+        });
+        assert!(r.to_json().contains("\"repl\":{\"writes\":3,"));
         r.first_violation = Some("say \"what\"\n".into());
         assert!(r.to_json().contains("say \\\"what\\\"\\n"));
     }

@@ -94,10 +94,16 @@ impl<'t> Network<'t> {
     /// included: all reads against the returned handle observe the same
     /// committed version, so multi-attribute audits cannot tear across a
     /// concurrent commit. Counted and fault-injected like any other query.
+    ///
+    /// When a replica read router is attached
+    /// ([`crate::Runtime::attach_read_router`]) the snapshot is served
+    /// from a caught-up follower within the router's staleness bound —
+    /// still one consistent committed version, possibly a few commits
+    /// behind the leader (surfaced in `netdb.repl.read_lag_commits`).
     pub fn view(&self) -> TaskResult<StoreSnapshot> {
         self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
-        Ok(self.ctx.runtime().db().query_snapshot()?)
+        Ok(self.ctx.runtime().routed_snapshot()?)
     }
 
     /// Writes one attribute on every device in the region: the paper's

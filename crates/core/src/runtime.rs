@@ -13,7 +13,7 @@ use crate::pool::PoolShared;
 use crate::retry::RetryPolicy;
 use crate::task::{CancelToken, TaskCtx, TaskReport, TaskState};
 use occam_emunet::DeviceService;
-use occam_netdb::Database;
+use occam_netdb::{Database, ReadRouter, StoreSnapshot};
 use occam_objtree::{ObjTree, ObjectId, SplitMode, TaskId};
 use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry};
 use occam_regex::PatternCache;
@@ -94,6 +94,10 @@ pub(crate) struct Inner {
     obs: CoreObs,
     /// Lazily-started bounded worker pool ([`Runtime::submit_pooled`]).
     pub(crate) pool: Mutex<Option<Arc<PoolShared>>>,
+    /// Optional replica read router: when attached, scoped snapshot reads
+    /// ([`crate::Network::view`], gateway `status_audit`) are served from
+    /// a caught-up follower instead of the leader (DESIGN.md §14).
+    read_router: Mutex<Option<Arc<ReadRouter>>>,
 }
 
 impl Drop for Inner {
@@ -157,7 +161,33 @@ impl Runtime {
                 seq: AtomicU64::new(0),
                 obs: CoreObs::bound(reg),
                 pool: Mutex::new(None),
+                read_router: Mutex::new(None),
             }),
+        }
+    }
+
+    /// Attaches a replica read router: subsequent read-only snapshot
+    /// queries ([`crate::Network::view`] and everything built on it, such
+    /// as the gateway's `status_audit`) are served from a caught-up
+    /// follower within the router's staleness bound, falling back to the
+    /// leader. Write paths are unaffected — they always hit the leader.
+    pub fn attach_read_router(&self, router: Arc<ReadRouter>) {
+        *self.inner.read_router.lock() = Some(router);
+    }
+
+    /// Detaches the replica read router; snapshot reads return to the
+    /// leader database.
+    pub fn detach_read_router(&self) {
+        *self.inner.read_router.lock() = None;
+    }
+
+    /// One consistent snapshot read, routed through the attached replica
+    /// read router when present, else served by the leader database.
+    pub(crate) fn routed_snapshot(&self) -> occam_netdb::DbResult<StoreSnapshot> {
+        let router = self.inner.read_router.lock().clone();
+        match router {
+            Some(r) => r.snapshot(),
+            None => self.inner.db.query_snapshot(),
         }
     }
 

@@ -657,6 +657,48 @@ mod tests {
     }
 
     #[test]
+    fn status_audit_served_from_follower_replica() {
+        use occam_netdb::{ReplicaConfig, ReplicaSet};
+        use std::time::Duration;
+
+        let ft = FatTree::build(1, 4).unwrap();
+        let db = Arc::new(Database::new());
+        for (_, d) in ft
+            .topo
+            .devices()
+            .filter(|(_, d)| d.role != occam_topology::Role::Host)
+        {
+            db.insert_device(
+                &d.name,
+                vec![(attrs::DEVICE_STATUS.into(), attrs::STATUS_ACTIVE.into())],
+            )
+            .unwrap();
+        }
+        let service = Arc::new(EmuService::new(EmuNet::from_fattree(&ft)));
+        let runtime = Runtime::new(Arc::clone(&db), service);
+        // Replicate the database and route scoped reads through the set:
+        // the audit's `view()` snapshot is then served by a caught-up
+        // follower, not the leader.
+        let set = ReplicaSet::start(Arc::clone(&db), ReplicaConfig::default());
+        assert!(set.wait_converged(Duration::from_secs(10)));
+        runtime.attach_read_router(set.router());
+
+        let engine = Engine::new(runtime, EngineConfig::default());
+        let out = engine.submit("status_audit", "dc01.pod00.*", false, &[]);
+        let SubmitOutcome::Accepted(ticket) = out else {
+            panic!("expected acceptance, got {out:?}");
+        };
+        let (phase, detail) = wait_terminal(&engine, ticket);
+        assert_eq!(phase, WirePhase::Completed, "{detail}");
+        assert!(
+            set.obs().counter_value("netdb.repl.reads.follower") >= 1,
+            "audit view was not served from a follower"
+        );
+        engine.runtime().detach_read_router();
+        set.shutdown();
+    }
+
+    #[test]
     fn submit_runs_to_completion_and_mutates_state() {
         let engine = tiny_engine(EngineConfig::default());
         let out = engine.submit("drain", "dc01.pod01.*", false, &[]);

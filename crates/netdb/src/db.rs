@@ -14,9 +14,10 @@ use crate::value::AttrValue;
 use crate::wal::{Wal, WalRecord};
 use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry, Span};
 use occam_regex::Pattern;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A device row: an attribute map.
 #[derive(Clone, PartialEq, Default, Debug)]
@@ -372,6 +373,9 @@ pub struct Database {
     /// protocol of DESIGN.md §12).
     writer: Mutex<()>,
     wal: Mutex<Wal>,
+    /// Signalled after every published commit, so replication shippers
+    /// can sleep until there is new WAL to ship instead of busy-polling.
+    commit_cv: Condvar,
     faults: FaultInjector,
     obs: DbObs,
     obs_registry: Registry,
@@ -391,6 +395,7 @@ impl Database {
             state: Mutex::new(Arc::new(StoreState::new())),
             writer: Mutex::new(()),
             wal: Mutex::new(Wal::new()),
+            commit_cv: Condvar::new(),
             faults: FaultInjector::default(),
             obs: DbObs::bound(reg),
             obs_registry: reg.clone(),
@@ -489,6 +494,113 @@ impl Database {
         self.wal.lock().records().to_vec()
     }
 
+    /// First commit sequence the local WAL physically holds records for
+    /// (`0` unless this replica bootstrapped from a snapshot).
+    pub fn wal_base_commits(&self) -> u64 {
+        self.wal.lock().base_commits()
+    }
+
+    /// Blocks until the database has at least `min` commits or `timeout`
+    /// elapses; returns the commit count observed on wake-up. The wait is
+    /// condvar-driven off the commit path, so replication shippers idle
+    /// without polling.
+    pub fn wait_commits(&self, min: u64, timeout: Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut wal = self.wal.lock();
+        loop {
+            let now = wal.num_commits();
+            if now >= min {
+                return now;
+            }
+            let Some(left) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return now;
+            };
+            if left.is_zero() || self.commit_cv.wait_for(&mut wal, left).timed_out() {
+                return wal.num_commits();
+            }
+        }
+    }
+
+    /// The WAL suffix committed after the first `commits` commits, with
+    /// the sequence it starts at. `None` means the history is no longer
+    /// held locally (the WAL was re-based past `commits` by a snapshot
+    /// bootstrap) and the requester needs a snapshot transfer instead.
+    pub(crate) fn wal_suffix_after_commits(&self, commits: u64) -> Option<(u64, Vec<WalRecord>)> {
+        self.wal.lock().suffix_after_commits(commits)
+    }
+
+    /// A consistent `(snapshot, commit count)` pair, captured under the
+    /// writer lock so the count is exactly the number of commits the
+    /// snapshot contains — the seed of a replica snapshot bootstrap.
+    pub fn snapshot_with_commits(&self) -> (StoreSnapshot, u64) {
+        let _w = self.writer.lock();
+        (self.snapshot(), self.wal.lock().num_commits())
+    }
+
+    /// Applies one replicated batch at a forced commit sequence — the
+    /// follower half of WAL shipping. Runs the same commit protocol as
+    /// [`Database::batch`] (writer lock → copy-on-write apply → WAL append
+    /// → pointer-swap publish), minus validation: the leader already
+    /// validated, and replaying its exact records keeps the follower
+    /// byte-identical. Fails without mutating anything if `seq` is not
+    /// the next expected commit.
+    pub(crate) fn apply_replicated(&self, records: &[WalRecord], seq: u64) -> Result<(), String> {
+        let _w = self.writer.lock();
+        {
+            // Reserve the sequence before touching state: an out-of-order
+            // batch must leave the store untouched.
+            let wal = self.wal.lock();
+            if seq != wal.num_commits() {
+                return Err(format!(
+                    "replicated commit {seq} out of order: expected {}",
+                    wal.num_commits()
+                ));
+            }
+        }
+        let base = self.current();
+        let mut next = StoreState {
+            shards: base.shards.clone(),
+        };
+        for r in records {
+            next.apply(r);
+        }
+        let dirty = next
+            .shards
+            .iter()
+            .zip(base.shards.iter())
+            .filter(|(a, b)| !Arc::ptr_eq(a, b))
+            .count();
+        let n = records.len() as u64;
+        let span = Span::start(&self.obs.wal_append_ns);
+        self.wal.lock().append_batch_at(records.to_vec(), seq)?;
+        span.finish();
+        self.obs.wal_appends.inc();
+        self.obs.wal_records.add(n);
+        self.obs
+            .events
+            .record(EventKind::WalAppend { records: n, seq });
+        *self.state.lock() = Arc::new(next);
+        self.obs.shard_commits.add(dirty as u64);
+        self.commit_cv.notify_all();
+        Ok(())
+    }
+
+    /// Installs a bootstrap snapshot carrying the first `commits` commits:
+    /// swaps in the snapshot's shard vector (O(1) — the `Arc`s are shared,
+    /// not cloned) and re-bases a fresh WAL so subsequent replicated
+    /// commits continue the leader's numbering.
+    pub(crate) fn install_snapshot(&self, snap: &StoreSnapshot, commits: u64) {
+        let _w = self.writer.lock();
+        *self.state.lock() = Arc::new(StoreState {
+            shards: snap.state.shards.clone(),
+        });
+        let mut wal = self.wal.lock();
+        *wal = Wal::new();
+        wal.rebase(commits);
+        drop(wal);
+        self.commit_cv.notify_all();
+    }
+
     /// Installs a recovered record sequence: replays it into the store and
     /// re-seeds the WAL so future commits continue the history.
     pub(crate) fn install_recovered(&self, records: Vec<WalRecord>) {
@@ -514,6 +626,8 @@ impl Database {
         if !batch.is_empty() {
             wal.append_batch(batch);
         }
+        drop(wal);
+        self.commit_cv.notify_all();
     }
 
     // ------------------------------------------------------------------
@@ -733,6 +847,7 @@ impl Database {
         let seq = self.wal_append(records);
         *self.state.lock() = Arc::new(next);
         self.obs.shard_commits.add(dirty as u64);
+        self.commit_cv.notify_all();
         seq
     }
 

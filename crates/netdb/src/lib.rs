@@ -13,6 +13,11 @@
 //! Fault injection ([`FaultPlan`]) models the dominant failure class in the
 //! paper's production dataset (database query errors, 63%).
 //!
+//! For availability and read scale beyond one process, the [`replica`]
+//! module ships the WAL to follower replicas with quorum
+//! acknowledgement, scoped-read routing, and deterministic leader
+//! failover (DESIGN.md §14).
+//!
 //! # Examples
 //!
 //! ```
@@ -29,10 +34,13 @@
 //! assert_eq!(names, vec!["dc01.pod03.sw00"]);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod db;
 pub mod error;
 pub mod fault;
 pub mod persist;
+pub mod replica;
 pub mod shard;
 pub mod value;
 pub mod wal;
@@ -43,6 +51,10 @@ pub use db::{
 pub use error::{DbError, DbResult};
 pub use fault::{FaultInjector, FaultPlan, FaultPlanBuilder};
 pub use persist::{decode as decode_wal, encode as encode_wal, WalDecodeError};
+pub use replica::router::ReadSource;
+pub use replica::{
+    check_identical, Follower, Leader, Promotion, ReadRouter, ReplicaConfig, ReplicaSet, Shipment,
+};
 pub use shard::{shard_of, ShardRoute, StoreSnapshot, NUM_SHARDS};
 pub use value::{attrs, AttrValue};
 pub use wal::{Wal, WalRecord};

@@ -1,0 +1,140 @@
+//! The leader's acknowledgement surface: which commits are durable on a
+//! quorum of followers.
+
+use super::ReplObs;
+use crate::db::Database;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The leader handle: the leader database plus the per-follower
+/// acknowledgement table that defines which commits are *acknowledged*
+/// (confirmed by at least `quorum` followers, hence guaranteed to survive
+/// a [`super::ReplicaSet::failover`]).
+#[derive(Debug)]
+pub struct Leader {
+    db: Arc<Database>,
+    quorum: usize,
+    /// follower id → highest commit count that follower has confirmed.
+    acks: Mutex<BTreeMap<u32, u64>>,
+    acked_cv: Condvar,
+    obs: ReplObs,
+}
+
+impl Leader {
+    /// Wraps a database as the replication leader. Crate-internal:
+    /// leaders are built by [`super::ReplicaSet`].
+    pub(crate) fn new(db: Arc<Database>, quorum: usize, obs: ReplObs) -> Leader {
+        Leader {
+            db,
+            quorum,
+            acks: Mutex::new(BTreeMap::new()),
+            acked_cv: Condvar::new(),
+            obs,
+        }
+    }
+
+    /// The leader database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The configured durability quorum.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Records that `follower` has confirmed its first `commits` commits.
+    /// Monotonic per follower; wakes any [`Leader::wait_acked`] callers.
+    pub fn record_ack(&self, follower: u32, commits: u64) {
+        let mut acks = self.acks.lock();
+        let slot = acks.entry(follower).or_insert(0);
+        if commits > *slot {
+            *slot = commits;
+            drop(acks);
+            self.acked_cv.notify_all();
+        }
+    }
+
+    /// The acknowledged commit count: the largest `n` such that at least
+    /// `quorum` followers have confirmed their first `n` commits. `0`
+    /// until a quorum of followers has reported.
+    pub fn acked(&self) -> u64 {
+        Self::acked_of(&self.acks.lock(), self.quorum)
+    }
+
+    fn acked_of(acks: &BTreeMap<u32, u64>, quorum: usize) -> u64 {
+        if acks.len() < quorum {
+            return 0;
+        }
+        let mut confirmed: Vec<u64> = acks.values().copied().collect();
+        confirmed.sort_unstable_by(|a, b| b.cmp(a));
+        confirmed[quorum - 1]
+    }
+
+    /// Blocks until at least `commits` commits are acknowledged or
+    /// `timeout` elapses; returns the acknowledged count observed on
+    /// wake-up. The `netdb.repl.acks` counter ticks on the shipping path,
+    /// not here — waiting is free.
+    pub fn wait_acked(&self, commits: u64, timeout: Duration) -> u64 {
+        let _ = &self.obs; // obs is carried for future per-wait metrics
+        let deadline = Instant::now() + timeout;
+        let mut acks = self.acks.lock();
+        loop {
+            let now = Self::acked_of(&acks, self.quorum);
+            if now >= commits {
+                return now;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return now;
+            };
+            if left.is_zero() || self.acked_cv.wait_for(&mut acks, left).timed_out() {
+                return Self::acked_of(&acks, self.quorum);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_obs::Registry;
+
+    fn leader(quorum: usize) -> Leader {
+        let reg = Registry::new();
+        Leader::new(
+            Arc::new(Database::with_obs(&reg)),
+            quorum,
+            ReplObs::bound(&reg),
+        )
+    }
+
+    #[test]
+    fn acked_is_quorum_th_largest() {
+        let l = leader(2);
+        assert_eq!(l.acked(), 0);
+        l.record_ack(0, 10);
+        assert_eq!(l.acked(), 0, "one follower is below quorum 2");
+        l.record_ack(1, 7);
+        assert_eq!(l.acked(), 7);
+        l.record_ack(2, 9);
+        assert_eq!(l.acked(), 9);
+    }
+
+    #[test]
+    fn acks_are_monotonic() {
+        let l = leader(1);
+        l.record_ack(0, 5);
+        l.record_ack(0, 3); // stale report ignored
+        assert_eq!(l.acked(), 5);
+    }
+
+    #[test]
+    fn wait_acked_times_out() {
+        let l = leader(1);
+        l.record_ack(0, 2);
+        assert_eq!(l.wait_acked(5, Duration::from_millis(10)), 2);
+        assert_eq!(l.wait_acked(2, Duration::from_millis(10)), 2);
+    }
+}

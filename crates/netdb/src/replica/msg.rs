@@ -1,0 +1,326 @@
+//! Wire format for replication traffic, for followers living in other
+//! processes: the same length-prefixed framing convention as the gateway
+//! protocol (`u32` big-endian length, then a tag byte, then the payload),
+//! with WAL records carried in the stable [`crate::persist`] text format.
+//!
+//! Decoding is total: any frame either parses to a [`ReplMsg`] or to a
+//! typed [`ReplCodecError`] — no panics on hostile bytes, which the
+//! property tests check by truncating and corrupting valid frames.
+
+use crate::persist;
+use crate::wal::WalRecord;
+use std::io::{Read, Write};
+
+/// Maximum frame size (snapshot transfers ship whole stores, so this is
+/// larger than the gateway's per-request bound).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_SNAPSHOT: u8 = 0x02;
+const TAG_ENTRIES: u8 = 0x03;
+const TAG_ACK: u8 = 0x04;
+const TAG_HEARTBEAT: u8 = 0x05;
+
+/// One replication protocol message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ReplMsg {
+    /// Follower → leader greeting: who is connecting and how many commits
+    /// it already holds, so the leader ships only the missing suffix.
+    Hello {
+        /// The follower's id.
+        follower: u32,
+        /// Commits the follower already holds durably.
+        have_commits: u64,
+    },
+    /// Leader → follower bootstrap: records that, replayed from empty,
+    /// rebuild the leader state as of `base_commits` commits (synthesized
+    /// inserts — the TCP form of an O(shards) snapshot transfer).
+    Snapshot {
+        /// Commits the snapshot state contains.
+        base_commits: u64,
+        /// Synthesized records rebuilding that state from empty.
+        records: Vec<WalRecord>,
+    },
+    /// Leader → follower WAL suffix starting at commit `first_seq`,
+    /// commit markers included.
+    Entries {
+        /// Sequence of the first batch in `records`.
+        first_seq: u64,
+        /// Raw WAL records, commit markers included.
+        records: Vec<WalRecord>,
+    },
+    /// Follower → leader confirmation of its durable prefix.
+    Ack {
+        /// The follower's id.
+        follower: u32,
+        /// Commits the follower now holds durably.
+        commits: u64,
+    },
+    /// Leader → follower liveness + staleness beacon.
+    Heartbeat {
+        /// The leader's current commit count.
+        commits: u64,
+    },
+}
+
+/// A typed decode failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplCodecError {
+    /// Frame length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// Frame body shorter than its fixed fields require.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// Payload failed to parse (bad WAL text, bad UTF-8).
+    BadPayload(String),
+}
+
+impl std::fmt::Display for ReplCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplCodecError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            ReplCodecError::Truncated => write!(f, "frame truncated"),
+            ReplCodecError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            ReplCodecError::BadPayload(m) => write!(f, "bad frame payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplCodecError {}
+
+fn take_u32(body: &[u8], at: usize) -> Result<u32, ReplCodecError> {
+    let bytes: [u8; 4] = body
+        .get(at..at + 4)
+        .ok_or(ReplCodecError::Truncated)?
+        .try_into()
+        .expect("slice length checked");
+    Ok(u32::from_be_bytes(bytes))
+}
+
+fn take_u64(body: &[u8], at: usize) -> Result<u64, ReplCodecError> {
+    let bytes: [u8; 8] = body
+        .get(at..at + 8)
+        .ok_or(ReplCodecError::Truncated)?
+        .try_into()
+        .expect("slice length checked");
+    Ok(u64::from_be_bytes(bytes))
+}
+
+fn records_from(body: &[u8], at: usize) -> Result<Vec<WalRecord>, ReplCodecError> {
+    let text = std::str::from_utf8(body.get(at..).ok_or(ReplCodecError::Truncated)?)
+        .map_err(|e| ReplCodecError::BadPayload(e.to_string()))?;
+    persist::decode(text).map_err(|e| ReplCodecError::BadPayload(e.to_string()))
+}
+
+impl ReplMsg {
+    /// Encodes the message as one frame body (tag byte plus payload; no
+    /// length prefix — [`write_msg`] adds it).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            ReplMsg::Hello {
+                follower,
+                have_commits,
+            } => {
+                body.push(TAG_HELLO);
+                body.extend_from_slice(&follower.to_be_bytes());
+                body.extend_from_slice(&have_commits.to_be_bytes());
+            }
+            ReplMsg::Snapshot {
+                base_commits,
+                records,
+            } => {
+                body.push(TAG_SNAPSHOT);
+                body.extend_from_slice(&base_commits.to_be_bytes());
+                body.extend_from_slice(persist::encode(records).as_bytes());
+            }
+            ReplMsg::Entries { first_seq, records } => {
+                body.push(TAG_ENTRIES);
+                body.extend_from_slice(&first_seq.to_be_bytes());
+                body.extend_from_slice(persist::encode(records).as_bytes());
+            }
+            ReplMsg::Ack { follower, commits } => {
+                body.push(TAG_ACK);
+                body.extend_from_slice(&follower.to_be_bytes());
+                body.extend_from_slice(&commits.to_be_bytes());
+            }
+            ReplMsg::Heartbeat { commits } => {
+                body.push(TAG_HEARTBEAT);
+                body.extend_from_slice(&commits.to_be_bytes());
+            }
+        }
+        body
+    }
+
+    /// Decodes one frame body (tag byte plus payload, no length prefix).
+    pub fn decode_body(body: &[u8]) -> Result<ReplMsg, ReplCodecError> {
+        if body.len() > MAX_FRAME {
+            return Err(ReplCodecError::Oversized(body.len()));
+        }
+        let tag = *body.first().ok_or(ReplCodecError::Truncated)?;
+        match tag {
+            TAG_HELLO => Ok(ReplMsg::Hello {
+                follower: take_u32(body, 1)?,
+                have_commits: take_u64(body, 5)?,
+            }),
+            TAG_SNAPSHOT => Ok(ReplMsg::Snapshot {
+                base_commits: take_u64(body, 1)?,
+                records: records_from(body, 9)?,
+            }),
+            TAG_ENTRIES => Ok(ReplMsg::Entries {
+                first_seq: take_u64(body, 1)?,
+                records: records_from(body, 9)?,
+            }),
+            TAG_ACK => Ok(ReplMsg::Ack {
+                follower: take_u32(body, 1)?,
+                commits: take_u64(body, 5)?,
+            }),
+            TAG_HEARTBEAT => Ok(ReplMsg::Heartbeat {
+                commits: take_u64(body, 1)?,
+            }),
+            other => Err(ReplCodecError::BadTag(other)),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_msg<W: Write>(w: &mut W, msg: &ReplMsg) -> std::io::Result<()> {
+    let body = msg.encode_body();
+    if body.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            ReplCodecError::Oversized(body.len()).to_string(),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary; decode failures surface as `InvalidData` I/O errors.
+pub fn read_msg<R: Read>(r: &mut R) -> std::io::Result<Option<ReplMsg>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ReplCodecError::Oversized(len).to_string(),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    ReplMsg::decode_body(&body)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrValue;
+
+    fn sample_msgs() -> Vec<ReplMsg> {
+        vec![
+            ReplMsg::Hello {
+                follower: 3,
+                have_commits: 17,
+            },
+            ReplMsg::Snapshot {
+                base_commits: 9,
+                records: vec![WalRecord::InsertDevice {
+                    name: "dc01.pod00.sw00".into(),
+                    attrs: vec![("STATUS".into(), AttrValue::str("ACTIVE"))],
+                }],
+            },
+            ReplMsg::Entries {
+                first_seq: 42,
+                records: vec![
+                    WalRecord::SetDeviceAttr {
+                        name: "weird\tname\\here".into(),
+                        attr: "A".into(),
+                        value: AttrValue::Int(-7),
+                    },
+                    WalRecord::Commit { seq: 42 },
+                ],
+            },
+            ReplMsg::Ack {
+                follower: 3,
+                commits: 43,
+            },
+            ReplMsg::Heartbeat { commits: 43 },
+        ]
+    }
+
+    #[test]
+    fn body_roundtrip() {
+        for msg in sample_msgs() {
+            let body = msg.encode_body();
+            assert_eq!(ReplMsg::decode_body(&body).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let msgs = sample_msgs();
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_msg(&mut buf, m).unwrap();
+        }
+        let mut r = &buf[..];
+        for m in &msgs {
+            assert_eq!(read_msg(&mut r).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_msg(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncation_is_total() {
+        for msg in sample_msgs() {
+            let body = msg.encode_body();
+            for cut in 0..body.len() {
+                // Either decodes (a shorter valid frame) or errors; must
+                // never panic.
+                let _ = ReplMsg::decode_body(&body[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_payload_rejected() {
+        assert_eq!(
+            ReplMsg::decode_body(&[0xEE, 0, 0]),
+            Err(ReplCodecError::BadTag(0xEE))
+        );
+        assert_eq!(ReplMsg::decode_body(&[]), Err(ReplCodecError::Truncated));
+        let mut body = vec![0x03];
+        body.extend_from_slice(&7u64.to_be_bytes());
+        body.extend_from_slice(b"BOGUS\trecord\n");
+        assert!(matches!(
+            ReplMsg::decode_body(&body),
+            Err(ReplCodecError::BadPayload(_))
+        ));
+        let mut bad_utf8 = vec![0x03];
+        bad_utf8.extend_from_slice(&7u64.to_be_bytes());
+        bad_utf8.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            ReplMsg::decode_body(&bad_utf8),
+            Err(ReplCodecError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.push(0x01);
+        let err = read_msg(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

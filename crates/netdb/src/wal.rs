@@ -83,10 +83,22 @@ pub enum WalRecord {
 }
 
 /// An in-memory write-ahead log.
+///
+/// Commit sequence numbers are *global*: a log re-based by a snapshot
+/// bootstrap (the crate-private `rebase`) holds only the records committed since
+/// its base, but keeps numbering where the leader left off, so a
+/// replica's "durable WAL prefix" is always comparable across the
+/// replica set by [`Wal::num_commits`] alone.
 #[derive(Clone, Default, Debug)]
 pub struct Wal {
     records: Vec<WalRecord>,
     next_seq: u64,
+    /// First commit sequence this log physically holds records for.
+    /// `0` for a full-history log; the snapshot base for a re-based one.
+    base_seq: u64,
+    /// Record index one past each local `Commit` marker, so shipping a
+    /// suffix after N commits is an O(suffix) slice, not an O(log) scan.
+    commit_index: Vec<usize>,
 }
 
 impl Wal {
@@ -102,7 +114,67 @@ impl Wal {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.records.push(WalRecord::Commit { seq });
+        self.commit_index.push(self.records.len());
         seq
+    }
+
+    /// Appends one replicated batch at a *forced* commit sequence — the
+    /// follower-side half of WAL shipping. Fails (without mutating the
+    /// log) unless `seq` is exactly the next expected sequence, so a
+    /// shipped stream can neither skip nor double-apply a commit.
+    pub(crate) fn append_batch_at(
+        &mut self,
+        records: impl IntoIterator<Item = WalRecord>,
+        seq: u64,
+    ) -> Result<(), String> {
+        if seq != self.next_seq {
+            return Err(format!(
+                "replicated commit {seq} out of order: expected {}",
+                self.next_seq
+            ));
+        }
+        self.records.extend(records);
+        self.next_seq = seq + 1;
+        self.records.push(WalRecord::Commit { seq });
+        self.commit_index.push(self.records.len());
+        Ok(())
+    }
+
+    /// Re-bases an empty log so numbering continues from `base` — used
+    /// when a replica bootstraps from a state snapshot rather than the
+    /// full history. The log then physically holds only commits
+    /// `base..`, while [`Wal::num_commits`] stays globally comparable.
+    pub(crate) fn rebase(&mut self, base: u64) {
+        debug_assert!(self.records.is_empty(), "rebase is for fresh logs");
+        self.records.clear();
+        self.commit_index.clear();
+        self.base_seq = base;
+        self.next_seq = base;
+    }
+
+    /// First commit sequence this log physically holds records for.
+    pub fn base_commits(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The records committed *after* the first `commits` commits, along
+    /// with the sequence the suffix starts at. Returns `None` when the
+    /// log has been re-based past `commits` — the history is simply not
+    /// here and the caller must fall back to a snapshot transfer.
+    pub(crate) fn suffix_after_commits(&self, commits: u64) -> Option<(u64, Vec<WalRecord>)> {
+        if commits < self.base_seq {
+            return None;
+        }
+        if commits >= self.next_seq {
+            return Some((self.next_seq, Vec::new()));
+        }
+        let skip = (commits - self.base_seq) as usize;
+        let start = if skip == 0 {
+            0
+        } else {
+            self.commit_index[skip - 1]
+        };
+        Some((commits, self.records[start..].to_vec()))
     }
 
     /// All records appended so far.
@@ -110,7 +182,8 @@ impl Wal {
         &self.records
     }
 
-    /// Number of committed batches.
+    /// Number of committed batches (globally numbered: a re-based log
+    /// counts the commits captured by its bootstrap snapshot too).
     pub fn num_commits(&self) -> u64 {
         self.next_seq
     }

@@ -17,10 +17,13 @@
 //!
 //! cargo run --release -p occam-bench --bin chaos_campaign --smoke
 //! # CI smoke: one campaign, seed 42, fault rate 10%, 100 tasks,
-//! # gateway and replication phases included
+//! # gateway, replication, and consistent-update phases included
 //! ```
 
-use occam_chaos::{Campaign, CampaignConfig, CampaignReport, GatewayChaosConfig, ReplChaosConfig};
+use occam_chaos::{
+    Campaign, CampaignConfig, CampaignReport, GatewayChaosConfig, ReplChaosConfig,
+    UpdateChaosConfig,
+};
 use std::fmt::Write as _;
 
 const SWEEP_SEEDS: [u64; 3] = [11, 42, 1234];
@@ -31,9 +34,11 @@ fn run_campaign(seed: u64, rate: f64, tasks: u32, gateway: bool) -> CampaignRepo
     cfg.tasks = tasks;
     if gateway {
         cfg.gateway = Some(GatewayChaosConfig::default());
-        // The replication phase rides along with the gateway phase: both
-        // are fault-rate independent, so once per seed is representative.
+        // The replication and update phases ride along with the gateway
+        // phase: all are fault-rate independent (the update phase injects
+        // its own device faults), so once per seed is representative.
         cfg.repl = Some(ReplChaosConfig::default());
+        cfg.update = Some(UpdateChaosConfig::default());
     }
     let report = Campaign::new(cfg).run();
     eprintln!(

@@ -9,13 +9,15 @@
 //! follower replicas (DESIGN.md §14) and scoped reads — `status_audit`
 //! views, `Network::view()` — are routed to caught-up followers, with
 //! the observed staleness recorded under `netdb.repl.read_lag_commits`.
+//! `--max-lag N` sets the routed-read staleness bound: a follower more
+//! than `N` commits behind the leader is skipped (leader fallback).
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p occam-bench --bin gateway_serve \
-//!     [addr] [pool_size] [queue_cap] [k] [--followers N]
-//! # defaults: 127.0.0.1:7421  8  64  6  --followers 0
+//!     [addr] [pool_size] [queue_cap] [k] [--followers N] [--max-lag N]
+//! # defaults: 127.0.0.1:7421  8  64  6  --followers 0  --max-lag 4
 //! ```
 
 use occam::netdb::{ReplicaConfig, ReplicaSet};
@@ -25,6 +27,7 @@ use std::time::Duration;
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut followers: usize = 0;
+    let mut max_lag: u64 = ReplicaConfig::default().max_lag;
     let mut positional: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -35,6 +38,13 @@ fn main() {
                 .expect("--followers takes a count");
         } else if let Some(v) = a.strip_prefix("--followers=") {
             followers = v.parse().expect("--followers takes a count");
+        } else if a == "--max-lag" {
+            max_lag = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--max-lag takes a commit count");
+        } else if let Some(v) = a.strip_prefix("--max-lag=") {
+            max_lag = v.parse().expect("--max-lag takes a commit count");
         } else {
             positional.push(a);
         }
@@ -51,6 +61,7 @@ fn main() {
             runtime.db().clone(),
             ReplicaConfig {
                 followers,
+                max_lag,
                 ..ReplicaConfig::default()
             },
         );
@@ -59,7 +70,10 @@ fn main() {
             "followers failed to bootstrap"
         );
         runtime.attach_read_router(set.router());
-        println!("replicating to {followers} follower(s); scoped reads routed to replicas");
+        println!(
+            "replicating to {followers} follower(s); scoped reads routed to replicas \
+             (staleness bound {max_lag} commits)"
+        );
         Some(set)
     } else {
         None

@@ -11,7 +11,9 @@
 //! - `gateway`: an in-process gateway server driven over real TCP —
 //!   covering the `gateway.*` family (submissions, admission, frames,
 //!   connections, latency histograms) plus the runtime's cancellation
-//!   and panic-containment counters.
+//!   and panic-containment counters;
+//! - `update`: a planned configuration update driven diff → synthesis →
+//!   verification → wave execution — covering the `update.*` family.
 //!
 //! The binary fails loudly if any contract name is missing from the dump,
 //! so drift between DESIGN.md §9 and the code is caught by running it.
@@ -118,6 +120,28 @@ const REPL_NAMES: &[&str] = &[
     "netdb.repl.lag_ns",
     "netdb.repl.read_lag_commits",
     "netdb.repl.failover_ns",
+];
+
+/// The §9 / §15 families an update-planner registry must carry (on top
+/// of the runtime families, which share the same registry). All are
+/// bound eagerly by [`occam::update::UpdateObs::bind`], so the contract
+/// holds before any plan is synthesized.
+const UPDATE_NAMES: &[&str] = &[
+    "update.diff.ops",
+    "update.synth.plans",
+    "update.synth.waves",
+    "update.synth.checks",
+    "update.synth.splits",
+    "update.synth.barriers",
+    "update.synth.counterexamples",
+    "update.synth_ns",
+    "update.verify_ns",
+    "update.verify.violations",
+    "update.exec.waves",
+    "update.exec.failures",
+    "update.exec.rollbacks",
+    "update.exec.publications",
+    "update.exec.wave_ns",
 ];
 
 /// The §9 families the simulation registry must carry.
@@ -269,6 +293,68 @@ fn exercise_gateway() -> occam::obs::Registry {
     reg
 }
 
+/// Drives the consistent-update planner end-to-end: config diff, wave
+/// synthesis, independent verification, and plan execution through the
+/// transactional runtime.
+fn exercise_update() -> occam::Runtime {
+    use occam::netdb::{StoreSnapshot, WalRecord};
+    use occam::regex::Pattern;
+    use occam::update::{diff, execute_plan, ExecOptions, Synthesizer, TrafficClass, UpdateObs};
+
+    let (runtime, ft) = occam::emulated_deployment(1, 4);
+    let obs = UpdateObs::bind(runtime.obs());
+
+    // Target config: new firmware on every pod-0/1 aggregation switch.
+    let old = runtime.db().snapshot();
+    let scope = Pattern::from_glob("dc01.pod0[01].agg*").expect("glob");
+    let mut records: Vec<WalRecord> = old
+        .select_devices(&Pattern::universe())
+        .into_iter()
+        .map(|name| {
+            let device_attrs = old.device_attrs(&name).unwrap_or_default();
+            WalRecord::InsertDevice {
+                name,
+                attrs: device_attrs.into_iter().collect(),
+            }
+        })
+        .collect();
+    for name in old.select_devices(&scope) {
+        records.push(WalRecord::SetDeviceAttr {
+            name: name.clone(),
+            attr: attrs::FIRMWARE_VERSION.into(),
+            value: "fw-9.0.0".into(),
+        });
+        records.push(WalRecord::SetDeviceAttr {
+            name,
+            attr: "CONFIG_VERSION".into(),
+            value: "obs-demo".into(),
+        });
+    }
+    let target = StoreSnapshot::replay(&records);
+    let ops = diff(&old, &target);
+    obs.diff_ops.add(ops.len() as u64);
+
+    // Cross-pod flows pin ECMP paths through the upgraded aggs, so the
+    // synthesizer must stagger the drains into multiple waves.
+    let classes = vec![
+        TrafficClass::pair("p0-p1", ft.hosts[0][0][0], ft.hosts[1][1][0], 0),
+        TrafficClass::pair("p1-p0", ft.hosts[1][0][0], ft.hosts[0][1][0], 1),
+    ];
+    let synth = Synthesizer::new(&ft.topo, &classes).with_obs(&obs);
+    let plan = synth.synthesize(&ops).expect("feasible update plan");
+    assert!(
+        synth.verify(&plan).is_empty(),
+        "synthesized plan must verify clean"
+    );
+    let opts = ExecOptions {
+        obs: Some(obs),
+        ..ExecOptions::default()
+    };
+    let report = execute_plan(&runtime, &plan, &opts, None);
+    assert!(report.ok(), "plan execution failed: {:?}", report.error);
+    runtime
+}
+
 /// Drives a replica set through shipping, routed reads, a stale
 /// fallback, and a failover, then returns its registry.
 fn exercise_repl() -> occam::obs::Registry {
@@ -332,6 +418,12 @@ fn main() {
     let gateway_reg = exercise_gateway();
     check_contract("gateway", &gateway_reg, GATEWAY_NAMES);
 
+    let update_rt = exercise_update();
+    check_contract("update", update_rt.obs(), UPDATE_NAMES);
+    assert!(update_rt.obs().counter_value("update.exec.waves") >= 2);
+    assert_eq!(update_rt.obs().counter_value("update.verify.violations"), 0);
+    assert_eq!(update_rt.obs().counter_value("update.exec.failures"), 0);
+
     let trace = synthesize(&TraceConfig {
         num_tasks: 300,
         ..TraceConfig::default()
@@ -374,6 +466,8 @@ fn main() {
     out.push_str(&chaos_reg.to_json());
     out.push_str(",\n  \"repl\": ");
     out.push_str(&repl_reg.to_json());
+    out.push_str(",\n  \"update\": ");
+    out.push_str(&update_rt.obs().to_json());
     out.push_str("\n}\n");
     std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");

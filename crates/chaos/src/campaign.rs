@@ -68,6 +68,9 @@ pub struct CampaignConfig {
     /// Replication chaos phase (leader kill, partitions, rejoin), when
     /// configured.
     pub repl: Option<crate::repl::ReplChaosConfig>,
+    /// Consistent-update chaos phase (mid-wave kill, faults during
+    /// waves, concurrent conflicting plans), when configured.
+    pub update: Option<crate::update::UpdateChaosConfig>,
 }
 
 impl CampaignConfig {
@@ -88,6 +91,7 @@ impl CampaignConfig {
             latency: Duration::from_micros(200),
             gateway: None,
             repl: None,
+            update: None,
         }
     }
 }
@@ -389,6 +393,14 @@ impl Campaign {
                 report.first_violation = repl.first_violation.clone();
             }
             report.repl = Some(repl);
+        }
+        if let Some(update_cfg) = &self.cfg.update {
+            let update = crate::update::run_update_phase(update_cfg);
+            report.invariant_violations += update.violations;
+            if update.violations > 0 && report.first_violation.is_none() {
+                report.first_violation = update.first_violation.clone();
+            }
+            report.update = Some(update);
         }
         report
     }

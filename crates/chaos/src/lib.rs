@@ -46,10 +46,12 @@ pub mod repl;
 pub mod report;
 pub mod scenario;
 pub mod snapshot;
+pub mod update;
 
 pub use campaign::{Campaign, CampaignConfig};
 pub use gateway::{run_gateway_phase, GatewayChaosConfig};
 pub use repl::{run_repl_phase, ReplChaosConfig};
-pub use report::{CampaignReport, GatewayChaosReport, ReplChaosReport};
+pub use report::{CampaignReport, GatewayChaosReport, ReplChaosReport, UpdateChaosReport};
 pub use scenario::{Scenario, ScenarioKind};
 pub use snapshot::{DeviceFingerprint, StateSnapshot};
+pub use update::{run_update_phase, UpdateChaosConfig};

@@ -87,6 +87,59 @@ impl ReplChaosReport {
     }
 }
 
+/// Outcome of the consistent-update chaos phase (DESIGN.md §15):
+/// mid-wave kill, device faults during waves, and concurrent conflicting
+/// planned updates, with the invariant checker run at every intermediate
+/// publication.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct UpdateChaosReport {
+    /// Plans synthesized across the campaigns.
+    pub plans: u64,
+    /// Waves across all synthesized plans.
+    pub waves_planned: u64,
+    /// Intermediate publications the invariant checker audited.
+    pub publications_checked: u64,
+    /// Plan executions killed mid-wave by cancellation.
+    pub cancelled_runs: u64,
+    /// Waves committed by the re-planned (resumed) execution.
+    pub resumed_waves: u64,
+    /// Transient device faults injected while waves executed.
+    pub device_faults: u64,
+    /// Wave-task retry attempts the runtime made under faults.
+    pub retries: u64,
+    /// Concurrent conflicting plan executions driven to completion.
+    pub concurrent_runs: u64,
+    /// Devices left with attributes from two different plans — must be 0.
+    pub torn_configs: u64,
+    /// Invariant violations detected in the phase — must be 0.
+    pub violations: u64,
+    /// First violation description, when any occurred.
+    pub first_violation: Option<String>,
+}
+
+impl UpdateChaosReport {
+    fn to_json(&self) -> String {
+        let first_violation = match &self.first_violation {
+            Some(v) => format!("\"{}\"", json_escape(v)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"plans\":{},\"waves_planned\":{},\"publications_checked\":{},\"cancelled_runs\":{},\"resumed_waves\":{},\"device_faults\":{},\"retries\":{},\"concurrent_runs\":{},\"torn_configs\":{},\"violations\":{},\"first_violation\":{}}}",
+            self.plans,
+            self.waves_planned,
+            self.publications_checked,
+            self.cancelled_runs,
+            self.resumed_waves,
+            self.device_faults,
+            self.retries,
+            self.concurrent_runs,
+            self.torn_configs,
+            self.violations,
+            first_violation
+        )
+    }
+}
+
 /// Outcome of one seeded campaign. All fields are counters; see the
 /// module docs for the determinism contract.
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -123,6 +176,8 @@ pub struct CampaignReport {
     pub gateway: Option<GatewayChaosReport>,
     /// Replication phase outcome, when the phase ran.
     pub repl: Option<ReplChaosReport>,
+    /// Consistent-update phase outcome, when the phase ran.
+    pub update: Option<UpdateChaosReport>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -149,12 +204,16 @@ impl CampaignReport {
             Some(r) => r.to_json(),
             None => "null".to_string(),
         };
+        let update = match &self.update {
+            Some(u) => u.to_json(),
+            None => "null".to_string(),
+        };
         let first_violation = match &self.first_violation {
             Some(v) => format!("\"{}\"", json_escape(v)),
             None => "null".to_string(),
         };
         format!(
-            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{},\"repl\":{}}}",
+            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{},\"repl\":{},\"update\":{}}}",
             self.seed,
             self.fault_rate,
             self.tasks,
@@ -170,7 +229,8 @@ impl CampaignReport {
             self.invariant_violations,
             first_violation,
             gateway,
-            repl
+            repl,
+            update
         )
     }
 }
@@ -191,7 +251,9 @@ mod tests {
         };
         assert_eq!(r.to_json(), r.clone().to_json());
         assert!(r.to_json().contains("\"fault_rate\":0.05"));
-        assert!(r.to_json().ends_with("\"gateway\":null,\"repl\":null}"));
+        assert!(r
+            .to_json()
+            .ends_with("\"gateway\":null,\"repl\":null,\"update\":null}"));
         r.repl = Some(ReplChaosReport {
             writes: 3,
             ..ReplChaosReport::default()

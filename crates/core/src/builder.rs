@@ -1,11 +1,8 @@
 //! The unified task-submission API.
 //!
-//! Historically the runtime grew six overlapping entry points
-//! (`run_task`, `run_task_opts`, `run_task_cancellable`, `submit`,
-//! `submit_urgent`, `submit_pooled`/`submit_pooled_opts`) — one per
-//! combination of urgency, cancellation, and execution vehicle. They
-//! survive as `#[deprecated]` shims; all submission now goes through one
-//! fluent builder:
+//! Historically the runtime grew six overlapping entry points — one per
+//! combination of urgency, cancellation, and execution vehicle. Those
+//! shims are gone; all submission goes through one fluent builder:
 //!
 //! ```
 //! use occam_core::{RetryPolicy, CancelToken, TaskState};

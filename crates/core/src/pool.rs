@@ -1,9 +1,10 @@
 //! The runtime's bounded worker pool: the service-grade replacement for
 //! spawn-per-task submission.
 //!
-//! [`Runtime::submit`] spawns one unbounded OS thread per task, which is
-//! fine for tests but not for a shared management-plane service where many
-//! operators submit long-running workflows concurrently. The pool runs
+//! [`TaskBuilder::spawn`](crate::TaskBuilder::spawn) takes one unbounded
+//! OS thread per task, which is fine for tests but not for a shared
+//! management-plane service where many operators submit long-running
+//! workflows concurrently. The pool runs
 //! tasks on at most `pool_size` lazily-spawned worker threads; excess
 //! submissions wait in a FIFO queue (urgent submissions in a fast lane
 //! polled first, matching the scheduler's urgent lock priority).
@@ -17,9 +18,8 @@
 //! (each job closure captures its own `Runtime` clone), so dropping the
 //! last external `Runtime` handle shuts the workers down.
 
-use crate::error::TaskResult;
 use crate::runtime::Runtime;
-use crate::task::{CancelToken, TaskCtx, TaskReport};
+use crate::task::TaskReport;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -200,8 +200,8 @@ fn worker_loop(shared: Arc<PoolShared>) {
             }
         };
         // Panics inside the job would silently kill this worker and wedge
-        // `drain`; run_task already contains program panics, so this only
-        // guards bookkeeping bugs in submit wrappers.
+        // `drain`; `execute_attempt` already contains program panics, so
+        // this only guards bookkeeping bugs in submission wrappers.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
         {
             let mut st = shared.state.lock();
@@ -236,7 +236,8 @@ struct HandleShared {
     cv: Condvar,
 }
 
-/// A handle to a task submitted through [`Runtime::submit_pooled`].
+/// A handle to a task submitted through
+/// [`TaskBuilder::spawn_pooled`](crate::TaskBuilder::spawn_pooled).
 ///
 /// Unlike a `JoinHandle`, waiting never propagates panics — the runtime
 /// converts program panics into failed reports.
@@ -307,7 +308,8 @@ impl Runtime {
     /// Runs `job` on the worker pool. `urgent` jobs take the fast lane
     /// (dequeued before ordinary ones). The job receives the runtime and
     /// is expected to run exactly one task; this is the primitive under
-    /// [`Runtime::submit_pooled`], exposed for frontends (the gateway)
+    /// [`TaskBuilder::spawn_pooled`](crate::TaskBuilder::spawn_pooled),
+    /// exposed for frontends (the gateway)
     /// that need their own bookkeeping around task execution.
     pub fn spawn_pooled<F>(&self, urgent: bool, job: F)
     where
@@ -336,58 +338,6 @@ impl Runtime {
         self.pool_shared().enqueue_batch(batch);
     }
 
-    /// Submits a management program to the bounded worker pool: at most
-    /// `pool_size` tasks run concurrently ([`Runtime::configure_pool`]);
-    /// the rest wait in FIFO order.
-    #[deprecated(note = "use `rt.task(name).spawn_pooled(program)` (TaskBuilder)")]
-    pub fn submit_pooled<F>(&self, name: &str, program: F) -> PooledHandle
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
-    {
-        self.pooled_once(name, false, CancelToken::new(), program)
-    }
-
-    /// Like `submit_pooled` with an urgent flag (pool fast lane plus
-    /// scheduler urgent priority) and a cancellation token observed at
-    /// task checkpoints.
-    #[deprecated(
-        note = "use `rt.task(name).urgency(urgent).cancel_token(cancel).spawn_pooled(program)` \
-                (TaskBuilder)"
-    )]
-    pub fn submit_pooled_opts<F>(
-        &self,
-        name: &str,
-        urgent: bool,
-        cancel: CancelToken,
-        program: F,
-    ) -> PooledHandle
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
-    {
-        self.pooled_once(name, urgent, cancel, program)
-    }
-
-    /// Shared body of the deprecated pooled shims: single attempt, no
-    /// retry (the `FnOnce` program cannot be re-executed).
-    fn pooled_once<F>(
-        &self,
-        name: &str,
-        urgent: bool,
-        cancel: CancelToken,
-        program: F,
-    ) -> PooledHandle
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
-    {
-        let handle = PooledHandle::new();
-        let filler = handle.clone();
-        let name = name.to_string();
-        self.spawn_pooled(urgent, move |rt| {
-            filler.fill(rt.execute_attempt(&name, urgent, cancel, program));
-        });
-        handle
-    }
-
     /// A snapshot of the worker pool (all zeros if it never started).
     pub fn pool_stats(&self) -> PoolStats {
         let slot = self.pool_slot().lock();
@@ -411,7 +361,7 @@ impl Runtime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::TaskState;
+    use crate::task::{CancelToken, TaskState};
     use crate::TaskError;
     use std::sync::atomic::{AtomicUsize, Ordering};
 

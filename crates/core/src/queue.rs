@@ -1,8 +1,8 @@
 //! A bounded task executor with the paper's §4.1 lifecycle:
 //! `Submitted → Active → Completed | Aborted`.
 //!
-//! [`Runtime::submit`] runs every program on its own thread immediately;
-//! production systems bound concurrency. The [`TaskQueue`] admits at most
+//! [`TaskBuilder::spawn`](crate::TaskBuilder::spawn) runs every program
+//! on its own thread immediately; production systems bound concurrency. The [`TaskQueue`] admits at most
 //! `workers` concurrently *active* tasks, holds the rest in `Submitted`
 //! state, and exposes live state observation — the piece of the paper's
 //! architecture ("Occam tasks" box of Figure 2) that sits in front of the

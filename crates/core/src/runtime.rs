@@ -3,7 +3,7 @@
 //!
 //! The runtime owns the source-of-truth database handle, the management
 //! plane service, and the object tree + scheduler behind one lock table.
-//! Tasks run as closures (threads for [`Runtime::submit`]); every stateful
+//! Tasks run as closures submitted via [`crate::TaskBuilder`]; every stateful
 //! operation flows through a [`crate::Network`] object, and the runtime
 //! enforces strict 2PL: locks accumulate during the task and release
 //! together at commit or abort.
@@ -92,7 +92,7 @@ pub(crate) struct Inner {
     next_task: AtomicU64,
     seq: AtomicU64,
     obs: CoreObs,
-    /// Lazily-started bounded worker pool ([`Runtime::submit_pooled`]).
+    /// Lazily-started bounded worker pool ([`TaskBuilder::spawn_pooled`](crate::TaskBuilder::spawn_pooled)).
     pub(crate) pool: Mutex<Option<Arc<PoolShared>>>,
     /// Optional replica read router: when attached, scoped snapshot reads
     /// ([`crate::Network::view`], gateway `status_audit`) are served from
@@ -238,7 +238,7 @@ impl Runtime {
     }
 
     /// Runs one execution attempt of a management program: the primitive
-    /// under every `TaskBuilder` terminal and the deprecated shims.
+    /// under every `TaskBuilder` terminal.
     ///
     /// The task commits (releasing all locks) when the program returns
     /// `Ok` and aborts with a suggested rollback plan when it returns
@@ -348,66 +348,6 @@ impl Runtime {
             }
             attempt += 1;
         }
-    }
-
-    /// Spawns a management program on its own thread; the handle yields the
-    /// report.
-    #[deprecated(note = "use `rt.task(name).spawn(program)` (TaskBuilder)")]
-    pub fn submit<F>(&self, name: &str, program: F) -> std::thread::JoinHandle<TaskReport>
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
-    {
-        let rt = self.clone();
-        let name = name.to_string();
-        std::thread::spawn(move || rt.execute_attempt(&name, false, CancelToken::new(), program))
-    }
-
-    /// Like [`Runtime::submit`] with the urgent flag.
-    #[deprecated(note = "use `rt.task(name).urgent().spawn(program)` (TaskBuilder)")]
-    pub fn submit_urgent<F>(&self, name: &str, program: F) -> std::thread::JoinHandle<TaskReport>
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()> + Send + 'static,
-    {
-        let rt = self.clone();
-        let name = name.to_string();
-        std::thread::spawn(move || rt.execute_attempt(&name, true, CancelToken::new(), program))
-    }
-
-    /// Runs a management program synchronously as one Occam task and
-    /// returns its report.
-    #[deprecated(note = "use `rt.task(name).run(program)` (TaskBuilder)")]
-    pub fn run_task<F>(&self, name: &str, program: F) -> TaskReport
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()>,
-    {
-        self.execute_attempt(name, false, CancelToken::new(), program)
-    }
-
-    /// Like `run_task`, optionally flagging the task urgent so its lock
-    /// requests pre-empt policy order (outage recovery, §5).
-    #[deprecated(note = "use `rt.task(name).urgency(urgent).run(program)` (TaskBuilder)")]
-    pub fn run_task_opts<F>(&self, name: &str, urgent: bool, program: F) -> TaskReport
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()>,
-    {
-        self.execute_attempt(name, urgent, CancelToken::new(), program)
-    }
-
-    /// Like `run_task_opts`, observing `cancel` at task checkpoints.
-    #[deprecated(
-        note = "use `rt.task(name).urgency(urgent).cancel_token(cancel).run(program)` (TaskBuilder)"
-    )]
-    pub fn run_task_cancellable<F>(
-        &self,
-        name: &str,
-        urgent: bool,
-        cancel: CancelToken,
-        program: F,
-    ) -> TaskReport
-    where
-        F: FnOnce(&TaskCtx) -> TaskResult<()>,
-    {
-        self.execute_attempt(name, urgent, cancel, program)
     }
 
     /// Wakes every task blocked in lock acquisition so it re-checks its

@@ -314,6 +314,12 @@ impl EmuNet {
     pub fn history(&self) -> &[TrafficSample] {
         &self.history
     }
+
+    /// The currently installed flows (update planners read these to
+    /// derive the traffic classes a change must preserve).
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,14 @@ impl Catalog {
                     build: build_config_push,
                 },
                 CatalogEntry {
+                    name: "planned_update",
+                    description: "Diff a target config, synthesize an invariant-preserving \
+                                  wave plan, and execute it wave-by-wave",
+                    params: &["generation", "firmware"],
+                    read_only: false,
+                    build: build_planned_update,
+                },
+                CatalogEntry {
                     name: "status_audit",
                     description: "Read-only audit of device status across a region",
                     params: &[],
@@ -213,6 +221,145 @@ fn build_config_push(spec: WorkflowSpec) -> Program {
     })
 }
 
+/// The consistent-update coordinator (`DESIGN.md` §15). Unlike every
+/// other catalog workflow it acquires **no region itself**: it snapshots
+/// the database, diffs it against the requested target (scoped
+/// `CONFIG_VERSION`, optionally firmware), synthesizes a wave plan that
+/// the model checker proves safe at every intermediate state, and then
+/// runs each wave as its own strict-2PL task through the plan executor.
+/// Lock-order safety with concurrent workflows follows from the wave
+/// tasks' single-acquisition discipline, not from the coordinator.
+fn build_planned_update(spec: WorkflowSpec) -> Program {
+    use occam_netdb::{StoreSnapshot, WalRecord};
+    use occam_regex::Pattern;
+    use occam_update::{
+        diff as config_diff, execute_plan, ExecOptions, ModelState, Synthesizer, TrafficClass,
+        UpdateObs,
+    };
+
+    Box::new(move |ctx| {
+        let generation = spec
+            .param("generation")
+            .map(str::to_string)
+            .ok_or_else(|| {
+                TaskError::Failed("planned_update requires param `generation`".into())
+            })?;
+        let firmware = spec.param("firmware").map(str::to_string);
+        let scope = Pattern::from_glob(&spec.scope)
+            .map_err(|e| TaskError::Failed(format!("bad scope glob `{}`: {e}", spec.scope)))?;
+        let rt = ctx.runtime();
+        let obs = UpdateObs::bind(rt.obs());
+
+        // Build the target snapshot: the current inventory replayed into
+        // a scratch store, with the requested deltas applied on top.
+        let old = rt.db().snapshot();
+        let mut records: Vec<WalRecord> = old
+            .select_devices(&Pattern::universe())
+            .into_iter()
+            .map(|name| {
+                let attrs = old.device_attrs(&name).unwrap_or_default();
+                WalRecord::InsertDevice {
+                    name,
+                    attrs: attrs.into_iter().collect(),
+                }
+            })
+            .collect();
+        for name in old.select_devices(&scope) {
+            records.push(WalRecord::SetDeviceAttr {
+                name: name.clone(),
+                attr: "CONFIG_VERSION".into(),
+                value: generation.as_str().into(),
+            });
+            if let Some(fw) = &firmware {
+                records.push(WalRecord::SetDeviceAttr {
+                    name: name.clone(),
+                    attr: attrs::FIRMWARE_VERSION.into(),
+                    value: fw.as_str().into(),
+                });
+                records.push(WalRecord::SetDeviceAttr {
+                    name,
+                    attr: attrs::FIRMWARE_BINARY.into(),
+                    value: format!("img-{fw}").as_str().into(),
+                });
+            }
+        }
+        let target = StoreSnapshot::replay(&records);
+        let ops = config_diff(&old, &target);
+        obs.diff_ops.add(ops.len() as u64);
+        if ops.is_empty() {
+            return Ok(());
+        }
+
+        // Invariants come from the emulated network when one is wired:
+        // its topology, its installed flows as traffic classes, and its
+        // inspected-traffic middlebox as a waypoint constraint. Other
+        // services get an unconstrained (empty-topology) plan.
+        let (topo, classes) = match rt
+            .service()
+            .as_any()
+            .downcast_ref::<occam_emunet::EmuService>()
+        {
+            Some(svc) => {
+                let net = svc.net();
+                let net = net.lock();
+                let waypoint = net
+                    .middlebox
+                    .and_then(|mb| Pattern::from_names(&[net.topo.device(mb).name.as_str()]).ok());
+                let classes: Vec<TrafficClass> = net
+                    .flows()
+                    .iter()
+                    .map(|f| {
+                        let mut class =
+                            TrafficClass::pair(format!("flow-{}", f.id), f.src, f.dst, f.id);
+                        if f.class == occam_emunet::FlowClass::Inspected {
+                            class.waypoint = waypoint.clone();
+                        }
+                        class
+                    })
+                    .collect();
+                (net.topo.clone(), classes)
+            }
+            None => (occam_topology::Topology::new(), Vec::new()),
+        };
+
+        // Devices already drained in the current config start drained in
+        // the model, so the planner never undrains something it did not
+        // drain itself.
+        let mut base = ModelState::default();
+        for (name, status) in old.get_attr(&Pattern::universe(), attrs::DEVICE_STATUS) {
+            let drained = status.as_str() == Some(attrs::STATUS_DRAINED)
+                || status.as_str() == Some(attrs::STATUS_UNDER_MAINTENANCE);
+            if drained {
+                if let Some(id) = topo.device_by_name(&name) {
+                    base.drained.insert(id);
+                }
+            }
+        }
+
+        let plan = Synthesizer::new(&topo, &classes)
+            .with_base(base)
+            .with_obs(&obs)
+            .synthesize(&ops)
+            .map_err(|e| TaskError::Failed(format!("update synthesis failed: {e}")))?;
+        ctx.check_cancelled()?;
+
+        let opts = ExecOptions {
+            obs: Some(obs),
+            ..ExecOptions::default()
+        };
+        let report = execute_plan(rt, &plan, &opts, None);
+        if !report.ok() {
+            return Err(TaskError::Failed(format!(
+                "planned update stopped at wave boundary {}/{}: {}",
+                report.waves_committed,
+                plan.waves.len(),
+                report.error.unwrap_or_else(|| "unknown".into())
+            )));
+        }
+        Ok(())
+    })
+}
+
 fn build_status_audit(spec: WorkflowSpec) -> Program {
     Box::new(move |ctx| {
         let region = ctx.network_read(&spec.scope)?;
@@ -240,8 +387,9 @@ mod tests {
     #[test]
     fn standard_catalog_lookup() {
         let cat = Catalog::standard();
-        assert_eq!(cat.entries().len(), 6);
+        assert_eq!(cat.entries().len(), 7);
         assert!(cat.get("firmware_upgrade").is_some());
+        assert!(cat.get("planned_update").is_some());
         assert!(cat.get("rm -rf").is_none());
         let audit = cat.get("status_audit").unwrap();
         assert!(audit.read_only);
@@ -254,5 +402,73 @@ mod tests {
         let spec = WorkflowSpec::new("dc01.*", &[]);
         // Building succeeds; the error surfaces as a normal task failure.
         assert!(cat.build("firmware_upgrade", spec).is_some());
+    }
+
+    #[test]
+    fn planned_update_executes_waves_and_lands_on_target_config() {
+        use occam_core::{Runtime, TaskState};
+        use occam_emunet::{EmuNet, EmuService, FlowClass};
+        use occam_netdb::Database;
+        use occam_regex::Pattern;
+        use occam_topology::FatTree;
+        use std::sync::Arc;
+
+        let ft = FatTree::build(1, 4).unwrap();
+        let db = Arc::new(Database::new());
+        for (_, d) in ft
+            .topo
+            .devices()
+            .filter(|(_, d)| d.role != occam_topology::Role::Host)
+        {
+            db.insert_device(
+                &d.name,
+                vec![
+                    (attrs::DEVICE_STATUS.into(), attrs::STATUS_ACTIVE.into()),
+                    (attrs::FIRMWARE_VERSION.into(), "fw-1.0.0".into()),
+                ],
+            )
+            .unwrap();
+        }
+        let mut net = EmuNet::from_fattree(&ft);
+        // Cross-pod flows pin every pod's aggs: the planner must stagger
+        // the upgrade instead of draining both aggs of a pod at once.
+        for pod in 0..2 {
+            let src = ft.hosts[pod][0][0];
+            let dst = ft.hosts[(pod + 1) % 2][1][0];
+            net.add_flow(src, dst, 100.0, FlowClass::Background);
+        }
+        let service = Arc::new(EmuService::new(net));
+        let rt = Runtime::new(Arc::clone(&db), service);
+
+        let prog = Catalog::standard()
+            .build(
+                "planned_update",
+                WorkflowSpec::new(
+                    "dc01.pod0[01].agg*",
+                    &[
+                        ("generation".into(), "g7".into()),
+                        ("firmware".into(), "fw-2.0.0".into()),
+                    ],
+                ),
+            )
+            .unwrap();
+        let report = rt.task("planned_update").run(|ctx| prog(ctx));
+        assert_eq!(report.state, TaskState::Completed, "{:?}", report.error);
+
+        let snap = db.snapshot();
+        let scope = Pattern::from_glob("dc01.pod0[01].agg*").unwrap();
+        let firmwares = snap.get_attr(&scope, attrs::FIRMWARE_VERSION);
+        assert_eq!(firmwares.len(), 4);
+        assert!(firmwares.values().all(|v| v.as_str() == Some("fw-2.0.0")));
+        let gens = snap.get_attr(&scope, "CONFIG_VERSION");
+        assert!(gens.values().all(|v| v.as_str() == Some("g7")));
+        // Every upgraded device is back in active service.
+        let statuses = snap.get_attr(&scope, attrs::DEVICE_STATUS);
+        assert!(statuses
+            .values()
+            .all(|v| v.as_str() == Some(attrs::STATUS_ACTIVE)));
+        // The plan ran through the executor, wave by wave.
+        assert!(rt.obs().counter_value("update.exec.waves") >= 2);
+        assert_eq!(rt.obs().counter_value("update.exec.failures"), 0);
     }
 }

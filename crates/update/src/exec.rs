@@ -1,0 +1,347 @@
+//! The plan executor: waves through the transactional runtime.
+//!
+//! Each [`Wave`] runs as one ordinary strict-2PL task built with
+//! [`TaskBuilder`](occam_core::TaskBuilder): acquire the wave's devices
+//! as a region, drain (when barriered), write the database attributes,
+//! push configuration, undrain, restore admin status. Because a wave is
+//! a task, a failure anywhere inside it triggers the existing retry and
+//! rollback machinery — and after the final attempt the executor
+//! mechanically applies the suggested rollback plan, so the network
+//! lands on the **previous wave boundary**: a state the synthesizer's
+//! model checker proved safe. Completed waves stay committed; the plan
+//! can be re-synthesized from the current config and resumed.
+//!
+//! Publication points — the moments a new network state becomes
+//! observable — are surfaced through [`WavePoint`] callbacks so a
+//! verifier (the chaos `update` phase) can assert invariants at *every*
+//! intermediate publication, not just the final state.
+
+use crate::diff::UpdateOp;
+use crate::obs::UpdateObs;
+use crate::plan::{Plan, Wave};
+use occam_core::{execute_rollback, CancelToken, RetryPolicy, Runtime, TaskState};
+use occam_emunet::FuncArgs;
+use occam_netdb::{attrs, AttrValue};
+use std::collections::BTreeMap;
+
+/// One publication of an intermediate network state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WavePoint {
+    /// Wave `i` has drained its devices (mid-wave state: the wave is
+    /// routed around and its devices are being rewritten).
+    Drained(usize),
+    /// Wave `i` committed (post-wave boundary state).
+    Committed(usize),
+}
+
+/// The abstract step shapes a wave executes, in order. Barriered waves
+/// conform to the rollback grammar's maintenance shape
+/// `DRAIN → (db|push)* → UNDRAIN`; unbarriered waves are pure database
+/// transactions. `wave_steps` is what the executor runs and what the
+/// planner's property tests check grammar conformance against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepKind {
+    /// `f_drain` over the wave region (with `UNDER_MAINTENANCE` status).
+    Drain,
+    /// One per-device attribute write batch.
+    DbWrite,
+    /// `f_push` with `admin=drained` (and the wave's firmware, if any).
+    Push,
+    /// `f_undrain` plus the devices' target admin status.
+    Undrain,
+}
+
+/// The step sequence `execute_plan` runs for `wave`.
+pub fn wave_steps(wave: &Wave) -> Vec<StepKind> {
+    let barrier = wave.barrier || wave.needs_push();
+    let mut steps = Vec::new();
+    if barrier {
+        steps.push(StepKind::Drain);
+    }
+    for _ in attr_batches(&wave.ops) {
+        steps.push(StepKind::DbWrite);
+    }
+    if wave.needs_push() {
+        steps.push(StepKind::Push);
+    }
+    if barrier {
+        steps.push(StepKind::Undrain);
+    }
+    steps
+}
+
+/// Execution tuning.
+#[derive(Clone)]
+pub struct ExecOptions {
+    /// Task-name prefix; wave `i` runs as `<prefix>.w<i>`.
+    pub task_prefix: String,
+    /// Retry policy for each wave task (transient device faults are
+    /// retried with inter-attempt rollback, like any other task).
+    pub retry: RetryPolicy,
+    /// Cooperative cancellation: checked between waves and propagated
+    /// into each wave task.
+    pub cancel: Option<CancelToken>,
+    /// Metrics sink.
+    pub obs: Option<UpdateObs>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            task_prefix: "planned_update".into(),
+            retry: RetryPolicy::none(),
+            cancel: None,
+            obs: None,
+        }
+    }
+}
+
+/// Outcome of one plan execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExecReport {
+    /// Waves started.
+    pub waves_attempted: usize,
+    /// Waves committed.
+    pub waves_committed: usize,
+    /// Index of the wave that failed, when one did.
+    pub failed_wave: Option<usize>,
+    /// Whether the failed wave was mechanically rolled back to the
+    /// previous wave boundary.
+    pub rolled_back: bool,
+    /// The failure, when one occurred.
+    pub error: Option<String>,
+}
+
+impl ExecReport {
+    /// True when every wave committed.
+    pub fn ok(&self) -> bool {
+        self.failed_wave.is_none() && self.error.is_none()
+    }
+}
+
+/// Runs `plan` wave-by-wave through `rt`. The optional `observer` is
+/// invoked at every publication point (see [`WavePoint`]); it may be
+/// called again for a retried wave, since a retry re-publishes.
+pub fn execute_plan(
+    rt: &Runtime,
+    plan: &Plan,
+    opts: &ExecOptions,
+    observer: Option<&dyn Fn(WavePoint)>,
+) -> ExecReport {
+    let mut report = ExecReport::default();
+    for (i, wave) in plan.waves.iter().enumerate() {
+        if let Some(tok) = &opts.cancel {
+            if tok.is_cancelled() {
+                report.failed_wave = Some(i);
+                report.error = Some("plan cancelled between waves".into());
+                return report;
+            }
+        }
+        report.waves_attempted += 1;
+        let started = std::time::Instant::now();
+        let task_report = run_wave(rt, i, wave, opts, observer);
+        if let Some(obs) = &opts.obs {
+            obs.exec_wave_ns.record_duration(started.elapsed());
+        }
+        match task_report.state {
+            TaskState::Completed => {
+                report.waves_committed += 1;
+                if let Some(obs) = &opts.obs {
+                    obs.exec_waves.inc();
+                    obs.exec_publications.inc();
+                }
+                if let Some(cb) = observer {
+                    cb(WavePoint::Committed(i));
+                }
+            }
+            state => {
+                report.failed_wave = Some(i);
+                report.error = Some(match &task_report.error {
+                    Some(e) => format!("wave {i} ended {state:?}: {e}"),
+                    None => format!("wave {i} ended {state:?}"),
+                });
+                if let Some(obs) = &opts.obs {
+                    obs.exec_failures.inc();
+                }
+                if task_report.rollback.is_some() {
+                    let ok = execute_rollback(&task_report, rt.db(), rt.service().as_ref());
+                    match ok {
+                        Ok(_) => {
+                            report.rolled_back = true;
+                            if let Some(obs) = &opts.obs {
+                                obs.exec_rollbacks.inc();
+                            }
+                        }
+                        Err(e) => {
+                            report.error = Some(format!(
+                                "{}; rollback to wave boundary failed: {e}",
+                                report.error.take().unwrap_or_default()
+                            ));
+                        }
+                    }
+                } else if task_report.log.is_empty() {
+                    // Nothing logged — the wave aborted before its first
+                    // write, so the boundary state still holds.
+                    report.rolled_back = true;
+                } else {
+                    // Writes were logged but no plan was derived (the log
+                    // failed the rollback grammar): surface it, never
+                    // claim the boundary was restored.
+                    report.error = Some(format!(
+                        "{}; no rollback plan: {}",
+                        report.error.take().unwrap_or_default(),
+                        task_report
+                            .rollback_error
+                            .as_deref()
+                            .unwrap_or("log did not parse")
+                    ));
+                }
+                return report;
+            }
+        }
+    }
+    report
+}
+
+/// Runs one wave as a task and returns its report.
+fn run_wave(
+    rt: &Runtime,
+    index: usize,
+    wave: &Wave,
+    opts: &ExecOptions,
+    observer: Option<&dyn Fn(WavePoint)>,
+) -> occam_core::TaskReport {
+    let barrier = wave.barrier || wave.needs_push();
+    let names: Vec<&str> = wave.ops.iter().map(|o| o.device.as_str()).collect();
+    let batches = attr_batches(&wave.ops);
+    let status_targets = status_targets(&wave.ops);
+    let firmware = wave.firmware().map(str::to_string);
+    let pushes = wave.needs_push();
+    let mut builder = rt.task(format!("{}.w{index}", opts.task_prefix));
+    if let Some(tok) = &opts.cancel {
+        builder = builder.cancel_token(tok.clone());
+    }
+    builder.retry(opts.retry.clone()).run(|ctx| {
+        let region = ctx.network_of_devices(&names)?;
+        if barrier {
+            // Drain opens the offline block (Table 1); the maintenance
+            // status is the first entry of the db_list the push commits,
+            // so an abort anywhere in the block parses as a broken
+            // cfg_change inside DRAIN and rolls back mechanically.
+            region.apply("f_drain")?;
+            region.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
+            if let Some(obs) = &opts.obs {
+                obs.exec_publications.inc();
+            }
+            if let Some(cb) = observer {
+                cb(WavePoint::Drained(index));
+            }
+        }
+        ctx.check_cancelled()?;
+        for (attr, values) in &batches {
+            region.set_per_device(values, attr)?;
+        }
+        if pushes {
+            let args = match &firmware {
+                Some(fw) => FuncArgs::one("admin", "drained").with("firmware", fw),
+                None => FuncArgs::one("admin", "drained"),
+            };
+            region.apply_with("f_push", &args)?;
+        }
+        ctx.check_cancelled()?;
+        if barrier {
+            region.apply("f_undrain")?;
+            region.set_per_device(&status_targets, attrs::DEVICE_STATUS)?;
+        }
+        region.close();
+        Ok(())
+    })
+}
+
+/// Groups the wave's attribute writes into per-attribute device→value
+/// batches (the shape `set_per_device` wants), excluding `DEVICE_STATUS`
+/// — admin status is applied at the end of the barrier, not mid-wave.
+fn attr_batches(ops: &[UpdateOp]) -> Vec<(String, BTreeMap<String, AttrValue>)> {
+    let mut by_attr: BTreeMap<String, BTreeMap<String, AttrValue>> = BTreeMap::new();
+    for op in ops {
+        for (attr, value) in &op.sets {
+            if attr == attrs::DEVICE_STATUS {
+                continue;
+            }
+            by_attr
+                .entry(attr.clone())
+                .or_default()
+                .insert(op.device.clone(), value.clone());
+        }
+    }
+    by_attr.into_iter().collect()
+}
+
+/// Every wave device's post-wave admin status: the op's explicit target
+/// when the new config sets one, `ACTIVE` otherwise.
+fn status_targets(ops: &[UpdateOp]) -> BTreeMap<String, AttrValue> {
+    ops.iter()
+        .map(|op| {
+            let target = op
+                .target_status()
+                .cloned()
+                .unwrap_or_else(|| attrs::STATUS_ACTIVE.into());
+            (op.device.clone(), target)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(device: &str, fw: Option<&str>) -> UpdateOp {
+        let mut sets = vec![("SNMP_COMMUNITY".into(), AttrValue::from("v2"))];
+        if let Some(fw) = fw {
+            sets.push((attrs::FIRMWARE_VERSION.into(), AttrValue::from(fw)));
+        }
+        UpdateOp {
+            device: device.into(),
+            sets,
+            firmware: fw.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn barriered_wave_steps_follow_the_maintenance_grammar() {
+        let wave = Wave {
+            ops: vec![op("a", Some("fw-2")), op("b", Some("fw-2"))],
+            barrier: true,
+        };
+        let steps = wave_steps(&wave);
+        assert_eq!(steps.first(), Some(&StepKind::Drain));
+        assert_eq!(steps.last(), Some(&StepKind::Undrain));
+        assert!(steps.contains(&StepKind::Push));
+    }
+
+    #[test]
+    fn db_only_wave_is_pure_writes() {
+        let wave = Wave {
+            ops: vec![op("a", None)],
+            barrier: false,
+        };
+        assert_eq!(wave_steps(&wave), vec![StepKind::DbWrite]);
+    }
+
+    #[test]
+    fn status_targets_default_to_active() {
+        let targets = status_targets(&[op("a", None)]);
+        assert_eq!(targets["a"], AttrValue::from(attrs::STATUS_ACTIVE));
+    }
+
+    #[test]
+    fn device_status_is_never_written_mid_wave() {
+        let mut o = op("a", Some("fw-2"));
+        o.sets
+            .push((attrs::DEVICE_STATUS.into(), attrs::STATUS_DRAINED.into()));
+        let batches = attr_batches(&[o.clone()]);
+        assert!(batches.iter().all(|(a, _)| a != attrs::DEVICE_STATUS));
+        let targets = status_targets(&[o]);
+        assert_eq!(targets["a"], AttrValue::from(attrs::STATUS_DRAINED));
+    }
+}

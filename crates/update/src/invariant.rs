@@ -1,0 +1,403 @@
+//! The invariant engine: model checking intermediate network states
+//! against the emunet forwarding model.
+//!
+//! The model is the same one `occam_emunet::EmuNet` forwards with: ECMP
+//! shortest paths over the shared [`Topology`], where a link is usable
+//! iff neither endpoint is drained, and a switch that is reconfiguring
+//! while undrained black-holes everything through it
+//! (`SwitchState::black_holes`). A [`ModelState`] abstracts one
+//! intermediate moment of an update — which devices are drained, which
+//! are mid-push — and [`Checker::check`] decides whether every declared
+//! [`TrafficClass`] still satisfies:
+//!
+//! - **loop freedom** — the forwarding walk never traverses the same
+//!   directed edge twice;
+//! - **no-blackhole** — a path exists and no device on it is mid-push
+//!   while undrained;
+//! - **waypoint traversal** — classes scoped by a regex must traverse at
+//!   least one device matching it (service-chaining through inspection
+//!   middleboxes, paper case study #2).
+//!
+//! Endpoints are strict: a class whose source or destination device is
+//! itself drained counts as a no-blackhole violation. Plan updates that
+//! must take an access switch down should scope their classes (or move
+//! the access change to a database-only operation) — see DESIGN.md §15.2.
+
+use occam_regex::Pattern;
+use occam_topology::{DeviceId, LinkId, Topology};
+use std::collections::HashSet;
+
+/// One unit of traffic the update must never break: a source/destination
+/// pair with a stable ECMP hash, optionally constrained to traverse a
+/// waypoint.
+#[derive(Clone, Debug)]
+pub struct TrafficClass {
+    /// Human-readable class name, used in violation reports.
+    pub name: String,
+    /// Source device.
+    pub src: DeviceId,
+    /// Destination device.
+    pub dst: DeviceId,
+    /// ECMP flow hash: keeps the checked path stable per class while
+    /// different classes spread across the fabric.
+    pub hash: u64,
+    /// When set, the class's path must traverse a device whose name
+    /// matches this pattern (regex-scoped waypointing).
+    pub waypoint: Option<Pattern>,
+}
+
+impl TrafficClass {
+    /// A plain reachability class with no waypoint constraint.
+    pub fn pair(name: impl Into<String>, src: DeviceId, dst: DeviceId, hash: u64) -> TrafficClass {
+        TrafficClass {
+            name: name.into(),
+            src,
+            dst,
+            hash,
+            waypoint: None,
+        }
+    }
+}
+
+/// One intermediate moment of an update, abstracted to the two facts the
+/// forwarding model cares about.
+#[derive(Clone, Default, Debug)]
+pub struct ModelState {
+    /// Devices the control plane routes around (admin-drained, or
+    /// drained by the wave barrier currently executing).
+    pub drained: HashSet<DeviceId>,
+    /// Devices whose configuration is being rewritten right now. A
+    /// device that is `in_flux` but not `drained` black-holes traffic —
+    /// exactly `SwitchState::black_holes()`.
+    pub in_flux: HashSet<DeviceId>,
+}
+
+impl ModelState {
+    /// True when `id` may carry traffic at all.
+    fn usable_device(&self, id: DeviceId) -> bool {
+        !self.drained.contains(&id)
+    }
+
+    /// True when `id` drops the traffic it carries.
+    fn black_holes(&self, id: DeviceId) -> bool {
+        self.in_flux.contains(&id) && !self.drained.contains(&id)
+    }
+}
+
+/// Why a class fails in a given state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// No usable path exists (or an endpoint is drained).
+    NoPath,
+    /// The path crosses a device that is reconfiguring while undrained.
+    Blackhole {
+        /// The black-holing device's name.
+        device: String,
+    },
+    /// The forwarding walk traverses a directed edge twice.
+    Loop {
+        /// The first device where the walk re-enters itself.
+        device: String,
+    },
+    /// No usable path traverses the class's waypoint pattern.
+    WaypointMissed {
+        /// The waypoint pattern source.
+        pattern: String,
+    },
+}
+
+/// A failed class in a checked state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The violated class's name.
+    pub class: String,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ViolationKind::NoPath => write!(f, "{}: no usable path", self.class),
+            ViolationKind::Blackhole { device } => {
+                write!(f, "{}: black-holed at {device}", self.class)
+            }
+            ViolationKind::Loop { device } => {
+                write!(f, "{}: forwarding loop through {device}", self.class)
+            }
+            ViolationKind::WaypointMissed { pattern } => {
+                write!(f, "{}: no path through waypoint /{pattern}/", self.class)
+            }
+        }
+    }
+}
+
+/// The model checker: a topology plus the traffic classes the update
+/// must preserve.
+pub struct Checker<'a> {
+    topo: &'a Topology,
+    classes: &'a [TrafficClass],
+}
+
+impl<'a> Checker<'a> {
+    /// Builds a checker over `topo` for `classes`.
+    pub fn new(topo: &'a Topology, classes: &'a [TrafficClass]) -> Checker<'a> {
+        Checker { topo, classes }
+    }
+
+    /// The classes this checker enforces.
+    pub fn classes(&self) -> &[TrafficClass] {
+        self.classes
+    }
+
+    /// Checks every class against `state`; returns all violations (empty
+    /// means the state is safe).
+    pub fn check(&self, state: &ModelState) -> Vec<Violation> {
+        self.classes
+            .iter()
+            .filter_map(|c| self.check_class(c, state))
+            .collect()
+    }
+
+    /// Checks one class against `state`.
+    pub fn check_class(&self, class: &TrafficClass, state: &ModelState) -> Option<Violation> {
+        let fail = |kind| {
+            Some(Violation {
+                class: class.name.clone(),
+                kind,
+            })
+        };
+        if !state.usable_device(class.src) || !state.usable_device(class.dst) {
+            return fail(ViolationKind::NoPath);
+        }
+        let usable = |l: LinkId| {
+            let link = self.topo.link(l);
+            state.usable_device(link.a_end) && state.usable_device(link.z_end)
+        };
+        let path = match &class.waypoint {
+            None => self
+                .topo
+                .ecmp_path(class.src, class.dst, class.hash, usable),
+            Some(wp) => match self.waypointed_path(class, state, usable) {
+                Ok(p) => Some(p),
+                // Distinguish "no waypoint survives" from plain
+                // unreachability: if a direct path exists the fabric is
+                // connected and only the waypoint constraint failed.
+                Err(()) => {
+                    return if self
+                        .topo
+                        .ecmp_path(class.src, class.dst, class.hash, usable)
+                        .is_some()
+                    {
+                        fail(ViolationKind::WaypointMissed {
+                            pattern: wp.source().to_string(),
+                        })
+                    } else {
+                        fail(ViolationKind::NoPath)
+                    };
+                }
+            },
+        };
+        let Some(path) = path else {
+            return fail(ViolationKind::NoPath);
+        };
+        if let Some(d) = path.iter().find(|d| state.black_holes(**d)) {
+            return fail(ViolationKind::Blackhole {
+                device: self.topo.device(*d).name.clone(),
+            });
+        }
+        if let Some(d) = first_repeated_edge(&path) {
+            return fail(ViolationKind::Loop {
+                device: self.topo.device(d).name.clone(),
+            });
+        }
+        None
+    }
+
+    /// A path `src → w → dst` through the first (by name) usable waypoint
+    /// `w` matching the class pattern, mirroring the emunet middlebox
+    /// detour. `Err(())` when no waypoint is reachable.
+    fn waypointed_path(
+        &self,
+        class: &TrafficClass,
+        state: &ModelState,
+        usable: impl Fn(LinkId) -> bool + Copy,
+    ) -> Result<Vec<DeviceId>, ()> {
+        let wp = class.waypoint.as_ref().expect("caller checked");
+        // Fast path: the natural ECMP path may already traverse a
+        // waypoint.
+        if let Some(direct) = self
+            .topo
+            .ecmp_path(class.src, class.dst, class.hash, usable)
+        {
+            if direct
+                .iter()
+                .any(|d| wp.matches(&self.topo.device(*d).name))
+            {
+                return Ok(direct);
+            }
+        }
+        let mut candidates: Vec<(String, DeviceId)> = self
+            .topo
+            .devices()
+            .filter(|(id, d)| wp.matches(&d.name) && state.usable_device(*id))
+            .map(|(id, d)| (d.name.clone(), id))
+            .collect();
+        candidates.sort();
+        for (_, w) in candidates {
+            let Some(head) = self.topo.ecmp_path(class.src, w, class.hash, usable) else {
+                continue;
+            };
+            let Some(tail) = self.topo.ecmp_path(w, class.dst, class.hash, usable) else {
+                continue;
+            };
+            let mut path = head;
+            path.extend_from_slice(&tail[1..]);
+            return Ok(path);
+        }
+        Err(())
+    }
+}
+
+/// The entry device of the first directed edge the walk traverses twice,
+/// or `None` for a loop-free walk. Revisiting a *device* in the opposite
+/// direction (a waypoint detour doubling back) is not a loop; re-sending
+/// a packet over the same directed edge is.
+fn first_repeated_edge(path: &[DeviceId]) -> Option<DeviceId> {
+    let mut seen = HashSet::new();
+    for pair in path.windows(2) {
+        if !seen.insert((pair[0], pair[1])) {
+            return Some(pair[0]);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occam_topology::FatTree;
+
+    fn ft() -> FatTree {
+        FatTree::build(1, 4).expect("k=4")
+    }
+
+    fn classes(ft: &FatTree) -> Vec<TrafficClass> {
+        // Cross-pod host pairs, one per adjacent pod pair.
+        (0..4u64)
+            .map(|p| {
+                TrafficClass::pair(
+                    format!("c{p}"),
+                    ft.hosts[p as usize][0][0],
+                    ft.hosts[((p + 1) % 4) as usize][1][1],
+                    p,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_fabric_is_clean() {
+        let ft = ft();
+        let cls = classes(&ft);
+        let checker = Checker::new(&ft.topo, &cls);
+        assert!(checker.check(&ModelState::default()).is_empty());
+    }
+
+    #[test]
+    fn draining_one_agg_per_pod_is_safe() {
+        let ft = ft();
+        let cls = classes(&ft);
+        let checker = Checker::new(&ft.topo, &cls);
+        let state = ModelState {
+            drained: ft.aggs.iter().map(|pod| pod[0]).collect(),
+            in_flux: ft.aggs.iter().map(|pod| pod[0]).collect(),
+        };
+        assert!(checker.check(&state).is_empty());
+    }
+
+    #[test]
+    fn draining_a_whole_pods_aggs_cuts_it_off() {
+        let ft = ft();
+        let cls = classes(&ft);
+        let checker = Checker::new(&ft.topo, &cls);
+        let state = ModelState {
+            drained: ft.aggs[0].iter().copied().collect(),
+            in_flux: HashSet::new(),
+        };
+        let violations = checker.check(&state);
+        assert!(!violations.is_empty());
+        assert!(violations.iter().all(|v| v.kind == ViolationKind::NoPath));
+    }
+
+    #[test]
+    fn pushing_undrained_black_holes() {
+        let ft = ft();
+        let cls = classes(&ft);
+        let checker = Checker::new(&ft.topo, &cls);
+        // Reconfigure every core without draining: every cross-pod path
+        // black-holes at its core hop.
+        let state = ModelState {
+            drained: HashSet::new(),
+            in_flux: ft.cores.iter().copied().collect(),
+        };
+        let violations = checker.check(&state);
+        assert!(!violations.is_empty());
+        assert!(violations
+            .iter()
+            .all(|v| matches!(v.kind, ViolationKind::Blackhole { .. })));
+    }
+
+    #[test]
+    fn waypoint_scoping_is_enforced() {
+        let ft = ft();
+        let wp = Pattern::new("dc01\\.pod00\\.agg0[01]").expect("regex");
+        let class = TrafficClass {
+            name: "inspected".into(),
+            src: ft.hosts[1][0][0],
+            dst: ft.hosts[2][0][0],
+            hash: 7,
+            waypoint: Some(wp),
+        };
+        let cls = vec![class];
+        let checker = Checker::new(&ft.topo, &cls);
+        // Healthy: a detour through pod00's aggs exists.
+        assert!(checker.check(&ModelState::default()).is_empty());
+        // Drain both inspection aggs: the constraint is unsatisfiable
+        // even though src and dst stay connected.
+        let state = ModelState {
+            drained: ft.aggs[0].iter().copied().collect(),
+            in_flux: HashSet::new(),
+        };
+        let violations = checker.check(&state);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0].kind,
+            ViolationKind::WaypointMissed { .. }
+        ));
+    }
+
+    #[test]
+    fn drained_endpoint_is_a_violation() {
+        let ft = ft();
+        let cls = vec![TrafficClass::pair("c", ft.tors[0][0], ft.tors[1][0], 1)];
+        let checker = Checker::new(&ft.topo, &cls);
+        let state = ModelState {
+            drained: [ft.tors[0][0]].into_iter().collect(),
+            in_flux: HashSet::new(),
+        };
+        assert_eq!(checker.check(&state).len(), 1);
+    }
+
+    #[test]
+    fn repeated_edge_detector() {
+        let a = DeviceId(0);
+        let b = DeviceId(1);
+        let c = DeviceId(2);
+        assert_eq!(first_repeated_edge(&[a, b, c]), None);
+        // Doubling back over distinct directed edges is not a loop.
+        assert_eq!(first_repeated_edge(&[a, b, a, c]), None);
+        // Re-traversing a→b is.
+        assert_eq!(first_repeated_edge(&[a, b, a, b]), Some(a));
+    }
+}

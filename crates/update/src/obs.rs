@@ -1,0 +1,89 @@
+//! The `update.*` metrics family (DESIGN.md §9).
+//!
+//! All instruments are bound eagerly by [`UpdateObs::bind`], so the
+//! metrics contract holds from the moment a planner or executor is
+//! wired to a registry — before any plan runs.
+
+use occam_obs::{Counter, Histogram, Registry};
+
+/// Handles for every `update.*` instrument.
+#[derive(Clone)]
+pub struct UpdateObs {
+    /// `update.diff.ops` — operations emitted by the config diff.
+    pub diff_ops: Counter,
+    /// `update.synth.plans` — synthesis runs.
+    pub synth_plans: Counter,
+    /// `update.synth.waves` — waves across all synthesized plans.
+    pub synth_waves: Counter,
+    /// `update.synth.checks` — model-check invocations.
+    pub synth_checks: Counter,
+    /// `update.synth.splits` — waves split by counterexamples.
+    pub synth_splits: Counter,
+    /// `update.synth.barriers` — drain/undrain barriers inserted.
+    pub synth_barriers: Counter,
+    /// `update.synth.counterexamples` — violations seen during search.
+    pub synth_counterexamples: Counter,
+    /// `update.synth_ns` — wall time per synthesis run.
+    pub synth_ns: Histogram,
+    /// `update.verify_ns` — wall time per independent plan verification.
+    pub verify_ns: Histogram,
+    /// `update.verify.violations` — violations found by verification
+    /// (zero for plans this crate synthesized).
+    pub verify_violations: Counter,
+    /// `update.exec.waves` — waves committed by the executor.
+    pub exec_waves: Counter,
+    /// `update.exec.failures` — waves that aborted.
+    pub exec_failures: Counter,
+    /// `update.exec.rollbacks` — aborted waves mechanically rolled back
+    /// to their wave boundary.
+    pub exec_rollbacks: Counter,
+    /// `update.exec.publications` — intermediate states published
+    /// (mid-wave drain points and post-wave commits).
+    pub exec_publications: Counter,
+    /// `update.exec.wave_ns` — wall time per executed wave.
+    pub exec_wave_ns: Histogram,
+}
+
+impl UpdateObs {
+    /// Binds (and thereby registers) every `update.*` instrument.
+    pub fn bind(reg: &Registry) -> UpdateObs {
+        UpdateObs {
+            diff_ops: reg.counter("update.diff.ops"),
+            synth_plans: reg.counter("update.synth.plans"),
+            synth_waves: reg.counter("update.synth.waves"),
+            synth_checks: reg.counter("update.synth.checks"),
+            synth_splits: reg.counter("update.synth.splits"),
+            synth_barriers: reg.counter("update.synth.barriers"),
+            synth_counterexamples: reg.counter("update.synth.counterexamples"),
+            synth_ns: reg.histogram("update.synth_ns"),
+            verify_ns: reg.histogram("update.verify_ns"),
+            verify_violations: reg.counter("update.verify.violations"),
+            exec_waves: reg.counter("update.exec.waves"),
+            exec_failures: reg.counter("update.exec.failures"),
+            exec_rollbacks: reg.counter("update.exec.rollbacks"),
+            exec_publications: reg.counter("update.exec.publications"),
+            exec_wave_ns: reg.histogram("update.exec.wave_ns"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_registers_the_whole_family() {
+        let reg = Registry::new();
+        let _obs = UpdateObs::bind(&reg);
+        let counters: Vec<String> = reg.counters().into_iter().map(|(n, _)| n).collect();
+        for name in [
+            "update.diff.ops",
+            "update.synth.plans",
+            "update.exec.waves",
+            "update.exec.publications",
+        ] {
+            assert!(counters.iter().any(|c| c == name), "{name} missing");
+        }
+        assert!(reg.histograms().iter().any(|(n, _)| n == "update.synth_ns"));
+    }
+}

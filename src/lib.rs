@@ -23,6 +23,9 @@
 //! - [`chaos`] — deterministic seeded fault campaigns asserting the
 //!   fully-applied-or-fully-rolled-back recovery contract across every
 //!   layer (`DESIGN.md` §11).
+//! - [`update`] — consistent-update synthesis: config diff, invariant
+//!   model checking over the emunet forwarding model, wave planning,
+//!   and transactional wave execution (`DESIGN.md` §15).
 //! - [`sim`] — the at-scale discrete-event simulator.
 //! - [`workload`] — Meta-shaped trace synthesis.
 //!
@@ -43,6 +46,7 @@ pub use occam_rollback as rollback;
 pub use occam_sched as sched;
 pub use occam_sim as sim;
 pub use occam_topology as topology;
+pub use occam_update as update;
 pub use occam_workload as workload;
 
 pub use occam_core::{

@@ -17,11 +17,11 @@
 //!
 //! cargo run --release -p occam-bench --bin chaos_campaign --smoke
 //! # CI smoke: one campaign, seed 42, fault rate 10%, 100 tasks,
-//! # gateway, replication, and consistent-update phases included
+//! # gateway, replication, consistent-update, and OCC phases included
 //! ```
 
 use occam_chaos::{
-    Campaign, CampaignConfig, CampaignReport, GatewayChaosConfig, ReplChaosConfig,
+    Campaign, CampaignConfig, CampaignReport, GatewayChaosConfig, OccChaosConfig, ReplChaosConfig,
     UpdateChaosConfig,
 };
 use std::fmt::Write as _;
@@ -39,6 +39,7 @@ fn run_campaign(seed: u64, rate: f64, tasks: u32, gateway: bool) -> CampaignRepo
         // its own device faults), so once per seed is representative.
         cfg.repl = Some(ReplChaosConfig::default());
         cfg.update = Some(UpdateChaosConfig::default());
+        cfg.occ = Some(OccChaosConfig::default());
     }
     let report = Campaign::new(cfg).run();
     eprintln!(

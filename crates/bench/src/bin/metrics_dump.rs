@@ -13,7 +13,10 @@
 //!   connections, latency histograms) plus the runtime's cancellation
 //!   and panic-containment counters;
 //! - `update`: a planned configuration update driven diff → synthesis →
-//!   verification → wave execution — covering the `update.*` family.
+//!   verification → wave execution — covering the `update.*` family;
+//! - `occ`: optimistic tasks committing, conflicting, and falling back
+//!   with the serializability certifier attached — covering the
+//!   `core.occ.*` and `cert.*` families.
 //!
 //! The binary fails loudly if any contract name is missing from the dump,
 //! so drift between DESIGN.md §9 and the code is caught by running it.
@@ -142,6 +145,26 @@ const UPDATE_NAMES: &[&str] = &[
     "update.exec.rollbacks",
     "update.exec.publications",
     "update.exec.wave_ns",
+];
+
+/// The §9 / §16 families an isolation registry must carry (on top of
+/// the runtime families, which share the same registry). The `core.occ.*`
+/// instruments are bound eagerly at runtime construction and the `cert.*`
+/// instruments when a [`occam::cert::Certifier`] binds to the registry,
+/// so the contract holds before any optimistic task runs.
+const OCC_NAMES: &[&str] = &[
+    "core.occ.commits",
+    "core.occ.aborts",
+    "core.occ.fallbacks",
+    "core.occ.validate_ns",
+    "cert.tasks",
+    "cert.commits",
+    "cert.aborts",
+    "cert.edges",
+    "cert.retired",
+    "cert.violations",
+    "cert.window",
+    "cert.check_ns",
 ];
 
 /// The §9 families the simulation registry must carry.
@@ -355,6 +378,56 @@ fn exercise_update() -> occam::Runtime {
     runtime
 }
 
+/// Drives the optimistic isolation path: a certified OCC commit, a
+/// validation conflict with 2PL fallback, and the certifier's acyclicity
+/// verdict over the mixed history.
+fn exercise_occ() -> occam::Runtime {
+    use occam::Isolation;
+    use std::sync::Arc;
+
+    let (runtime, _ft) = occam::emulated_deployment(1, 4);
+    let cert = Arc::new(occam::cert::Certifier::with_obs(runtime.obs()));
+    runtime.attach_certifier(Arc::clone(&cert));
+
+    // One clean optimistic commit: `core.occ.commits` + a certified
+    // footprint from the OCC path.
+    let report = runtime
+        .task("optimistic_audit")
+        .isolation(Isolation::Occ { max_retries: 3 })
+        .run(|ctx| {
+            let net = ctx.network("dc01.pod00.*")?;
+            let _ = net.get(attrs::DEVICE_STATUS)?;
+            net.set("AUDIT_MARK", 1i64.into())?;
+            Ok(())
+        });
+    assert_eq!(report.state, occam::TaskState::Completed);
+
+    // A sabotaged attempt: a concurrent commit lands after the OCC
+    // snapshot, so validation conflicts (`core.occ.aborts`) and the
+    // driver exhausts its retries into a 2PL fallback
+    // (`core.occ.fallbacks`).
+    let db = Arc::clone(runtime.db());
+    let contended = std::sync::atomic::AtomicU32::new(0);
+    let report = runtime
+        .task("contended_write")
+        .isolation(Isolation::Occ { max_retries: 0 })
+        .run(move |ctx| {
+            let net = ctx.network("dc01.pod01.tor00")?;
+            let _ = net.get(attrs::DEVICE_STATUS)?;
+            if contended.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0 {
+                let pat = occam::regex::Pattern::from_glob("dc01.pod01.tor00").expect("glob");
+                db.set_attr(&pat, "INTERFERENCE", 1i64.into())
+                    .expect("poke");
+            }
+            net.set("AUDIT_MARK", 2i64.into())?;
+            Ok(())
+        });
+    assert_eq!(report.state, occam::TaskState::Completed);
+    assert!(cert.is_acyclic(), "{:?}", cert.first_violation());
+    runtime.detach_certifier();
+    runtime
+}
+
 /// Drives a replica set through shipping, routed reads, a stale
 /// fallback, and a failover, then returns its registry.
 fn exercise_repl() -> occam::obs::Registry {
@@ -418,6 +491,13 @@ fn main() {
     let gateway_reg = exercise_gateway();
     check_contract("gateway", &gateway_reg, GATEWAY_NAMES);
 
+    let occ_rt = exercise_occ();
+    check_contract("occ", occ_rt.obs(), OCC_NAMES);
+    assert!(occ_rt.obs().counter_value("core.occ.commits") >= 1);
+    assert!(occ_rt.obs().counter_value("core.occ.aborts") >= 1);
+    assert!(occ_rt.obs().counter_value("core.occ.fallbacks") >= 1);
+    assert_eq!(occ_rt.obs().counter_value("cert.violations"), 0);
+
     let update_rt = exercise_update();
     check_contract("update", update_rt.obs(), UPDATE_NAMES);
     assert!(update_rt.obs().counter_value("update.exec.waves") >= 2);
@@ -466,6 +546,8 @@ fn main() {
     out.push_str(&chaos_reg.to_json());
     out.push_str(",\n  \"repl\": ");
     out.push_str(&repl_reg.to_json());
+    out.push_str(",\n  \"occ\": ");
+    out.push_str(&occ_rt.obs().to_json());
     out.push_str(",\n  \"update\": ");
     out.push_str(&update_rt.obs().to_json());
     out.push_str("\n}\n");

@@ -1,0 +1,591 @@
+//! # occam-cert
+//!
+//! Online serializability certification for the Occam runtime, after
+//! "Deciding Serializability in Network Systems" (PAPERS.md): instead of
+//! *assuming* the concurrency control (strict 2PL, or the OCC fast
+//! path) preserves serializability, every committed task emits a
+//! **footprint** — its reads as `(scope pattern, commit count observed)`
+//! pairs and its writes as `(device row, commit count)` pairs anchored
+//! to WAL commit order — and the certifier maintains the transaction
+//! conflict graph online, asserting acyclicity at every commit.
+//!
+//! ## The model
+//!
+//! The netdb publishes a totally ordered sequence of commits; commit
+//! count `c` names the state containing exactly the first `c` batches.
+//! A read served from a consistent snapshot with `c` commits observes,
+//! for every row, the write with the greatest count `≤ c`. Under that
+//! model the conflict edges between two committed tasks are fully
+//! determined by their footprints:
+//!
+//! - **write → read** (`W` before `R`): `W` wrote a row matching `R`'s
+//!   pattern with `w.count <= r.at` — the read observed the write;
+//! - **read → write** (`R` before `W`): same overlap with
+//!   `w.count > r.at` — the read did *not* observe the write;
+//! - **write → write**: two tasks wrote the same row; the edge follows
+//!   count order.
+//!
+//! Reads carry patterns (PR 1's regex engine answers the row-overlap
+//! queries); writes are concrete rows, which keeps write/write conflicts
+//! exact instead of pattern-coarse. **Acyclicity of this graph implies
+//! the history is serializable**: replaying tasks in topological order
+//! (each task's own ops in count order) reproduces every recorded
+//! observation — the property test in this crate cross-checks exactly
+//! that against a brute-force permutation oracle.
+//!
+//! ## Windowing
+//!
+//! The graph would otherwise grow without bound, so committed nodes are
+//! retired once no future cycle can pass through them. Every task
+//! registers at [`Certifier::begin`] with a *floor* — the database
+//! commit count when it starts, which bounds its eventual footprint:
+//! reads observe counts `>= floor`, writes commit at counts `> floor`.
+//! A retained node `R` is retired once (a) every in-flight floor is
+//! `>= R.hi` (its greatest op count) and (b) no retained node has an
+//! edge into `R`. Any *future* edge `T -> R` needs an op of `T` at or
+//! below `R.hi` — a write→read or write→write edge needs
+//! `t.count <= R.hi < t.count` (writes strictly exceed the floor), a
+//! read→write edge needs `t.at < R.w.count <= R.hi <= t.at` — both
+//! contradictions, so in-edges can never appear after retirement, and a
+//! node with no in-edges can sit on no cycle. Only real edges are ever
+//! materialized — fabricating summary edges for disjoint pairs could
+//! manufacture false cycles.
+//!
+//! Certification covers the tasks that register with the certifier;
+//! writers that bypass it (e.g. raw database calls) appear only through
+//! the commit counts they advance.
+
+#![deny(missing_docs)]
+
+use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry, Span};
+use occam_regex::Pattern;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// One recorded read: a scope pattern observed at a commit count.
+#[derive(Clone, Debug)]
+pub struct ReadRec {
+    /// The device-name pattern the read was scoped to.
+    pub pattern: Pattern,
+    /// Commit count of the consistent snapshot that served the read.
+    pub at: u64,
+}
+
+/// One recorded write: a concrete device row at a commit count.
+#[derive(Clone, Debug)]
+pub struct WriteRec {
+    /// The device row written (for link writes, each endpoint).
+    pub row: String,
+    /// Commit count at which the write became visible (WAL seq + 1).
+    pub count: u64,
+}
+
+/// The read/write footprint of one committed task.
+#[derive(Clone, Default, Debug)]
+pub struct Footprint {
+    /// Reads, in execution order.
+    pub reads: Vec<ReadRec>,
+    /// Writes, in execution order.
+    pub writes: Vec<WriteRec>,
+}
+
+impl Footprint {
+    /// An empty footprint.
+    pub fn new() -> Footprint {
+        Footprint::default()
+    }
+
+    /// Records one read of `pattern` served at commit count `at`.
+    pub fn read(&mut self, pattern: Pattern, at: u64) {
+        self.reads.push(ReadRec { pattern, at });
+    }
+
+    /// Records one write of `row` visible at commit count `count`.
+    pub fn write(&mut self, row: impl Into<String>, count: u64) {
+        self.writes.push(WriteRec {
+            row: row.into(),
+            count,
+        });
+    }
+
+    /// True if the task recorded no reads and no writes.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+/// Handle for one in-flight task, returned by [`Certifier::begin`].
+/// Consumed by [`Certifier::commit`] or [`Certifier::abandon`];
+/// deliberately neither `Clone` nor `Copy`.
+#[derive(Debug)]
+pub struct TaskToken {
+    id: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    reads: Vec<ReadRec>,
+    writes: Vec<WriteRec>,
+    /// Greatest op count in the footprint; retirement compares this
+    /// against the in-flight floor.
+    hi: u64,
+    /// Outgoing conflict edges (node ids).
+    out: Vec<u64>,
+}
+
+#[derive(Default, Debug)]
+struct Inner {
+    next_id: u64,
+    nodes: BTreeMap<u64, Node>,
+    /// In-flight tokens: id → floor.
+    inflight: BTreeMap<u64, (String, u64)>,
+    violations: u64,
+    first_violation: Option<String>,
+    retired: u64,
+    committed: u64,
+}
+
+/// Observability handles bound under the `cert.*` names (DESIGN.md §9).
+#[derive(Clone, Debug)]
+struct CertObs {
+    tasks: Counter,
+    commits: Counter,
+    aborts: Counter,
+    edges: Counter,
+    retired: Counter,
+    violations: Counter,
+    window: Histogram,
+    check_ns: Histogram,
+    events: EventRing,
+}
+
+impl CertObs {
+    fn bound(reg: &Registry) -> CertObs {
+        CertObs {
+            tasks: reg.counter("cert.tasks"),
+            commits: reg.counter("cert.commits"),
+            aborts: reg.counter("cert.aborts"),
+            edges: reg.counter("cert.edges"),
+            retired: reg.counter("cert.retired"),
+            violations: reg.counter("cert.violations"),
+            window: reg.histogram("cert.window"),
+            check_ns: reg.histogram("cert.check_ns"),
+            events: reg.events(),
+        }
+    }
+}
+
+/// The online serializability certifier: a windowed conflict graph over
+/// committed task footprints, checked for acyclicity at every commit.
+///
+/// Thread-safe; the runtime shares one behind an `Arc` across every
+/// worker. See the crate docs for the conflict model and the soundness
+/// argument.
+#[derive(Debug)]
+pub struct Certifier {
+    inner: Mutex<Inner>,
+    obs: CertObs,
+}
+
+impl Default for Certifier {
+    fn default() -> Self {
+        Certifier::new()
+    }
+}
+
+impl Certifier {
+    /// A certifier with a private metrics registry.
+    pub fn new() -> Certifier {
+        Certifier::with_obs(&Registry::new())
+    }
+
+    /// A certifier whose `cert.*` instruments are bound to `reg`.
+    pub fn with_obs(reg: &Registry) -> Certifier {
+        Certifier {
+            inner: Mutex::new(Inner::default()),
+            obs: CertObs::bound(reg),
+        }
+    }
+
+    /// Registers an in-flight task. `floor` must be at or below every
+    /// commit count the task's eventual footprint can contain — the
+    /// commit count of the database when the task starts satisfies this
+    /// (reads observe counts `>= floor`; writes commit at counts
+    /// `> floor`). The token pins the retirement watermark until the
+    /// task [`Certifier::commit`]s or is [`Certifier::abandon`]ed.
+    pub fn begin(&self, name: &str, floor: u64) -> TaskToken {
+        self.obs.tasks.inc();
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.inflight.insert(id, (name.to_string(), floor));
+        TaskToken { id }
+    }
+
+    /// Drops an in-flight task that aborted without committing: its
+    /// footprint never enters the graph, and the watermark it pinned is
+    /// released.
+    pub fn abandon(&self, token: TaskToken) {
+        self.obs.aborts.inc();
+        let mut inner = self.inner.lock();
+        inner.inflight.remove(&token.id);
+        Self::retire(&mut inner, &self.obs);
+    }
+
+    /// Ingests the footprint of a committed task: computes the real
+    /// conflict edges against every retained node, checks that no cycle
+    /// runs through the new node, then advances the retirement
+    /// watermark. Returns the cycle description on violation (which is
+    /// also counted and latched — see [`Certifier::violations`]).
+    pub fn commit(&self, token: TaskToken, footprint: Footprint) -> Result<(), String> {
+        let span = Span::start(&self.obs.check_ns);
+        let mut inner = self.inner.lock();
+        let (name, _floor) = inner
+            .inflight
+            .remove(&token.id)
+            .expect("token is single-use");
+        inner.committed += 1;
+        self.obs.commits.inc();
+        if footprint.is_empty() {
+            Self::retire(&mut inner, &self.obs);
+            span.finish();
+            return Ok(());
+        }
+        let hi = footprint
+            .reads
+            .iter()
+            .map(|r| r.at)
+            .chain(footprint.writes.iter().map(|w| w.count))
+            .max()
+            .expect("non-empty footprint");
+        let node = Node {
+            name,
+            reads: footprint.reads,
+            writes: footprint.writes,
+            hi,
+            out: Vec::new(),
+        };
+        let id = token.id;
+        // Real edges only, both directions, against every retained node.
+        let mut node = node;
+        let mut back_ids: Vec<u64> = Vec::new();
+        let mut edges_added = 0u64;
+        for (&other_id, other) in inner.nodes.iter() {
+            let (fwd, back) = conflict_edges(&node, other);
+            if fwd {
+                node.out.push(other_id);
+                edges_added += 1;
+            }
+            if back {
+                back_ids.push(other_id);
+                edges_added += 1;
+            }
+        }
+        for i in &back_ids {
+            inner.nodes.get_mut(i).expect("retained").out.push(id);
+        }
+        inner.nodes.insert(id, node);
+        self.obs.edges.add(edges_added);
+        self.obs.window.record(inner.nodes.len() as u64);
+
+        let result = match find_cycle(&inner.nodes, id) {
+            None => Ok(()),
+            Some(path) => {
+                let desc = format!(
+                    "serializability violation: conflict cycle {}",
+                    path.iter()
+                        .map(|i| inner.nodes[i].name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                );
+                inner.violations += 1;
+                if inner.first_violation.is_none() {
+                    inner.first_violation = Some(desc.clone());
+                }
+                self.obs.violations.inc();
+                self.obs.events.record(EventKind::CertViolation {
+                    task: inner.nodes[&id].name.clone(),
+                });
+                Err(desc)
+            }
+        };
+        Self::retire(&mut inner, &self.obs);
+        span.finish();
+        result
+    }
+
+    /// Retires every node no future cycle can pass through (see crate
+    /// docs): in-flight floors must have moved past its `hi`, and no
+    /// retained node may hold an edge into it. Iterates because removing
+    /// one node can strip the last in-edge of another.
+    fn retire(inner: &mut Inner, obs: &CertObs) {
+        let floor = inner
+            .inflight
+            .values()
+            .map(|(_, f)| *f)
+            .min()
+            .unwrap_or(u64::MAX);
+        loop {
+            let mut has_in: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+            for n in inner.nodes.values() {
+                has_in.extend(n.out.iter().copied());
+            }
+            let Some(cand) = inner
+                .nodes
+                .iter()
+                .find(|(i, n)| n.hi <= floor && !has_in.contains(i))
+                .map(|(&i, _)| i)
+            else {
+                break;
+            };
+            inner.nodes.remove(&cand);
+            for n in inner.nodes.values_mut() {
+                n.out.retain(|&o| o != cand);
+            }
+            inner.retired += 1;
+            obs.retired.inc();
+        }
+    }
+
+    /// Number of violations detected so far. `0` means every committed
+    /// history prefix was certified serializable.
+    pub fn violations(&self) -> u64 {
+        self.inner.lock().violations
+    }
+
+    /// The first detected violation, if any.
+    pub fn first_violation(&self) -> Option<String> {
+        self.inner.lock().first_violation.clone()
+    }
+
+    /// True if no violation has been detected.
+    pub fn is_acyclic(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// Number of committed footprints ingested.
+    pub fn committed(&self) -> u64 {
+        self.inner.lock().committed
+    }
+
+    /// Nodes currently retained in the window.
+    pub fn window_len(&self) -> usize {
+        self.inner.lock().nodes.len()
+    }
+
+    /// Nodes retired from the window so far.
+    pub fn retired(&self) -> u64 {
+        self.inner.lock().retired
+    }
+}
+
+/// The conflict edges between two committed tasks, as
+/// `(a → b, b → a)`. See the crate docs for the three rules.
+fn conflict_edges(a: &Node, b: &Node) -> (bool, bool) {
+    let mut ab = false;
+    let mut ba = false;
+    for w in &a.writes {
+        for r in &b.reads {
+            if r.pattern.matches(&w.row) {
+                if w.count <= r.at {
+                    ab = true;
+                } else {
+                    ba = true;
+                }
+            }
+        }
+        for w2 in &b.writes {
+            if w.row == w2.row {
+                match w.count.cmp(&w2.count) {
+                    std::cmp::Ordering::Less => ab = true,
+                    std::cmp::Ordering::Greater => ba = true,
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+        }
+    }
+    for w in &b.writes {
+        for r in &a.reads {
+            if r.pattern.matches(&w.row) {
+                if w.count <= r.at {
+                    ba = true;
+                } else {
+                    ab = true;
+                }
+            }
+        }
+    }
+    (ab, ba)
+}
+
+/// Depth-first search for a cycle through `start`. Edges are only ever
+/// added touching a new node, so any new cycle must pass through it.
+fn find_cycle(nodes: &BTreeMap<u64, Node>, start: u64) -> Option<Vec<u64>> {
+    let mut stack: Vec<(u64, usize)> = vec![(start, 0)];
+    let mut path: Vec<u64> = vec![start];
+    let mut visited: std::collections::BTreeSet<u64> = [start].into();
+    while let Some((node, next_edge)) = stack.last_mut() {
+        let out = &nodes[node].out;
+        if *next_edge >= out.len() {
+            stack.pop();
+            path.pop();
+            continue;
+        }
+        let target = out[*next_edge];
+        *next_edge += 1;
+        if target == start {
+            path.push(start);
+            return Some(path);
+        }
+        if visited.insert(target) {
+            stack.push((target, 0));
+            path.push(target);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(row: &str) -> Pattern {
+        Pattern::from_glob(row).unwrap()
+    }
+
+    fn commit_task(cert: &Certifier, name: &str, fp: Footprint) -> Result<(), String> {
+        let t = cert.begin(name, 0);
+        cert.commit(t, fp)
+    }
+
+    #[test]
+    fn serial_history_is_acyclic() {
+        let cert = Certifier::new();
+        for i in 0..5u64 {
+            let mut fp = Footprint::new();
+            fp.read(lit("dc01.*"), i);
+            fp.write("dc01.pod00.sw00", i + 1);
+            commit_task(&cert, &format!("t{i}"), fp).unwrap();
+        }
+        assert!(cert.is_acyclic());
+        assert_eq!(cert.committed(), 5);
+    }
+
+    #[test]
+    fn lost_update_is_rejected() {
+        // T1 and T2 run concurrently, both reading x at count 0; T1
+        // writes x at 1, T2 overwrites at 2 without having seen T1's
+        // write. Both begin before either commits, as their count-0
+        // reads require.
+        let cert = Certifier::new();
+        let t1 = cert.begin("t1", 0);
+        let t2 = cert.begin("t2", 0);
+        let mut f1 = Footprint::new();
+        f1.read(lit("x"), 0);
+        f1.write("x", 1);
+        cert.commit(t1, f1).unwrap();
+        let mut f2 = Footprint::new();
+        f2.read(lit("x"), 0);
+        f2.write("x", 2);
+        let err = cert.commit(t2, f2).unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+        assert_eq!(cert.violations(), 1);
+        assert_eq!(cert.first_violation().unwrap(), err);
+    }
+
+    #[test]
+    fn write_skew_is_rejected() {
+        // T1 reads {x,y} at 0, writes x at 1; T2 reads {x,y} at 0,
+        // writes y at 2: the classic OCC-without-read-validation skew.
+        let cert = Certifier::new();
+        let t1 = cert.begin("t1", 0);
+        let t2 = cert.begin("t2", 0);
+        let mut f1 = Footprint::new();
+        f1.read(lit("*"), 0);
+        f1.write("x", 1);
+        cert.commit(t1, f1).unwrap();
+        let mut f2 = Footprint::new();
+        f2.read(lit("*"), 0);
+        f2.write("y", 2);
+        assert!(cert.commit(t2, f2).is_err());
+        assert!(!cert.is_acyclic());
+    }
+
+    #[test]
+    fn disjoint_tasks_produce_no_edges_and_retire() {
+        let cert = Certifier::new();
+        for i in 0..10u64 {
+            let mut fp = Footprint::new();
+            fp.read(lit(&format!("row{i}")), i);
+            fp.write(format!("row{i}"), i + 1);
+            let t = cert.begin(&format!("t{i}"), i);
+            cert.commit(t, fp).unwrap();
+        }
+        assert!(cert.is_acyclic());
+        // With no in-flight tasks and disjoint climbing intervals, the
+        // window retires all but the last node.
+        assert!(cert.window_len() <= 2, "window: {}", cert.window_len());
+        assert!(cert.retired() >= 8);
+    }
+
+    #[test]
+    fn inflight_floor_pins_retirement() {
+        let cert = Certifier::new();
+        let pinned = cert.begin("slow", 0);
+        for i in 0..5u64 {
+            let mut fp = Footprint::new();
+            fp.write(format!("row{i}"), i + 1);
+            let t = cert.begin(&format!("t{i}"), i);
+            cert.commit(t, fp).unwrap();
+        }
+        // The slow task's floor of 0 keeps every node retained: it could
+        // still commit a footprint reaching back to count 0.
+        assert_eq!(cert.window_len(), 5);
+        // A stale read at count 0 overlapping row0's writer: the slow
+        // task serializes before it — a real edge, no cycle.
+        let mut fp = Footprint::new();
+        fp.read(lit("row0"), 0);
+        fp.write("other", 9);
+        cert.commit(pinned, fp).unwrap();
+        assert!(cert.is_acyclic());
+        // Watermark released: the disjoint early nodes drain.
+        assert!(cert.window_len() < 6);
+    }
+
+    #[test]
+    fn abandon_releases_watermark() {
+        let cert = Certifier::new();
+        let t0 = cert.begin("doomed", 0);
+        let mut fp = Footprint::new();
+        fp.write("x", 1);
+        let t1 = cert.begin("ok", 0);
+        cert.commit(t1, fp).unwrap();
+        assert_eq!(cert.window_len(), 1);
+        cert.abandon(t0);
+        // With nothing in flight and a single node, it may retire as
+        // soon as another disjoint commit advances the watermark.
+        let mut fp = Footprint::new();
+        fp.write("y", 5);
+        let t2 = cert.begin("later", 4);
+        cert.commit(t2, fp).unwrap();
+        assert!(cert.window_len() <= 2);
+        assert!(cert.is_acyclic());
+    }
+
+    #[test]
+    fn metrics_are_bound_and_counted() {
+        let reg = Registry::new();
+        let cert = Certifier::with_obs(&reg);
+        let mut fp = Footprint::new();
+        fp.read(lit("x"), 0);
+        fp.write("x", 1);
+        let t = cert.begin("t", 0);
+        cert.commit(t, fp).unwrap();
+        cert.abandon(cert.begin("a", 0));
+        assert_eq!(reg.counter_value("cert.tasks"), 2);
+        assert_eq!(reg.counter_value("cert.commits"), 1);
+        assert_eq!(reg.counter_value("cert.aborts"), 1);
+        assert_eq!(reg.counter_value("cert.violations"), 0);
+    }
+}

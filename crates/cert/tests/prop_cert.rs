@@ -1,0 +1,187 @@
+//! Soundness property for the online certifier: any history it accepts
+//! in full (no violation on any commit) must actually be serializable,
+//! as judged by a brute-force permutation oracle.
+//!
+//! The oracle tries every serial order of the tasks (histories are kept
+//! to <= 5 tasks, so <= 120 permutations). Replaying one order applies
+//! each task's ops sorted by commit count (writes before reads on count
+//! ties, matching read-your-own-write semantics); a read of pattern `p`
+//! at count `a` must then observe, for every written row matching `p`,
+//! the write with the greatest count `<= a` — or the initial state if
+//! none qualifies. If some permutation satisfies every read, the
+//! history is serializable.
+
+use occam_cert::{Certifier, Footprint};
+use occam_regex::Pattern;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One generated task: reads as `(glob, at-count)`, writes as
+/// `(row, count)`.
+#[derive(Clone, Debug)]
+struct TaskOps {
+    reads: Vec<(String, u64)>,
+    writes: Vec<(String, u64)>,
+}
+
+fn arb_row() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string())
+    ]
+}
+
+fn arb_read() -> impl Strategy<Value = (String, u64)> {
+    (
+        prop_oneof![3 => arb_row(), 1 => Just("*".to_string())],
+        0u64..8,
+    )
+}
+
+fn arb_write() -> impl Strategy<Value = (String, u64)> {
+    // Writes strictly exceed the floor (0 here), per the begin contract.
+    (arb_row(), 1u64..9)
+}
+
+fn arb_task() -> impl Strategy<Value = TaskOps> {
+    (
+        proptest::collection::vec(arb_read(), 0..3),
+        proptest::collection::vec(arb_write(), 0..3),
+    )
+        .prop_map(|(reads, writes)| TaskOps { reads, writes })
+}
+
+/// The expected observation for row `row` at snapshot count `at`: the
+/// greatest write count `<= at` across the whole history, or 0 (initial
+/// state) if the row had not yet been written.
+fn expected_at(all_writes: &BTreeMap<String, Vec<u64>>, row: &str, at: u64) -> u64 {
+    all_writes
+        .get(row)
+        .into_iter()
+        .flatten()
+        .copied()
+        .filter(|&c| c <= at)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Replays `tasks` in the order given by `perm` and checks every read.
+fn replay_consistent(
+    perm: &[usize],
+    tasks: &[TaskOps],
+    all_writes: &BTreeMap<String, Vec<u64>>,
+    written: &BTreeSet<String>,
+) -> bool {
+    // Row -> count of the last applied write (0 = initial state).
+    let mut val: BTreeMap<&str, u64> = written.iter().map(|r| (r.as_str(), 0)).collect();
+    for &i in perm {
+        let t = &tasks[i];
+        // (count, 0=write / 1=read, op index): a task's own ops replay
+        // in count order, writes first on ties.
+        let mut ops: Vec<(u64, u8, usize)> = Vec::new();
+        for (k, (_, c)) in t.writes.iter().enumerate() {
+            ops.push((*c, 0, k));
+        }
+        for (k, (_, a)) in t.reads.iter().enumerate() {
+            ops.push((*a, 1, k));
+        }
+        ops.sort();
+        for (count, kind, k) in ops {
+            if kind == 0 {
+                let (row, _) = &t.writes[k];
+                val.insert(row.as_str(), count);
+            } else {
+                let (glob, _) = &t.reads[k];
+                let pat = Pattern::from_glob(glob).unwrap();
+                for row in written {
+                    if pat.matches(row) && val[row.as_str()] != expected_at(all_writes, row, count)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// True if some serial order of `tasks` reproduces every read.
+fn oracle_serializable(tasks: &[TaskOps]) -> bool {
+    let mut all_writes: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for t in tasks {
+        for (row, c) in &t.writes {
+            all_writes.entry(row.clone()).or_default().push(*c);
+        }
+    }
+    let written: BTreeSet<String> = all_writes.keys().cloned().collect();
+    let mut perm: Vec<usize> = (0..tasks.len()).collect();
+    // Heap's algorithm, iterative.
+    let n = perm.len();
+    let mut c = vec![0usize; n];
+    if replay_consistent(&perm, tasks, &all_writes, &written) {
+        return true;
+    }
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            if replay_consistent(&perm, tasks, &all_writes, &written) {
+                return true;
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Certifier soundness: a fully-accepted history admits a serial
+    /// order under the permutation oracle, and (with nothing left in
+    /// flight) the acyclic window drains completely.
+    #[test]
+    fn accepted_histories_are_serializable(
+        tasks in proptest::collection::vec(arb_task(), 2..6),
+    ) {
+        let cert = Certifier::new();
+        // All tasks run concurrently: begin every token before any
+        // commit, each at floor 0 (the initial commit count).
+        let tokens: Vec<_> = (0..tasks.len())
+            .map(|i| cert.begin(&format!("t{i}"), 0))
+            .collect();
+        let mut all_ok = true;
+        for (tok, t) in tokens.into_iter().zip(&tasks) {
+            let mut f = Footprint::new();
+            for (glob, at) in &t.reads {
+                f.read(Pattern::from_glob(glob).unwrap(), *at);
+            }
+            for (row, c) in &t.writes {
+                f.write(row.clone(), *c);
+            }
+            if cert.commit(tok, f).is_err() {
+                all_ok = false;
+            }
+        }
+        if all_ok {
+            prop_assert!(
+                oracle_serializable(&tasks),
+                "certifier accepted a non-serializable history: {tasks:?}"
+            );
+            // Acyclic + nothing in flight: every node retires.
+            prop_assert_eq!(cert.window_len(), 0);
+        } else {
+            prop_assert!(cert.violations() > 0);
+            prop_assert!(!cert.is_acyclic());
+        }
+    }
+}

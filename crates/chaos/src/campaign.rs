@@ -71,6 +71,10 @@ pub struct CampaignConfig {
     /// Consistent-update chaos phase (mid-wave kill, faults during
     /// waves, concurrent conflicting plans), when configured.
     pub update: Option<crate::update::UpdateChaosConfig>,
+    /// Optimistic-concurrency chaos phase (mixed OCC/2PL contention with
+    /// the serializability certifier attached, fallback under faults),
+    /// when configured.
+    pub occ: Option<crate::occ::OccChaosConfig>,
 }
 
 impl CampaignConfig {
@@ -92,6 +96,7 @@ impl CampaignConfig {
             gateway: None,
             repl: None,
             update: None,
+            occ: None,
         }
     }
 }
@@ -401,6 +406,14 @@ impl Campaign {
                 report.first_violation = update.first_violation.clone();
             }
             report.update = Some(update);
+        }
+        if let Some(occ_cfg) = &self.cfg.occ {
+            let occ = crate::occ::run_occ_phase(occ_cfg);
+            report.invariant_violations += occ.violations;
+            if occ.violations > 0 && report.first_violation.is_none() {
+                report.first_violation = occ.first_violation.clone();
+            }
+            report.occ = Some(occ);
         }
         report
     }

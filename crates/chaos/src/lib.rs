@@ -17,6 +17,7 @@
 //! | storage | crash points: WAL dump → recover → compare; torn-prefix replay | [`occam_netdb::Database::recover`] |
 //! | gateway | connections dropped mid-frame; clients vanishing after SUBMIT | raw loopback sockets against a live [`occam_gateway::GatewayServer`] |
 //! | replication | leader killed mid-commit; followers partitioned mid-catch-up; crash-and-rejoin | live [`occam_netdb::ReplicaSet`] with deterministic failover |
+//! | isolation | mixed OCC/2PL writers contending on one row; OCC fallback under device faults | [`occam_core::Isolation::Occ`] tasks with an [`occam_cert::Certifier`] attached |
 //!
 //! After every task the campaign asserts the paper's recovery contract:
 //! completed tasks satisfy their scenario postcondition (*fully
@@ -42,6 +43,7 @@
 
 pub mod campaign;
 pub mod gateway;
+pub mod occ;
 pub mod repl;
 pub mod report;
 pub mod scenario;
@@ -50,8 +52,11 @@ pub mod update;
 
 pub use campaign::{Campaign, CampaignConfig};
 pub use gateway::{run_gateway_phase, GatewayChaosConfig};
+pub use occ::{run_occ_phase, OccChaosConfig};
 pub use repl::{run_repl_phase, ReplChaosConfig};
-pub use report::{CampaignReport, GatewayChaosReport, ReplChaosReport, UpdateChaosReport};
+pub use report::{
+    CampaignReport, GatewayChaosReport, OccChaosReport, ReplChaosReport, UpdateChaosReport,
+};
 pub use scenario::{Scenario, ScenarioKind};
 pub use snapshot::{DeviceFingerprint, StateSnapshot};
 pub use update::{run_update_phase, UpdateChaosConfig};

@@ -140,6 +140,56 @@ impl UpdateChaosReport {
     }
 }
 
+/// Outcome of the optimistic-concurrency chaos phase (DESIGN.md §16):
+/// mixed OCC/2PL writers contending on one row with the serializability
+/// certifier attached, plus OCC tasks forced to fall back to 2PL under
+/// seeded device faults.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct OccChaosReport {
+    /// Read-modify-write increment tasks run in the contended campaign.
+    pub increment_tasks: u64,
+    /// Increments missing from the final counter — must be 0.
+    pub lost_updates: u64,
+    /// Footprints the certifier ingested from committed tasks.
+    pub certified_commits: u64,
+    /// Apply-bearing OCC tasks run in the fallback campaign.
+    pub fallback_tasks: u64,
+    /// 2PL fallbacks the runtime fired (`core.occ.fallbacks`).
+    pub fallbacks_fired: u64,
+    /// Fallback tasks that exhausted their retries under faults.
+    pub exhausted_retries: u64,
+    /// Transient device faults injected in the fallback campaign.
+    pub device_faults: u64,
+    /// Retry attempts the runtime made in the fallback campaign.
+    pub retries: u64,
+    /// Invariant violations detected in the phase — must be 0.
+    pub violations: u64,
+    /// First violation description, when any occurred.
+    pub first_violation: Option<String>,
+}
+
+impl OccChaosReport {
+    fn to_json(&self) -> String {
+        let first_violation = match &self.first_violation {
+            Some(v) => format!("\"{}\"", json_escape(v)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"increment_tasks\":{},\"lost_updates\":{},\"certified_commits\":{},\"fallback_tasks\":{},\"fallbacks_fired\":{},\"exhausted_retries\":{},\"device_faults\":{},\"retries\":{},\"violations\":{},\"first_violation\":{}}}",
+            self.increment_tasks,
+            self.lost_updates,
+            self.certified_commits,
+            self.fallback_tasks,
+            self.fallbacks_fired,
+            self.exhausted_retries,
+            self.device_faults,
+            self.retries,
+            self.violations,
+            first_violation
+        )
+    }
+}
+
 /// Outcome of one seeded campaign. All fields are counters; see the
 /// module docs for the determinism contract.
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -178,6 +228,8 @@ pub struct CampaignReport {
     pub repl: Option<ReplChaosReport>,
     /// Consistent-update phase outcome, when the phase ran.
     pub update: Option<UpdateChaosReport>,
+    /// Optimistic-concurrency phase outcome, when the phase ran.
+    pub occ: Option<OccChaosReport>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -208,12 +260,16 @@ impl CampaignReport {
             Some(u) => u.to_json(),
             None => "null".to_string(),
         };
+        let occ = match &self.occ {
+            Some(o) => o.to_json(),
+            None => "null".to_string(),
+        };
         let first_violation = match &self.first_violation {
             Some(v) => format!("\"{}\"", json_escape(v)),
             None => "null".to_string(),
         };
         format!(
-            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{},\"repl\":{},\"update\":{}}}",
+            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{},\"repl\":{},\"update\":{},\"occ\":{}}}",
             self.seed,
             self.fault_rate,
             self.tasks,
@@ -230,7 +286,8 @@ impl CampaignReport {
             first_violation,
             gateway,
             repl,
-            update
+            update,
+            occ
         )
     }
 }
@@ -253,7 +310,7 @@ mod tests {
         assert!(r.to_json().contains("\"fault_rate\":0.05"));
         assert!(r
             .to_json()
-            .ends_with("\"gateway\":null,\"repl\":null,\"update\":null}"));
+            .ends_with("\"gateway\":null,\"repl\":null,\"update\":null,\"occ\":null}"));
         r.repl = Some(ReplChaosReport {
             writes: 3,
             ..ReplChaosReport::default()

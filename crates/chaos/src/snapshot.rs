@@ -84,7 +84,7 @@ impl StateSnapshot {
             devices.insert(d.name.clone(), DeviceFingerprint::of(sw));
         }
         StateSnapshot {
-            db: db.snapshot(),
+            db: db.read_view().into_snapshot(),
             devices,
         }
     }

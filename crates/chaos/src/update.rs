@@ -148,7 +148,7 @@ impl Substrate {
         value: &str,
         firmware: Option<&str>,
     ) -> Vec<UpdateOp> {
-        let old = self.db.snapshot();
+        let old = self.db.read_view().into_snapshot();
         let mut records: Vec<WalRecord> = old
             .select_devices(&Pattern::universe())
             .into_iter()
@@ -188,7 +188,7 @@ impl Substrate {
 /// wave's devices are additionally mid-rewrite (`in_flux`).
 fn live_state(db: &Database, topo: &Topology, in_flux: &[DeviceId]) -> ModelState {
     let mut state = ModelState::default();
-    let snap = db.snapshot();
+    let snap = db.read_view();
     for (name, status) in snap.get_attr(&Pattern::universe(), attrs::DEVICE_STATUS) {
         let down = status.as_str() == Some(attrs::STATUS_DRAINED)
             || status.as_str() == Some(attrs::STATUS_UNDER_MAINTENANCE);
@@ -271,7 +271,7 @@ fn assert_applied(
     firmware: Option<&str>,
     report: &mut UpdateChaosReport,
 ) {
-    let snap = sub.db.snapshot();
+    let snap = sub.db.read_view();
     for name in snap.select_devices(scope) {
         let dev = snap.device_attrs(&name).unwrap_or_default();
         if dev.get("CONFIG_VERSION").and_then(|v| v.as_str()) != Some(generation) {
@@ -380,7 +380,7 @@ fn faults_during_waves(cfg: &UpdateChaosConfig, report: &mut UpdateChaosReport) 
         if !exec.rolled_back {
             violation(report, "faulted wave left without rollback".into());
         }
-        let snap = sub.db.snapshot();
+        let snap = sub.db.read_view();
         for name in snap.select_devices(&scope) {
             let dev = snap.device_attrs(&name).unwrap_or_default();
             let fw = dev.get(attrs::FIRMWARE_VERSION).and_then(|v| v.as_str());
@@ -472,7 +472,7 @@ fn concurrent_conflicting(cfg: &UpdateChaosConfig, report: &mut UpdateChaosRepor
 
     // No tearing: each agg carries exactly its own plan's pair, and each
     // ToR carries one generation or the other — never a mix.
-    let snap = sub.db.snapshot();
+    let snap = sub.db.read_view();
     for (scope, generation, firmware) in &plans {
         for name in snap.select_devices(scope) {
             let dev = snap.device_attrs(&name).unwrap_or_default();

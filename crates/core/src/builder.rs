@@ -55,10 +55,38 @@ use crate::runtime::Runtime;
 use crate::task::{CancelToken, TaskCtx, TaskReport};
 use crate::TaskResult;
 
+/// Concurrency-control mode for one task (DESIGN.md §16).
+///
+/// The mode is a *declaration on the task*, not a property of individual
+/// operations: the same management program runs unchanged under either
+/// mode, and [`Isolation::Occ`] transparently re-executes under
+/// [`Isolation::TwoPl`] when optimism does not pay off — after
+/// `max_retries` commit-validation conflicts, or immediately when the
+/// program performs an operation that cannot be staged (a device
+/// function `apply`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Isolation {
+    /// Strict two-phase locking through the multi-granularity object
+    /// tree — the paper's default. Locks accumulate during the task and
+    /// release together at commit or abort.
+    #[default]
+    TwoPl,
+    /// Optimistic concurrency: the task runs lock-free against a frozen
+    /// consistent snapshot, database writes are staged privately, and at
+    /// commit the runtime validates that no other commit touched any
+    /// shard the task read or wrote (per-shard version counters). A
+    /// validation conflict re-runs the task from a fresh snapshot.
+    Occ {
+        /// Commit-validation conflicts tolerated before the task falls
+        /// back to pessimistic (2PL) execution.
+        max_retries: u32,
+    },
+}
+
 /// A fluent, one-stop task submission builder (see the module docs).
 ///
 /// Created by [`Runtime::task`]; defaults: not urgent, a fresh cancel
-/// token, no retries.
+/// token, no retries, [`Isolation::TwoPl`].
 #[must_use = "a TaskBuilder does nothing until a terminal (`run`, `spawn`, `spawn_pooled`) is called"]
 pub struct TaskBuilder {
     rt: Runtime,
@@ -66,6 +94,7 @@ pub struct TaskBuilder {
     urgent: bool,
     cancel: CancelToken,
     retry: RetryPolicy,
+    isolation: Isolation,
 }
 
 impl Runtime {
@@ -78,6 +107,7 @@ impl Runtime {
             urgent: false,
             cancel: CancelToken::new(),
             retry: RetryPolicy::none(),
+            isolation: Isolation::TwoPl,
         }
     }
 }
@@ -110,26 +140,43 @@ impl TaskBuilder {
         self
     }
 
+    /// Sets the concurrency-control mode (default: [`Isolation::TwoPl`]).
+    /// Under [`Isolation::Occ`] the task runs lock-free against a frozen
+    /// snapshot, validating at commit; validation conflicts and
+    /// un-stageable operations transparently fall back to 2PL.
+    pub fn isolation(mut self, isolation: Isolation) -> TaskBuilder {
+        self.isolation = isolation;
+        self
+    }
+
     /// Runs the task synchronously on the calling thread and returns its
     /// report (the final attempt's, with [`TaskReport::attempts`] set).
     pub fn run<F>(self, program: F) -> TaskReport
     where
         F: FnMut(&TaskCtx) -> TaskResult<()>,
     {
-        self.rt
-            .execute_with_policy(&self.name, self.urgent, self.cancel, &self.retry, program)
+        self.rt.execute_with_policy(
+            &self.name,
+            self.urgent,
+            self.cancel,
+            &self.retry,
+            self.isolation,
+            program,
+        )
     }
 
     /// Runs a `FnOnce` program synchronously. Because the program cannot
     /// be called twice, any configured retry policy is ignored (single
-    /// attempt). Prefer [`TaskBuilder::run`] with a re-runnable program
-    /// when retries matter.
+    /// attempt) and the task always executes pessimistically — OCC needs
+    /// re-execution for both conflict retries and the 2PL fallback.
+    /// Prefer [`TaskBuilder::run`] with a re-runnable program when
+    /// retries or [`Isolation::Occ`] matter.
     pub fn run_once<F>(self, program: F) -> TaskReport
     where
         F: FnOnce(&TaskCtx) -> TaskResult<()>,
     {
         self.rt
-            .execute_attempt(&self.name, self.urgent, self.cancel, program)
+            .execute_attempt(&self.name, self.urgent, self.cancel, false, program)
     }
 
     /// Spawns the task on a dedicated OS thread; the handle yields its
@@ -140,8 +187,14 @@ impl TaskBuilder {
         F: FnMut(&TaskCtx) -> TaskResult<()> + Send + 'static,
     {
         std::thread::spawn(move || {
-            self.rt
-                .execute_with_policy(&self.name, self.urgent, self.cancel, &self.retry, program)
+            self.rt.execute_with_policy(
+                &self.name,
+                self.urgent,
+                self.cancel,
+                &self.retry,
+                self.isolation,
+                program,
+            )
         })
     }
 
@@ -161,9 +214,10 @@ impl TaskBuilder {
             urgent,
             cancel,
             retry,
+            isolation,
         } = self;
         rt.spawn_pooled(urgent, move |rt| {
-            filler.fill(rt.execute_with_policy(&name, urgent, cancel, &retry, program));
+            filler.fill(rt.execute_with_policy(&name, urgent, cancel, &retry, isolation, program));
         });
         handle
     }

@@ -34,6 +34,20 @@ pub enum TaskError {
         /// The offending scope.
         scope: String,
     },
+    /// An optimistically-executed task failed commit-time validation:
+    /// another commit touched a shard in its read or write set since its
+    /// snapshot was taken. Handled by the OCC driver (retry from a fresh
+    /// snapshot, then 2PL fallback); surfaces only through
+    /// `core.occ.aborts`.
+    OccConflict {
+        /// Index of the first netdb shard that failed validation.
+        shard: usize,
+    },
+    /// An operation that cannot be staged optimistically (e.g. a device
+    /// function, whose physical side effects have no undo-free buffer)
+    /// was attempted under `Isolation::Occ`. The OCC driver re-executes
+    /// the task under 2PL (`core.occ.fallbacks`).
+    OccFallback(String),
     /// Task-specific failure raised by the management program itself.
     Failed(String),
 }
@@ -69,6 +83,12 @@ impl std::fmt::Display for TaskError {
             TaskError::Panicked(msg) => write!(f, "management program panicked: {msg}"),
             TaskError::ReadOnlyObject { scope } => {
                 write!(f, "stateful operation on read-mode object {scope}")
+            }
+            TaskError::OccConflict { shard } => {
+                write!(f, "optimistic validation conflict on shard {shard}")
+            }
+            TaskError::OccFallback(why) => {
+                write!(f, "optimistic execution fell back to 2PL: {why}")
             }
             TaskError::Failed(msg) => write!(f, "task failed: {msg}"),
         }

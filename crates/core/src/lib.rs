@@ -66,7 +66,7 @@ pub mod retry;
 pub mod runtime;
 pub mod task;
 
-pub use builder::TaskBuilder;
+pub use builder::{Isolation, TaskBuilder};
 pub use error::{TaskError, TaskResult};
 pub use network::Network;
 pub use occam_rollback::RollbackPlan;

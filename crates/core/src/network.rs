@@ -9,7 +9,7 @@
 use crate::error::{TaskError, TaskResult};
 use crate::task::{TaskCtx, UndoRecord};
 use occam_emunet::FuncArgs;
-use occam_netdb::{AttrValue, LinkKey, StoreSnapshot};
+use occam_netdb::{AttrValue, LinkKey, ReadSource, ReadView, StoreSnapshot, WriteOp};
 use occam_objtree::{LockMode, ObjectId};
 use occam_regex::Pattern;
 use occam_rollback::{func_optype, LogEntry, OpStatus};
@@ -60,11 +60,58 @@ impl<'t> Network<'t> {
         }
     }
 
+    /// Under optimistic execution: tracks this object's scope in the
+    /// attempt's read set, records the read for certification, and
+    /// returns a read-your-writes overlay of the frozen snapshot.
+    /// Returns `None` under 2PL.
+    fn occ_overlay(&self) -> Option<StoreSnapshot> {
+        let mut slot = self.ctx.occ.lock();
+        let st = slot.as_mut()?;
+        st.track_pattern(&self.pattern);
+        let at = st.base_commits;
+        let overlay = st.staged.overlay();
+        drop(slot);
+        self.ctx.record_read(&self.pattern, at);
+        Some(overlay)
+    }
+
+    /// One consistent read snapshot for the 2PL path, recorded in the
+    /// certifier footprint at its exact commit count.
+    fn read_snapshot(&self) -> TaskResult<StoreSnapshot> {
+        let snap = self.ctx.runtime().db().query_snapshot()?;
+        self.ctx.record_read(&self.pattern, snap.commits());
+        Ok(snap)
+    }
+
+    /// Stages one batch under optimistic execution, tracking the rows it
+    /// writes for certification.
+    fn occ_stage(&self, ops: &[WriteOp], rows: Vec<String>, label: &str) -> TaskResult<()> {
+        let mut slot = self.ctx.occ.lock();
+        let st = slot.as_mut().expect("occ_stage only under OCC");
+        match st.staged.apply(ops) {
+            Ok(()) => {
+                st.pending_rows.extend(rows);
+                st.write_patterns.push(self.pattern.clone());
+                drop(slot);
+                // Staged writes publish only if commit-time validation
+                // passes, so they sit outside the rollback grammar: an
+                // aborted optimistic attempt has nothing to undo.
+                self.ctx
+                    .push_activity(format!("occ staged {label} ({} ops)", ops.len()));
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// The device names currently in the region (from the database).
     pub fn devices(&self) -> TaskResult<Vec<String>> {
         self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
-        Ok(self.ctx.runtime().db().select_devices(&self.pattern)?)
+        if let Some(snap) = self.occ_overlay() {
+            return Ok(snap.select_devices(&self.pattern));
+        }
+        Ok(self.read_snapshot()?.select_devices(&self.pattern))
     }
 
     /// Reads one attribute for every device in the region: the paper's
@@ -72,14 +119,20 @@ impl<'t> Network<'t> {
     pub fn get(&self, attr: &str) -> TaskResult<BTreeMap<String, AttrValue>> {
         self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
-        Ok(self.ctx.runtime().db().get_attr(&self.pattern, attr)?)
+        if let Some(snap) = self.occ_overlay() {
+            return Ok(snap.get_attr(&self.pattern, attr));
+        }
+        Ok(self.read_snapshot()?.get_attr(&self.pattern, attr))
     }
 
     /// Reads the full attribute map of every device in the region.
     pub fn get_all(&self) -> TaskResult<BTreeMap<String, BTreeMap<String, AttrValue>>> {
         self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
-        Ok(self.ctx.runtime().db().get_all(&self.pattern)?)
+        if let Some(snap) = self.occ_overlay() {
+            return Ok(snap.get_all(&self.pattern));
+        }
+        Ok(self.read_snapshot()?.get_all(&self.pattern))
     }
 
     /// Reads one attribute across the links touching the region; link keys
@@ -87,40 +140,76 @@ impl<'t> Network<'t> {
     pub fn get_links(&self, attr: &str) -> TaskResult<BTreeMap<LinkKey, AttrValue>> {
         self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
-        Ok(self.ctx.runtime().db().get_link_attr(&self.pattern, attr)?)
+        if let Some(snap) = self.occ_overlay() {
+            return Ok(snap.get_link_attr(&self.pattern, attr));
+        }
+        Ok(self.read_snapshot()?.get_link_attr(&self.pattern, attr))
     }
 
-    /// Takes a consistent lock-free snapshot of the store, scoped reads
+    /// Takes a consistent lock-free view of the whole store, scoped reads
     /// included: all reads against the returned handle observe the same
     /// committed version, so multi-attribute audits cannot tear across a
     /// concurrent commit. Counted and fault-injected like any other query.
     ///
     /// When a replica read router is attached
-    /// ([`crate::Runtime::attach_read_router`]) the snapshot is served
+    /// ([`crate::Runtime::attach_read_router`]) the view is served
     /// from a caught-up follower within the router's staleness bound —
     /// still one consistent committed version, possibly a few commits
-    /// behind the leader (surfaced in `netdb.repl.read_lag_commits`).
-    pub fn view(&self) -> TaskResult<StoreSnapshot> {
+    /// behind the leader ([`ReadView::source`] says which; the lag is
+    /// surfaced in `netdb.repl.read_lag_commits`). Under optimistic
+    /// execution the view is the attempt's own overlay, and the whole
+    /// store joins the attempt's read set (a full view can depend on
+    /// anything).
+    pub fn view(&self) -> TaskResult<ReadView> {
         self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_get.inc();
-        Ok(self.ctx.runtime().routed_snapshot()?)
+        let everything = self.ctx.runtime().pattern_cache().get(".*")?;
+        {
+            let mut slot = self.ctx.occ.lock();
+            if let Some(st) = slot.as_mut() {
+                st.track_pattern(&everything);
+                let at = st.base_commits;
+                let overlay = st.staged.overlay();
+                drop(slot);
+                self.ctx.record_read(&everything, at);
+                return Ok(ReadView::new(overlay, ReadSource::Leader));
+            }
+        }
+        let view = self.ctx.runtime().routed_view()?;
+        self.ctx.record_read(&everything, view.commits());
+        Ok(view)
     }
 
     /// Writes one attribute on every device in the region: the paper's
     /// `set()`. Returns the devices written. Logged as `DB_CHANGE` with the
-    /// overwritten values for rollback.
+    /// overwritten values for rollback; under optimistic execution the
+    /// write is staged privately instead (nothing to roll back until it
+    /// publishes).
     pub fn set(&self, attr: &str, value: AttrValue) -> TaskResult<Vec<String>> {
         self.ctx.check_cancelled()?;
         self.require_write("set")?;
         self.ctx.runtime().obs_handles().ops_set.inc();
-        let db = self.ctx.runtime().db();
         let label = format!("set({attr})");
+        if let Some(snap) = self.occ_overlay() {
+            let devices = snap.select_devices(&self.pattern);
+            let ops: Vec<WriteOp> = devices
+                .iter()
+                .map(|n| WriteOp::SetDeviceAttr {
+                    name: n.clone(),
+                    attr: attr.to_string(),
+                    value: value.clone(),
+                })
+                .collect();
+            self.occ_stage(&ops, devices.clone(), &label)?;
+            return Ok(devices);
+        }
+        let db = self.ctx.runtime().db();
         // Capture previous values (absent = None) for the undo payload.
         type Captured = (Vec<String>, Vec<(String, Option<AttrValue>)>);
         let capture = || -> Result<Captured, TaskError> {
             // One snapshot: names and previous values are mutually
             // consistent even against concurrent writers.
-            let snap = db.query_snapshot()?;
+            let snap = self.read_snapshot()?;
             let devices = snap.select_devices(&self.pattern);
             let current = snap.get_attr(&self.pattern, attr);
             let old = devices
@@ -139,8 +228,11 @@ impl<'t> Network<'t> {
                 return Err(e);
             }
         };
-        match db.set_attr(&self.pattern, attr, value) {
-            Ok(written) => {
+        match db.set_attr_seq(&self.pattern, attr, value) {
+            Ok((written, seq)) => {
+                for d in &written {
+                    self.ctx.record_write(d, seq + 1);
+                }
                 self.ctx.push_log(
                     LogEntry {
                         typ: occam_rollback::OpType::DbChange,
@@ -188,15 +280,29 @@ impl<'t> Network<'t> {
                 )));
             }
         }
-        let db = self.ctx.runtime().db();
         let label = format!("set({attr})");
-        let current = db.get_attr(&self.pattern, attr)?;
+        if self.ctx.occ_active() {
+            let ops: Vec<WriteOp> = values
+                .iter()
+                .map(|(n, v)| WriteOp::SetDeviceAttr {
+                    name: n.clone(),
+                    attr: attr.to_string(),
+                    value: v.clone(),
+                })
+                .collect();
+            return self.occ_stage(&ops, values.keys().cloned().collect(), &label);
+        }
+        let db = self.ctx.runtime().db();
+        let current = self.read_snapshot()?.get_attr(&self.pattern, attr);
         let old: Vec<(String, Option<AttrValue>)> = values
             .keys()
             .map(|d| (d.clone(), current.get(d).cloned()))
             .collect();
         match db.set_attr_per_device(values, attr) {
-            Ok(_) => {
+            Ok(seq) => {
+                for d in values.keys() {
+                    self.ctx.record_write(d, seq + 1);
+                }
                 self.ctx.push_log(
                     LogEntry {
                         typ: occam_rollback::OpType::DbChange,
@@ -227,17 +333,39 @@ impl<'t> Network<'t> {
         self.ctx.check_cancelled()?;
         self.require_write("set_links")?;
         self.ctx.runtime().obs_handles().ops_set.inc();
-        let db = self.ctx.runtime().db();
         let label = format!("set_links({attr})");
-        let snap = db.query_snapshot()?;
+        if let Some(snap) = self.occ_overlay() {
+            let keys = snap.links_touching(&self.pattern);
+            let ops: Vec<WriteOp> = keys
+                .iter()
+                .map(|(a, z)| WriteOp::SetLinkAttr {
+                    a_end: a.clone(),
+                    z_end: z.clone(),
+                    attr: attr.to_string(),
+                    value: value.clone(),
+                })
+                .collect();
+            // A link write touches both endpoint rows.
+            let rows = keys
+                .iter()
+                .flat_map(|(a, z)| [a.clone(), z.clone()])
+                .collect();
+            self.occ_stage(&ops, rows, &label)?;
+            return Ok(keys);
+        }
+        let db = self.ctx.runtime().db();
+        let snap = self.read_snapshot()?;
         let current = snap.get_link_attr(&self.pattern, attr);
         let keys = snap.links_touching(&self.pattern);
         let old: Vec<(LinkKey, Option<AttrValue>)> = keys
             .iter()
             .map(|k| (k.clone(), current.get(k).cloned()))
             .collect();
-        match db.set_link_attr_scope(&self.pattern, attr, value) {
-            Ok(written) => {
+        match db.set_link_attr_scope_seq(&self.pattern, attr, value) {
+            Ok((written, seq)) => {
+                for k in &written {
+                    self.ctx.record_link_write(k, seq + 1);
+                }
                 self.ctx.push_log(
                     LogEntry {
                         typ: occam_rollback::OpType::DbChange,
@@ -279,10 +407,18 @@ impl<'t> Network<'t> {
                 self.pattern.source()
             )));
         }
-        let db = self.ctx.runtime().db();
         let label = format!("insert_device({name})");
+        if self.ctx.occ_active() {
+            let ops = [WriteOp::InsertDevice {
+                name: name.to_string(),
+                attrs,
+            }];
+            return self.occ_stage(&ops, vec![name.to_string()], &label);
+        }
+        let db = self.ctx.runtime().db();
         match db.insert_device(name, attrs) {
-            Ok(_) => {
+            Ok(seq) => {
+                self.ctx.record_write(name, seq + 1);
                 self.ctx.push_log(
                     LogEntry {
                         typ: occam_rollback::OpType::DbChange,
@@ -323,24 +459,42 @@ impl<'t> Network<'t> {
                 self.pattern.source()
             )));
         }
-        let db = self.ctx.runtime().db();
         let label = format!("remove_device({name})");
-        // Capture the row and its links for the undo payload.
         let one = Pattern::from_names(&[name])?;
-        let attrs: Vec<(String, AttrValue)> = db
-            .get_all(&one)?
+        if self.ctx.occ_active() {
+            // The delete cascades into the links' peer rows; record them
+            // as written so the certifier sees the cascade.
+            let snap = self.occ_overlay().expect("occ active");
+            let mut rows = vec![name.to_string()];
+            for (a, z) in snap.links_touching(&one) {
+                rows.push(if a == name { z } else { a });
+            }
+            let ops = [WriteOp::DeleteDevice {
+                name: name.to_string(),
+            }];
+            return self.occ_stage(&ops, rows, &label);
+        }
+        let db = self.ctx.runtime().db();
+        // Capture the row and its links for the undo payload — one
+        // consistent snapshot for both.
+        let snap = self.read_snapshot()?;
+        let attrs: Vec<(String, AttrValue)> = snap
+            .get_all(&one)
             .remove(name)
             .map(|m| m.into_iter().collect())
             .unwrap_or_default();
         let mut links = Vec::new();
-        let snap = db.query_snapshot()?;
         for (a, z) in snap.links_touching(&one) {
             let peer = if a == name { z.clone() } else { a.clone() };
             let attrs = snap.link_attrs(&a, &z).unwrap_or_default();
             links.push((peer, attrs.into_iter().collect()));
         }
         match db.delete_device(name) {
-            Ok(_) => {
+            Ok(seq) => {
+                self.ctx.record_write(name, seq + 1);
+                for (peer, _) in &links {
+                    self.ctx.record_write(peer, seq + 1);
+                }
                 self.ctx.push_log(
                     LogEntry {
                         typ: occam_rollback::OpType::DbChange,
@@ -373,10 +527,23 @@ impl<'t> Network<'t> {
     }
 
     /// `apply` with function arguments.
+    ///
+    /// Device functions have physical side effects that cannot be staged
+    /// and validated optimistically, so under [`crate::Isolation::Occ`]
+    /// the attempt aborts with [`TaskError::OccFallback`] and the driver
+    /// transparently re-executes the whole task under 2PL.
     pub fn apply_with(&self, func: &str, args: &FuncArgs) -> TaskResult<String> {
         self.ctx.check_cancelled()?;
         self.ctx.runtime().obs_handles().ops_apply.inc();
         self.require_write("apply")?;
+        {
+            let mut slot = self.ctx.occ.lock();
+            if let Some(st) = slot.as_mut() {
+                let why = format!("apply({func}) has physical side effects");
+                st.needs_fallback = Some(why.clone());
+                return Err(TaskError::OccFallback(why));
+            }
+        }
         let devices = self.devices()?;
         let label = format!("apply({func})");
         let result = self.ctx.runtime().service().execute(func, &devices, args);

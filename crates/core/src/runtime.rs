@@ -8,14 +8,16 @@
 //! enforces strict 2PL: locks accumulate during the task and release
 //! together at commit or abort.
 
+use crate::builder::Isolation;
 use crate::error::{TaskError, TaskResult};
 use crate::pool::PoolShared;
 use crate::retry::RetryPolicy;
 use crate::task::{CancelToken, TaskCtx, TaskReport, TaskState};
+use occam_cert::Certifier;
 use occam_emunet::DeviceService;
-use occam_netdb::{Database, ReadRouter, StoreSnapshot};
+use occam_netdb::{Database, OccOutcome, ReadRouter, ReadView};
 use occam_objtree::{ObjTree, ObjectId, SplitMode, TaskId};
-use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry};
+use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry, Span};
 use occam_regex::PatternCache;
 use occam_sched::{Policy, SchedStats, Scheduler};
 use parking_lot::{Condvar, Mutex};
@@ -44,6 +46,10 @@ pub(crate) struct CoreObs {
     pub ops_get: Counter,
     pub ops_set: Counter,
     pub ops_apply: Counter,
+    pub occ_commits: Counter,
+    pub occ_aborts: Counter,
+    pub occ_fallbacks: Counter,
+    pub occ_validate_ns: Histogram,
     pub events: EventRing,
 }
 
@@ -66,6 +72,10 @@ impl CoreObs {
             ops_get: reg.counter("core.ops.get"),
             ops_set: reg.counter("core.ops.set"),
             ops_apply: reg.counter("core.ops.apply"),
+            occ_commits: reg.counter("core.occ.commits"),
+            occ_aborts: reg.counter("core.occ.aborts"),
+            occ_fallbacks: reg.counter("core.occ.fallbacks"),
+            occ_validate_ns: reg.histogram("core.occ.validate_ns"),
             events: reg.events(),
         }
     }
@@ -98,6 +108,10 @@ pub(crate) struct Inner {
     /// ([`crate::Network::view`], gateway `status_audit`) are served from
     /// a caught-up follower instead of the leader (DESIGN.md §14).
     read_router: Mutex<Option<Arc<ReadRouter>>>,
+    /// Optional online serializability certifier (DESIGN.md §16): when
+    /// attached, every task emits its read/write footprint and the
+    /// conflict graph is checked for cycles at each commit.
+    certifier: Mutex<Option<Arc<Certifier>>>,
 }
 
 impl Drop for Inner {
@@ -162,6 +176,7 @@ impl Runtime {
                 obs: CoreObs::bound(reg),
                 pool: Mutex::new(None),
                 read_router: Mutex::new(None),
+                certifier: Mutex::new(None),
             }),
         }
     }
@@ -181,13 +196,37 @@ impl Runtime {
         *self.inner.read_router.lock() = None;
     }
 
+    /// Attaches an online serializability certifier: every subsequent
+    /// task registers at start and submits its read/write footprint at
+    /// commit; the certifier asserts the conflict graph stays acyclic
+    /// (`cert.violations`). Detection, not enforcement — a violation is
+    /// counted and latched, never turned into a task abort.
+    pub fn attach_certifier(&self, cert: Arc<Certifier>) {
+        *self.inner.certifier.lock() = Some(cert);
+    }
+
+    /// Detaches the certifier; tasks stop emitting footprints.
+    pub fn detach_certifier(&self) {
+        *self.inner.certifier.lock() = None;
+    }
+
+    /// The attached certifier, if any.
+    pub fn certifier(&self) -> Option<Arc<Certifier>> {
+        self.inner.certifier.lock().clone()
+    }
+
     /// One consistent snapshot read, routed through the attached replica
     /// read router when present, else served by the leader database.
-    pub(crate) fn routed_snapshot(&self) -> occam_netdb::DbResult<StoreSnapshot> {
+    ///
+    /// With a certifier attached the read pins to the leader even when a
+    /// router is present: a follower snapshot may trail the task's begin
+    /// floor, which would break the certifier's retirement contract
+    /// (reads observe commit counts at or above the floor).
+    pub(crate) fn routed_view(&self) -> occam_netdb::DbResult<ReadView> {
         let router = self.inner.read_router.lock().clone();
         match router {
-            Some(r) => r.snapshot(),
-            None => self.inner.db.query_snapshot(),
+            Some(r) if self.inner.certifier.lock().is_none() => r.read_view(),
+            _ => self.inner.db.query_read_view(),
         }
     }
 
@@ -248,11 +287,19 @@ impl Runtime {
     /// contained: the task aborts with [`TaskError::Panicked`] (counter
     /// `core.task.panicked`) instead of unwinding into the calling thread,
     /// so one bad program cannot take down a worker or a joining caller.
+    ///
+    /// With `occ` set the attempt runs optimistically (DESIGN.md §16): no
+    /// locks are taken, reads come from a frozen snapshot, writes buffer
+    /// in a [`occam_netdb::StagedStore`], and the attempt ends with
+    /// [`Runtime::occ_commit`] — validate-and-publish, or abort with
+    /// [`TaskError::OccConflict`] / [`TaskError::OccFallback`] for the
+    /// driver in [`Runtime::execute_with_policy`] to handle.
     pub(crate) fn execute_attempt<F>(
         &self,
         name: &str,
         urgent: bool,
         cancel: CancelToken,
+        occ: bool,
         program: F,
     ) -> TaskReport
     where
@@ -266,18 +313,43 @@ impl Runtime {
             name: name.to_string(),
         });
         let ctx = TaskCtx::new(self.clone(), id, name.to_string(), urgent, cancel);
+        // Register with the certifier before the OCC snapshot is taken so
+        // the begin floor never exceeds the snapshot's commit count.
+        let cert = self.inner.certifier.lock().clone();
+        let token = cert.as_ref().map(|c| {
+            ctx.set_certified();
+            c.begin(name, self.inner.db.commits())
+        });
         let result = if ctx.cancel_token().is_cancelled() {
             Err(TaskError::Cancelled)
         } else {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| program(&ctx))) {
-                Ok(r) => r,
-                Err(payload) => {
-                    obs.task_panicked.inc();
-                    Err(TaskError::Panicked(panic_message(payload.as_ref())))
+            // The OCC base comes through the routed accessor: a follower
+            // snapshot is a true prefix of the leader's history with its
+            // shard versions intact, so commit-time validation against
+            // the leader stays sound (a stale base just conflicts and
+            // retries from a fresher one).
+            let setup = if occ {
+                self.routed_view()
+                    .map(|view| ctx.enable_occ(view.into_snapshot()))
+                    .map_err(TaskError::from)
+            } else {
+                Ok(())
+            };
+            match setup {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| program(&ctx))) {
+                        Ok(r) => r.and_then(|()| self.occ_commit(&ctx)),
+                        Err(payload) => {
+                            obs.task_panicked.inc();
+                            Err(TaskError::Panicked(panic_message(payload.as_ref())))
+                        }
+                    }
                 }
             }
         };
         self.teardown(&ctx);
+        let footprint = ctx.take_footprint();
         let report = ctx.into_report(match result {
             Ok(()) => (TaskState::Completed, None),
             Err(e) => (TaskState::Aborted, Some(e)),
@@ -296,13 +368,97 @@ impl Runtime {
                 obs.events.record(EventKind::TaskAborted { task: id.0 });
             }
         }
+        if let (Some(c), Some(t)) = (cert, token) {
+            if report.state == TaskState::Completed {
+                // A detected cycle is latched by the certifier
+                // (`cert.violations`); it never changes the task outcome —
+                // the write is already published.
+                if c.commit(t, footprint).is_err() {
+                    obs.events.record(EventKind::CertViolation {
+                        task: name.to_string(),
+                    });
+                }
+            } else {
+                c.abandon(t);
+            }
+        }
         report
+    }
+
+    /// Finishes an optimistic attempt: takes exclusive 2PL locks over the
+    /// staged write scopes (write-bearing commits only — the mixed-mode
+    /// serializability guard), validates the task's read set against the
+    /// live store, and publishes its staged writes atomically
+    /// (`Database::occ_publish`), recording validation latency in
+    /// `core.occ.validate_ns`. No-op for pessimistic attempts; the
+    /// commit-time locks are released by the ordinary task teardown.
+    ///
+    /// On success the buffered write rows are recorded into the certifier
+    /// footprint at their true publication count (unknowable until the
+    /// WAL sequence is assigned here). A version conflict aborts the
+    /// attempt with [`TaskError::OccConflict`] (`core.occ.aborts`) and a
+    /// pending fallback request (an `apply()` was attempted) surfaces as
+    /// [`TaskError::OccFallback`]; in both cases nothing was published, so
+    /// no rollback plan is needed.
+    fn occ_commit(&self, ctx: &TaskCtx) -> TaskResult<()> {
+        let write_patterns = {
+            let mut slot = ctx.occ.lock();
+            let Some(st) = slot.as_mut() else {
+                return Ok(());
+            };
+            if let Some(why) = st.needs_fallback.take() {
+                return Err(TaskError::OccFallback(why));
+            }
+            if st.staged.is_empty() {
+                Vec::new()
+            } else {
+                let mut pats = std::mem::take(&mut st.write_patterns);
+                pats.sort_by(|a, b| a.source().cmp(b.source()));
+                pats.dedup_by(|a, b| a.source() == b.source());
+                pats
+            }
+        };
+        // Silo-style commit-time locking: a write-bearing publish briefly
+        // takes the exclusive 2PL locks covering its staged scopes, so it
+        // can never land inside a pessimistic read-modify-write's critical
+        // section (which would let the 2PL task overwrite it from a stale
+        // read). Read-only commits skip this entirely and stay lock-free.
+        // The ctx.occ guard is dropped first — acquire() can block, and a
+        // deadlock/cancel abort must leave the state intact for teardown.
+        for pattern in &write_patterns {
+            self.acquire(ctx, pattern, occam_objtree::LockMode::Exclusive)?;
+        }
+        let mut slot = ctx.occ.lock();
+        let Some(st) = slot.as_mut() else {
+            return Ok(());
+        };
+        let obs = self.obs_handles();
+        let span = Span::start(&obs.occ_validate_ns);
+        let outcome = self.inner.db.occ_publish(&st.staged, &st.read_shards);
+        span.finish();
+        match outcome {
+            Ok(OccOutcome::Committed { seq }) => {
+                obs.occ_commits.inc();
+                if ctx.certified() {
+                    for row in st.pending_rows.drain(..) {
+                        ctx.record_write(&row, seq + 1);
+                    }
+                }
+                Ok(())
+            }
+            Ok(OccOutcome::Conflict { shard }) => {
+                obs.occ_aborts.inc();
+                Err(TaskError::OccConflict { shard })
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Runs `program` under `retry`, re-executing transient aborts after
     /// mechanically rolling back the failed attempt (so every attempt
     /// starts from the task's initial state). The returned report is the
-    /// final attempt's, with [`TaskReport::attempts`] set.
+    /// final attempt's, with [`TaskReport::attempts`] set to the total
+    /// attempt count across both isolation modes.
     ///
     /// Between attempts the runtime executes the failed attempt's
     /// suggested rollback plan; if that rollback itself fails (counter
@@ -311,22 +467,76 @@ impl Runtime {
     /// still describes how to restore the pre-task state, because every
     /// *earlier* attempt was fully rolled back and rollback steps are
     /// idempotent.
+    ///
+    /// Under [`Isolation::Occ`] the task first runs optimistically:
+    /// validation conflicts re-execute from a fresh snapshot up to
+    /// `max_retries` times, then the task transparently falls back to
+    /// 2PL (`core.occ.fallbacks`) — as it does immediately when the
+    /// program calls an operation OCC cannot stage (`apply()`). Transient
+    /// errors during an optimistic attempt retry under `retry` *without*
+    /// rollback: nothing was published, so there is nothing to undo.
     pub(crate) fn execute_with_policy<F>(
         &self,
         name: &str,
         urgent: bool,
         cancel: CancelToken,
         retry: &RetryPolicy,
+        isolation: Isolation,
         mut program: F,
     ) -> TaskReport
     where
         F: FnMut(&TaskCtx) -> TaskResult<()>,
     {
         let obs = self.obs_handles().clone();
+        let mut total: u32 = 0;
+        if let Isolation::Occ { max_retries } = isolation {
+            let mut conflicts: u32 = 0;
+            let mut transient_attempts: u32 = 1;
+            loop {
+                total += 1;
+                let mut report =
+                    self.execute_attempt(name, urgent, cancel.clone(), true, &mut program);
+                report.attempts = total;
+                if report.state != TaskState::Aborted {
+                    return report;
+                }
+                match report.error {
+                    Some(TaskError::OccConflict { .. }) => {
+                        if cancel.is_cancelled() {
+                            return report;
+                        }
+                        if conflicts < max_retries {
+                            conflicts += 1;
+                            continue;
+                        }
+                        obs.occ_fallbacks.inc();
+                        break;
+                    }
+                    Some(TaskError::OccFallback(_)) => {
+                        obs.occ_fallbacks.inc();
+                        break;
+                    }
+                    Some(ref e) if e.is_transient() => {
+                        if transient_attempts >= retry.max_attempts() || cancel.is_cancelled() {
+                            return report;
+                        }
+                        obs.task_retries.inc();
+                        let delay = retry.backoff(transient_attempts);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        transient_attempts += 1;
+                    }
+                    _ => return report,
+                }
+            }
+        }
         let mut attempt: u32 = 1;
         loop {
-            let mut report = self.execute_attempt(name, urgent, cancel.clone(), &mut program);
-            report.attempts = attempt;
+            total += 1;
+            let mut report =
+                self.execute_attempt(name, urgent, cancel.clone(), false, &mut program);
+            report.attempts = total;
             if report.state != TaskState::Aborted {
                 return report;
             }

@@ -4,10 +4,15 @@ use crate::error::TaskResult;
 use crate::network::Network;
 use crate::runtime::Runtime;
 use crate::TaskError;
-use occam_netdb::{AttrValue, LinkKey};
+use occam_cert::Footprint;
+use occam_netdb::{
+    route_prefix, AttrValue, LinkKey, ShardRoute, StagedStore, StoreSnapshot, NUM_SHARDS,
+};
 use occam_objtree::{LockMode, ObjectId, TaskId};
+use occam_regex::Pattern;
 use occam_rollback::{parse_log, rollback_plan, LogEntry, RollbackPlan};
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -137,6 +142,56 @@ impl TaskReport {
     }
 }
 
+/// Execution state of one optimistic ([`crate::Isolation::Occ`]) task
+/// attempt: the staged fork, the shard-granular read set, and the
+/// write rows pending certification.
+pub(crate) struct OccState {
+    pub(crate) staged: StagedStore,
+    /// Shards whose contents any read may have depended on; validated
+    /// (alongside the staged dirty shards) at [`occam_netdb::Database::occ_publish`].
+    pub(crate) read_shards: BTreeSet<usize>,
+    /// Commit count of the frozen base snapshot — the count every read
+    /// in this attempt observes.
+    pub(crate) base_commits: u64,
+    /// Device rows written (staged) so far, recorded into the certifier
+    /// footprint at the publish sequence once validation passes.
+    pub(crate) pending_rows: Vec<String>,
+    /// Scopes the staged writes cover. A write-bearing commit briefly
+    /// acquires exclusive 2PL locks over these before validating, so an
+    /// optimistic publish can never land inside a pessimistic task's
+    /// critical section (Silo-style commit-time locking, DESIGN.md §16).
+    pub(crate) write_patterns: Vec<Pattern>,
+    /// Set when the program performed an operation that cannot be
+    /// staged; the attempt must abort and re-execute under 2PL.
+    pub(crate) needs_fallback: Option<String>,
+}
+
+impl OccState {
+    pub(crate) fn new(base: StoreSnapshot) -> OccState {
+        OccState {
+            base_commits: base.commits(),
+            staged: StagedStore::new(base),
+            read_shards: BTreeSet::new(),
+            pending_rows: Vec::new(),
+            write_patterns: Vec::new(),
+            needs_fallback: None,
+        }
+    }
+
+    /// Tracks a scoped read: the shard its literal prefix routes to, or
+    /// every shard when the scope cannot be pinned.
+    pub(crate) fn track_pattern(&mut self, pattern: &Pattern) {
+        match route_prefix(&pattern.literal_prefix()) {
+            ShardRoute::One(i) => {
+                self.read_shards.insert(i);
+            }
+            ShardRoute::All => {
+                self.read_shards.extend(0..NUM_SHARDS);
+            }
+        }
+    }
+}
+
 /// The per-task execution context handed to management programs.
 ///
 /// All stateful interaction with the network goes through
@@ -154,6 +209,12 @@ pub struct TaskCtx {
     pub(crate) activity: Mutex<Vec<String>>,
     op_offsets: Mutex<Vec<std::time::Duration>>,
     covering: Mutex<Vec<ObjectId>>,
+    /// Present iff this attempt executes optimistically.
+    pub(crate) occ: Mutex<Option<OccState>>,
+    /// Read/write footprint emitted to the serializability certifier
+    /// when one is attached ([`Runtime::attach_certifier`]).
+    footprint: Mutex<Footprint>,
+    certified: AtomicBool,
 }
 
 impl TaskCtx {
@@ -176,7 +237,57 @@ impl TaskCtx {
             activity: Mutex::new(Vec::new()),
             op_offsets: Mutex::new(Vec::new()),
             covering: Mutex::new(Vec::new()),
+            occ: Mutex::new(None),
+            footprint: Mutex::new(Footprint::new()),
+            certified: AtomicBool::new(false),
         }
+    }
+
+    /// Switches this attempt to optimistic execution over `base`.
+    pub(crate) fn enable_occ(&self, base: StoreSnapshot) {
+        *self.occ.lock() = Some(OccState::new(base));
+    }
+
+    /// Whether this attempt is executing optimistically.
+    pub(crate) fn occ_active(&self) -> bool {
+        self.occ.lock().is_some()
+    }
+
+    /// Marks the task as certified: stateful operations record their
+    /// read/write footprint for the serializability certifier.
+    pub(crate) fn set_certified(&self) {
+        self.certified.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn certified(&self) -> bool {
+        self.certified.load(Ordering::Relaxed)
+    }
+
+    /// Records one scoped read observed at commit count `at`.
+    pub(crate) fn record_read(&self, pattern: &Pattern, at: u64) {
+        if self.certified() {
+            self.footprint.lock().read(pattern.clone(), at);
+        }
+    }
+
+    /// Records one device-row write visible at commit count `count`.
+    pub(crate) fn record_write(&self, row: &str, count: u64) {
+        if self.certified() {
+            self.footprint.lock().write(row, count);
+        }
+    }
+
+    /// Records a link write: both endpoint rows at `count`.
+    pub(crate) fn record_link_write(&self, key: &LinkKey, count: u64) {
+        if self.certified() {
+            let mut fp = self.footprint.lock();
+            fp.write(key.0.clone(), count);
+            fp.write(key.1.clone(), count);
+        }
+    }
+
+    pub(crate) fn take_footprint(&self) -> Footprint {
+        std::mem::take(&mut *self.footprint.lock())
     }
 
     /// This task's id.
@@ -216,18 +327,31 @@ impl TaskCtx {
         &self.runtime
     }
 
+    /// Locks `pattern` in `mode` — or, under optimistic execution, skips
+    /// the lock tree entirely: conflicts are caught by commit-time
+    /// validation instead of prevented by locks (that is the fast path).
+    fn scope_object(&self, pattern: Pattern, mode: LockMode) -> TaskResult<Network<'_>> {
+        if self.occ_active() {
+            self.check_cancelled()?;
+            return Ok(Network::new(self, pattern, Vec::new(), mode));
+        }
+        let covering = self.runtime.acquire(self, &pattern, mode)?;
+        Ok(Network::new(self, pattern, covering, mode))
+    }
+
     /// Creates a network object over `scope` (glob syntax, e.g.
     /// `dc01.pod03.*`) with write intent: `get`, `set`, and `apply` are all
     /// allowed, and the region is locked exclusively.
     ///
     /// Blocks until the lock is granted; may fail as a deadlock victim.
+    /// Under [`crate::Isolation::Occ`] no locks are taken and the object
+    /// reads from the attempt's frozen snapshot, staging its writes.
     pub fn network(&self, scope: &str) -> TaskResult<Network<'_>> {
         let pattern = self
             .runtime
             .pattern_cache()
             .get(&occam_regex::glob_to_regex(scope))?;
-        let covering = self.runtime.acquire(self, &pattern, LockMode::Exclusive)?;
-        Ok(Network::new(self, pattern, covering, LockMode::Exclusive))
+        self.scope_object(pattern, LockMode::Exclusive)
     }
 
     /// Creates a read-only network object over `scope` (shared lock); only
@@ -237,23 +361,20 @@ impl TaskCtx {
             .runtime
             .pattern_cache()
             .get(&occam_regex::glob_to_regex(scope))?;
-        let covering = self.runtime.acquire(self, &pattern, LockMode::Shared)?;
-        Ok(Network::new(self, pattern, covering, LockMode::Shared))
+        self.scope_object(pattern, LockMode::Shared)
     }
 
     /// Creates a write-intent network object from a raw regex scope.
     pub fn network_regex(&self, regex: &str) -> TaskResult<Network<'_>> {
         let pattern = self.runtime.pattern_cache().get(regex)?;
-        let covering = self.runtime.acquire(self, &pattern, LockMode::Exclusive)?;
-        Ok(Network::new(self, pattern, covering, LockMode::Exclusive))
+        self.scope_object(pattern, LockMode::Exclusive)
     }
 
     /// Creates a write-intent network object scoped to exactly the given
     /// device names (the paper's `to_regex(dev_names)` helper).
     pub fn network_of_devices<S: AsRef<str>>(&self, names: &[S]) -> TaskResult<Network<'_>> {
         let pattern = occam_regex::Pattern::from_names(names)?;
-        let covering = self.runtime.acquire(self, &pattern, LockMode::Exclusive)?;
-        Ok(Network::new(self, pattern, covering, LockMode::Exclusive))
+        self.scope_object(pattern, LockMode::Exclusive)
     }
 
     pub(crate) fn record_covering(&self, ids: &[ObjectId]) {

@@ -13,7 +13,7 @@
 //! task means no lock-order cycles between catalog workflows — the
 //! gateway stress tests rely on this to rule out deadlock aborts.
 
-use occam_core::{TaskCtx, TaskError, TaskResult};
+use occam_core::{Isolation, TaskCtx, TaskError, TaskResult};
 use occam_emunet::FuncArgs;
 use occam_netdb::attrs;
 use std::collections::BTreeMap;
@@ -58,6 +58,11 @@ pub struct CatalogEntry {
     pub params: &'static [&'static str],
     /// Whether the workflow only reads state (uses a read-intent region).
     pub read_only: bool,
+    /// The isolation mode the engine submits this workflow under.
+    /// Read-mostly workflows declare [`Isolation::Occ`] and run lock-free
+    /// against a frozen snapshot; everything that touches devices stays
+    /// pessimistic (device functions cannot be staged).
+    pub isolation: Isolation,
     build: fn(WorkflowSpec) -> Program,
 }
 
@@ -77,6 +82,7 @@ impl Catalog {
                     description: "Mark a region under maintenance and drain traffic off it",
                     params: &[],
                     read_only: false,
+                    isolation: Isolation::TwoPl,
                     build: build_drain,
                 },
                 CatalogEntry {
@@ -84,6 +90,7 @@ impl Catalog {
                     description: "Return a drained region to active service",
                     params: &[],
                     read_only: false,
+                    isolation: Isolation::TwoPl,
                     build: build_undrain,
                 },
                 CatalogEntry {
@@ -91,6 +98,7 @@ impl Catalog {
                     description: "Full maintenance pass: drain, run optics tests, undrain",
                     params: &[],
                     read_only: false,
+                    isolation: Isolation::TwoPl,
                     build: build_device_maintenance,
                 },
                 CatalogEntry {
@@ -98,6 +106,7 @@ impl Catalog {
                     description: "Drain a region, push firmware `version`, and undrain",
                     params: &["version"],
                     read_only: false,
+                    isolation: Isolation::TwoPl,
                     build: build_firmware_upgrade,
                 },
                 CatalogEntry {
@@ -105,6 +114,7 @@ impl Catalog {
                     description: "Generate and push configuration `generation` to a region",
                     params: &["generation"],
                     read_only: false,
+                    isolation: Isolation::TwoPl,
                     build: build_config_push,
                 },
                 CatalogEntry {
@@ -113,6 +123,7 @@ impl Catalog {
                                   wave plan, and execute it wave-by-wave",
                     params: &["generation", "firmware"],
                     read_only: false,
+                    isolation: Isolation::TwoPl,
                     build: build_planned_update,
                 },
                 CatalogEntry {
@@ -120,6 +131,7 @@ impl Catalog {
                     description: "Read-only audit of device status across a region",
                     params: &[],
                     read_only: true,
+                    isolation: Isolation::Occ { max_retries: 3 },
                     build: build_status_audit,
                 },
             ],
@@ -251,8 +263,9 @@ fn build_planned_update(spec: WorkflowSpec) -> Program {
         let obs = UpdateObs::bind(rt.obs());
 
         // Build the target snapshot: the current inventory replayed into
-        // a scratch store, with the requested deltas applied on top.
-        let old = rt.db().snapshot();
+        // a scratch store, with the requested deltas applied on top. The
+        // unified read accessor pins the diff base to one commit position.
+        let old = rt.db().read_view();
         let mut records: Vec<WalRecord> = old
             .select_devices(&Pattern::universe())
             .into_iter()

@@ -436,6 +436,7 @@ impl Engine {
                         let name = format!("gw.{}.{}", entry.name, ticket);
                         let urgent = spec.urgent;
                         let retry = inner.cfg.retry.clone();
+                        let isolation = entry.isolation;
                         let admitted_at = Instant::now();
                         jobs.push((
                             urgent,
@@ -458,6 +459,7 @@ impl Engine {
                                     .urgency(urgent)
                                     .cancel_token(cancel)
                                     .retry(retry)
+                                    .isolation(isolation)
                                     .run(|ctx| program(ctx));
                                 inner.obs.e2e_ns.record_duration(admitted_at.elapsed());
                                 let (phase, detail) = engine.settle(&report);

@@ -9,8 +9,11 @@
 
 use crate::error::{DbError, DbResult};
 use crate::fault::{FaultInjector, FaultPlan};
+use crate::occ::{OccOutcome, StagedStore};
+use crate::replica::router::ReadSource;
 use crate::shard::{StoreSnapshot, StoreState};
 use crate::value::AttrValue;
+use crate::view::ReadView;
 use crate::wal::{Wal, WalRecord};
 use occam_obs::{Counter, EventKind, EventRing, Histogram, Registry, Span};
 use occam_regex::Pattern;
@@ -558,18 +561,11 @@ impl Database {
             }
         }
         let base = self.current();
-        let mut next = StoreState {
-            shards: base.shards.clone(),
-        };
+        let mut next = (*base).clone();
         for r in records {
             next.apply(r);
         }
-        let dirty = next
-            .shards
-            .iter()
-            .zip(base.shards.iter())
-            .filter(|(a, b)| !Arc::ptr_eq(a, b))
-            .count();
+        let dirty = next.finalize(&base);
         let n = records.len() as u64;
         let span = Span::start(&self.obs.wal_append_ns);
         self.wal.lock().append_batch_at(records.to_vec(), seq)?;
@@ -591,9 +587,12 @@ impl Database {
     /// commits continue the leader's numbering.
     pub(crate) fn install_snapshot(&self, snap: &StoreSnapshot, commits: u64) {
         let _w = self.writer.lock();
-        *self.state.lock() = Arc::new(StoreState {
-            shards: snap.state.shards.clone(),
-        });
+        // Adopt the snapshot's shard-version vector wholesale so OCC
+        // validation on this replica agrees with the leader's history;
+        // the commit counter is pinned to the transferred count.
+        let mut state = (*snap.state).clone();
+        state.commits = commits;
+        *self.state.lock() = Arc::new(state);
         let mut wal = self.wal.lock();
         *wal = Wal::new();
         wal.rebase(commits);
@@ -605,28 +604,34 @@ impl Database {
     /// re-seeds the WAL so future commits continue the history.
     pub(crate) fn install_recovered(&self, records: Vec<WalRecord>) {
         let _w = self.writer.lock();
+        // Replay batch-by-batch (each `Commit` marker seals one), both to
+        // preserve the WAL's commit structure and to reproduce the exact
+        // per-shard version vector the live commit path would have
+        // published — recovery must not perturb OCC validation.
+        let mut fresh = Wal::new();
         let mut state = StoreState::new();
-        for r in &records {
-            state.apply(r);
-        }
-        *self.state.lock() = Arc::new(state);
-        let mut wal = self.wal.lock();
-        *wal = Wal::new();
-        // Preserve history: append all recovered records as one batch-free
-        // prefix by replaying their commit structure.
+        let mut base = state.clone();
         let mut batch: Vec<WalRecord> = Vec::new();
         for r in records {
             match r {
                 WalRecord::Commit { .. } => {
-                    wal.append_batch(std::mem::take(&mut batch));
+                    state.finalize(&base);
+                    base = state.clone();
+                    fresh.append_batch(std::mem::take(&mut batch));
                 }
-                other => batch.push(other),
+                other => {
+                    state.apply(&other);
+                    batch.push(other);
+                }
             }
         }
         if !batch.is_empty() {
-            wal.append_batch(batch);
+            // A torn tail recovers as one final committed batch.
+            state.finalize(&base);
+            fresh.append_batch(batch);
         }
-        drop(wal);
+        *self.state.lock() = Arc::new(state);
+        *self.wal.lock() = fresh;
         self.commit_cv.notify_all();
     }
 
@@ -637,18 +642,35 @@ impl Database {
     /// Reads route through a lock-free snapshot of the published version:
     /// shard-routed by the scope's literal prefix, never blocked by (and
     /// never blocking) a committing writer.
-    fn read_view(&self) -> StoreSnapshot {
+    fn published(&self) -> StoreSnapshot {
         self.obs.lock_free_reads.inc();
         StoreSnapshot {
             state: self.current(),
         }
     }
 
+    /// The unified read accessor: a [`ReadView`] over the currently
+    /// published version, sourced from this database (the leader path).
+    /// Carries the snapshot, its commit count, and its shard-version
+    /// vector, so OCC validation, serializability certification, and
+    /// follower-staleness bounds all share one code path. Bypasses the
+    /// fault injector like [`Database::snapshot`].
+    pub fn read_view(&self) -> ReadView {
+        ReadView::new(self.snapshot(), ReadSource::Leader)
+    }
+
+    /// Takes a [`ReadView`] *as a query*: counted, timed, and subject to
+    /// the fault injector — the accessor runtime layers use so task reads
+    /// keep their failure semantics.
+    pub fn query_read_view(&self) -> DbResult<ReadView> {
+        Ok(ReadView::new(self.query_snapshot()?, ReadSource::Leader))
+    }
+
     /// Returns the names of devices matching `scope`, sorted.
     pub fn select_devices(&self, scope: &Pattern) -> DbResult<Vec<String>> {
         let _q = self.query_span();
         self.guard()?;
-        Ok(self.read_view().select_devices(scope))
+        Ok(self.published().select_devices(scope))
     }
 
     /// Returns `device → value` for one attribute across a scope; devices
@@ -656,7 +678,7 @@ impl Database {
     pub fn get_attr(&self, scope: &Pattern, attr: &str) -> DbResult<BTreeMap<String, AttrValue>> {
         let _q = self.query_span();
         self.guard()?;
-        Ok(self.read_view().get_attr(scope, attr))
+        Ok(self.published().get_attr(scope, attr))
     }
 
     /// Returns the full attribute map for every device in a scope.
@@ -666,21 +688,21 @@ impl Database {
     ) -> DbResult<BTreeMap<String, BTreeMap<String, AttrValue>>> {
         let _q = self.query_span();
         self.guard()?;
-        Ok(self.read_view().get_all(scope))
+        Ok(self.published().get_all(scope))
     }
 
     /// Returns true if a device row exists.
     pub fn device_exists(&self, name: &str) -> DbResult<bool> {
         let _q = self.query_span();
         self.guard()?;
-        Ok(self.read_view().device_exists(name))
+        Ok(self.published().device_exists(name))
     }
 
     /// Returns the links with at least one endpoint in scope, sorted by key.
     pub fn links_touching(&self, scope: &Pattern) -> DbResult<Vec<LinkKey>> {
         let _q = self.query_span();
         self.guard()?;
-        Ok(self.read_view().links_touching(scope))
+        Ok(self.published().links_touching(scope))
     }
 
     /// Returns `link → value` for one attribute across links touching a
@@ -692,7 +714,7 @@ impl Database {
     ) -> DbResult<BTreeMap<LinkKey, AttrValue>> {
         let _q = self.query_span();
         self.guard()?;
-        Ok(self.read_view().get_link_attr(scope, attr))
+        Ok(self.published().get_link_attr(scope, attr))
     }
 
     // ------------------------------------------------------------------
@@ -700,7 +722,9 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Validates a batch against a store version without mutating it.
-    fn validate(store: &StoreState, ops: &[WriteOp]) -> DbResult<()> {
+    /// Crate-visible so [`crate::occ::StagedStore`] runs the same checks
+    /// against its working state.
+    pub(crate) fn validate(store: &StoreState, ops: &[WriteOp]) -> DbResult<()> {
         // Track devices/links created or destroyed earlier in this batch so
         // that intra-batch sequences validate consistently.
         let mut devs: BTreeMap<&str, bool> = BTreeMap::new(); // name -> exists
@@ -775,7 +799,7 @@ impl Database {
         Ok(())
     }
 
-    fn to_record(op: &WriteOp) -> WalRecord {
+    pub(crate) fn to_record(op: &WriteOp) -> WalRecord {
         match op {
             WriteOp::InsertDevice { name, attrs } => WalRecord::InsertDevice {
                 name: name.clone(),
@@ -832,19 +856,17 @@ impl Database {
     /// publication order — the invariant `install_recovered` and the chaos
     /// crash points rely on.
     fn commit_records(&self, base: &Arc<StoreState>, records: Vec<WalRecord>) -> u64 {
-        let mut next = StoreState {
-            shards: base.shards.clone(),
-        };
+        let mut next = (**base).clone();
         for r in &records {
             next.apply(r);
         }
-        let dirty = next
-            .shards
-            .iter()
-            .zip(base.shards.iter())
-            .filter(|(a, b)| !Arc::ptr_eq(a, b))
-            .count();
+        // Seal versions *before* the WAL append: both happen under the
+        // held writer lock, so the shard-version bump and the WAL commit
+        // sequence can never be observed out of order — the certifier's
+        // commit order is exactly WAL order.
+        let dirty = next.finalize(base);
         let seq = self.wal_append(records);
+        debug_assert_eq!(next.commits, seq + 1, "commit counter tracks WAL seq");
         *self.state.lock() = Arc::new(next);
         self.obs.shard_commits.add(dirty as u64);
         self.commit_cv.notify_all();
@@ -882,6 +904,18 @@ impl Database {
     /// Sets one attribute on every device in scope; returns the device names
     /// written.
     pub fn set_attr(&self, scope: &Pattern, attr: &str, value: AttrValue) -> DbResult<Vec<String>> {
+        Ok(self.set_attr_seq(scope, attr, value)?.0)
+    }
+
+    /// Like [`Database::set_attr`], but also returns the WAL commit
+    /// sequence the batch was assigned, so callers emitting certified
+    /// write sets can place the write exactly in the global commit order.
+    pub fn set_attr_seq(
+        &self,
+        scope: &Pattern,
+        attr: &str,
+        value: AttrValue,
+    ) -> DbResult<(Vec<String>, u64)> {
         // Capture the scope and commit the batch under the writer lock so
         // the read-modify-write is atomic against concurrent writers.
         let _q = self.query_span();
@@ -900,8 +934,8 @@ impl Database {
                 value: value.clone(),
             })
             .collect();
-        self.commit_records(&base, records);
-        Ok(names)
+        let seq = self.commit_records(&base, records);
+        Ok((names, seq))
     }
 
     /// Sets one attribute with distinct per-device values (the paper's
@@ -960,6 +994,18 @@ impl Database {
         attr: &str,
         value: AttrValue,
     ) -> DbResult<Vec<LinkKey>> {
+        Ok(self.set_link_attr_scope_seq(scope, attr, value)?.0)
+    }
+
+    /// Like [`Database::set_link_attr_scope`], but also returns the WAL
+    /// commit sequence the batch was assigned (see
+    /// [`Database::set_attr_seq`]).
+    pub fn set_link_attr_scope_seq(
+        &self,
+        scope: &Pattern,
+        attr: &str,
+        value: AttrValue,
+    ) -> DbResult<(Vec<LinkKey>, u64)> {
         let _q = self.query_span();
         self.guard()?;
         let _w = self.writer.lock();
@@ -977,8 +1023,65 @@ impl Database {
                 value: value.clone(),
             })
             .collect();
-        self.commit_records(&base, records);
-        Ok(keys)
+        let seq = self.commit_records(&base, records);
+        Ok((keys, seq))
+    }
+
+    /// Commits an optimistically-executed task (the OCC slow half).
+    ///
+    /// Under the writer lock, validates that no other commit has touched
+    /// any shard the task *read* (`read_shards`) or *staged writes into*
+    /// since its base snapshot was taken — per-shard version equality,
+    /// plus `Arc` pointer equality to rule out version aliasing across
+    /// `install_snapshot` / `install_recovered` rebuilds. On success the
+    /// staged shards are grafted onto the currently published state
+    /// (sound exactly because validation proved those shards unchanged)
+    /// and the batch commits through the regular writer-mutex protocol:
+    /// version bump, WAL append, O(1) pointer-swap publish.
+    ///
+    /// A [`OccOutcome::Conflict`] leaves the database untouched; the
+    /// caller retries from a fresh snapshot or falls back to 2PL. An
+    /// empty staged store never conflicts: a read-only task's entire
+    /// execution is one consistent snapshot, so it serializes at its
+    /// *base* commit count regardless of later commits — no validation,
+    /// nothing appended.
+    pub fn occ_publish(
+        &self,
+        staged: &StagedStore,
+        read_shards: &BTreeSet<usize>,
+    ) -> DbResult<OccOutcome> {
+        let _q = self.query_span();
+        self.guard()?;
+        if staged.is_empty() {
+            return Ok(OccOutcome::Committed {
+                seq: staged.base().commits(),
+            });
+        }
+        let _w = self.writer.lock();
+        let cur = self.current();
+        let base = staged.base_state();
+        let dirty = staged.dirty_shards();
+        for &i in read_shards.iter().chain(dirty.iter()) {
+            if cur.versions[i] != base.versions[i] || !Arc::ptr_eq(&cur.shards[i], &base.shards[i])
+            {
+                return Ok(OccOutcome::Conflict { shard: i });
+            }
+        }
+        let mut next = (*cur).clone();
+        for &i in &dirty {
+            next.shards[i] = staged.shard(i);
+        }
+        let bumped = next.finalize(&cur);
+        debug_assert_eq!(
+            bumped,
+            dirty.len(),
+            "graft dirties exactly the staged shards"
+        );
+        let seq = self.wal_append(staged.records().to_vec());
+        *self.state.lock() = Arc::new(next);
+        self.obs.shard_commits.add(bumped as u64);
+        self.commit_cv.notify_all();
+        Ok(OccOutcome::Committed { seq })
     }
 }
 
@@ -1195,5 +1298,61 @@ mod tests {
         }
         // WAL replay must agree with the final state even under concurrency.
         assert_eq!(Store::replay(&db.wal_records()), db.snapshot());
+    }
+
+    /// Regression test for the OCC ordering fix: the shard-version bump
+    /// and the WAL append both happen under the writer mutex, so a torn
+    /// publish can never reorder versions relative to WAL commit order.
+    /// Replaying the WAL batch-by-batch must reproduce the *exact*
+    /// published version vector and commit count, and every published
+    /// state observed mid-flight must be version-monotone.
+    #[test]
+    fn torn_publish_cannot_reorder_shard_versions() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let db = Arc::new(Database::new());
+        for pod in 0..4 {
+            db.insert_device(&format!("dc01.pod{pod:02}.sw00"), vec![])
+                .unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let observer = {
+            let (db, stop) = (Arc::clone(&db), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut last = db.snapshot();
+                while !stop.load(Ordering::Relaxed) {
+                    let cur = db.snapshot();
+                    assert!(cur.commits() >= last.commits(), "commit count regressed");
+                    for (c, l) in cur.shard_versions().iter().zip(last.shard_versions()) {
+                        assert!(c >= l, "shard version regressed across publications");
+                    }
+                    last = cur;
+                }
+            })
+        };
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    db.set_attr(
+                        &pat(&format!("dc01.pod{:02}.*", (t + i) % 4)),
+                        "COUNTER",
+                        AttrValue::Int(i64::from(i)),
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        observer.join().unwrap();
+        let live = db.snapshot();
+        let replayed = crate::shard::StoreSnapshot::replay(&db.wal_records());
+        assert_eq!(replayed, live);
+        assert_eq!(replayed.commits(), live.commits());
+        assert_eq!(replayed.shard_versions(), live.shard_versions());
     }
 }

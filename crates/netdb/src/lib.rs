@@ -39,10 +39,12 @@
 pub mod db;
 pub mod error;
 pub mod fault;
+pub mod occ;
 pub mod persist;
 pub mod replica;
 pub mod shard;
 pub mod value;
+pub mod view;
 pub mod wal;
 
 pub use db::{
@@ -50,11 +52,13 @@ pub use db::{
 };
 pub use error::{DbError, DbResult};
 pub use fault::{FaultInjector, FaultPlan, FaultPlanBuilder};
+pub use occ::{OccOutcome, StagedStore};
 pub use persist::{decode as decode_wal, encode as encode_wal, WalDecodeError};
 pub use replica::router::ReadSource;
 pub use replica::{
     check_identical, Follower, Leader, Promotion, ReadRouter, ReplicaConfig, ReplicaSet, Shipment,
 };
-pub use shard::{shard_of, ShardRoute, StoreSnapshot, NUM_SHARDS};
+pub use shard::{route_prefix, shard_of, ShardRoute, StoreSnapshot, NUM_SHARDS};
 pub use value::{attrs, AttrValue};
+pub use view::ReadView;
 pub use wal::{Wal, WalRecord};

@@ -5,6 +5,7 @@ use super::{Follower, ReplObs};
 use crate::db::Database;
 use crate::error::DbResult;
 use crate::shard::StoreSnapshot;
+use crate::view::ReadView;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -74,6 +75,14 @@ impl ReadRouter {
     /// Serves one consistent snapshot read (see [`ReadRouter::snapshot_from`]).
     pub fn snapshot(&self) -> DbResult<StoreSnapshot> {
         Ok(self.snapshot_from()?.0)
+    }
+
+    /// Serves one routed read as a unified [`ReadView`]: the follower (or
+    /// leader-fallback) snapshot together with where it was served from,
+    /// so callers share one accessor with the un-replicated leader path.
+    pub fn read_view(&self) -> DbResult<ReadView> {
+        let (snap, source) = self.snapshot_from()?;
+        Ok(ReadView::new(snap, source))
     }
 }
 

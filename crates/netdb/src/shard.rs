@@ -140,6 +140,18 @@ pub(crate) struct ShardData {
 #[derive(Clone, Debug)]
 pub(crate) struct StoreState {
     pub shards: Vec<Arc<ShardData>>,
+    /// Per-shard monotonic version counters: `versions[i]` is bumped once
+    /// per committed batch that replaced shard `i`'s `Arc`. Because
+    /// [`StoreState::apply`] is existence-checked (a no-op record never
+    /// clones a shard), dirtiness — and therefore the version vector — is
+    /// a deterministic function of the WAL history, which is what lets
+    /// recovery replay reproduce live versions exactly.
+    pub versions: Vec<u64>,
+    /// Number of committed batches folded into this state. Matches
+    /// `Wal::num_commits()` for states published by the live commit
+    /// protocol: a write assigned WAL seq `s` is first visible in the
+    /// state with `commits == s + 1`.
+    pub commits: u64,
 }
 
 impl StoreState {
@@ -149,7 +161,24 @@ impl StoreState {
             shards: (0..NUM_SHARDS)
                 .map(|_| Arc::new(ShardData::default()))
                 .collect(),
+            versions: vec![0; NUM_SHARDS],
+            commits: 0,
         }
+    }
+
+    /// Seals one committed batch applied on top of `base`: bumps the
+    /// version of every shard whose `Arc` was replaced since `base` and
+    /// advances the commit counter. Returns how many shards were dirtied.
+    pub fn finalize(&mut self, base: &StoreState) -> usize {
+        let mut dirtied = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !Arc::ptr_eq(shard, &base.shards[i]) {
+                self.versions[i] += 1;
+                dirtied += 1;
+            }
+        }
+        self.commits += 1;
+        dirtied
     }
 
     fn shard_mut(&mut self, idx: usize) -> &mut ShardData {
@@ -330,14 +359,57 @@ impl StoreSnapshot {
     /// Builds a snapshot by replaying a record sequence from empty — the
     /// sharded counterpart of [`Store::replay`], asserted equivalent to
     /// it by property tests and the chaos crash points.
+    ///
+    /// Version accounting mirrors the live commit protocol: each
+    /// `Commit` marker seals one batch, bumping the versions of the
+    /// shards that batch dirtied and advancing the commit counter, so a
+    /// replay of a database's WAL reproduces its published shard-version
+    /// vector exactly. Trailing records after the last `Commit` (a torn
+    /// tail, or a plain record list with no markers) still bump the
+    /// versions of the shards they touch, but not the commit counter.
     pub fn replay(records: &[WalRecord]) -> StoreSnapshot {
         let mut state = StoreState::new();
+        let mut base = state.clone();
         for r in records {
             state.apply(r);
+            if matches!(r, WalRecord::Commit { .. }) {
+                state.finalize(&base);
+                base = state.clone();
+            }
+        }
+        let tail_dirty = state
+            .shards
+            .iter()
+            .zip(base.shards.iter())
+            .any(|(a, b)| !Arc::ptr_eq(a, b));
+        if tail_dirty {
+            let commits = state.commits;
+            state.finalize(&base);
+            state.commits = commits;
         }
         StoreSnapshot {
             state: Arc::new(state),
         }
+    }
+
+    /// Number of committed batches folded into this snapshot — equal to
+    /// the WAL commit count at the instant the snapshot was taken, so a
+    /// read served from it can be placed exactly in the commit order.
+    pub fn commits(&self) -> u64 {
+        self.state.commits
+    }
+
+    /// The per-shard monotonic version vector ([`NUM_SHARDS`] entries):
+    /// entry `i` counts the committed batches that modified shard `i`.
+    /// OCC validation compares these against the currently published
+    /// vector to detect conflicting writes since the snapshot was taken.
+    pub fn shard_versions(&self) -> &[u64] {
+        &self.state.versions
+    }
+
+    /// The version counter of one shard. Panics if `shard >= NUM_SHARDS`.
+    pub fn shard_version(&self, shard: usize) -> u64 {
+        self.state.versions[shard]
     }
 
     /// The shards a scope can reach, as `(shard, prefix)` scan inputs.

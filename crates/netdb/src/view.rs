@@ -1,0 +1,108 @@
+//! The unified read accessor.
+//!
+//! Before this module, consistent reads reached the store through three
+//! ad-hoc doors: `Database::snapshot()` (leader, fault-bypassing),
+//! `Database::query_snapshot()` (leader, fault-checked), and
+//! `ReadRouter::snapshot_from()` (follower-routed with a staleness
+//! bound). A [`ReadView`] collapses them: one handle carrying the
+//! snapshot, its commit count, its per-shard version vector, and where
+//! it was served from — so OCC validation, serializability
+//! certification, and follower-staleness accounting all consume the same
+//! thing.
+
+use crate::replica::router::ReadSource;
+use crate::shard::StoreSnapshot;
+use std::ops::Deref;
+
+/// A consistent point-in-time read handle over the network database.
+///
+/// Dereferences to [`StoreSnapshot`], so the whole snapshot read API
+/// (`select_devices`, `get_attr`, `links_touching`, …) is available
+/// directly. On top of the raw snapshot it knows:
+///
+/// - [`ReadView::commits`] — the WAL commit count the view contains,
+///   placing every read served from it exactly in the commit order;
+/// - [`ReadView::shard_versions`] — the per-shard monotonic versions OCC
+///   validation compares against the published state at commit time;
+/// - [`ReadView::source`] — leader or follower, for staleness
+///   accounting on routed reads.
+#[derive(Clone, Debug)]
+pub struct ReadView {
+    snapshot: StoreSnapshot,
+    source: ReadSource,
+}
+
+impl ReadView {
+    /// Wraps a snapshot with its serving source.
+    pub fn new(snapshot: StoreSnapshot, source: ReadSource) -> ReadView {
+        ReadView { snapshot, source }
+    }
+
+    /// The underlying snapshot, by reference.
+    pub fn snapshot(&self) -> &StoreSnapshot {
+        &self.snapshot
+    }
+
+    /// Unwraps the underlying snapshot.
+    pub fn into_snapshot(self) -> StoreSnapshot {
+        self.snapshot
+    }
+
+    /// Where this view was served from (leader, or a follower replica).
+    pub fn source(&self) -> ReadSource {
+        self.source
+    }
+
+    /// Number of committed batches folded into this view — its exact
+    /// position in the global commit order.
+    pub fn commits(&self) -> u64 {
+        self.snapshot.commits()
+    }
+
+    /// The per-shard version vector of this view (see
+    /// [`StoreSnapshot::shard_versions`]).
+    pub fn shard_versions(&self) -> &[u64] {
+        self.snapshot.shard_versions()
+    }
+}
+
+impl Deref for ReadView {
+    type Target = StoreSnapshot;
+
+    fn deref(&self) -> &StoreSnapshot {
+        &self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::db::Database;
+    use crate::replica::router::ReadSource;
+    use occam_regex::Pattern;
+
+    #[test]
+    fn read_view_carries_commit_position_and_versions() {
+        let db = Database::new();
+        db.insert_device("dc01.pod00.sw00", vec![]).unwrap();
+        db.insert_device("dc01.pod00.sw01", vec![]).unwrap();
+        let view = db.read_view();
+        assert_eq!(view.source(), ReadSource::Leader);
+        assert_eq!(view.commits(), 2);
+        assert_eq!(
+            view.select_devices(&Pattern::from_glob("dc01.*").unwrap())
+                .len(),
+            2
+        );
+        let before = view.shard_versions().to_vec();
+        db.insert_device("dc01.pod00.sw02", vec![]).unwrap();
+        // The old view is frozen; the new view's touched shard moved on.
+        assert_eq!(view.shard_versions(), before.as_slice());
+        let after = db.read_view();
+        assert_eq!(after.commits(), 3);
+        assert!(after
+            .shard_versions()
+            .iter()
+            .zip(before.iter())
+            .any(|(a, b)| a > b));
+    }
+}

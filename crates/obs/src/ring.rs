@@ -71,6 +71,11 @@ pub enum EventKind {
         /// Number of steps in the generated plan.
         steps: u64,
     },
+    /// The serializability certifier detected a conflict cycle.
+    CertViolation {
+        /// Name of the committing task that closed the cycle.
+        task: String,
+    },
 }
 
 impl EventKind {
@@ -85,6 +90,7 @@ impl EventKind {
             EventKind::LockReleased { .. } => "lock_released",
             EventKind::WalAppend { .. } => "wal_append",
             EventKind::RollbackPlanned { .. } => "rollback_planned",
+            EventKind::CertViolation { .. } => "cert_violation",
         }
     }
 
@@ -108,6 +114,7 @@ impl EventKind {
             EventKind::LockReleased { task, objects } => format!("task={task} objects={objects}"),
             EventKind::WalAppend { records, seq } => format!("records={records} seq={seq}"),
             EventKind::RollbackPlanned { task, steps } => format!("task={task} steps={steps}"),
+            EventKind::CertViolation { task } => format!("task={task}"),
         }
     }
 
@@ -136,6 +143,9 @@ impl EventKind {
             EventKind::WalAppend { records, seq } => format!("\"records\":{records},\"seq\":{seq}"),
             EventKind::RollbackPlanned { task, steps } => {
                 format!("\"task\":{task},\"steps\":{steps}")
+            }
+            EventKind::CertViolation { task } => {
+                format!("\"task\":\"{}\"", json_escape(task))
             }
         }
     }

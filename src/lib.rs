@@ -26,6 +26,9 @@
 //! - [`update`] — consistent-update synthesis: config diff, invariant
 //!   model checking over the emunet forwarding model, wave planning,
 //!   and transactional wave execution (`DESIGN.md` §15).
+//! - [`cert`] — the online serializability certifier: per-task
+//!   read/write footprints, conflict-graph maintenance, acyclicity
+//!   checking over the live commit history (`DESIGN.md` §16).
 //! - [`sim`] — the at-scale discrete-event simulator.
 //! - [`workload`] — Meta-shaped trace synthesis.
 //!
@@ -34,6 +37,7 @@
 //! table and figure of the paper, and `EXPERIMENTS.md` for the measured
 //! results.
 
+pub use occam_cert as cert;
 pub use occam_chaos as chaos;
 pub use occam_core as core;
 pub use occam_emunet as emunet;
@@ -50,7 +54,8 @@ pub use occam_update as update;
 pub use occam_workload as workload;
 
 pub use occam_core::{
-    execute_rollback, Network, Runtime, TaskCtx, TaskError, TaskReport, TaskResult, TaskState,
+    execute_rollback, Isolation, Network, Runtime, TaskCtx, TaskError, TaskReport, TaskResult,
+    TaskState,
 };
 
 /// Builds a ready-to-use emulated deployment: a `k`-ary Fat-tree, a

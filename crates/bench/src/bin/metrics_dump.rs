@@ -16,7 +16,10 @@
 //!   verification → wave execution — covering the `update.*` family;
 //! - `occ`: optimistic tasks committing, conflicting, and falling back
 //!   with the serializability certifier attached — covering the
-//!   `core.occ.*` and `cert.*` families.
+//!   `core.occ.*` and `cert.*` families;
+//! - `spec`: declarative workflows compiled from catalog templates, a
+//!   fleet audit refreshed through the incremental view cache, and a
+//!   rejected spec — covering the `spec.*` and `netdb.view.*` families.
 //!
 //! The binary fails loudly if any contract name is missing from the dump,
 //! so drift between DESIGN.md §9 and the code is caught by running it.
@@ -165,6 +168,24 @@ const OCC_NAMES: &[&str] = &[
     "cert.violations",
     "cert.window",
     "cert.check_ns",
+];
+
+/// The §9 / §17 families a spec-driven registry must carry (on top of
+/// the runtime families, which share the same registry). The `spec.*`
+/// instruments bind when the first templated program compiles; the
+/// `netdb.view.*` instruments when the view cache serves its first
+/// audit refresh.
+const SPEC_NAMES: &[&str] = &[
+    "spec.compiled",
+    "spec.rejected",
+    "spec.compile_ns",
+    "spec.audit.runs",
+    "spec.audit.devices",
+    "spec.audit.non_compliant",
+    "netdb.view.refreshes",
+    "netdb.view.hits",
+    "netdb.view.dirty_shards",
+    "netdb.view.recompute_ns",
 ];
 
 /// The §9 families the simulation registry must carry.
@@ -428,6 +449,71 @@ fn exercise_occ() -> occam::Runtime {
     runtime
 }
 
+/// Drives the declarative-spec pipeline: catalog workflows compiled
+/// from their templates, a drained pod surfacing a real non-compliant
+/// set through the audit view, a warm re-audit reusing every shard
+/// partial, and a spec the validator must reject.
+fn exercise_spec() -> occam::Runtime {
+    use occam_gateway::{Catalog, WorkflowSpec};
+
+    let (runtime, _ft) = occam::emulated_deployment(1, 4);
+    let cat = Catalog::standard();
+
+    // A maintenance workflow compiled from its spec template:
+    // `spec.compiled` + `spec.compile_ns`.
+    let prog = cat
+        .build("device_maintenance", WorkflowSpec::new("dc01.pod00.*", &[]))
+        .expect("catalog entry");
+    let report = runtime.task("device_maintenance").run(|ctx| prog(ctx));
+    assert_eq!(
+        report.state,
+        occam::TaskState::Completed,
+        "{:?}",
+        report.error
+    );
+
+    // Drain one pod so the fleet audit reports a real non-compliant set
+    // (`spec.audit.*`); the audit's first refresh is the cold scan that
+    // seeds the view cache (`netdb.view.refreshes` / `dirty_shards`).
+    let prog = cat
+        .build("drain", WorkflowSpec::new("dc01.pod01.*", &[]))
+        .expect("catalog entry");
+    let report = runtime.task("drain").run(|ctx| prog(ctx));
+    assert_eq!(
+        report.state,
+        occam::TaskState::Completed,
+        "{:?}",
+        report.error
+    );
+    for name in ["status_audit", "status_audit_warm"] {
+        // The second audit lands at the same committed version, so every
+        // shard partial is reused (`netdb.view.hits`).
+        let prog = cat
+            .build("status_audit", WorkflowSpec::new("dc01.*", &[]))
+            .expect("catalog entry");
+        let report = runtime.task(name).run(|ctx| prog(ctx));
+        assert_eq!(
+            report.state,
+            occam::TaskState::Completed,
+            "{:?}",
+            report.error
+        );
+    }
+
+    // A template whose lowering the static validator must reject — wave
+    // plans cannot carry device tests — counted under `spec.rejected`.
+    let report = runtime.task("rejected_spec").run(|ctx| {
+        occam::spec::template_program(
+            "spec bad {\n scope $scope\n strategy waves\n test optic\n}\n",
+            "dc01.*".into(),
+            Default::default(),
+        )(ctx)
+    });
+    assert_eq!(report.state, occam::TaskState::Aborted);
+
+    runtime
+}
+
 /// Drives a replica set through shipping, routed reads, a stale
 /// fallback, and a failover, then returns its registry.
 fn exercise_repl() -> occam::obs::Registry {
@@ -498,6 +584,14 @@ fn main() {
     assert!(occ_rt.obs().counter_value("core.occ.fallbacks") >= 1);
     assert_eq!(occ_rt.obs().counter_value("cert.violations"), 0);
 
+    let spec_rt = exercise_spec();
+    check_contract("spec", spec_rt.obs(), SPEC_NAMES);
+    assert!(spec_rt.obs().counter_value("spec.compiled") >= 4);
+    assert!(spec_rt.obs().counter_value("spec.rejected") >= 1);
+    assert!(spec_rt.obs().counter_value("spec.audit.runs") >= 2);
+    assert!(spec_rt.obs().counter_value("spec.audit.non_compliant") >= 1);
+    assert!(spec_rt.obs().counter_value("netdb.view.hits") >= 1);
+
     let update_rt = exercise_update();
     check_contract("update", update_rt.obs(), UPDATE_NAMES);
     assert!(update_rt.obs().counter_value("update.exec.waves") >= 2);
@@ -548,6 +642,8 @@ fn main() {
     out.push_str(&repl_reg.to_json());
     out.push_str(",\n  \"occ\": ");
     out.push_str(&occ_rt.obs().to_json());
+    out.push_str(",\n  \"spec\": ");
+    out.push_str(&spec_rt.obs().to_json());
     out.push_str(",\n  \"update\": ");
     out.push_str(&update_rt.obs().to_json());
     out.push_str("\n}\n");

@@ -75,6 +75,9 @@ pub struct CampaignConfig {
     /// the serializability certifier attached, fallback under faults),
     /// when configured.
     pub occ: Option<crate::occ::OccChaosConfig>,
+    /// Declarative-spec chaos phase (specs killed mid-execution,
+    /// compliance-view convergence), when configured.
+    pub spec: Option<crate::spec::SpecChaosConfig>,
 }
 
 impl CampaignConfig {
@@ -97,6 +100,7 @@ impl CampaignConfig {
             repl: None,
             update: None,
             occ: None,
+            spec: None,
         }
     }
 }
@@ -414,6 +418,14 @@ impl Campaign {
                 report.first_violation = occ.first_violation.clone();
             }
             report.occ = Some(occ);
+        }
+        if let Some(spec_cfg) = &self.cfg.spec {
+            let spec = crate::spec::run_spec_phase(spec_cfg);
+            report.invariant_violations += spec.violations;
+            if spec.violations > 0 && report.first_violation.is_none() {
+                report.first_violation = spec.first_violation.clone();
+            }
+            report.spec = Some(spec);
         }
         report
     }

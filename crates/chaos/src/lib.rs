@@ -18,6 +18,7 @@
 //! | gateway | connections dropped mid-frame; clients vanishing after SUBMIT | raw loopback sockets against a live [`occam_gateway::GatewayServer`] |
 //! | replication | leader killed mid-commit; followers partitioned mid-catch-up; crash-and-rejoin | live [`occam_netdb::ReplicaSet`] with deterministic failover |
 //! | isolation | mixed OCC/2PL writers contending on one row; OCC fallback under device faults | [`occam_core::Isolation::Occ`] tasks with an [`occam_cert::Certifier`] attached |
+//! | specs   | declarative specs killed mid-execution; compliance-view convergence cross-checked against cold recomputes | compiled [`occam_spec`] programs over the netdb view cache |
 //!
 //! After every task the campaign asserts the paper's recovery contract:
 //! completed tasks satisfy their scenario postcondition (*fully
@@ -48,6 +49,7 @@ pub mod repl;
 pub mod report;
 pub mod scenario;
 pub mod snapshot;
+pub mod spec;
 pub mod update;
 
 pub use campaign::{Campaign, CampaignConfig};
@@ -55,8 +57,10 @@ pub use gateway::{run_gateway_phase, GatewayChaosConfig};
 pub use occ::{run_occ_phase, OccChaosConfig};
 pub use repl::{run_repl_phase, ReplChaosConfig};
 pub use report::{
-    CampaignReport, GatewayChaosReport, OccChaosReport, ReplChaosReport, UpdateChaosReport,
+    CampaignReport, GatewayChaosReport, OccChaosReport, ReplChaosReport, SpecChaosReport,
+    UpdateChaosReport,
 };
 pub use scenario::{Scenario, ScenarioKind};
 pub use snapshot::{DeviceFingerprint, StateSnapshot};
+pub use spec::{run_spec_phase, SpecChaosConfig};
 pub use update::{run_update_phase, UpdateChaosConfig};

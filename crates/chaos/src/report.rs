@@ -190,6 +190,55 @@ impl OccChaosReport {
     }
 }
 
+/// Outcome of the declarative-spec chaos phase (DESIGN.md §17): specs
+/// submitted mid-campaign and killed mid-execution, with the incremental
+/// compliance view asserted to converge — every task ends all-compliant
+/// with its declared state or byte-identical to the pre-task snapshot —
+/// and every audit cross-checked against a cold recompute.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SpecChaosReport {
+    /// Spec programs compiled and submitted across the campaigns.
+    pub specs_run: u64,
+    /// Specs that reached `Completed` with their scope verified compliant.
+    pub completed: u64,
+    /// Specs that aborted and were verified byte-identical rolled back.
+    pub rolled_back: u64,
+    /// Specs deterministically killed mid-execution by a wedged device.
+    pub kills: u64,
+    /// Killed specs whose clean re-submission drove the compliance view
+    /// to all-compliant.
+    pub converged: u64,
+    /// Compliance-view refreshes evaluated through the view cache.
+    pub audits: u64,
+    /// Refreshes that disagreed with a cold recompute — must be 0.
+    pub incremental_mismatches: u64,
+    /// Invariant violations detected in the phase — must be 0.
+    pub violations: u64,
+    /// First violation description, when any occurred.
+    pub first_violation: Option<String>,
+}
+
+impl SpecChaosReport {
+    fn to_json(&self) -> String {
+        let first_violation = match &self.first_violation {
+            Some(v) => format!("\"{}\"", json_escape(v)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"specs_run\":{},\"completed\":{},\"rolled_back\":{},\"kills\":{},\"converged\":{},\"audits\":{},\"incremental_mismatches\":{},\"violations\":{},\"first_violation\":{}}}",
+            self.specs_run,
+            self.completed,
+            self.rolled_back,
+            self.kills,
+            self.converged,
+            self.audits,
+            self.incremental_mismatches,
+            self.violations,
+            first_violation
+        )
+    }
+}
+
 /// Outcome of one seeded campaign. All fields are counters; see the
 /// module docs for the determinism contract.
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -230,6 +279,8 @@ pub struct CampaignReport {
     pub update: Option<UpdateChaosReport>,
     /// Optimistic-concurrency phase outcome, when the phase ran.
     pub occ: Option<OccChaosReport>,
+    /// Declarative-spec phase outcome, when the phase ran.
+    pub spec: Option<SpecChaosReport>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -264,12 +315,16 @@ impl CampaignReport {
             Some(o) => o.to_json(),
             None => "null".to_string(),
         };
+        let spec = match &self.spec {
+            Some(s) => s.to_json(),
+            None => "null".to_string(),
+        };
         let first_violation = match &self.first_violation {
             Some(v) => format!("\"{}\"", json_escape(v)),
             None => "null".to_string(),
         };
         format!(
-            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{},\"repl\":{},\"update\":{},\"occ\":{}}}",
+            "{{\"seed\":{},\"fault_rate\":{},\"tasks\":{},\"completed\":{},\"rolled_back\":{},\"retries\":{},\"retry_rollback_failed\":{},\"db_faults\":{},\"device_faults\":{},\"latency_spikes\":{},\"stuck_hits\":{},\"crashes\":{},\"invariant_violations\":{},\"first_violation\":{},\"gateway\":{},\"repl\":{},\"update\":{},\"occ\":{},\"spec\":{}}}",
             self.seed,
             self.fault_rate,
             self.tasks,
@@ -287,7 +342,8 @@ impl CampaignReport {
             gateway,
             repl,
             update,
-            occ
+            occ,
+            spec
         )
     }
 }
@@ -308,9 +364,9 @@ mod tests {
         };
         assert_eq!(r.to_json(), r.clone().to_json());
         assert!(r.to_json().contains("\"fault_rate\":0.05"));
-        assert!(r
-            .to_json()
-            .ends_with("\"gateway\":null,\"repl\":null,\"update\":null,\"occ\":null}"));
+        assert!(r.to_json().ends_with(
+            "\"gateway\":null,\"repl\":null,\"update\":null,\"occ\":null,\"spec\":null}"
+        ));
         r.repl = Some(ReplChaosReport {
             writes: 3,
             ..ReplChaosReport::default()

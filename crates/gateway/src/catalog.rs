@@ -1,22 +1,26 @@
 //! The workflow catalog: named, parameterized management programs.
 //!
 //! A gateway client does not ship code — it names a catalog entry and a
-//! region scope, like calling a stored procedure. Each entry builds an
-//! ordinary Occam management program (a closure over [`TaskCtx`]) from a
-//! [`WorkflowSpec`], so everything submitted through the gateway runs
-//! under the full runtime guardrails: strict-2PL region locking,
-//! execution logging, rollback suggestion, and (new in this layer)
-//! cooperative cancellation checkpoints.
+//! region scope, like calling a stored procedure. Every entry is a
+//! declarative **spec template** (`occam-spec`): the catalog holds no
+//! hand-built programs, and [`Catalog::build`] goes through
+//! [`occam_spec::template_program`], which instantiates the template
+//! with the submission's scope and parameters, parses it, statically
+//! validates that its lowering is rollback-grammar-conformant, and
+//! compiles it — all at task execution time, so a missing required
+//! parameter surfaces as a normal task failure under the full runtime
+//! guardrails (strict-2PL region locking, execution logging, rollback
+//! suggestion, cooperative cancellation).
 //!
-//! Every standard workflow acquires its region with a *single*
+//! Every direct-strategy workflow acquires its region with a *single*
 //! `ctx.network(..)` call and holds it to commit. One acquisition per
 //! task means no lock-order cycles between catalog workflows — the
 //! gateway stress tests rely on this to rule out deadlock aborts.
 
-use occam_core::{Isolation, TaskCtx, TaskError, TaskResult};
-use occam_emunet::FuncArgs;
-use occam_netdb::attrs;
+use occam_core::Isolation;
 use std::collections::BTreeMap;
+
+pub use occam_spec::Program;
 
 /// A validated submission: which workflow, over which region, with which
 /// parameters.
@@ -36,17 +40,7 @@ impl WorkflowSpec {
             params: params.iter().cloned().collect(),
         }
     }
-
-    fn param(&self, key: &str) -> Option<&str> {
-        self.params.get(key).map(String::as_str)
-    }
 }
-
-/// A built management program, ready for the runtime. `Fn` (not
-/// `FnOnce`): workflows close over an immutable [`WorkflowSpec`], so the
-/// engine can re-execute them under a retry policy after transient
-/// aborts.
-pub type Program = Box<dyn Fn(&TaskCtx) -> TaskResult<()> + Send + 'static>;
 
 /// One catalog row.
 pub struct CatalogEntry {
@@ -54,7 +48,9 @@ pub struct CatalogEntry {
     pub name: &'static str,
     /// One-line human description (returned by LIST).
     pub description: &'static str,
-    /// Accepted parameter names, for documentation.
+    /// Accepted parameter names, for documentation. A parameter used on
+    /// a `?`-prefixed template line is optional; the rest are required
+    /// at execution time.
     pub params: &'static [&'static str],
     /// Whether the workflow only reads state (uses a read-intent region).
     pub read_only: bool,
@@ -63,7 +59,8 @@ pub struct CatalogEntry {
     /// against a frozen snapshot; everything that touches devices stays
     /// pessimistic (device functions cannot be staged).
     pub isolation: Isolation,
-    build: fn(WorkflowSpec) -> Program,
+    /// The declarative spec template this workflow compiles from.
+    pub template: &'static str,
 }
 
 /// The named-workflow catalog.
@@ -72,8 +69,8 @@ pub struct Catalog {
 }
 
 impl Catalog {
-    /// The standard management workflows, assembled from the emulated
-    /// device-function library (paper §2 case studies).
+    /// The standard management workflows, declared as spec templates
+    /// (paper §2 case studies).
     pub fn standard() -> Catalog {
         Catalog {
             entries: vec![
@@ -83,7 +80,10 @@ impl Catalog {
                     params: &[],
                     read_only: false,
                     isolation: Isolation::TwoPl,
-                    build: build_drain,
+                    template: "spec drain {\n\
+                               \x20 scope $scope\n\
+                               \x20 ensure status under_maintenance\n\
+                               }\n",
                 },
                 CatalogEntry {
                     name: "undrain",
@@ -91,7 +91,10 @@ impl Catalog {
                     params: &[],
                     read_only: false,
                     isolation: Isolation::TwoPl,
-                    build: build_undrain,
+                    template: "spec undrain {\n\
+                               \x20 scope $scope\n\
+                               \x20 ensure status active\n\
+                               }\n",
                 },
                 CatalogEntry {
                     name: "device_maintenance",
@@ -99,7 +102,11 @@ impl Catalog {
                     params: &[],
                     read_only: false,
                     isolation: Isolation::TwoPl,
-                    build: build_device_maintenance,
+                    template: "spec device_maintenance {\n\
+                               \x20 scope $scope\n\
+                               \x20 test optic\n\
+                               \x20 ensure status active\n\
+                               }\n",
                 },
                 CatalogEntry {
                     name: "firmware_upgrade",
@@ -107,7 +114,11 @@ impl Catalog {
                     params: &["version"],
                     read_only: false,
                     isolation: Isolation::TwoPl,
-                    build: build_firmware_upgrade,
+                    template: "spec firmware_upgrade {\n\
+                               \x20 scope $scope\n\
+                               \x20 target firmware $version\n\
+                               \x20 ensure status active\n\
+                               }\n",
                 },
                 CatalogEntry {
                     name: "config_push",
@@ -115,24 +126,49 @@ impl Catalog {
                     params: &["generation"],
                     read_only: false,
                     isolation: Isolation::TwoPl,
-                    build: build_config_push,
+                    template: "spec config_push {\n\
+                               \x20 scope $scope\n\
+                               \x20 target config $generation\n\
+                               }\n",
                 },
                 CatalogEntry {
                     name: "planned_update",
                     description: "Diff a target config, synthesize an invariant-preserving \
                                   wave plan, and execute it wave-by-wave",
-                    params: &["generation", "firmware"],
+                    params: &["generation", "firmware", "waypoint"],
                     read_only: false,
                     isolation: Isolation::TwoPl,
-                    build: build_planned_update,
+                    template: "spec planned_update {\n\
+                               \x20 scope $scope\n\
+                               \x20 strategy waves\n\
+                               \x20 target config $generation\n\
+                               ? target firmware $firmware\n\
+                               ? require waypoint $waypoint\n\
+                               }\n",
                 },
                 CatalogEntry {
                     name: "status_audit",
-                    description: "Read-only audit of device status across a region",
+                    description: "Read-only audit reporting every device not in active service",
                     params: &[],
                     read_only: true,
                     isolation: Isolation::Occ { max_retries: 3 },
-                    build: build_status_audit,
+                    template: "spec status_audit {\n\
+                               \x20 scope $scope\n\
+                               \x20 audit\n\
+                               \x20 expect status active\n\
+                               }\n",
+                },
+                CatalogEntry {
+                    name: "compliance_audit",
+                    description: "Strict audit: fail unless every device has `attr` = `value`",
+                    params: &["attr", "value"],
+                    read_only: true,
+                    isolation: Isolation::Occ { max_retries: 3 },
+                    template: "spec compliance_audit {\n\
+                               \x20 scope $scope\n\
+                               \x20 audit strict\n\
+                               \x20 expect $attr = $value\n\
+                               }\n",
                 },
             ],
         }
@@ -148,265 +184,57 @@ impl Catalog {
         &self.entries
     }
 
-    /// Builds the program for `name`, or `None` if unknown.
+    /// Builds the program for `name` through the spec compiler, or
+    /// `None` if unknown. Compilation itself (and therefore validation)
+    /// happens when the program first runs.
     pub fn build(&self, name: &str, spec: WorkflowSpec) -> Option<Program> {
-        self.get(name).map(|e| (e.build)(spec))
+        self.get(name)
+            .map(|e| occam_spec::template_program(e.template, spec.scope, spec.params))
     }
-}
-
-fn build_drain(spec: WorkflowSpec) -> Program {
-    Box::new(move |ctx| {
-        let region = ctx.network(&spec.scope)?;
-        region.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
-        region.apply("f_drain")?;
-        region.close();
-        Ok(())
-    })
-}
-
-fn build_undrain(spec: WorkflowSpec) -> Program {
-    Box::new(move |ctx| {
-        let region = ctx.network(&spec.scope)?;
-        region.apply("f_undrain")?;
-        region.set(attrs::DEVICE_STATUS, attrs::STATUS_ACTIVE.into())?;
-        region.close();
-        Ok(())
-    })
-}
-
-fn build_device_maintenance(spec: WorkflowSpec) -> Program {
-    Box::new(move |ctx| {
-        let region = ctx.network(&spec.scope)?;
-        region.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
-        region.apply("f_drain")?;
-        ctx.check_cancelled()?;
-        region.apply("f_optic_test")?;
-        region.apply("f_undrain")?;
-        region.set(attrs::DEVICE_STATUS, attrs::STATUS_ACTIVE.into())?;
-        region.close();
-        Ok(())
-    })
-}
-
-fn build_firmware_upgrade(spec: WorkflowSpec) -> Program {
-    Box::new(move |ctx| {
-        let version = spec
-            .param("version")
-            .map(str::to_string)
-            .ok_or_else(|| TaskError::Failed("firmware_upgrade requires param `version`".into()))?;
-        let region = ctx.network(&spec.scope)?;
-        region.set(attrs::DEVICE_STATUS, attrs::STATUS_UNDER_MAINTENANCE.into())?;
-        region.apply("f_drain")?;
-        ctx.check_cancelled()?;
-        region.set(attrs::FIRMWARE_VERSION, version.as_str().into())?;
-        region.set(
-            attrs::FIRMWARE_BINARY,
-            format!("img-{version}").as_str().into(),
-        )?;
-        // `admin=drained` keeps the push from racing the drain we just did
-        // (the default overwrites admin state to active — case study #1).
-        region.apply_with(
-            "f_push",
-            &FuncArgs::one("admin", "drained").with("firmware", &version),
-        )?;
-        ctx.check_cancelled()?;
-        region.apply("f_undrain")?;
-        region.set(attrs::DEVICE_STATUS, attrs::STATUS_ACTIVE.into())?;
-        region.close();
-        Ok(())
-    })
-}
-
-fn build_config_push(spec: WorkflowSpec) -> Program {
-    Box::new(move |ctx| {
-        let generation = spec
-            .param("generation")
-            .map(str::to_string)
-            .ok_or_else(|| TaskError::Failed("config_push requires param `generation`".into()))?;
-        let region = ctx.network(&spec.scope)?;
-        region.set("CONFIG_VERSION", generation.as_str().into())?;
-        region.apply("f_create_config")?;
-        ctx.check_cancelled()?;
-        region.apply("f_push")?;
-        region.close();
-        Ok(())
-    })
-}
-
-/// The consistent-update coordinator (`DESIGN.md` §15). Unlike every
-/// other catalog workflow it acquires **no region itself**: it snapshots
-/// the database, diffs it against the requested target (scoped
-/// `CONFIG_VERSION`, optionally firmware), synthesizes a wave plan that
-/// the model checker proves safe at every intermediate state, and then
-/// runs each wave as its own strict-2PL task through the plan executor.
-/// Lock-order safety with concurrent workflows follows from the wave
-/// tasks' single-acquisition discipline, not from the coordinator.
-fn build_planned_update(spec: WorkflowSpec) -> Program {
-    use occam_netdb::{StoreSnapshot, WalRecord};
-    use occam_regex::Pattern;
-    use occam_update::{
-        diff as config_diff, execute_plan, ExecOptions, ModelState, Synthesizer, TrafficClass,
-        UpdateObs,
-    };
-
-    Box::new(move |ctx| {
-        let generation = spec
-            .param("generation")
-            .map(str::to_string)
-            .ok_or_else(|| {
-                TaskError::Failed("planned_update requires param `generation`".into())
-            })?;
-        let firmware = spec.param("firmware").map(str::to_string);
-        let scope = Pattern::from_glob(&spec.scope)
-            .map_err(|e| TaskError::Failed(format!("bad scope glob `{}`: {e}", spec.scope)))?;
-        let rt = ctx.runtime();
-        let obs = UpdateObs::bind(rt.obs());
-
-        // Build the target snapshot: the current inventory replayed into
-        // a scratch store, with the requested deltas applied on top. The
-        // unified read accessor pins the diff base to one commit position.
-        let old = rt.db().read_view();
-        let mut records: Vec<WalRecord> = old
-            .select_devices(&Pattern::universe())
-            .into_iter()
-            .map(|name| {
-                let attrs = old.device_attrs(&name).unwrap_or_default();
-                WalRecord::InsertDevice {
-                    name,
-                    attrs: attrs.into_iter().collect(),
-                }
-            })
-            .collect();
-        for name in old.select_devices(&scope) {
-            records.push(WalRecord::SetDeviceAttr {
-                name: name.clone(),
-                attr: "CONFIG_VERSION".into(),
-                value: generation.as_str().into(),
-            });
-            if let Some(fw) = &firmware {
-                records.push(WalRecord::SetDeviceAttr {
-                    name: name.clone(),
-                    attr: attrs::FIRMWARE_VERSION.into(),
-                    value: fw.as_str().into(),
-                });
-                records.push(WalRecord::SetDeviceAttr {
-                    name,
-                    attr: attrs::FIRMWARE_BINARY.into(),
-                    value: format!("img-{fw}").as_str().into(),
-                });
-            }
-        }
-        let target = StoreSnapshot::replay(&records);
-        let ops = config_diff(&old, &target);
-        obs.diff_ops.add(ops.len() as u64);
-        if ops.is_empty() {
-            return Ok(());
-        }
-
-        // Invariants come from the emulated network when one is wired:
-        // its topology, its installed flows as traffic classes, and its
-        // inspected-traffic middlebox as a waypoint constraint. Other
-        // services get an unconstrained (empty-topology) plan.
-        let (topo, classes) = match rt
-            .service()
-            .as_any()
-            .downcast_ref::<occam_emunet::EmuService>()
-        {
-            Some(svc) => {
-                let net = svc.net();
-                let net = net.lock();
-                let waypoint = net
-                    .middlebox
-                    .and_then(|mb| Pattern::from_names(&[net.topo.device(mb).name.as_str()]).ok());
-                let classes: Vec<TrafficClass> = net
-                    .flows()
-                    .iter()
-                    .map(|f| {
-                        let mut class =
-                            TrafficClass::pair(format!("flow-{}", f.id), f.src, f.dst, f.id);
-                        if f.class == occam_emunet::FlowClass::Inspected {
-                            class.waypoint = waypoint.clone();
-                        }
-                        class
-                    })
-                    .collect();
-                (net.topo.clone(), classes)
-            }
-            None => (occam_topology::Topology::new(), Vec::new()),
-        };
-
-        // Devices already drained in the current config start drained in
-        // the model, so the planner never undrains something it did not
-        // drain itself.
-        let mut base = ModelState::default();
-        for (name, status) in old.get_attr(&Pattern::universe(), attrs::DEVICE_STATUS) {
-            let drained = status.as_str() == Some(attrs::STATUS_DRAINED)
-                || status.as_str() == Some(attrs::STATUS_UNDER_MAINTENANCE);
-            if drained {
-                if let Some(id) = topo.device_by_name(&name) {
-                    base.drained.insert(id);
-                }
-            }
-        }
-
-        let plan = Synthesizer::new(&topo, &classes)
-            .with_base(base)
-            .with_obs(&obs)
-            .synthesize(&ops)
-            .map_err(|e| TaskError::Failed(format!("update synthesis failed: {e}")))?;
-        ctx.check_cancelled()?;
-
-        let opts = ExecOptions {
-            obs: Some(obs),
-            ..ExecOptions::default()
-        };
-        let report = execute_plan(rt, &plan, &opts, None);
-        if !report.ok() {
-            return Err(TaskError::Failed(format!(
-                "planned update stopped at wave boundary {}/{}: {}",
-                report.waves_committed,
-                plan.waves.len(),
-                report.error.unwrap_or_else(|| "unknown".into())
-            )));
-        }
-        Ok(())
-    })
-}
-
-fn build_status_audit(spec: WorkflowSpec) -> Program {
-    Box::new(move |ctx| {
-        let region = ctx.network_read(&spec.scope)?;
-        // One lock-free snapshot: device list and statuses come from the
-        // same committed version, so the audit can never tear across a
-        // concurrent commit (and never blocks a writer).
-        let view = region.view()?;
-        let devices = view.select_devices(region.scope());
-        let statuses = view.get_attr(region.scope(), attrs::DEVICE_STATUS);
-        ctx.check_cancelled()?;
-        if statuses.len() > devices.len() {
-            return Err(TaskError::Failed(
-                "audit saw more statuses than devices".into(),
-            ));
-        }
-        region.close();
-        Ok(())
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use occam_netdb::attrs;
 
     #[test]
     fn standard_catalog_lookup() {
         let cat = Catalog::standard();
-        assert_eq!(cat.entries().len(), 7);
+        assert_eq!(cat.entries().len(), 8);
         assert!(cat.get("firmware_upgrade").is_some());
         assert!(cat.get("planned_update").is_some());
+        assert!(cat.get("compliance_audit").is_some());
         assert!(cat.get("rm -rf").is_none());
         let audit = cat.get("status_audit").unwrap();
         assert!(audit.read_only);
         assert!(!cat.get("drain").unwrap().read_only);
+    }
+
+    #[test]
+    fn every_entry_is_a_valid_spec_template() {
+        // Instantiate each template with dummy parameters and run it
+        // through the full parse + validate pipeline: the catalog must
+        // never ship a template whose lowering could violate the
+        // rollback grammar.
+        let cat = Catalog::standard();
+        for entry in cat.entries() {
+            let params: BTreeMap<String, String> = entry
+                .params
+                .iter()
+                .map(|p| (p.to_string(), format!("v-{p}")))
+                .collect();
+            let src = occam_spec::instantiate(entry.template, "dc01.*", &params)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            let spec =
+                occam_spec::parse_spec(&src).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert_eq!(spec.name, entry.name);
+            occam_spec::validate(&spec).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            // Entry metadata agrees with the compiled semantics.
+            let compiled = occam_spec::compile(spec).unwrap();
+            assert_eq!(compiled.read_only(), entry.read_only, "{}", entry.name);
+            assert_eq!(compiled.isolation(), entry.isolation, "{}", entry.name);
+        }
     }
 
     #[test]
@@ -483,5 +311,79 @@ mod tests {
         // The plan ran through the executor, wave by wave.
         assert!(rt.obs().counter_value("update.exec.waves") >= 2);
         assert_eq!(rt.obs().counter_value("update.exec.failures"), 0);
+    }
+
+    #[test]
+    fn status_audit_reports_the_non_compliant_set() {
+        use occam_core::{Runtime, TaskState};
+        use occam_emunet::{EmuNet, EmuService};
+        use occam_netdb::{Database, WriteOp};
+        use occam_obs::EventKind;
+        use occam_topology::FatTree;
+        use std::sync::Arc;
+
+        let reg = occam_obs::Registry::new();
+        let ft = FatTree::build(1, 4).unwrap();
+        let db = Arc::new(Database::with_obs(&reg));
+        for (_, d) in ft
+            .topo
+            .devices()
+            .filter(|(_, d)| d.role != occam_topology::Role::Host)
+        {
+            db.insert_device(
+                &d.name,
+                vec![(attrs::DEVICE_STATUS.into(), attrs::STATUS_ACTIVE.into())],
+            )
+            .unwrap();
+        }
+        db.batch(&[
+            WriteOp::SetDeviceAttr {
+                name: "dc01.pod00.tor00".into(),
+                attr: attrs::DEVICE_STATUS.into(),
+                value: attrs::STATUS_DRAINED.into(),
+            },
+            WriteOp::SetDeviceAttr {
+                name: "dc01.pod01.agg00".into(),
+                attr: attrs::DEVICE_STATUS.into(),
+                value: attrs::STATUS_UNDER_MAINTENANCE.into(),
+            },
+        ])
+        .unwrap();
+        let service = Arc::new(EmuService::new(EmuNet::from_fattree(&ft)));
+        let rt = Runtime::with_obs(db, service, occam_sched::Policy::Ldsf, &reg);
+
+        let prog = Catalog::standard()
+            .build("status_audit", WorkflowSpec::new("dc01.*", &[]))
+            .unwrap();
+        let report = rt.task("status_audit").run(|ctx| prog(ctx));
+        // Plain audits succeed and *report*: the exact non-compliant
+        // device count lands in the counters and the event ring (the old
+        // audit only sanity-checked map sizes).
+        assert_eq!(report.state, TaskState::Completed, "{:?}", report.error);
+        assert_eq!(rt.obs().counter_value("spec.audit.non_compliant"), 2);
+        assert!(rt.obs().events().snapshot().iter().any(|e| matches!(
+            &e.kind,
+            EventKind::AuditNonCompliant {
+                spec,
+                non_compliant: 2,
+                ..
+            } if spec == "status_audit"
+        )));
+
+        // The strict form turns the same view into a failure.
+        let prog = Catalog::standard()
+            .build(
+                "compliance_audit",
+                WorkflowSpec::new(
+                    "dc01.*",
+                    &[
+                        ("attr".into(), attrs::DEVICE_STATUS.into()),
+                        ("value".into(), attrs::STATUS_ACTIVE.into()),
+                    ],
+                ),
+            )
+            .unwrap();
+        let report = rt.task("compliance_audit").run(|ctx| prog(ctx));
+        assert_eq!(report.state, TaskState::Aborted);
     }
 }

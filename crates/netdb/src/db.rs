@@ -9,6 +9,7 @@
 
 use crate::error::{DbError, DbResult};
 use crate::fault::{FaultInjector, FaultPlan};
+use crate::ivm::ViewCache;
 use crate::occ::{OccOutcome, StagedStore};
 use crate::replica::router::ReadSource;
 use crate::shard::{StoreSnapshot, StoreState};
@@ -382,6 +383,9 @@ pub struct Database {
     faults: FaultInjector,
     obs: DbObs,
     obs_registry: Registry,
+    /// Incremental compliance views over this store's shard snapshots
+    /// (DESIGN.md §17.3).
+    views: ViewCache,
 }
 
 impl Database {
@@ -402,6 +406,7 @@ impl Database {
             faults: FaultInjector::default(),
             obs: DbObs::bound(reg),
             obs_registry: reg.clone(),
+            views: ViewCache::new(reg),
         }
     }
 
@@ -415,6 +420,13 @@ impl Database {
     /// The registry this database's instruments are bound to.
     pub fn obs(&self) -> &Registry {
         &self.obs_registry
+    }
+
+    /// The incremental compliance-view cache over this store: audits and
+    /// spec compliance checks refresh through it so re-evaluation costs
+    /// O(dirty shards), not O(devices) (DESIGN.md §17.3).
+    pub fn views(&self) -> &ViewCache {
+        &self.views
     }
 
     /// Counts one public query and times it until the guard drops.

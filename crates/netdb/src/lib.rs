@@ -39,6 +39,7 @@
 pub mod db;
 pub mod error;
 pub mod fault;
+pub mod ivm;
 pub mod occ;
 pub mod persist;
 pub mod replica;
@@ -52,6 +53,10 @@ pub use db::{
 };
 pub use error::{DbError, DbResult};
 pub use fault::{FaultInjector, FaultPlan, FaultPlanBuilder};
+pub use ivm::{
+    compliance_cold, snapshot_delta, Assertion, ComplianceReport, NonCompliance, SnapshotDelta,
+    ViewCache,
+};
 pub use occ::{OccOutcome, StagedStore};
 pub use persist::{decode as decode_wal, encode as encode_wal, WalDecodeError};
 pub use replica::router::ReadSource;

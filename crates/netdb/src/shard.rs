@@ -326,7 +326,7 @@ impl Default for StoreState {
 }
 
 /// Devices of one shard that a literal prefix can reach, in name order.
-fn prefixed<'a>(
+pub(crate) fn prefixed<'a>(
     shard: &'a ShardData,
     prefix: &'a str,
 ) -> impl Iterator<Item = (&'a String, &'a Arc<DeviceRecord>)> + 'a {
@@ -387,6 +387,25 @@ impl StoreSnapshot {
             state.finalize(&base);
             state.commits = commits;
         }
+        StoreSnapshot {
+            state: Arc::new(state),
+        }
+    }
+
+    /// Returns a new snapshot with `records` applied copy-on-write on top
+    /// of `self`, as one committed batch. Shards and device records the
+    /// batch does not touch stay `Arc`-shared with `self`, so
+    /// [`snapshot_delta`](crate::ivm::snapshot_delta) between `self` and
+    /// the overlay — and everything built on it, like `occam-update`'s
+    /// config diff — costs O(records), not O(devices). This is how
+    /// "target state" snapshots should be constructed for diffing against
+    /// a live base.
+    pub fn overlay(&self, records: &[WalRecord]) -> StoreSnapshot {
+        let mut state = (*self.state).clone();
+        for r in records {
+            state.apply(r);
+        }
+        state.finalize(&self.state);
         StoreSnapshot {
             state: Arc::new(state),
         }

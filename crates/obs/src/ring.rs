@@ -76,6 +76,15 @@ pub enum EventKind {
         /// Name of the committing task that closed the cycle.
         task: String,
     },
+    /// A spec compliance audit found devices violating its assertions.
+    AuditNonCompliant {
+        /// Spec name the audit ran for.
+        spec: String,
+        /// Devices the audit covered.
+        devices: u64,
+        /// Devices violating at least one assertion.
+        non_compliant: u64,
+    },
 }
 
 impl EventKind {
@@ -91,6 +100,7 @@ impl EventKind {
             EventKind::WalAppend { .. } => "wal_append",
             EventKind::RollbackPlanned { .. } => "rollback_planned",
             EventKind::CertViolation { .. } => "cert_violation",
+            EventKind::AuditNonCompliant { .. } => "audit_non_compliant",
         }
     }
 
@@ -115,6 +125,11 @@ impl EventKind {
             EventKind::WalAppend { records, seq } => format!("records={records} seq={seq}"),
             EventKind::RollbackPlanned { task, steps } => format!("task={task} steps={steps}"),
             EventKind::CertViolation { task } => format!("task={task}"),
+            EventKind::AuditNonCompliant {
+                spec,
+                devices,
+                non_compliant,
+            } => format!("spec={spec} devices={devices} non_compliant={non_compliant}"),
         }
     }
 
@@ -147,6 +162,14 @@ impl EventKind {
             EventKind::CertViolation { task } => {
                 format!("\"task\":\"{}\"", json_escape(task))
             }
+            EventKind::AuditNonCompliant {
+                spec,
+                devices,
+                non_compliant,
+            } => format!(
+                "\"spec\":\"{}\",\"devices\":{devices},\"non_compliant\":{non_compliant}",
+                json_escape(spec)
+            ),
         }
     }
 }

@@ -1,0 +1,167 @@
+//! The typed spec AST: what an operator declares, before any lowering.
+//!
+//! A [`Spec`] is pure desired state plus strategy hints — it names no
+//! device functions and fixes no operation order. The compiler
+//! ([`crate::compile()`]) owns the translation into a concrete program
+//! whose every abort prefix parses under the Table 1 rollback grammar;
+//! the validator ([`crate::validate()`]) rejects specs for which no such
+//! translation exists.
+
+use occam_netdb::{Assertion, AttrValue};
+
+/// How the compiler realizes a spec.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// One region, one task: acquire the scope under strict 2PL and run
+    /// the lowered step sequence directly.
+    Direct,
+    /// Diff → synthesize → execute: build the target snapshot, diff it
+    /// against the live store, and run an invariant-checked wave plan
+    /// through `occam-update` (the consistent-update coordinator).
+    Waves,
+}
+
+/// Whether the spec changes the network or checks it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Drive the network toward the declared state.
+    Apply,
+    /// Read-only compliance audit of the declared assertions, evaluated
+    /// through the incremental view cache. `strict` audits fail the task
+    /// when any device is non-compliant; plain audits report the
+    /// non-compliant set (counters + event ring) and succeed.
+    Audit {
+        /// Fail the task on any non-compliance.
+        strict: bool,
+    },
+}
+
+/// The admin state a region must end in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Terminal {
+    /// Back in service (`DEVICE_STATUS = ACTIVE`), traffic restored.
+    Active,
+    /// Held out of service (`DEVICE_STATUS = UNDER_MAINTENANCE`),
+    /// traffic drained.
+    UnderMaintenance,
+    /// Administratively drained (`DEVICE_STATUS = DRAINED`).
+    Drained,
+}
+
+/// A device test the spec wants run inside the maintenance window. The
+/// compiler always wraps tests in a full `PREPARE TEST* UNPREPARE`
+/// testing block — a bare `TEST` is unparseable under the grammar, which
+/// is exactly the latent bug the old hand-built maintenance workflow
+/// shipped with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TestKind {
+    /// Optical transceiver test (`f_optic_test`).
+    Optic,
+    /// Reachability test (`f_ping_test`).
+    Ping,
+}
+
+impl TestKind {
+    /// The emulated device function this test runs.
+    pub fn func(self) -> &'static str {
+        match self {
+            TestKind::Optic => "f_optic_test",
+            TestKind::Ping => "f_ping_test",
+        }
+    }
+}
+
+/// A parsed declarative workflow spec.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spec {
+    /// Spec name (task/report labels).
+    pub name: String,
+    /// Region scope as a device-name glob.
+    pub scope: String,
+    /// Realization strategy.
+    pub strategy: Strategy,
+    /// Apply or audit.
+    pub mode: Mode,
+    /// Desired terminal admin state, when declared.
+    pub terminal: Option<Terminal>,
+    /// Desired firmware version (implies `FIRMWARE_BINARY = img-<v>` and
+    /// a configuration push).
+    pub firmware: Option<String>,
+    /// Desired configuration generation (implies `CONFIG_VERSION` and a
+    /// generate + push).
+    pub config: Option<String>,
+    /// Plain database attribute assertions (no push needed).
+    pub sets: Vec<(String, AttrValue)>,
+    /// Tests to run inside the maintenance window.
+    pub tests: Vec<TestKind>,
+    /// Audit assertions (audit mode only).
+    pub expects: Vec<Assertion>,
+    /// Waypoint invariant to preserve during a wave rollout: inspected
+    /// traffic must keep traversing a device matching this glob.
+    pub waypoint: Option<String>,
+}
+
+impl Spec {
+    /// An empty apply-mode spec over `scope` (used by tests and builders;
+    /// parsed specs come from [`crate::parse_spec`]).
+    pub fn new(name: impl Into<String>, scope: impl Into<String>) -> Spec {
+        Spec {
+            name: name.into(),
+            scope: scope.into(),
+            strategy: Strategy::Direct,
+            mode: Mode::Apply,
+            terminal: None,
+            firmware: None,
+            config: None,
+            sets: Vec::new(),
+            tests: Vec::new(),
+            expects: Vec::new(),
+            waypoint: None,
+        }
+    }
+
+    /// True when the spec needs a configuration push (firmware or config
+    /// generation targets).
+    pub fn pushes(&self) -> bool {
+        self.firmware.is_some() || self.config.is_some()
+    }
+}
+
+/// A spec-layer error: template instantiation, parse, validation, or
+/// compilation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecError {
+    /// 1-based source line the error points at; 0 when it has no single
+    /// line (semantic/validation errors).
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl SpecError {
+    pub(crate) fn at(line: usize, msg: impl Into<String>) -> SpecError {
+        SpecError {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn general(msg: impl Into<String>) -> SpecError {
+        SpecError {
+            line: 0,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "spec line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "spec: {}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

@@ -1,0 +1,305 @@
+//! Lowering: from a desired-state [`Spec`] to a typed step sequence.
+//!
+//! The lowered sequence is the single source of truth for what an
+//! apply-mode spec executes ([`crate::compile()`] interprets it step by
+//! step) and for what the validator proves about it
+//! ([`crate::validate()`] replays every abort prefix of the typed steps
+//! through the Table 1 parser).
+//!
+//! The ordering rules that make every prefix parse:
+//!
+//! - A run of database writes is always either immediately followed by a
+//!   `PUSH_CFG`, or is the final trailing segment of the program (a
+//!   crash inside either shape is a legal broken `cfg_change`). In
+//!   particular the status write happens *inside* the drain window as
+//!   the first entry of the pushed `db_list` — never before `DRAIN`,
+//!   which is the exact mid-log-`db_list` parse error the old hand-built
+//!   workflows shipped with.
+//! - Every `UNDRAIN` closes a `DRAIN` opened by the same program. A spec
+//!   asking only to re-activate a region lowers to `DRAIN UNDRAIN` (an
+//!   empty offline block) rather than a bare, unparseable `UNDRAIN`.
+//! - Tests always run inside a full `PREPARE TEST* UNPREPARE` testing
+//!   block, inside the drain window.
+
+use crate::ast::{Mode, Spec, Terminal, TestKind};
+use occam_netdb::{attrs, AttrValue};
+use occam_rollback::OpType;
+
+/// The configuration-generation attribute (pushed attribute; shared
+/// vocabulary with `occam-update`'s diff engine).
+pub const CONFIG_VERSION: &str = "CONFIG_VERSION";
+
+/// One typed step of a lowered spec program.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LoweredStep {
+    /// `apply(f_drain)` — open the maintenance window.
+    Drain,
+    /// `apply(f_undrain)` — close the maintenance window.
+    Undrain,
+    /// `set(DEVICE_STATUS)` to the given admin state.
+    SetStatus(AttrValue),
+    /// `set(<attr>)` — any other database write.
+    SetAttr(String, AttrValue),
+    /// `apply(f_create_config)` — generate device configuration
+    /// (untyped under Table 2: not part of the parsed log).
+    CreateConfig,
+    /// `apply(f_push)` — push configuration, optionally carrying a
+    /// firmware image, to devices whose admin state must be preserved.
+    Push {
+        /// Firmware version to flash along with the push.
+        firmware: Option<String>,
+        /// True when the push happens inside a drain window (the push
+        /// must not overwrite the drained admin state — case study #1).
+        drained: bool,
+    },
+    /// `apply(f_alloc_ip)` — set up the test environment.
+    Prepare,
+    /// A device test inside the testing block.
+    Test(TestKind),
+    /// `apply(f_dealloc_ip)` — tear down the test environment.
+    Unprepare,
+    /// Cooperative cancellation checkpoint (no log entry).
+    CheckCancelled,
+}
+
+impl LoweredStep {
+    /// The Table 2 type label this step logs under, or `None` for steps
+    /// outside the typed subset (they do not appear in the parsed log).
+    pub fn op_type(&self) -> Option<OpType> {
+        match self {
+            LoweredStep::Drain => Some(OpType::Drain),
+            LoweredStep::Undrain => Some(OpType::Undrain),
+            LoweredStep::SetStatus(_) | LoweredStep::SetAttr(..) => Some(OpType::DbChange),
+            LoweredStep::Push { .. } => Some(OpType::PushCfg),
+            LoweredStep::Prepare => Some(OpType::Prepare),
+            LoweredStep::Test(_) => Some(OpType::Test),
+            LoweredStep::Unprepare => Some(OpType::Unprepare),
+            LoweredStep::CreateConfig | LoweredStep::CheckCancelled => None,
+        }
+    }
+
+    /// Human-readable label, matching the runtime's execution-log style.
+    pub fn label(&self) -> String {
+        match self {
+            LoweredStep::Drain => "apply(f_drain)".into(),
+            LoweredStep::Undrain => "apply(f_undrain)".into(),
+            LoweredStep::SetStatus(_) => format!("set({})", attrs::DEVICE_STATUS),
+            LoweredStep::SetAttr(attr, _) => format!("set({attr})"),
+            LoweredStep::CreateConfig => "apply(f_create_config)".into(),
+            LoweredStep::Push { .. } => "apply(f_push)".into(),
+            LoweredStep::Prepare => "apply(f_alloc_ip)".into(),
+            LoweredStep::Test(kind) => format!("apply({})", kind.func()),
+            LoweredStep::Unprepare => "apply(f_dealloc_ip)".into(),
+            LoweredStep::CheckCancelled => "check_cancelled".into(),
+        }
+    }
+}
+
+/// True when the spec's realization needs a maintenance (drain) window:
+/// firmware flashes, device tests, and any declared terminal state all
+/// require one. A bare config/attr push does not.
+pub fn needs_offline(spec: &Spec) -> bool {
+    spec.firmware.is_some() || !spec.tests.is_empty() || spec.terminal.is_some()
+}
+
+/// Lowers an apply-mode spec into its typed step sequence. Audit-mode
+/// specs lower to nothing (they execute through the view cache instead);
+/// wave-strategy specs use this sequence only for validation — execution
+/// goes through the `occam-update` synthesizer, whose executor emits the
+/// same grammar-conformant wave shape.
+pub fn lower(spec: &Spec) -> Vec<LoweredStep> {
+    use LoweredStep as S;
+    let mut steps = Vec::new();
+    if matches!(spec.mode, Mode::Audit { .. }) {
+        return steps;
+    }
+    let pushes = spec.pushes();
+    let offline = needs_offline(spec);
+    let terminal = if offline {
+        Some(spec.terminal.unwrap_or(Terminal::Active))
+    } else {
+        None
+    };
+
+    if offline {
+        steps.push(S::Drain);
+    }
+    if pushes {
+        // The pushed db_list. Inside a drain window it leads with the
+        // maintenance status so a crash-revert restores status together
+        // with the config attributes.
+        if offline {
+            steps.push(S::SetStatus(attrs::STATUS_UNDER_MAINTENANCE.into()));
+        }
+        if let Some(generation) = &spec.config {
+            steps.push(S::SetAttr(
+                CONFIG_VERSION.into(),
+                generation.as_str().into(),
+            ));
+        }
+        if let Some(version) = &spec.firmware {
+            steps.push(S::SetAttr(
+                attrs::FIRMWARE_VERSION.into(),
+                version.as_str().into(),
+            ));
+            steps.push(S::SetAttr(
+                attrs::FIRMWARE_BINARY.into(),
+                format!("img-{version}").as_str().into(),
+            ));
+        }
+        for (attr, value) in &spec.sets {
+            steps.push(S::SetAttr(attr.clone(), value.clone()));
+        }
+        if spec.config.is_some() {
+            steps.push(S::CreateConfig);
+        }
+        steps.push(S::CheckCancelled);
+        steps.push(S::Push {
+            firmware: spec.firmware.clone(),
+            drained: offline,
+        });
+        steps.push(S::CheckCancelled);
+    }
+    if !spec.tests.is_empty() {
+        steps.push(S::Prepare);
+        for kind in &spec.tests {
+            steps.push(S::Test(*kind));
+        }
+        steps.push(S::Unprepare);
+        steps.push(S::CheckCancelled);
+    }
+    // The closing segment: plain (non-pushed) attribute writes and the
+    // terminal status land as the trailing db_list, after the window is
+    // resolved. A crash here is a legal trailing broken cfg_change.
+    let trailing_sets = |steps: &mut Vec<S>| {
+        if !pushes {
+            for (attr, value) in &spec.sets {
+                steps.push(S::SetAttr(attr.clone(), value.clone()));
+            }
+        }
+    };
+    match terminal {
+        Some(Terminal::Active) => {
+            steps.push(S::Undrain);
+            trailing_sets(&mut steps);
+            steps.push(S::SetStatus(attrs::STATUS_ACTIVE.into()));
+        }
+        Some(Terminal::UnderMaintenance) => {
+            // With a push, the status already leads the pushed db_list.
+            trailing_sets(&mut steps);
+            if !pushes {
+                steps.push(S::SetStatus(attrs::STATUS_UNDER_MAINTENANCE.into()));
+            }
+        }
+        Some(Terminal::Drained) => {
+            trailing_sets(&mut steps);
+            steps.push(S::SetStatus(attrs::STATUS_DRAINED.into()));
+        }
+        None => trailing_sets(&mut steps),
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Strategy;
+
+    fn typed(steps: &[LoweredStep]) -> Vec<OpType> {
+        steps.iter().filter_map(LoweredStep::op_type).collect()
+    }
+
+    #[test]
+    fn drain_spec_lowers_to_unterminated_offline() {
+        let mut spec = Spec::new("drain", "dc01.*");
+        spec.terminal = Some(Terminal::UnderMaintenance);
+        assert_eq!(typed(&lower(&spec)), vec![OpType::Drain, OpType::DbChange]);
+    }
+
+    #[test]
+    fn undrain_spec_lowers_to_empty_offline_block() {
+        let mut spec = Spec::new("undrain", "dc01.*");
+        spec.terminal = Some(Terminal::Active);
+        // Never a bare UNDRAIN: the program opens its own drain window.
+        assert_eq!(
+            typed(&lower(&spec)),
+            vec![OpType::Drain, OpType::Undrain, OpType::DbChange]
+        );
+    }
+
+    #[test]
+    fn maintenance_spec_wraps_tests_in_a_testing_block() {
+        let mut spec = Spec::new("maint", "dc01.*");
+        spec.terminal = Some(Terminal::Active);
+        spec.tests = vec![TestKind::Optic];
+        assert_eq!(
+            typed(&lower(&spec)),
+            vec![
+                OpType::Drain,
+                OpType::Prepare,
+                OpType::Test,
+                OpType::Unprepare,
+                OpType::Undrain,
+                OpType::DbChange,
+            ]
+        );
+    }
+
+    #[test]
+    fn firmware_spec_pushes_inside_the_drain_window() {
+        let mut spec = Spec::new("fw", "dc01.*");
+        spec.firmware = Some("fw-2.0.0".into());
+        spec.terminal = Some(Terminal::Active);
+        let steps = lower(&spec);
+        assert_eq!(
+            typed(&steps),
+            vec![
+                OpType::Drain,
+                OpType::DbChange, // DEVICE_STATUS = UNDER_MAINTENANCE
+                OpType::DbChange, // FIRMWARE_VERSION
+                OpType::DbChange, // FIRMWARE_BINARY
+                OpType::PushCfg,
+                OpType::Undrain,
+                OpType::DbChange, // DEVICE_STATUS = ACTIVE
+            ]
+        );
+        assert!(steps.iter().any(|s| matches!(
+            s,
+            LoweredStep::Push {
+                firmware: Some(v),
+                drained: true
+            } if v == "fw-2.0.0"
+        )));
+    }
+
+    #[test]
+    fn config_only_spec_needs_no_drain() {
+        let mut spec = Spec::new("cfg", "dc01.*");
+        spec.config = Some("g9".into());
+        let steps = lower(&spec);
+        assert_eq!(typed(&steps), vec![OpType::DbChange, OpType::PushCfg]);
+        assert!(steps.contains(&LoweredStep::CreateConfig));
+        assert!(steps.iter().any(|s| matches!(
+            s,
+            LoweredStep::Push {
+                firmware: None,
+                drained: false
+            }
+        )));
+    }
+
+    #[test]
+    fn plain_sets_trail_without_a_push() {
+        let mut spec = Spec::new("sets", "dc01.*");
+        spec.sets = vec![("MTU".into(), AttrValue::Int(9000))];
+        assert_eq!(typed(&lower(&spec)), vec![OpType::DbChange]);
+    }
+
+    #[test]
+    fn audit_specs_lower_to_nothing() {
+        let mut spec = Spec::new("audit", "dc01.*");
+        spec.mode = Mode::Audit { strict: false };
+        spec.strategy = Strategy::Direct;
+        assert!(lower(&spec).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! The `spec.*` metrics family (DESIGN.md §9).
+//!
+//! Bound eagerly by [`SpecObs::bind`], mirroring the other per-crate
+//! instrument families: the contract holds before any spec compiles.
+
+use occam_obs::{Counter, Histogram, Registry};
+
+/// Handles for every `spec.*` instrument.
+#[derive(Clone)]
+pub struct SpecObs {
+    /// `spec.compiled` — specs that passed validation and compiled.
+    pub compiled: Counter,
+    /// `spec.rejected` — specs rejected by parse or validation.
+    pub rejected: Counter,
+    /// `spec.compile_ns` — wall time per parse+validate+compile.
+    pub compile_ns: Histogram,
+    /// `spec.audit.runs` — compliance audits executed.
+    pub audit_runs: Counter,
+    /// `spec.audit.devices` — devices covered across audits.
+    pub audit_devices: Counter,
+    /// `spec.audit.non_compliant` — non-compliant devices reported.
+    pub audit_non_compliant: Counter,
+}
+
+impl SpecObs {
+    /// Binds (and thereby registers) every `spec.*` instrument.
+    pub fn bind(reg: &Registry) -> SpecObs {
+        SpecObs {
+            compiled: reg.counter("spec.compiled"),
+            rejected: reg.counter("spec.rejected"),
+            compile_ns: reg.histogram("spec.compile_ns"),
+            audit_runs: reg.counter("spec.audit.runs"),
+            audit_devices: reg.counter("spec.audit.devices"),
+            audit_non_compliant: reg.counter("spec.audit.non_compliant"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_registers_the_whole_family() {
+        let reg = Registry::new();
+        let _obs = SpecObs::bind(&reg);
+        let counters: Vec<String> = reg.counters().into_iter().map(|(n, _)| n).collect();
+        for name in [
+            "spec.compiled",
+            "spec.rejected",
+            "spec.audit.runs",
+            "spec.audit.devices",
+            "spec.audit.non_compliant",
+        ] {
+            assert!(counters.iter().any(|c| c == name), "{name} missing");
+        }
+        assert!(reg.histograms().iter().any(|(n, _)| n == "spec.compile_ns"));
+    }
+}

@@ -1,0 +1,419 @@
+//! The spec text syntax: a small line-oriented language, plus the
+//! `$param` template instantiation the gateway catalog uses.
+//!
+//! ```text
+//! spec firmware_upgrade {
+//!     # comments run to end of line
+//!     scope dc01.pod03.*
+//!     target firmware fw-2.0.0
+//!     ensure status active
+//!     test optic
+//! }
+//! ```
+//!
+//! Statements (one per line, order irrelevant except duplicates are
+//! rejected):
+//!
+//! | statement | meaning |
+//! |---|---|
+//! | `scope <glob>` | region scope (required) |
+//! | `strategy direct\|waves` | realization strategy (default `direct`) |
+//! | `ensure status active\|under_maintenance\|drained` | terminal admin state |
+//! | `target firmware <version>` | desired firmware (implies push) |
+//! | `target config <generation>` | desired config generation (implies push) |
+//! | `set <ATTR> = <value>` | plain database attribute |
+//! | `test optic\|ping` | run a test inside the maintenance window |
+//! | `audit` / `audit strict` | read-only compliance audit mode |
+//! | `expect status <v>` / `expect <ATTR> = <value>` | audit assertion |
+//! | `require waypoint <glob>` | waypoint invariant for wave rollouts |
+//!
+//! Values parse as integers, booleans, or (optionally double-quoted)
+//! strings. Template instantiation substitutes `$scope` and `$<param>`
+//! tokens; a line prefixed with `?` is dropped entirely when any of its
+//! parameters is unbound (that is how optional workflow parameters are
+//! declared), while an unbound parameter on a plain line is an error.
+
+use crate::ast::{Mode, Spec, SpecError, Strategy, Terminal, TestKind};
+use occam_netdb::{attrs, Assertion, AttrValue};
+use std::collections::BTreeMap;
+
+/// Substitutes `$scope` / `$param` tokens in `template`.
+///
+/// Lines starting with `?` are optional: they vanish when a referenced
+/// parameter is missing. Parameter values may not contain newlines,
+/// braces, or `#` (they would change the line structure being parsed).
+pub fn instantiate(
+    template: &str,
+    scope: &str,
+    params: &BTreeMap<String, String>,
+) -> Result<String, SpecError> {
+    let lookup = move |key: &str| {
+        if key == "scope" {
+            Some(scope)
+        } else {
+            params.get(key).map(String::as_str)
+        }
+    };
+    let mut out = String::new();
+    for (i, raw) in template.lines().enumerate() {
+        let lineno = i + 1;
+        let trimmed = raw.trim_start();
+        let optional = trimmed.starts_with('?');
+        let line = if optional { &trimmed[1..] } else { raw };
+        match substitute_line(line, lineno, &lookup) {
+            Ok(s) => {
+                out.push_str(&s);
+                out.push('\n');
+            }
+            Err(e) if optional => {
+                // An optional line with an unbound parameter is dropped;
+                // any other substitution error still surfaces.
+                if !e.msg.starts_with("missing parameter") {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+fn substitute_line<'a>(
+    line: &str,
+    lineno: usize,
+    lookup: &dyn for<'k> Fn(&'k str) -> Option<&'a str>,
+) -> Result<String, SpecError> {
+    let mut out = String::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find('$') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos + 1..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        let key = &rest[..end];
+        if key.is_empty() {
+            return Err(SpecError::at(lineno, "dangling `$` in template"));
+        }
+        let value = lookup(key)
+            .ok_or_else(|| SpecError::at(lineno, format!("missing parameter `{key}`")))?;
+        if value.contains(['\n', '{', '}', '#']) {
+            return Err(SpecError::at(
+                lineno,
+                format!("parameter `{key}` contains characters that would alter the spec syntax"),
+            ));
+        }
+        out.push_str(value);
+        rest = &rest[end..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Strips a `#` comment and surrounding whitespace.
+fn clean(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => line[..pos].trim(),
+        None => line.trim(),
+    }
+}
+
+/// Parses a value token: integers, booleans, quoted or bare strings.
+fn parse_value(token: &str, lineno: usize) -> Result<AttrValue, SpecError> {
+    let token = token.trim();
+    if token.is_empty() {
+        return Err(SpecError::at(lineno, "empty value"));
+    }
+    if let Some(stripped) = token.strip_prefix('"') {
+        let Some(inner) = stripped.strip_suffix('"') else {
+            return Err(SpecError::at(lineno, "unterminated string value"));
+        };
+        return Ok(AttrValue::Str(inner.to_string()));
+    }
+    if let Ok(n) = token.parse::<i64>() {
+        return Ok(AttrValue::Int(n));
+    }
+    match token {
+        "true" => Ok(AttrValue::Bool(true)),
+        "false" => Ok(AttrValue::Bool(false)),
+        _ => Ok(AttrValue::Str(token.to_string())),
+    }
+}
+
+fn parse_status(token: &str, lineno: usize) -> Result<(Terminal, &'static str), SpecError> {
+    match token {
+        "active" => Ok((Terminal::Active, attrs::STATUS_ACTIVE)),
+        "under_maintenance" => Ok((Terminal::UnderMaintenance, attrs::STATUS_UNDER_MAINTENANCE)),
+        "drained" => Ok((Terminal::Drained, attrs::STATUS_DRAINED)),
+        other => Err(SpecError::at(
+            lineno,
+            format!("unknown status `{other}` (expected active, under_maintenance, or drained)"),
+        )),
+    }
+}
+
+/// Splits `A = v` into `(A, v)`.
+fn split_assign(rest: &str, lineno: usize) -> Result<(&str, &str), SpecError> {
+    let Some((attr, value)) = rest.split_once('=') else {
+        return Err(SpecError::at(lineno, "expected `<ATTR> = <value>`"));
+    };
+    let attr = attr.trim();
+    if attr.is_empty() {
+        return Err(SpecError::at(lineno, "empty attribute name"));
+    }
+    Ok((attr, value))
+}
+
+/// Parses spec source text into a [`Spec`]. Purely syntactic — semantic
+/// and grammar-conformance checks live in [`crate::validate()`], which
+/// [`crate::compile()`] always runs.
+pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
+    let mut spec: Option<Spec> = None;
+    let mut closed = false;
+    let mut saw_scope = false;
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = clean(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if closed {
+            return Err(SpecError::at(lineno, "content after closing `}`"));
+        }
+        let Some(spec) = spec.as_mut() else {
+            // Expect the header.
+            let Some(rest) = line.strip_prefix("spec ") else {
+                return Err(SpecError::at(lineno, "expected `spec <name> {`"));
+            };
+            let Some(name) = rest.trim().strip_suffix('{') else {
+                return Err(SpecError::at(lineno, "expected `{` after spec name"));
+            };
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(SpecError::at(lineno, "spec name must be [A-Za-z0-9_]+"));
+            }
+            spec = Some(Spec::new(name, ""));
+            continue;
+        };
+        if line == "}" {
+            closed = true;
+            continue;
+        }
+        let (stmt, rest) = match line.split_once(char::is_whitespace) {
+            Some((s, r)) => (s, r.trim()),
+            None => (line, ""),
+        };
+        match stmt {
+            "scope" => {
+                if saw_scope {
+                    return Err(SpecError::at(lineno, "duplicate `scope`"));
+                }
+                if rest.is_empty() {
+                    return Err(SpecError::at(lineno, "`scope` needs a glob"));
+                }
+                spec.scope = rest.to_string();
+                saw_scope = true;
+            }
+            "strategy" => {
+                spec.strategy = match rest {
+                    "direct" => Strategy::Direct,
+                    "waves" => Strategy::Waves,
+                    other => {
+                        return Err(SpecError::at(
+                            lineno,
+                            format!("unknown strategy `{other}` (expected direct or waves)"),
+                        ))
+                    }
+                };
+            }
+            "ensure" => {
+                let Some(status) = rest.strip_prefix("status ") else {
+                    return Err(SpecError::at(lineno, "expected `ensure status <state>`"));
+                };
+                if spec.terminal.is_some() {
+                    return Err(SpecError::at(lineno, "duplicate `ensure status`"));
+                }
+                spec.terminal = Some(parse_status(status.trim(), lineno)?.0);
+            }
+            "target" => match rest.split_once(char::is_whitespace) {
+                Some(("firmware", v)) => {
+                    if spec.firmware.is_some() {
+                        return Err(SpecError::at(lineno, "duplicate `target firmware`"));
+                    }
+                    spec.firmware = Some(v.trim().to_string());
+                }
+                Some(("config", v)) => {
+                    if spec.config.is_some() {
+                        return Err(SpecError::at(lineno, "duplicate `target config`"));
+                    }
+                    spec.config = Some(v.trim().to_string());
+                }
+                _ => {
+                    return Err(SpecError::at(
+                        lineno,
+                        "expected `target firmware <v>` or `target config <g>`",
+                    ))
+                }
+            },
+            "set" => {
+                let (attr, value) = split_assign(rest, lineno)?;
+                spec.sets
+                    .push((attr.to_string(), parse_value(value, lineno)?));
+            }
+            "test" => {
+                let kind = match rest {
+                    "optic" => TestKind::Optic,
+                    "ping" => TestKind::Ping,
+                    other => {
+                        return Err(SpecError::at(
+                            lineno,
+                            format!("unknown test `{other}` (expected optic or ping)"),
+                        ))
+                    }
+                };
+                spec.tests.push(kind);
+            }
+            "audit" => {
+                spec.mode = match rest {
+                    "" => Mode::Audit { strict: false },
+                    "strict" => Mode::Audit { strict: true },
+                    other => {
+                        return Err(SpecError::at(
+                            lineno,
+                            format!("unexpected `{other}` after `audit`"),
+                        ))
+                    }
+                };
+            }
+            "expect" => {
+                if let Some(status) = rest.strip_prefix("status ") {
+                    let (_, value) = parse_status(status.trim(), lineno)?;
+                    spec.expects
+                        .push(Assertion::new(attrs::DEVICE_STATUS, value));
+                } else {
+                    let (attr, value) = split_assign(rest, lineno)?;
+                    spec.expects
+                        .push(Assertion::new(attr, parse_value(value, lineno)?));
+                }
+            }
+            "require" => {
+                let Some(glob) = rest.strip_prefix("waypoint ") else {
+                    return Err(SpecError::at(lineno, "expected `require waypoint <glob>`"));
+                };
+                if spec.waypoint.is_some() {
+                    return Err(SpecError::at(lineno, "duplicate `require waypoint`"));
+                }
+                spec.waypoint = Some(glob.trim().to_string());
+            }
+            other => {
+                return Err(SpecError::at(
+                    lineno,
+                    format!("unknown statement `{other}`"),
+                ))
+            }
+        }
+    }
+    let Some(spec) = spec else {
+        return Err(SpecError::general("empty spec source"));
+    };
+    if !closed {
+        return Err(SpecError::general("missing closing `}`"));
+    }
+    if !saw_scope {
+        return Err(SpecError::general("spec declares no `scope`"));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = parse_spec(
+            "spec firmware_upgrade {\n\
+             \x20 # keep pod 3 on the new image\n\
+             \x20 scope dc01.pod03.*\n\
+             \x20 target firmware fw-2.0.0\n\
+             \x20 set SNMP_COMMUNITY = \"ops team\"\n\
+             \x20 set MTU = 9000\n\
+             \x20 test optic\n\
+             \x20 ensure status active\n\
+             }\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "firmware_upgrade");
+        assert_eq!(spec.scope, "dc01.pod03.*");
+        assert_eq!(spec.firmware.as_deref(), Some("fw-2.0.0"));
+        assert_eq!(spec.terminal, Some(Terminal::Active));
+        assert_eq!(spec.tests, vec![TestKind::Optic]);
+        assert_eq!(
+            spec.sets,
+            vec![
+                ("SNMP_COMMUNITY".into(), AttrValue::Str("ops team".into())),
+                ("MTU".into(), AttrValue::Int(9000)),
+            ]
+        );
+        assert_eq!(spec.strategy, Strategy::Direct);
+        assert_eq!(spec.mode, Mode::Apply);
+    }
+
+    #[test]
+    fn parses_audit_spec() {
+        let spec =
+            parse_spec("spec status_audit {\n scope dc01.*\n audit\n expect status active\n}\n")
+                .unwrap();
+        assert_eq!(spec.mode, Mode::Audit { strict: false });
+        assert_eq!(spec.expects.len(), 1);
+        assert_eq!(spec.expects[0].attr, attrs::DEVICE_STATUS);
+    }
+
+    #[test]
+    fn rejects_malformed_sources() {
+        for bad in [
+            "scope x\n",                                  // no header
+            "spec a {\n",                                 // unclosed
+            "spec a {\n}\n",                              // no scope
+            "spec a {\n scope x\n frobnicate\n}\n",       // unknown statement
+            "spec a {\n scope x\n test sonar\n}\n",       // unknown test
+            "spec a {\n scope x\n scope y\n}\n",          // duplicate scope
+            "spec a {\n scope x\n set X 1\n}\n",          // missing `=`
+            "spec a {\n scope x\n}\njunk\n",              // trailing content
+            "spec a {\n scope x\n ensure status on\n}\n", // bad status
+        ] {
+            assert!(parse_spec(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn instantiate_substitutes_and_drops_optional_lines() {
+        let template = "spec fw {\n\
+                        \x20 scope $scope\n\
+                        \x20 target firmware $version\n\
+                        ? target config $generation\n\
+                        \x20 ensure status active\n\
+                        }\n";
+        let mut params = BTreeMap::new();
+        params.insert("version".to_string(), "fw-9".to_string());
+        let src = instantiate(template, "dc01.*", &params).unwrap();
+        let spec = parse_spec(&src).unwrap();
+        assert_eq!(spec.scope, "dc01.*");
+        assert_eq!(spec.firmware.as_deref(), Some("fw-9"));
+        assert_eq!(spec.config, None); // optional line dropped
+
+        // A required parameter stays required.
+        let required = "spec fw {\n scope $scope\n target firmware $version\n}\n";
+        let err = instantiate(required, "dc01.*", &BTreeMap::new()).unwrap_err();
+        assert!(err.msg.contains("missing parameter `version`"), "{err}");
+    }
+
+    #[test]
+    fn instantiate_rejects_structure_altering_values() {
+        let mut params = BTreeMap::new();
+        params.insert("v".to_string(), "x\n}".to_string());
+        let err =
+            instantiate("spec a {\n scope $scope\n set A = $v\n}\n", "s", &params).unwrap_err();
+        assert!(err.msg.contains("alter the spec syntax"));
+    }
+}

@@ -7,15 +7,16 @@
 //! a pure database write or need a configuration push to the device —
 //! the planner only wraps the latter in drain/undrain barriers.
 //!
-//! The comparison exploits the sharded snapshot representation: shards
-//! are `Arc`-shared between versions of the store, so a diff of two
-//! snapshots that differ in a handful of pods skips the untouched shards
-//! entirely via pointer equality ([`StoreSnapshot::select_devices`] and
-//! friends already iterate per shard; we compare full attribute maps but
-//! only for devices named on either side).
+//! The comparison exploits the sharded snapshot representation through
+//! netdb's incremental-view engine ([`occam_netdb::snapshot_delta`]):
+//! shards are `Arc`-shared between versions of the store, so a diff of
+//! two snapshots that differ in a handful of pods skips the untouched
+//! shards — and, inside a touched shard, the untouched device records —
+//! entirely via pointer equality. Attribute maps are compared only for
+//! the devices the delta names, making the diff O(changed devices)
+//! rather than O(network).
 
-use occam_netdb::{attrs, AttrValue, StoreSnapshot};
-use occam_regex::Pattern;
+use occam_netdb::{attrs, snapshot_delta, AttrValue, StoreSnapshot};
 use std::collections::BTreeMap;
 
 /// Attributes whose change requires pushing configuration to the device
@@ -68,21 +69,24 @@ impl UpdateOp {
 /// in `old` but absent from `new` are left untouched for the same
 /// reason — the planner never destroys state it did not author.
 pub fn diff(old: &StoreSnapshot, new: &StoreSnapshot) -> Vec<UpdateOp> {
-    let everything = Pattern::universe();
+    let delta = snapshot_delta(old, new);
     let mut ops = Vec::new();
-    for device in new.select_devices(&everything) {
-        let Some(old_attrs) = old.device_attrs(&device) else {
+    // `delta.changed` is sorted and names every device in `new` whose
+    // record moved since `old` (pointer-equal records are byte-identical
+    // and can never produce an op); `delta.removed` is decommissioning
+    // work, which the planner deliberately ignores.
+    for device in &delta.changed {
+        let Some(old_attrs) = old.device_attrs(device) else {
             continue;
         };
         let new_attrs = new
-            .device_attrs(&device)
-            .expect("device listed by its own snapshot");
-        let op = diff_device(&device, &old_attrs, &new_attrs);
+            .device_attrs(device)
+            .expect("device named by its own snapshot's delta");
+        let op = diff_device(device, &old_attrs, &new_attrs);
         if !op.sets.is_empty() {
             ops.push(op);
         }
     }
-    ops.sort_by(|a, b| a.device.cmp(&b.device));
     ops
 }
 

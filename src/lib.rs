@@ -26,6 +26,10 @@
 //! - [`update`] — consistent-update synthesis: config diff, invariant
 //!   model checking over the emunet forwarding model, wave planning,
 //!   and transactional wave execution (`DESIGN.md` §15).
+//! - [`spec`] — the declarative workflow layer: a small desired-state
+//!   spec language, a compiler lowering specs to rollback-grammar-
+//!   conformant programs, and incremental compliance audits over the
+//!   netdb view cache (`DESIGN.md` §17).
 //! - [`cert`] — the online serializability certifier: per-task
 //!   read/write footprints, conflict-graph maintenance, acyclicity
 //!   checking over the live commit history (`DESIGN.md` §16).
@@ -49,6 +53,7 @@ pub use occam_regex as regex;
 pub use occam_rollback as rollback;
 pub use occam_sched as sched;
 pub use occam_sim as sim;
+pub use occam_spec as spec;
 pub use occam_topology as topology;
 pub use occam_update as update;
 pub use occam_workload as workload;
